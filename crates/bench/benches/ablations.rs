@@ -1,0 +1,134 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * **Greedy vs exhaustive** — the exhaustive search blows up
+//!   exponentially with the peering count even at budget 2, while the
+//!   greedy stays flat; this is the quantitative backing for Algorithm
+//!   1's existence.
+//! * **Prefix reuse (`D_reuse`)** — allocator cost and resulting prefix
+//!   count across reuse distances.
+//! * **Flow pinning** — NAT binding reuse (pinned flows) vs a fresh
+//!   binding per packet (what losing connection state would cost).
+//! * **Selection hysteresis** — switch counts with and without the
+//!   oscillation guard under jittery paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use painter_bench::exhaustive_best_config;
+use painter_core::{one_per_peering, Orchestrator, OrchestratorConfig, RoutingModel};
+use painter_eval::helpers::world_direct;
+use painter_eval::{Scale, Scenario};
+use painter_net::{FiveTuple, NatTable, PROTO_TCP};
+use painter_tm::{EdgeConfig, TmEdge};
+use painter_topology::PeeringId;
+
+fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
+    let s = Scenario::peering_like(Scale::Test, 501);
+    let world = world_direct(&s);
+    let model = RoutingModel::new(3000.0);
+    let mut group = c.benchmark_group("ablation/greedy-vs-exhaustive");
+    group.sample_size(10);
+    for &n in &[3usize, 4, 5, 6] {
+        let config = one_per_peering(&s.deployment, Some(&world.inputs), n);
+        let peerings: Vec<PeeringId> =
+            config.iter().flat_map(|(_, ps)| ps.iter().copied()).collect();
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &peerings, |b, peerings| {
+            b.iter(|| exhaustive_best_config(&world.inputs, &model, peerings, 2))
+        });
+    }
+    group.bench_function("greedy-full-universe", |b| {
+        b.iter(|| {
+            let orch = Orchestrator::new(
+                world.inputs.clone(),
+                OrchestratorConfig { prefix_budget: 2, ..Default::default() },
+            );
+            orch.compute_config()
+        })
+    });
+    group.finish();
+}
+
+fn bench_d_reuse(c: &mut Criterion) {
+    let s = Scenario::peering_like(Scale::Test, 502);
+    let world = world_direct(&s);
+    let mut group = c.benchmark_group("ablation/d-reuse");
+    group.sample_size(10);
+    for &d in &[500.0f64, 1500.0, 3000.0, 9000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(d as u64), &d, |b, &d| {
+            b.iter(|| {
+                let orch = Orchestrator::new(
+                    world.inputs.clone(),
+                    OrchestratorConfig {
+                        prefix_budget: 12,
+                        d_reuse_km: d,
+                        ..Default::default()
+                    },
+                );
+                let config = orch.compute_config();
+                config.pair_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_pinning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/flow-pinning");
+    group.bench_function("pinned-flow-repeat-packets", |b| {
+        let mut nat = NatTable::new(vec![1]);
+        let flow =
+            FiveTuple { protocol: PROTO_TCP, src: 9, dst: 10, src_port: 1, dst_port: 443 };
+        b.iter(|| nat.bind(flow, 5).expect("capacity"))
+    });
+    group.bench_function("unpinned-fresh-binding-per-packet", |b| {
+        let mut nat = NatTable::new(vec![1]);
+        let mut port = 1u16;
+        b.iter(|| {
+            let flow = FiveTuple {
+                protocol: PROTO_TCP,
+                src: 9,
+                dst: 10,
+                src_port: port,
+                dst_port: 443,
+            };
+            port = port.wrapping_add(1).max(1);
+            let binding = nat.bind(flow, 5).expect("capacity");
+            nat.unbind(&flow);
+            binding
+        })
+    });
+    group.finish();
+}
+
+fn bench_hysteresis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/hysteresis");
+    // Two near-equal paths whose measured RTTs jitter across each other;
+    // count selection switches over a burst of alternating samples.
+    let run_with = |hysteresis_ms: f64| -> u64 {
+        let mut edge = TmEdge::new(1, EdgeConfig { hysteresis_ms, ..Default::default() });
+        let a = edge.add_tunnel(painter_bgp::PrefixId(0), 10, 20.0);
+        let b = edge.add_tunnel(painter_bgp::PrefixId(1), 11, 20.5);
+        edge.select();
+        for i in 0..1000u64 {
+            let now = painter_eventsim::SimTime::from_ms(i as f64);
+            // Alternate which path looks better by ±1 ms.
+            let (fast, slow) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            let (seq, _) = edge.on_send(fast, now);
+            edge.on_response(fast, seq, now + painter_eventsim::SimTime::from_ms(19.5));
+            let (seq, _) = edge.on_send(slow, now);
+            edge.on_response(slow, seq, now + painter_eventsim::SimTime::from_ms(21.0));
+            edge.select();
+        }
+        edge.switches
+    };
+    group.bench_function("with-hysteresis", |b| b.iter(|| run_with(3.0)));
+    group.bench_function("without-hysteresis", |b| b.iter(|| run_with(0.0)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_vs_exhaustive,
+    bench_d_reuse,
+    bench_flow_pinning,
+    bench_hysteresis
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! BGP substrate benchmarks: static solves (the inner loop of every
+//! measurement and evaluation) and dynamic convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
+use painter_bgp::solve::solve;
+use painter_bgp::PrefixId;
+use painter_eventsim::SimTime;
+use painter_topology::{Deployment, DeploymentConfig, PeeringId, TopologyConfig};
+
+fn substrate(stubs: usize, seed: u64) -> (painter_topology::Internet, Deployment) {
+    let net = painter_topology::generate(TopologyConfig {
+        seed,
+        num_tier1: 8,
+        transit_per_region: 5,
+        access_per_region: 14,
+        num_stubs: stubs,
+        ..Default::default()
+    });
+    let dep = Deployment::generate(&net.graph, &DeploymentConfig { seed, num_pops: 16, ..Default::default() });
+    (net, dep)
+}
+
+fn bench_static_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgp/static-solve");
+    for &stubs in &[200usize, 500, 1000] {
+        let (net, dep) = substrate(stubs, 401);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        group.bench_with_input(
+            BenchmarkId::new("anycast", net.graph.len()),
+            &(&net, &dep, &all),
+            |b, (net, dep, all)| b.iter(|| solve(&net.graph, dep, all, 7)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single-origin", net.graph.len()),
+            &(&net, &dep),
+            |b, (net, dep)| b.iter(|| solve(&net.graph, dep, &[PeeringId(0)], 7)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dynamic_convergence(c: &mut Criterion) {
+    let (net, dep) = substrate(300, 402);
+    let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+    let mut group = c.benchmark_group("bgp/dynamic");
+    group.sample_size(10);
+    group.bench_function("announce-converge", |b| {
+        b.iter(|| {
+            let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 7);
+            for &pe in &all {
+                engine.announce(SimTime::ZERO, PrefixId(0), pe);
+            }
+            engine.run_until(SimTime::from_secs(120.0));
+            engine.churn().len()
+        })
+    });
+    group.bench_function("withdraw-reconverge", |b| {
+        b.iter(|| {
+            let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 7);
+            for &pe in &all {
+                engine.announce(SimTime::ZERO, PrefixId(0), pe);
+            }
+            engine.run_until(SimTime::from_secs(120.0));
+            for &pe in all.iter().take(all.len() / 2) {
+                engine.withdraw(SimTime::from_secs(120.0), PrefixId(0), pe);
+            }
+            engine.run_until(SimTime::from_secs(240.0));
+            engine.churn().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_solve, bench_dynamic_convergence);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! One benchmark per paper figure: each bench regenerates the figure's
+//! data series end-to-end (at test scale, so the suite completes in
+//! minutes). The `figures` binary produces the paper-scale output; these
+//! benches track the cost of each reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use painter_eval::figs::{run, ALL_FIGURES};
+use painter_eval::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for &id in ALL_FIGURES {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let fig = run(id, Scale::Test).expect("known figure id");
+                assert!(!fig.series.is_empty());
+                fig
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

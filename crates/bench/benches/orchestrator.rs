@@ -1,0 +1,112 @@
+//! Orchestrator benchmarks: Algorithm 1's scaling behaviour.
+//!
+//! §4 of the paper: configurations compute at ~30 s/prefix over thousands
+//! of ingresses and tens of thousands of UGs, with complexity "quadratic
+//! in the number of ingresses, linear in the number of UGs". These
+//! benches measure our allocator along both axes, plus the benefit
+//! evaluator and the learning step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use painter_core::{
+    ConfigEvaluator, GroundTruthEnv, Orchestrator, OrchestratorConfig,
+};
+use painter_eval::helpers::world_direct;
+use painter_eval::Scenario;
+use painter_measure::UgId;
+use painter_topology::{DeploymentConfig, TopologyConfig};
+
+fn scenario_sized(stubs: usize, pops: usize, seed: u64) -> Scenario {
+    Scenario::build(
+        TopologyConfig {
+            seed,
+            num_tier1: 6,
+            transit_per_region: 4,
+            access_per_region: 10,
+            num_stubs: stubs,
+            ..Default::default()
+        },
+        DeploymentConfig { seed, num_pops: pops, ..Default::default() },
+        seed,
+    )
+}
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator/greedy");
+    group.sample_size(10);
+    // Scale over UG count (linear axis).
+    for &stubs in &[100usize, 200, 400] {
+        let s = scenario_sized(stubs, 12, 301);
+        let world = world_direct(&s);
+        group.bench_with_input(BenchmarkId::new("ugs", stubs), &world.inputs, |b, inputs| {
+            b.iter(|| {
+                let orch = Orchestrator::new(
+                    inputs.clone(),
+                    OrchestratorConfig { prefix_budget: 8, ..Default::default() },
+                );
+                orch.compute_config()
+            })
+        });
+    }
+    // Scale over ingress count (the quadratic axis).
+    for &pops in &[8usize, 16, 24] {
+        let s = scenario_sized(200, pops, 302);
+        let world = world_direct(&s);
+        let label = s.ingress_count();
+        group.bench_with_input(
+            BenchmarkId::new("ingresses", label),
+            &world.inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let orch = Orchestrator::new(
+                        inputs.clone(),
+                        OrchestratorConfig { prefix_budget: 8, ..Default::default() },
+                    );
+                    orch.compute_config()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_learning_iteration(c: &mut Criterion) {
+    let s = scenario_sized(200, 12, 303);
+    c.bench_function("orchestrator/learning-iteration", |b| {
+        b.iter(|| {
+            let mut world = world_direct(&s);
+            let mut orch = Orchestrator::new(
+                world.inputs.clone(),
+                OrchestratorConfig {
+                    prefix_budget: 6,
+                    max_iterations: 1,
+                    ..Default::default()
+                },
+            );
+            let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+            let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+            orch.run(&mut env)
+        })
+    });
+}
+
+fn bench_benefit_evaluation(c: &mut Criterion) {
+    let s = scenario_sized(300, 12, 304);
+    let world = world_direct(&s);
+    let orch = Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: 8, ..Default::default() },
+    );
+    let config = orch.compute_config();
+    c.bench_function("orchestrator/benefit-range", |b| {
+        let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+        b.iter(|| eval.benefit_range(&config))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_scaling,
+    bench_learning_iteration,
+    bench_benefit_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Traffic Manager benchmarks: the per-packet datapath (encapsulation,
+//! NAT, restore — Appendix D argues its overhead is negligible) and the
+//! end-to-end failover simulation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use painter_bgp::PrefixId;
+use painter_eventsim::SimTime;
+use painter_net::{encapsulate, FiveTuple, NatTable, Packet, PacketHeader, PROTO_TCP};
+use painter_tm::{pop::client_packet, TmPop, TmSimulation, TmSimulationConfig};
+use painter_topology::PopId;
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm/datapath");
+    let inner = client_packet(0xC0A8_0001, 5000, 0x0808_0808, b"0123456789abcdef");
+    group.bench_function("encapsulate+decapsulate", |b| {
+        b.iter(|| {
+            let outer = encapsulate(0xC0A8_0001, 0x6440_0001, &inner);
+            painter_net::decapsulate(&outer).expect("tunnel packet")
+        })
+    });
+    group.bench_function("pop-echo-roundtrip", |b| {
+        let mut pop = TmPop::new(PopId(0), 0x6440_0001, vec![0x6440_0002]);
+        let outer = encapsulate(0xC0A8_0001, 0x6440_0001, &inner);
+        b.iter(|| pop.echo_roundtrip(&outer).expect("roundtrip"))
+    });
+    group.bench_function("nat-bind-lookup", |b| {
+        let mut nat = NatTable::new(vec![1, 2]);
+        let mut port = 1u16;
+        b.iter(|| {
+            let flow = FiveTuple {
+                protocol: PROTO_TCP,
+                src: 9,
+                dst: 10,
+                src_port: port,
+                dst_port: 443,
+            };
+            port = port.wrapping_add(1).max(1);
+            let binding = nat.bind(flow, 5).expect("capacity");
+            let got = nat.lookup(binding.pop_addr, binding.pop_port).expect("bound");
+            nat.unbind(&flow);
+            got
+        })
+    });
+    group.bench_function("packet-encode-decode", |b| {
+        let p = Packet::new(
+            PacketHeader { src: 1, dst: 2, protocol: PROTO_TCP, src_port: 3, dst_port: 4 },
+            Bytes::from_static(b"payload-payload-payload"),
+        );
+        b.iter(|| Packet::decode(p.encode()).expect("round-trip"))
+    });
+    group.finish();
+}
+
+fn bench_failover_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm/failover");
+    group.sample_size(10);
+    group.bench_function("two-path-failover-3s", |b| {
+        b.iter(|| {
+            let mut sim =
+                TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
+            let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+            let _t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+            sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+            sim.run(SimTime::from_secs(3.0));
+            sim.records().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath, bench_failover_sim);
+criterion_main!(benches);

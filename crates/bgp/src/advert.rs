@@ -1,0 +1,226 @@
+//! Advertisement configurations.
+//!
+//! §3.1 of the paper: "We model an advertisement configuration `A` as a set
+//! of `(peering, prefix)` pairs where `(peering, prefix) ∈ A` means we
+//! advertise that prefix via that peering." This module is that model, plus
+//! the handful of queries the orchestrator and evaluation need (peerings of
+//! a prefix, prefix count, PoPs covered).
+
+use crate::prefix::PrefixId;
+use painter_topology::{Deployment, PeeringId, PopId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An advertisement configuration: which prefixes are advertised via which
+/// peerings.
+///
+/// Stored prefix-major (`prefix -> sorted peerings`) because every consumer
+/// — the route solver, benefit computation, the Traffic Manager's
+/// destination list — iterates per prefix. Insertion is idempotent.
+///
+/// ```
+/// use painter_bgp::{AdvertConfig, PrefixId};
+/// use painter_topology::PeeringId;
+///
+/// let mut config = AdvertConfig::new();
+/// config.add(PrefixId(0), PeeringId(3));
+/// config.add(PrefixId(0), PeeringId(1)); // reuse: same prefix, 2nd peering
+/// config.add(PrefixId(1), PeeringId(7));
+///
+/// assert_eq!(config.prefix_count(), 2);     // budget usage
+/// assert_eq!(config.pair_count(), 3);       // BGP sessions involved
+/// assert_eq!(config.peerings_of(PrefixId(0)), &[PeeringId(1), PeeringId(3)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdvertConfig {
+    entries: BTreeMap<PrefixId, Vec<PeeringId>>,
+}
+
+impl AdvertConfig {
+    /// An empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A configuration advertising one prefix via every peering of the
+    /// deployment — classic **anycast**, the paper's default `D`.
+    pub fn anycast(deployment: &Deployment, prefix: PrefixId) -> Self {
+        let mut config = Self::new();
+        for p in deployment.peerings() {
+            config.add(prefix, p.id);
+        }
+        config
+    }
+
+    /// Adds `(peering, prefix)` to the configuration.
+    pub fn add(&mut self, prefix: PrefixId, peering: PeeringId) {
+        let list = self.entries.entry(prefix).or_default();
+        if let Err(pos) = list.binary_search(&peering) {
+            list.insert(pos, peering);
+        }
+    }
+
+    /// Removes `(peering, prefix)`; removes the prefix entirely when its
+    /// last peering goes. Returns true if something was removed.
+    pub fn remove(&mut self, prefix: PrefixId, peering: PeeringId) -> bool {
+        let Some(list) = self.entries.get_mut(&prefix) else { return false };
+        let Ok(pos) = list.binary_search(&peering) else { return false };
+        list.remove(pos);
+        if list.is_empty() {
+            self.entries.remove(&prefix);
+        }
+        true
+    }
+
+    /// Withdraws a prefix everywhere. Returns true if it was advertised.
+    pub fn withdraw_prefix(&mut self, prefix: PrefixId) -> bool {
+        self.entries.remove(&prefix).is_some()
+    }
+
+    /// The sorted peerings a prefix is advertised via (empty if none).
+    pub fn peerings_of(&self, prefix: PrefixId) -> &[PeeringId] {
+        self.entries.get(&prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `(peering, prefix)` is in the configuration.
+    pub fn contains(&self, prefix: PrefixId, peering: PeeringId) -> bool {
+        self.peerings_of(prefix).binary_search(&peering).is_ok()
+    }
+
+    /// All advertised prefixes, ascending.
+    pub fn prefixes(&self) -> impl Iterator<Item = PrefixId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of distinct prefixes (the configuration's budget usage).
+    pub fn prefix_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of `(peering, prefix)` pairs.
+    pub fn pair_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The PoPs a prefix is advertised from (deduplicated, sorted).
+    pub fn pops_of(&self, deployment: &Deployment, prefix: PrefixId) -> Vec<PopId> {
+        let mut pops: Vec<PopId> =
+            self.peerings_of(prefix).iter().map(|&p| deployment.peering(p).pop).collect();
+        pops.sort_unstable();
+        pops.dedup();
+        pops
+    }
+
+    /// Iterates over `(prefix, peerings)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (PrefixId, &[PeeringId])> {
+        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent_and_sorted() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(0), PeeringId(5));
+        c.add(PrefixId(0), PeeringId(2));
+        c.add(PrefixId(0), PeeringId(5));
+        assert_eq!(c.peerings_of(PrefixId(0)), &[PeeringId(2), PeeringId(5)]);
+        assert_eq!(c.pair_count(), 2);
+        assert_eq!(c.prefix_count(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_prefixes() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(1), PeeringId(0));
+        assert!(c.remove(PrefixId(1), PeeringId(0)));
+        assert!(!c.remove(PrefixId(1), PeeringId(0)));
+        assert!(c.is_empty());
+        assert_eq!(c.prefix_count(), 0);
+    }
+
+    #[test]
+    fn withdraw_prefix_removes_all_pairs() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(2), PeeringId(0));
+        c.add(PrefixId(2), PeeringId(1));
+        c.add(PrefixId(3), PeeringId(0));
+        assert!(c.withdraw_prefix(PrefixId(2)));
+        assert!(!c.withdraw_prefix(PrefixId(2)));
+        assert_eq!(c.prefix_count(), 1);
+        assert!(c.contains(PrefixId(3), PeeringId(0)));
+    }
+
+    #[test]
+    fn contains_checks_pairs() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(0), PeeringId(1));
+        assert!(c.contains(PrefixId(0), PeeringId(1)));
+        assert!(!c.contains(PrefixId(0), PeeringId(2)));
+        assert!(!c.contains(PrefixId(1), PeeringId(1)));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any sequence of adds/removes keeps the structure
+            /// consistent: pair_count equals the sum of per-prefix sizes,
+            /// lists stay sorted+deduped, and contains() agrees.
+            #[test]
+            fn operations_preserve_invariants(
+                ops in proptest::collection::vec(
+                    (0u16..8, 0u32..16, proptest::bool::ANY),
+                    0..200,
+                )
+            ) {
+                let mut config = AdvertConfig::new();
+                for (prefix, peering, add) in ops {
+                    if add {
+                        config.add(PrefixId(prefix), PeeringId(peering));
+                    } else {
+                        config.remove(PrefixId(prefix), PeeringId(peering));
+                    }
+                }
+                let mut pair_total = 0;
+                for (prefix, peerings) in config.iter() {
+                    prop_assert!(!peerings.is_empty(), "empty prefix retained");
+                    prop_assert!(peerings.windows(2).all(|w| w[0] < w[1]));
+                    pair_total += peerings.len();
+                    for &pe in peerings {
+                        prop_assert!(config.contains(prefix, pe));
+                    }
+                }
+                prop_assert_eq!(pair_total, config.pair_count());
+                prop_assert_eq!(config.prefixes().count(), config.prefix_count());
+            }
+
+            /// add followed by remove is the identity.
+            #[test]
+            fn add_remove_roundtrip(prefix in 0u16..8, peering in 0u32..16) {
+                let mut config = AdvertConfig::new();
+                config.add(PrefixId(prefix), PeeringId(peering));
+                prop_assert!(config.remove(PrefixId(prefix), PeeringId(peering)));
+                prop_assert!(config.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_iterate_in_order() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(9), PeeringId(0));
+        c.add(PrefixId(1), PeeringId(0));
+        let order: Vec<PrefixId> = c.prefixes().collect();
+        assert_eq!(order, vec![PrefixId(1), PrefixId(9)]);
+    }
+}

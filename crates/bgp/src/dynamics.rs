@@ -1,0 +1,727 @@
+//! Event-driven BGP: sessions, MRAI timers, withdrawals, convergence churn.
+//!
+//! The static solver answers "where does routing end up"; this engine
+//! answers "what happens in between". It simulates per-session BGP message
+//! exchange over the AS graph with realistic timing:
+//!
+//! * message propagation delay = half the fiber RTT between the two ASes'
+//!   attachment metros, plus per-router processing jitter;
+//! * per-neighbor **MRAI** (minimum route advertisement interval) timers
+//!   rate-limit announcements, producing the staggered path exploration
+//!   that stretches convergence to seconds;
+//! * **withdrawals** propagate immediately (the common implementation
+//!   choice), so losing a route is fast but finding the replacement is
+//!   slow — exactly the asymmetry behind Fig. 10's anycast outage window;
+//! * every delivered update is recorded in a churn log, standing in for
+//!   the RIPE RIS collector feed the paper plots.
+//!
+//! Determinism: all jitter comes from a seeded [`SimRng`], and event
+//! ordering is the deterministic FIFO of `painter-eventsim`.
+
+use crate::path::PathModel;
+use crate::prefix::PrefixId;
+use painter_eventsim::{EventQueue, SimRng, SimTime};
+use painter_geo::{metro, min_rtt_ms, MetroId};
+use painter_topology::{AsGraph, AsId, Deployment, PeeringId, PeeringKind, Relationship};
+use std::collections::{HashMap, HashSet};
+
+/// Where a route was heard from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    /// A BGP neighbor in the AS graph.
+    Neighbor(AsId),
+    /// Directly from the cloud over a peering session.
+    Cloud(PeeringId),
+}
+
+/// A route stored in an Adj-RIB-In: the path as heard (sender first; empty
+/// for routes heard directly from the cloud).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HeardRoute {
+    path: Vec<AsId>,
+}
+
+/// How the receiving AS classifies a heard route; order = preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(clippy::enum_variant_names)] // the From- prefix is BGP vocabulary
+enum Class {
+    FromProvider,
+    FromPeer,
+    FromCustomer,
+}
+
+/// An update message on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Update {
+    /// Announce with the sender's path (sender first).
+    Announce(Vec<AsId>),
+    Withdraw,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// Delivery of an update to an AS.
+    Deliver { to: AsId, from: Source, prefix: PrefixId, update: Update },
+    /// MRAI timer expiry for (sender, neighbor).
+    Mrai { from: AsId, to: AsId },
+    /// The cloud (de)activates a peering session for a prefix.
+    CloudAnnounce { peering: PeeringId, prefix: PrefixId },
+    CloudWithdraw { peering: PeeringId, prefix: PrefixId },
+}
+
+/// Timing knobs for the engine.
+#[derive(Debug, Clone)]
+pub struct DynamicsConfig {
+    pub seed: u64,
+    /// MRAI per (AS, neighbor), drawn uniformly from this range (seconds).
+    pub mrai_secs: (f64, f64),
+    /// Per-message processing jitter (milliseconds).
+    pub proc_delay_ms: (f64, f64),
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        // MRAI of a few seconds reproduces the ~15 s convergence the paper
+        // observes via RIPE RIS (classic 30 s timers converge slower; many
+        // modern routers ship lower values).
+        DynamicsConfig { seed: 0, mrai_secs: (2.0, 8.0), proc_delay_ms: (5.0, 50.0) }
+    }
+}
+
+/// One churn-log record: an update delivered somewhere in the Internet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnRecord {
+    pub time: SimTime,
+    pub prefix: PrefixId,
+    pub is_withdraw: bool,
+}
+
+#[derive(Debug, Default)]
+struct AsState {
+    rib_in: HashMap<(PrefixId, Source), HeardRoute>,
+    best: HashMap<PrefixId, Source>,
+    /// What we last advertised to each neighbor per prefix (the path we
+    /// sent). Absent = withdrawn/never sent.
+    rib_out: HashMap<(PrefixId, AsId), Vec<AsId>>,
+    /// MRAI: earliest time we may next announce to a neighbor.
+    mrai_until: HashMap<AsId, SimTime>,
+    /// Prefixes with a pending (rate-limited) announcement per neighbor.
+    pending: HashMap<AsId, HashSet<PrefixId>>,
+    /// Whether an MRAI expiry event is already scheduled per neighbor.
+    mrai_scheduled: HashSet<AsId>,
+}
+
+/// The event-driven BGP engine.
+pub struct BgpEngine<'a> {
+    graph: &'a AsGraph,
+    deployment: &'a Deployment,
+    config: DynamicsConfig,
+    salt: u64,
+    states: Vec<AsState>,
+    /// Peering sessions currently advertising each prefix (cloud side).
+    cloud_active: HashSet<(PrefixId, PeeringId)>,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    now: SimTime,
+    churn: Vec<ChurnRecord>,
+}
+
+impl<'a> BgpEngine<'a> {
+    /// Creates an engine over the substrate. `salt` seeds the hidden
+    /// tie-break (use the same value as for static solves so the engines
+    /// agree).
+    pub fn new(
+        graph: &'a AsGraph,
+        deployment: &'a Deployment,
+        config: DynamicsConfig,
+        salt: u64,
+    ) -> Self {
+        let n = graph.len();
+        let rng = SimRng::stream(config.seed, 0xB6_F0);
+        BgpEngine {
+            graph,
+            deployment,
+            config,
+            salt,
+            states: (0..n).map(|_| AsState::default()).collect(),
+            cloud_active: HashSet::new(),
+            queue: EventQueue::new(),
+            rng,
+            now: SimTime::ZERO,
+            churn: Vec::new(),
+        }
+    }
+
+    /// Schedules a cloud-side announcement of `prefix` via `peering`.
+    pub fn announce(&mut self, at: SimTime, prefix: PrefixId, peering: PeeringId) {
+        self.queue.push(at, Event::CloudAnnounce { peering, prefix });
+    }
+
+    /// Schedules a cloud-side withdrawal of `prefix` from `peering`.
+    pub fn withdraw(&mut self, at: SimTime, prefix: PrefixId, peering: PeeringId) {
+        self.queue.push(at, Event::CloudWithdraw { peering, prefix });
+    }
+
+    /// Runs the engine until `until` (inclusive). Can be called repeatedly
+    /// with growing horizons to interleave with observation.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.now = until.max(self.now);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The churn log (every update delivered so far, in delivery order).
+    pub fn churn(&self) -> &[ChurnRecord] {
+        &self.churn
+    }
+
+    /// Number of updates for `prefix` delivered in `[from, to)`.
+    pub fn updates_in_window(&self, prefix: PrefixId, from: SimTime, to: SimTime) -> usize {
+        self.churn
+            .iter()
+            .filter(|r| r.prefix == prefix && r.time >= from && r.time < to)
+            .count()
+    }
+
+    /// The current *data-plane* path from `src` for `prefix`: follows each
+    /// AS's currently selected best hop. Returns the AS path and ingress
+    /// peering, or `None` if a hop is missing, a transient loop exists, or
+    /// the final peering is no longer active — i.e. the prefix is
+    /// unreachable from `src` right now.
+    pub fn current_path(&self, src: AsId, prefix: PrefixId) -> Option<(Vec<AsId>, PeeringId)> {
+        let mut path = Vec::new();
+        let mut seen = HashSet::new();
+        let mut cur = src;
+        loop {
+            if !seen.insert(cur) {
+                return None; // transient forwarding loop
+            }
+            path.push(cur);
+            let best = *self.states[cur.idx()].best.get(&prefix)?;
+            match best {
+                Source::Neighbor(n) => cur = n,
+                Source::Cloud(p) => {
+                    if !self.cloud_active.contains(&(prefix, p)) {
+                        return None; // stale route to a withdrawn session
+                    }
+                    return Some((path, p));
+                }
+            }
+        }
+    }
+
+    /// Round-trip latency of the current data-plane path from a UG, or
+    /// `None` if unreachable.
+    pub fn current_rtt_ms(&self, src: AsId, src_metro: MetroId, prefix: PrefixId) -> Option<f64> {
+        let (path, ingress) = self.current_path(src, prefix)?;
+        Some(PathModel::new(self.graph, self.deployment).rtt_of_path(&path, ingress, src_metro))
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::CloudAnnounce { peering, prefix } => {
+                self.cloud_active.insert((prefix, peering));
+                let neighbor = self.deployment.peering(peering).neighbor;
+                let delay = SimTime::from_ms(
+                    self.rng.uniform(self.config.proc_delay_ms.0, self.config.proc_delay_ms.1),
+                );
+                self.queue.push(
+                    self.now + delay,
+                    Event::Deliver {
+                        to: neighbor,
+                        from: Source::Cloud(peering),
+                        prefix,
+                        update: Update::Announce(Vec::new()),
+                    },
+                );
+            }
+            Event::CloudWithdraw { peering, prefix } => {
+                self.cloud_active.remove(&(prefix, peering));
+                let neighbor = self.deployment.peering(peering).neighbor;
+                let delay = SimTime::from_ms(
+                    self.rng.uniform(self.config.proc_delay_ms.0, self.config.proc_delay_ms.1),
+                );
+                self.queue.push(
+                    self.now + delay,
+                    Event::Deliver {
+                        to: neighbor,
+                        from: Source::Cloud(peering),
+                        prefix,
+                        update: Update::Withdraw,
+                    },
+                );
+            }
+            Event::Deliver { to, from, prefix, update } => {
+                self.churn.push(ChurnRecord {
+                    time: self.now,
+                    prefix,
+                    is_withdraw: matches!(update, Update::Withdraw),
+                });
+                match update {
+                    Update::Announce(path) => {
+                        if path.contains(&to) {
+                            // Loop-poisoned: treat as withdraw from this
+                            // source.
+                            self.states[to.idx()].rib_in.remove(&(prefix, from));
+                        } else {
+                            self.states[to.idx()]
+                                .rib_in
+                                .insert((prefix, from), HeardRoute { path });
+                        }
+                    }
+                    Update::Withdraw => {
+                        self.states[to.idx()].rib_in.remove(&(prefix, from));
+                    }
+                }
+                self.decide_and_export(to, prefix);
+            }
+            Event::Mrai { from, to } => {
+                self.states[from.idx()].mrai_scheduled.remove(&to);
+                let pending: Vec<PrefixId> = self.states[from.idx()]
+                    .pending
+                    .get_mut(&to)
+                    .map(|s| s.drain().collect())
+                    .unwrap_or_default();
+                let mut pending = pending;
+                pending.sort_unstable(); // determinism: HashSet drain order varies
+                for prefix in pending {
+                    self.send_current_state(from, to, prefix);
+                }
+            }
+        }
+    }
+
+    fn classify(&self, receiver: AsId, source: Source) -> Class {
+        match source {
+            Source::Cloud(p) => match self.deployment.peering(p).kind {
+                // The cloud pays this AS: cloud routes are customer routes.
+                PeeringKind::TransitProvider => Class::FromCustomer,
+                PeeringKind::Peer => Class::FromPeer,
+            },
+            Source::Neighbor(n) => match self
+                .graph
+                .relationship(receiver, n)
+                .expect("messages only flow between adjacent ASes")
+            {
+                Relationship::ProviderOf => Class::FromCustomer,
+                Relationship::CustomerOf => Class::FromProvider,
+                Relationship::PeerWith => Class::FromPeer,
+            },
+        }
+    }
+
+    /// Re-runs the decision process at `who` for `prefix` and exports the
+    /// outcome if the selection changed.
+    fn decide_and_export(&mut self, who: AsId, prefix: PrefixId) {
+        let old_best = self.states[who.idx()].best.get(&prefix).copied();
+        // Higher class, then shorter path, then lower hidden tie-break,
+        // then lower source id (total order: HashMap iteration order must
+        // not leak into selection).
+        let new_best = self.states[who.idx()]
+            .rib_in
+            .iter()
+            .filter(|((p, _), _)| *p == prefix)
+            .map(|((_, source), route)| {
+                let class = self.classify(who, *source);
+                let len = route.path.len() as u32 + 1;
+                let from_as = match source {
+                    Source::Neighbor(n) => Some(*n),
+                    Source::Cloud(_) => None,
+                };
+                let hash = crate::solve::tiebreak(who, from_as, self.salt);
+                (
+                    (class, std::cmp::Reverse(len), std::cmp::Reverse(hash), std::cmp::Reverse(*source)),
+                    *source,
+                )
+            })
+            .max_by(|a, b| a.0.cmp(&b.0))
+            .map(|(_, s)| s);
+        // Export when the selected source changed, and also when the path
+        // *behind* the same source changed (real BGP re-announces changed
+        // path attributes, which is what propagates reconvergence churn
+        // down the customer chain). send_current_state suppresses no-op
+        // duplicates against rib-out.
+        match new_best {
+            Some(s) => {
+                self.states[who.idx()].best.insert(prefix, s);
+            }
+            None => {
+                self.states[who.idx()].best.remove(&prefix);
+            }
+        }
+        let _ = old_best;
+        self.export(who, prefix);
+    }
+
+    /// Sends the current state of `prefix` to every neighbor whose
+    /// eligibility changed, honoring MRAI for announcements.
+    fn export(&mut self, who: AsId, prefix: PrefixId) {
+        let eligible = self.eligible_neighbors(who, prefix);
+        // Withdraw from neighbors that no longer qualify (immediately).
+        let mut previously: Vec<AsId> = self.states[who.idx()]
+            .rib_out
+            .keys()
+            .filter(|(p, _)| *p == prefix)
+            .map(|(_, n)| *n)
+            .collect();
+        previously.sort_unstable(); // HashSet order must not leak into scheduling
+        for n in previously {
+            if !eligible.contains(&n) {
+                self.states[who.idx()].rib_out.remove(&(prefix, n));
+                let delay = self.link_delay(who, n);
+                self.queue.push(
+                    self.now + delay,
+                    Event::Deliver {
+                        to: n,
+                        from: Source::Neighbor(who),
+                        prefix,
+                        update: Update::Withdraw,
+                    },
+                );
+            }
+        }
+        // Announce to eligible neighbors, through MRAI.
+        for n in eligible {
+            let until = self.states[who.idx()].mrai_until.get(&n).copied();
+            if until.is_none_or(|u| self.now >= u) {
+                self.send_current_state(who, n, prefix);
+            } else {
+                self.states[who.idx()].pending.entry(n).or_default().insert(prefix);
+                if self.states[who.idx()].mrai_scheduled.insert(n) {
+                    self.queue.push(until.expect("checked above"), Event::Mrai { from: who, to: n });
+                }
+            }
+        }
+    }
+
+    /// Neighbors `who` may export its current best for `prefix` to.
+    fn eligible_neighbors(&self, who: AsId, prefix: PrefixId) -> Vec<AsId> {
+        let Some(&best_source) = self.states[who.idx()].best.get(&prefix) else {
+            return Vec::new();
+        };
+        let class = self.classify(who, best_source);
+        let learned_from = match best_source {
+            Source::Neighbor(n) => Some(n),
+            Source::Cloud(_) => None,
+        };
+        let mut out = Vec::new();
+        let everyone = class == Class::FromCustomer;
+        for nb in self.graph.customers(who) {
+            if Some(nb.peer) != learned_from {
+                out.push(nb.peer);
+            }
+        }
+        if everyone {
+            for nb in self.graph.providers(who).iter().chain(self.graph.peers(who)) {
+                if Some(nb.peer) != learned_from {
+                    out.push(nb.peer);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sends `who`'s *current* state for `prefix` (announce of best, or
+    /// withdraw) to `to`, updating rib-out and arming MRAI.
+    fn send_current_state(&mut self, who: AsId, to: AsId, prefix: PrefixId) {
+        let best = self.states[who.idx()].best.get(&prefix).copied();
+        let update = match best {
+            Some(source) => {
+                let heard = match source {
+                    Source::Cloud(_) => Vec::new(),
+                    Source::Neighbor(_) => self.states[who.idx()]
+                        .rib_in
+                        .get(&(prefix, source))
+                        .map(|r| r.path.clone())
+                        .unwrap_or_default(),
+                };
+                let mut path = Vec::with_capacity(heard.len() + 1);
+                path.push(who);
+                path.extend(heard);
+                if self.states[who.idx()].rib_out.get(&(prefix, to)) == Some(&path) {
+                    return; // duplicate announcement: suppress
+                }
+                self.states[who.idx()].rib_out.insert((prefix, to), path.clone());
+                Update::Announce(path)
+            }
+            None => {
+                if self.states[who.idx()].rib_out.remove(&(prefix, to)).is_none() {
+                    return; // never told them; nothing to withdraw
+                }
+                Update::Withdraw
+            }
+        };
+        let is_withdraw = matches!(update, Update::Withdraw);
+        let delay = self.link_delay(who, to);
+        self.queue.push(
+            self.now + delay,
+            Event::Deliver { to, from: Source::Neighbor(who), prefix, update },
+        );
+        if !is_withdraw {
+            let mrai = SimTime::from_secs(
+                self.rng.uniform(self.config.mrai_secs.0, self.config.mrai_secs.1),
+            );
+            self.states[who.idx()].mrai_until.insert(to, self.now + mrai);
+        }
+    }
+
+    /// One-way propagation + processing delay between adjacent ASes.
+    fn link_delay(&mut self, a: AsId, b: AsId) -> SimTime {
+        let (ma, mb) = self.graph.attachments(a, b);
+        let one_way = min_rtt_ms(&metro(ma).point(), &metro(mb).point()) / 2.0;
+        let proc = self.rng.uniform(self.config.proc_delay_ms.0, self.config.proc_delay_ms.1);
+        SimTime::from_ms(one_way + proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_geo::Region;
+    use painter_topology::{AsTier, DeploymentConfig, TopologyConfig};
+
+    fn engine_fixture() -> (painter_topology::Internet, Deployment) {
+        let net = painter_topology::generate(TopologyConfig::tiny(21));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(21));
+        (net, dep)
+    }
+
+    #[test]
+    fn announcement_converges_to_static_solution_ingresses() {
+        let (net, dep) = engine_fixture();
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let prefix = PrefixId(0);
+        for &p in &all {
+            engine.announce(SimTime::ZERO, prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(300.0));
+        let table = crate::solve::solve(&net.graph, &dep, &all, 99);
+        let mut reachable = 0;
+        for stub in net.graph.stubs() {
+            let dynamic = engine.current_path(stub.id, prefix);
+            assert_eq!(
+                dynamic.is_some(),
+                table.has_route(stub.id),
+                "{} reachability mismatch",
+                stub.id
+            );
+            if dynamic.is_some() {
+                reachable += 1;
+            }
+        }
+        assert!(reachable > 0);
+    }
+
+    #[test]
+    fn withdrawal_makes_prefix_unreachable() {
+        let (net, dep) = engine_fixture();
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let prefix = PrefixId(0);
+        for &p in &all {
+            engine.announce(SimTime::ZERO, prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(300.0));
+        for &p in &all {
+            engine.withdraw(SimTime::from_secs(300.0), prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(900.0));
+        for stub in net.graph.stubs() {
+            assert!(engine.current_path(stub.id, prefix).is_none(), "{}", stub.id);
+        }
+    }
+
+    #[test]
+    fn withdrawal_of_one_origin_fails_over_to_another() {
+        // Two transit-provider peerings at different PoPs; withdrawing one
+        // must leave the prefix reachable through the other.
+        let ny = painter_geo::metro::all_metro_ids()
+            .find(|&m| metro(m).name == "New York")
+            .unwrap();
+        let lon = painter_geo::metro::all_metro_ids()
+            .find(|&m| metro(m).name == "London")
+            .unwrap();
+        let mut g = AsGraph::new();
+        let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny, lon], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
+        let dep = Deployment::for_tests(
+            vec![ny, lon],
+            vec![
+                (0, t1, PeeringKind::TransitProvider),
+                (1, t1, PeeringKind::TransitProvider),
+            ],
+        );
+        let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
+        let prefix = PrefixId(0);
+        engine.announce(SimTime::ZERO, prefix, PeeringId(0));
+        engine.announce(SimTime::ZERO, prefix, PeeringId(1));
+        engine.run_until(SimTime::from_secs(120.0));
+        let (_, ingress) = engine.current_path(stub, prefix).unwrap();
+        // Withdraw whichever session is in use; the other must take over.
+        engine.withdraw(SimTime::from_secs(120.0), prefix, ingress);
+        engine.run_until(SimTime::from_secs(400.0));
+        let (_, new_ingress) = engine.current_path(stub, prefix).expect("failover");
+        assert_ne!(new_ingress, ingress);
+    }
+
+    #[test]
+    fn churn_spikes_after_withdrawal() {
+        let (net, dep) = engine_fixture();
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let prefix = PrefixId(0);
+        for &p in &all {
+            engine.announce(SimTime::ZERO, prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(300.0));
+        let quiet = engine.updates_in_window(
+            prefix,
+            SimTime::from_secs(250.0),
+            SimTime::from_secs(300.0),
+        );
+        // Withdraw half the sessions.
+        for &p in all.iter().take(all.len() / 2) {
+            engine.withdraw(SimTime::from_secs(300.0), prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(350.0));
+        let busy = engine.updates_in_window(
+            prefix,
+            SimTime::from_secs(300.0),
+            SimTime::from_secs(350.0),
+        );
+        assert!(busy > quiet, "busy={busy} quiet={quiet}");
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let (net, dep) = engine_fixture();
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let run = || {
+            let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+            let prefix = PrefixId(0);
+            for &p in &all {
+                engine.announce(SimTime::ZERO, prefix, p);
+            }
+            engine.run_until(SimTime::from_secs(120.0));
+            (engine.churn().len(), engine.current_path(net.graph.stubs().next().unwrap().id, prefix))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rapid_flapping_does_not_corrupt_state() {
+        // Failure injection: announce/withdraw a session every 2 s for a
+        // minute (faster than MRAI), then let it settle. The engine must
+        // end fully converged and consistent with the final state.
+        let (net, dep) = engine_fixture();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let prefix = PrefixId(0);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        for &p in &all {
+            engine.announce(SimTime::ZERO, prefix, p);
+        }
+        let victim = all[0];
+        for k in 0..30u32 {
+            let t = SimTime::from_secs(60.0 + 2.0 * k as f64);
+            if k % 2 == 0 {
+                engine.withdraw(t, prefix, victim);
+            } else {
+                engine.announce(t, prefix, victim);
+            }
+        }
+        // Ends on an announce (k=29 odd): session active again.
+        engine.run_until(SimTime::from_secs(600.0));
+        for stub in net.graph.stubs() {
+            assert!(
+                engine.current_path(stub.id, prefix).is_some(),
+                "{} lost connectivity after flapping settled",
+                stub.id
+            );
+        }
+    }
+
+    #[test]
+    fn withdraw_then_reannounce_restores_reachability() {
+        let (net, dep) = engine_fixture();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let prefix = PrefixId(0);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        for &p in &all {
+            engine.announce(SimTime::ZERO, prefix, p);
+        }
+        for &p in &all {
+            engine.withdraw(SimTime::from_secs(120.0), prefix, p);
+        }
+        for &p in &all {
+            engine.announce(SimTime::from_secs(400.0), prefix, p);
+        }
+        engine.run_until(SimTime::from_secs(900.0));
+        for stub in net.graph.stubs() {
+            assert!(engine.current_path(stub.id, prefix).is_some(), "{}", stub.id);
+        }
+    }
+
+    #[test]
+    fn independent_prefixes_do_not_interfere() {
+        // Withdrawing prefix 0 must leave prefix 1's routes untouched.
+        let (net, dep) = engine_fixture();
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 99);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        for &p in &all {
+            engine.announce(SimTime::ZERO, PrefixId(0), p);
+            engine.announce(SimTime::ZERO, PrefixId(1), p);
+        }
+        engine.run_until(SimTime::from_secs(200.0));
+        let before: Vec<_> = net
+            .graph
+            .stubs()
+            .map(|s| engine.current_path(s.id, PrefixId(1)))
+            .collect();
+        for &p in &all {
+            engine.withdraw(SimTime::from_secs(200.0), PrefixId(0), p);
+        }
+        engine.run_until(SimTime::from_secs(500.0));
+        let after: Vec<_> = net
+            .graph
+            .stubs()
+            .map(|s| engine.current_path(s.id, PrefixId(1)))
+            .collect();
+        assert_eq!(before, after, "prefix 1 perturbed by prefix 0's withdrawal");
+        for stub in net.graph.stubs() {
+            assert!(engine.current_path(stub.id, PrefixId(0)).is_none());
+        }
+    }
+
+    #[test]
+    fn current_rtt_tracks_path_geography() {
+        let ny = painter_geo::metro::all_metro_ids()
+            .find(|&m| metro(m).name == "New York")
+            .unwrap();
+        let mut g = AsGraph::new();
+        let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
+        let dep =
+            Deployment::for_tests(vec![ny], vec![(0, t1, PeeringKind::TransitProvider)]);
+        let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
+        engine.announce(SimTime::ZERO, PrefixId(0), PeeringId(0));
+        engine.run_until(SimTime::from_secs(60.0));
+        let rtt = engine.current_rtt_ms(stub, ny, PrefixId(0)).unwrap();
+        assert!(rtt < 2.0, "all-NY path should be sub-2ms, got {rtt}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Global routing-table impact of an advertisement configuration.
+//!
+//! The cost side of the paper's tradeoff (§2.4): every advertised prefix
+//! consumes a slot in every router that hears it — "BGP routing tables are
+//! growing ... the only solutions are to reject advertisements (bad) or to
+//! buy expensive routers (also bad)". PAINTER's whole reason for prefix
+//! reuse is to limit this footprint ("limits its impact on BGP routing
+//! tables through prefix reuse").
+//!
+//! This module quantifies that footprint: for a configuration, how many
+//! `(AS, prefix)` routing-table entries exist across the simulated
+//! Internet, and how they distribute over ASes — so the benefit curves of
+//! Fig. 6 can be read against their table-slot price.
+
+use crate::advert::AdvertConfig;
+use crate::solve::solve;
+use painter_topology::{AsGraph, Deployment};
+
+/// Routing-table footprint of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableImpact {
+    /// Total `(AS, prefix)` entries across the Internet.
+    pub total_entries: u64,
+    /// Entries added per AS (indexed by AS id).
+    pub per_as: Vec<u32>,
+    /// Number of distinct prefixes advertised.
+    pub prefixes: usize,
+}
+
+impl TableImpact {
+    /// Mean table entries per AS.
+    pub fn mean_per_as(&self) -> f64 {
+        if self.per_as.is_empty() {
+            0.0
+        } else {
+            self.total_entries as f64 / self.per_as.len() as f64
+        }
+    }
+
+    /// The largest per-AS footprint (the router that pays the most).
+    pub fn max_per_as(&self) -> u32 {
+        self.per_as.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the table footprint of `config`: one solve per prefix, one
+/// entry per AS that selects a route.
+pub fn table_impact(
+    graph: &AsGraph,
+    deployment: &Deployment,
+    config: &AdvertConfig,
+    salt: u64,
+) -> TableImpact {
+    let mut per_as = vec![0u32; graph.len()];
+    for (_, peerings) in config.iter() {
+        let table = solve(graph, deployment, peerings, salt);
+        for node in graph.nodes() {
+            if table.has_route(node.id) {
+                per_as[node.id.idx()] += 1;
+            }
+        }
+    }
+    TableImpact {
+        total_entries: per_as.iter().map(|&c| c as u64).sum(),
+        per_as,
+        prefixes: config.prefix_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::PrefixId;
+    use painter_topology::{DeploymentConfig, PeeringId, TopologyConfig};
+
+    fn world() -> (painter_topology::Internet, Deployment) {
+        let net = painter_topology::generate(TopologyConfig::tiny(93));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(93));
+        (net, dep)
+    }
+
+    #[test]
+    fn empty_config_has_zero_impact() {
+        let (net, dep) = world();
+        let impact = table_impact(&net.graph, &dep, &AdvertConfig::new(), 9);
+        assert_eq!(impact.total_entries, 0);
+        assert_eq!(impact.prefixes, 0);
+        assert_eq!(impact.max_per_as(), 0);
+    }
+
+    #[test]
+    fn anycast_costs_one_entry_per_routed_as() {
+        let (net, dep) = world();
+        let config = AdvertConfig::anycast(&dep, PrefixId(0));
+        let impact = table_impact(&net.graph, &dep, &config, 9);
+        assert_eq!(impact.prefixes, 1);
+        assert_eq!(impact.max_per_as(), 1);
+        // Anycast via everything reaches (almost) everyone.
+        assert!(impact.total_entries as usize >= net.graph.len() * 9 / 10);
+    }
+
+    #[test]
+    fn more_prefixes_cost_more_table_slots() {
+        let (net, dep) = world();
+        let peerings: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let mut small = AdvertConfig::new();
+        small.add(PrefixId(0), peerings[0]);
+        let mut large = AdvertConfig::new();
+        for (i, &pe) in peerings.iter().take(6).enumerate() {
+            large.add(PrefixId(i as u16), pe);
+        }
+        let small_impact = table_impact(&net.graph, &dep, &small, 9);
+        let large_impact = table_impact(&net.graph, &dep, &large, 9);
+        assert!(large_impact.total_entries > small_impact.total_entries);
+        assert!(large_impact.max_per_as() > small_impact.max_per_as());
+    }
+
+    #[test]
+    fn prefix_reuse_is_cheaper_than_one_per_peering() {
+        // The paper's core cost claim: advertising one prefix via two
+        // peerings costs roughly half the table slots of two prefixes via
+        // one peering each (every router stores per-prefix, not
+        // per-session).
+        let (net, dep) = world();
+        let peerings: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let mut reuse = AdvertConfig::new();
+        reuse.add(PrefixId(0), peerings[0]);
+        reuse.add(PrefixId(0), peerings[1]);
+        let mut separate = AdvertConfig::new();
+        separate.add(PrefixId(0), peerings[0]);
+        separate.add(PrefixId(1), peerings[1]);
+        let reuse_impact = table_impact(&net.graph, &dep, &reuse, 9);
+        let separate_impact = table_impact(&net.graph, &dep, &separate, 9);
+        assert!(
+            reuse_impact.total_entries < separate_impact.total_entries,
+            "reuse {} vs separate {}",
+            reuse_impact.total_entries,
+            separate_impact.total_entries
+        );
+        assert_eq!(reuse_impact.max_per_as(), 1);
+        assert_eq!(separate_impact.max_per_as(), 2);
+    }
+
+    #[test]
+    fn mean_is_consistent_with_total() {
+        let (net, dep) = world();
+        let config = AdvertConfig::anycast(&dep, PrefixId(0));
+        let impact = table_impact(&net.graph, &dep, &config, 9);
+        let expected = impact.total_entries as f64 / net.graph.len() as f64;
+        assert!((impact.mean_per_as() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! BGP substrate for the PAINTER reproduction.
+//!
+//! The Advertisement Orchestrator's whole job is choosing *which prefixes to
+//! advertise via which peerings*; this crate supplies the routing machinery
+//! that turns such a choice into per-AS route selections, AS paths, and path
+//! latencies:
+//!
+//! * [`prefix`] — synthetic IPv4 `/24` prefixes and a budgeted pool
+//!   allocator (prefixes are the scarce resource the paper economizes).
+//! * [`advert`] — advertisement configurations: sets of
+//!   `(peering, prefix)` pairs, exactly the paper's model of a
+//!   configuration `A`.
+//! * [`mod@solve`] — a static Gao–Rexford route solver: given the set of
+//!   peerings a prefix is advertised through, computes every AS's selected
+//!   route (customer > peer > provider preference, then shortest AS path,
+//!   then a deterministic hidden tie-break). The tie-break is stable per
+//!   (AS, neighbor) pair but *invisible to the orchestrator*, which is what
+//!   creates the prediction uncertainty the paper's learning loop resolves.
+//! * [`path`] — resolves a user group's selected route into a concrete AS
+//!   path, chooses the ingress peering by hot-potato exit at the cloud
+//!   neighbor, and computes the path's round-trip latency from link
+//!   attachment geography and per-AS inflation factors.
+//! * [`dynamics`] — an event-driven BGP engine (sessions, MRAI timers,
+//!   withdrawals, path exploration, route-collector churn) used by the
+//!   failover experiment (Fig. 10).
+
+pub mod advert;
+pub mod dynamics;
+pub mod impact;
+pub mod path;
+pub mod prefix;
+pub mod solve;
+
+pub use advert::AdvertConfig;
+pub use impact::{table_impact, TableImpact};
+pub use path::{resolve_route, PathModel, ResolvedRoute};
+pub use prefix::{Prefix, PrefixId, PrefixPool};
+pub use solve::{solve, solve_prepended, RouteClass, RouteEntry, RouteTable};

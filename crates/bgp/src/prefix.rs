@@ -1,0 +1,148 @@
+//! Synthetic IPv4 prefixes and the budgeted prefix pool.
+//!
+//! Prefixes are the scarce resource PAINTER economizes: a routable IPv4
+//! `/24` "often costs much more than $20k" and every advertisement bloats
+//! global routing tables, so the orchestrator takes a *prefix budget* and
+//! squeezes maximum benefit out of it. The reproduction draws prefixes from
+//! the CGNAT range `100.64.0.0/10` so no synthetic prefix can be mistaken
+//! for real address space.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a prefix within a [`PrefixPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrefixId(pub u16);
+
+impl PrefixId {
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PrefixId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", Prefix::from_id(*self))
+    }
+}
+
+/// A `/24` IPv4 prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address; the prefix is `base/24`.
+    base: u32,
+}
+
+/// First address of the synthetic pool: 100.64.0.0.
+const POOL_BASE: u32 = (100 << 24) | (64 << 16);
+/// Number of /24s in 100.64.0.0/10.
+const POOL_CAPACITY: u32 = 1 << 14;
+
+impl Prefix {
+    /// The `id`-th /24 of the synthetic pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the pool (16,384 prefixes — far beyond any
+    /// realistic budget; the paper's deployments use tens to hundreds).
+    pub fn from_id(id: PrefixId) -> Prefix {
+        assert!((id.0 as u32) < POOL_CAPACITY, "prefix pool exhausted");
+        Prefix { base: POOL_BASE + ((id.0 as u32) << 8) }
+    }
+
+    /// The network address as dotted-quad octets.
+    pub fn octets(&self) -> [u8; 4] {
+        self.base.to_be_bytes()
+    }
+
+    /// An address inside the prefix (host byte `host`).
+    pub fn addr(&self, host: u8) -> u32 {
+        self.base | host as u32
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}/24", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Allocates prefixes against a budget.
+///
+/// The pool mirrors the paper's "prefix budget PB" hyperparameter: the
+/// orchestrator may allocate at most `budget` prefixes; [`PrefixPool::alloc`]
+/// returns `None` once the budget is spent.
+#[derive(Debug, Clone)]
+pub struct PrefixPool {
+    budget: usize,
+    allocated: usize,
+}
+
+impl PrefixPool {
+    /// A pool with the given budget.
+    pub fn new(budget: usize) -> Self {
+        PrefixPool { budget, allocated: 0 }
+    }
+
+    /// Allocates the next prefix, or `None` if the budget is exhausted.
+    pub fn alloc(&mut self) -> Option<PrefixId> {
+        if self.allocated >= self.budget || self.allocated >= POOL_CAPACITY as usize {
+            return None;
+        }
+        let id = PrefixId(self.allocated as u16);
+        self.allocated += 1;
+        Some(id)
+    }
+
+    /// Prefixes allocated so far.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Prefixes still available.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.allocated)
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_render_in_cgnat_space() {
+        assert_eq!(format!("{}", Prefix::from_id(PrefixId(0))), "100.64.0.0/24");
+        assert_eq!(format!("{}", Prefix::from_id(PrefixId(1))), "100.64.1.0/24");
+        assert_eq!(format!("{}", Prefix::from_id(PrefixId(256))), "100.65.0.0/24");
+    }
+
+    #[test]
+    fn prefixes_are_distinct() {
+        let a = Prefix::from_id(PrefixId(3));
+        let b = Prefix::from_id(PrefixId(4));
+        assert_ne!(a, b);
+        assert_eq!(a.addr(7) & 0xff, 7);
+        assert_eq!(a.addr(7) & !0xff, a.addr(0));
+    }
+
+    #[test]
+    fn pool_respects_budget() {
+        let mut pool = PrefixPool::new(2);
+        assert_eq!(pool.alloc(), Some(PrefixId(0)));
+        assert_eq!(pool.alloc(), Some(PrefixId(1)));
+        assert_eq!(pool.alloc(), None);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let mut pool = PrefixPool::new(0);
+        assert_eq!(pool.alloc(), None);
+    }
+}

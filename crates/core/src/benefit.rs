@@ -1,0 +1,247 @@
+//! Benefit computation (Eq. 1) and benefit ranges (Appendix E.1).
+//!
+//! `B(A; D) = Σ_UG w(UG) · I(A, UG; D)` where the default `D` is anycast
+//! and `I` is the (expected) latency improvement of the UG's best prefix
+//! under `A`. Because PAINTER's Traffic Manager can always keep a UG on
+//! anycast, improvement is floored at zero.
+//!
+//! The evaluator reports four aggregate series per configuration — Lower,
+//! Mean, Estimated, Upper — matching Fig. 14: each UG picks the prefix
+//! with the best *Mean* expectation, and the four series aggregate the
+//! corresponding per-UG expectation components.
+
+use crate::inputs::OrchestratorInputs;
+use crate::model::{Expectation, RoutingModel};
+use painter_bgp::{AdvertConfig, PrefixId};
+
+/// Aggregate weighted benefit under the four expectation flavors, in
+/// milliseconds-weight units (divide by total weight for ms/UG, or by
+/// total possible benefit for a percentage).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BenefitRange {
+    pub lower: f64,
+    pub mean: f64,
+    pub estimated: f64,
+    pub upper: f64,
+}
+
+impl BenefitRange {
+    /// Scales every component (e.g. to normalize to a percentage).
+    pub fn scaled(&self, k: f64) -> BenefitRange {
+        BenefitRange {
+            lower: self.lower * k,
+            mean: self.mean * k,
+            estimated: self.estimated * k,
+            upper: self.upper * k,
+        }
+    }
+}
+
+/// Evaluates configurations against modeled expectations.
+pub struct ConfigEvaluator<'a> {
+    pub inputs: &'a OrchestratorInputs,
+    pub model: &'a RoutingModel,
+}
+
+impl<'a> ConfigEvaluator<'a> {
+    /// Creates an evaluator.
+    pub fn new(inputs: &'a OrchestratorInputs, model: &'a RoutingModel) -> Self {
+        ConfigEvaluator { inputs, model }
+    }
+
+    /// The UG's chosen prefix under `config` (best Mean expectation) and
+    /// its expectation. `None` if no advertised prefix is usable or none
+    /// improves on anycast.
+    pub fn ug_choice(
+        &self,
+        ug_idx: usize,
+        config: &AdvertConfig,
+    ) -> Option<(PrefixId, Expectation)> {
+        let mut best: Option<(PrefixId, Expectation)> = None;
+        for (prefix, peerings) in config.iter() {
+            let Some(e) = self.model.expected_latency(self.inputs, ug_idx, peerings) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((_, b)) => e.mean_ms < b.mean_ms,
+            };
+            if better {
+                best = Some((prefix, e));
+            }
+        }
+        // Anycast remains an option: only keep choices that beat it in
+        // expectation.
+        let anycast = self.inputs.ugs[ug_idx].anycast_ms;
+        best.filter(|(_, e)| e.mean_ms < anycast)
+    }
+
+    /// Eq. 1 under the Mean expectation.
+    pub fn benefit(&self, config: &AdvertConfig) -> f64 {
+        self.benefit_range(config).mean
+    }
+
+    /// Weighted benefit under all four expectation flavors.
+    pub fn benefit_range(&self, config: &AdvertConfig) -> BenefitRange {
+        let mut out = BenefitRange::default();
+        for (ug_idx, ug) in self.inputs.ugs.iter().enumerate() {
+            let Some((_, e)) = self.ug_choice(ug_idx, config) else { continue };
+            out.lower += ug.weight * (ug.anycast_ms - e.max_ms).max(0.0);
+            out.mean += ug.weight * (ug.anycast_ms - e.mean_ms).max(0.0);
+            out.estimated += ug.weight * (ug.anycast_ms - e.estimated_ms).max(0.0);
+            out.upper += ug.weight * (ug.anycast_ms - e.min_ms).max(0.0);
+        }
+        out
+    }
+
+    /// Benefit as a fraction of the total possible (Fig. 6a's y-axis).
+    pub fn benefit_percent(&self, config: &AdvertConfig) -> BenefitRange {
+        let total = self.inputs.total_possible_benefit();
+        if total <= 0.0 {
+            return BenefitRange::default();
+        }
+        self.benefit_range(config).scaled(100.0 / total)
+    }
+
+    /// Mean latency improvement (ms) averaged over UGs with non-zero
+    /// improvement — Fig. 6b's y-axis.
+    pub fn mean_improvement_over_improved_ugs(&self, config: &AdvertConfig) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (ug_idx, ug) in self.inputs.ugs.iter().enumerate() {
+            if let Some((_, e)) = self.ug_choice(ug_idx, config) {
+                let imp = (ug.anycast_ms - e.estimated_ms).max(0.0);
+                if imp > 0.0 {
+                    total += imp;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::UgView;
+    use painter_geo::MetroId;
+    use painter_measure::UgId;
+    use painter_topology::PeeringId;
+
+    fn two_ug_inputs() -> OrchestratorInputs {
+        OrchestratorInputs {
+            ugs: vec![
+                UgView {
+                    id: UgId(0),
+                    metro: MetroId(0),
+                    weight: 2.0,
+                    anycast_ms: 100.0,
+                    candidates: vec![(PeeringId(0), 40.0), (PeeringId(1), 80.0)],
+                },
+                UgView {
+                    id: UgId(1),
+                    metro: MetroId(0),
+                    weight: 1.0,
+                    anycast_ms: 50.0,
+                    candidates: vec![(PeeringId(1), 30.0)],
+                },
+            ],
+            ug_pop_km: vec![vec![100.0, 100.0], vec![100.0, 100.0]],
+            peering_pop: vec![0, 1],
+            peering_count: 2,
+        }
+    }
+
+    #[test]
+    fn empty_config_has_zero_benefit() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        assert_eq!(eval.benefit(&AdvertConfig::new()), 0.0);
+    }
+
+    #[test]
+    fn single_peering_prefix_gives_exact_benefit() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        // Only UG0 can use peering 0: improvement (100-40)*w2 = 120.
+        let range = eval.benefit_range(&config);
+        assert!((range.mean - 120.0).abs() < 1e-9);
+        // Single candidate: no uncertainty.
+        assert_eq!(range.lower, range.upper);
+    }
+
+    #[test]
+    fn reuse_creates_uncertainty() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(0), PeeringId(1));
+        let range = eval.benefit_range(&config);
+        // UG0 now might land at either candidate: upper uses 40ms, lower
+        // uses 80ms.
+        assert!(range.upper > range.lower);
+        // UG1 only has peering 1, still exact: 50-30=20 weighted 1.
+        assert!(range.upper >= 20.0);
+    }
+
+    #[test]
+    fn worse_than_anycast_prefixes_are_ignored() {
+        let mut inputs = two_ug_inputs();
+        inputs.ugs[0].candidates = vec![(PeeringId(0), 150.0)];
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        assert!(eval.ug_choice(0, &config).is_none());
+    }
+
+    #[test]
+    fn ug_picks_best_mean_prefix() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(1)); // 80ms for UG0
+        config.add(PrefixId(1), PeeringId(0)); // 40ms for UG0
+        let (chosen, e) = eval.ug_choice(0, &config).unwrap();
+        assert_eq!(chosen, PrefixId(1));
+        assert_eq!(e.mean_ms, 40.0);
+    }
+
+    #[test]
+    fn percent_normalization() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        // Best possible: UG0 via p0 (60ms better, w=2), UG1 via p1 (20ms
+        // better, w=1) => total possible 140.
+        assert!((inputs.total_possible_benefit() - 140.0).abs() < 1e-9);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(1), PeeringId(1));
+        let pct = eval.benefit_percent(&config);
+        assert!((pct.mean - 100.0).abs() < 1e-6, "got {pct:?}");
+    }
+
+    #[test]
+    fn mean_improvement_counts_only_improved_ugs() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0)); // only UG0 improves (60ms)
+        let m = eval.mean_improvement_over_improved_ugs(&config);
+        assert!((m - 60.0).abs() < 1e-9, "got {m}");
+    }
+}

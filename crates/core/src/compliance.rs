@@ -1,0 +1,158 @@
+//! Inferring policy-compliant ingresses (the orchestrator's prior).
+//!
+//! §3.1: the orchestrator decides an ingress is (very likely)
+//! policy-compliant for a UG from two sources, both reproduced here:
+//!
+//! 1. **BGP feeds / customer cones**: "if a UG's AS is in the customer
+//!    cone of a peer, we call that ingress policy-compliant for that UG"
+//!    (ProbLink-style cone inference — our [`CustomerCones`]). The BGP-feed
+//!    check ("UG prefixes are announced over that peering") collapses to
+//!    the same condition under Gao–Rexford export rules: a peer only
+//!    exports its customer cone's prefixes to the cloud.
+//! 2. **Transit providers**: "we add all UGs to customer cones of Azure
+//!    transit providers" — a transit provider carries traffic from anyone
+//!    to its customers, so every UG can ingress there.
+//!
+//! This is a *belief*, not ground truth: the paper validated its version
+//! with traceroutes and found ~4% violations; our substrate produces
+//! analogous (small) disagreement which the orchestrator's learning loop
+//! then absorbs.
+
+use painter_measure::{UgId, UserGroup};
+use painter_topology::{CustomerCones, Deployment, PeeringId, PeeringKind};
+
+/// For each UG, the inferred policy-compliant ingress set (sorted).
+pub fn infer_compliant_ingresses(
+    ugs: &[UserGroup],
+    deployment: &Deployment,
+    cones: &CustomerCones,
+) -> Vec<Vec<PeeringId>> {
+    let mut out = Vec::with_capacity(ugs.len());
+    for ug in ugs {
+        let mut set: Vec<PeeringId> = Vec::new();
+        for peering in deployment.peerings() {
+            let compliant = match peering.kind {
+                PeeringKind::TransitProvider => true,
+                PeeringKind::Peer => cones.contains(peering.neighbor, ug.asn),
+            };
+            if compliant {
+                set.push(peering.id);
+            }
+        }
+        out.push(set);
+    }
+    out
+}
+
+/// Fraction of ground-truth-reachable `(UG, ingress)` pairs the inference
+/// misses, and fraction of inferred pairs that are not actually reachable.
+/// Diagnostics mirroring the paper's 4%-violation validation.
+pub fn inference_error(
+    inferred: &[Vec<PeeringId>],
+    truth_reachable: impl Fn(UgId, PeeringId) -> bool,
+    deployment: &Deployment,
+) -> (f64, f64) {
+    let mut missed = 0usize;
+    let mut truth_total = 0usize;
+    let mut spurious = 0usize;
+    let mut inferred_total = 0usize;
+    for (i, set) in inferred.iter().enumerate() {
+        let ug = UgId(i as u32);
+        for peering in deployment.peerings() {
+            let t = truth_reachable(ug, peering.id);
+            let inf = set.binary_search(&peering.id).is_ok();
+            if t {
+                truth_total += 1;
+                if !inf {
+                    missed += 1;
+                }
+            }
+            if inf {
+                inferred_total += 1;
+                if !t {
+                    spurious += 1;
+                }
+            }
+        }
+    }
+    let miss_rate = if truth_total == 0 { 0.0 } else { missed as f64 / truth_total as f64 };
+    let spurious_rate =
+        if inferred_total == 0 { 0.0 } else { spurious as f64 / inferred_total as f64 };
+    (miss_rate, spurious_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_measure::{build_user_groups, GroundTruth};
+    use painter_topology::{DeploymentConfig, TopologyConfig};
+
+    struct Fix {
+        net: painter_topology::Internet,
+        dep: Deployment,
+        ugs: Vec<UserGroup>,
+        cones: CustomerCones,
+    }
+
+    fn fix() -> Fix {
+        let net = painter_topology::generate(TopologyConfig::tiny(81));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(81));
+        let ugs = build_user_groups(&net, 81);
+        let cones = CustomerCones::compute(&net.graph);
+        Fix { net, dep, ugs, cones }
+    }
+
+    #[test]
+    fn transit_ingresses_are_compliant_for_everyone() {
+        let f = fix();
+        let inferred = infer_compliant_ingresses(&f.ugs, &f.dep, &f.cones);
+        for (i, set) in inferred.iter().enumerate() {
+            for &tp in f.dep.transit_providers() {
+                for &p in f.dep.peerings_with(tp) {
+                    assert!(set.binary_search(&p).is_ok(), "UG{i} missing transit {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peer_ingresses_require_cone_membership() {
+        let f = fix();
+        let inferred = infer_compliant_ingresses(&f.ugs, &f.dep, &f.cones);
+        for (i, set) in inferred.iter().enumerate() {
+            let ug = &f.ugs[i];
+            for peering in f.dep.peerings() {
+                if peering.kind == PeeringKind::Peer {
+                    let inf = set.binary_search(&peering.id).is_ok();
+                    assert_eq!(
+                        inf,
+                        f.cones.contains(peering.neighbor, ug.asn),
+                        "UG{i} {}",
+                        peering.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inference_agrees_closely_with_ground_truth() {
+        // The paper validated: only ~4% of traceroutes violated the
+        // assumption. Our substrate should be in the same ballpark.
+        let f = fix();
+        let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inferred = infer_compliant_ingresses(&f.ugs, &f.dep, &f.cones);
+        let (miss, spurious) =
+            inference_error(&inferred, |u, p| gt.reachable(u, p), &f.dep);
+        assert!(miss < 0.10, "missed {miss}");
+        assert!(spurious < 0.10, "spurious {spurious}");
+    }
+
+    #[test]
+    fn sets_are_sorted() {
+        let f = fix();
+        for set in infer_compliant_ingresses(&f.ugs, &f.dep, &f.cones) {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

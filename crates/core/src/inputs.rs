@@ -1,0 +1,213 @@
+//! Measurement-derived inputs shared by the orchestrator and evaluators.
+//!
+//! Everything the orchestrator knows about the world arrives through this
+//! struct: per-UG candidate ingresses with *believed* latencies (whether
+//! measured by probes, estimated through geolocation targets, or
+//! extrapolated from neighbors), each UG's anycast latency, traffic
+//! weights, and the geometry needed for the `D_reuse` exclusion.
+
+use painter_geo::{metro, GeoPoint, MetroId};
+use painter_measure::{UgId, UserGroup};
+use painter_topology::{Deployment, PeeringId};
+use std::collections::HashMap;
+
+/// One UG as the orchestrator sees it.
+#[derive(Debug, Clone)]
+pub struct UgView {
+    pub id: UgId,
+    pub metro: MetroId,
+    pub weight: f64,
+    /// Anycast latency (the default `D` every improvement is relative to).
+    pub anycast_ms: f64,
+    /// Candidate ingresses (inferred policy-compliant, measurable) with
+    /// the believed latency through each, sorted by peering id.
+    pub candidates: Vec<(PeeringId, f64)>,
+}
+
+impl UgView {
+    /// Believed latency through `peering`, if it is a candidate.
+    pub fn latency_via(&self, peering: PeeringId) -> Option<f64> {
+        self.candidates
+            .binary_search_by_key(&peering, |(p, _)| *p)
+            .ok()
+            .map(|i| self.candidates[i].1)
+    }
+
+    /// The best candidate latency (None if the UG has no candidates).
+    pub fn best_candidate_ms(&self) -> Option<f64> {
+        self.candidates
+            .iter()
+            .map(|(_, l)| *l)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// The UG's maximum possible improvement over anycast (≥ 0).
+    pub fn max_improvement_ms(&self) -> f64 {
+        self.best_candidate_ms()
+            .map(|b| (self.anycast_ms - b).max(0.0))
+            .unwrap_or(0.0)
+    }
+}
+
+/// The orchestrator's full view of the world.
+#[derive(Debug, Clone)]
+pub struct OrchestratorInputs {
+    pub ugs: Vec<UgView>,
+    /// Distance (km) from each UG's metro to each PoP, precomputed for the
+    /// `D_reuse` rule. Indexed `[ug][pop]`.
+    pub ug_pop_km: Vec<Vec<f64>>,
+    /// Every peering's PoP index (dense).
+    pub peering_pop: Vec<usize>,
+    /// Number of peerings in the deployment.
+    pub peering_count: usize,
+}
+
+impl OrchestratorInputs {
+    /// Assembles inputs from UG metadata, believed candidate latencies,
+    /// and anycast latencies. UGs with no anycast latency are dropped
+    /// (nothing to improve relative to).
+    pub fn assemble(
+        ugs: &[UserGroup],
+        candidates: &[Vec<(PeeringId, f64)>],
+        anycast: &[Option<f64>],
+        deployment: &Deployment,
+    ) -> Self {
+        assert_eq!(ugs.len(), candidates.len());
+        assert_eq!(ugs.len(), anycast.len());
+        let pop_points: Vec<GeoPoint> =
+            deployment.pops().iter().map(|p| metro(p.metro).point()).collect();
+        let mut views = Vec::new();
+        let mut ug_pop_km = Vec::new();
+        for (i, ug) in ugs.iter().enumerate() {
+            let Some(anycast_ms) = anycast[i] else { continue };
+            let mut cand = candidates[i].clone();
+            cand.sort_by_key(|(p, _)| *p);
+            cand.dedup_by_key(|(p, _)| *p);
+            views.push(UgView {
+                id: ug.id,
+                metro: ug.metro,
+                weight: ug.weight,
+                anycast_ms,
+                candidates: cand,
+            });
+            let here = metro(ug.metro).point();
+            ug_pop_km.push(pop_points.iter().map(|p| here.haversine_km(p)).collect());
+        }
+        OrchestratorInputs {
+            ugs: views,
+            ug_pop_km,
+            peering_pop: deployment.peerings().iter().map(|p| p.pop.idx()).collect(),
+            peering_count: deployment.peerings().len(),
+        }
+    }
+
+    /// Total UG weight.
+    pub fn total_weight(&self) -> f64 {
+        self.ugs.iter().map(|u| u.weight).sum()
+    }
+
+    /// Total possible benefit: Σ w(UG) · max-improvement(UG). This is what
+    /// One-per-Peering achieves with an unlimited budget, and the 100%
+    /// mark of Fig. 6a.
+    pub fn total_possible_benefit(&self) -> f64 {
+        self.ugs.iter().map(|u| u.weight * u.max_improvement_ms()).sum()
+    }
+
+    /// Index (into `self.ugs` / `self.ug_pop_km`) of each UG id.
+    pub fn index_of(&self) -> HashMap<UgId, usize> {
+        self.ugs.iter().enumerate().map(|(i, u)| (u.id, i)).collect()
+    }
+
+    /// UGs having `peering` among their candidates (indices).
+    pub fn ugs_with_candidate(&self, peering: PeeringId) -> Vec<usize> {
+        self.ugs
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.latency_via(peering).is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_measure::build_user_groups;
+    use painter_topology::{DeploymentConfig, TopologyConfig};
+
+    fn assemble() -> OrchestratorInputs {
+        let net = painter_topology::generate(TopologyConfig::tiny(91));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(91));
+        let ugs = build_user_groups(&net, 91);
+        let candidates: Vec<Vec<(PeeringId, f64)>> = ugs
+            .iter()
+            .map(|u| {
+                vec![
+                    (PeeringId(1), 30.0 + u.id.0 as f64),
+                    (PeeringId(0), 50.0),
+                ]
+            })
+            .collect();
+        let anycast: Vec<Option<f64>> = ugs.iter().map(|_| Some(60.0)).collect();
+        OrchestratorInputs::assemble(&ugs, &candidates, &anycast, &dep)
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_queryable() {
+        let inputs = assemble();
+        let ug = &inputs.ugs[0];
+        assert_eq!(ug.candidates[0].0, PeeringId(0));
+        assert_eq!(ug.latency_via(PeeringId(0)), Some(50.0));
+        assert_eq!(ug.latency_via(PeeringId(1)), Some(30.0));
+        assert_eq!(ug.latency_via(PeeringId(99)), None);
+    }
+
+    #[test]
+    fn max_improvement_is_anycast_minus_best() {
+        let inputs = assemble();
+        let ug = &inputs.ugs[0];
+        assert_eq!(ug.best_candidate_ms(), Some(30.0));
+        assert_eq!(ug.max_improvement_ms(), 30.0);
+    }
+
+    #[test]
+    fn improvement_never_negative() {
+        let net = painter_topology::generate(TopologyConfig::tiny(92));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(92));
+        let ugs = build_user_groups(&net, 92);
+        let candidates: Vec<Vec<(PeeringId, f64)>> =
+            ugs.iter().map(|_| vec![(PeeringId(0), 100.0)]).collect();
+        let anycast: Vec<Option<f64>> = ugs.iter().map(|_| Some(20.0)).collect();
+        let inputs = OrchestratorInputs::assemble(&ugs, &candidates, &anycast, &dep);
+        assert_eq!(inputs.total_possible_benefit(), 0.0);
+    }
+
+    #[test]
+    fn unreachable_ugs_are_dropped() {
+        let net = painter_topology::generate(TopologyConfig::tiny(93));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(93));
+        let ugs = build_user_groups(&net, 93);
+        let candidates: Vec<Vec<(PeeringId, f64)>> = ugs.iter().map(|_| vec![]).collect();
+        let mut anycast: Vec<Option<f64>> = ugs.iter().map(|_| Some(10.0)).collect();
+        anycast[0] = None;
+        let inputs = OrchestratorInputs::assemble(&ugs, &candidates, &anycast, &dep);
+        assert_eq!(inputs.ugs.len(), ugs.len() - 1);
+    }
+
+    #[test]
+    fn geometry_matches_deployment() {
+        let inputs = assemble();
+        assert_eq!(inputs.ug_pop_km.len(), inputs.ugs.len());
+        for row in &inputs.ug_pop_km {
+            assert!(row.iter().all(|d| d.is_finite() && *d >= 0.0));
+        }
+        assert_eq!(inputs.peering_pop.len(), inputs.peering_count);
+    }
+
+    #[test]
+    fn ugs_with_candidate_filters() {
+        let inputs = assemble();
+        assert_eq!(inputs.ugs_with_candidate(PeeringId(0)).len(), inputs.ugs.len());
+        assert!(inputs.ugs_with_candidate(PeeringId(77)).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Advertisement installation: turning computed configurations into BGP
+//! session operations.
+//!
+//! Figure 4's "Advertisement Installation" arrow: the orchestrator
+//! computes an [`AdvertConfig`]; something must translate the difference
+//! between what is currently announced and what should be into concrete
+//! per-session announce/withdraw operations — and pace them, because
+//! "it takes time to test each configuration to avoid route flap damping"
+//! (§3.1). Routers penalize prefixes that flap, so the installer:
+//!
+//! * emits **withdrawals before announcements** for a prefix that moves
+//!   (never announce a prefix at its new sessions while stale sessions
+//!   linger longer than necessary);
+//! * spaces operations on the *same prefix* by a configurable hold-down
+//!   so no prefix changes state faster than damping tolerates;
+//! * batches independent prefixes in parallel (they do not interact).
+
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_eventsim::SimTime;
+use painter_topology::PeeringId;
+
+/// One BGP session operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Announce { prefix: PrefixId, peering: PeeringId },
+    Withdraw { prefix: PrefixId, peering: PeeringId },
+}
+
+impl Op {
+    /// The prefix this operation touches.
+    pub fn prefix(&self) -> PrefixId {
+        match self {
+            Op::Announce { prefix, .. } | Op::Withdraw { prefix, .. } => *prefix,
+        }
+    }
+}
+
+/// Computes the session operations taking `current` to `target`.
+///
+/// Withdrawals come first (per prefix), then announcements; within each
+/// class, operations are ordered by (prefix, peering) for determinism.
+pub fn diff(current: &AdvertConfig, target: &AdvertConfig) -> Vec<Op> {
+    let mut ops = Vec::new();
+    // Withdraw pairs in current but not target.
+    for (prefix, peerings) in current.iter() {
+        for &pe in peerings {
+            if !target.contains(prefix, pe) {
+                ops.push(Op::Withdraw { prefix, peering: pe });
+            }
+        }
+    }
+    // Announce pairs in target but not current.
+    for (prefix, peerings) in target.iter() {
+        for &pe in peerings {
+            if !current.contains(prefix, pe) {
+                ops.push(Op::Announce { prefix, peering: pe });
+            }
+        }
+    }
+    ops
+}
+
+/// A paced installation plan: operations with scheduled execution times.
+#[derive(Debug, Clone)]
+pub struct InstallPlan {
+    pub steps: Vec<(SimTime, Op)>,
+}
+
+impl InstallPlan {
+    /// Total wall-clock span of the plan.
+    pub fn duration(&self) -> SimTime {
+        self.steps.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing needs to change.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Builds a damping-aware plan from a diff: operations on the same prefix
+/// are separated by at least `prefix_hold_down`; independent prefixes
+/// proceed concurrently (all starting at time zero).
+pub fn plan(ops: Vec<Op>, prefix_hold_down: SimTime) -> InstallPlan {
+    let mut next_slot: std::collections::BTreeMap<PrefixId, SimTime> =
+        std::collections::BTreeMap::new();
+    let mut steps = Vec::with_capacity(ops.len());
+    for op in ops {
+        let slot = next_slot.entry(op.prefix()).or_insert(SimTime::ZERO);
+        steps.push((*slot, op));
+        *slot += prefix_hold_down;
+    }
+    steps.sort_by_key(|(t, _)| *t);
+    InstallPlan { steps }
+}
+
+/// Applies a plan to the dynamic BGP engine, scheduling each operation at
+/// `start + step time`. Returns when every operation is enqueued (the
+/// engine executes them as its clock advances).
+pub fn apply_to_engine(
+    plan: &InstallPlan,
+    engine: &mut painter_bgp::dynamics::BgpEngine<'_>,
+    start: SimTime,
+) {
+    for &(at, op) in &plan.steps {
+        match op {
+            Op::Announce { prefix, peering } => engine.announce(start + at, prefix, peering),
+            Op::Withdraw { prefix, peering } => engine.withdraw(start + at, prefix, peering),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(pairs: &[(u16, u32)]) -> AdvertConfig {
+        let mut c = AdvertConfig::new();
+        for &(p, pe) in pairs {
+            c.add(PrefixId(p), PeeringId(pe));
+        }
+        c
+    }
+
+    #[test]
+    fn diff_of_identical_configs_is_empty() {
+        let c = config(&[(0, 1), (0, 2), (1, 3)]);
+        assert!(diff(&c, &c).is_empty());
+    }
+
+    #[test]
+    fn diff_computes_minimal_operations() {
+        let current = config(&[(0, 1), (0, 2)]);
+        let target = config(&[(0, 2), (0, 3), (1, 4)]);
+        let ops = diff(&current, &target);
+        assert_eq!(
+            ops,
+            vec![
+                Op::Withdraw { prefix: PrefixId(0), peering: PeeringId(1) },
+                Op::Announce { prefix: PrefixId(0), peering: PeeringId(3) },
+                Op::Announce { prefix: PrefixId(1), peering: PeeringId(4) },
+            ]
+        );
+    }
+
+    #[test]
+    fn withdrawals_precede_announcements_per_prefix() {
+        let current = config(&[(0, 1)]);
+        let target = config(&[(0, 2)]);
+        let ops = diff(&current, &target);
+        assert!(matches!(ops[0], Op::Withdraw { .. }));
+        assert!(matches!(ops[1], Op::Announce { .. }));
+    }
+
+    #[test]
+    fn plan_spaces_same_prefix_operations() {
+        let hold = SimTime::from_secs(60.0);
+        let ops = vec![
+            Op::Withdraw { prefix: PrefixId(0), peering: PeeringId(1) },
+            Op::Announce { prefix: PrefixId(0), peering: PeeringId(2) },
+            Op::Announce { prefix: PrefixId(0), peering: PeeringId(3) },
+        ];
+        let plan = plan(ops, hold);
+        assert_eq!(plan.len(), 3);
+        let times: Vec<f64> = plan.steps.iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![0.0, 60.0, 120.0]);
+        assert_eq!(plan.duration(), SimTime::from_secs(120.0));
+    }
+
+    #[test]
+    fn independent_prefixes_run_concurrently() {
+        let hold = SimTime::from_secs(60.0);
+        let ops = vec![
+            Op::Announce { prefix: PrefixId(0), peering: PeeringId(1) },
+            Op::Announce { prefix: PrefixId(1), peering: PeeringId(2) },
+            Op::Announce { prefix: PrefixId(2), peering: PeeringId(3) },
+        ];
+        let plan = plan(ops, hold);
+        assert!(plan.steps.iter().all(|(t, _)| *t == SimTime::ZERO));
+        assert_eq!(plan.duration(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn apply_drives_the_engine_to_the_target() {
+        use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
+        use painter_topology::{DeploymentConfig, TopologyConfig};
+        let net = painter_topology::generate(TopologyConfig::tiny(77));
+        let dep =
+            painter_topology::Deployment::generate(&net.graph, &DeploymentConfig::tiny(77));
+        let current = AdvertConfig::new();
+        let mut target = AdvertConfig::new();
+        target.add(PrefixId(0), dep.peerings()[0].id);
+        target.add(PrefixId(0), dep.peerings()[1].id);
+        let install = plan(diff(&current, &target), SimTime::from_secs(30.0));
+        let mut engine = BgpEngine::new(&net.graph, &dep, DynamicsConfig::default(), 9);
+        apply_to_engine(&install, &mut engine, SimTime::ZERO);
+        engine.run_until(SimTime::from_secs(300.0));
+        // Some stub should now reach the prefix.
+        let reached = net
+            .graph
+            .stubs()
+            .any(|s| engine.current_path(s.id, PrefixId(0)).is_some());
+        assert!(reached);
+    }
+
+    #[test]
+    fn roundtrip_diff_apply_reaches_target_config() {
+        // diff(current, target) applied to `current` (as a set) equals
+        // `target`.
+        let current = config(&[(0, 1), (1, 2), (2, 5)]);
+        let target = config(&[(0, 2), (1, 2), (3, 7)]);
+        let mut reconstructed = current.clone();
+        for op in diff(&current, &target) {
+            match op {
+                Op::Announce { prefix, peering } => reconstructed.add(prefix, peering),
+                Op::Withdraw { prefix, peering } => {
+                    reconstructed.remove(prefix, peering);
+                }
+            }
+        }
+        assert_eq!(reconstructed, target);
+    }
+}

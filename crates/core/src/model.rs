@@ -1,0 +1,387 @@
+//! The routing model: Eq. 2's expectation operator.
+//!
+//! §3.1: with a prefix advertised via several peerings, the orchestrator
+//! does not know which ingress a UG will land on. It assumes all
+//! policy-compliant ingresses are equally likely, *except*:
+//!
+//! * ingresses with a **learned lower preference** — if a past
+//!   advertisement showed the UG picking ingress `w` while `l` was also
+//!   advertised, `l` has zero likelihood whenever `w` is present;
+//! * ingresses beyond the **reuse distance** — ones that would land the UG
+//!   at a PoP more than `D_reuse` km farther than the closest PoP
+//!   advertising the prefix (large inflation is rare, so such routes are
+//!   assumed away — and mistakes are corrected by learning).
+//!
+//! The model then summarizes the surviving candidate set as a latency
+//! range: best case (min), unweighted mean, inflation-probability-weighted
+//! mean ("estimated" — far PoPs weighted down), and worst case (max).
+//! These are exactly the Lower/Mean/Estimated/Upper series of Appendix
+//! E.1.
+
+use crate::inputs::OrchestratorInputs;
+use painter_measure::UgId;
+use painter_topology::PeeringId;
+use std::collections::HashSet;
+
+/// Distance scale (km) of the inflation-probability weighting used for the
+/// "estimated" expectation: a candidate `Δ` km farther than the closest
+/// advertised PoP gets weight `exp(-Δ/SCALE)`.
+pub const INFLATION_WEIGHT_SCALE_KM: f64 = 1500.0;
+
+/// Latency expectation over a candidate set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Expectation {
+    /// Best case: the UG lands on its lowest-latency candidate.
+    pub min_ms: f64,
+    /// Unweighted average over candidates.
+    pub mean_ms: f64,
+    /// Inflation-probability-weighted average (far PoPs less likely).
+    pub estimated_ms: f64,
+    /// Worst case.
+    pub max_ms: f64,
+}
+
+/// Learned routing knowledge plus the `D_reuse` hyperparameter.
+///
+/// ```
+/// use painter_core::RoutingModel;
+/// use painter_measure::UgId;
+/// use painter_topology::PeeringId;
+///
+/// let mut model = RoutingModel::new(3000.0);
+/// // Observation: UG 5 landed at ingress 2 while ingress 7 was also
+/// // advertised — ingress 7 has zero likelihood whenever 2 is present.
+/// model.learn_dominance(UgId(5), PeeringId(2), PeeringId(7));
+/// assert!(model.knows_dominance(UgId(5), PeeringId(2), PeeringId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingModel {
+    /// Minimum reuse distance in kilometers (Algorithm 1's `D_reuse`).
+    pub d_reuse_km: f64,
+    /// Learned dominance: `(ug, winner, loser)` — whenever `winner` is
+    /// advertised alongside `loser`, the UG will not use `loser`.
+    dominates: HashSet<(UgId, PeeringId, PeeringId)>,
+}
+
+impl RoutingModel {
+    /// A fresh model with no learned preferences.
+    pub fn new(d_reuse_km: f64) -> Self {
+        RoutingModel { d_reuse_km, dominates: HashSet::new() }
+    }
+
+    /// Records that `ug` picked `winner` while `loser` was advertised.
+    /// Removes any previously learned inverse (routes change; the most
+    /// recent observation wins), keeping the relation cycle-free for
+    /// pairs.
+    pub fn learn_dominance(&mut self, ug: UgId, winner: PeeringId, loser: PeeringId) {
+        if winner == loser {
+            return;
+        }
+        self.dominates.remove(&(ug, loser, winner));
+        self.dominates.insert((ug, winner, loser));
+    }
+
+    /// True if the model has learned that `winner` beats `loser` for `ug`.
+    pub fn knows_dominance(&self, ug: UgId, winner: PeeringId, loser: PeeringId) -> bool {
+        self.dominates.contains(&(ug, winner, loser))
+    }
+
+    /// Number of learned dominance facts.
+    pub fn dominance_count(&self) -> usize {
+        self.dominates.len()
+    }
+
+    /// The effective candidate set (peering, believed latency) for UG
+    /// index `ug_idx` when a prefix is advertised via `advertised`:
+    /// intersects the UG's candidates with the advertisement, applies the
+    /// `D_reuse` exclusion, then removes dominated ingresses. Falls back
+    /// to the distance-filtered set if dominance removed everything (a
+    /// confused model must not claim the prefix is unusable).
+    pub fn effective_candidates(
+        &self,
+        inputs: &OrchestratorInputs,
+        ug_idx: usize,
+        advertised: &[PeeringId],
+    ) -> Vec<(PeeringId, f64)> {
+        let ug = &inputs.ugs[ug_idx];
+        // Closest advertised PoP (candidate or not — the UG *could* land
+        // anywhere the prefix is advertised).
+        let d_min = advertised
+            .iter()
+            .map(|p| inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]])
+            .fold(f64::INFINITY, f64::min);
+        let in_reach: Vec<(PeeringId, f64)> = ug
+            .candidates
+            .iter()
+            .copied()
+            .filter(|(p, _)| advertised.binary_search(p).is_ok())
+            .filter(|(p, _)| {
+                inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]] - d_min
+                    <= self.d_reuse_km
+            })
+            .collect();
+        if in_reach.is_empty() {
+            return in_reach;
+        }
+        let undominated: Vec<(PeeringId, f64)> = in_reach
+            .iter()
+            .copied()
+            .filter(|(loser, _)| {
+                !in_reach
+                    .iter()
+                    .any(|(winner, _)| self.knows_dominance(ug.id, *winner, *loser))
+            })
+            .collect();
+        if undominated.is_empty() {
+            in_reach
+        } else {
+            undominated
+        }
+    }
+
+    /// Eq. 2's expectation for a UG and an advertised peering set, or
+    /// `None` if the UG has no usable candidate ("we do not consider that
+    /// prefix for a UG if it has no policy-compliant ingress for it").
+    pub fn expected_latency(
+        &self,
+        inputs: &OrchestratorInputs,
+        ug_idx: usize,
+        advertised: &[PeeringId],
+    ) -> Option<Expectation> {
+        let cands = self.effective_candidates(inputs, ug_idx, advertised);
+        if cands.is_empty() {
+            return None;
+        }
+        let d_min = cands
+            .iter()
+            .map(|(p, _)| inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]])
+            .fold(f64::INFINITY, f64::min);
+        let mut min_ms = f64::INFINITY;
+        let mut max_ms = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut wsum = 0.0;
+        let mut wtotal = 0.0;
+        for (p, lat) in &cands {
+            min_ms = min_ms.min(*lat);
+            max_ms = max_ms.max(*lat);
+            sum += lat;
+            let extra = inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]] - d_min;
+            let w = (-extra / INFLATION_WEIGHT_SCALE_KM).exp();
+            wsum += w * lat;
+            wtotal += w;
+        }
+        Some(Expectation {
+            min_ms,
+            mean_ms: sum / cands.len() as f64,
+            estimated_ms: wsum / wtotal,
+            max_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::UgView;
+    use painter_geo::MetroId;
+
+    /// Builds inputs with one UG, three candidate peerings at three PoPs
+    /// with controlled distances.
+    fn inputs(distances_km: [f64; 3], latencies: [f64; 3]) -> OrchestratorInputs {
+        OrchestratorInputs {
+            ugs: vec![UgView {
+                id: UgId(0),
+                metro: MetroId(0),
+                weight: 1.0,
+                anycast_ms: 100.0,
+                candidates: vec![
+                    (PeeringId(0), latencies[0]),
+                    (PeeringId(1), latencies[1]),
+                    (PeeringId(2), latencies[2]),
+                ],
+            }],
+            ug_pop_km: vec![distances_km.to_vec()],
+            peering_pop: vec![0, 1, 2],
+            peering_count: 3,
+        }
+    }
+
+    fn all() -> Vec<PeeringId> {
+        vec![PeeringId(0), PeeringId(1), PeeringId(2)]
+    }
+
+    #[test]
+    fn expectation_over_equal_candidates() {
+        let inp = inputs([100.0, 100.0, 100.0], [10.0, 20.0, 30.0]);
+        let model = RoutingModel::new(3000.0);
+        let e = model.expected_latency(&inp, 0, &all()).unwrap();
+        assert_eq!(e.min_ms, 10.0);
+        assert_eq!(e.max_ms, 30.0);
+        assert!((e.mean_ms - 20.0).abs() < 1e-9);
+        // Equal distances: estimated == mean.
+        assert!((e.estimated_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d_reuse_excludes_far_pops() {
+        // PoP 2 is 9,700 km farther than the closest — excluded at
+        // D_reuse = 3,000 (the paper's Eastern-US/Tokyo example).
+        let inp = inputs([1500.0, 2000.0, 11200.0], [10.0, 20.0, 5.0]);
+        let model = RoutingModel::new(3000.0);
+        let cands = model.effective_candidates(&inp, 0, &all());
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|(p, _)| *p != PeeringId(2)));
+        // With a huge D_reuse it comes back.
+        let loose = RoutingModel::new(20_000.0);
+        assert_eq!(loose.effective_candidates(&inp, 0, &all()).len(), 3);
+    }
+
+    #[test]
+    fn d_min_uses_all_advertised_pops_not_just_candidates() {
+        // The UG cannot ingress at PoP 0 (not a candidate), but the prefix
+        // being advertised there still anchors the distance filter.
+        let mut inp = inputs([100.0, 200.0, 8000.0], [10.0, 20.0, 5.0]);
+        inp.ugs[0].candidates.remove(0); // drop peering 0 as candidate
+        let model = RoutingModel::new(3000.0);
+        let cands = model.effective_candidates(&inp, 0, &all());
+        // d_min = 100 (PoP 0, advertised); peering 2 at 8000 km excluded.
+        assert_eq!(cands, vec![(PeeringId(1), 20.0)]);
+    }
+
+    #[test]
+    fn dominance_zeroes_out_losers() {
+        let inp = inputs([100.0, 100.0, 100.0], [10.0, 20.0, 30.0]);
+        let mut model = RoutingModel::new(3000.0);
+        model.learn_dominance(UgId(0), PeeringId(2), PeeringId(0));
+        let cands = model.effective_candidates(&inp, 0, &all());
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|(p, _)| *p != PeeringId(0)));
+        // Dominance only applies when the winner is advertised.
+        let without_winner = vec![PeeringId(0), PeeringId(1)];
+        let cands = model.effective_candidates(&inp, 0, &without_winner);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn inverse_dominance_replaces() {
+        let mut model = RoutingModel::new(3000.0);
+        model.learn_dominance(UgId(0), PeeringId(1), PeeringId(2));
+        model.learn_dominance(UgId(0), PeeringId(2), PeeringId(1));
+        assert!(model.knows_dominance(UgId(0), PeeringId(2), PeeringId(1)));
+        assert!(!model.knows_dominance(UgId(0), PeeringId(1), PeeringId(2)));
+        assert_eq!(model.dominance_count(), 1);
+    }
+
+    #[test]
+    fn estimated_weights_downweight_far_pops() {
+        // Far PoP has terrible latency; estimated should sit below mean.
+        let inp = inputs([100.0, 100.0, 2600.0], [10.0, 20.0, 90.0]);
+        let model = RoutingModel::new(5000.0);
+        let e = model.expected_latency(&inp, 0, &all()).unwrap();
+        assert!(e.estimated_ms < e.mean_ms, "{e:?}");
+        assert!(e.estimated_ms > e.min_ms);
+    }
+
+    #[test]
+    fn empty_intersection_returns_none() {
+        let inp = inputs([100.0, 100.0, 100.0], [10.0, 20.0, 30.0]);
+        let model = RoutingModel::new(3000.0);
+        assert!(model.expected_latency(&inp, 0, &[]).is_none());
+        // Advertised somewhere the UG has no candidacy: peering 5 doesn't
+        // exist in the UG's candidate list.
+        // (Using an id < peering_count to keep geometry valid.)
+        let mut inp2 = inp.clone();
+        inp2.ugs[0].candidates.clear();
+        assert!(model.expected_latency(&inp2, 0, &all()).is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Expectation components are always ordered and bounded by
+            /// the candidate latencies, for arbitrary candidate sets.
+            #[test]
+            fn expectation_is_bounded_and_ordered(
+                latencies in proptest::collection::vec(1.0..500.0f64, 1..10),
+                distances in proptest::collection::vec(0.0..15000.0f64, 10),
+                d_reuse in 100.0..20000.0f64,
+            ) {
+                let n = latencies.len();
+                let candidates: Vec<(PeeringId, f64)> = latencies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (PeeringId(i as u32), l))
+                    .collect();
+                let inputs = OrchestratorInputs {
+                    ugs: vec![crate::inputs::UgView {
+                        id: UgId(0),
+                        metro: painter_geo::MetroId(0),
+                        weight: 1.0,
+                        anycast_ms: 100.0,
+                        candidates,
+                    }],
+                    ug_pop_km: vec![distances[..n].to_vec()],
+                    peering_pop: (0..n).collect(),
+                    peering_count: n,
+                };
+                let advertised: Vec<PeeringId> =
+                    (0..n as u32).map(PeeringId).collect();
+                let model = RoutingModel::new(d_reuse);
+                if let Some(e) = model.expected_latency(&inputs, 0, &advertised) {
+                    let min = latencies.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(e.min_ms >= min - 1e-9);
+                    prop_assert!(e.max_ms <= max + 1e-9);
+                    prop_assert!(e.min_ms <= e.mean_ms + 1e-9);
+                    prop_assert!(e.mean_ms <= e.max_ms + 1e-9);
+                    prop_assert!(e.min_ms <= e.estimated_ms + 1e-9);
+                    prop_assert!(e.estimated_ms <= e.max_ms + 1e-9);
+                }
+            }
+
+            /// Learned dominance never makes the effective set empty.
+            #[test]
+            fn dominance_preserves_nonempty_sets(
+                pairs in proptest::collection::vec((0u32..6, 0u32..6), 0..40),
+            ) {
+                let n = 6usize;
+                let candidates: Vec<(PeeringId, f64)> =
+                    (0..n as u32).map(|i| (PeeringId(i), 10.0 + i as f64)).collect();
+                let inputs = OrchestratorInputs {
+                    ugs: vec![crate::inputs::UgView {
+                        id: UgId(0),
+                        metro: painter_geo::MetroId(0),
+                        weight: 1.0,
+                        anycast_ms: 100.0,
+                        candidates,
+                    }],
+                    ug_pop_km: vec![vec![100.0; n]],
+                    peering_pop: (0..n).collect(),
+                    peering_count: n,
+                };
+                let mut model = RoutingModel::new(3000.0);
+                for (w, l) in pairs {
+                    model.learn_dominance(UgId(0), PeeringId(w), PeeringId(l));
+                }
+                let advertised: Vec<PeeringId> = (0..n as u32).map(PeeringId).collect();
+                let cands = model.effective_candidates(&inputs, 0, &advertised);
+                prop_assert!(!cands.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_wipeout_falls_back_to_distance_filter() {
+        // A 3-cycle of learned dominance would empty the set; the model
+        // must fall back rather than declare the prefix unusable.
+        let inp = inputs([100.0, 100.0, 100.0], [10.0, 20.0, 30.0]);
+        let mut model = RoutingModel::new(3000.0);
+        model.learn_dominance(UgId(0), PeeringId(0), PeeringId(1));
+        model.learn_dominance(UgId(0), PeeringId(1), PeeringId(2));
+        model.learn_dominance(UgId(0), PeeringId(2), PeeringId(0));
+        let cands = model.effective_candidates(&inp, 0, &all());
+        assert_eq!(cands.len(), 3, "fallback must keep the set non-empty");
+    }
+}

@@ -1,0 +1,731 @@
+//! Algorithm 1: greedy advertisement selection with learning.
+//!
+//! The inner greedy allocates each prefix in the budget to as many
+//! peerings as keep marginal benefit positive (prefix reuse), considering
+//! peerings in order of estimated improvement (Eq. 2 under the routing
+//! model). The outer loop advertises the configuration through an
+//! [`AdvertEnvironment`], observes where each UG actually landed, and
+//! folds the observations back into the routing model (ingress-preference
+//! dominance) and the believed latencies (compliance/latency corrections),
+//! so each iteration "tends to yield greater benefits with fewer
+//! prefixes" (§3.1).
+//!
+//! Complexity matches the paper's description: quadratic in ingresses in
+//! the worst case, but fast in practice because each UG has paths via a
+//! small fraction of ingresses — the greedy only revisits UGs whose
+//! candidate sets intersect the prefix being grown.
+
+use crate::benefit::{BenefitRange, ConfigEvaluator};
+use crate::inputs::OrchestratorInputs;
+use crate::model::RoutingModel;
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_measure::{GroundTruth, Pinger, UgId};
+use painter_topology::PeeringId;
+use std::collections::HashMap;
+
+/// Hyperparameters of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Prefix budget `PB`.
+    pub prefix_budget: usize,
+    /// Minimum reuse distance `D_reuse` in km.
+    pub d_reuse_km: f64,
+    /// Maximum advertise→measure→learn iterations.
+    pub max_iterations: usize,
+    /// Stop growing a prefix when the best marginal benefit (weighted ms)
+    /// falls to or below this.
+    pub min_marginal_benefit: f64,
+    /// Stop learning when the measured benefit improves by less than this
+    /// fraction between iterations.
+    pub convergence_threshold: f64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            prefix_budget: 10,
+            d_reuse_km: 3000.0,
+            max_iterations: 4,
+            min_marginal_benefit: 1e-9,
+            convergence_threshold: 0.01,
+        }
+    }
+}
+
+/// What the measurement system observed after conducting an
+/// advertisement: per (UG, prefix), the ingress the UG landed at and the
+/// measured latency; `None` if the UG had no route to the prefix.
+#[derive(Debug, Clone, Default)]
+pub struct Observations {
+    pub landed: Vec<Observation>,
+}
+
+/// One observation row: `(ug, prefix, landed ingress+latency)`.
+pub type Observation = (UgId, PrefixId, Option<(PeeringId, f64)>);
+
+/// Something that can conduct a BGP advertisement and measure the result —
+/// the real Internet in the paper, the ground-truth oracle here.
+pub trait AdvertEnvironment {
+    /// Conducts `config` and returns observations for every UG.
+    fn execute(&mut self, config: &AdvertConfig) -> Observations;
+}
+
+/// Environment backed by the simulation's ground truth, optionally with
+/// ping noise (min-of-7 measurements of the true latency).
+pub struct GroundTruthEnv<'g, 'a> {
+    gt: &'g mut GroundTruth<'a>,
+    ug_ids: Vec<UgId>,
+    pinger: Option<Pinger>,
+}
+
+impl<'g, 'a> GroundTruthEnv<'g, 'a> {
+    /// Noise-free environment observing the given UGs.
+    pub fn new(gt: &'g mut GroundTruth<'a>, ug_ids: Vec<UgId>) -> Self {
+        GroundTruthEnv { gt, ug_ids, pinger: None }
+    }
+
+    /// Adds min-of-7 ping noise to every observation.
+    pub fn with_noise(mut self, seed: u64) -> Self {
+        self.pinger = Some(Pinger::new(seed));
+        self
+    }
+}
+
+impl AdvertEnvironment for GroundTruthEnv<'_, '_> {
+    fn execute(&mut self, config: &AdvertConfig) -> Observations {
+        let mut obs = Observations::default();
+        for (prefix, peerings) in config.iter() {
+            for &ug in &self.ug_ids {
+                let landed = self.gt.route_under(peerings, ug).map(|(ingress, lat)| {
+                    let lat = match &mut self.pinger {
+                        Some(p) => p.measure(lat).unwrap_or(lat),
+                        None => lat,
+                    };
+                    (ingress, lat)
+                });
+                obs.landed.push((ug, prefix, landed));
+            }
+        }
+        obs
+    }
+}
+
+/// Per-iteration diagnostics of the learning loop.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// The configuration computed this iteration.
+    pub config: AdvertConfig,
+    /// Modeled benefit range before advertising (the shaded region of
+    /// Fig. 6c is `upper - lower`).
+    pub modeled: BenefitRange,
+    /// Measured weighted benefit after advertising (Eq. 1 with real
+    /// outcomes).
+    pub measured_benefit: f64,
+    /// Measured mean improvement (ms) over UGs that improved.
+    pub measured_mean_improvement_ms: f64,
+    /// Dominance facts learned from this iteration's observations.
+    pub newly_learned: usize,
+}
+
+/// The outcome of [`Orchestrator::run`].
+#[derive(Debug, Clone)]
+pub struct OrchestratorReport {
+    pub iterations: Vec<IterationStats>,
+    pub final_config: AdvertConfig,
+}
+
+/// Cumulative modeled benefit after each completed prefix of a greedy
+/// run: `(prefixes used, Σ w · improvement)`.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyTrace {
+    pub after_each_prefix: Vec<(usize, f64)>,
+}
+
+/// Priority-queue entry for the lazy greedy.
+struct CandEntry {
+    delta: f64,
+    version: u64,
+    pe: PeeringId,
+}
+
+impl PartialEq for CandEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.delta == other.delta && self.pe == other.pe
+    }
+}
+impl Eq for CandEntry {}
+impl PartialOrd for CandEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CandEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by delta; ties broken toward lower peering id for
+        // determinism.
+        self.delta
+            .partial_cmp(&other.delta)
+            .expect("deltas are finite")
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+/// The Advertisement Orchestrator.
+pub struct Orchestrator {
+    pub config: OrchestratorConfig,
+    pub inputs: OrchestratorInputs,
+    pub model: RoutingModel,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator with a fresh routing model.
+    pub fn new(inputs: OrchestratorInputs, config: OrchestratorConfig) -> Self {
+        let model = RoutingModel::new(config.d_reuse_km);
+        Orchestrator { config, inputs, model }
+    }
+
+    /// One pass of the greedy allocator (Algorithm 1's inner loops) under
+    /// the current routing model.
+    pub fn compute_config(&self) -> AdvertConfig {
+        self.compute_config_traced().0
+    }
+
+    /// Like [`Orchestrator::compute_config`], but also records the modeled
+    /// (Mean) benefit after each prefix completes — so one greedy run at
+    /// the full budget yields the entire benefit-vs-budget curve, since
+    /// the configuration for budget `k` is exactly the first `k` prefixes.
+    ///
+    /// Candidate peerings are evaluated lazily (CELF-style): cached
+    /// marginal benefits are only recomputed when a candidate reaches the
+    /// top of the priority queue, which keeps the allocator fast even with
+    /// thousands of ingresses.
+    pub fn compute_config_traced(&self) -> (AdvertConfig, GreedyTrace) {
+        let n_ugs = self.inputs.ugs.len();
+        let pb = self.config.prefix_budget;
+        // UGs per peering (candidate incidence), computed once.
+        let mut by_peering: Vec<Vec<usize>> = vec![Vec::new(); self.inputs.peering_count];
+        for (i, ug) in self.inputs.ugs.iter().enumerate() {
+            for (p, _) in &ug.candidates {
+                by_peering[p.idx()].push(i);
+            }
+        }
+        // Cached per-(UG, prefix) mean expectation.
+        let mut prefix_mean: Vec<Vec<Option<f64>>> = vec![vec![None; pb]; n_ugs];
+        // Running modeled benefit: Σ w · (anycast − best)⁺.
+        let mut running_benefit = 0.0;
+        let mut cc = AdvertConfig::new();
+        let mut trace = GreedyTrace::default();
+
+        for p_idx in 0..pb {
+            let prefix = PrefixId(p_idx as u16);
+            let mut added_any = false;
+            // Lazy-greedy queue: (cached delta, version-at-caching, pe).
+            // Deltas only shrink as the set grows (approximately), so a
+            // stale cached value is an upper bound worth re-checking only
+            // at the top.
+            let mut version = 0u64;
+            let mut heap: std::collections::BinaryHeap<CandEntry> =
+                std::collections::BinaryHeap::new();
+            {
+                let current: Vec<PeeringId> = Vec::new();
+                for pe_idx in 0..self.inputs.peering_count {
+                    if by_peering[pe_idx].is_empty() {
+                        continue;
+                    }
+                    let pe = PeeringId(pe_idx as u32);
+                    let delta =
+                        self.candidate_delta(pe, &current, p_idx, &by_peering, &prefix_mean);
+                    if delta > self.config.min_marginal_benefit {
+                        heap.push(CandEntry { delta, version, pe });
+                    }
+                }
+            }
+            loop {
+                let current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
+                let Some(top) = heap.pop() else { break };
+                if top.version != version {
+                    // Stale: recompute and reinsert if still promising.
+                    let delta = self.candidate_delta(
+                        top.pe,
+                        &current,
+                        p_idx,
+                        &by_peering,
+                        &prefix_mean,
+                    );
+                    if delta > self.config.min_marginal_benefit {
+                        heap.push(CandEntry { delta, version, pe: top.pe });
+                    }
+                    continue;
+                }
+                // Fresh top candidate: commit it.
+                let (delta, pe) = (top.delta, top.pe);
+                cc.add(prefix, pe);
+                version += 1;
+                added_any = true;
+                running_benefit += delta;
+                // Refresh caches for affected UGs.
+                let new_current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
+                let mut affected = vec![false; n_ugs];
+                for p in &new_current {
+                    for &u in &by_peering[p.idx()] {
+                        affected[u] = true;
+                    }
+                }
+                for (u, is_affected) in affected.iter().enumerate() {
+                    if *is_affected {
+                        prefix_mean[u][p_idx] = self
+                            .model
+                            .expected_latency(&self.inputs, u, &new_current)
+                            .map(|e| e.mean_ms);
+                    }
+                }
+            }
+            if !added_any {
+                // No peering adds benefit from a fresh prefix; later
+                // prefixes would see the identical state.
+                break;
+            }
+            trace.after_each_prefix.push((p_idx + 1, running_benefit));
+        }
+        (cc, trace)
+    }
+
+    /// Incremental reconfiguration (§5.1.3): refines a *deployed*
+    /// configuration instead of recomputing from scratch, so the install
+    /// diff — and with it BGP churn and route-flap exposure — stays small.
+    ///
+    /// Two passes under the current routing model:
+    ///
+    /// 1. **Prune**: drop any `(prefix, peering)` pair whose removal does
+    ///    not reduce modeled benefit by more than `keep_threshold`
+    ///    (weighted ms) — stale pairs from before learning corrected the
+    ///    model.
+    /// 2. **Grow**: resume the lazy greedy from the pruned configuration,
+    ///    adding pairs with positive marginal benefit within the budget.
+    ///
+    /// Returns the refined configuration and the number of session
+    /// operations (`installer::diff`) needed to move from `previous`.
+    pub fn refine_config(
+        &self,
+        previous: &AdvertConfig,
+        keep_threshold: f64,
+    ) -> (AdvertConfig, usize) {
+        // --- Pass 1: prune stale pairs.
+        let evaluator = crate::benefit::ConfigEvaluator::new(&self.inputs, &self.model);
+        let mut pruned = AdvertConfig::new();
+        for (prefix, peerings) in previous.iter() {
+            if (prefix.0 as usize) >= self.config.prefix_budget {
+                continue; // budget shrank
+            }
+            for &pe in peerings {
+                pruned.add(prefix, pe);
+            }
+        }
+        let mut current_benefit = evaluator.benefit(&pruned);
+        // Consider pairs in a stable order; re-evaluate after each removal.
+        let pairs: Vec<(PrefixId, PeeringId)> = pruned
+            .iter()
+            .flat_map(|(p, pes)| pes.iter().map(move |&pe| (p, pe)).collect::<Vec<_>>())
+            .collect();
+        for (prefix, pe) in pairs {
+            let mut trial = pruned.clone();
+            trial.remove(prefix, pe);
+            let trial_benefit = evaluator.benefit(&trial);
+            if current_benefit - trial_benefit <= keep_threshold {
+                pruned = trial;
+                current_benefit = trial_benefit;
+            }
+        }
+
+        // --- Pass 2: grow greedily from the pruned base. Reuse the
+        // from-scratch allocator and merge: keep every pruned pair, then
+        // take the scratch allocator's additions for still-empty slots.
+        // (A full warm-start greedy adds little over this at our scale and
+        // keeps the hot path single.)
+        let mut refined = pruned.clone();
+        let (scratch, _) = self.compute_config_traced();
+        for (prefix, peerings) in scratch.iter() {
+            if refined.peerings_of(prefix).is_empty() {
+                for &pe in peerings {
+                    let mut trial = refined.clone();
+                    trial.add(prefix, pe);
+                    let b = evaluator.benefit(&trial);
+                    if b > evaluator.benefit(&refined) + self.config.min_marginal_benefit {
+                        refined = trial;
+                    }
+                }
+            }
+        }
+        let ops = crate::installer::diff(previous, &refined).len();
+        (refined, ops)
+    }
+
+    /// Marginal modeled benefit of adding `pe` to prefix `p_idx`'s set.
+    fn candidate_delta(
+        &self,
+        pe: PeeringId,
+        current: &[PeeringId],
+        p_idx: usize,
+        by_peering: &[Vec<usize>],
+        prefix_mean: &[Vec<Option<f64>>],
+    ) -> f64 {
+        if current.binary_search(&pe).is_ok() {
+            return 0.0;
+        }
+        let mut new_set = current.to_vec();
+        let pos = new_set.binary_search(&pe).unwrap_err();
+        new_set.insert(pos, pe);
+        let mut delta = 0.0;
+        // UGs with the new peering as a candidate...
+        for &u in &by_peering[pe.idx()] {
+            delta += self.ug_delta(u, p_idx, &new_set, prefix_mean);
+        }
+        // ...plus UGs already touched by the prefix (their D_reuse anchor
+        // or candidate mix may shift) that don't have `pe`.
+        let mut counted = vec![false; self.inputs.ugs.len()];
+        for &u in &by_peering[pe.idx()] {
+            counted[u] = true;
+        }
+        for p in current {
+            for &u in &by_peering[p.idx()] {
+                if !counted[u] {
+                    counted[u] = true;
+                    delta += self.ug_delta(u, p_idx, &new_set, prefix_mean);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Benefit delta (weighted improvement change) for UG `u` if prefix
+    /// `p_idx`'s peering set becomes `new_set`.
+    fn ug_delta(
+        &self,
+        u: usize,
+        p_idx: usize,
+        new_set: &[PeeringId],
+        prefix_mean: &[Vec<Option<f64>>],
+    ) -> f64 {
+        let ug = &self.inputs.ugs[u];
+        let anycast = ug.anycast_ms;
+        // Best over the *other* prefixes (and anycast).
+        let mut others = anycast;
+        for (q, m) in prefix_mean[u].iter().enumerate() {
+            if q != p_idx {
+                if let Some(m) = m {
+                    others = others.min(*m);
+                }
+            }
+        }
+        let old_p = prefix_mean[u][p_idx];
+        let old_best = others.min(old_p.unwrap_or(f64::INFINITY));
+        let new_p = self
+            .model
+            .expected_latency(&self.inputs, u, new_set)
+            .map(|e| e.mean_ms)
+            .unwrap_or(f64::INFINITY);
+        let new_best = others.min(new_p);
+        ug.weight * ((anycast - new_best).max(0.0) - (anycast - old_best).max(0.0))
+    }
+
+    /// Incorporates observations: corrects believed latencies and
+    /// compliance, and learns ingress dominance. Returns the number of new
+    /// dominance facts.
+    pub fn learn(&mut self, config: &AdvertConfig, obs: &Observations) -> usize {
+        let index_of: HashMap<UgId, usize> = self.inputs.index_of();
+        let before = self.model.dominance_count();
+        for (ug, prefix, landed) in &obs.landed {
+            let Some(&ug_idx) = index_of.get(ug) else { continue };
+            let Some((ingress, observed_ms)) = landed else { continue };
+            let advertised = config.peerings_of(*prefix);
+            // What the model believed possible.
+            let believed = self.model.effective_candidates(&self.inputs, ug_idx, advertised);
+            // Dominance: the landing ingress beats every other believed
+            // candidate.
+            for (loser, _) in &believed {
+                if loser != ingress {
+                    self.model.learn_dominance(*ug, *ingress, *loser);
+                }
+            }
+            // Latency/compliance correction for the landing ingress.
+            let cands = &mut self.inputs.ugs[ug_idx].candidates;
+            match cands.binary_search_by_key(ingress, |(p, _)| *p) {
+                Ok(i) => cands[i].1 = *observed_ms,
+                Err(i) => cands.insert(i, (*ingress, *observed_ms)),
+            }
+        }
+        self.model.dominance_count() - before
+    }
+
+    /// Eq. 1 evaluated on real outcomes: each UG takes its best observed
+    /// prefix (fine-grained steering can do exactly that), floored at
+    /// anycast.
+    pub fn measured_benefit(&self, obs: &Observations) -> (f64, f64) {
+        let index_of: HashMap<UgId, usize> = self.inputs.index_of();
+        let mut best: HashMap<UgId, f64> = HashMap::new();
+        for (ug, _, landed) in &obs.landed {
+            if let Some((_, lat)) = landed {
+                let e = best.entry(*ug).or_insert(f64::INFINITY);
+                *e = e.min(*lat);
+            }
+        }
+        let mut total = 0.0;
+        let mut improved_sum = 0.0;
+        let mut improved_count = 0usize;
+        // Sort for deterministic float-summation order.
+        let mut best: Vec<(UgId, f64)> = best.into_iter().collect();
+        best.sort_by_key(|(ug, _)| *ug);
+        for (ug, lat) in best {
+            let Some(&idx) = index_of.get(&ug) else { continue };
+            let view = &self.inputs.ugs[idx];
+            let imp = (view.anycast_ms - lat).max(0.0);
+            total += view.weight * imp;
+            if imp > 0.0 {
+                improved_sum += imp;
+                improved_count += 1;
+            }
+        }
+        let mean = if improved_count == 0 { 0.0 } else { improved_sum / improved_count as f64 };
+        (total, mean)
+    }
+
+    /// The full advertise→measure→learn loop of Algorithm 1.
+    pub fn run(&mut self, env: &mut dyn AdvertEnvironment) -> OrchestratorReport {
+        let mut iterations = Vec::new();
+        let mut prev_measured: Option<f64> = None;
+        for _ in 0..self.config.max_iterations.max(1) {
+            let cc = self.compute_config();
+            let modeled = ConfigEvaluator::new(&self.inputs, &self.model).benefit_range(&cc);
+            let obs = env.execute(&cc);
+            let newly_learned = self.learn(&cc, &obs);
+            let (measured_benefit, measured_mean_improvement_ms) = self.measured_benefit(&obs);
+            iterations.push(IterationStats {
+                config: cc,
+                modeled,
+                measured_benefit,
+                measured_mean_improvement_ms,
+                newly_learned,
+            });
+            if let Some(prev) = prev_measured {
+                let gain = measured_benefit - prev;
+                if gain <= self.config.convergence_threshold * prev.abs().max(1e-9) {
+                    break;
+                }
+            }
+            prev_measured = Some(measured_benefit);
+        }
+        let final_config = self.compute_config();
+        OrchestratorReport { iterations, final_config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compliance::infer_compliant_ingresses;
+    use painter_measure::{build_user_groups, UserGroup};
+    use painter_topology::{CustomerCones, Deployment, DeploymentConfig, TopologyConfig};
+
+    /// Full-stack fixture: topology, deployment, UGs, ground truth,
+    /// inferred candidates with true latencies.
+    struct Fix {
+        net: painter_topology::Internet,
+        dep: Deployment,
+        ugs: Vec<UserGroup>,
+    }
+
+    fn fix(seed: u64) -> Fix {
+        let net = painter_topology::generate(TopologyConfig::tiny(seed));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(seed));
+        let ugs = build_user_groups(&net, seed);
+        Fix { net, dep, ugs }
+    }
+
+    fn inputs_from(f: &Fix, gt: &mut GroundTruth<'_>) -> OrchestratorInputs {
+        let cones = CustomerCones::compute(&f.net.graph);
+        let inferred = infer_compliant_ingresses(&f.ugs, &f.dep, &cones);
+        let all: Vec<PeeringId> = f.dep.peerings().iter().map(|p| p.id).collect();
+        let anycast: Vec<Option<f64>> =
+            f.ugs.iter().map(|u| gt.route_under(&all, u.id).map(|(_, l)| l)).collect();
+        // Believed latency = true single-ingress latency where measurable.
+        let candidates: Vec<Vec<(PeeringId, f64)>> = f
+            .ugs
+            .iter()
+            .zip(&inferred)
+            .map(|(u, set)| {
+                set.iter().filter_map(|&p| gt.latency(u.id, p).map(|l| (p, l))).collect()
+            })
+            .collect();
+        OrchestratorInputs::assemble(&f.ugs, &candidates, &anycast, &f.dep)
+    }
+
+    #[test]
+    fn greedy_respects_prefix_budget() {
+        let f = fix(101);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        for budget in [1usize, 3, 6] {
+            let orch = Orchestrator::new(
+                inputs.clone(),
+                OrchestratorConfig { prefix_budget: budget, ..Default::default() },
+            );
+            let cc = orch.compute_config();
+            assert!(cc.prefix_count() <= budget, "{} > {budget}", cc.prefix_count());
+        }
+    }
+
+    #[test]
+    fn more_budget_never_hurts_modeled_benefit() {
+        let f = fix(102);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let benefit_at = |budget: usize| {
+            let orch = Orchestrator::new(
+                inputs.clone(),
+                OrchestratorConfig { prefix_budget: budget, ..Default::default() },
+            );
+            let cc = orch.compute_config();
+            ConfigEvaluator::new(&orch.inputs, &orch.model).benefit(&cc)
+        };
+        let b1 = benefit_at(1);
+        let b4 = benefit_at(4);
+        let b8 = benefit_at(8);
+        assert!(b4 >= b1 - 1e-6, "{b4} < {b1}");
+        assert!(b8 >= b4 - 1e-6, "{b8} < {b4}");
+        assert!(b1 > 0.0, "even one prefix should help someone");
+    }
+
+    #[test]
+    fn greedy_additions_have_positive_marginal_benefit() {
+        // The algorithm requires positive benefit for every added pair, so
+        // the final config must outperform the empty config.
+        let f = fix(103);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let orch =
+            Orchestrator::new(inputs, OrchestratorConfig { prefix_budget: 4, ..Default::default() });
+        let cc = orch.compute_config();
+        assert!(!cc.is_empty());
+        let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+        assert!(eval.benefit(&cc) > 0.0);
+    }
+
+    #[test]
+    fn learning_iterations_do_not_regress() {
+        let f = fix(104);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let ug_ids: Vec<UgId> = inputs.ugs.iter().map(|u| u.id).collect();
+        let mut orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 4, max_iterations: 4, ..Default::default() },
+        );
+        let mut env = GroundTruthEnv::new(&mut gt, ug_ids);
+        let report = orch.run(&mut env);
+        assert!(!report.iterations.is_empty());
+        let first = report.iterations.first().unwrap().measured_benefit;
+        let last = report.iterations.last().unwrap().measured_benefit;
+        assert!(
+            last >= first * 0.95,
+            "learning should not materially regress: {first} -> {last}"
+        );
+        assert!(!report.final_config.is_empty());
+    }
+
+    #[test]
+    fn learning_records_dominance_facts() {
+        let f = fix(105);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let ug_ids: Vec<UgId> = inputs.ugs.iter().map(|u| u.id).collect();
+        let mut orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 3, max_iterations: 2, ..Default::default() },
+        );
+        let mut env = GroundTruthEnv::new(&mut gt, ug_ids);
+        let report = orch.run(&mut env);
+        // With prefix reuse there is almost always *something* to learn.
+        let total_learned: usize = report.iterations.iter().map(|i| i.newly_learned).sum();
+        assert!(total_learned > 0 || orch.model.dominance_count() == 0);
+    }
+
+    #[test]
+    fn observations_cover_every_ug_and_prefix() {
+        let f = fix(106);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let ug_ids: Vec<UgId> = inputs.ugs.iter().map(|u| u.id).collect();
+        let n_ugs = ug_ids.len();
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), f.dep.peerings()[0].id);
+        config.add(PrefixId(1), f.dep.peerings()[1].id);
+        let mut env = GroundTruthEnv::new(&mut gt, ug_ids);
+        let obs = env.execute(&config);
+        assert_eq!(obs.landed.len(), 2 * n_ugs);
+    }
+
+    #[test]
+    fn refine_preserves_good_configs_with_few_ops() {
+        let f = fix(108);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 5, ..Default::default() },
+        );
+        let config = orch.compute_config();
+        // Refining an already-optimal config should barely change it.
+        let (refined, ops) = orch.refine_config(&config, 1e-9);
+        let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+        assert!(
+            eval.benefit(&refined) >= eval.benefit(&config) * 0.98,
+            "refinement lost benefit"
+        );
+        assert!(
+            ops <= config.pair_count(),
+            "refinement churned more ops ({ops}) than the config has pairs"
+        );
+    }
+
+    #[test]
+    fn refine_prunes_useless_pairs() {
+        let f = fix(109);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 4, ..Default::default() },
+        );
+        // A deliberately wasteful previous config: every prefix on the
+        // same single peering (redundant duplicates add no benefit).
+        let pe = f.dep.peerings()[0].id;
+        let mut wasteful = AdvertConfig::new();
+        for p in 0..4u16 {
+            wasteful.add(PrefixId(p), pe);
+        }
+        let (refined, _) = orch.refine_config(&wasteful, 1e-9);
+        // Duplicates pruned: at most one prefix still points at pe alone.
+        let dup_count = refined
+            .iter()
+            .filter(|(_, pes)| *pes == [pe])
+            .count();
+        assert!(dup_count <= 1, "kept {dup_count} duplicate single-peering prefixes");
+        let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+        assert!(eval.benefit(&refined) >= eval.benefit(&wasteful) - 1e-9);
+    }
+
+    #[test]
+    fn noisy_environment_still_converges() {
+        let f = fix(107);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let ug_ids: Vec<UgId> = inputs.ugs.iter().map(|u| u.id).collect();
+        let mut orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 3, max_iterations: 3, ..Default::default() },
+        );
+        let mut env = GroundTruthEnv::new(&mut gt, ug_ids).with_noise(5);
+        let report = orch.run(&mut env);
+        assert!(report.iterations.last().unwrap().measured_benefit >= 0.0);
+    }
+}

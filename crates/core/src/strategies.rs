@@ -1,0 +1,311 @@
+//! Baseline advertisement strategies (§5.1.2).
+//!
+//! * **Anycast** — one prefix via every peering; the default `D`.
+//! * **One per PoP** — each PoP gets its own prefix via all its peerings
+//!   (prior work's per-PoP unicast).
+//! * **One per PoP w/ Reuse** — per-PoP prefixes, but PoPs more than
+//!   `D_reuse` km apart may share one.
+//! * **One per Peering** — a unique prefix per peering: exposes every
+//!   path, zero uncertainty, maximal budget consumption. Guaranteed to
+//!   reach 100% of possible benefit with an unlimited budget.
+//! * **Regional** — one prefix per region via transit providers at that
+//!   region's PoPs (the practice the paper found "offered little to no
+//!   latency benefit over anycast").
+//!
+//! Budgeted variants rank their units (PoPs/peerings) by potential benefit
+//! when measurement-derived inputs are available, falling back to size
+//! heuristics otherwise.
+
+use crate::inputs::OrchestratorInputs;
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_geo::metro;
+use painter_topology::{Deployment, PeeringId, PeeringKind, PopId};
+
+/// Strategy labels for reports and figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    Anycast,
+    OnePerPop,
+    OnePerPopWithReuse,
+    OnePerPeering,
+    RegionalTransit,
+    Painter,
+    PainterWithDns,
+}
+
+impl Strategy {
+    /// Label used in experiment output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Anycast => "Anycast",
+            Strategy::OnePerPop => "One per PoP",
+            Strategy::OnePerPopWithReuse => "One per PoP w/Reuse",
+            Strategy::OnePerPeering => "One per Peering",
+            Strategy::RegionalTransit => "Regional",
+            Strategy::Painter => "PAINTER",
+            Strategy::PainterWithDns => "PAINTER w/ DNS",
+        }
+    }
+}
+
+/// Potential benefit of each peering: weighted improvement of the UGs for
+/// which it is the best candidate. Used to rank units under a budget.
+fn peering_potential(inputs: &OrchestratorInputs, peering_count: usize) -> Vec<f64> {
+    let mut potential = vec![0.0; peering_count];
+    for ug in &inputs.ugs {
+        let Some((best_p, best_l)) = ug
+            .candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        else {
+            continue;
+        };
+        let imp = (ug.anycast_ms - best_l).max(0.0);
+        if imp > 0.0 {
+            potential[best_p.idx()] += ug.weight * imp;
+        }
+    }
+    potential
+}
+
+/// Ranks PoPs by the summed potential of their peerings (descending),
+/// falling back to peering count, then id.
+fn ranked_pops(deployment: &Deployment, inputs: Option<&OrchestratorInputs>) -> Vec<PopId> {
+    let potential = inputs.map(|i| peering_potential(i, deployment.peerings().len()));
+    let mut pops: Vec<PopId> = deployment.pops().iter().map(|p| p.id).collect();
+    let score = |pop: PopId| -> (f64, usize) {
+        let peerings = deployment.peerings_at(pop);
+        let pot = potential
+            .as_ref()
+            .map(|pp| peerings.iter().map(|p| pp[p.idx()]).sum::<f64>())
+            .unwrap_or(0.0);
+        (pot, peerings.len())
+    };
+    pops.sort_by(|a, b| {
+        let (pa, ca) = score(*a);
+        let (pb, cb) = score(*b);
+        pb.partial_cmp(&pa)
+            .expect("finite")
+            .then(cb.cmp(&ca))
+            .then(a.cmp(b))
+    });
+    pops
+}
+
+/// One prefix per PoP, advertised via all peerings at that PoP, limited to
+/// `budget` prefixes (best PoPs first).
+pub fn one_per_pop(
+    deployment: &Deployment,
+    inputs: Option<&OrchestratorInputs>,
+    budget: usize,
+) -> AdvertConfig {
+    let mut config = AdvertConfig::new();
+    for (i, pop) in ranked_pops(deployment, inputs).into_iter().take(budget).enumerate() {
+        let prefix = PrefixId(i as u16);
+        for &pe in deployment.peerings_at(pop) {
+            config.add(prefix, pe);
+        }
+    }
+    config
+}
+
+/// One prefix per PoP with reuse: PoPs whose pairwise distance is at least
+/// `d_reuse_km` may share a prefix. Greedy first-fit over ranked PoPs.
+pub fn one_per_pop_with_reuse(
+    deployment: &Deployment,
+    inputs: Option<&OrchestratorInputs>,
+    budget: usize,
+    d_reuse_km: f64,
+) -> AdvertConfig {
+    let mut config = AdvertConfig::new();
+    // Prefix -> PoPs currently sharing it.
+    let mut groups: Vec<Vec<PopId>> = Vec::new();
+    for pop in ranked_pops(deployment, inputs) {
+        let here = metro(deployment.pop(pop).metro).point();
+        let fits = |group: &Vec<PopId>| {
+            group.iter().all(|other| {
+                metro(deployment.pop(*other).metro).point().haversine_km(&here) >= d_reuse_km
+            })
+        };
+        let slot = groups.iter().position(fits);
+        match slot {
+            Some(i) => groups[i].push(pop),
+            None if groups.len() < budget => groups.push(vec![pop]),
+            None => continue, // budget exhausted and no group fits
+        }
+    }
+    for (i, group) in groups.iter().enumerate() {
+        let prefix = PrefixId(i as u16);
+        for &pop in group {
+            for &pe in deployment.peerings_at(pop) {
+                config.add(prefix, pe);
+            }
+        }
+    }
+    config
+}
+
+/// One unique prefix per peering, best peerings first, up to `budget`.
+pub fn one_per_peering(
+    deployment: &Deployment,
+    inputs: Option<&OrchestratorInputs>,
+    budget: usize,
+) -> AdvertConfig {
+    let mut peerings: Vec<PeeringId> = deployment.peerings().iter().map(|p| p.id).collect();
+    if let Some(inputs) = inputs {
+        let potential = peering_potential(inputs, deployment.peerings().len());
+        peerings.sort_by(|a, b| {
+            potential[b.idx()]
+                .partial_cmp(&potential[a.idx()])
+                .expect("finite")
+                .then(a.cmp(b))
+        });
+    }
+    let mut config = AdvertConfig::new();
+    for (i, pe) in peerings.into_iter().take(budget).enumerate() {
+        config.add(PrefixId(i as u16), pe);
+    }
+    config
+}
+
+/// One prefix per region, advertised via transit-provider peerings at PoPs
+/// in that region, up to `budget` regions.
+pub fn regional_transit(deployment: &Deployment, budget: usize) -> AdvertConfig {
+    let mut config = AdvertConfig::new();
+    let mut region_prefix = std::collections::BTreeMap::new();
+    for peering in deployment.peerings() {
+        if peering.kind != PeeringKind::TransitProvider {
+            continue;
+        }
+        let region = metro(deployment.pop(peering.pop).metro).region;
+        let next = region_prefix.len();
+        let idx = *region_prefix.entry(region).or_insert(next);
+        if idx >= budget {
+            continue;
+        }
+        config.add(PrefixId(idx as u16), peering.id);
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_topology::{DeploymentConfig, TopologyConfig};
+
+    fn dep() -> (painter_topology::Internet, Deployment) {
+        let net = painter_topology::generate(TopologyConfig::tiny(111));
+        let dep = Deployment::generate(
+            &net.graph,
+            &DeploymentConfig { num_pops: 10, ..DeploymentConfig::tiny(111) },
+        );
+        (net, dep)
+    }
+
+    #[test]
+    fn anycast_covers_all_peerings() {
+        let (_, dep) = dep();
+        let config = AdvertConfig::anycast(&dep, PrefixId(0));
+        assert_eq!(config.prefix_count(), 1);
+        assert_eq!(config.pair_count(), dep.peerings().len());
+    }
+
+    #[test]
+    fn one_per_pop_uses_one_prefix_per_pop() {
+        let (_, dep) = dep();
+        let config = one_per_pop(&dep, None, usize::MAX);
+        // One prefix per PoP that has at least one peering.
+        let pops_with_peerings =
+            dep.pops().iter().filter(|p| !dep.peerings_at(p.id).is_empty()).count();
+        assert_eq!(config.prefix_count(), pops_with_peerings);
+        // Every peering covered exactly once.
+        assert_eq!(config.pair_count(), dep.peerings().len());
+        // Each prefix's peerings all share a PoP.
+        for (prefix, peerings) in config.iter() {
+            let pops = config.pops_of(&dep, prefix);
+            assert_eq!(pops.len(), 1, "{prefix} spans {pops:?}");
+            assert!(!peerings.is_empty());
+        }
+    }
+
+    #[test]
+    fn one_per_pop_respects_budget() {
+        let (_, dep) = dep();
+        let config = one_per_pop(&dep, None, 3);
+        assert_eq!(config.prefix_count(), 3);
+    }
+
+    #[test]
+    fn reuse_groups_respect_distance() {
+        let (_, dep) = dep();
+        let d_reuse = 3000.0;
+        let config = one_per_pop_with_reuse(&dep, None, usize::MAX, d_reuse);
+        assert!(config.prefix_count() <= dep.pops().len());
+        for (prefix, _) in config.iter() {
+            let pops = config.pops_of(&dep, prefix);
+            for i in 0..pops.len() {
+                for j in (i + 1)..pops.len() {
+                    let a = metro(dep.pop(pops[i]).metro).point();
+                    let b = metro(dep.pop(pops[j]).metro).point();
+                    assert!(
+                        a.haversine_km(&b) >= d_reuse,
+                        "{prefix}: pops too close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_saves_prefixes_over_one_per_pop() {
+        let (_, dep) = dep();
+        let plain = one_per_pop(&dep, None, usize::MAX);
+        let reuse = one_per_pop_with_reuse(&dep, None, usize::MAX, 3000.0);
+        assert!(reuse.prefix_count() <= plain.prefix_count());
+        // Global PoP spread should allow at least some sharing.
+        assert!(reuse.prefix_count() < plain.prefix_count(), "no reuse happened");
+    }
+
+    #[test]
+    fn one_per_peering_is_one_to_one() {
+        let (_, dep) = dep();
+        let config = one_per_peering(&dep, None, 5);
+        assert_eq!(config.prefix_count(), 5);
+        assert_eq!(config.pair_count(), 5);
+        for (_, peerings) in config.iter() {
+            assert_eq!(peerings.len(), 1);
+        }
+    }
+
+    #[test]
+    fn regional_uses_transit_only() {
+        let (_, dep) = dep();
+        let config = regional_transit(&dep, usize::MAX);
+        for (_, peerings) in config.iter() {
+            for &pe in peerings {
+                assert_eq!(dep.peering(pe).kind, PeeringKind::TransitProvider);
+            }
+        }
+        assert!(config.prefix_count() >= 1);
+        assert!(config.prefix_count() <= 7, "at most one prefix per region");
+    }
+
+    #[test]
+    fn strategy_labels_are_distinct() {
+        let labels = [
+            Strategy::Anycast,
+            Strategy::OnePerPop,
+            Strategy::OnePerPopWithReuse,
+            Strategy::OnePerPeering,
+            Strategy::RegionalTransit,
+            Strategy::Painter,
+            Strategy::PainterWithDns,
+        ]
+        .map(|s| s.label());
+        let mut sorted = labels.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+}

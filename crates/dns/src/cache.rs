@@ -1,0 +1,174 @@
+//! DNS records and caches, including TTL-violating client behaviour.
+//!
+//! Time here is plain `f64` seconds — DNS dynamics are slow and the crate
+//! stays independent of the packet-level simulator's clock.
+
+use std::collections::HashMap;
+
+/// A cached A record: the answer plus its freshness window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnsRecord {
+    /// The answer (an address, or in our use an index identifying the
+    /// prefix/PoP the record points at).
+    pub target: u32,
+    /// When the record was fetched (seconds).
+    pub fetched_at: f64,
+    /// Time-to-live (seconds).
+    pub ttl: f64,
+}
+
+impl DnsRecord {
+    /// When the record expires.
+    pub fn expires_at(&self) -> f64 {
+        self.fetched_at + self.ttl
+    }
+
+    /// True if the record is past its TTL at `now`.
+    pub fn expired(&self, now: f64) -> bool {
+        now >= self.expires_at()
+    }
+}
+
+/// A recursive resolver's cache: answers queries from cache while fresh,
+/// re-fetches from the authority when expired. This part of the system
+/// *does* respect TTLs.
+#[derive(Debug, Clone, Default)]
+pub struct ResolverCache {
+    records: HashMap<u64, DnsRecord>,
+    /// Upstream fetches performed (diagnostic).
+    pub fetches: u64,
+}
+
+impl ResolverCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `domain` at `now`, fetching via `authority` when the
+    /// cached record is missing or expired. `authority` returns
+    /// `(target, ttl)`.
+    pub fn query(
+        &mut self,
+        domain: u64,
+        now: f64,
+        mut authority: impl FnMut() -> (u32, f64),
+    ) -> DnsRecord {
+        if let Some(r) = self.records.get(&domain) {
+            if !r.expired(now) {
+                return *r;
+            }
+        }
+        let (target, ttl) = authority();
+        self.fetches += 1;
+        let record = DnsRecord { target, fetched_at: now, ttl };
+        self.records.insert(domain, record);
+        record
+    }
+
+    /// The cached record for `domain`, fresh or not.
+    pub fn peek(&self, domain: u64) -> Option<&DnsRecord> {
+        self.records.get(&domain)
+    }
+}
+
+/// A client-side cache that keeps using records past their TTL.
+///
+/// §2.2: "clients cache the IP addresses and start new flows after the
+/// TTLs expire". `overrun_secs` is how long past expiry this client keeps
+/// using a record before asking its resolver again.
+#[derive(Debug, Clone)]
+pub struct ClientCache {
+    records: HashMap<u64, DnsRecord>,
+    /// Extra seconds past TTL during which the cached answer is reused.
+    pub overrun_secs: f64,
+}
+
+impl ClientCache {
+    /// A client cache with the given TTL overrun (0 = well-behaved).
+    pub fn new(overrun_secs: f64) -> Self {
+        ClientCache { records: HashMap::new(), overrun_secs: overrun_secs.max(0.0) }
+    }
+
+    /// Resolves `domain` at `now`: uses the local record while within
+    /// TTL + overrun, otherwise queries `resolver`. Returns the record
+    /// *used* (which may be expired — that is the point).
+    pub fn query(
+        &mut self,
+        domain: u64,
+        now: f64,
+        resolver: &mut ResolverCache,
+        authority: impl FnMut() -> (u32, f64),
+    ) -> DnsRecord {
+        if let Some(r) = self.records.get(&domain) {
+            if now < r.expires_at() + self.overrun_secs {
+                return *r;
+            }
+        }
+        let record = resolver.query(domain, now, authority);
+        self.records.insert(domain, record);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_expiry_math() {
+        let r = DnsRecord { target: 7, fetched_at: 100.0, ttl: 60.0 };
+        assert_eq!(r.expires_at(), 160.0);
+        assert!(!r.expired(159.9));
+        assert!(r.expired(160.0));
+    }
+
+    #[test]
+    fn resolver_caches_until_ttl() {
+        let mut cache = ResolverCache::new();
+        let r1 = cache.query(1, 0.0, || (10, 60.0));
+        assert_eq!(r1.target, 10);
+        // Within TTL: cached, authority not consulted.
+        let r2 = cache.query(1, 30.0, || (99, 60.0));
+        assert_eq!(r2.target, 10);
+        assert_eq!(cache.fetches, 1);
+        // Past TTL: re-fetch.
+        let r3 = cache.query(1, 61.0, || (99, 60.0));
+        assert_eq!(r3.target, 99);
+        assert_eq!(cache.fetches, 2);
+    }
+
+    #[test]
+    fn resolver_caches_per_domain() {
+        let mut cache = ResolverCache::new();
+        cache.query(1, 0.0, || (10, 60.0));
+        cache.query(2, 0.0, || (20, 60.0));
+        assert_eq!(cache.peek(1).unwrap().target, 10);
+        assert_eq!(cache.peek(2).unwrap().target, 20);
+        assert_eq!(cache.fetches, 2);
+    }
+
+    #[test]
+    fn client_overrun_violates_ttl() {
+        let mut resolver = ResolverCache::new();
+        let mut client = ClientCache::new(300.0);
+        let r1 = client.query(1, 0.0, &mut resolver, || (10, 60.0));
+        assert_eq!(r1.target, 10);
+        // 100 s after expiry the client still uses the stale answer.
+        let r2 = client.query(1, 160.0, &mut resolver, || (99, 60.0));
+        assert_eq!(r2.target, 10);
+        assert!(r2.expired(160.0));
+        // Past overrun it finally re-resolves.
+        let r3 = client.query(1, 400.0, &mut resolver, || (99, 60.0));
+        assert_eq!(r3.target, 99);
+    }
+
+    #[test]
+    fn well_behaved_client_respects_ttl() {
+        let mut resolver = ResolverCache::new();
+        let mut client = ClientCache::new(0.0);
+        client.query(1, 0.0, &mut resolver, || (10, 60.0));
+        let r = client.query(1, 60.5, &mut resolver, || (99, 60.0));
+        assert_eq!(r.target, 99);
+    }
+}

@@ -1,0 +1,27 @@
+//! DNS substrate: TTL caches, trace analysis, resolver populations.
+//!
+//! DNS is PAINTER's foil. §2.2 shows why DNS-based steering cannot react
+//! quickly (records outlive their TTLs in resolver and client caches —
+//! Fig. 3) or finely (a recursive resolver serves many, possibly
+//! geographically diverse, users — Fig. 9). This crate models both
+//! failure modes:
+//!
+//! * [`cache`] — DNS records, a recursive resolver cache, and a client
+//!   cache that can keep using expired records (the observed behaviour).
+//! * [`trace`] — the Fig. 3 analysis: generate flows matched to the DNS
+//!   records that created them and measure how much traffic is still sent
+//!   after the record expires, for three synthetic cloud profiles.
+//! * [`resolvers`] — resolver populations for the steering comparison:
+//!   most UGs use metro-local resolvers, some share global public
+//!   resolvers serving geographically disparate users, and one large
+//!   public resolver supports ECS (per-/24 granularity), mirroring §5.2.2.
+
+pub mod cache;
+pub mod resolvers;
+pub mod steering;
+pub mod trace;
+
+pub use cache::{ClientCache, DnsRecord, ResolverCache};
+pub use resolvers::{assign_resolvers, ResolverId, ResolverPopulation, ResolverPopulationConfig};
+pub use steering::{SteeringAuthority, SteeringPolicy};
+pub use trace::{bytes_yet_to_be_sent, generate_trace, CloudProfile, Flow, TraceConfig};

@@ -1,0 +1,180 @@
+//! Resolver populations for the DNS-steering comparison (§5.2.2).
+//!
+//! DNS steers traffic at the granularity of the recursive resolver. The
+//! evaluation needs a realistic mapping from UGs to resolvers:
+//!
+//! * most UGs use a **metro-local** resolver (their ISP's), shared with
+//!   other UGs in the same metro;
+//! * a fraction use **global public resolvers**, which serve
+//!   geographically disparate users — the paper found these correlate
+//!   with exactly the poorly-routed regions PAINTER helps most, which is
+//!   why DNS steering forfeits about half the benefit;
+//! * one large public resolver supports **ECS** (EDNS0 Client Subnet),
+//!   letting the cloud answer per /24 — per-UG granularity in our model.
+
+use painter_eventsim::SimRng;
+use painter_geo::MetroId;
+
+/// Identifier of a recursive resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResolverId(pub u32);
+
+/// Knobs for [`assign_resolvers`].
+#[derive(Debug, Clone)]
+pub struct ResolverPopulationConfig {
+    pub seed: u64,
+    /// Fraction of UGs using a global public resolver.
+    pub public_fraction: f64,
+    /// Number of distinct global public resolvers.
+    pub public_resolvers: usize,
+    /// Of the public resolvers, how many support ECS (the paper: "most
+    /// significantly, Google Public DNS" — so typically 1).
+    pub ecs_resolvers: usize,
+    /// Number of local resolvers per metro.
+    pub locals_per_metro: usize,
+}
+
+impl Default for ResolverPopulationConfig {
+    fn default() -> Self {
+        ResolverPopulationConfig {
+            seed: 0,
+            public_fraction: 0.25,
+            public_resolvers: 4,
+            ecs_resolvers: 1,
+            locals_per_metro: 2,
+        }
+    }
+}
+
+/// The resolver population and the UG → resolver assignment.
+#[derive(Debug, Clone)]
+pub struct ResolverPopulation {
+    /// Resolver of each UG (indexed like the input slice).
+    pub assignment: Vec<ResolverId>,
+    /// For each resolver: does it support ECS?
+    ecs: Vec<bool>,
+}
+
+impl ResolverPopulation {
+    /// Number of distinct resolvers.
+    pub fn resolver_count(&self) -> usize {
+        self.ecs.len()
+    }
+
+    /// True if `resolver` supports ECS (per-/24 answers).
+    pub fn supports_ecs(&self, resolver: ResolverId) -> bool {
+        self.ecs[resolver.0 as usize]
+    }
+
+    /// UG indices served by each resolver.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.ecs.len()];
+        for (ug_idx, r) in self.assignment.iter().enumerate() {
+            out[r.0 as usize].push(ug_idx);
+        }
+        out
+    }
+}
+
+/// Assigns each UG (given by home metro) to a resolver.
+pub fn assign_resolvers(
+    ug_metros: &[MetroId],
+    config: &ResolverPopulationConfig,
+) -> ResolverPopulation {
+    let mut rng = SimRng::stream(config.seed, 0x72_65_73);
+    // Resolver table: publics first (ids 0..P), then locals per metro as
+    // needed.
+    let publics = config.public_resolvers.max(1);
+    let mut ecs = vec![false; publics];
+    for e in ecs.iter_mut().take(config.ecs_resolvers.min(publics)) {
+        *e = true;
+    }
+    let mut local_ids: std::collections::HashMap<(MetroId, usize), ResolverId> =
+        std::collections::HashMap::new();
+    let mut assignment = Vec::with_capacity(ug_metros.len());
+    for &m in ug_metros {
+        if rng.chance(config.public_fraction) {
+            assignment.push(ResolverId(rng.index(publics) as u32));
+        } else {
+            let slot = rng.index(config.locals_per_metro.max(1));
+            let id = match local_ids.get(&(m, slot)) {
+                Some(&id) => id,
+                None => {
+                    let id = ResolverId(ecs.len() as u32);
+                    ecs.push(false); // local resolvers never support ECS
+                    local_ids.insert((m, slot), id);
+                    id
+                }
+            };
+            assignment.push(id);
+        }
+    }
+    ResolverPopulation { assignment, ecs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metros(n: usize) -> Vec<MetroId> {
+        (0..n).map(|i| MetroId((i % 20) as u16)).collect()
+    }
+
+    #[test]
+    fn every_ug_gets_a_resolver() {
+        let pop = assign_resolvers(&metros(500), &ResolverPopulationConfig::default());
+        assert_eq!(pop.assignment.len(), 500);
+        for r in &pop.assignment {
+            assert!((r.0 as usize) < pop.resolver_count());
+        }
+    }
+
+    #[test]
+    fn members_partition_the_ugs() {
+        let pop = assign_resolvers(&metros(300), &ResolverPopulationConfig::default());
+        let members = pop.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn public_resolvers_serve_disparate_metros() {
+        let ms = metros(2000);
+        let pop = assign_resolvers(&ms, &ResolverPopulationConfig::default());
+        let members = pop.members();
+        // Resolver 0 is public: its members should span several metros.
+        let mut metro_set: Vec<MetroId> = members[0].iter().map(|&i| ms[i]).collect();
+        metro_set.sort();
+        metro_set.dedup();
+        assert!(metro_set.len() > 3, "public resolver spans {} metros", metro_set.len());
+    }
+
+    #[test]
+    fn local_resolvers_serve_one_metro() {
+        let ms = metros(2000);
+        let config = ResolverPopulationConfig::default();
+        let pop = assign_resolvers(&ms, &config);
+        let members = pop.members();
+        for (rid, member_list) in members.iter().enumerate().skip(config.public_resolvers) {
+            let mut metro_set: Vec<MetroId> = member_list.iter().map(|&i| ms[i]).collect();
+            metro_set.sort();
+            metro_set.dedup();
+            assert!(metro_set.len() <= 1, "local resolver {rid} spans {metro_set:?}");
+        }
+    }
+
+    #[test]
+    fn ecs_flag_set_on_first_public() {
+        let pop = assign_resolvers(&metros(100), &ResolverPopulationConfig::default());
+        assert!(pop.supports_ecs(ResolverId(0)));
+        assert!(!pop.supports_ecs(ResolverId(1)));
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let ms = metros(400);
+        let a = assign_resolvers(&ms, &ResolverPopulationConfig::default());
+        let b = assign_resolvers(&ms, &ResolverPopulationConfig::default());
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,179 @@
+//! DNS-based steering: the authoritative side.
+//!
+//! The baseline PAINTER is compared against in §5.2.2: the cloud keeps an
+//! authoritative DNS service that returns, per *recursive resolver*, the
+//! A record for the prefix believed best for that resolver's users —
+//! per /24 when the resolver sends ECS. This module is that authority:
+//! a policy table plus the query path, TTL included, so experiments (and
+//! downstream users wanting the DNS variant) run the real machinery
+//! rather than an aggregate formula.
+
+use crate::cache::DnsRecord;
+use crate::resolvers::{ResolverId, ResolverPopulation};
+use std::collections::HashMap;
+
+/// The cloud's steering policy: what each resolver (or ECS client /24)
+/// should be told.
+#[derive(Debug, Clone, Default)]
+pub struct SteeringPolicy {
+    /// Per-resolver answer (an opaque target id — in PAINTER's use, the
+    /// prefix index the resolver's users should dial).
+    per_resolver: HashMap<ResolverId, u32>,
+    /// Per-client-subnet override for ECS-capable resolvers.
+    per_subnet: HashMap<u32, u32>,
+    /// Fallback answer (the anycast prefix).
+    pub default_target: u32,
+}
+
+impl SteeringPolicy {
+    /// A policy that answers `default_target` for everyone.
+    pub fn new(default_target: u32) -> Self {
+        SteeringPolicy { default_target, ..Default::default() }
+    }
+
+    /// Sets a resolver's answer.
+    pub fn set_resolver(&mut self, resolver: ResolverId, target: u32) {
+        self.per_resolver.insert(resolver, target);
+    }
+
+    /// Sets an ECS subnet's answer (keyed by the /24 network address).
+    pub fn set_subnet(&mut self, subnet: u32, target: u32) {
+        self.per_subnet.insert(subnet & !0xff, target);
+    }
+
+    /// Number of distinct steering entries.
+    pub fn len(&self) -> usize {
+        self.per_resolver.len() + self.per_subnet.len()
+    }
+
+    /// True if only the default answer exists.
+    pub fn is_empty(&self) -> bool {
+        self.per_resolver.is_empty() && self.per_subnet.is_empty()
+    }
+}
+
+/// The authoritative steering server.
+#[derive(Debug, Clone)]
+pub struct SteeringAuthority {
+    pub policy: SteeringPolicy,
+    /// TTL handed out with every answer (seconds). The paper's point: no
+    /// matter how smart the policy, reaction time is bounded below by
+    /// this (plus client cache overruns).
+    pub ttl_secs: f64,
+    /// Queries served (diagnostic).
+    pub queries: u64,
+}
+
+impl SteeringAuthority {
+    /// An authority with the given policy and TTL.
+    pub fn new(policy: SteeringPolicy, ttl_secs: f64) -> Self {
+        SteeringAuthority { policy, ttl_secs, queries: 0 }
+    }
+
+    /// Answers a query from `resolver` at time `now`. `ecs_subnet` is the
+    /// client /24 if the resolver sent ECS *and* the population says it
+    /// supports it.
+    pub fn query(
+        &mut self,
+        population: &ResolverPopulation,
+        resolver: ResolverId,
+        ecs_subnet: Option<u32>,
+        now: f64,
+    ) -> DnsRecord {
+        self.queries += 1;
+        let target = ecs_subnet
+            .filter(|_| population.supports_ecs(resolver))
+            .and_then(|s| self.policy.per_subnet.get(&(s & !0xff)).copied())
+            .or_else(|| self.policy.per_resolver.get(&resolver).copied())
+            .unwrap_or(self.policy.default_target);
+        DnsRecord { target, fetched_at: now, ttl: self.ttl_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolvers::{assign_resolvers, ResolverPopulationConfig};
+    use painter_geo::MetroId;
+
+    fn population() -> ResolverPopulation {
+        let metros: Vec<MetroId> = (0..50).map(|i| MetroId(i % 10)).collect();
+        assign_resolvers(&metros, &ResolverPopulationConfig::default())
+    }
+
+    #[test]
+    fn default_answer_when_unconfigured() {
+        let pop = population();
+        let mut authority = SteeringAuthority::new(SteeringPolicy::new(99), 60.0);
+        let r = authority.query(&pop, ResolverId(1), None, 5.0);
+        assert_eq!(r.target, 99);
+        assert_eq!(r.ttl, 60.0);
+        assert_eq!(r.fetched_at, 5.0);
+        assert_eq!(authority.queries, 1);
+    }
+
+    #[test]
+    fn per_resolver_policy_applies() {
+        let pop = population();
+        let mut policy = SteeringPolicy::new(0);
+        policy.set_resolver(ResolverId(2), 7);
+        let mut authority = SteeringAuthority::new(policy, 60.0);
+        assert_eq!(authority.query(&pop, ResolverId(2), None, 0.0).target, 7);
+        assert_eq!(authority.query(&pop, ResolverId(3), None, 0.0).target, 0);
+    }
+
+    #[test]
+    fn ecs_override_only_for_ecs_resolvers() {
+        let pop = population();
+        let mut policy = SteeringPolicy::new(0);
+        policy.set_resolver(ResolverId(0), 1);
+        policy.set_resolver(ResolverId(1), 1);
+        policy.set_subnet(0x0A00_0100, 42);
+        let mut authority = SteeringAuthority::new(policy, 60.0);
+        // Resolver 0 supports ECS (first public); resolver 1 does not.
+        assert!(pop.supports_ecs(ResolverId(0)));
+        assert!(!pop.supports_ecs(ResolverId(1)));
+        let client = 0x0A00_0123; // inside the configured /24
+        assert_eq!(authority.query(&pop, ResolverId(0), Some(client), 0.0).target, 42);
+        assert_eq!(authority.query(&pop, ResolverId(1), Some(client), 0.0).target, 1);
+    }
+
+    #[test]
+    fn subnet_keying_masks_host_bits() {
+        let mut policy = SteeringPolicy::new(0);
+        policy.set_subnet(0xC0A8_0105, 9); // host bits set; stored as /24
+        assert_eq!(policy.len(), 1);
+        let pop = population();
+        let mut authority = SteeringAuthority::new(policy, 30.0);
+        assert_eq!(
+            authority.query(&pop, ResolverId(0), Some(0xC0A8_01FF), 0.0).target,
+            9
+        );
+    }
+
+    #[test]
+    fn reaction_time_is_ttl_bound() {
+        // The structural limit the paper hammers on: even an instant
+        // policy change cannot reach a client before its record expires.
+        let pop = population();
+        let mut authority = SteeringAuthority::new(SteeringPolicy::new(0), 60.0);
+        let mut resolver_cache = crate::cache::ResolverCache::new();
+        // A client resolves at t=0 and caches.
+        let r0 = resolver_cache.query(1, 0.0, || {
+            let rec = authority.query(&pop, ResolverId(5), None, 0.0);
+            (rec.target, rec.ttl)
+        });
+        assert_eq!(r0.target, 0);
+        // The cloud flips the policy at t=1.
+        authority.policy.set_resolver(ResolverId(5), 77);
+        // At t=30 the resolver still serves the stale answer.
+        let r1 = resolver_cache.query(1, 30.0, || unreachable!("cache must hit"));
+        assert_eq!(r1.target, 0);
+        // Only after TTL expiry does the new answer propagate.
+        let r2 = resolver_cache.query(1, 61.0, || {
+            let rec = authority.query(&pop, ResolverId(5), None, 61.0);
+            (rec.target, rec.ttl)
+        });
+        assert_eq!(r2.target, 77);
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! figures <fig-id>... [--test] [--markdown]   # e.g. figures fig6a fig10
+//! figures all [--test] [--markdown]           # every figure, paper order
+//! figures list                                # available ids
+//! ```
+//!
+//! `--test` runs the small (CI-sized) inputs; the default is paper-sized
+//! inputs, intended for release builds. `--markdown` emits a summary
+//! table (id | title | notes) instead of the full data series.
+
+use painter_eval::figs::{run, ALL_FIGURES};
+use painter_eval::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available figures: {}", ALL_FIGURES.join(" "));
+        println!("usage: figures <fig-id>...|all [--test]");
+        return;
+    }
+    let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_FIGURES.to_vec()
+    } else {
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect()
+    };
+    let mut failed = false;
+    if markdown {
+        println!("| Figure | Title | Measured vs paper |");
+        println!("|---|---|---|");
+    }
+    for id in requested {
+        match run(id, scale) {
+            Some(fig) => {
+                if markdown {
+                    println!("{}", fig.render_markdown_row());
+                } else {
+                    println!("{}", fig.render());
+                }
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (try `figures list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 14 (Appendix E.1): full benefit *ranges* per strategy.
+//!
+//! Each strategy's benefit is a range — the UG might land on any of the
+//! candidate ingresses its chosen prefix exposes. Paper: One-per-PoP
+//! strategies have huge ranges (high Upper, low Mean — many possibly-poor
+//! ingresses per prefix); One-per-Peering has zero uncertainty; PAINTER's
+//! reuse keeps the range narrow while spending few prefixes.
+
+use crate::figs::fig6::{learn_painter, restrict_to_budget, BUDGET_FRACTIONS};
+use crate::helpers::world_estimated;
+use crate::scenario::{Scale, Scenario};
+use crate::{Figure, Series};
+use painter_core::{
+    one_per_peering, one_per_pop, one_per_pop_with_reuse, BenefitRange, ConfigEvaluator,
+};
+
+/// Runs the benefit-range analysis (the simulated-measurement variant,
+/// Fig. 14b; the PEERING variant has the same machinery with a different
+/// scenario and is covered by fig6b/6c).
+pub fn run(scale: Scale) -> Figure {
+    let s = Scenario::azure_like(scale, 141);
+    let mut world = world_estimated(&s, 0.47, 450.0);
+    let budgets = s.budget_sweep(BUDGET_FRACTIONS);
+    let cap = if scale == Scale::Test { 24 } else { 300 };
+    let max_budget = budgets.last().map(|(_, b)| *b).unwrap_or(1).min(cap);
+    let iters = if scale == Scale::Test { 2 } else { 3 };
+    let (orch, _) = learn_painter(&mut world, max_budget, iters, 3000.0);
+    let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+    let painter_full = orch.compute_config();
+
+    let mut series: Vec<Series> = Vec::new();
+    let mut painter_spread_sum = 0.0;
+    let mut pop_spread_sum = 0.0;
+    for (name, maker) in strategy_makers() {
+        let mut pts: Vec<(f64, BenefitRange)> = Vec::new();
+        for &(frac, budget) in &budgets {
+            let config = match name {
+                "PAINTER" => restrict_to_budget(&painter_full, budget.min(max_budget)),
+                _ => maker(&s, &orch.inputs, budget),
+            };
+            pts.push((frac, eval.benefit_percent(&config)));
+        }
+        for (bound, pick) in bound_accessors() {
+            series.push(Series::new(
+                format!("{name}/{bound}"),
+                pts.iter().map(|(x, r)| (*x, pick(r))).collect(),
+            ));
+        }
+        let spread: f64 = pts.iter().map(|(_, r)| r.upper - r.lower).sum::<f64>()
+            / pts.len().max(1) as f64;
+        match name {
+            "PAINTER" => painter_spread_sum = spread,
+            "One per PoP" => pop_spread_sum = spread,
+            _ => {}
+        }
+    }
+    let notes = vec![
+        format!(
+            "paper: One-per-PoP strategies have very large benefit ranges, PAINTER's are \
+             small; measured mean Upper-Lower spread: PAINTER {painter_spread_sum:.1} vs \
+             One per PoP {pop_spread_sum:.1} (percentage points)"
+        ),
+        "One per Peering has zero uncertainty by construction".into(),
+    ];
+    Figure {
+        id: "fig14",
+        title: "Benefit ranges (Lower/Mean/Estimated/Upper) per strategy vs budget",
+        x_label: "% prefix budget (of ingress count)",
+        y_label: "% of possible benefit",
+        series,
+        notes,
+    }
+}
+
+type Maker = fn(&Scenario, &painter_core::OrchestratorInputs, usize) -> painter_bgp::AdvertConfig;
+
+/// Accessor into one bound of a [`BenefitRange`].
+type BoundAccessor = (&'static str, fn(&BenefitRange) -> f64);
+
+fn strategy_makers() -> Vec<(&'static str, Maker)> {
+    vec![
+        ("PAINTER", |_, _, _| painter_bgp::AdvertConfig::new()),
+        ("One per Peering", |s, i, b| one_per_peering(&s.deployment, Some(i), b)),
+        ("One per PoP", |s, i, b| one_per_pop(&s.deployment, Some(i), b)),
+        ("One per PoP w/Reuse", |s, i, b| {
+            one_per_pop_with_reuse(&s.deployment, Some(i), b, 3000.0)
+        }),
+    ]
+}
+
+fn bound_accessors() -> Vec<BoundAccessor> {
+    vec![
+        ("Lower", |r| r.lower),
+        ("Mean", |r| r.mean),
+        ("Estimated", |r| r.estimated),
+        ("Upper", |r| r.upper),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_ranges_are_ordered_and_peering_is_tight() {
+        let fig = run(Scale::Test);
+        // For every strategy and budget: lower <= mean <= upper and
+        // lower <= estimated <= upper.
+        for chunk in fig.series.chunks(4) {
+            let (lower, mean, est, upper) =
+                (&chunk[0].points, &chunk[1].points, &chunk[2].points, &chunk[3].points);
+            for i in 0..lower.len() {
+                assert!(lower[i].1 <= mean[i].1 + 1e-6, "{}", chunk[0].name);
+                assert!(mean[i].1 <= upper[i].1 + 1e-6, "{}", chunk[1].name);
+                assert!(lower[i].1 <= est[i].1 + 1e-6);
+                assert!(est[i].1 <= upper[i].1 + 1e-6);
+            }
+        }
+        // One per Peering: zero spread.
+        let peering_lower =
+            fig.series.iter().find(|s| s.name == "One per Peering/Lower").unwrap();
+        let peering_upper =
+            fig.series.iter().find(|s| s.name == "One per Peering/Upper").unwrap();
+        for (l, u) in peering_lower.points.iter().zip(&peering_upper.points) {
+            assert!((l.1 - u.1).abs() < 1e-6, "One per Peering must have no uncertainty");
+        }
+    }
+
+    #[test]
+    fn fig14_one_per_pop_has_wide_ranges() {
+        let fig = run(Scale::Test);
+        let pop_lower = fig.series.iter().find(|s| s.name == "One per PoP/Lower").unwrap();
+        let pop_upper = fig.series.iter().find(|s| s.name == "One per PoP/Upper").unwrap();
+        let spread: f64 = pop_lower
+            .points
+            .iter()
+            .zip(&pop_upper.points)
+            .map(|(l, u)| u.1 - l.1)
+            .sum::<f64>()
+            / pop_lower.points.len() as f64;
+        assert!(spread > 1.0, "One per PoP spread should be visible, got {spread}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 3: traffic sent after DNS record expiration.
+//!
+//! Paper claim: "Of all traffic sent to Cloud A, 80% is sent at least 5
+//! minutes after TTL expiration"; for the other two clouds, ~20% is sent
+//! at least a minute after expiration.
+
+use crate::scenario::Scale;
+use crate::{Figure, Series};
+use painter_dns::{bytes_yet_to_be_sent, generate_trace, CloudProfile, TraceConfig};
+
+/// Offsets (seconds relative to record expiration) sampled for the curve,
+/// matching the paper's log-ish x-axis from -1 min to +1 hour.
+fn offsets() -> Vec<f64> {
+    vec![
+        -60.0, -30.0, -10.0, -1.0, 0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+        1800.0, 3600.0,
+    ]
+}
+
+/// Runs the Fig. 3 analysis over the three synthetic cloud profiles.
+pub fn run(scale: Scale) -> Figure {
+    let flows = match scale {
+        Scale::Test => 20_000,
+        Scale::Paper => 200_000,
+    };
+    let xs = offsets();
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for profile in CloudProfile::paper_triple() {
+        let trace = generate_trace(&profile, &TraceConfig { seed: 3, flows });
+        let curve = bytes_yet_to_be_sent(&trace, &xs);
+        if profile.name == "Cloud A" {
+            let at_5min = curve[xs.iter().position(|&x| x == 300.0).expect("offset")];
+            notes.push(format!(
+                "paper: Cloud A sends 80% of traffic ≥5 min after expiry; measured {:.0}%",
+                at_5min * 100.0
+            ));
+        } else {
+            let at_1min = curve[xs.iter().position(|&x| x == 60.0).expect("offset")];
+            notes.push(format!(
+                "paper: {} sends ~20% ≥1 min after expiry; measured {:.0}%",
+                profile.name,
+                at_1min * 100.0
+            ));
+        }
+        series.push(Series::new(
+            profile.name,
+            xs.iter().zip(&curve).map(|(&x, &y)| (x, y * 100.0)).collect(),
+        ));
+    }
+    Figure {
+        id: "fig3",
+        title: "Bytes yet to be sent vs time relative to DNS record expiration",
+        x_label: "seconds after record expiration",
+        y_label: "% of bytes yet to be sent",
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let fig = run(Scale::Test);
+        assert_eq!(fig.series.len(), 3);
+        // Cloud A dominates the others at +60 s.
+        let at = |s: &Series, x: f64| {
+            s.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y).expect("point")
+        };
+        let a = &fig.series[0];
+        let b = &fig.series[1];
+        let c = &fig.series[2];
+        assert!(at(a, 60.0) > at(b, 60.0));
+        assert!(at(b, 60.0) > at(c, 60.0));
+        // Cloud A still has most bytes outstanding 5 minutes after expiry.
+        assert!(at(a, 300.0) > 50.0, "got {}", at(a, 300.0));
+        // Every curve decreases.
+        for s in &fig.series {
+            for w in s.points.windows(2) {
+                assert!(w[0].1 >= w[1].1 - 1e-9);
+            }
+        }
+    }
+}

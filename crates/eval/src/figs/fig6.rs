@@ -1,0 +1,315 @@
+//! Fig. 6: advertisement strategies — benefit vs prefix budget.
+//!
+//! * 6a: simulated Azure measurements; % of possible benefit (estimated
+//!   expectation) per strategy. Paper: PAINTER dominates at every budget
+//!   and saves ~3× the prefixes of One-per-Peering at 75% benefit.
+//! * 6b: the PEERING prototype; mean latency improvement (ms) over
+//!   improved UGs, evaluated against real (ground-truth) advertisements.
+//!   Paper: ~54–60 ms at convergence, PAINTER needs ~10% of the prefixes
+//!   of One-per-Peering for 90% of the benefit.
+//! * 6c: the same metric per learning iteration (1–4) — later iterations
+//!   do strictly better and uncertainty shrinks (44 ms → 8 ms).
+
+use crate::helpers::{realized_benefit, world_direct, world_estimated, World};
+use crate::scenario::{Scale, Scenario};
+use crate::{Figure, Series};
+use painter_bgp::AdvertConfig;
+use painter_core::{
+    one_per_peering, one_per_pop, one_per_pop_with_reuse, ConfigEvaluator, GroundTruthEnv,
+    Orchestrator, OrchestratorConfig, OrchestratorReport,
+};
+use painter_measure::UgId;
+
+/// Budget fractions (percent of ingress count) swept on the x-axis.
+pub const BUDGET_FRACTIONS: &[f64] = &[0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
+
+/// Restricts a configuration to its first `k` prefixes (the greedy
+/// allocates prefixes in order, so this is the budget-`k` configuration).
+pub fn restrict_to_budget(config: &AdvertConfig, k: usize) -> AdvertConfig {
+    let mut out = AdvertConfig::new();
+    for (prefix, peerings) in config.iter() {
+        if (prefix.0 as usize) < k {
+            for &p in peerings {
+                out.add(prefix, p);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the PAINTER learning loop at the full budget and returns the
+/// orchestrator (with its post-learning model/inputs) and the report.
+pub fn learn_painter(
+    world: &mut World<'_>,
+    max_budget: usize,
+    iterations: usize,
+    d_reuse_km: f64,
+) -> (Orchestrator, OrchestratorReport) {
+    let mut orch = Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig {
+            prefix_budget: max_budget,
+            d_reuse_km,
+            max_iterations: iterations,
+            convergence_threshold: f64::NEG_INFINITY, // run all requested iterations
+            ..Default::default()
+        },
+    );
+    let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+    let report = {
+        let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+        orch.run(&mut env)
+    };
+    (orch, report)
+}
+
+fn scales(scale: Scale) -> (usize, usize) {
+    // (max budget cap, learning iterations)
+    match scale {
+        Scale::Test => (24, 2),
+        Scale::Paper => (400, 3),
+    }
+}
+
+/// Fig. 6a: modeled (estimated) % of possible benefit, Azure-like world.
+pub fn run_6a(scale: Scale) -> Figure {
+    let s = Scenario::azure_like(scale, 61);
+    let mut world = world_estimated(&s, 0.47, 450.0);
+    let budgets = s.budget_sweep(BUDGET_FRACTIONS);
+    let (cap, iters) = scales(scale);
+    let max_budget = budgets.last().map(|(_, b)| *b).unwrap_or(1).min(cap);
+    let (orch, _) = learn_painter(&mut world, max_budget, iters, 3000.0);
+    let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+    let painter_full = orch.compute_config();
+
+    let mut painter_pts = Vec::new();
+    let mut peering_pts = Vec::new();
+    let mut pop_pts = Vec::new();
+    let mut reuse_pts = Vec::new();
+    for &(frac, budget) in &budgets {
+        let painter = restrict_to_budget(&painter_full, budget.min(max_budget));
+        painter_pts.push((frac, eval.benefit_percent(&painter).estimated));
+        peering_pts.push((
+            frac,
+            eval.benefit_percent(&one_per_peering(&s.deployment, Some(&orch.inputs), budget))
+                .estimated,
+        ));
+        pop_pts.push((
+            frac,
+            eval.benefit_percent(&one_per_pop(&s.deployment, Some(&orch.inputs), budget))
+                .estimated,
+        ));
+        reuse_pts.push((
+            frac,
+            eval.benefit_percent(&one_per_pop_with_reuse(
+                &s.deployment,
+                Some(&orch.inputs),
+                budget,
+                3000.0,
+            ))
+            .estimated,
+        ));
+    }
+    let notes = vec![
+        note_dominates(&painter_pts, &peering_pts, "One per Peering"),
+        note_dominates(&painter_pts, &pop_pts, "One per PoP"),
+        prefix_savings_note(&painter_pts, &peering_pts, 75.0),
+    ];
+    Figure {
+        id: "fig6a",
+        title: "Percent of possible benefit vs prefix budget (simulated Azure)",
+        x_label: "% prefix budget (of ingress count)",
+        y_label: "% of possible benefit (estimated)",
+        series: vec![
+            Series::new("PAINTER", painter_pts),
+            Series::new("One per Peering", peering_pts),
+            Series::new("One per PoP", pop_pts),
+            Series::new("One per PoP w/Reuse", reuse_pts),
+        ],
+        notes,
+    }
+}
+
+/// Fig. 6b: realized mean improvement (ms), PEERING-prototype world.
+pub fn run_6b(scale: Scale) -> Figure {
+    let s = Scenario::peering_like(scale, 62);
+    let mut world = world_direct(&s);
+    let budgets = s.budget_sweep(BUDGET_FRACTIONS);
+    let (cap, iters) = scales(scale);
+    let max_budget = budgets.last().map(|(_, b)| *b).unwrap_or(1).min(cap);
+    let (orch, _) = learn_painter(&mut world, max_budget, iters, 3000.0);
+    let painter_full = orch.compute_config();
+
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        ("PAINTER", Vec::new()),
+        ("One per Peering", Vec::new()),
+        ("One per PoP", Vec::new()),
+        ("One per PoP w/ reuse", Vec::new()),
+    ];
+    for &(frac, budget) in &budgets {
+        let configs = [
+            restrict_to_budget(&painter_full, budget.min(max_budget)),
+            one_per_peering(&s.deployment, Some(&orch.inputs), budget),
+            one_per_pop(&s.deployment, Some(&orch.inputs), budget),
+            one_per_pop_with_reuse(&s.deployment, Some(&orch.inputs), budget, 3000.0),
+        ];
+        for (slot, config) in series.iter_mut().zip(configs) {
+            let r = realized_benefit(&mut world.gt, &world.anycast, &config);
+            slot.1.push((frac, r.mean_over_improvable_ms));
+        }
+    }
+    let painter_pts = series[0].1.clone();
+    let peering_pts = series[1].1.clone();
+    let notes = vec![
+        format!(
+            "paper: ~54-60 ms mean improvement at convergence; measured {:.0} ms at full budget",
+            painter_pts.last().map(|p| p.1).unwrap_or(0.0)
+        ),
+        note_dominates(&painter_pts, &peering_pts, "One per Peering"),
+    ];
+    Figure {
+        id: "fig6b",
+        title: "Mean latency improvement vs prefix budget (PEERING prototype)",
+        x_label: "% prefix budget (of ingress count)",
+        y_label: "mean improvement over improved UGs (ms)",
+        series: series.into_iter().map(|(n, p)| Series::new(n, p)).collect(),
+        notes,
+    }
+}
+
+/// Fig. 6c: per-learning-iteration curves, PEERING-prototype world.
+pub fn run_6c(scale: Scale) -> Figure {
+    let s = Scenario::peering_like(scale, 63);
+    let mut world = world_direct(&s);
+    let budgets = s.budget_sweep(BUDGET_FRACTIONS);
+    let (cap, _) = scales(scale);
+    let max_budget = budgets.last().map(|(_, b)| *b).unwrap_or(1).min(cap);
+    let (_, report) = learn_painter(&mut world, max_budget, 4, 3000.0);
+
+    let mut series = Vec::new();
+    let mut uncertainties = Vec::new();
+    for (i, iter_stats) in report.iterations.iter().enumerate() {
+        let mut pts = Vec::new();
+        for &(frac, budget) in &budgets {
+            let config = restrict_to_budget(&iter_stats.config, budget.min(max_budget));
+            let r = realized_benefit(&mut world.gt, &world.anycast, &config);
+            pts.push((frac, r.mean_over_improvable_ms));
+        }
+        // "Uncertainty prior to testing a strategy": how far the model's
+        // predicted benefit was from what the advertisement actually
+        // delivered, in ms per unit weight. Learning shrinks it — the
+        // narrowing shaded band of the paper's figure.
+        let weight: f64 = world.inputs.total_weight();
+        let model_error =
+            (iter_stats.modeled.mean - iter_stats.measured_benefit).abs() / weight.max(1e-9);
+        uncertainties.push(model_error);
+        series.push(Series::new(format!("Painter Learning Iter {}", i + 1), pts));
+    }
+    let small_budget_gain = {
+        let first = series.first().and_then(|s| s.points.first()).map(|p| p.1).unwrap_or(0.0);
+        let last = series.last().and_then(|s| s.points.first()).map(|p| p.1).unwrap_or(0.0);
+        (first, last)
+    };
+    let notes = vec![
+        format!(
+            "paper: later iterations extract more benefit from small budgets; measured              smallest-budget improvement {:.1} ms (iter 1) -> {:.1} ms (final iter)",
+            small_budget_gain.0, small_budget_gain.1
+        ),
+        format!(
+            "paper: uncertainty shrinks over iterations (44 ms -> 8 ms); measured model              error stays within {:.2}-{:.2} ms per unit weight (direct measurements leave              the model little to be wrong about at this scale)",
+            uncertainties.iter().copied().fold(f64::INFINITY, f64::min),
+            uncertainties.iter().copied().fold(0.0f64, f64::max),
+        ),
+        format!("iterations run: {}", report.iterations.len()),
+    ];
+    Figure {
+        id: "fig6c",
+        title: "Learning iterations improve advertisement strategies",
+        x_label: "% prefix budget (of ingress count)",
+        y_label: "mean improvement over improved UGs (ms)",
+        series,
+        notes,
+    }
+}
+
+fn note_dominates(painter: &[(f64, f64)], other: &[(f64, f64)], name: &str) -> String {
+    let wins = painter
+        .iter()
+        .zip(other)
+        .filter(|((_, a), (_, b))| a + 1e-9 >= *b)
+        .count();
+    format!(
+        "paper: PAINTER >= {name} at every budget; measured {wins}/{} budget points",
+        painter.len()
+    )
+}
+
+/// How many fewer prefixes PAINTER needs than `other` to reach
+/// `threshold`% — the paper's "3× fewer prefixes at 75% benefit".
+fn prefix_savings_note(painter: &[(f64, f64)], other: &[(f64, f64)], threshold: f64) -> String {
+    let first_reaching = |pts: &[(f64, f64)]| pts.iter().find(|(_, y)| *y >= threshold).map(|(x, _)| *x);
+    match (first_reaching(painter), first_reaching(other)) {
+        (Some(p), Some(o)) if p > 0.0 => format!(
+            "paper: ~3x prefix savings at {threshold}% benefit; measured {:.1}x ({}% vs {}% budget)",
+            o / p,
+            p,
+            o
+        ),
+        (Some(p), None) => {
+            format!("PAINTER reaches {threshold}% at {p}% budget; One per Peering never does")
+        }
+        _ => format!("PAINTER did not reach {threshold}% at swept budgets"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_bgp::PrefixId;
+
+    #[test]
+    fn fig6a_painter_dominates_baselines() {
+        let fig = run_6a(Scale::Test);
+        assert_eq!(fig.series.len(), 4);
+        let painter = &fig.series[0].points;
+        for other in &fig.series[1..] {
+            for ((_, a), (_, b)) in painter.iter().zip(&other.points) {
+                assert!(a + 5.0 >= *b, "PAINTER {a} << {} {b}", other.name);
+            }
+        }
+        // Benefit grows with budget.
+        assert!(painter.last().unwrap().1 >= painter.first().unwrap().1);
+        // At the largest budget PAINTER captures most of the benefit.
+        assert!(painter.last().unwrap().1 > 50.0, "got {painter:?}");
+    }
+
+    #[test]
+    fn fig6b_realized_improvement_is_positive() {
+        let fig = run_6b(Scale::Test);
+        let painter = &fig.series[0].points;
+        assert!(painter.last().unwrap().1 > 0.0, "{painter:?}");
+    }
+
+    #[test]
+    fn fig6c_has_monotonically_helpful_iterations() {
+        let fig = run_6c(Scale::Test);
+        assert!(!fig.series.is_empty());
+        // The final iteration's full-budget point must be at least as good
+        // as the first iteration's (learning helps).
+        let first = fig.series.first().unwrap().points.last().unwrap().1;
+        let last = fig.series.last().unwrap().points.last().unwrap().1;
+        assert!(last >= first * 0.9, "learning regressed: {first} -> {last}");
+    }
+
+    #[test]
+    fn restrict_to_budget_filters_prefixes() {
+        let mut c = AdvertConfig::new();
+        c.add(PrefixId(0), painter_topology::PeeringId(0));
+        c.add(PrefixId(1), painter_topology::PeeringId(1));
+        c.add(PrefixId(2), painter_topology::PeeringId(2));
+        let r = restrict_to_budget(&c, 2);
+        assert_eq!(r.prefix_count(), 2);
+        assert!(r.contains(PrefixId(0), painter_topology::PeeringId(0)));
+        assert!(!r.contains(PrefixId(2), painter_topology::PeeringId(2)));
+    }
+}

@@ -1,0 +1,41 @@
+//! One module per paper figure.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig15;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+
+use crate::scenario::Scale;
+use crate::Figure;
+
+/// All figure ids, in paper order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig3", "fig6a", "fig6b", "fig6c", "fig7", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
+    "fig12", "fig14", "fig15a", "fig15b",
+];
+
+/// Runs one figure harness by id.
+pub fn run(id: &str, scale: Scale) -> Option<Figure> {
+    Some(match id {
+        "fig3" => fig3::run(scale),
+        "fig6a" => fig6::run_6a(scale),
+        "fig6b" => fig6::run_6b(scale),
+        "fig6c" => fig6::run_6c(scale),
+        "fig7" => fig7::run(scale),
+        "fig9a" => fig9::run_9a(scale),
+        "fig9b" => fig9::run_9b(scale),
+        "fig10" => fig10::run(scale),
+        "fig11a" => fig11::run_11a(scale),
+        "fig11b" => fig11::run_11b(scale),
+        "fig12" => fig12::run(scale),
+        "fig14" => fig14::run(scale),
+        "fig15a" => fig15::run_15a(scale),
+        "fig15b" => fig15::run_15b(scale),
+        _ => return None,
+    })
+}

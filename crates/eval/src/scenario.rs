@@ -1,0 +1,176 @@
+//! Standard evaluation scenarios.
+//!
+//! Two deployments mirror the paper's two settings:
+//!
+//! * **Azure-like** — a large global deployment (the simulated-measurement
+//!   evaluation of Fig. 6a): many PoPs, many peerings, probe coverage at
+//!   47% of traffic with Appendix-C extrapolation filling the rest.
+//! * **PEERING-like** — the 25-PoP Vultr prototype (Fig. 6b/6c): smaller,
+//!   but measured directly (the prototype pings clients itself).
+
+use painter_measure::{build_user_groups, UserGroup};
+use painter_topology::{
+    generate, CustomerCones, Deployment, DeploymentConfig, Internet, TopologyConfig,
+};
+
+/// Input sizing for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast inputs for tests.
+    Test,
+    /// Evaluation-size inputs (run in release).
+    Paper,
+}
+
+/// A fully built world: Internet, cloud deployment, user groups, cones.
+pub struct Scenario {
+    pub net: Internet,
+    pub deployment: Deployment,
+    pub ugs: Vec<UserGroup>,
+    pub cones: CustomerCones,
+    pub seed: u64,
+}
+
+/// The hidden tie-break salt every scenario shares (one "Internet").
+pub const SALT: u64 = 0x9A1E;
+
+impl Scenario {
+    /// Builds a scenario from explicit configs.
+    pub fn build(topology: TopologyConfig, deployment: DeploymentConfig, seed: u64) -> Scenario {
+        let net = generate(topology);
+        let dep = Deployment::generate(&net.graph, &deployment);
+        let ugs = build_user_groups(&net, seed);
+        let cones = CustomerCones::compute(&net.graph);
+        Scenario { net, deployment: dep, ugs, cones, seed }
+    }
+
+    /// The Azure-like global deployment.
+    pub fn azure_like(scale: Scale, seed: u64) -> Scenario {
+        let (topology, deployment) = match scale {
+            Scale::Test => (
+                TopologyConfig {
+                    seed,
+                    num_tier1: 6,
+                    transit_per_region: 4,
+                    access_per_region: 10,
+                    num_stubs: 220,
+                    ..Default::default()
+                },
+                DeploymentConfig { seed, num_pops: 14, ..Default::default() },
+            ),
+            Scale::Paper => (
+                TopologyConfig {
+                    seed,
+                    num_tier1: 12,
+                    transit_per_region: 8,
+                    access_per_region: 30,
+                    num_stubs: 2200,
+                    ..Default::default()
+                },
+                DeploymentConfig { seed, num_pops: 44, ..Default::default() },
+            ),
+        };
+        Scenario::build(topology, deployment, seed)
+    }
+
+    /// The PEERING/Vultr-like prototype deployment (25 PoPs).
+    pub fn peering_like(scale: Scale, seed: u64) -> Scenario {
+        let (topology, deployment) = match scale {
+            Scale::Test => (
+                TopologyConfig {
+                    seed,
+                    num_tier1: 5,
+                    transit_per_region: 3,
+                    access_per_region: 8,
+                    num_stubs: 180,
+                    ..Default::default()
+                },
+                DeploymentConfig {
+                    seed,
+                    num_pops: 10,
+                    num_transit_providers: 3,
+                    ..Default::default()
+                },
+            ),
+            Scale::Paper => (
+                TopologyConfig {
+                    seed,
+                    num_tier1: 10,
+                    transit_per_region: 7,
+                    access_per_region: 24,
+                    num_stubs: 1600,
+                    ..Default::default()
+                },
+                DeploymentConfig {
+                    seed,
+                    num_pops: 25,
+                    num_transit_providers: 3,
+                    // The prototype peers broadly (9,000 ingresses over 25
+                    // PoPs in the paper).
+                    peer_prob_transit: 0.7,
+                    peer_prob_access: 0.55,
+                    ..Default::default()
+                },
+            ),
+        };
+        Scenario::build(topology, deployment, seed)
+    }
+
+    /// Number of ingresses (peerings) — the unit prefix budgets are
+    /// reported against.
+    pub fn ingress_count(&self) -> usize {
+        self.deployment.peerings().len()
+    }
+
+    /// Budget points as fractions of the ingress count (the paper's
+    /// x-axis), deduplicated and at least 1 prefix each.
+    pub fn budget_sweep(&self, fractions: &[f64]) -> Vec<(f64, usize)> {
+        let n = self.ingress_count() as f64;
+        let mut out: Vec<(f64, usize)> = fractions
+            .iter()
+            .map(|&f| (f, ((n * f / 100.0).round() as usize).max(1)))
+            .collect();
+        out.dedup_by_key(|(_, b)| *b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_test_scale_builds_quickly() {
+        let s = Scenario::azure_like(Scale::Test, 1);
+        assert!(s.ingress_count() > 20, "got {}", s.ingress_count());
+        assert_eq!(s.ugs.len(), 220);
+        assert_eq!(s.deployment.pops().len(), 14);
+    }
+
+    #[test]
+    fn peering_test_scale_builds_quickly() {
+        let s = Scenario::peering_like(Scale::Test, 1);
+        assert_eq!(s.deployment.pops().len(), 10);
+        assert!(!s.ugs.is_empty());
+    }
+
+    #[test]
+    fn budget_sweep_is_monotone_and_positive() {
+        let s = Scenario::azure_like(Scale::Test, 2);
+        let sweep = s.budget_sweep(&[0.1, 1.0, 10.0, 100.0]);
+        assert!(!sweep.is_empty());
+        for w in sweep.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!(sweep.iter().all(|(_, b)| *b >= 1));
+        assert_eq!(sweep.last().unwrap().1, s.ingress_count());
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = Scenario::azure_like(Scale::Test, 7);
+        let b = Scenario::azure_like(Scale::Test, 7);
+        assert_eq!(a.ingress_count(), b.ingress_count());
+        assert_eq!(a.net.graph.links().len(), b.net.graph.links().len());
+    }
+}

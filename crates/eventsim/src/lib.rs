@@ -1,0 +1,207 @@
+//! Discrete-event simulation kernel for the PAINTER reproduction.
+//!
+//! Both the dynamic BGP engine (route propagation with MRAI timers,
+//! withdrawals, convergence churn) and the Traffic Manager (packet-level
+//! tunneling with RTT-timescale failover) are event-driven simulations. This
+//! crate provides the shared kernel: a virtual clock, a deterministic event
+//! queue, and a seeded random-number utility.
+//!
+//! Design goals, in order: *determinism* (a given seed replays bit-for-bit,
+//! events at equal timestamps fire in scheduling order), *simplicity*, and
+//! *robustness* — matching the idioms of event-driven network stacks such as
+//! smoltcp, the kernel never consults wall-clock time and never allocates
+//! implicitly on the hot path beyond the binary heap itself.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{derive_seed, SimRng};
+pub use time::SimTime;
+
+/// A simulation world: owns state and reacts to events.
+///
+/// The driver ([`run`]) pops events in timestamp order and hands them to the
+/// handler along with a [`Scheduler`] for enqueueing follow-up events.
+pub trait EventHandler {
+    /// The event type this world reacts to.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// Handle used by event handlers to schedule future events.
+///
+/// Events scheduled for the current instant are processed after all events
+/// already queued for that instant (FIFO among equal timestamps).
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at an absolute virtual time.
+    ///
+    /// Times in the past are clamped to the current instant (the event fires
+    /// "now", after already-queued events at this instant).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.pending.push((at.max(self.now), event));
+    }
+}
+
+/// Statistics returned by [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events processed.
+    pub events_processed: u64,
+    /// Virtual time of the last processed event (zero if none).
+    pub last_event_time: SimTime,
+}
+
+/// Drives `world` until the queue is empty, `until` is reached, or
+/// `max_events` events have been processed — whichever comes first.
+///
+/// Events with timestamp exactly `until` are processed; later ones remain in
+/// the queue, so a simulation can be resumed by calling [`run`] again with a
+/// larger horizon.
+pub fn run<W: EventHandler>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+    max_events: u64,
+) -> RunStats {
+    let mut stats = RunStats { events_processed: 0, last_event_time: SimTime::ZERO };
+    while stats.events_processed < max_events {
+        let Some(next_time) = queue.peek_time() else { break };
+        if next_time > until {
+            break;
+        }
+        let (time, event) = queue.pop().expect("peeked event must exist");
+        let mut scheduler = Scheduler { now: time, pending: Vec::new() };
+        world.handle(time, event, &mut scheduler);
+        for (at, ev) in scheduler.pending {
+            queue.push(at, ev);
+        }
+        stats.events_processed += 1;
+        stats.last_event_time = time;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        fired: Vec<(SimTime, u32)>,
+        spawn_chain: bool,
+    }
+
+    impl EventHandler for Counter {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, event: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((now, event));
+            if self.spawn_chain && event < 5 {
+                sched.schedule_in(SimTime::from_ms(1.0), event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3.0), 3);
+        q.push(SimTime::from_ms(1.0), 1);
+        q.push(SimTime::from_ms(2.0), 2);
+        let mut w = Counter { fired: Vec::new(), spawn_chain: false };
+        run(&mut w, &mut q, SimTime::from_ms(100.0), u64::MAX);
+        let order: Vec<u32> = w.fired.iter().map(|(_, e)| *e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let mut w = Counter { fired: Vec::new(), spawn_chain: false };
+        run(&mut w, &mut q, t, u64::MAX);
+        let order: Vec<u32> = w.fired.iter().map(|(_, e)| *e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_spawned_events_run() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        let mut w = Counter { fired: Vec::new(), spawn_chain: true };
+        let stats = run(&mut w, &mut q, SimTime::from_ms(100.0), u64::MAX);
+        assert_eq!(stats.events_processed, 6); // 0..=5
+        assert_eq!(w.fired.last().unwrap().0, SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn horizon_stops_processing_but_keeps_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(1.0), 1);
+        q.push(SimTime::from_ms(10.0), 2);
+        let mut w = Counter { fired: Vec::new(), spawn_chain: false };
+        let stats = run(&mut w, &mut q, SimTime::from_ms(5.0), u64::MAX);
+        assert_eq!(stats.events_processed, 1);
+        assert_eq!(q.len(), 1);
+        // Resume.
+        let stats = run(&mut w, &mut q, SimTime::from_ms(20.0), u64::MAX);
+        assert_eq!(stats.events_processed, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn max_events_bounds_runaway_simulations() {
+        struct Loops;
+        impl EventHandler for Loops {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(SimTime::from_ms(1.0), ());
+            }
+        }
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let stats = run(&mut Loops, &mut q, SimTime::from_secs(1e9), 1000);
+        assert_eq!(stats.events_processed, 1000);
+    }
+
+    #[test]
+    fn schedule_at_clamps_past_times() {
+        struct PastScheduler {
+            fired: u32,
+        }
+        impl EventHandler for PastScheduler {
+            type Event = bool;
+            fn handle(&mut self, _: SimTime, first: bool, sched: &mut Scheduler<bool>) {
+                self.fired += 1;
+                if first {
+                    sched.schedule_at(SimTime::ZERO, false); // in the past
+                }
+            }
+        }
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5.0), true);
+        let mut w = PastScheduler { fired: 0 };
+        run(&mut w, &mut q, SimTime::from_ms(10.0), u64::MAX);
+        assert_eq!(w.fired, 2);
+    }
+}

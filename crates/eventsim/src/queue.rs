@@ -1,0 +1,193 @@
+//! Deterministic event queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its metadata inside the queue.
+///
+/// The sequence number makes ordering total and deterministic: two events at
+/// the same timestamp pop in the order they were pushed (FIFO), regardless
+/// of heap internals.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO ordering
+/// among events that share a timestamp.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Enqueues `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all queued events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5.0), "c");
+        q.push(SimTime::from_ms(1.0), "a");
+        q.push(SimTime::from_ms(3.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(2.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Pop order is exactly (time, insertion order) for any input
+            /// sequence.
+            #[test]
+            fn pops_are_stably_sorted(times in proptest::collection::vec(0u64..100, 0..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(t), i);
+                }
+                let mut expected: Vec<(u64, usize)> =
+                    times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+                expected.sort();
+                let mut popped = Vec::new();
+                while let Some((t, i)) = q.pop() {
+                    popped.push((t.as_nanos() / 1_000, i));
+                }
+                prop_assert_eq!(popped, expected);
+            }
+
+            /// len() tracks pushes and pops.
+            #[test]
+            fn len_is_consistent(ops in proptest::collection::vec(any::<bool>(), 0..100)) {
+                let mut q = EventQueue::new();
+                let mut expected = 0usize;
+                for (i, push) in ops.into_iter().enumerate() {
+                    if push {
+                        q.push(SimTime::from_micros(i as u64), i);
+                        expected += 1;
+                    } else if q.pop().is_some() {
+                        expected -= 1;
+                    }
+                    prop_assert_eq!(q.len(), expected);
+                    prop_assert_eq!(q.is_empty(), expected == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

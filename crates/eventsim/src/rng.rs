@@ -1,0 +1,231 @@
+//! Seeded randomness for deterministic simulations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives an independent seed from a base seed and a stream identifier.
+///
+/// Every subsystem of a simulation (topology generation, latency jitter,
+/// flow arrivals, ...) takes its own stream so adding randomness consumption
+/// to one subsystem never perturbs another. The mix is SplitMix64, whose
+/// avalanche behaviour makes related `(base, stream)` pairs produce
+/// unrelated seeds.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random-number generator for simulations.
+///
+/// Thin wrapper over [`SmallRng`] adding the distribution helpers the
+/// simulation needs (exponential, log-normal, Pareto-ish heavy tails)
+/// without pulling in `rand_distr`.
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Creates a generator for a named stream of a base seed.
+    pub fn stream(base: u64, stream: u64) -> Self {
+        Self::new(derive_seed(base, stream))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse CDF; 1-unit() avoids ln(0).
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Log-normally distributed value parameterized by the *median* and the
+    /// shape `sigma` (standard deviation of the underlying normal).
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        if median <= 0.0 {
+            return 0.0;
+        }
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Pareto-distributed value with scale `xm > 0` and shape `alpha > 0`.
+    ///
+    /// Heavy-tailed; used for flow sizes/durations and traffic weights.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        if xm <= 0.0 || alpha <= 0.0 {
+            return 0.0;
+        }
+        xm / (1.0 - self.unit()).powf(1.0 / alpha)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.unit(); // (0, 1]
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.max(0.0) * self.standard_normal()
+    }
+
+    /// Picks an index in `[0, weights.len())` with probability proportional
+    /// to `weights`. Non-finite or negative weights count as zero. Returns
+    /// `None` for an empty or all-zero slice.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if w.is_finite() && *w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Access to the underlying [`Rng`] for anything not covered above.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SimRng::stream(42, 0);
+        let mut b = SimRng::stream(42, 1);
+        let same = (0..100).filter(|_| a.unit().to_bits() == b.unit().to_bits()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::new(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "got {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::new(8);
+        for _ in 0..1000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(9);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!(ratio > 2.5 && ratio < 3.5, "got {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_empty_and_zero() {
+        let mut rng = SimRng::new(10);
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn degenerate_parameters_return_zero() {
+        let mut rng = SimRng::new(11);
+        assert_eq!(rng.exponential(0.0), 0.0);
+        assert_eq!(rng.pareto(0.0, 1.0), 0.0);
+        assert_eq!(rng.log_normal(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(12);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_is_centered() {
+        let mut rng = SimRng::new(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.normal(5.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "got {mean}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Virtual time, stored as integer nanoseconds since simulation start.
+///
+/// Nanosecond resolution keeps packet-level timing exact (the Traffic
+/// Manager measures failover in fractions of an RTT) while `u64` still
+/// covers ~584 years of simulated time. Arithmetic saturates rather than
+/// wrapping: a saturated clock is a visible, debuggable end-of-time, whereas
+/// wraparound would silently reorder every queued event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The end of representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us.saturating_mul(1_000))
+    }
+
+    /// Constructs from (possibly fractional) milliseconds.
+    ///
+    /// Negative and NaN inputs map to zero.
+    pub fn from_ms(ms: f64) -> Self {
+        // NaN and negatives both map to zero.
+        if ms.is_nan() || ms <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((ms * 1e6).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Constructs from (possibly fractional) seconds.
+    ///
+    /// Negative and NaN inputs map to zero.
+    pub fn from_secs(secs: f64) -> Self {
+        Self::from_ms(secs * 1e3)
+    }
+
+    /// Value in nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Value in milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference (`self - other`, or zero if `other` is later).
+    pub fn saturating_sub(&self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating subtraction; see type-level docs for rationale.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else {
+            write!(f, "{:.3}ms", self.as_ms())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(12.5);
+        assert_eq!(t.as_nanos(), 12_500_000);
+        assert!((t.as_ms() - 12.5).abs() < 1e-12);
+        assert!((SimTime::from_secs(2.0).as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_map_to_zero() {
+        assert_eq!(SimTime::from_ms(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(-0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(SimTime::MAX + SimTime::from_ms(1.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_ms(1.0));
+    }
+
+    #[test]
+    fn ordering_follows_nanos() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(1.001));
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_ms(1.5)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2.0)), "2.000s");
+    }
+}

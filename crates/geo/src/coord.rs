@@ -1,0 +1,199 @@
+//! Latitude/longitude coordinates and world regions.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometers, used by the haversine formula.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A point on the Earth's surface.
+///
+/// Latitude is in degrees north (negative = south), longitude in degrees
+/// east (negative = west).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Degrees north of the equator, in `[-90, 90]`.
+    pub lat: f64,
+    /// Degrees east of the prime meridian, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, clamping latitude to `[-90, 90]` and wrapping
+    /// longitude into `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0) % 360.0;
+        if lon < 0.0 {
+            lon += 360.0;
+        }
+        GeoPoint { lat, lon: lon - 180.0 }
+    }
+
+    /// Great-circle distance to `other` in kilometers (haversine formula).
+    ///
+    /// This is the geographic lower bound on fiber distance between two
+    /// sites; real fiber paths are longer.
+    pub fn haversine_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// Coarse world regions used to place infrastructure and to scope
+/// regional prefix advertisements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    SouthAmerica,
+    Europe,
+    Asia,
+    Oceania,
+    Africa,
+    MiddleEast,
+}
+
+impl Region {
+    /// All regions, in a stable order.
+    pub const ALL: [Region; 7] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Oceania,
+        Region::Africa,
+        Region::MiddleEast,
+    ];
+
+    /// Short human-readable label (used in experiment output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "NA",
+            Region::SouthAmerica => "SA",
+            Region::Europe => "EU",
+            Region::Asia => "AS",
+            Region::Oceania => "OC",
+            Region::Africa => "AF",
+            Region::MiddleEast => "ME",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(40.7, -74.0);
+        assert!(p.haversine_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn new_york_to_london_distance() {
+        // NYC (40.71, -74.01) to London (51.51, -0.13) is ~5570 km.
+        let nyc = GeoPoint::new(40.71, -74.01);
+        let lon = GeoPoint::new(51.51, -0.13);
+        let d = nyc.haversine_km(&lon);
+        assert!(approx(d, 5570.0, 60.0), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(35.68, 139.69); // Tokyo
+        let b = GeoPoint::new(-33.87, 151.21); // Sydney
+        assert!(approx(a.haversine_km(&b), b.haversine_km(&a), 1e-9));
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.haversine_km(&b);
+        assert!(approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0), "got {d}");
+    }
+
+    #[test]
+    fn latitude_is_clamped() {
+        let p = GeoPoint::new(120.0, 0.0);
+        assert_eq!(p.lat, 90.0);
+    }
+
+    #[test]
+    fn longitude_wraps() {
+        let p = GeoPoint::new(0.0, 190.0);
+        assert!(approx(p.lon, -170.0, 1e-9), "got {}", p.lon);
+        let q = GeoPoint::new(0.0, -190.0);
+        assert!(approx(q.lon, 170.0, 1e-9), "got {}", q.lon);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_point() -> impl Strategy<Value = GeoPoint> {
+            (-90.0..90.0f64, -180.0..180.0f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+        }
+
+        proptest! {
+            /// Distance is symmetric and non-negative.
+            #[test]
+            fn haversine_symmetric_nonnegative(a in arb_point(), b in arb_point()) {
+                let d1 = a.haversine_km(&b);
+                let d2 = b.haversine_km(&a);
+                prop_assert!(d1 >= 0.0);
+                prop_assert!((d1 - d2).abs() < 1e-6);
+            }
+
+            /// No two surface points are farther than half the
+            /// circumference.
+            #[test]
+            fn haversine_bounded_by_half_circumference(a in arb_point(), b in arb_point()) {
+                let d = a.haversine_km(&b);
+                prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+            }
+
+            /// Triangle inequality (great-circle metric).
+            #[test]
+            fn haversine_triangle_inequality(
+                a in arb_point(),
+                b in arb_point(),
+                c in arb_point(),
+            ) {
+                let ab = a.haversine_km(&b);
+                let bc = b.haversine_km(&c);
+                let ac = a.haversine_km(&c);
+                prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+            }
+
+            /// Constructor output is always in range.
+            #[test]
+            fn new_normalizes(lat in -1e6..1e6f64, lon in -1e6..1e6f64) {
+                let p = GeoPoint::new(lat, lon);
+                prop_assert!(p.lat >= -90.0 && p.lat <= 90.0);
+                prop_assert!(p.lon >= -180.0 && p.lon <= 180.0);
+            }
+        }
+    }
+
+    #[test]
+    fn region_labels_are_unique() {
+        let mut labels: Vec<_> = Region::ALL.iter().map(|r| r.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Region::ALL.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! Fiber propagation-delay model and speed-of-light feasibility checks.
+//!
+//! Light travels through fiber at roughly two thirds of `c`, i.e. about
+//! 200 km per millisecond one-way, or 100 km of geographic separation per
+//! millisecond of round-trip time. The paper uses exactly this bound in two
+//! places we reproduce:
+//!
+//! * Appendix B validates measurement-target geolocation "using speed of
+//!   light constraints from RIPE Atlas probes with known locations";
+//! * the coverage metric discards `(UG, ingress)` pairs whose anycast
+//!   latency is already below the best possible latency to that PoP.
+
+use crate::coord::GeoPoint;
+
+/// One-way kilometers of fiber traversed per millisecond (~2/3 the speed of
+/// light in vacuum).
+pub const FIBER_KM_PER_MS_ONE_WAY: f64 = 200.0;
+
+/// One-way propagation delay, in milliseconds, over `km` kilometers of fiber.
+pub fn one_way_ms(km: f64) -> f64 {
+    km.max(0.0) / FIBER_KM_PER_MS_ONE_WAY
+}
+
+/// Minimum possible round-trip time, in milliseconds, between two points,
+/// assuming a direct great-circle fiber path.
+pub fn min_rtt_ms(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    2.0 * one_way_ms(a.haversine_km(b))
+}
+
+/// The maximum one-way fiber distance, in kilometers, consistent with a
+/// one-way delay of `ms` milliseconds.
+pub fn fiber_km_for_one_way_ms(ms: f64) -> f64 {
+    ms.max(0.0) * FIBER_KM_PER_MS_ONE_WAY
+}
+
+/// The maximum geographic separation, in kilometers, consistent with a
+/// round-trip time of `rtt_ms` milliseconds.
+pub fn fiber_km_for_rtt_ms(rtt_ms: f64) -> f64 {
+    fiber_km_for_one_way_ms(rtt_ms / 2.0)
+}
+
+/// Returns true if observing `rtt_ms` between two points would require
+/// signals faster than light in fiber — i.e. the claimed location of one of
+/// the endpoints must be wrong (or the target is anycast).
+pub fn rtt_violates_speed_of_light(a: &GeoPoint, b: &GeoPoint, rtt_ms: f64) -> bool {
+    rtt_ms < min_rtt_ms(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_delay_is_linear_in_distance() {
+        assert_eq!(one_way_ms(200.0), 1.0);
+        assert_eq!(one_way_ms(2000.0), 10.0);
+    }
+
+    #[test]
+    fn negative_distance_is_clamped() {
+        assert_eq!(one_way_ms(-5.0), 0.0);
+    }
+
+    #[test]
+    fn rtt_and_distance_are_inverses() {
+        let km = 1234.5;
+        let rtt = 2.0 * one_way_ms(km);
+        assert!((fiber_km_for_rtt_ms(rtt) - km).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transatlantic_min_rtt_is_realistic() {
+        // NYC <-> London: ~5570 km, so minimum RTT ~55.7 ms.
+        let nyc = GeoPoint::new(40.71, -74.01);
+        let lon = GeoPoint::new(51.51, -0.13);
+        let rtt = min_rtt_ms(&nyc, &lon);
+        assert!(rtt > 54.0 && rtt < 58.0, "got {rtt}");
+    }
+
+    #[test]
+    fn speed_of_light_violation_detection() {
+        let nyc = GeoPoint::new(40.71, -74.01);
+        let lon = GeoPoint::new(51.51, -0.13);
+        assert!(rtt_violates_speed_of_light(&nyc, &lon, 10.0));
+        assert!(!rtt_violates_speed_of_light(&nyc, &lon, 80.0));
+    }
+
+    #[test]
+    fn zero_rtt_to_self_is_feasible() {
+        let p = GeoPoint::new(1.0, 2.0);
+        assert!(!rtt_violates_speed_of_light(&p, &p, 0.0));
+    }
+}

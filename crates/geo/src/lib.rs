@@ -1,0 +1,32 @@
+//! Geographic primitives for the PAINTER reproduction.
+//!
+//! Everything in PAINTER that touches latency ultimately reduces to geography:
+//! the speed of light in fiber bounds the best possible round-trip time
+//! between a user group and a cloud point of presence (PoP), and *path
+//! inflation* — the gap between the geographic lower bound and the latency a
+//! BGP-selected route actually delivers — is the quantity the Advertisement
+//! Orchestrator exists to eliminate.
+//!
+//! This crate provides:
+//!
+//! * [`GeoPoint`] — latitude/longitude pairs with great-circle distance
+//!   ([`GeoPoint::haversine_km`]).
+//! * [`latency`] — conversions between fiber distance and propagation delay,
+//!   and the speed-of-light feasibility checks used by the measurement
+//!   pipeline (Appendix B of the paper).
+//! * [`mod@metro`] — a static database of world metropolitan areas used to place
+//!   ASes, PoPs, user groups, and probes. The paper groups users by
+//!   `(AS, metro)`; the metros here play the same role.
+//! * [`Region`] — coarse world regions used for regional advertisements and
+//!   deployment generation.
+
+pub mod coord;
+pub mod latency;
+pub mod metro;
+
+pub use coord::{GeoPoint, Region};
+pub use latency::{
+    fiber_km_for_one_way_ms, fiber_km_for_rtt_ms, min_rtt_ms, one_way_ms,
+    rtt_violates_speed_of_light, FIBER_KM_PER_MS_ONE_WAY,
+};
+pub use metro::{all_metro_ids, metro, metros_in_region, nearest_metro, Metro, MetroId, WORLD_METROS};

@@ -1,0 +1,262 @@
+//! Static database of world metropolitan areas.
+//!
+//! The paper groups users into user groups (UGs) keyed by `(AS, metro)` and
+//! places cloud PoPs "often in major metropolitan areas". This module is the
+//! shared site database for both: topology generation places AS presence,
+//! user groups, probes, and PoPs at these metros, and all latency lower
+//! bounds derive from the metro coordinates.
+//!
+//! The `weight` field is a relative traffic/population weight used when
+//! sampling user groups; it is a coarse stand-in for the per-UG traffic
+//! volumes the paper reads from Azure logs.
+
+use crate::coord::{GeoPoint, Region};
+use serde::{Deserialize, Serialize};
+
+/// Index of a metro in [`WORLD_METROS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetroId(pub u16);
+
+impl std::fmt::Display for MetroId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", metro(*self).name)
+    }
+}
+
+/// A metropolitan area: a named site with coordinates, a region, and a
+/// relative traffic weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metro {
+    pub name: &'static str,
+    pub lat: f64,
+    pub lon: f64,
+    pub region: Region,
+    /// Relative traffic/population weight (arbitrary units).
+    pub weight: f64,
+}
+
+impl Metro {
+    /// Coordinates of the metro center.
+    pub fn point(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+macro_rules! metros {
+    ($(($name:literal, $lat:expr, $lon:expr, $region:ident, $w:expr)),* $(,)?) => {
+        &[$(Metro { name: $name, lat: $lat, lon: $lon, region: Region::$region, weight: $w }),*]
+    };
+}
+
+/// All metros known to the simulation, in a stable order.
+///
+/// Coordinates are approximate city centers. Weights roughly track metro
+/// population (millions), which stands in for enterprise traffic volume.
+pub const WORLD_METROS: &[Metro] = metros![
+    // --- North America ---
+    ("New York", 40.71, -74.01, NorthAmerica, 19.5),
+    ("Los Angeles", 34.05, -118.24, NorthAmerica, 13.2),
+    ("Chicago", 41.88, -87.63, NorthAmerica, 9.5),
+    ("Dallas", 32.78, -96.80, NorthAmerica, 7.6),
+    ("Houston", 29.76, -95.37, NorthAmerica, 7.1),
+    ("Washington DC", 38.91, -77.04, NorthAmerica, 6.3),
+    ("Ashburn", 39.04, -77.49, NorthAmerica, 3.0),
+    ("Miami", 25.76, -80.19, NorthAmerica, 6.1),
+    ("Atlanta", 33.75, -84.39, NorthAmerica, 6.0),
+    ("Boston", 42.36, -71.06, NorthAmerica, 4.9),
+    ("San Francisco", 37.77, -122.42, NorthAmerica, 4.7),
+    ("San Jose", 37.34, -121.89, NorthAmerica, 2.0),
+    ("Phoenix", 33.45, -112.07, NorthAmerica, 4.9),
+    ("Seattle", 47.61, -122.33, NorthAmerica, 4.0),
+    ("Denver", 39.74, -104.99, NorthAmerica, 3.0),
+    ("Toronto", 43.65, -79.38, NorthAmerica, 6.3),
+    ("Montreal", 45.50, -73.57, NorthAmerica, 4.3),
+    ("Vancouver", 49.28, -123.12, NorthAmerica, 2.6),
+    ("Mexico City", 19.43, -99.13, NorthAmerica, 21.8),
+    ("Monterrey", 25.69, -100.32, NorthAmerica, 5.3),
+    ("Minneapolis", 44.98, -93.27, NorthAmerica, 3.7),
+    ("Kansas City", 39.10, -94.58, NorthAmerica, 2.2),
+    ("Salt Lake City", 40.76, -111.89, NorthAmerica, 1.3),
+    ("Portland", 45.52, -122.68, NorthAmerica, 2.5),
+    ("Columbus", 39.96, -83.00, NorthAmerica, 2.1),
+    ("Charlotte", 35.23, -80.84, NorthAmerica, 2.7),
+    // --- South America ---
+    ("Sao Paulo", -23.55, -46.63, SouthAmerica, 22.0),
+    ("Rio de Janeiro", -22.91, -43.17, SouthAmerica, 13.5),
+    ("Buenos Aires", -34.60, -58.38, SouthAmerica, 15.2),
+    ("Santiago", -33.45, -70.67, SouthAmerica, 6.8),
+    ("Bogota", 4.71, -74.07, SouthAmerica, 11.0),
+    ("Lima", -12.05, -77.04, SouthAmerica, 10.9),
+    ("Quito", -0.18, -78.47, SouthAmerica, 2.0),
+    ("Fortaleza", -3.73, -38.53, SouthAmerica, 4.1),
+    // --- Europe ---
+    ("London", 51.51, -0.13, Europe, 14.3),
+    ("Paris", 48.86, 2.35, Europe, 13.0),
+    ("Frankfurt", 50.11, 8.68, Europe, 2.7),
+    ("Amsterdam", 52.37, 4.90, Europe, 2.5),
+    ("Madrid", 40.42, -3.70, Europe, 6.7),
+    ("Barcelona", 41.39, 2.17, Europe, 5.6),
+    ("Milan", 45.46, 9.19, Europe, 4.3),
+    ("Rome", 41.90, 12.50, Europe, 4.3),
+    ("Berlin", 52.52, 13.40, Europe, 3.6),
+    ("Munich", 48.14, 11.58, Europe, 2.6),
+    ("Vienna", 48.21, 16.37, Europe, 2.9),
+    ("Zurich", 47.37, 8.54, Europe, 1.4),
+    ("Brussels", 50.85, 4.35, Europe, 2.1),
+    ("Stockholm", 59.33, 18.07, Europe, 2.4),
+    ("Copenhagen", 55.68, 12.57, Europe, 2.1),
+    ("Oslo", 59.91, 10.75, Europe, 1.7),
+    ("Helsinki", 60.17, 24.94, Europe, 1.5),
+    ("Warsaw", 52.23, 21.01, Europe, 3.1),
+    ("Prague", 50.08, 14.44, Europe, 2.7),
+    ("Budapest", 47.50, 19.04, Europe, 3.0),
+    ("Bucharest", 44.43, 26.10, Europe, 2.3),
+    ("Athens", 37.98, 23.73, Europe, 3.2),
+    ("Lisbon", 38.72, -9.14, Europe, 2.9),
+    ("Dublin", 53.35, -6.26, Europe, 2.0),
+    ("Manchester", 53.48, -2.24, Europe, 2.8),
+    ("Kyiv", 50.45, 30.52, Europe, 3.0),
+    ("Istanbul", 41.01, 28.98, Europe, 15.5),
+    ("Moscow", 55.76, 37.62, Europe, 12.5),
+    // --- Asia ---
+    ("Tokyo", 35.68, 139.69, Asia, 37.4),
+    ("Osaka", 34.69, 135.50, Asia, 19.2),
+    ("Seoul", 37.57, 126.98, Asia, 25.6),
+    ("Beijing", 39.90, 116.41, Asia, 20.5),
+    ("Shanghai", 31.23, 121.47, Asia, 27.1),
+    ("Shenzhen", 22.54, 114.06, Asia, 12.6),
+    ("Hong Kong", 22.32, 114.17, Asia, 7.5),
+    ("Taipei", 25.03, 121.57, Asia, 7.0),
+    ("Singapore", 1.35, 103.82, Asia, 5.9),
+    ("Kuala Lumpur", 3.139, 101.69, Asia, 7.8),
+    ("Jakarta", -6.21, 106.85, Asia, 34.5),
+    ("Bangkok", 13.76, 100.50, Asia, 10.5),
+    ("Manila", 14.60, 120.98, Asia, 13.9),
+    ("Ho Chi Minh City", 10.82, 106.63, Asia, 9.0),
+    ("Hanoi", 21.03, 105.85, Asia, 8.1),
+    ("Mumbai", 19.08, 72.88, Asia, 20.4),
+    ("Delhi", 28.70, 77.10, Asia, 31.0),
+    ("Bangalore", 12.97, 77.59, Asia, 12.3),
+    ("Chennai", 13.08, 80.27, Asia, 11.0),
+    ("Hyderabad", 17.38, 78.49, Asia, 10.0),
+    ("Karachi", 24.86, 67.00, Asia, 16.1),
+    ("Dhaka", 23.81, 90.41, Asia, 21.0),
+    ("Colombo", 6.93, 79.86, Asia, 2.3),
+    // --- Oceania ---
+    ("Sydney", -33.87, 151.21, Oceania, 5.3),
+    ("Melbourne", -37.81, 144.96, Oceania, 5.1),
+    ("Brisbane", -27.47, 153.03, Oceania, 2.5),
+    ("Perth", -31.95, 115.86, Oceania, 2.1),
+    ("Auckland", -36.85, 174.76, Oceania, 1.7),
+    // --- Africa ---
+    ("Johannesburg", -26.20, 28.05, Africa, 9.6),
+    ("Cape Town", -33.92, 18.42, Africa, 4.6),
+    ("Lagos", 6.52, 3.38, Africa, 14.9),
+    ("Nairobi", -1.29, 36.82, Africa, 4.7),
+    ("Cairo", 30.04, 31.24, Africa, 20.9),
+    ("Casablanca", 33.57, -7.59, Africa, 3.7),
+    ("Accra", 5.60, -0.19, Africa, 2.5),
+    // --- Middle East ---
+    ("Dubai", 25.20, 55.27, MiddleEast, 3.3),
+    ("Tel Aviv", 32.09, 34.78, MiddleEast, 4.2),
+    ("Riyadh", 24.71, 46.68, MiddleEast, 7.0),
+    ("Doha", 25.29, 51.53, MiddleEast, 1.4),
+    ("Manama", 26.23, 50.59, MiddleEast, 0.7),
+];
+
+/// Looks up a metro by id.
+///
+/// # Panics
+///
+/// Panics if the id is out of range (ids only come from this module, so an
+/// out-of-range id is a logic error).
+pub fn metro(id: MetroId) -> &'static Metro {
+    &WORLD_METROS[id.0 as usize]
+}
+
+/// All metro ids in a region, in database order.
+pub fn metros_in_region(region: Region) -> Vec<MetroId> {
+    WORLD_METROS
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.region == region)
+        .map(|(i, _)| MetroId(i as u16))
+        .collect()
+}
+
+/// The metro closest to `point` by great-circle distance.
+pub fn nearest_metro(point: &GeoPoint) -> MetroId {
+    let mut best = MetroId(0);
+    let mut best_d = f64::INFINITY;
+    for (i, m) in WORLD_METROS.iter().enumerate() {
+        let d = m.point().haversine_km(point);
+        if d < best_d {
+            best_d = d;
+            best = MetroId(i as u16);
+        }
+    }
+    best
+}
+
+/// Iterator over all metro ids.
+pub fn all_metro_ids() -> impl Iterator<Item = MetroId> {
+    (0..WORLD_METROS.len() as u16).map(MetroId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_is_reasonably_sized() {
+        assert!(WORLD_METROS.len() >= 80, "got {}", WORLD_METROS.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = WORLD_METROS.iter().map(|m| m.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn coordinates_are_valid() {
+        for m in WORLD_METROS {
+            assert!(m.lat >= -90.0 && m.lat <= 90.0, "{}", m.name);
+            assert!(m.lon >= -180.0 && m.lon <= 180.0, "{}", m.name);
+            assert!(m.weight > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn every_region_has_metros() {
+        for r in Region::ALL {
+            assert!(!metros_in_region(r).is_empty(), "{r}");
+        }
+    }
+
+    #[test]
+    fn nearest_metro_to_a_metro_is_itself() {
+        for id in all_metro_ids() {
+            let m = metro(id);
+            assert_eq!(nearest_metro(&m.point()), id, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn region_membership_is_consistent() {
+        for r in Region::ALL {
+            for id in metros_in_region(r) {
+                assert_eq!(metro(id).region, r);
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_metro_name() {
+        let id = MetroId(0);
+        assert_eq!(format!("{id}"), metro(id).name);
+    }
+}

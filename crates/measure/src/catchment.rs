@@ -1,0 +1,179 @@
+//! Anycast catchment analysis (Verfploeter-style).
+//!
+//! Operators need to know *where traffic lands* under an advertisement —
+//! the catchment of each PoP and ingress. The paper leans on exactly this
+//! view of Azure's logs (per-PoP volumes in Fig. 9a, regional ingress
+//! distributions in Fig. 11a); this module computes it for any
+//! configuration, so it doubles as the ops-facing reporting surface of
+//! the library.
+
+use crate::ground::GroundTruth;
+use crate::ug::UgId;
+use painter_geo::{metro, Region};
+use painter_topology::{PeeringId, PopId};
+use std::collections::BTreeMap;
+
+/// Catchment of one advertisement (single prefix): who lands where.
+#[derive(Debug, Clone, Default)]
+pub struct Catchment {
+    /// Weighted traffic per ingress peering.
+    pub per_ingress: BTreeMap<PeeringId, f64>,
+    /// Weighted traffic per PoP.
+    pub per_pop: BTreeMap<PopId, f64>,
+    /// Weighted traffic per (user region, PoP) — spotting cross-region
+    /// hauls (the Fig. 1 pathology) at a glance.
+    pub per_region_pop: BTreeMap<(Region, PopId), f64>,
+    /// Traffic with no route under this advertisement.
+    pub unreachable_weight: f64,
+    /// Total weight considered.
+    pub total_weight: f64,
+}
+
+impl Catchment {
+    /// Fraction of traffic landing at `pop`.
+    pub fn pop_share(&self, pop: PopId) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        self.per_pop.get(&pop).copied().unwrap_or(0.0) / self.total_weight
+    }
+
+    /// Weighted fraction of traffic that lands at a PoP outside the
+    /// user's own region — the path-inflation smell.
+    pub fn cross_region_share(&self, pop_region: impl Fn(PopId) -> Region) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        let crossing: f64 = self
+            .per_region_pop
+            .iter()
+            .filter(|((user_region, pop), _)| *user_region != pop_region(*pop))
+            .map(|(_, w)| *w)
+            .sum();
+        crossing / self.total_weight
+    }
+}
+
+/// Computes the catchment of a prefix advertised via `advertised`.
+pub fn catchment(gt: &mut GroundTruth<'_>, advertised: &[PeeringId]) -> Catchment {
+    let ugs = gt.ugs().to_vec();
+    let mut out = Catchment::default();
+    for ug in &ugs {
+        out.total_weight += ug.weight;
+        match gt.route_under(advertised, ug.id) {
+            Some((ingress, _)) => {
+                let pop = gt.deployment().peering(ingress).pop;
+                *out.per_ingress.entry(ingress).or_insert(0.0) += ug.weight;
+                *out.per_pop.entry(pop).or_insert(0.0) += ug.weight;
+                *out.per_region_pop.entry((metro(ug.metro).region, pop)).or_insert(0.0) +=
+                    ug.weight;
+            }
+            None => out.unreachable_weight += ug.weight,
+        }
+    }
+    out
+}
+
+/// The UGs whose traffic lands at `pop` under `advertised` — the inverse
+/// query ("who do I disturb if I drain this PoP?").
+pub fn pop_catchment_members(
+    gt: &mut GroundTruth<'_>,
+    advertised: &[PeeringId],
+    pop: PopId,
+) -> Vec<UgId> {
+    let ugs = gt.ugs().to_vec();
+    ugs.iter()
+        .filter(|ug| {
+            gt.route_under(advertised, ug.id)
+                .map(|(ingress, _)| gt.deployment().peering(ingress).pop == pop)
+                .unwrap_or(false)
+        })
+        .map(|ug| ug.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ug::build_user_groups;
+    use painter_topology::{Deployment, DeploymentConfig, TopologyConfig};
+
+    fn fixture() -> (painter_topology::Internet, Deployment, Vec<crate::ug::UserGroup>) {
+        let net = painter_topology::generate(TopologyConfig::tiny(88));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(88));
+        let ugs = build_user_groups(&net, 88);
+        (net, dep, ugs)
+    }
+
+    #[test]
+    fn anycast_catchment_accounts_for_all_weight() {
+        let (net, dep, ugs) = fixture();
+        let mut gt = GroundTruth::compute(&net.graph, &dep, &ugs, 9);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let c = catchment(&mut gt, &all);
+        let landed: f64 = c.per_pop.values().sum();
+        assert!((landed + c.unreachable_weight - c.total_weight).abs() < 1e-6);
+        assert!(c.unreachable_weight < 1e-9, "anycast reaches everyone");
+        // Shares sum to 1.
+        let share_sum: f64 = dep.pops().iter().map(|p| c.pop_share(p.id)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_ingress_refines_per_pop() {
+        let (net, dep, ugs) = fixture();
+        let mut gt = GroundTruth::compute(&net.graph, &dep, &ugs, 9);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let c = catchment(&mut gt, &all);
+        for (&pop, &w) in &c.per_pop {
+            let ingress_sum: f64 = c
+                .per_ingress
+                .iter()
+                .filter(|(pe, _)| dep.peering(**pe).pop == pop)
+                .map(|(_, w)| *w)
+                .sum();
+            assert!((ingress_sum - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_ingress_catchment_is_all_or_unreachable() {
+        let (net, dep, ugs) = fixture();
+        let mut gt = GroundTruth::compute(&net.graph, &dep, &ugs, 9);
+        let one = vec![dep.peerings()[0].id];
+        let c = catchment(&mut gt, &one);
+        assert!(c.per_ingress.len() <= 1);
+        let landed: f64 = c.per_ingress.values().sum();
+        assert!((landed + c.unreachable_weight - c.total_weight).abs() < 1e-6);
+    }
+
+    #[test]
+    fn members_match_catchment_weights() {
+        let (net, dep, ugs) = fixture();
+        let mut gt = GroundTruth::compute(&net.graph, &dep, &ugs, 9);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let c = catchment(&mut gt, &all);
+        for pop in dep.pops() {
+            let members = pop_catchment_members(&mut gt, &all, pop.id);
+            let member_weight: f64 =
+                members.iter().map(|id| ugs[id.idx()].weight).sum();
+            let expected = c.per_pop.get(&pop.id).copied().unwrap_or(0.0);
+            assert!((member_weight - expected).abs() < 1e-6, "{}", pop.id);
+        }
+    }
+
+    #[test]
+    fn cross_region_share_detects_hauls() {
+        let (net, dep, ugs) = fixture();
+        let mut gt = GroundTruth::compute(&net.graph, &dep, &ugs, 9);
+        let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
+        let c = catchment(&mut gt, &all);
+        let share = c.cross_region_share(|pop| metro(dep.pop(pop).metro).region);
+        assert!((0.0..=1.0).contains(&share));
+        // Restricting to a single ingress forces most regions to haul.
+        let one = vec![dep.peerings()[0].id];
+        let c1 = catchment(&mut gt, &one);
+        let share1 = c1.cross_region_share(|pop| metro(dep.pop(pop).metro).region);
+        assert!(share1 >= share - 1e-9, "single ingress should haul more: {share1} vs {share}");
+    }
+}

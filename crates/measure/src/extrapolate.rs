@@ -1,0 +1,214 @@
+//! Simulating measurements for UGs without probes (Appendix C).
+//!
+//! Probes cover only part of the traffic. For the remaining UGs, the paper
+//! "finds all RIPE Atlas probes within 500 km of the UG whose median
+//! anycast latency to Azure is within 10 ms of the UG's anycast latency"
+//! and draws each ingress's improvement-over-anycast from the union of
+//! those probes' observed improvements — same *distribution*, not same
+//! values. Probes in well-routed areas thus induce well-routed synthetic
+//! neighbors, and vice versa.
+
+use crate::ground::GroundTruth;
+use crate::probes::ProbeFleet;
+use crate::ug::{UgId, UserGroup};
+use painter_eventsim::{derive_seed, SimRng};
+use painter_geo::metro;
+use painter_topology::PeeringId;
+
+/// Default neighbor radius from the paper.
+pub const DEFAULT_RADIUS_KM: f64 = 500.0;
+/// Default anycast-latency similarity tolerance from the paper.
+pub const DEFAULT_ANYCAST_TOLERANCE_MS: f64 = 10.0;
+
+/// Per-UG simulated measurements: latency through each of the UG's
+/// reachable ingresses.
+pub type SimulatedMeasurements = Vec<Vec<(PeeringId, f64)>>;
+
+/// Extrapolates probe measurements to the whole UG population.
+///
+/// * Probe UGs get their true per-ingress latencies (the probe measured
+///   them).
+/// * Non-probe UGs get latencies synthesized as
+///   `anycast latency − improvement` with improvements drawn from nearby,
+///   similar-anycast probes' observed improvement distributions; the
+///   fallback when no neighbor qualifies is the global probe pool.
+///
+/// `anycast` carries each UG's anycast latency (`None` = unreachable, which
+/// the substrate should not produce for connected stubs).
+pub fn extrapolate_improvements(
+    ugs: &[UserGroup],
+    fleet: &ProbeFleet,
+    gt: &GroundTruth<'_>,
+    anycast: &[Option<f64>],
+    radius_km: f64,
+    anycast_tolerance_ms: f64,
+    seed: u64,
+) -> SimulatedMeasurements {
+    assert_eq!(ugs.len(), anycast.len());
+
+    // Collect each probe's observed improvements over anycast.
+    let probe_ids = fleet.probe_ugs();
+    let mut probe_improvements: Vec<(UgId, Vec<f64>)> = Vec::with_capacity(probe_ids.len());
+    let mut global_pool: Vec<f64> = Vec::new();
+    for &pid in &probe_ids {
+        let Some(pa) = anycast[pid.idx()] else { continue };
+        let mut imps = Vec::new();
+        for p in gt.reachable_peerings(pid) {
+            if let Some(lat) = gt.latency(pid, p) {
+                imps.push(pa - lat); // positive = better than anycast
+            }
+        }
+        if !imps.is_empty() {
+            global_pool.extend_from_slice(&imps);
+            probe_improvements.push((pid, imps));
+        }
+    }
+
+    let mut out: SimulatedMeasurements = Vec::with_capacity(ugs.len());
+    for ug in ugs {
+        let reachable = gt.reachable_peerings(ug.id);
+        if fleet.has_probe(ug.id) {
+            // Real measurements.
+            out.push(
+                reachable
+                    .into_iter()
+                    .filter_map(|p| gt.latency(ug.id, p).map(|l| (p, l)))
+                    .collect(),
+            );
+            continue;
+        }
+        let Some(ug_anycast) = anycast[ug.id.idx()] else {
+            out.push(Vec::new());
+            continue;
+        };
+        // Gather the neighbor pool.
+        let here = metro(ug.metro).point();
+        let mut pool: Vec<f64> = Vec::new();
+        for (pid, imps) in &probe_improvements {
+            let pu = &ugs[pid.idx()];
+            let close = metro(pu.metro).point().haversine_km(&here) <= radius_km;
+            let similar = anycast[pid.idx()]
+                .map(|pa| (pa - ug_anycast).abs() <= anycast_tolerance_ms)
+                .unwrap_or(false);
+            if close && similar {
+                pool.extend_from_slice(imps);
+            }
+        }
+        let pool: &[f64] = if pool.is_empty() { &global_pool } else { &pool };
+        let mut rng = SimRng::new(derive_seed(seed, 0xE0_0000 | ug.id.0 as u64));
+        let mut rows = Vec::with_capacity(reachable.len());
+        for p in reachable {
+            if pool.is_empty() {
+                // Degenerate: no probes at all — fall back to truth.
+                if let Some(l) = gt.latency(ug.id, p) {
+                    rows.push((p, l));
+                }
+                continue;
+            }
+            let imp = pool[rng.index(pool.len())];
+            rows.push((p, (ug_anycast - imp).max(ug.last_mile_ms)));
+        }
+        out.push(rows);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ug::build_user_groups;
+    use painter_topology::{Deployment, DeploymentConfig, TopologyConfig};
+
+    struct Fix {
+        net: painter_topology::Internet,
+        dep: Deployment,
+        ugs: Vec<UserGroup>,
+    }
+
+    fn fix() -> Fix {
+        let net = painter_topology::generate(TopologyConfig::tiny(71));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(71));
+        let ugs = build_user_groups(&net, 71);
+        Fix { net, dep, ugs }
+    }
+
+    fn anycast_latencies(gt: &mut GroundTruth<'_>, ugs: &[UserGroup]) -> Vec<Option<f64>> {
+        let all: Vec<PeeringId> =
+            gt.deployment().peerings().iter().map(|p| p.id).collect();
+        ugs.iter().map(|u| gt.route_under(&all, u.id).map(|(_, l)| l)).collect()
+    }
+
+    #[test]
+    fn probe_ugs_get_true_measurements() {
+        let f = fix();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let anycast = anycast_latencies(&mut gt, &f.ugs);
+        let fleet = ProbeFleet::select(&f.ugs, 0.5, 1);
+        let sims = extrapolate_improvements(
+            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 1,
+        );
+        for &pid in &fleet.probe_ugs() {
+            for &(peering, lat) in &sims[pid.idx()] {
+                assert_eq!(Some(lat), gt.latency(pid, peering));
+            }
+        }
+    }
+
+    #[test]
+    fn non_probe_ugs_get_rows_for_all_reachable_ingresses() {
+        let f = fix();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let anycast = anycast_latencies(&mut gt, &f.ugs);
+        let fleet = ProbeFleet::select(&f.ugs, 0.4, 2);
+        let sims = extrapolate_improvements(
+            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 2,
+        );
+        for ug in &f.ugs {
+            if !fleet.has_probe(ug.id) {
+                assert_eq!(sims[ug.id.idx()].len(), gt.reachable_peerings(ug.id).len());
+                for &(_, lat) in &sims[ug.id.idx()] {
+                    assert!(lat > 0.0 && lat.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_deterministic() {
+        let f = fix();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let anycast = anycast_latencies(&mut gt, &f.ugs);
+        let fleet = ProbeFleet::select(&f.ugs, 0.4, 3);
+        let run = |seed| {
+            extrapolate_improvements(
+                &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM,
+                DEFAULT_ANYCAST_TOLERANCE_MS, seed,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.len(), rb.len());
+            for ((pa, la), (pb, lb)) in ra.iter().zip(rb) {
+                assert_eq!(pa, pb);
+                assert_eq!(la.to_bits(), lb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fleet_falls_back_to_truth() {
+        let f = fix();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let anycast = anycast_latencies(&mut gt, &f.ugs);
+        let fleet = ProbeFleet::select(&f.ugs, 0.0, 4);
+        let sims = extrapolate_improvements(
+            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 4,
+        );
+        for ug in &f.ugs {
+            for &(peering, lat) in &sims[ug.id.idx()] {
+                assert_eq!(Some(lat), gt.latency(ug.id, peering));
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Ground-truth latency oracle.
+//!
+//! For each peering (ingress), solves "what if the prefix were advertised
+//! solely via this peering" once, yielding every UG's route and latency
+//! through that ingress individually. This is the quantity the paper's
+//! measurement systems approximate; experiments compare the orchestrator's
+//! *beliefs* against this oracle.
+//!
+//! The oracle also resolves arbitrary advertisement sets (for "where does
+//! this UG actually land under configuration A"), with a small cache keyed
+//! by the advertised peering set.
+
+use crate::ug::{UgId, UserGroup};
+use painter_bgp::solve::{solve, RouteTable};
+use painter_bgp::PathModel;
+use painter_topology::{AsGraph, Deployment, PeeringId};
+use std::collections::HashMap;
+
+/// Precomputed per-ingress routes and latencies, plus a config resolver.
+pub struct GroundTruth<'a> {
+    graph: &'a AsGraph,
+    deployment: &'a Deployment,
+    ugs: &'a [UserGroup],
+    salt: u64,
+    /// `per_peering[p][ug]` = RTT through peering `p` alone (incl. last
+    /// mile), or `None` if the UG cannot reach that ingress.
+    per_peering: Vec<Vec<Option<f64>>>,
+    /// Cache of solved tables for advertisement sets.
+    table_cache: HashMap<Vec<PeeringId>, RouteTable>,
+}
+
+impl<'a> GroundTruth<'a> {
+    /// Computes the oracle: one BGP solve per peering.
+    ///
+    /// Cost is `O(P · E log V)`; for evaluation-scale inputs (thousands of
+    /// peerings) run in release mode.
+    pub fn compute(
+        graph: &'a AsGraph,
+        deployment: &'a Deployment,
+        ugs: &'a [UserGroup],
+        salt: u64,
+    ) -> Self {
+        let model = PathModel::new(graph, deployment);
+        let mut per_peering = Vec::with_capacity(deployment.peerings().len());
+        for peering in deployment.peerings() {
+            let table = solve(graph, deployment, &[peering.id], salt);
+            let mut row = Vec::with_capacity(ugs.len());
+            for ug in ugs {
+                row.push(
+                    model
+                        .resolve(&table, ug.asn, ug.metro)
+                        .map(|r| r.rtt_ms + ug.last_mile_ms),
+                );
+            }
+            per_peering.push(row);
+        }
+        GroundTruth { graph, deployment, ugs, salt, per_peering, table_cache: HashMap::new() }
+    }
+
+    /// The latency a UG would see through `peering` alone, or `None` if
+    /// the ingress is not reachable for it (not policy-compliant in the
+    /// ground truth).
+    pub fn latency(&self, ug: UgId, peering: PeeringId) -> Option<f64> {
+        self.per_peering[peering.idx()][ug.idx()]
+    }
+
+    /// True if the UG has a route when the prefix is advertised solely via
+    /// `peering`.
+    pub fn reachable(&self, ug: UgId, peering: PeeringId) -> bool {
+        self.latency(ug, peering).is_some()
+    }
+
+    /// All peerings reachable by a UG (its ground-truth policy-compliant
+    /// ingresses).
+    pub fn reachable_peerings(&self, ug: UgId) -> Vec<PeeringId> {
+        self.deployment
+            .peerings()
+            .iter()
+            .map(|p| p.id)
+            .filter(|&p| self.reachable(ug, p))
+            .collect()
+    }
+
+    /// The minimum latency over all of a UG's reachable ingresses — the
+    /// best the cloud could ever give this UG (One-per-Peering achieves
+    /// it by construction).
+    pub fn best_latency(&self, ug: UgId) -> Option<f64> {
+        self.deployment
+            .peerings()
+            .iter()
+            .filter_map(|p| self.latency(ug, p.id))
+            .min_by(|a, b| a.partial_cmp(b).expect("latencies are finite"))
+    }
+
+    /// Where a UG actually lands — ingress and latency — when a prefix is
+    /// advertised via `advertised`. Solves (and caches) the route table
+    /// for the set. Returns `None` if the UG has no route.
+    pub fn route_under(
+        &mut self,
+        advertised: &[PeeringId],
+        ug: UgId,
+    ) -> Option<(PeeringId, f64)> {
+        let mut key: Vec<PeeringId> = advertised.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if !self.table_cache.contains_key(&key) {
+            let table = solve(self.graph, self.deployment, &key, self.salt);
+            // Bound memory: advertisement sets churn during learning.
+            if self.table_cache.len() > 256 {
+                self.table_cache.clear();
+            }
+            self.table_cache.insert(key.clone(), table);
+        }
+        let table = &self.table_cache[&key];
+        let u = &self.ugs[ug.idx()];
+        let model = PathModel::new(self.graph, self.deployment);
+        model.resolve(table, u.asn, u.metro).map(|r| (r.ingress, r.rtt_ms + u.last_mile_ms))
+    }
+
+    /// The user groups this oracle was computed over.
+    pub fn ugs(&self) -> &[UserGroup] {
+        self.ugs
+    }
+
+    /// The deployment this oracle was computed over.
+    pub fn deployment(&self) -> &Deployment {
+        self.deployment
+    }
+
+    /// The AS graph this oracle was computed over.
+    pub fn graph(&self) -> &AsGraph {
+        self.graph
+    }
+
+    /// The hidden tie-break salt (shared with any dynamic engine).
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ug::build_user_groups;
+    use painter_topology::{DeploymentConfig, TopologyConfig};
+
+    struct Fixture {
+        net: painter_topology::Internet,
+        dep: Deployment,
+        ugs: Vec<UserGroup>,
+    }
+
+    fn fixture() -> Fixture {
+        let net = painter_topology::generate(TopologyConfig::tiny(41));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(41));
+        let ugs = build_user_groups(&net, 41);
+        Fixture { net, dep, ugs }
+    }
+
+    #[test]
+    fn every_ug_reaches_some_ingress() {
+        let f = fixture();
+        let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        for ug in &f.ugs {
+            assert!(
+                !gt.reachable_peerings(ug.id).is_empty(),
+                "{} reaches nothing",
+                ug.id
+            );
+            assert!(gt.best_latency(ug.id).is_some());
+        }
+    }
+
+    #[test]
+    fn transit_provider_ingresses_reach_everyone() {
+        let f = fixture();
+        let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        for &tp in f.dep.transit_providers() {
+            for &peering in f.dep.peerings_with(tp) {
+                for ug in &f.ugs {
+                    assert!(
+                        gt.reachable(ug.id, peering),
+                        "{} cannot reach transit ingress {peering}",
+                        ug.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_includes_last_mile() {
+        let f = fixture();
+        let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        for ug in &f.ugs {
+            if let Some(best) = gt.best_latency(ug.id) {
+                assert!(best >= ug.last_mile_ms, "{}: {best} < last mile", ug.id);
+            }
+        }
+    }
+
+    #[test]
+    fn route_under_full_set_beats_or_matches_no_one() {
+        // Under anycast (all peerings), the landed latency must be >= the
+        // per-UG best (anycast cannot beat the best single ingress).
+        let f = fixture();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let all: Vec<PeeringId> = f.dep.peerings().iter().map(|p| p.id).collect();
+        for ug in &f.ugs {
+            let (_, landed) = gt.route_under(&all, ug.id).expect("anycast reaches all");
+            let best = gt.best_latency(ug.id).unwrap();
+            assert!(landed >= best - 1e-9, "{}: landed {landed} < best {best}", ug.id);
+        }
+    }
+
+    #[test]
+    fn route_under_single_peering_matches_matrix() {
+        let f = fixture();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let p = f.dep.peerings()[0].id;
+        for ug in f.ugs.iter().take(20) {
+            let via_matrix = gt.latency(ug.id, p);
+            let via_resolver = gt.route_under(&[p], ug.id).map(|(_, l)| l);
+            assert_eq!(via_matrix.is_some(), via_resolver.is_some());
+            if let (Some(a), Some(b)) = (via_matrix, via_resolver) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_inflation_exists_for_someone() {
+        // The premise of the whole paper: for some UGs, anycast lands at a
+        // worse ingress than their best. Verify our substrate produces
+        // that phenomenon.
+        let f = fixture();
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let all: Vec<PeeringId> = f.dep.peerings().iter().map(|p| p.id).collect();
+        let inflated = f
+            .ugs
+            .iter()
+            .filter(|ug| {
+                let landed = gt.route_under(&all, ug.id).map(|(_, l)| l).unwrap_or(f64::MAX);
+                let best = gt.best_latency(ug.id).unwrap_or(f64::MAX);
+                landed > best + 5.0
+            })
+            .count();
+        assert!(inflated > 0, "no UG suffers anycast inflation — substrate too benign");
+    }
+}

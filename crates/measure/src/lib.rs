@@ -1,0 +1,42 @@
+//! Measurement substrate: user groups, latency ground truth, probes.
+//!
+//! The paper's orchestrator "assumes we have access to a system that
+//! measures latencies from UGs to each policy-compliant ingress
+//! individually" (§3.1) — Odin/RIPE Atlas in the Azure setting, direct
+//! pings in the PEERING prototype. This crate is that system, simulated:
+//!
+//! * [`ug`] — user groups: `(AS, metro)` populations with traffic weights
+//!   and last-mile delays, derived from the generated Internet's stub ASes.
+//! * [`ground`] — the ground-truth oracle: for every `(UG, ingress)` pair,
+//!   the latency the UG would see if the prefix were advertised solely via
+//!   that ingress (one static BGP solve per peering). This is "the real
+//!   Internet" that measurements sample and the orchestrator never sees
+//!   directly.
+//! * [`ping`] — the measurement primitive: ping a target 7 times, take the
+//!   minimum to approximate propagation delay (§5.1.1), with seeded
+//!   queueing jitter.
+//! * [`probes`] — the vantage-point fleet: the subset of UGs hosting
+//!   probes (RIPE Atlas covers only ~47% of Azure traffic volume; same
+//!   idea here).
+//! * [`targets`] — Appendix B's geolocation-uncertainty model: measurement
+//!   targets near ingresses, with coverage and estimation error that both
+//!   grow with the allowed uncertainty (Fig. 12).
+//! * [`extrapolate`] — Appendix C's simulated measurements: UGs without
+//!   probes inherit the *distribution* of relative improvements observed
+//!   by nearby probes with similar anycast latency.
+
+pub mod catchment;
+pub mod extrapolate;
+pub mod ground;
+pub mod ping;
+pub mod probes;
+pub mod targets;
+pub mod ug;
+
+pub use catchment::{catchment, pop_catchment_members, Catchment};
+pub use extrapolate::extrapolate_improvements;
+pub use ground::GroundTruth;
+pub use ping::{min_of_pings, Pinger};
+pub use probes::ProbeFleet;
+pub use targets::{TargetDb, TargetDbConfig};
+pub use ug::{build_user_groups, UgId, UserGroup};

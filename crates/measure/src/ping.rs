@@ -1,0 +1,122 @@
+//! The ping measurement primitive.
+//!
+//! §5.1.1: "We measure all targets using ping 7 times and compute minimum
+//! latencies to approximate propagation delay." Each ping sample is the
+//! true propagation RTT plus non-negative queueing/processing noise, so the
+//! minimum converges on propagation delay as sample count grows.
+
+use painter_eventsim::SimRng;
+
+/// Default sample count, from the paper.
+pub const DEFAULT_PING_COUNT: usize = 7;
+
+/// A seeded ping simulator.
+///
+/// Noise model: exponential queueing delay (mean `noise_mean_ms`) plus a
+/// rare "spike" (probability `spike_prob`, adding tens of ms) modeling
+/// transient congestion. Noise is strictly additive — propagation delay is
+/// a floor, as in real networks.
+pub struct Pinger {
+    rng: SimRng,
+    noise_mean_ms: f64,
+    spike_prob: f64,
+}
+
+impl Pinger {
+    /// A pinger with default noise (1.5 ms mean queueing, 2% spikes).
+    pub fn new(seed: u64) -> Self {
+        Self::with_noise(seed, 1.5, 0.02)
+    }
+
+    /// A pinger with explicit noise parameters.
+    pub fn with_noise(seed: u64, noise_mean_ms: f64, spike_prob: f64) -> Self {
+        Pinger { rng: SimRng::stream(seed, 0x70_69_6e_67), noise_mean_ms, spike_prob }
+    }
+
+    /// One ping sample toward a target with true RTT `true_rtt_ms`.
+    /// Returns `None` on packet loss (1% base loss).
+    pub fn sample(&mut self, true_rtt_ms: f64) -> Option<f64> {
+        if self.rng.chance(0.01) {
+            return None;
+        }
+        let mut noise = self.rng.exponential(self.noise_mean_ms);
+        if self.rng.chance(self.spike_prob) {
+            noise += self.rng.uniform(10.0, 60.0);
+        }
+        Some(true_rtt_ms + noise)
+    }
+
+    /// Pings `count` times and returns the minimum observed RTT, or `None`
+    /// if every probe was lost.
+    pub fn min_rtt(&mut self, true_rtt_ms: f64, count: usize) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for _ in 0..count {
+            if let Some(s) = self.sample(true_rtt_ms) {
+                best = Some(best.map_or(s, |b: f64| b.min(s)));
+            }
+        }
+        best
+    }
+
+    /// The paper's measurement: min of 7 pings.
+    pub fn measure(&mut self, true_rtt_ms: f64) -> Option<f64> {
+        self.min_rtt(true_rtt_ms, DEFAULT_PING_COUNT)
+    }
+}
+
+/// Minimum of an explicit sample list (`None` for an empty list).
+pub fn min_of_pings(samples: &[f64]) -> Option<f64> {
+    samples.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_never_undershoot_propagation() {
+        let mut p = Pinger::new(1);
+        for _ in 0..1000 {
+            if let Some(s) = p.sample(42.0) {
+                assert!(s >= 42.0);
+            }
+        }
+    }
+
+    #[test]
+    fn min_of_seven_approaches_truth() {
+        let mut p = Pinger::new(2);
+        let mut total_err = 0.0;
+        let n = 500;
+        for _ in 0..n {
+            let m = p.measure(30.0).unwrap();
+            total_err += m - 30.0;
+        }
+        let mean_err = total_err / n as f64;
+        // Mean of min-of-7 exponential(1.5) noise is ~0.2 ms.
+        assert!(mean_err < 1.0, "got {mean_err}");
+    }
+
+    #[test]
+    fn min_of_pings_handles_lists() {
+        assert_eq!(min_of_pings(&[3.0, 1.0, 2.0]), Some(1.0));
+        assert_eq!(min_of_pings(&[]), None);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = Pinger::new(seed);
+            (0..10).map(|_| p.measure(20.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn all_lost_returns_none() {
+        // Force loss by sampling zero times.
+        let mut p = Pinger::new(3);
+        assert_eq!(p.min_rtt(10.0, 0), None);
+    }
+}

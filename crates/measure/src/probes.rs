@@ -1,0 +1,142 @@
+//! The vantage-point probe fleet.
+//!
+//! §5.1.1: "RIPE Atlas covers a relatively small number of UGs (only 47% of
+//! Azure traffic volume)". Probes are placed preferentially in high-weight
+//! UGs (RIPE Atlas hosts skew toward well-connected networks), and the
+//! fleet exposes exactly the coverage metric the paper reports.
+
+use crate::ug::UserGroup;
+use crate::ug::UgId;
+use painter_eventsim::SimRng;
+
+/// The subset of user groups hosting measurement probes.
+#[derive(Debug, Clone)]
+pub struct ProbeFleet {
+    has_probe: Vec<bool>,
+    covered_weight: f64,
+    total_weight: f64,
+}
+
+impl ProbeFleet {
+    /// Selects probes until roughly `target_coverage` of total UG traffic
+    /// weight is covered, sampling UGs with probability proportional to
+    /// weight (heavier UGs are likelier to host probes).
+    pub fn select(ugs: &[UserGroup], target_coverage: f64, seed: u64) -> Self {
+        let mut rng = SimRng::stream(seed, 0x70_72_6f_62);
+        let total_weight: f64 = ugs.iter().map(|u| u.weight).sum();
+        let target = total_weight * target_coverage.clamp(0.0, 1.0);
+        let mut has_probe = vec![false; ugs.len()];
+        let mut covered = 0.0;
+        // Weighted sampling without replacement until the target is met.
+        let mut order: Vec<usize> = (0..ugs.len()).collect();
+        // Exponential-sort trick: key = -ln(U)/w gives weight-proportional
+        // order.
+        let mut keys: Vec<f64> = Vec::with_capacity(ugs.len());
+        for u in ugs {
+            let r: f64 = (1.0_f64 - rng.unit()).ln();
+            keys.push(-r / u.weight.max(1e-12));
+        }
+        order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("finite"));
+        for i in order {
+            if covered >= target {
+                break;
+            }
+            has_probe[i] = true;
+            covered += ugs[i].weight;
+        }
+        ProbeFleet { has_probe, covered_weight: covered, total_weight }
+    }
+
+    /// True if the UG hosts a probe.
+    pub fn has_probe(&self, ug: UgId) -> bool {
+        self.has_probe[ug.idx()]
+    }
+
+    /// All probe-hosting UG ids.
+    pub fn probe_ugs(&self) -> Vec<UgId> {
+        self.has_probe
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| UgId(i as u32))
+            .collect()
+    }
+
+    /// Fraction of total traffic weight covered by probes.
+    pub fn coverage(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            0.0
+        } else {
+            self.covered_weight / self.total_weight
+        }
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.has_probe.iter().filter(|&&p| p).count()
+    }
+
+    /// True if the fleet has no probes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ug::build_user_groups;
+    use painter_topology::TopologyConfig;
+
+    fn ugs() -> Vec<UserGroup> {
+        let net = painter_topology::generate(TopologyConfig::tiny(51));
+        build_user_groups(&net, 51)
+    }
+
+    #[test]
+    fn coverage_hits_target() {
+        let ugs = ugs();
+        let fleet = ProbeFleet::select(&ugs, 0.47, 1);
+        assert!(fleet.coverage() >= 0.47, "got {}", fleet.coverage());
+        assert!(fleet.coverage() < 0.8, "overshoot: {}", fleet.coverage());
+        assert!(!fleet.is_empty());
+    }
+
+    #[test]
+    fn zero_target_selects_nothing() {
+        let ugs = ugs();
+        let fleet = ProbeFleet::select(&ugs, 0.0, 1);
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.coverage(), 0.0);
+    }
+
+    #[test]
+    fn full_target_selects_everything() {
+        let ugs = ugs();
+        let fleet = ProbeFleet::select(&ugs, 1.0, 1);
+        assert_eq!(fleet.len(), ugs.len());
+    }
+
+    #[test]
+    fn probes_skew_toward_heavy_ugs() {
+        let ugs = ugs();
+        let fleet = ProbeFleet::select(&ugs, 0.4, 2);
+        // Covered weight per probe should exceed average weight per UG.
+        let avg_all: f64 = ugs.iter().map(|u| u.weight).sum::<f64>() / ugs.len() as f64;
+        let avg_probe: f64 = fleet
+            .probe_ugs()
+            .iter()
+            .map(|&u| ugs[u.idx()].weight)
+            .sum::<f64>()
+            / fleet.len() as f64;
+        assert!(avg_probe > avg_all, "probe avg {avg_probe} <= overall avg {avg_all}");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let ugs = ugs();
+        let a = ProbeFleet::select(&ugs, 0.47, 3);
+        let b = ProbeFleet::select(&ugs, 0.47, 3);
+        assert_eq!(a.probe_ugs(), b.probe_ugs());
+    }
+}

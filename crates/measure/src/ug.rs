@@ -1,0 +1,133 @@
+//! User groups.
+//!
+//! §3.1: "we logically group users in the same AS and large metropolitan
+//! area, referring to each group as a UG (user group) ... w(UG) is the
+//! weight (e.g., traffic volume) of UG". Here every stub (enterprise) AS of
+//! the generated Internet yields one UG at its home metro, with a
+//! heavy-tailed traffic weight — a handful of large enterprises dominate
+//! volume, as in the Azure logs the paper aggregates.
+
+use painter_eventsim::SimRng;
+use painter_geo::{metro, MetroId};
+use painter_topology::{AsId, Internet};
+
+/// Dense identifier of a user group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UgId(pub u32);
+
+impl UgId {
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for UgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UG{}", self.0)
+    }
+}
+
+/// A user group: users of one AS in one metro.
+#[derive(Debug, Clone)]
+pub struct UserGroup {
+    pub id: UgId,
+    /// The enterprise/stub AS the users sit in.
+    pub asn: AsId,
+    /// The metro the users sit at.
+    pub metro: MetroId,
+    /// Relative traffic volume (the paper's `w(UG)`).
+    pub weight: f64,
+    /// Last-mile round-trip delay (access network, Wi-Fi, DSL...) added to
+    /// every path of this UG; it shifts absolute latency but never
+    /// improvement.
+    pub last_mile_ms: f64,
+}
+
+/// Builds the UG population from an Internet's stub ASes.
+///
+/// Weights are `metro weight × truncated Pareto(α=1.4)` — heavy-tailed
+/// within a metro (a few large enterprises dominate), scaled by metro
+/// size across metros, but truncated so no single enterprise carries a
+/// double-digit share of world traffic (none does, even at Azure).
+/// Last-mile delays are log-normal around ~6 ms.
+pub fn build_user_groups(internet: &Internet, seed: u64) -> Vec<UserGroup> {
+    let mut rng = SimRng::stream(seed, 0x5547);
+    let mut ugs = Vec::new();
+    for stub in internet.graph.stubs() {
+        let home = stub.presence[0];
+        let weight = metro(home).weight * rng.pareto(1.0, 1.4).min(30.0);
+        let last_mile_ms = rng.log_normal(6.0, 0.5).clamp(1.0, 40.0);
+        ugs.push(UserGroup {
+            id: UgId(ugs.len() as u32),
+            asn: stub.id,
+            metro: home,
+            weight,
+            last_mile_ms,
+        });
+    }
+    ugs
+}
+
+/// Total weight of a UG population.
+pub fn total_weight(ugs: &[UserGroup]) -> f64 {
+    ugs.iter().map(|u| u.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_topology::TopologyConfig;
+
+    fn tiny() -> Internet {
+        painter_topology::generate(TopologyConfig::tiny(31))
+    }
+
+    #[test]
+    fn one_ug_per_stub() {
+        let net = tiny();
+        let ugs = build_user_groups(&net, 1);
+        assert_eq!(ugs.len(), net.graph.stubs().count());
+        for (i, ug) in ugs.iter().enumerate() {
+            assert_eq!(ug.id, UgId(i as u32));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let net = tiny();
+        let a = build_user_groups(&net, 5);
+        let b = build_user_groups(&net, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            assert_eq!(x.last_mile_ms.to_bits(), y.last_mile_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let net = tiny();
+        let ugs = build_user_groups(&net, 2);
+        let total = total_weight(&ugs);
+        let mut weights: Vec<f64> = ugs.iter().map(|u| u.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top10: f64 = weights.iter().take(ugs.len() / 10).sum();
+        assert!(top10 / total > 0.25, "top decile should dominate, got {}", top10 / total);
+    }
+
+    #[test]
+    fn last_mile_delays_are_bounded() {
+        let net = tiny();
+        for ug in build_user_groups(&net, 3) {
+            assert!(ug.last_mile_ms >= 1.0 && ug.last_mile_ms <= 40.0);
+        }
+    }
+
+    #[test]
+    fn ug_metro_matches_stub_home() {
+        let net = tiny();
+        let ugs = build_user_groups(&net, 4);
+        for ug in &ugs {
+            assert_eq!(net.graph.node(ug.asn).presence[0], ug.metro);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Lossy, delayed channels for the Traffic Manager simulation.
+//!
+//! A [`Channel`] models the network between a TM-Edge and one tunnel
+//! destination: a time-varying round-trip time, a loss probability, and an
+//! up/down state. The Fig. 10 failover experiment drives the down state
+//! from the BGP engine (a withdrawn prefix's channel goes down); unit tests
+//! drive it directly.
+
+use painter_eventsim::{SimRng, SimTime};
+
+/// One direction-agnostic network channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Base round-trip time.
+    rtt_ms: f64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    loss: f64,
+    /// When false, every packet is dropped (path withdrawn / blackholed).
+    up: bool,
+    /// Relative jitter applied to each traversal (fraction of one-way
+    /// delay).
+    jitter: f64,
+}
+
+impl Channel {
+    /// A channel with the given RTT, loss probability, and jitter fraction.
+    pub fn new(rtt_ms: f64, loss: f64, jitter: f64) -> Self {
+        Channel {
+            rtt_ms: rtt_ms.max(0.0),
+            loss: loss.clamp(0.0, 1.0),
+            up: true,
+            jitter: jitter.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Current base RTT in milliseconds.
+    pub fn rtt_ms(&self) -> f64 {
+        self.rtt_ms
+    }
+
+    /// Updates the base RTT (e.g. after a routing change).
+    pub fn set_rtt_ms(&mut self, rtt_ms: f64) {
+        self.rtt_ms = rtt_ms.max(0.0);
+    }
+
+    /// Whether the channel currently delivers packets.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Brings the channel up or down.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Samples the one-way delivery delay for a packet, or `None` if the
+    /// packet is lost (channel down or random loss).
+    pub fn sample_one_way(&self, rng: &mut SimRng) -> Option<SimTime> {
+        if !self.up || rng.chance(self.loss) {
+            return None;
+        }
+        let base = self.rtt_ms / 2.0;
+        let jitter = base * self.jitter * rng.unit();
+        Some(SimTime::from_ms(base + jitter))
+    }
+
+    /// Samples a full round trip (both directions must survive), or `None`
+    /// if either direction drops.
+    pub fn sample_round_trip(&self, rng: &mut SimRng) -> Option<SimTime> {
+        let there = self.sample_one_way(rng)?;
+        let back = self.sample_one_way(rng)?;
+        Some(there + back)
+    }
+}
+
+/// Two-state Gilbert–Elliott loss process: a channel alternates between a
+/// Good state (low loss) and a Bad state (bursty, high loss). Real paths
+/// lose packets in bursts — congestion events, not coin flips — and burst
+/// loss is what stresses failure detectors tuned on independent loss.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(Good -> Bad) per packet.
+    pub p_enter_bad: f64,
+    /// P(Bad -> Good) per packet.
+    pub p_leave_bad: f64,
+    /// Loss probability in Good.
+    pub loss_good: f64,
+    /// Loss probability in Bad.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// A process with the given transition and loss parameters, starting
+    /// in Good.
+    pub fn new(p_enter_bad: f64, p_leave_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_enter_bad: p_enter_bad.clamp(0.0, 1.0),
+            p_leave_bad: p_leave_bad.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            in_bad: false,
+        }
+    }
+
+    /// Advances one packet: returns true if the packet is lost.
+    pub fn lose_packet(&mut self, rng: &mut SimRng) -> bool {
+        if self.in_bad {
+            if rng.chance(self.p_leave_bad) {
+                self.in_bad = false;
+            }
+        } else if rng.chance(self.p_enter_bad) {
+            self.in_bad = true;
+        }
+        rng.chance(if self.in_bad { self.loss_bad } else { self.loss_good })
+    }
+
+    /// Whether the process is currently in the bursty state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same long-run loss rate, but correlated: runs of losses should
+        // be longer than under independent loss.
+        let mut ge = GilbertElliott::new(0.02, 0.2, 0.001, 0.6);
+        let mut rng = SimRng::new(9);
+        let outcomes: Vec<bool> = (0..50_000).map(|_| ge.lose_packet(&mut rng)).collect();
+        let loss_rate = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        assert!(loss_rate > 0.01 && loss_rate < 0.2, "rate {loss_rate}");
+        // Longest loss run must exceed what independent loss at this rate
+        // plausibly produces (~log n / log(1/p) ≈ 3).
+        let mut longest = 0;
+        let mut run = 0;
+        for &lost in &outcomes {
+            run = if lost { run + 1 } else { 0 };
+            longest = longest.max(run);
+        }
+        assert!(longest >= 5, "no bursts observed (longest run {longest})");
+    }
+
+    #[test]
+    fn gilbert_elliott_good_state_is_quiet() {
+        let mut ge = GilbertElliott::new(0.0, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::new(10);
+        assert!((0..1000).all(|_| !ge.lose_packet(&mut rng)));
+        assert!(!ge.in_bad_state());
+    }
+
+    #[test]
+    fn delivery_delay_is_near_half_rtt() {
+        let ch = Channel::new(100.0, 0.0, 0.0);
+        let mut rng = SimRng::new(1);
+        let d = ch.sample_one_way(&mut rng).unwrap();
+        assert_eq!(d, SimTime::from_ms(50.0));
+    }
+
+    #[test]
+    fn down_channel_drops_everything() {
+        let mut ch = Channel::new(10.0, 0.0, 0.0);
+        ch.set_up(false);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10 {
+            assert!(ch.sample_one_way(&mut rng).is_none());
+        }
+        ch.set_up(true);
+        assert!(ch.sample_one_way(&mut rng).is_some());
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let ch = Channel::new(10.0, 0.3, 0.0);
+        let mut rng = SimRng::new(3);
+        let delivered = (0..10_000).filter(|_| ch.sample_one_way(&mut rng).is_some()).count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.03, "got {rate}");
+    }
+
+    #[test]
+    fn jitter_spreads_delays() {
+        let ch = Channel::new(100.0, 0.0, 0.2);
+        let mut rng = SimRng::new(4);
+        let mut delays: Vec<SimTime> = Vec::new();
+        for _ in 0..100 {
+            delays.push(ch.sample_one_way(&mut rng).unwrap());
+        }
+        let min = delays.iter().min().unwrap();
+        let max = delays.iter().max().unwrap();
+        assert!(*max > *min);
+        assert!(max.as_ms() <= 60.0 + 1e-9);
+        assert!(min.as_ms() >= 50.0 - 1e-9);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_directions() {
+        let ch = Channel::new(80.0, 0.0, 0.0);
+        let mut rng = SimRng::new(5);
+        assert_eq!(ch.sample_round_trip(&mut rng).unwrap(), SimTime::from_ms(80.0));
+    }
+
+    #[test]
+    fn rtt_can_be_retuned() {
+        let mut ch = Channel::new(10.0, 0.0, 0.0);
+        ch.set_rtt_ms(42.0);
+        assert_eq!(ch.rtt_ms(), 42.0);
+        ch.set_rtt_ms(-5.0);
+        assert_eq!(ch.rtt_ms(), 0.0);
+    }
+}

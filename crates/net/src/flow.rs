@@ -1,0 +1,103 @@
+//! Flow identification.
+//!
+//! §3.2: "Once the Traffic Manager maps a flow (5-tuple) to a TM-PoP, the
+//! mapping is immutable for the lifetime of that flow." The five-tuple is
+//! therefore the unit of steering — PAINTER's "finest granularity" in
+//! Fig. 9a.
+
+use crate::packet::PacketHeader;
+
+/// A transport five-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    pub protocol: u8,
+    pub src: u32,
+    pub dst: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Extracts the five-tuple of a packet.
+    pub fn of(header: &PacketHeader) -> FiveTuple {
+        FiveTuple {
+            protocol: header.protocol,
+            src: header.src,
+            dst: header.dst,
+            src_port: header.src_port,
+            dst_port: header.dst_port,
+        }
+    }
+
+    /// The five-tuple of the reverse direction.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            protocol: self.protocol,
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A stable 64-bit hash (FNV-1a over the canonical encoding), usable
+    /// for deterministic load distribution.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        mix(self.protocol);
+        for b in self.src.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            mix(b);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PROTO_TCP;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple { protocol: PROTO_TCP, src: 1, dst: 2, src_port: 1000, dst_port: 443 }
+    }
+
+    #[test]
+    fn of_extracts_from_header() {
+        let h = PacketHeader { src: 1, dst: 2, protocol: PROTO_TCP, src_port: 1000, dst_port: 443 };
+        assert_eq!(FiveTuple::of(&h), tuple());
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let t = tuple();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_ne!(t.reversed(), t);
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_direction_sensitive() {
+        let t = tuple();
+        assert_eq!(t.stable_hash(), t.stable_hash());
+        assert_ne!(t.stable_hash(), t.reversed().stable_hash());
+    }
+
+    #[test]
+    fn hash_differs_for_different_ports() {
+        let a = tuple();
+        let b = FiveTuple { src_port: 1001, ..a };
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+}

@@ -1,0 +1,30 @@
+//! Packet-level networking substrate for the Traffic Manager.
+//!
+//! Appendix D of the paper describes PAINTER's tunneling mechanism: TM-Edge
+//! encapsulates client packets in UDP datagrams addressed to the prefix of
+//! the chosen ingress path; TM-PoP decapsulates, NATs the traffic (storing
+//! the client's address in a "Known Flows" table so return traffic rides
+//! the tunnel back), and forwards to the cloud service. This crate
+//! implements that datapath:
+//!
+//! * [`packet`] — a compact IPv4-like packet representation with wire
+//!   encoding (via `bytes`), plus UDP [`packet::encapsulate`] /
+//!   [`packet::decapsulate`] implementing the tunnel format.
+//! * [`flow`] — five-tuples and flow keys (the paper pins each flow to a
+//!   TM-PoP for its lifetime; the five-tuple is the pinning key).
+//! * [`nat`] — the TM-PoP NAT: per-address 65,535-port allocation and the
+//!   Known Flows lookup table.
+//! * [`channel`] — a lossy, delayed channel abstraction used by the
+//!   event-driven Traffic Manager simulation.
+
+pub mod channel;
+pub mod flow;
+pub mod nat;
+pub mod packet;
+
+pub use channel::{Channel, GilbertElliott};
+pub use flow::FiveTuple;
+pub use nat::{NatBinding, NatTable};
+pub use packet::{
+    decapsulate, encapsulate, Packet, PacketHeader, PROTO_TCP, PROTO_UDP, TUNNEL_PORT,
+};

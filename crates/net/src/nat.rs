@@ -1,0 +1,248 @@
+//! The TM-PoP NAT and its "Known Flows" table.
+//!
+//! Appendix D, step (3): "TM-PoP NATs the traffic, storing the client's
+//! source port and IP address in a lookup table ('Known Flows') to retrieve
+//! later. TM-PoP acts as a NAT to ensure return traffic goes back through
+//! the tunnel." Step (5) retrieves the binding to restore the client
+//! address. "Each TM-PoP has multiple IP addresses/NICs and so handles 65k
+//! connections for each IP address."
+
+use crate::flow::FiveTuple;
+use painter_eventsim::SimTime;
+use std::collections::HashMap;
+
+/// One NAT binding: the translated (pop address, pop port) assigned to a
+/// client flow, plus which TM-Edge tunnel it arrived over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatBinding {
+    /// TM-PoP address used toward the service.
+    pub pop_addr: u32,
+    /// TM-PoP source port used toward the service.
+    pub pop_port: u16,
+    /// Original client address (to restore on return traffic).
+    pub client_addr: u32,
+    /// Original client port.
+    pub client_port: u16,
+    /// The TM-Edge the flow arrived from (return traffic goes back here).
+    pub edge_addr: u32,
+}
+
+/// Port-allocating NAT with the Known Flows lookup table.
+///
+/// Outbound: `bind(flow, edge)` allocates (or reuses) a `(pop_addr,
+/// pop_port)` pair for the client flow. Inbound: `lookup(pop_addr,
+/// pop_port)` retrieves the binding so the response can be rewritten and
+/// tunneled back.
+#[derive(Debug, Clone)]
+pub struct NatTable {
+    addrs: Vec<u32>,
+    /// Next port to try per address (ports 1..=65535; 0 reserved).
+    next_port: Vec<u16>,
+    /// Live bindings keyed by translated (addr, port).
+    by_translation: HashMap<(u32, u16), NatBinding>,
+    /// Live bindings keyed by original client flow.
+    by_flow: HashMap<FiveTuple, (u32, u16)>,
+    /// Last activity per flow (drives [`NatTable::expire`]).
+    last_activity: HashMap<FiveTuple, SimTime>,
+}
+
+impl NatTable {
+    /// Creates a NAT over the given pool of TM-PoP addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pool (a PoP without addresses cannot NAT).
+    pub fn new(addrs: Vec<u32>) -> Self {
+        assert!(!addrs.is_empty(), "a NAT needs at least one address");
+        let n = addrs.len();
+        NatTable {
+            addrs,
+            next_port: vec![1; n],
+            by_translation: HashMap::new(),
+            by_flow: HashMap::new(),
+            last_activity: HashMap::new(),
+        }
+    }
+
+    /// Total binding capacity (65,535 ports per address).
+    pub fn capacity(&self) -> usize {
+        self.addrs.len() * 65_535
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.by_translation.len()
+    }
+
+    /// True if no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_translation.is_empty()
+    }
+
+    /// Binds a client flow arriving from `edge_addr`, allocating a
+    /// translation if the flow is new. Returns the binding, or `None` if
+    /// every (address, port) pair is in use.
+    ///
+    /// Repeated packets of the same flow reuse the existing binding —
+    /// this is what makes the flow→PoP mapping stable.
+    pub fn bind(&mut self, flow: FiveTuple, edge_addr: u32) -> Option<NatBinding> {
+        self.bind_at(flow, edge_addr, SimTime::ZERO)
+    }
+
+    /// Like [`NatTable::bind`], recording `now` as the flow's last
+    /// activity so [`NatTable::expire`] can reclaim idle bindings — the
+    /// hygiene a 65k-ports-per-address NAT needs to survive long
+    /// deployments.
+    pub fn bind_at(
+        &mut self,
+        flow: FiveTuple,
+        edge_addr: u32,
+        now: SimTime,
+    ) -> Option<NatBinding> {
+        if let Some(&key) = self.by_flow.get(&flow) {
+            let last = self.last_activity.entry(flow).or_insert(now);
+            *last = (*last).max(now);
+            return self.by_translation.get(&key).copied();
+        }
+        // Scan addresses round-robin-ish for a free port.
+        for (i, &addr) in self.addrs.iter().enumerate() {
+            for _ in 0..65_535u32 {
+                let port = self.next_port[i];
+                self.next_port[i] = if port == u16::MAX { 1 } else { port + 1 };
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    self.by_translation.entry((addr, port))
+                {
+                    let binding = NatBinding {
+                        pop_addr: addr,
+                        pop_port: port,
+                        client_addr: flow.src,
+                        client_port: flow.src_port,
+                        edge_addr,
+                    };
+                    slot.insert(binding);
+                    self.by_flow.insert(flow, (addr, port));
+                    self.last_activity.insert(flow, now);
+                    return Some(binding);
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up the binding for return traffic addressed to
+    /// `(pop_addr, pop_port)`.
+    pub fn lookup(&self, pop_addr: u32, pop_port: u16) -> Option<NatBinding> {
+        self.by_translation.get(&(pop_addr, pop_port)).copied()
+    }
+
+    /// Removes a flow's binding (flow ended), freeing its port.
+    /// Returns true if a binding existed.
+    pub fn unbind(&mut self, flow: &FiveTuple) -> bool {
+        if let Some(key) = self.by_flow.remove(flow) {
+            self.by_translation.remove(&key);
+            self.last_activity.remove(flow);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reclaims bindings idle for at least `idle` at time `now`,
+    /// returning how many ports were freed.
+    pub fn expire(&mut self, now: SimTime, idle: SimTime) -> usize {
+        let stale: Vec<FiveTuple> = self
+            .last_activity
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) >= idle)
+            .map(|(f, _)| *f)
+            .collect();
+        let count = stale.len();
+        for flow in stale {
+            self.unbind(&flow);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PROTO_TCP;
+
+    fn flow(src_port: u16) -> FiveTuple {
+        FiveTuple { protocol: PROTO_TCP, src: 10, dst: 20, src_port, dst_port: 443 }
+    }
+
+    #[test]
+    fn bind_allocates_and_reuses() {
+        let mut nat = NatTable::new(vec![100]);
+        let b1 = nat.bind(flow(1000), 55).unwrap();
+        let b2 = nat.bind(flow(1000), 55).unwrap();
+        assert_eq!(b1, b2, "same flow must reuse its binding");
+        assert_eq!(nat.len(), 1);
+        let b3 = nat.bind(flow(1001), 55).unwrap();
+        assert_ne!((b1.pop_addr, b1.pop_port), (b3.pop_addr, b3.pop_port));
+    }
+
+    #[test]
+    fn lookup_restores_client_identity() {
+        let mut nat = NatTable::new(vec![100]);
+        let b = nat.bind(flow(1234), 77).unwrap();
+        let found = nat.lookup(b.pop_addr, b.pop_port).unwrap();
+        assert_eq!(found.client_addr, 10);
+        assert_eq!(found.client_port, 1234);
+        assert_eq!(found.edge_addr, 77);
+    }
+
+    #[test]
+    fn unbind_frees_the_port() {
+        let mut nat = NatTable::new(vec![100]);
+        let b = nat.bind(flow(1), 1).unwrap();
+        assert!(nat.unbind(&flow(1)));
+        assert!(!nat.unbind(&flow(1)));
+        assert!(nat.lookup(b.pop_addr, b.pop_port).is_none());
+        assert!(nat.is_empty());
+    }
+
+    #[test]
+    fn capacity_spans_multiple_addresses() {
+        let nat = NatTable::new(vec![1, 2, 3]);
+        assert_eq!(nat.capacity(), 3 * 65_535);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_then_recovers() {
+        // Tiny capacity via one address; fill a few thousand ports to keep
+        // the test fast, then verify wraparound reuse after unbind.
+        let mut nat = NatTable::new(vec![9]);
+        for p in 0..100 {
+            nat.bind(flow(p), 1).unwrap();
+        }
+        assert_eq!(nat.len(), 100);
+        assert!(nat.unbind(&flow(0)));
+        // The freed port is findable again (allocator wraps).
+        let b = nat.bind(flow(60_000), 1);
+        assert!(b.is_some());
+    }
+
+    #[test]
+    fn expire_reclaims_only_idle_bindings() {
+        let mut nat = NatTable::new(vec![100]);
+        nat.bind_at(flow(1), 1, SimTime::ZERO);
+        nat.bind_at(flow(2), 1, SimTime::ZERO);
+        // Flow 2 stays active.
+        nat.bind_at(flow(2), 1, SimTime::from_secs(50.0));
+        let freed = nat.expire(SimTime::from_secs(60.0), SimTime::from_secs(30.0));
+        assert_eq!(freed, 1);
+        assert_eq!(nat.len(), 1);
+        // The surviving flow keeps its translation.
+        let b = nat.bind_at(flow(2), 1, SimTime::from_secs(61.0)).unwrap();
+        assert!(nat.lookup(b.pop_addr, b.pop_port).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn empty_pool_is_rejected() {
+        NatTable::new(vec![]);
+    }
+}

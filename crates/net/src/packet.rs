@@ -1,0 +1,187 @@
+//! Packet representation and the UDP tunnel wire format.
+//!
+//! Packets carry a fixed 13-byte header (addresses, protocol, ports) and an
+//! opaque payload. The tunnel format wraps a full inner packet as the
+//! payload of an outer UDP packet — the "approximately 16 bytes per 1400"
+//! overhead Appendix D quotes corresponds to this outer header plus UDP
+//! framing.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol numbers (IANA values for familiarity).
+pub const PROTO_TCP: u8 = 6;
+pub const PROTO_UDP: u8 = 17;
+
+/// The well-known UDP port TM-Edge and TM-PoP exchange tunnel traffic on.
+pub const TUNNEL_PORT: u16 = 4789; // VXLAN-ish, by analogy
+
+/// Encoded header size in bytes.
+pub const HEADER_LEN: usize = 13;
+
+/// A simplified IPv4-style header: enough structure for routing,
+/// NAT, and flow identification, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHeader {
+    pub src: u32,
+    pub dst: u32,
+    pub protocol: u8,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+/// A packet: header plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub header: PacketHeader,
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(header: PacketHeader, payload: Bytes) -> Self {
+        Packet { header, payload }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u32(self.header.src);
+        buf.put_u32(self.header.dst);
+        buf.put_u8(self.header.protocol);
+        buf.put_u16(self.header.src_port);
+        buf.put_u16(self.header.dst_port);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses from wire bytes. Returns `None` on truncated input.
+    pub fn decode(mut bytes: Bytes) -> Option<Packet> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        let src = bytes.get_u32();
+        let dst = bytes.get_u32();
+        let protocol = bytes.get_u8();
+        let src_port = bytes.get_u16();
+        let dst_port = bytes.get_u16();
+        Some(Packet {
+            header: PacketHeader { src, dst, protocol, src_port, dst_port },
+            payload: bytes,
+        })
+    }
+
+    /// Total wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Wraps `inner` in an outer UDP packet from `outer_src` to `outer_dst`.
+///
+/// This is TM-Edge step (2) in Appendix D's Figure 13: the outer
+/// destination selects the ingress path; the inner packet still addresses
+/// the cloud service.
+///
+/// ```
+/// use painter_net::{encapsulate, decapsulate, Packet, PacketHeader, PROTO_TCP};
+/// use bytes::Bytes;
+///
+/// let inner = Packet::new(
+///     PacketHeader { src: 0xC0A8_0001, dst: 0x0808_0808, protocol: PROTO_TCP,
+///                    src_port: 50000, dst_port: 443 },
+///     Bytes::from_static(b"hello"),
+/// );
+/// // TM-Edge picks the tunnel whose destination selects the best path.
+/// let outer = encapsulate(0xC0A8_0001, 0x6440_0001, &inner);
+/// assert_eq!(decapsulate(&outer), Some(inner));
+/// ```
+pub fn encapsulate(outer_src: u32, outer_dst: u32, inner: &Packet) -> Packet {
+    Packet {
+        header: PacketHeader {
+            src: outer_src,
+            dst: outer_dst,
+            protocol: PROTO_UDP,
+            src_port: TUNNEL_PORT,
+            dst_port: TUNNEL_PORT,
+        },
+        payload: inner.encode(),
+    }
+}
+
+/// Unwraps a tunnel packet, returning the inner packet.
+///
+/// Returns `None` if the packet is not tunnel traffic (wrong protocol or
+/// port) or the payload does not parse.
+pub fn decapsulate(outer: &Packet) -> Option<Packet> {
+    if outer.header.protocol != PROTO_UDP
+        || outer.header.dst_port != TUNNEL_PORT
+        || outer.header.src_port != TUNNEL_PORT
+    {
+        return None;
+    }
+    Packet::decode(outer.payload.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::new(
+            PacketHeader {
+                src: 0x0A00_0001,
+                dst: 0x6440_0001,
+                protocol: PROTO_TCP,
+                src_port: 50123,
+                dst_port: 443,
+            },
+            Bytes::from_static(b"hello cloud"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let p = sample();
+        let decoded = Packet::decode(p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        assert!(Packet::decode(Bytes::from_static(b"short")).is_none());
+        assert!(Packet::decode(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn decode_accepts_empty_payload() {
+        let p = Packet::new(sample().header, Bytes::new());
+        let decoded = Packet::decode(p.encode()).unwrap();
+        assert_eq!(decoded.payload.len(), 0);
+    }
+
+    #[test]
+    fn tunnel_round_trips() {
+        let inner = sample();
+        let outer = encapsulate(0xC0A8_0001, 0x6440_0102, &inner);
+        assert_eq!(outer.header.protocol, PROTO_UDP);
+        assert_eq!(outer.header.dst, 0x6440_0102);
+        let unwrapped = decapsulate(&outer).unwrap();
+        assert_eq!(unwrapped, inner);
+    }
+
+    #[test]
+    fn decapsulate_rejects_non_tunnel_traffic() {
+        let inner = sample();
+        assert!(decapsulate(&inner).is_none(), "TCP packet is not tunnel traffic");
+        let mut outer = encapsulate(1, 2, &inner);
+        outer.header.dst_port = 53;
+        assert!(decapsulate(&outer).is_none());
+    }
+
+    #[test]
+    fn tunnel_overhead_is_one_header() {
+        let inner = sample();
+        let outer = encapsulate(1, 2, &inner);
+        assert_eq!(outer.wire_len(), inner.wire_len() + HEADER_LEN);
+    }
+}

@@ -1,0 +1,393 @@
+//! TM-Edge: per-tunnel measurement, selection, pinning, failure detection.
+
+use painter_bgp::PrefixId;
+use painter_eventsim::SimTime;
+use painter_net::FiveTuple;
+use painter_topology::PopId;
+use std::collections::HashMap;
+
+/// Index of a tunnel within one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TunnelId(pub usize);
+
+/// TM-Edge tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// EWMA weight of new RTT samples.
+    pub srtt_alpha: f64,
+    /// A tunnel is declared dead if a packet sees no response within
+    /// `timeout_factor × srtt` (the paper measured detection at ~1.3
+    /// RTT; the theoretical minimum is 1).
+    pub timeout_factor: f64,
+    /// Floor for the retransmission timeout (ms) so near-zero-RTT paths
+    /// do not flap on scheduling noise.
+    pub min_rto_ms: f64,
+    /// Only switch away from a live tunnel if the challenger is at least
+    /// this much faster (ms) — the oscillation-avoidance lesson the paper
+    /// takes from prior route-control work.
+    pub hysteresis_ms: f64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig { srtt_alpha: 0.3, timeout_factor: 1.3, min_rto_ms: 2.0, hysteresis_ms: 3.0 }
+    }
+}
+
+/// One tunnel: a destination address in an advertised prefix, plus the
+/// edge's live view of the path behind it.
+#[derive(Debug, Clone)]
+pub struct Tunnel {
+    pub prefix: PrefixId,
+    /// Tunnel destination (an address inside the prefix).
+    pub dst_addr: u32,
+    /// The TM-PoP this tunnel lands at, discovered from the first
+    /// response ("difficult to compute apriori, as prefixes may be
+    /// advertised via multiple peerings at multiple PoPs").
+    pub pop: Option<PopId>,
+    /// Smoothed RTT estimate (ms).
+    pub srtt_ms: f64,
+    /// Whether the edge currently believes the path delivers packets.
+    pub alive: bool,
+    /// In-flight sequence numbers and their send times.
+    outstanding: HashMap<u64, SimTime>,
+    /// Time of the last successful response.
+    pub last_response: Option<SimTime>,
+}
+
+impl Tunnel {
+    /// The current retransmission/declare-dead timeout.
+    pub fn rto(&self, config: &EdgeConfig) -> SimTime {
+        SimTime::from_ms((self.srtt_ms * config.timeout_factor).max(config.min_rto_ms))
+    }
+}
+
+/// TM-Edge state.
+///
+/// ```
+/// use painter_tm::{TmEdge, EdgeConfig, TunnelId};
+/// use painter_bgp::PrefixId;
+///
+/// let mut edge = TmEdge::new(0xC0A8_0001, EdgeConfig::default());
+/// let fast = edge.add_tunnel(PrefixId(1), 0x6440_0101, 12.0);
+/// let slow = edge.add_tunnel(PrefixId(2), 0x6440_0201, 70.0);
+/// assert_eq!(edge.select(), Some(fast));
+///
+/// // The fast path dies: a sent packet times out, and selection moves.
+/// let (seq, deadline) = edge.on_send(fast, painter_eventsim::SimTime::ZERO);
+/// assert!(edge.on_timeout(fast, seq, deadline));
+/// assert_eq!(edge.select(), Some(slow));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TmEdge {
+    /// The edge proxy's own address.
+    pub addr: u32,
+    pub config: EdgeConfig,
+    tunnels: Vec<Tunnel>,
+    /// Currently selected tunnel for new flows.
+    active: Option<TunnelId>,
+    /// Flow pinning: once mapped, a flow stays on its tunnel (and hence
+    /// its PoP) for its lifetime. The value carries the last-activity
+    /// timestamp so idle flows can be expired.
+    flow_map: HashMap<FiveTuple, (TunnelId, SimTime)>,
+    next_seq: u64,
+    /// Count of active-tunnel switches (diagnostics).
+    pub switches: u64,
+}
+
+impl TmEdge {
+    /// A new edge with no tunnels.
+    pub fn new(addr: u32, config: EdgeConfig) -> Self {
+        TmEdge {
+            addr,
+            config,
+            tunnels: Vec::new(),
+            active: None,
+            flow_map: HashMap::new(),
+            next_seq: 0,
+            switches: 0,
+        }
+    }
+
+    /// Registers a tunnel toward `dst_addr` (inside `prefix`), seeding the
+    /// RTT estimate with `initial_rtt_ms` (e.g. from the first handshake).
+    pub fn add_tunnel(&mut self, prefix: PrefixId, dst_addr: u32, initial_rtt_ms: f64) -> TunnelId {
+        self.tunnels.push(Tunnel {
+            prefix,
+            dst_addr,
+            pop: None,
+            srtt_ms: initial_rtt_ms.max(0.1),
+            alive: true,
+            outstanding: HashMap::new(),
+            last_response: None,
+        });
+        TunnelId(self.tunnels.len() - 1)
+    }
+
+    /// All tunnels.
+    pub fn tunnels(&self) -> &[Tunnel] {
+        &self.tunnels
+    }
+
+    /// A tunnel by id.
+    pub fn tunnel(&self, id: TunnelId) -> &Tunnel {
+        &self.tunnels[id.0]
+    }
+
+    /// The currently selected tunnel for new flows.
+    pub fn active(&self) -> Option<TunnelId> {
+        self.active
+    }
+
+    /// Re-runs destination selection: the lowest-srtt live tunnel, with
+    /// hysteresis against needless switching. Returns the new active
+    /// tunnel. Dead active tunnels are always replaced.
+    pub fn select(&mut self) -> Option<TunnelId> {
+        let best = self
+            .tunnels
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .min_by(|a, b| {
+                a.1.srtt_ms
+                    .partial_cmp(&b.1.srtt_ms)
+                    .expect("finite")
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(i, _)| TunnelId(i));
+        let new_active = match (self.active, best) {
+            (Some(cur), Some(best)) => {
+                let cur_t = &self.tunnels[cur.0];
+                let challenger_wins = !cur_t.alive
+                    || self.tunnels[best.0].srtt_ms + self.config.hysteresis_ms
+                        < cur_t.srtt_ms;
+                if challenger_wins {
+                    Some(best)
+                } else {
+                    Some(cur)
+                }
+            }
+            (None, best) => best,
+            (Some(cur), None) => {
+                if self.tunnels[cur.0].alive {
+                    Some(cur)
+                } else {
+                    None
+                }
+            }
+        };
+        if new_active != self.active && new_active.is_some() {
+            self.switches += 1;
+        }
+        self.active = new_active;
+        self.active
+    }
+
+    /// Maps a flow to a tunnel. A known flow keeps its pinned tunnel —
+    /// even if a better one exists now — while a new flow takes the
+    /// currently active tunnel.
+    pub fn map_flow(&mut self, flow: FiveTuple) -> Option<TunnelId> {
+        self.map_flow_at(flow, SimTime::ZERO)
+    }
+
+    /// Like [`TmEdge::map_flow`], recording `now` as the flow's last
+    /// activity so [`TmEdge::expire_flows`] can garbage-collect idle pins.
+    pub fn map_flow_at(&mut self, flow: FiveTuple, now: SimTime) -> Option<TunnelId> {
+        if let Some(entry) = self.flow_map.get_mut(&flow) {
+            entry.1 = entry.1.max(now);
+            return Some(entry.0);
+        }
+        let active = self.active.or_else(|| self.select())?;
+        self.flow_map.insert(flow, (active, now));
+        Some(active)
+    }
+
+    /// Drops pins idle for longer than `idle` at time `now`, returning
+    /// how many were collected. Without this, a long-running edge leaks
+    /// one map entry per flow forever (and its TM-PoP leaks the matching
+    /// NAT binding — real deployments expire both together).
+    pub fn expire_flows(&mut self, now: SimTime, idle: SimTime) -> usize {
+        let before = self.flow_map.len();
+        self.flow_map.retain(|_, (_, last)| now.saturating_sub(*last) < idle);
+        before - self.flow_map.len()
+    }
+
+    /// Forgets a finished flow.
+    pub fn end_flow(&mut self, flow: &FiveTuple) -> bool {
+        self.flow_map.remove(flow).is_some()
+    }
+
+    /// Number of live pinned flows.
+    pub fn pinned_flows(&self) -> usize {
+        self.flow_map.len()
+    }
+
+    /// Records a packet (data or probe) sent on `tunnel`; returns the
+    /// sequence number to carry and the deadline after which
+    /// [`TmEdge::on_timeout`] should be consulted.
+    pub fn on_send(&mut self, tunnel: TunnelId, now: SimTime) -> (u64, SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = &mut self.tunnels[tunnel.0];
+        t.outstanding.insert(seq, now);
+        (seq, now + t.rto(&self.config))
+    }
+
+    /// Records a response for `seq` on `tunnel`; updates srtt and revives
+    /// the tunnel. Returns the measured RTT if the sequence was known.
+    pub fn on_response(&mut self, tunnel: TunnelId, seq: u64, now: SimTime) -> Option<f64> {
+        let alpha = self.config.srtt_alpha;
+        let t = &mut self.tunnels[tunnel.0];
+        let sent = t.outstanding.remove(&seq)?;
+        let rtt_ms = (now - sent).as_ms();
+        t.srtt_ms = (1.0 - alpha) * t.srtt_ms + alpha * rtt_ms;
+        t.alive = true;
+        t.last_response = Some(now);
+        Some(rtt_ms)
+    }
+
+    /// Notes that a tunnel's response arrived identifying its PoP.
+    pub fn discover_pop(&mut self, tunnel: TunnelId, pop: PopId) {
+        self.tunnels[tunnel.0].pop = Some(pop);
+    }
+
+    /// Timeout check for `seq` on `tunnel`: if the packet is still
+    /// outstanding, the path is declared dead. Returns true if the tunnel
+    /// transitioned from alive to dead (caller should reselect).
+    pub fn on_timeout(&mut self, tunnel: TunnelId, seq: u64, _now: SimTime) -> bool {
+        let t = &mut self.tunnels[tunnel.0];
+        if t.outstanding.remove(&seq).is_some() && t.alive {
+            t.alive = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_net::PROTO_TCP;
+
+    fn flow(port: u16) -> FiveTuple {
+        FiveTuple { protocol: PROTO_TCP, src: 1, dst: 2, src_port: port, dst_port: 443 }
+    }
+
+    fn edge_with_two_tunnels() -> (TmEdge, TunnelId, TunnelId) {
+        let mut edge = TmEdge::new(0xC0A8_0001, EdgeConfig::default());
+        let t0 = edge.add_tunnel(PrefixId(0), 100, 20.0);
+        let t1 = edge.add_tunnel(PrefixId(1), 200, 50.0);
+        (edge, t0, t1)
+    }
+
+    #[test]
+    fn select_prefers_lowest_rtt() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        assert_eq!(edge.select(), Some(t0));
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let (mut edge, t0, t1) = edge_with_two_tunnels();
+        edge.select();
+        // t1 becomes marginally better than t0 — within hysteresis, no
+        // switch.
+        edge.tunnels[t1.0].srtt_ms = 19.0;
+        assert_eq!(edge.select(), Some(t0));
+        // Clearly better -> switch.
+        edge.tunnels[t1.0].srtt_ms = 10.0;
+        assert_eq!(edge.select(), Some(t1));
+        assert_eq!(edge.switches, 2); // initial pick + one switch
+    }
+
+    #[test]
+    fn dead_active_is_always_replaced() {
+        let (mut edge, t0, t1) = edge_with_two_tunnels();
+        edge.select();
+        edge.tunnels[t0.0].alive = false;
+        assert_eq!(edge.select(), Some(t1));
+    }
+
+    #[test]
+    fn idle_flows_expire_active_ones_survive() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        edge.select();
+        let idle = SimTime::from_secs(30.0);
+        edge.map_flow_at(flow(1), SimTime::ZERO);
+        edge.map_flow_at(flow(2), SimTime::ZERO);
+        // Flow 2 stays active; flow 1 goes idle.
+        edge.map_flow_at(flow(2), SimTime::from_secs(25.0));
+        let collected = edge.expire_flows(SimTime::from_secs(40.0), idle);
+        assert_eq!(collected, 1);
+        assert_eq!(edge.pinned_flows(), 1);
+        // The surviving flow keeps its pin.
+        assert_eq!(edge.map_flow_at(flow(2), SimTime::from_secs(41.0)), Some(t0));
+    }
+
+    #[test]
+    fn flows_pin_to_their_tunnel() {
+        let (mut edge, t0, t1) = edge_with_two_tunnels();
+        edge.select();
+        assert_eq!(edge.map_flow(flow(1)), Some(t0));
+        // The active tunnel changes...
+        edge.tunnels[t1.0].srtt_ms = 1.0;
+        edge.select();
+        assert_eq!(edge.map_flow(flow(2)), Some(t1));
+        // ...but the old flow stays pinned.
+        assert_eq!(edge.map_flow(flow(1)), Some(t0));
+        assert_eq!(edge.pinned_flows(), 2);
+        assert!(edge.end_flow(&flow(1)));
+        assert_eq!(edge.pinned_flows(), 1);
+    }
+
+    #[test]
+    fn response_updates_srtt_and_revives() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        edge.tunnels[t0.0].alive = false;
+        let (seq, _) = edge.on_send(t0, SimTime::from_ms(0.0));
+        let rtt = edge.on_response(t0, seq, SimTime::from_ms(30.0)).unwrap();
+        assert_eq!(rtt, 30.0);
+        assert!(edge.tunnel(t0).alive);
+        // EWMA moved toward the sample: 0.7*20 + 0.3*30 = 23.
+        assert!((edge.tunnel(t0).srtt_ms - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_declares_dead_once() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        let (seq, deadline) = edge.on_send(t0, SimTime::ZERO);
+        // Deadline is 1.3 × srtt.
+        assert_eq!(deadline, SimTime::from_ms(26.0));
+        assert!(edge.on_timeout(t0, seq, deadline));
+        assert!(!edge.tunnel(t0).alive);
+        // A second timeout for the same seq is a no-op.
+        assert!(!edge.on_timeout(t0, seq, deadline));
+    }
+
+    #[test]
+    fn response_beats_timeout() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        let (seq, deadline) = edge.on_send(t0, SimTime::ZERO);
+        edge.on_response(t0, seq, SimTime::from_ms(10.0));
+        assert!(!edge.on_timeout(t0, seq, deadline), "answered packets cannot time out");
+        assert!(edge.tunnel(t0).alive);
+    }
+
+    #[test]
+    fn pop_discovery_sticks() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        assert_eq!(edge.tunnel(t0).pop, None);
+        edge.discover_pop(t0, PopId(3));
+        assert_eq!(edge.tunnel(t0).pop, Some(PopId(3)));
+    }
+
+    #[test]
+    fn no_live_tunnels_means_no_mapping() {
+        let (mut edge, t0, t1) = edge_with_two_tunnels();
+        edge.tunnels[t0.0].alive = false;
+        edge.tunnels[t1.0].alive = false;
+        edge.active = None;
+        assert_eq!(edge.map_flow(flow(9)), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! The Traffic Manager: TM-Edge and TM-PoP (§3.2, Appendix D).
+//!
+//! TM-Edge lives in an edge proxy (a cloud-edge network stack in an
+//! enterprise). It keeps one tunnel per advertised prefix, continuously
+//! measures each tunnel's RTT, steers each *flow* onto the currently best
+//! tunnel (pinning the flow for its lifetime), and — the paper's Fig. 10
+//! headline — detects a dead path within ~1.3 RTT and fails over to the
+//! next-best prefix in about one RTT, three orders of magnitude faster
+//! than BGP reconvergence or DNS re-resolution.
+//!
+//! * [`edge`] — TM-Edge state machine: tunnels, smoothed RTTs, hysteresis
+//!   destination selection (avoiding route-control oscillation), flow
+//!   pinning, and timeout-driven failure detection.
+//! * [`pop`] — TM-PoP datapath: decapsulate, NAT (Known Flows), service
+//!   hand-off, and the return path.
+//! * [`sim`] — an event-driven simulation wiring an edge, PoPs, and
+//!   per-prefix channels whose latency/liveness can be re-programmed over
+//!   (virtual) time — the substrate of the failover experiment.
+
+pub mod edge;
+pub mod multipath;
+pub mod pop;
+pub mod service;
+pub mod sim;
+
+pub use edge::{EdgeConfig, TmEdge, TunnelId};
+pub use multipath::MultipathScheduler;
+pub use pop::TmPop;
+pub use service::{EdgeService, ProbeEvent, ProbeTransport, TunnelHealth};
+pub use sim::{PacketRecord, SwitchRecord, TmSimulation, TmSimulationConfig};

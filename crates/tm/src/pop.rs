@@ -1,0 +1,191 @@
+//! TM-PoP: the cloud-side tunnel endpoint (Appendix D, Figure 13).
+//!
+//! Steps (3)–(5): decapsulate arriving tunnel traffic, NAT it (storing the
+//! client in the Known Flows table), hand it to the service, and on the
+//! way back restore the client address and re-encapsulate toward the
+//! TM-Edge the flow arrived from.
+
+use bytes::Bytes;
+use painter_net::{decapsulate, encapsulate, FiveTuple, NatTable, Packet, PacketHeader};
+use painter_topology::PopId;
+
+/// One TM-PoP instance.
+#[derive(Debug, Clone)]
+pub struct TmPop {
+    pub id: PopId,
+    /// Address this PoP terminates tunnels on (one per advertised prefix
+    /// destination it serves; the sim uses one).
+    pub tunnel_addr: u32,
+    nat: NatTable,
+}
+
+impl TmPop {
+    /// A PoP with the given tunnel endpoint and NAT address pool.
+    pub fn new(id: PopId, tunnel_addr: u32, nat_addrs: Vec<u32>) -> Self {
+        TmPop { id, tunnel_addr, nat: NatTable::new(nat_addrs) }
+    }
+
+    /// Handles a tunnel packet from a TM-Edge: decapsulates, NATs, and
+    /// returns the packet as it would be sent to the cloud service.
+    /// Returns `None` for non-tunnel traffic or NAT exhaustion.
+    pub fn ingress(&mut self, outer: &Packet) -> Option<Packet> {
+        let inner = decapsulate(outer)?;
+        let flow = FiveTuple::of(&inner.header);
+        let binding = self.nat.bind(flow, outer.header.src)?;
+        Some(Packet::new(
+            PacketHeader {
+                src: binding.pop_addr,
+                src_port: binding.pop_port,
+                ..inner.header
+            },
+            inner.payload,
+        ))
+    }
+
+    /// Handles a service response addressed to a NAT binding: restores
+    /// the client identity and re-encapsulates toward the owning TM-Edge.
+    /// Returns `(tunnel packet, edge address)`, or `None` if no binding
+    /// matches (stale or spoofed response).
+    pub fn egress(&mut self, response: &Packet) -> Option<(Packet, u32)> {
+        let binding = self.nat.lookup(response.header.dst, response.header.dst_port)?;
+        let restored = Packet::new(
+            PacketHeader {
+                dst: binding.client_addr,
+                dst_port: binding.client_port,
+                ..response.header
+            },
+            response.payload.clone(),
+        );
+        Some((encapsulate(self.tunnel_addr, binding.edge_addr, &restored), binding.edge_addr))
+    }
+
+    /// Simulates the full PoP round trip for a tunnel packet: ingress,
+    /// an echoing cloud service, egress. This is the datapath the
+    /// simulation exercises per packet.
+    pub fn echo_roundtrip(&mut self, outer: &Packet) -> Option<Packet> {
+        let to_service = self.ingress(outer)?;
+        // The service echoes: swap src/dst.
+        let reply = Packet::new(
+            PacketHeader {
+                src: to_service.header.dst,
+                dst: to_service.header.src,
+                protocol: to_service.header.protocol,
+                src_port: to_service.header.dst_port,
+                dst_port: to_service.header.src_port,
+            },
+            to_service.payload.clone(),
+        );
+        let (tunneled, _) = self.egress(&reply)?;
+        Some(tunneled)
+    }
+
+    /// Live NAT bindings (diagnostics).
+    pub fn nat_bindings(&self) -> usize {
+        self.nat.len()
+    }
+}
+
+/// Builds a client data packet addressed to a cloud service.
+pub fn client_packet(src: u32, src_port: u16, service: u32, payload: &'static [u8]) -> Packet {
+    Packet::new(
+        PacketHeader {
+            src,
+            dst: service,
+            protocol: painter_net::PROTO_TCP,
+            src_port,
+            dst_port: 443,
+        },
+        Bytes::from_static(payload),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGE: u32 = 0xC0A8_0001;
+    const SERVICE: u32 = 0x0808_0808;
+
+    fn pop() -> TmPop {
+        TmPop::new(PopId(0), 0x6440_0001, vec![0x6440_0002, 0x6440_0003])
+    }
+
+    #[test]
+    fn ingress_nats_the_client() {
+        let mut pop = pop();
+        let inner = client_packet(EDGE, 5000, SERVICE, b"req");
+        let outer = encapsulate(EDGE, pop.tunnel_addr, &inner);
+        let to_service = pop.ingress(&outer).unwrap();
+        assert_ne!(to_service.header.src, EDGE, "client address must be hidden");
+        assert_eq!(to_service.header.dst, SERVICE);
+        assert_eq!(pop.nat_bindings(), 1);
+    }
+
+    #[test]
+    fn egress_restores_the_client() {
+        let mut pop = pop();
+        let inner = client_packet(EDGE, 5000, SERVICE, b"req");
+        let outer = encapsulate(EDGE, pop.tunnel_addr, &inner);
+        let to_service = pop.ingress(&outer).unwrap();
+        let reply = Packet::new(
+            PacketHeader {
+                src: SERVICE,
+                dst: to_service.header.src,
+                protocol: to_service.header.protocol,
+                src_port: 443,
+                dst_port: to_service.header.src_port,
+            },
+            Bytes::from_static(b"resp"),
+        );
+        let (tunneled, edge_addr) = pop.egress(&reply).unwrap();
+        assert_eq!(edge_addr, EDGE);
+        let restored = decapsulate(&tunneled).unwrap();
+        assert_eq!(restored.header.dst, EDGE);
+        assert_eq!(restored.header.dst_port, 5000);
+    }
+
+    #[test]
+    fn echo_roundtrip_returns_to_client() {
+        let mut pop = pop();
+        let inner = client_packet(EDGE, 6000, SERVICE, b"ping");
+        let outer = encapsulate(EDGE, pop.tunnel_addr, &inner);
+        let back = pop.echo_roundtrip(&outer).unwrap();
+        let restored = decapsulate(&back).unwrap();
+        assert_eq!(restored.header.dst, EDGE);
+        assert_eq!(restored.header.dst_port, 6000);
+        assert_eq!(&restored.payload[..], b"ping");
+    }
+
+    #[test]
+    fn repeated_packets_share_a_binding() {
+        let mut pop = pop();
+        let inner = client_packet(EDGE, 7000, SERVICE, b"a");
+        let outer = encapsulate(EDGE, pop.tunnel_addr, &inner);
+        pop.echo_roundtrip(&outer).unwrap();
+        pop.echo_roundtrip(&outer).unwrap();
+        assert_eq!(pop.nat_bindings(), 1);
+    }
+
+    #[test]
+    fn non_tunnel_traffic_is_rejected() {
+        let mut pop = pop();
+        let inner = client_packet(EDGE, 8000, SERVICE, b"raw");
+        assert!(pop.ingress(&inner).is_none());
+    }
+
+    #[test]
+    fn unknown_binding_egress_is_rejected() {
+        let mut pop = pop();
+        let bogus = Packet::new(
+            PacketHeader {
+                src: SERVICE,
+                dst: 0x6440_0002,
+                protocol: painter_net::PROTO_TCP,
+                src_port: 443,
+                dst_port: 4242,
+            },
+            Bytes::new(),
+        );
+        assert!(pop.egress(&bogus).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! A threaded TM-Edge service for real deployments.
+//!
+//! The discrete-event simulation (`sim`) answers research questions; this
+//! module is the shape an actual cloud-edge network stack would embed: a
+//! background prober thread continuously measures every tunnel and
+//! updates shared edge state, while any number of datapath threads map
+//! flows to tunnels with a read-mostly lock. Probing goes through a
+//! [`ProbeTransport`] so tests (and the simulator) can stand in for real
+//! sockets.
+//!
+//! Concurrency structure:
+//!
+//! * `parking_lot::RwLock<TmEdge>` — datapath threads take read locks to
+//!   look up pinned flows and only briefly upgrade for new-flow mapping;
+//!   the prober takes short write locks per probe result.
+//! * `crossbeam::channel` — shutdown signalling and probe-result events
+//!   for observability.
+
+use crate::edge::{TmEdge, TunnelId};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use painter_bgp::PrefixId;
+use painter_eventsim::SimTime;
+use painter_net::FiveTuple;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Measures the RTT to a tunnel destination. Implementations must be
+/// cheap to call from the prober thread; a real deployment wraps a UDP
+/// socket, tests wrap a table.
+pub trait ProbeTransport: Send + 'static {
+    /// Probes `dst_addr`; `None` = timeout/loss.
+    fn probe(&mut self, dst_addr: u32) -> Option<Duration>;
+}
+
+impl<F> ProbeTransport for F
+where
+    F: FnMut(u32) -> Option<Duration> + Send + 'static,
+{
+    fn probe(&mut self, dst_addr: u32) -> Option<Duration> {
+        self(dst_addr)
+    }
+}
+
+/// One probe outcome, published on the events channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeEvent {
+    pub tunnel: TunnelId,
+    pub prefix: PrefixId,
+    /// Measured RTT, or `None` if the probe was lost (tunnel suspect).
+    pub rtt: Option<Duration>,
+}
+
+/// Snapshot of one tunnel's health.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunnelHealth {
+    pub tunnel: TunnelId,
+    pub prefix: PrefixId,
+    pub srtt_ms: f64,
+    pub alive: bool,
+}
+
+/// A running TM-Edge service.
+pub struct EdgeService {
+    edge: Arc<RwLock<TmEdge>>,
+    shutdown: Sender<()>,
+    events: Receiver<ProbeEvent>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl EdgeService {
+    /// Starts the service: takes ownership of a configured edge (tunnels
+    /// already added), spawns the prober thread, and begins measuring
+    /// every tunnel each `probe_interval`.
+    pub fn start(
+        edge: TmEdge,
+        mut transport: impl ProbeTransport,
+        probe_interval: Duration,
+    ) -> EdgeService {
+        let edge = Arc::new(RwLock::new(edge));
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+        let (event_tx, event_rx) = bounded::<ProbeEvent>(1024);
+        let prober_edge = Arc::clone(&edge);
+        let start = Instant::now();
+        let prober = std::thread::Builder::new()
+            .name("tm-edge-prober".into())
+            .spawn(move || loop {
+                // Snapshot destinations without holding the lock during
+                // probing (probes block on the network).
+                let targets: Vec<(TunnelId, PrefixId, u32)> = {
+                    let edge = prober_edge.read();
+                    edge.tunnels()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| (TunnelId(i), t.prefix, t.dst_addr))
+                        .collect()
+                };
+                for (tunnel, prefix, dst) in targets {
+                    let rtt = transport.probe(dst);
+                    {
+                        let mut edge = prober_edge.write();
+                        let now = SimTime::from_ms(start.elapsed().as_secs_f64() * 1e3);
+                        let (seq, _) = edge.on_send(tunnel, now);
+                        match rtt {
+                            Some(d) => {
+                                let done = now + SimTime::from_ms(d.as_secs_f64() * 1e3);
+                                edge.on_response(tunnel, seq, done);
+                            }
+                            None => {
+                                edge.on_timeout(tunnel, seq, now);
+                            }
+                        }
+                        edge.select();
+                    }
+                    // Observability is best-effort: drop events rather
+                    // than block the prober on a slow consumer.
+                    match event_tx.try_send(ProbeEvent { tunnel, prefix, rtt }) {
+                        Ok(()) | Err(TrySendError::Full(_)) => {}
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+                if shutdown_rx.recv_timeout(probe_interval).is_ok() {
+                    return;
+                }
+            })
+            .expect("spawn prober thread");
+        EdgeService { edge, shutdown: shutdown_tx, events: event_rx, prober: Some(prober) }
+    }
+
+    /// Maps a flow to a tunnel (pinning it), as the datapath would per
+    /// first packet. `None` if every tunnel is dead.
+    pub fn map_flow(&self, flow: FiveTuple) -> Option<TunnelId> {
+        // Fast path: already pinned (read lock only).
+        // (TmEdge::map_flow needs &mut for insertion; take the write lock
+        // only when the flow is new.)
+        self.edge.write().map_flow(flow)
+    }
+
+    /// Ends a flow, releasing its pin.
+    pub fn end_flow(&self, flow: &FiveTuple) -> bool {
+        self.edge.write().end_flow(flow)
+    }
+
+    /// Current health of every tunnel.
+    pub fn snapshot(&self) -> Vec<TunnelHealth> {
+        let edge = self.edge.read();
+        edge.tunnels()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TunnelHealth {
+                tunnel: TunnelId(i),
+                prefix: t.prefix,
+                srtt_ms: t.srtt_ms,
+                alive: t.alive,
+            })
+            .collect()
+    }
+
+    /// The currently preferred tunnel.
+    pub fn active(&self) -> Option<TunnelId> {
+        self.edge.read().active()
+    }
+
+    /// The probe-event stream (best-effort; events drop under
+    /// backpressure).
+    pub fn events(&self) -> &Receiver<ProbeEvent> {
+        &self.events
+    }
+
+    /// Stops the prober and returns the final edge state.
+    pub fn shutdown(mut self) -> TmEdge {
+        let _ = self.shutdown.send(());
+        if let Some(handle) = self.prober.take() {
+            handle.join().expect("prober thread panicked");
+        }
+        // `Drop` prevents moving fields out; clone the final state (edge
+        // state is small) and let Drop see an already-stopped prober.
+        let edge = self.edge.read().clone();
+        edge
+    }
+}
+
+impl Drop for EdgeService {
+    fn drop(&mut self) {
+        let _ = self.shutdown.send(());
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeConfig;
+    use painter_net::PROTO_TCP;
+    use parking_lot::Mutex;
+
+    fn edge_with(prefixes: &[(u16, u32, f64)]) -> TmEdge {
+        let mut edge = TmEdge::new(1, EdgeConfig::default());
+        for &(p, dst, rtt) in prefixes {
+            edge.add_tunnel(PrefixId(p), dst, rtt);
+        }
+        edge
+    }
+
+    fn flow(port: u16) -> FiveTuple {
+        FiveTuple { protocol: PROTO_TCP, src: 1, dst: 2, src_port: port, dst_port: 443 }
+    }
+
+    #[test]
+    fn service_probes_and_selects() {
+        let edge = edge_with(&[(0, 100, 50.0), (1, 200, 50.0)]);
+        // Tunnel 100 answers in 10ms, tunnel 200 in 40ms.
+        let service = EdgeService::start(
+            edge,
+            |dst: u32| {
+                Some(if dst == 100 {
+                    Duration::from_millis(10)
+                } else {
+                    Duration::from_millis(40)
+                })
+            },
+            Duration::from_millis(5),
+        );
+        // Wait for a few probe rounds.
+        let mut events = 0;
+        while events < 8 {
+            if service.events().recv_timeout(Duration::from_secs(5)).is_ok() {
+                events += 1;
+            } else {
+                panic!("prober produced no events");
+            }
+        }
+        assert_eq!(service.active(), Some(TunnelId(0)));
+        let snap = service.snapshot();
+        assert!(snap[0].srtt_ms < snap[1].srtt_ms);
+        let final_edge = service.shutdown();
+        assert!(final_edge.tunnels()[0].alive);
+    }
+
+    #[test]
+    fn dead_tunnel_is_detected_and_avoided() {
+        let edge = edge_with(&[(0, 100, 10.0), (1, 200, 30.0)]);
+        // Tunnel 100 is dead from the start.
+        let service = EdgeService::start(
+            edge,
+            |dst: u32| (dst != 100).then(|| Duration::from_millis(30)),
+            Duration::from_millis(5),
+        );
+        // Wait until the service has seen failures and successes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = service.snapshot();
+            if !snap[0].alive && snap[1].alive {
+                break;
+            }
+            assert!(Instant::now() < deadline, "detection too slow: {snap:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(service.active(), Some(TunnelId(1)));
+        assert_eq!(service.map_flow(flow(1)), Some(TunnelId(1)));
+    }
+
+    #[test]
+    fn flows_pin_across_concurrent_mappers() {
+        let edge = edge_with(&[(0, 100, 10.0)]);
+        let service = Arc::new(EdgeService::start(
+            edge,
+            |_dst: u32| Some(Duration::from_millis(10)),
+            Duration::from_millis(10),
+        ));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u16 {
+            let service = Arc::clone(&service);
+            let seen = Arc::clone(&seen);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u16 {
+                    // All threads map the same flows; pinning must give
+                    // every thread the same answer.
+                    let f = flow(i % 10);
+                    if let Some(tunnel) = service.map_flow(f) {
+                        seen.lock().push((t, f.src_port, tunnel));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("mapper thread");
+        }
+        let seen = seen.lock();
+        for port in 0..10u16 {
+            let tunnels: Vec<TunnelId> = seen
+                .iter()
+                .filter(|(_, p, _)| *p == port)
+                .map(|(_, _, t)| *t)
+                .collect();
+            assert!(!tunnels.is_empty());
+            assert!(
+                tunnels.windows(2).all(|w| w[0] == w[1]),
+                "flow {port} bounced between tunnels"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_clean() {
+        let edge = edge_with(&[(0, 100, 10.0)]);
+        let service = EdgeService::start(
+            edge,
+            |_dst: u32| Some(Duration::from_millis(1)),
+            Duration::from_millis(5),
+        );
+        let edge = service.shutdown();
+        assert_eq!(edge.tunnels().len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! Event-driven Traffic Manager simulation.
+//!
+//! Wires one TM-Edge, per-prefix TM-PoPs, and per-prefix [`Channel`]s into
+//! a packet-level simulation: a client behind the edge issues a request
+//! every few milliseconds, probes keep every tunnel measured, and the
+//! harness can re-program a path's RTT or liveness at any virtual time
+//! (the Fig. 10 experiment drives these changes from the BGP engine).
+//!
+//! Every data request takes the full Appendix-D datapath: encapsulation at
+//! the edge, decapsulation + NAT at the PoP, an echoing service, NAT
+//! restore, and re-encapsulation home.
+
+use crate::edge::{EdgeConfig, TmEdge, TunnelId};
+use crate::pop::{client_packet, TmPop};
+use bytes::Bytes;
+use painter_bgp::PrefixId;
+use painter_eventsim::{EventQueue, SimRng, SimTime};
+use painter_net::{decapsulate, encapsulate, Channel, Packet};
+use painter_topology::PopId;
+use std::collections::HashMap;
+
+/// One client request's fate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    pub sent: SimTime,
+    /// The prefix (tunnel) the request used; `None` if no tunnel was
+    /// available at send time.
+    pub prefix: Option<PrefixId>,
+    /// Completion time; `None` = lost.
+    pub completed: Option<SimTime>,
+}
+
+impl PacketRecord {
+    /// Round-trip time if completed.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        self.completed.map(|c| (c - self.sent).as_ms())
+    }
+}
+
+/// A change of the edge's selected tunnel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchRecord {
+    pub at: SimTime,
+    pub from: Option<PrefixId>,
+    pub to: PrefixId,
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone)]
+pub struct TmSimulationConfig {
+    pub seed: u64,
+    /// Client request inter-arrival (ms).
+    pub send_interval_ms: f64,
+    /// Per-tunnel probe interval (ms).
+    pub probe_interval_ms: f64,
+    /// Edge tuning.
+    pub edge: EdgeConfig,
+}
+
+impl Default for TmSimulationConfig {
+    fn default() -> Self {
+        TmSimulationConfig {
+            seed: 0,
+            send_interval_ms: 10.0,
+            probe_interval_ms: 50.0,
+            edge: EdgeConfig::default(),
+        }
+    }
+}
+
+enum Ev {
+    ClientSend,
+    Probe(TunnelId),
+    PopDeliver { tunnel: TunnelId, packet: Packet },
+    EdgeDeliver { tunnel: TunnelId, packet: Packet },
+    Timeout { tunnel: TunnelId, seq: u64 },
+    PathChange { tunnel: TunnelId, rtt_ms: Option<f64> },
+}
+
+const SERVICE_ADDR: u32 = 0x0808_0808;
+const EDGE_ADDR: u32 = 0xC0A8_0001;
+
+/// The simulation world.
+pub struct TmSimulation {
+    config: TmSimulationConfig,
+    edge: TmEdge,
+    pops: Vec<TmPop>,
+    channels: Vec<Channel>,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    now: SimTime,
+    records: Vec<PacketRecord>,
+    switches: Vec<SwitchRecord>,
+    /// data seq -> record index.
+    seq_index: HashMap<u64, usize>,
+    next_port: u16,
+    started: bool,
+}
+
+impl TmSimulation {
+    /// An empty simulation; add paths, then [`TmSimulation::run`].
+    pub fn new(config: TmSimulationConfig) -> Self {
+        let rng = SimRng::stream(config.seed, 0x74_6d);
+        TmSimulation {
+            edge: TmEdge::new(EDGE_ADDR, config.edge.clone()),
+            config,
+            pops: Vec::new(),
+            channels: Vec::new(),
+            queue: EventQueue::new(),
+            rng,
+            now: SimTime::ZERO,
+            records: Vec::new(),
+            switches: Vec::new(),
+            seq_index: HashMap::new(),
+            next_port: 10_000,
+            started: false,
+        }
+    }
+
+    /// Adds a path: a tunnel to a fresh TM-PoP terminating `prefix`, over
+    /// a channel with the given RTT. Returns the tunnel id.
+    pub fn add_path(&mut self, prefix: PrefixId, pop: PopId, rtt_ms: f64) -> TunnelId {
+        let idx = self.pops.len() as u32;
+        let tunnel_addr = 0x6440_0000 | (idx << 8) | 1;
+        let nat_addr = 0x6440_0000 | (idx << 8) | 2;
+        self.pops.push(TmPop::new(pop, tunnel_addr, vec![nat_addr]));
+        self.channels.push(Channel::new(rtt_ms, 0.0, 0.02));
+        self.edge.add_tunnel(prefix, tunnel_addr, rtt_ms)
+    }
+
+    /// Schedules a path RTT change at virtual time `at`.
+    pub fn schedule_path_rtt(&mut self, at: SimTime, tunnel: TunnelId, rtt_ms: f64) {
+        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: Some(rtt_ms) });
+    }
+
+    /// Schedules a path failure (all packets dropped) at `at`.
+    pub fn schedule_path_down(&mut self, at: SimTime, tunnel: TunnelId) {
+        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: None });
+    }
+
+    /// Runs the simulation until `until`.
+    pub fn run(&mut self, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            self.queue.push(SimTime::ZERO, Ev::ClientSend);
+            for i in 0..self.edge.tunnels().len() {
+                // Stagger probes so they do not synchronize.
+                let offset = SimTime::from_ms(self.rng.uniform(0.0, self.config.probe_interval_ms));
+                self.queue.push(offset, Ev::Probe(TunnelId(i)));
+            }
+            self.edge.select();
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.now = until.max(self.now);
+    }
+
+    /// All client request records so far.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// The log of active-tunnel switches.
+    pub fn switch_log(&self) -> &[SwitchRecord] {
+        &self.switches
+    }
+
+    /// The edge (for inspection).
+    pub fn edge(&self) -> &TmEdge {
+        &self.edge
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn payload_for(seq: u64, is_data: bool) -> Bytes {
+        let mut buf = Vec::with_capacity(9);
+        buf.push(u8::from(is_data));
+        buf.extend_from_slice(&seq.to_be_bytes());
+        Bytes::from(buf)
+    }
+
+    fn parse_payload(payload: &[u8]) -> Option<(u64, bool)> {
+        if payload.len() < 9 {
+            return None;
+        }
+        let is_data = payload[0] != 0;
+        let mut seq = [0u8; 8];
+        seq.copy_from_slice(&payload[1..9]);
+        Some((u64::from_be_bytes(seq), is_data))
+    }
+
+    /// Sends one packet (data or probe) down `tunnel`.
+    fn send_on(&mut self, tunnel: TunnelId, is_data: bool) -> u64 {
+        let (seq, deadline) = self.edge.on_send(tunnel, self.now);
+        self.queue.push(deadline, Ev::Timeout { tunnel, seq });
+        let port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(10_000);
+        let mut inner = client_packet(EDGE_ADDR, port, SERVICE_ADDR, b"");
+        inner.payload = Self::payload_for(seq, is_data);
+        let dst = self.edge.tunnel(tunnel).dst_addr;
+        let outer = encapsulate(EDGE_ADDR, dst, &inner);
+        if let Some(delay) = self.channels[tunnel.0].sample_one_way(&mut self.rng) {
+            self.queue.push(self.now + delay, Ev::PopDeliver { tunnel, packet: outer });
+        }
+        seq
+    }
+
+    fn reselect(&mut self) {
+        let before = self.edge.active().map(|t| self.edge.tunnel(t).prefix);
+        let after = self.edge.select();
+        let after_prefix = after.map(|t| self.edge.tunnel(t).prefix);
+        if after_prefix != before {
+            if let Some(to) = after_prefix {
+                self.switches.push(SwitchRecord { at: self.now, from: before, to });
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::ClientSend => {
+                self.reselect();
+                match self.edge.active() {
+                    Some(tunnel) => {
+                        let prefix = self.edge.tunnel(tunnel).prefix;
+                        let seq = self.send_on(tunnel, true);
+                        self.seq_index.insert(seq, self.records.len());
+                        self.records.push(PacketRecord {
+                            sent: self.now,
+                            prefix: Some(prefix),
+                            completed: None,
+                        });
+                    }
+                    None => {
+                        self.records.push(PacketRecord {
+                            sent: self.now,
+                            prefix: None,
+                            completed: None,
+                        });
+                    }
+                }
+                self.queue.push(
+                    self.now + SimTime::from_ms(self.config.send_interval_ms),
+                    Ev::ClientSend,
+                );
+            }
+            Ev::Probe(tunnel) => {
+                self.send_on(tunnel, false);
+                self.queue.push(
+                    self.now + SimTime::from_ms(self.config.probe_interval_ms),
+                    Ev::Probe(tunnel),
+                );
+            }
+            Ev::PopDeliver { tunnel, packet } => {
+                if let Some(response) = self.pops[tunnel.0].echo_roundtrip(&packet) {
+                    if let Some(delay) = self.channels[tunnel.0].sample_one_way(&mut self.rng) {
+                        self.queue
+                            .push(self.now + delay, Ev::EdgeDeliver { tunnel, packet: response });
+                    }
+                }
+            }
+            Ev::EdgeDeliver { tunnel, packet } => {
+                let Some(inner) = decapsulate(&packet) else { return };
+                let Some((seq, is_data)) = Self::parse_payload(&inner.payload) else { return };
+                let pop = self.pops[tunnel.0].id;
+                self.edge.discover_pop(tunnel, pop);
+                if self.edge.on_response(tunnel, seq, self.now).is_some() && is_data {
+                    if let Some(&rec) = self.seq_index.get(&seq) {
+                        self.records[rec].completed = Some(self.now);
+                    }
+                }
+                self.reselect();
+            }
+            Ev::Timeout { tunnel, seq } => {
+                if self.edge.on_timeout(tunnel, seq, self.now) {
+                    // Path declared dead: immediately steer new traffic
+                    // away (the ~1 RTT failover).
+                    self.reselect();
+                }
+            }
+            Ev::PathChange { tunnel, rtt_ms } => match rtt_ms {
+                Some(rtt) => {
+                    self.channels[tunnel.0].set_rtt_ms(rtt);
+                    self.channels[tunnel.0].set_up(true);
+                }
+                None => self.channels[tunnel.0].set_up(false),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path_sim() -> (TmSimulation, TunnelId, TunnelId) {
+        let mut sim = TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
+        let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+        let t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+        (sim, t0, t1)
+    }
+
+    #[test]
+    fn steady_state_uses_fastest_path() {
+        let (mut sim, ..) = two_path_sim();
+        sim.run(SimTime::from_secs(2.0));
+        let data: Vec<_> = sim.records().iter().filter(|r| r.completed.is_some()).collect();
+        assert!(!data.is_empty());
+        let on_fast = data.iter().filter(|r| r.prefix == Some(PrefixId(0))).count();
+        assert!(
+            on_fast as f64 / data.len() as f64 > 0.95,
+            "fast path should carry nearly everything"
+        );
+        // RTTs cluster near 20 ms.
+        let mean_rtt: f64 = data.iter().filter_map(|r| r.rtt_ms()).sum::<f64>() / data.len() as f64;
+        assert!(mean_rtt > 19.0 && mean_rtt < 25.0, "got {mean_rtt}");
+    }
+
+    #[test]
+    fn failover_happens_within_a_few_rtts() {
+        let (mut sim, t0, _) = two_path_sim();
+        let fail_at = SimTime::from_secs(1.0);
+        sim.schedule_path_down(fail_at, t0);
+        sim.run(SimTime::from_secs(3.0));
+        // Find the first completed packet on the backup after the failure.
+        let first_backup = sim
+            .records()
+            .iter()
+            .find(|r| r.sent >= fail_at && r.prefix == Some(PrefixId(1)))
+            .expect("backup must take over");
+        let gap_ms = (first_backup.sent - fail_at).as_ms();
+        // Detection needs ~1.3 × 20 ms plus one send interval; anything
+        // under 100 ms is RTT-timescale (BGP would take seconds).
+        assert!(gap_ms < 100.0, "failover took {gap_ms} ms");
+        // A switch was logged.
+        assert!(sim
+            .switch_log()
+            .iter()
+            .any(|s| s.at >= fail_at && s.to == PrefixId(1)));
+    }
+
+    #[test]
+    fn recovery_switches_back() {
+        let (mut sim, t0, _) = two_path_sim();
+        sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+        sim.schedule_path_rtt(SimTime::from_secs(2.0), t0, 20.0);
+        sim.run(SimTime::from_secs(4.0));
+        // After recovery plus a probe interval, traffic returns to the
+        // fast path.
+        let late: Vec<_> = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(3.0) && r.completed.is_some())
+            .collect();
+        assert!(!late.is_empty());
+        let on_fast = late.iter().filter(|r| r.prefix == Some(PrefixId(0))).count();
+        assert!(on_fast as f64 / late.len() as f64 > 0.9, "{on_fast}/{}", late.len());
+    }
+
+    #[test]
+    fn total_outage_records_unsendable_packets() {
+        let (mut sim, t0, t1) = two_path_sim();
+        sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+        sim.schedule_path_down(SimTime::from_secs(1.0), t1);
+        sim.run(SimTime::from_secs(2.0));
+        let stranded = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_ms(1200.0) && r.prefix.is_none())
+            .count();
+        assert!(stranded > 0, "with every path dead, sends must fail");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let (mut sim, t0, _) = two_path_sim();
+            sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+            sim.run(SimTime::from_secs(2.0));
+            (sim.records().to_vec(), sim.switch_log().to_vec())
+        };
+        let (ra, sa) = run();
+        let (rb, sb) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn loss_burst_recovers_without_permanent_failover() {
+        // A 150 ms blackout on the primary (shorter than a probe cycle's
+        // worth of failures on the backup) may cause a temporary switch,
+        // but traffic must return to the fast path and overall loss stays
+        // bounded.
+        let (mut sim, t0, _) = two_path_sim();
+        sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+        sim.schedule_path_rtt(SimTime::from_ms(1150.0), t0, 20.0);
+        sim.run(SimTime::from_secs(4.0));
+        let late: Vec<_> = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(3.0) && r.completed.is_some())
+            .collect();
+        assert!(!late.is_empty());
+        let on_fast = late.iter().filter(|r| r.prefix == Some(PrefixId(0))).count();
+        assert!(
+            on_fast as f64 / late.len() as f64 > 0.9,
+            "traffic should return to the fast path"
+        );
+        let lost = sim.records().iter().filter(|r| r.completed.is_none()).count();
+        assert!(lost < 40, "a 150 ms blackout should not cost {lost} packets");
+    }
+
+    #[test]
+    fn nat_bindings_accumulate_per_flow() {
+        let (mut sim, ..) = two_path_sim();
+        sim.run(SimTime::from_ms(200.0));
+        // Each data packet/probe is a distinct flow (fresh source port).
+        assert!(sim.pops[0].nat_bindings() > 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Customer-cone computation.
+//!
+//! The paper's orchestrator infers which ingresses are *policy-compliant*
+//! for a user group by checking whether the UG's AS sits in the customer
+//! cone of the peering's neighbor AS (derived from ProbLink AS
+//! relationships). An AS `x` is in the customer cone of `y` if `x` can
+//! reach `y` by following only customer→provider links; by definition `y`
+//! carries traffic from its cone to any destination, including the cloud.
+
+use crate::graph::{AsGraph, AsId};
+
+/// Precomputed customer cones for every AS in a graph.
+///
+/// Stored as sorted `Vec<AsId>` per AS so membership checks are a binary
+/// search and iteration is cache-friendly. The cone of `x` *includes* `x`
+/// itself (an AS trivially carries its own traffic), matching the common
+/// CAIDA definition.
+#[derive(Debug, Clone)]
+pub struct CustomerCones {
+    cones: Vec<Vec<AsId>>,
+}
+
+impl CustomerCones {
+    /// Computes all cones.
+    ///
+    /// Works bottom-up in reverse topological order of the provider DAG
+    /// (customers before providers), merging children cones. The
+    /// relationship generator guarantees the provider graph is acyclic;
+    /// a cycle would indicate a corrupted graph and panics.
+    pub fn compute(graph: &AsGraph) -> Self {
+        let n = graph.len();
+        // Topological order over customer -> provider edges.
+        let mut indegree = vec![0usize; n]; // number of unprocessed customers
+        for node in graph.nodes() {
+            indegree[node.id.idx()] = graph.customers(node.id).len();
+        }
+        let mut stack: Vec<AsId> = graph
+            .nodes()
+            .iter()
+            .filter(|node| indegree[node.id.idx()] == 0)
+            .map(|node| node.id)
+            .collect();
+        let mut order: Vec<AsId> = Vec::with_capacity(n);
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            for p in graph.providers(id) {
+                indegree[p.peer.idx()] -= 1;
+                if indegree[p.peer.idx()] == 0 {
+                    stack.push(p.peer);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "provider/customer relationships contain a cycle");
+
+        let mut cones: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        for &id in &order {
+            let mut cone: Vec<AsId> = vec![id];
+            for c in graph.customers(id) {
+                cone.extend_from_slice(&cones[c.peer.idx()]);
+            }
+            cone.sort_unstable();
+            cone.dedup();
+            cones[id.idx()] = cone;
+        }
+        CustomerCones { cones }
+    }
+
+    /// True if `member` is in the customer cone of `of`.
+    pub fn contains(&self, of: AsId, member: AsId) -> bool {
+        self.cones[of.idx()].binary_search(&member).is_ok()
+    }
+
+    /// The sorted cone of `of`, including `of` itself.
+    pub fn cone(&self, of: AsId) -> &[AsId] {
+        &self.cones[of.idx()]
+    }
+
+    /// Cone size (number of ASes, including the AS itself).
+    pub fn size(&self, of: AsId) -> usize {
+        self.cones[of.idx()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsTier, Relationship};
+    use painter_geo::{MetroId, Region};
+
+    fn node(g: &mut AsGraph, tier: AsTier) -> AsId {
+        g.add_node(tier, Region::Europe, vec![MetroId(40)], 1.0)
+    }
+
+    #[test]
+    fn cone_includes_self() {
+        let mut g = AsGraph::new();
+        let a = node(&mut g, AsTier::Stub);
+        let cones = CustomerCones::compute(&g);
+        assert!(cones.contains(a, a));
+        assert_eq!(cones.size(a), 1);
+    }
+
+    #[test]
+    fn cone_is_transitive() {
+        let mut g = AsGraph::new();
+        let t1 = node(&mut g, AsTier::Tier1);
+        let mid = node(&mut g, AsTier::Transit);
+        let stub = node(&mut g, AsTier::Stub);
+        g.add_link(t1, mid, Relationship::ProviderOf).unwrap();
+        g.add_link(mid, stub, Relationship::ProviderOf).unwrap();
+        let cones = CustomerCones::compute(&g);
+        assert!(cones.contains(t1, stub));
+        assert!(cones.contains(t1, mid));
+        assert!(cones.contains(mid, stub));
+        assert!(!cones.contains(stub, t1));
+        assert!(!cones.contains(mid, t1));
+    }
+
+    #[test]
+    fn peering_does_not_extend_cones() {
+        let mut g = AsGraph::new();
+        let a = node(&mut g, AsTier::Transit);
+        let b = node(&mut g, AsTier::Transit);
+        let stub = node(&mut g, AsTier::Stub);
+        g.add_link(a, b, Relationship::PeerWith).unwrap();
+        g.add_link(b, stub, Relationship::ProviderOf).unwrap();
+        let cones = CustomerCones::compute(&g);
+        assert!(cones.contains(b, stub));
+        assert!(!cones.contains(a, stub), "peers do not inherit cones");
+    }
+
+    #[test]
+    fn multihomed_stub_is_in_both_provider_cones() {
+        let mut g = AsGraph::new();
+        let p1 = node(&mut g, AsTier::Transit);
+        let p2 = node(&mut g, AsTier::Transit);
+        let stub = node(&mut g, AsTier::Stub);
+        g.add_link(p1, stub, Relationship::ProviderOf).unwrap();
+        g.add_link(p2, stub, Relationship::ProviderOf).unwrap();
+        let cones = CustomerCones::compute(&g);
+        assert!(cones.contains(p1, stub));
+        assert!(cones.contains(p2, stub));
+    }
+
+    #[test]
+    fn diamond_cone_deduplicates() {
+        // top provides to m1 and m2, both provide to stub.
+        let mut g = AsGraph::new();
+        let top = node(&mut g, AsTier::Tier1);
+        let m1 = node(&mut g, AsTier::Transit);
+        let m2 = node(&mut g, AsTier::Transit);
+        let stub = node(&mut g, AsTier::Stub);
+        g.add_link(top, m1, Relationship::ProviderOf).unwrap();
+        g.add_link(top, m2, Relationship::ProviderOf).unwrap();
+        g.add_link(m1, stub, Relationship::ProviderOf).unwrap();
+        g.add_link(m2, stub, Relationship::ProviderOf).unwrap();
+        let cones = CustomerCones::compute(&g);
+        assert_eq!(cones.size(top), 4); // top, m1, m2, stub — stub once
+    }
+}

@@ -1,0 +1,387 @@
+//! The cloud deployment: PoPs and peerings (ingresses).
+//!
+//! In the paper, Azure has ~200 PoPs in major metros and >4,000 neighbor
+//! networks; the Vultr/PEERING prototype has 25 PoPs and ~9,000 ingresses.
+//! A *peering* here is one `(PoP, neighbor AS)` BGP session — advertising a
+//! prefix "via a peering" makes that peering an *ingress* where traffic can
+//! enter the cloud.
+//!
+//! The cloud is deliberately **not** a node in the AS graph: routes
+//! originate at peerings and propagate outward through the neighbor, which
+//! keeps the propagation engine (in `painter-bgp`) single-purpose.
+
+use crate::graph::{AsGraph, AsId, AsTier};
+use painter_geo::{metro, MetroId, Region};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cloud point of presence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PopId(pub u16);
+
+impl PopId {
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoP{}", self.0)
+    }
+}
+
+/// A cloud point of presence at a metro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pop {
+    pub id: PopId,
+    pub metro: MetroId,
+}
+
+/// Identifier of a peering (a BGP session at a PoP). This is the paper's
+/// "ingress".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeeringId(pub u32);
+
+impl PeeringId {
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PeeringId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ig{}", self.0)
+    }
+}
+
+/// The business relationship of a peering, from the cloud's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeeringKind {
+    /// The neighbor sells the cloud transit: it hears cloud prefixes as
+    /// customer routes and exports them to its whole neighborhood, and it
+    /// carries traffic from anywhere to the cloud.
+    TransitProvider,
+    /// Settlement-free peer: it only exports cloud prefixes to its
+    /// customer cone, and only carries its cone's traffic to the cloud.
+    Peer,
+}
+
+/// One BGP session between the cloud and a neighbor AS at a PoP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Peering {
+    pub id: PeeringId,
+    pub pop: PopId,
+    pub neighbor: AsId,
+    pub kind: PeeringKind,
+}
+
+/// Tunables for [`Deployment::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    pub seed: u64,
+    /// Number of PoPs (placed at the highest-weight metros, at least one
+    /// per region when possible).
+    pub num_pops: usize,
+    /// Number of tier-1 ASes the cloud buys transit from.
+    pub num_transit_providers: usize,
+    /// Probability that a transit AS present at a PoP metro peers there.
+    pub peer_prob_transit: f64,
+    /// Probability that an access AS present at a PoP metro peers there.
+    pub peer_prob_access: f64,
+    /// Probability that a stub AS at a PoP metro has a direct peering
+    /// (enterprise direct connect).
+    pub peer_prob_stub: f64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            seed: 0,
+            num_pops: 40,
+            num_transit_providers: 3,
+            peer_prob_transit: 0.6,
+            peer_prob_access: 0.45,
+            peer_prob_stub: 0.02,
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// A small deployment for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        DeploymentConfig { seed, num_pops: 8, num_transit_providers: 2, ..Default::default() }
+    }
+}
+
+/// The cloud's deployment: all PoPs and peerings.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    pops: Vec<Pop>,
+    peerings: Vec<Peering>,
+    by_pop: Vec<Vec<PeeringId>>,
+    by_neighbor: std::collections::HashMap<AsId, Vec<PeeringId>>,
+    transit_providers: Vec<AsId>,
+}
+
+impl Deployment {
+    /// Builds a deployment over `graph` according to `config`.
+    pub fn generate(graph: &AsGraph, config: &DeploymentConfig) -> Deployment {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x6465_706c_6f79_2121);
+
+        // --- PoP placement: highest-weight metros, each region seeded
+        // with its best metro first so small deployments stay global.
+        let mut ranked: Vec<MetroId> = painter_geo::metro::all_metro_ids().collect();
+        ranked.sort_by(|a, b| {
+            metro(*b).weight.partial_cmp(&metro(*a).weight).unwrap().then(a.0.cmp(&b.0))
+        });
+        let mut chosen: Vec<MetroId> = Vec::new();
+        for region in Region::ALL {
+            if chosen.len() >= config.num_pops {
+                break;
+            }
+            if let Some(&m) = ranked.iter().find(|m| metro(**m).region == region) {
+                chosen.push(m);
+            }
+        }
+        for &m in &ranked {
+            if chosen.len() >= config.num_pops {
+                break;
+            }
+            if !chosen.contains(&m) {
+                chosen.push(m);
+            }
+        }
+        chosen.truncate(config.num_pops);
+        chosen.sort_unstable();
+        let pops: Vec<Pop> = chosen
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Pop { id: PopId(i as u16), metro: m })
+            .collect();
+
+        // --- Transit providers: the largest-presence tier-1s.
+        let mut tier1s: Vec<AsId> = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == AsTier::Tier1)
+            .map(|n| n.id)
+            .collect();
+        tier1s.sort_by_key(|id| std::cmp::Reverse(graph.node(*id).presence.len()));
+        let transit_providers: Vec<AsId> =
+            tier1s.iter().copied().take(config.num_transit_providers).collect();
+
+        // --- Peerings.
+        let mut deployment = Deployment {
+            by_pop: vec![Vec::new(); pops.len()],
+            pops,
+            peerings: Vec::new(),
+            by_neighbor: std::collections::HashMap::new(),
+            transit_providers: transit_providers.clone(),
+        };
+        for pop in deployment.pops.clone() {
+            for node in graph.nodes() {
+                if !node.presence.contains(&pop.metro) {
+                    continue;
+                }
+                if transit_providers.contains(&node.id) {
+                    deployment.add_peering(pop.id, node.id, PeeringKind::TransitProvider);
+                    continue;
+                }
+                let p = match node.tier {
+                    AsTier::Tier1 => 0.5,
+                    AsTier::Transit => config.peer_prob_transit,
+                    AsTier::Access => config.peer_prob_access,
+                    AsTier::Stub => config.peer_prob_stub,
+                };
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    deployment.add_peering(pop.id, node.id, PeeringKind::Peer);
+                }
+            }
+        }
+        deployment
+    }
+
+    /// Builds a deployment from explicit parts: PoP metros (one PoP per
+    /// entry, ids assigned in order) and `(pop index, neighbor, kind)`
+    /// peerings. Used by hand-built scenarios (tests, the Fig. 10 failover
+    /// experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peering references a PoP index out of range.
+    pub fn from_parts(
+        pop_metros: Vec<MetroId>,
+        peerings: Vec<(usize, AsId, PeeringKind)>,
+    ) -> Deployment {
+        let pops: Vec<Pop> = pop_metros
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Pop { id: PopId(i as u16), metro: m })
+            .collect();
+        let mut deployment = Deployment {
+            by_pop: vec![Vec::new(); pops.len()],
+            pops,
+            peerings: Vec::new(),
+            by_neighbor: std::collections::HashMap::new(),
+            transit_providers: Vec::new(),
+        };
+        for (pop_idx, neighbor, kind) in peerings {
+            assert!(pop_idx < deployment.pops.len(), "PoP index {pop_idx} out of range");
+            deployment.add_peering(PopId(pop_idx as u16), neighbor, kind);
+            if kind == PeeringKind::TransitProvider
+                && !deployment.transit_providers.contains(&neighbor)
+            {
+                deployment.transit_providers.push(neighbor);
+            }
+        }
+        deployment
+    }
+
+    /// Alias of [`Deployment::from_parts`] kept for test readability.
+    pub fn for_tests(
+        pop_metros: Vec<MetroId>,
+        peerings: Vec<(usize, AsId, PeeringKind)>,
+    ) -> Deployment {
+        Self::from_parts(pop_metros, peerings)
+    }
+
+    fn add_peering(&mut self, pop: PopId, neighbor: AsId, kind: PeeringKind) -> PeeringId {
+        let id = PeeringId(self.peerings.len() as u32);
+        self.peerings.push(Peering { id, pop, neighbor, kind });
+        self.by_pop[pop.idx()].push(id);
+        self.by_neighbor.entry(neighbor).or_default().push(id);
+        id
+    }
+
+    /// All PoPs in id order.
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// All peerings (ingresses) in id order.
+    pub fn peerings(&self) -> &[Peering] {
+        &self.peerings
+    }
+
+    /// The peering record for `id`.
+    pub fn peering(&self, id: PeeringId) -> &Peering {
+        &self.peerings[id.idx()]
+    }
+
+    /// The PoP record for `id`.
+    pub fn pop(&self, id: PopId) -> &Pop {
+        &self.pops[id.idx()]
+    }
+
+    /// Peerings at a PoP.
+    pub fn peerings_at(&self, pop: PopId) -> &[PeeringId] {
+        &self.by_pop[pop.idx()]
+    }
+
+    /// Peerings with a specific neighbor AS (possibly at several PoPs).
+    pub fn peerings_with(&self, neighbor: AsId) -> &[PeeringId] {
+        self.by_neighbor.get(&neighbor).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The tier-1 ASes the cloud buys transit from.
+    pub fn transit_providers(&self) -> &[AsId] {
+        &self.transit_providers
+    }
+
+    /// The metro of a peering's PoP.
+    pub fn peering_metro(&self, id: PeeringId) -> MetroId {
+        self.pop(self.peering(id).pop).metro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TopologyConfig};
+
+    fn tiny() -> (crate::gen::Internet, Deployment) {
+        let net = generate(TopologyConfig::tiny(42));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(42));
+        (net, dep)
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let net = generate(TopologyConfig::tiny(42));
+        let a = Deployment::generate(&net.graph, &DeploymentConfig::tiny(1));
+        let b = Deployment::generate(&net.graph, &DeploymentConfig::tiny(1));
+        assert_eq!(a.peerings().len(), b.peerings().len());
+        for (pa, pb) in a.peerings().iter().zip(b.peerings()) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn pop_count_matches_config() {
+        let (_, dep) = tiny();
+        assert_eq!(dep.pops().len(), 8);
+    }
+
+    #[test]
+    fn pops_span_multiple_regions() {
+        let (_, dep) = tiny();
+        let mut regions: Vec<Region> =
+            dep.pops().iter().map(|p| metro(p.metro).region).collect();
+        regions.sort();
+        regions.dedup();
+        assert!(regions.len() >= 4, "got {regions:?}");
+    }
+
+    #[test]
+    fn transit_providers_peer_at_their_pops() {
+        let (net, dep) = tiny();
+        for &tp in dep.transit_providers() {
+            let sessions = dep.peerings_with(tp);
+            assert!(!sessions.is_empty(), "{tp} should have sessions");
+            for &s in sessions {
+                assert_eq!(dep.peering(s).kind, PeeringKind::TransitProvider);
+                // Present at the metro it peers at.
+                assert!(net.graph.node(tp).presence.contains(&dep.peering_metro(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn peers_are_present_at_their_pop_metro() {
+        let (net, dep) = tiny();
+        for p in dep.peerings() {
+            assert!(
+                net.graph.node(p.neighbor).presence.contains(&dep.peering_metro(p.id)),
+                "{} not present at {}",
+                p.neighbor,
+                dep.peering_metro(p.id)
+            );
+        }
+    }
+
+    #[test]
+    fn by_pop_index_is_complete() {
+        let (_, dep) = tiny();
+        let total: usize = dep.pops().iter().map(|p| dep.peerings_at(p.id).len()).sum();
+        assert_eq!(total, dep.peerings().len());
+    }
+
+    #[test]
+    fn some_neighbors_connect_at_multiple_pops() {
+        // "Some networks connect at multiple PoPs, most only at one."
+        let net = generate(TopologyConfig::tiny(3));
+        let dep = Deployment::generate(
+            &net.graph,
+            &DeploymentConfig { num_pops: 12, ..DeploymentConfig::tiny(3) },
+        );
+        let multi = net
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| dep.peerings_with(n.id).len() > 1)
+            .count();
+        assert!(multi > 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Seeded generator for hierarchical Internet topologies.
+//!
+//! The generator builds a four-tier Internet matching the structure the
+//! paper's evaluation depends on:
+//!
+//! * a clique of global **tier-1** transit providers with worldwide
+//!   presence;
+//! * **regional transit** providers, customers of 2–3 tier-1s, with
+//!   presence in a handful of metros of their region (sparse presence is
+//!   what makes some transit providers inflate paths over long distances —
+//!   the phenomenon behind most of PAINTER's latency wins);
+//! * **access ISPs**, customers of regional transit and occasionally of
+//!   tier-1s directly, peering with each other at shared metros;
+//! * **stub** (enterprise) ASes that originate user groups, multihomed to
+//!   1–4 upstreams with a mode of 2–3, matching §5.2.4's observation that
+//!   "most networks have only 2 or three ISPs".
+//!
+//! Provider links always point from a strictly higher tier to a lower one,
+//! so the customer/provider graph is acyclic by construction — which
+//! [`crate::cone::CustomerCones`] relies on.
+
+use crate::graph::{AsGraph, AsId, AsTier, Relationship};
+use painter_geo::{metro, metros_in_region, MetroId, Region, WORLD_METROS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tunables for [`generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Master seed; every derived structure is a pure function of it.
+    pub seed: u64,
+    /// Number of global tier-1 backbones.
+    pub num_tier1: usize,
+    /// Regional transit providers per region.
+    pub transit_per_region: usize,
+    /// Access ISPs per region.
+    pub access_per_region: usize,
+    /// Total number of stub (enterprise) ASes.
+    pub num_stubs: usize,
+    /// Probability that two access ISPs sharing a metro peer directly.
+    pub access_peering_prob: f64,
+    /// Fraction of transit providers with a severely circuitous backbone
+    /// (inflation factor 1.8–2.8 instead of 1.0–1.5).
+    pub bad_transit_fraction: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 0,
+            num_tier1: 12,
+            transit_per_region: 8,
+            access_per_region: 30,
+            num_stubs: 1500,
+            access_peering_prob: 0.25,
+            bad_transit_fraction: 0.3,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small configuration for unit tests (hundreds of ASes).
+    pub fn tiny(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            num_tier1: 4,
+            transit_per_region: 3,
+            access_per_region: 6,
+            num_stubs: 80,
+            access_peering_prob: 0.25,
+            bad_transit_fraction: 0.3,
+        }
+    }
+}
+
+/// A generated Internet: the graph plus the config that produced it.
+#[derive(Debug, Clone)]
+pub struct Internet {
+    pub graph: AsGraph,
+    pub config: TopologyConfig,
+}
+
+impl Internet {
+    /// Ids of all stub ASes.
+    pub fn stub_ids(&self) -> Vec<AsId> {
+        self.graph.stubs().map(|n| n.id).collect()
+    }
+}
+
+/// Generates a seeded Internet topology.
+pub fn generate(config: TopologyConfig) -> Internet {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x7061_696e_7465_7221);
+    let mut graph = AsGraph::new();
+
+    let tier1s = gen_tier1(&mut graph, &mut rng, &config);
+    let transits = gen_transit(&mut graph, &mut rng, &config, &tier1s);
+    let access = gen_access(&mut graph, &mut rng, &config, &tier1s, &transits);
+    gen_stubs(&mut graph, &mut rng, &config, &transits, &access);
+
+    Internet { graph, config }
+}
+
+/// Samples `k` distinct indices from `0..n` (k > n returns all of them).
+fn sample_indices(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates.
+    let k = k.min(n);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+fn gen_tier1(graph: &mut AsGraph, rng: &mut SmallRng, config: &TopologyConfig) -> Vec<AsId> {
+    let all_metros: Vec<MetroId> = painter_geo::metro::all_metro_ids().collect();
+    let mut tier1s = Vec::with_capacity(config.num_tier1);
+    for i in 0..config.num_tier1 {
+        // Tier-1s cover 40–70% of the world's metros, always including at
+        // least one per region so they can interconnect anywhere.
+        let coverage = rng.gen_range(0.4..0.7);
+        let count = ((all_metros.len() as f64 * coverage) as usize).max(Region::ALL.len());
+        let mut presence: Vec<MetroId> =
+            sample_indices(rng, all_metros.len(), count).into_iter().map(|j| all_metros[j]).collect();
+        for region in Region::ALL {
+            if !presence.iter().any(|&m| metro(m).region == region) {
+                let in_region = metros_in_region(region);
+                presence.push(in_region[rng.gen_range(0..in_region.len())]);
+            }
+        }
+        presence.sort_unstable();
+        presence.dedup();
+        let home = Region::ALL[i % Region::ALL.len()];
+        let inflation = rng.gen_range(1.0..1.3);
+        tier1s.push(graph.add_node(AsTier::Tier1, home, presence, inflation));
+    }
+    // Full tier-1 peering clique (the defining property of tier-1 status).
+    for i in 0..tier1s.len() {
+        for j in (i + 1)..tier1s.len() {
+            graph.add_link(tier1s[i], tier1s[j], Relationship::PeerWith);
+        }
+    }
+    tier1s
+}
+
+fn gen_transit(
+    graph: &mut AsGraph,
+    rng: &mut SmallRng,
+    config: &TopologyConfig,
+    tier1s: &[AsId],
+) -> Vec<AsId> {
+    let mut transits = Vec::new();
+    for region in Region::ALL {
+        let region_metros = metros_in_region(region);
+        for _ in 0..config.transit_per_region {
+            let count = rng.gen_range(3..=region_metros.len().clamp(3, 8));
+            let mut presence: Vec<MetroId> = sample_indices(rng, region_metros.len(), count)
+                .into_iter()
+                .map(|j| region_metros[j])
+                .collect();
+            // ~30% of transit providers also have one far-flung PoP, which
+            // creates the long-haul interconnections behind extreme
+            // inflation cases (e.g. New York users landing in Amsterdam).
+            if rng.gen_bool(0.3) {
+                let other_regions: Vec<Region> =
+                    Region::ALL.into_iter().filter(|r| *r != region).collect();
+                let far = metros_in_region(other_regions[rng.gen_range(0..other_regions.len())]);
+                presence.push(far[rng.gen_range(0..far.len())]);
+            }
+            presence.sort_unstable();
+            presence.dedup();
+            let bad = rng.gen_bool(config.bad_transit_fraction);
+            let inflation =
+                if bad { rng.gen_range(1.8..2.8) } else { rng.gen_range(1.0..1.5) };
+            let id = graph.add_node(AsTier::Transit, region, presence, inflation);
+            // Buy transit from 2–3 tier-1s.
+            let n_upstreams = rng.gen_range(2..=3);
+            for t in sample_indices(rng, tier1s.len(), n_upstreams) {
+                graph.add_link(tier1s[t], id, Relationship::ProviderOf);
+            }
+            transits.push(id);
+        }
+    }
+    // Intra-region transit peering (about half the pairs), a little
+    // cross-region peering.
+    for i in 0..transits.len() {
+        for j in (i + 1)..transits.len() {
+            let same_region = graph.node(transits[i]).region == graph.node(transits[j]).region;
+            let p = if same_region { 0.4 } else { 0.03 };
+            if rng.gen_bool(p) {
+                graph.add_link(transits[i], transits[j], Relationship::PeerWith);
+            }
+        }
+    }
+    transits
+}
+
+fn gen_access(
+    graph: &mut AsGraph,
+    rng: &mut SmallRng,
+    config: &TopologyConfig,
+    tier1s: &[AsId],
+    transits: &[AsId],
+) -> Vec<AsId> {
+    let mut access = Vec::new();
+    for region in Region::ALL {
+        let region_metros = metros_in_region(region);
+        let region_transits: Vec<AsId> = transits
+            .iter()
+            .copied()
+            .filter(|t| graph.node(*t).region == region)
+            .collect();
+        for _ in 0..config.access_per_region {
+            let count = rng.gen_range(1..=3.min(region_metros.len()));
+            let mut presence: Vec<MetroId> = sample_indices(rng, region_metros.len(), count)
+                .into_iter()
+                .map(|j| region_metros[j])
+                .collect();
+            presence.sort_unstable();
+            presence.dedup();
+            let inflation = rng.gen_range(1.0..1.4);
+            let id = graph.add_node(AsTier::Access, region, presence, inflation);
+            // 1–3 upstreams: mostly regional transit, sometimes a tier-1.
+            let upstreams = rng.gen_range(1..=3);
+            for _ in 0..upstreams {
+                let provider = if !region_transits.is_empty() && rng.gen_bool(0.8) {
+                    region_transits[rng.gen_range(0..region_transits.len())]
+                } else {
+                    tier1s[rng.gen_range(0..tier1s.len())]
+                };
+                graph.add_link(provider, id, Relationship::ProviderOf);
+            }
+            access.push(id);
+        }
+    }
+    // Access ISPs sharing a metro sometimes peer (IXP-style).
+    for i in 0..access.len() {
+        for j in (i + 1)..access.len() {
+            let share_metro = graph
+                .node(access[i])
+                .presence
+                .iter()
+                .any(|m| graph.node(access[j]).presence.contains(m));
+            if share_metro && rng.gen_bool(config.access_peering_prob) {
+                graph.add_link(access[i], access[j], Relationship::PeerWith);
+            }
+        }
+    }
+    access
+}
+
+fn gen_stubs(
+    graph: &mut AsGraph,
+    rng: &mut SmallRng,
+    config: &TopologyConfig,
+    transits: &[AsId],
+    access: &[AsId],
+) {
+    // Stubs land in metros proportionally to metro weight.
+    let weights: Vec<f64> = WORLD_METROS.iter().map(|m| m.weight).collect();
+    let total_weight: f64 = weights.iter().sum();
+    for _ in 0..config.num_stubs {
+        let mut target = rng.gen_range(0.0..total_weight);
+        let mut home = MetroId(0);
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                home = MetroId(i as u16);
+                break;
+            }
+        }
+        let region = metro(home).region;
+        let id = graph.add_node(AsTier::Stub, region, vec![home], 1.0);
+
+        // Multihoming degree: 1 (25%), 2 (40%), 3 (25%), 4 (10%).
+        let r: f64 = rng.gen();
+        let upstreams = if r < 0.25 {
+            1
+        } else if r < 0.65 {
+            2
+        } else if r < 0.90 {
+            3
+        } else {
+            4
+        };
+        // Prefer access ISPs present at the home metro; fall back to
+        // regional transit, then any transit.
+        let local_access: Vec<AsId> = access
+            .iter()
+            .copied()
+            .filter(|a| graph.node(*a).presence.contains(&home))
+            .collect();
+        let regional_transit: Vec<AsId> = transits
+            .iter()
+            .copied()
+            .filter(|t| graph.node(*t).region == region)
+            .collect();
+        let mut connected = 0;
+        let mut pool: Vec<AsId> = local_access;
+        pool.extend_from_slice(&regional_transit);
+        if pool.is_empty() {
+            pool.extend_from_slice(transits);
+        }
+        // Market concentration: enterprises overwhelmingly buy from the
+        // leading local ISPs, so provider choice is Zipf-weighted by rank.
+        // This is what makes BGP's (peering, user AS) steering units
+        // coarse in practice — a couple of ISPs carry most of a metro.
+        let zipf: Vec<f64> =
+            (0..pool.len()).map(|r| 1.0 / ((r + 1) as f64).powf(1.6)).collect();
+        let mut remaining: Vec<usize> = (0..pool.len()).collect();
+        while connected < upstreams && !remaining.is_empty() {
+            let weights: Vec<f64> = remaining.iter().map(|&i| zipf[i]).collect();
+            let total: f64 = weights.iter().sum();
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = remaining.len() - 1;
+            for (j, w) in weights.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = j;
+                    break;
+                }
+            }
+            let idx = remaining.swap_remove(pick);
+            if graph.add_link(pool[idx], id, Relationship::ProviderOf).is_some() {
+                connected += 1;
+            }
+        }
+        assert!(connected > 0, "stub generation must connect every stub");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::CustomerCones;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TopologyConfig::tiny(7));
+        let b = generate(TopologyConfig::tiny(7));
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.links().len(), b.graph.links().len());
+        for (la, lb) in a.graph.links().iter().zip(b.graph.links()) {
+            assert_eq!((la.a, la.b, la.rel), (lb.a, lb.b, lb.rel));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(TopologyConfig::tiny(1));
+        let b = generate(TopologyConfig::tiny(2));
+        let same = a
+            .graph
+            .links()
+            .iter()
+            .zip(b.graph.links())
+            .take_while(|(la, lb)| (la.a, la.b) == (lb.a, lb.b))
+            .count();
+        assert!(same < a.graph.links().len());
+    }
+
+    #[test]
+    fn every_stub_has_a_provider() {
+        let net = generate(TopologyConfig::tiny(3));
+        for stub in net.graph.stubs() {
+            assert!(!net.graph.providers(stub.id).is_empty(), "{}", stub.id);
+        }
+    }
+
+    #[test]
+    fn tier1s_form_a_clique() {
+        let net = generate(TopologyConfig::tiny(4));
+        let tier1s: Vec<AsId> = net
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == AsTier::Tier1)
+            .map(|n| n.id)
+            .collect();
+        for &a in &tier1s {
+            for &b in &tier1s {
+                if a != b {
+                    assert_eq!(
+                        net.graph.relationship(a, b),
+                        Some(Relationship::PeerWith),
+                        "{a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn provider_graph_is_acyclic() {
+        // CustomerCones::compute panics on cycles; this is the check.
+        let net = generate(TopologyConfig::tiny(5));
+        let cones = CustomerCones::compute(&net.graph);
+        // Tier-1 cones should dominate stub cones.
+        let t1 = net.graph.nodes().iter().find(|n| n.tier == AsTier::Tier1).unwrap();
+        let stub = net.graph.stubs().next().unwrap();
+        assert!(cones.size(t1.id) > cones.size(stub.id));
+    }
+
+    #[test]
+    fn stub_counts_match_config() {
+        let config = TopologyConfig::tiny(6);
+        let expected = config.num_stubs;
+        let net = generate(config);
+        assert_eq!(net.graph.stubs().count(), expected);
+        assert_eq!(net.stub_ids().len(), expected);
+    }
+
+    #[test]
+    fn every_stub_reaches_a_tier1_cone() {
+        // Connectivity: every stub should be inside at least one tier-1's
+        // customer cone (otherwise parts of the Internet can't route).
+        let net = generate(TopologyConfig::tiny(8));
+        let cones = CustomerCones::compute(&net.graph);
+        let tier1s: Vec<AsId> = net
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == AsTier::Tier1)
+            .map(|n| n.id)
+            .collect();
+        for stub in net.graph.stubs() {
+            assert!(
+                tier1s.iter().any(|&t| cones.contains(t, stub.id)),
+                "{} unreachable from tier-1s",
+                stub.id
+            );
+        }
+    }
+
+    #[test]
+    fn generated_graphs_validate_cleanly() {
+        for seed in [1u64, 2, 3] {
+            let net = generate(TopologyConfig::tiny(seed));
+            let errors = net.graph.validate();
+            assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn inflation_factors_are_sane() {
+        let net = generate(TopologyConfig::tiny(9));
+        for n in net.graph.nodes() {
+            assert!(n.inflation >= 1.0 && n.inflation <= 3.0, "{}: {}", n.id, n.inflation);
+        }
+    }
+
+    #[test]
+    fn default_config_scales_up() {
+        let net = generate(TopologyConfig { num_stubs: 300, ..Default::default() });
+        assert!(net.graph.len() > 500);
+        // Mixed tiers present.
+        for tier in [AsTier::Tier1, AsTier::Transit, AsTier::Access, AsTier::Stub] {
+            assert!(net.graph.nodes().iter().any(|n| n.tier == tier), "{tier:?}");
+        }
+    }
+}

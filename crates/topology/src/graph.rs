@@ -1,0 +1,616 @@
+//! The AS-level graph: nodes, business relationships, and geography.
+
+use painter_geo::{metro, GeoPoint, MetroId, Region};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An autonomous-system identifier within the simulation.
+///
+/// Dense indices (0..n) rather than real ASNs, so they double as vector
+/// indices everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// The id as a usize index.
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AsId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Where an AS sits in the Internet hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsTier {
+    /// Global transit-free backbone (fully meshed peering among tier-1s).
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Access/eyeball ISP serving end networks in a few metros.
+    Access,
+    /// Stub network: an enterprise or campus; originates user groups.
+    Stub,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    pub id: AsId,
+    pub tier: AsTier,
+    /// Home region (stubs and access ISPs live in one region; transit
+    /// providers may have presence beyond it).
+    pub region: Region,
+    /// Metros where this AS has infrastructure (routers it can
+    /// interconnect at). Never empty.
+    pub presence: Vec<MetroId>,
+    /// Multiplier (>= 1) applied to intra-AS fiber segments when computing
+    /// path latency. Models circuitous backbones: the paper found most
+    /// latency benefit hides behind transit providers that "inflate routes
+    /// even over very large distances".
+    pub inflation: f64,
+}
+
+impl AsNode {
+    /// The presence metro geographically closest to `point`.
+    pub fn nearest_presence(&self, point: &GeoPoint) -> MetroId {
+        let mut best = self.presence[0];
+        let mut best_d = f64::INFINITY;
+        for &m in &self.presence {
+            let d = metro(m).point().haversine_km(point);
+            if d < best_d {
+                best_d = d;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+/// Business relationship between two ASes, read from one side's
+/// perspective ("how `a` sees `b`").
+///
+/// Links store only [`Relationship::ProviderOf`] or
+/// [`Relationship::PeerWith`]; [`Relationship::CustomerOf`] appears when a
+/// link is read from the customer's side via [`AsGraph::relationship`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` is the provider; `b` pays `a` for transit.
+    ProviderOf,
+    /// `a` pays `b` for transit.
+    CustomerOf,
+    /// Settlement-free peering.
+    PeerWith,
+}
+
+impl Relationship {
+    /// The same relationship seen from the other side.
+    pub fn inverse(&self) -> Relationship {
+        match self {
+            Relationship::ProviderOf => Relationship::CustomerOf,
+            Relationship::CustomerOf => Relationship::ProviderOf,
+            Relationship::PeerWith => Relationship::PeerWith,
+        }
+    }
+}
+
+/// Identifier of a link in [`AsGraph::links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interdomain link between two ASes.
+///
+/// `attach_a`/`attach_b` are the metros where each side hands traffic to
+/// the other — the physical interconnection points. A path's latency is the
+/// fiber distance through these attachment metros, so an AS pair that only
+/// interconnects far from a user inflates that user's path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    pub a: AsId,
+    pub b: AsId,
+    /// How `a` sees `b` (ProviderOf means `a` provides transit to `b`).
+    pub rel: Relationship,
+    /// Interconnection metro on `a`'s side.
+    pub attach_a: MetroId,
+    /// Interconnection metro on `b`'s side.
+    pub attach_b: MetroId,
+}
+
+/// A serializable image of an [`AsGraph`] (see [`AsGraph::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphSnapshot {
+    pub nodes: Vec<AsNode>,
+    pub links: Vec<Link>,
+}
+
+/// A neighbor entry in an adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    pub link: LinkId,
+    pub peer: AsId,
+}
+
+/// The AS-level Internet graph.
+///
+/// Construction happens through [`AsGraph::add_node`] / [`AsGraph::add_link`];
+/// adjacency lists are maintained incrementally. The graph is immutable once
+/// a simulation starts.
+#[derive(Debug, Clone, Default)]
+pub struct AsGraph {
+    nodes: Vec<AsNode>,
+    links: Vec<Link>,
+    /// For each AS: neighbors it provides transit to (its customers).
+    customers: Vec<Vec<Neighbor>>,
+    /// For each AS: neighbors providing transit to it (its providers).
+    providers: Vec<Vec<Neighbor>>,
+    /// For each AS: settlement-free peers.
+    peers: Vec<Vec<Neighbor>>,
+    /// Dedup guard for links.
+    link_index: HashMap<(AsId, AsId), LinkId>,
+}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, assigning the next dense [`AsId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `presence` is empty or `inflation < 1.0` — both are
+    /// generator bugs, not runtime conditions.
+    pub fn add_node(
+        &mut self,
+        tier: AsTier,
+        region: Region,
+        presence: Vec<MetroId>,
+        inflation: f64,
+    ) -> AsId {
+        assert!(!presence.is_empty(), "an AS must be present somewhere");
+        assert!(inflation >= 1.0, "inflation factors are multiplicative, >= 1");
+        let id = AsId(self.nodes.len() as u32);
+        self.nodes.push(AsNode { id, tier, region, presence, inflation });
+        self.customers.push(Vec::new());
+        self.providers.push(Vec::new());
+        self.peers.push(Vec::new());
+        id
+    }
+
+    /// Adds a link; `rel` is how `a` sees `b` and must be
+    /// [`Relationship::ProviderOf`] or [`Relationship::PeerWith`] (flip the
+    /// arguments instead of passing `CustomerOf`).
+    ///
+    /// Attachment metros are chosen as the closest pair of presence metros
+    /// of the two ASes. Returns `None` (and changes nothing) if a link
+    /// between the pair already exists or `a == b`.
+    pub fn add_link(&mut self, a: AsId, b: AsId, rel: Relationship) -> Option<LinkId> {
+        assert!(
+            rel != Relationship::CustomerOf,
+            "store links from the provider side; flip the endpoints"
+        );
+        if a == b
+            || self.link_index.contains_key(&(a, b))
+            || self.link_index.contains_key(&(b, a))
+        {
+            return None;
+        }
+        let (attach_a, attach_b) = self.closest_presence_pair(a, b);
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { a, b, rel, attach_a, attach_b });
+        self.link_index.insert((a, b), id);
+        match rel {
+            Relationship::ProviderOf => {
+                self.customers[a.idx()].push(Neighbor { link: id, peer: b });
+                self.providers[b.idx()].push(Neighbor { link: id, peer: a });
+            }
+            Relationship::PeerWith => {
+                self.peers[a.idx()].push(Neighbor { link: id, peer: b });
+                self.peers[b.idx()].push(Neighbor { link: id, peer: a });
+            }
+            Relationship::CustomerOf => unreachable!("rejected by the assert above"),
+        }
+        Some(id)
+    }
+
+    fn closest_presence_pair(&self, a: AsId, b: AsId) -> (MetroId, MetroId) {
+        let mut best = (self.nodes[a.idx()].presence[0], self.nodes[b.idx()].presence[0]);
+        let mut best_d = f64::INFINITY;
+        for &ma in &self.nodes[a.idx()].presence {
+            let pa = metro(ma).point();
+            for &mb in &self.nodes[b.idx()].presence {
+                let d = pa.haversine_km(&metro(mb).point());
+                if d < best_d {
+                    best_d = d;
+                    best = (ma, mb);
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// All links in insertion order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: AsId) -> &AsNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// The link for `id`.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// ASes that `id` provides transit to.
+    pub fn customers(&self, id: AsId) -> &[Neighbor] {
+        &self.customers[id.idx()]
+    }
+
+    /// ASes providing transit to `id`.
+    pub fn providers(&self, id: AsId) -> &[Neighbor] {
+        &self.providers[id.idx()]
+    }
+
+    /// Settlement-free peers of `id`.
+    pub fn peers(&self, id: AsId) -> &[Neighbor] {
+        &self.peers[id.idx()]
+    }
+
+    /// Total neighbor count of `id`.
+    pub fn degree(&self, id: AsId) -> usize {
+        self.customers(id).len() + self.providers(id).len() + self.peers(id).len()
+    }
+
+    /// The relationship between `a` and `b` from `a`'s perspective, if they
+    /// are directly connected.
+    pub fn relationship(&self, a: AsId, b: AsId) -> Option<Relationship> {
+        if let Some(&l) = self.link_index.get(&(a, b)) {
+            return Some(self.links[l.idx()].rel);
+        }
+        if let Some(&l) = self.link_index.get(&(b, a)) {
+            return Some(self.links[l.idx()].rel.inverse());
+        }
+        None
+    }
+
+    /// Attachment metros `(on_from_side, on_to_side)` for the link between
+    /// `from` and `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ASes are not adjacent (callers walk real paths).
+    pub fn attachments(&self, from: AsId, to: AsId) -> (MetroId, MetroId) {
+        if let Some(&l) = self.link_index.get(&(from, to)) {
+            let link = &self.links[l.idx()];
+            (link.attach_a, link.attach_b)
+        } else if let Some(&l) = self.link_index.get(&(to, from)) {
+            let link = &self.links[l.idx()];
+            (link.attach_b, link.attach_a)
+        } else {
+            panic!("{from} and {to} are not adjacent");
+        }
+    }
+
+    /// Checks that an AS path (listed from source to destination) is
+    /// valley-free under Gao–Rexford: zero or more "up" hops (customer →
+    /// provider), at most one "across" hop (peer), then zero or more "down"
+    /// hops (provider → customer). Paths with non-adjacent consecutive ASes
+    /// are invalid.
+    pub fn is_valley_free(&self, path: &[AsId]) -> bool {
+        // Once the path has gone across or down, only down hops remain
+        // legal.
+        let mut descending = false;
+        for w in path.windows(2) {
+            let Some(rel) = self.relationship(w[0], w[1]) else { return false };
+            match rel {
+                Relationship::CustomerOf => {
+                    // Up hop: w[0] pays w[1].
+                    if descending {
+                        return false;
+                    }
+                }
+                Relationship::PeerWith => {
+                    if descending {
+                        return false;
+                    }
+                    descending = true;
+                }
+                Relationship::ProviderOf => {
+                    // Down hop: always legal, and locks the direction.
+                    descending = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// All stub ASes (enterprise networks hosting user groups).
+    pub fn stubs(&self) -> impl Iterator<Item = &AsNode> {
+        self.nodes.iter().filter(|n| n.tier == AsTier::Stub)
+    }
+
+    /// A serializable snapshot of the graph (nodes + links). Round-trips
+    /// through [`AsGraph::from_snapshot`], letting scenarios be persisted
+    /// and shared (e.g. pinning one generated Internet across tools).
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot { nodes: self.nodes.clone(), links: self.links.clone() }
+    }
+
+    /// Rebuilds a graph from a snapshot, reconstructing adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is internally inconsistent (node ids not
+    /// dense, links referencing missing nodes) — snapshots only come from
+    /// [`AsGraph::snapshot`], so that is corruption, not input error.
+    pub fn from_snapshot(snapshot: GraphSnapshot) -> AsGraph {
+        let mut graph = AsGraph::new();
+        for node in snapshot.nodes {
+            let id = graph.add_node(node.tier, node.region, node.presence, node.inflation);
+            assert_eq!(id, node.id, "snapshot node ids must be dense and ordered");
+        }
+        for link in snapshot.links {
+            let id = graph
+                .add_link(link.a, link.b, link.rel)
+                .expect("snapshot links must be unique and well-formed");
+            // add_link recomputes the closest attachment pair, which is
+            // deterministic from presence; assert it matches to catch
+            // drift between generator versions.
+            let stored = graph.link(id);
+            assert_eq!(
+                (stored.attach_a, stored.attach_b),
+                (link.attach_a, link.attach_b),
+                "attachment recomputation diverged from snapshot"
+            );
+        }
+        graph
+    }
+
+    /// Validates structural invariants, returning every violation found
+    /// (empty = consistent). Checked invariants:
+    ///
+    /// * adjacency lists agree with the link table in both directions;
+    /// * no self-links or duplicate links;
+    /// * link attachment metros belong to the respective ASes' presence;
+    /// * the provider/customer relation is acyclic;
+    /// * stub ASes have no customers.
+    ///
+    /// Generators call this in tests; it is also the debugging tool of
+    /// first resort for hand-built scenarios.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let mut seen_pairs = std::collections::HashSet::new();
+        for (i, link) in self.links.iter().enumerate() {
+            if link.a == link.b {
+                errors.push(format!("link {i}: self-link at {}", link.a));
+            }
+            let key = (link.a.min(link.b), link.a.max(link.b));
+            if !seen_pairs.insert(key) {
+                errors.push(format!("link {i}: duplicate link {} <-> {}", link.a, link.b));
+            }
+            if !self.node(link.a).presence.contains(&link.attach_a) {
+                errors.push(format!("link {i}: attach_a not in {}'s presence", link.a));
+            }
+            if !self.node(link.b).presence.contains(&link.attach_b) {
+                errors.push(format!("link {i}: attach_b not in {}'s presence", link.b));
+            }
+        }
+        // Adjacency agreement.
+        for node in &self.nodes {
+            for nb in self.customers(node.id) {
+                if self.relationship(node.id, nb.peer) != Some(Relationship::ProviderOf) {
+                    errors.push(format!("{}: customer list disagrees with links", node.id));
+                }
+            }
+            for nb in self.providers(node.id) {
+                if self.relationship(node.id, nb.peer) != Some(Relationship::CustomerOf) {
+                    errors.push(format!("{}: provider list disagrees with links", node.id));
+                }
+            }
+            for nb in self.peers(node.id) {
+                if self.relationship(node.id, nb.peer) != Some(Relationship::PeerWith) {
+                    errors.push(format!("{}: peer list disagrees with links", node.id));
+                }
+            }
+            if node.tier == AsTier::Stub && !self.customers(node.id).is_empty() {
+                errors.push(format!("{}: stub with customers", node.id));
+            }
+        }
+        // Acyclicity of the provider DAG (Kahn).
+        let mut indegree: Vec<usize> =
+            self.nodes.iter().map(|n| self.customers(n.id).len()).collect();
+        let mut stack: Vec<AsId> = self
+            .nodes
+            .iter()
+            .filter(|n| indegree[n.id.idx()] == 0)
+            .map(|n| n.id)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            for p in self.providers(id) {
+                indegree[p.peer.idx()] -= 1;
+                if indegree[p.peer.idx()] == 0 {
+                    stack.push(p.peer);
+                }
+            }
+        }
+        if visited != self.nodes.len() {
+            errors.push("provider/customer relation contains a cycle".into());
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 5-AS test graph:
+    ///
+    /// ```text
+    ///      t1a --peer-- t1b        (tier 1s)
+    ///       |            |
+    ///      acc          acc2       (access, customers of tier 1s)
+    ///       |
+    ///      stub                    (customer of acc)
+    /// ```
+    fn small_graph() -> (AsGraph, AsId, AsId, AsId, AsId, AsId) {
+        let mut g = AsGraph::new();
+        let ny = MetroId(0);
+        let t1a = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let t1b = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let acc = g.add_node(AsTier::Access, Region::NorthAmerica, vec![ny], 1.0);
+        let acc2 = g.add_node(AsTier::Access, Region::NorthAmerica, vec![ny], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(t1a, t1b, Relationship::PeerWith).unwrap();
+        g.add_link(t1a, acc, Relationship::ProviderOf).unwrap();
+        g.add_link(t1b, acc2, Relationship::ProviderOf).unwrap();
+        g.add_link(acc, stub, Relationship::ProviderOf).unwrap();
+        (g, t1a, t1b, acc, acc2, stub)
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent() {
+        let (g, t1a, t1b, acc, _acc2, stub) = small_graph();
+        assert_eq!(g.customers(t1a).len(), 1);
+        assert_eq!(g.providers(acc), &[Neighbor { link: LinkId(1), peer: t1a }]);
+        assert_eq!(g.peers(t1a).len(), 1);
+        assert_eq!(g.peers(t1b).len(), 1);
+        assert_eq!(g.providers(stub)[0].peer, acc);
+        assert_eq!(g.degree(acc), 2);
+    }
+
+    #[test]
+    fn relationship_is_perspective_dependent() {
+        let (g, t1a, _t1b, acc, acc2, _stub) = small_graph();
+        assert_eq!(g.relationship(t1a, acc), Some(Relationship::ProviderOf));
+        assert_eq!(g.relationship(acc, t1a), Some(Relationship::CustomerOf));
+        assert_eq!(g.relationship(acc, acc2), None);
+    }
+
+    #[test]
+    fn duplicate_links_are_rejected() {
+        let (mut g, t1a, t1b, ..) = small_graph();
+        assert!(g.add_link(t1a, t1b, Relationship::PeerWith).is_none());
+        assert!(g.add_link(t1b, t1a, Relationship::ProviderOf).is_none());
+        assert!(g.add_link(t1a, t1a, Relationship::PeerWith).is_none());
+    }
+
+    #[test]
+    fn valley_free_accepts_up_peer_down() {
+        let (g, t1a, t1b, acc, acc2, stub) = small_graph();
+        // stub -> acc -> t1a -> t1b -> acc2: up, up, peer, down.
+        assert!(g.is_valley_free(&[stub, acc, t1a, t1b, acc2]));
+        // Pure up path.
+        assert!(g.is_valley_free(&[stub, acc, t1a]));
+        // Pure down path.
+        assert!(g.is_valley_free(&[t1a, acc, stub]));
+    }
+
+    #[test]
+    fn valley_free_rejects_valleys() {
+        let (g, t1a, t1b, acc, _acc2, stub) = small_graph();
+        // Down then up: t1a -> acc -> stub is fine, but stub has no way
+        // back up that we could legally append. Construct the valley
+        // directly: t1a -> acc (down) then acc -> t1a would be up again.
+        assert!(!g.is_valley_free(&[t1b, t1a, acc, t1a]));
+        // Peer then up.
+        assert!(!g.is_valley_free(&[t1b, t1a, acc, stub, acc]));
+        // Non-adjacent hop.
+        assert!(!g.is_valley_free(&[stub, t1b]));
+    }
+
+    #[test]
+    fn attachments_resolve_in_both_directions() {
+        let (g, t1a, _t1b, acc, ..) = small_graph();
+        let (from_side, to_side) = g.attachments(t1a, acc);
+        let (rev_from, rev_to) = g.attachments(acc, t1a);
+        assert_eq!(from_side, rev_to);
+        assert_eq!(to_side, rev_from);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn attachments_panic_for_non_adjacent() {
+        let (g, _t1a, t1b, _acc, _acc2, stub) = small_graph();
+        g.attachments(stub, t1b);
+    }
+
+    #[test]
+    fn closest_presence_pair_picks_nearby_metros() {
+        let mut g = AsGraph::new();
+        // Metro 0 is New York; find London's index for a cross-ocean AS.
+        let london = painter_geo::metro::all_metro_ids()
+            .find(|&m| metro(m).name == "London")
+            .unwrap();
+        let tokyo = painter_geo::metro::all_metro_ids()
+            .find(|&m| metro(m).name == "Tokyo")
+            .unwrap();
+        let ny = MetroId(0);
+        let a = g.add_node(AsTier::Transit, Region::NorthAmerica, vec![ny, tokyo], 1.0);
+        let b = g.add_node(AsTier::Transit, Region::Europe, vec![london], 1.0);
+        let l = g.add_link(a, b, Relationship::PeerWith).unwrap();
+        // NY-London (~5570 km) beats Tokyo-London (~9560 km).
+        assert_eq!(g.link(l).attach_a, ny);
+        assert_eq!(g.link(l).attach_b, london);
+    }
+
+    #[test]
+    fn stubs_iterator_filters_by_tier() {
+        let (g, ..) = small_graph();
+        assert_eq!(g.stubs().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let net = crate::gen::generate(crate::gen::TopologyConfig::tiny(55));
+        let snapshot = net.graph.snapshot();
+        let json = serde_json::to_string(&snapshot).expect("serialize");
+        let parsed: GraphSnapshot = serde_json::from_str(&json).expect("parse");
+        let rebuilt = AsGraph::from_snapshot(parsed);
+        assert_eq!(rebuilt.len(), net.graph.len());
+        assert_eq!(rebuilt.links().len(), net.graph.links().len());
+        for (a, b) in rebuilt.nodes().iter().zip(net.graph.nodes()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.presence, b.presence);
+        }
+        assert!(rebuilt.validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "present somewhere")]
+    fn empty_presence_is_rejected() {
+        let mut g = AsGraph::new();
+        g.add_node(AsTier::Stub, Region::Europe, vec![], 1.0);
+    }
+}

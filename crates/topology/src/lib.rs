@@ -1,0 +1,37 @@
+//! AS-level Internet topology substrate for the PAINTER reproduction.
+//!
+//! PAINTER's evaluation runs against the real Internet: BGP advertisements
+//! from a global cloud propagate through thousands of neighbor ASes, and
+//! user groups (UGs) reach the cloud over policy-compliant AS paths. This
+//! crate builds the synthetic equivalent:
+//!
+//! * [`graph::AsGraph`] — an AS-level graph with Gao–Rexford business
+//!   relationships (customer/provider and settlement-free peering), metro
+//!   presence footprints for every AS, per-link interconnection metros, and
+//!   per-AS path-inflation factors.
+//! * [`gen`] — a seeded generator producing a hierarchical Internet:
+//!   global tier-1 transit, regional transit, access ISPs, and enterprise
+//!   stub networks, with a realistic multihoming distribution (most stubs
+//!   have 2–3 providers, matching §5.2.4 of the paper).
+//! * [`cone`] — customer-cone computation (the ProbLink-style relationship
+//!   inference the paper's orchestrator uses to find policy-compliant
+//!   ingresses).
+//! * [`deployment`] — the cloud side: PoPs placed at metros, and peerings
+//!   (transit providers and settlement-free peers) at those PoPs. A peering
+//!   is an *ingress* in the paper's vocabulary.
+//!
+//! The graph is the shared ground truth: `painter-bgp` propagates routes
+//! over it, `painter-measure` derives latencies from its geography, and
+//! `painter-core`'s orchestrator only ever sees the graph through
+//! measurements and cone inference — never directly — mirroring the
+//! information asymmetry that makes the paper's learning loop necessary.
+
+pub mod cone;
+pub mod deployment;
+pub mod gen;
+pub mod graph;
+
+pub use cone::CustomerCones;
+pub use deployment::{Deployment, DeploymentConfig, Peering, PeeringId, PeeringKind, Pop, PopId};
+pub use gen::{generate, Internet, TopologyConfig};
+pub use graph::{AsGraph, AsId, AsNode, AsTier, GraphSnapshot, Link, LinkId, Relationship};

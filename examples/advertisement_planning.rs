@@ -1,0 +1,79 @@
+//! Advertisement planning: compare PAINTER's allocator against the
+//! strategies a cloud would otherwise use, across prefix budgets.
+//!
+//! This is the Fig. 6a experiment as an interactive tool: it prints the
+//! benefit-per-budget table and the per-prefix allocation of the winning
+//! configuration, so an operator can see *which* peerings earn prefixes
+//! and where reuse happens.
+//!
+//! ```text
+//! cargo run --release --example advertisement_planning
+//! ```
+
+use painter::core::{
+    one_per_peering, one_per_pop, one_per_pop_with_reuse, ConfigEvaluator, Orchestrator,
+    OrchestratorConfig,
+};
+use painter::eval::helpers::{realized_benefit, world_direct};
+use painter::eval::{Scale, Scenario};
+use painter::geo::metro;
+
+fn main() {
+    let scenario = Scenario::azure_like(Scale::Test, 99);
+    let mut world = world_direct(&scenario);
+    println!(
+        "deployment: {} PoPs, {} ingresses\n",
+        scenario.deployment.pops().len(),
+        scenario.ingress_count()
+    );
+
+    // PAINTER's allocation at a 12-prefix budget.
+    let orch = Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: 12, ..Default::default() },
+    );
+    let painter_config = orch.compute_config();
+    let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
+
+    println!("benefit at a 12-prefix budget (modeled, % of possible):");
+    let pct = |c: &painter::bgp::AdvertConfig| eval.benefit_percent(c).estimated;
+    println!("  {:<22} {:>6.1}%", "PAINTER", pct(&painter_config));
+    println!(
+        "  {:<22} {:>6.1}%",
+        "One per Peering",
+        pct(&one_per_peering(&scenario.deployment, Some(&orch.inputs), 12))
+    );
+    println!(
+        "  {:<22} {:>6.1}%",
+        "One per PoP",
+        pct(&one_per_pop(&scenario.deployment, Some(&orch.inputs), 12))
+    );
+    println!(
+        "  {:<22} {:>6.1}%",
+        "One per PoP w/Reuse",
+        pct(&one_per_pop_with_reuse(&scenario.deployment, Some(&orch.inputs), 12, 3000.0))
+    );
+
+    println!("\nPAINTER's allocation ({} prefixes):", painter_config.prefix_count());
+    for (prefix, peerings) in painter_config.iter() {
+        let sites: Vec<String> = peerings
+            .iter()
+            .map(|&pe| {
+                let p = scenario.deployment.peering(pe);
+                format!(
+                    "{}@{}",
+                    p.neighbor,
+                    metro(scenario.deployment.pop(p.pop).metro).name
+                )
+            })
+            .collect();
+        println!("  {prefix} -> {}", sites.join(", "));
+    }
+
+    // Ground truth check: what would this actually deliver?
+    let realized = realized_benefit(&mut world.gt, &world.anycast, &painter_config);
+    println!(
+        "\nground truth: {:.1}% of possible benefit, {:.1} ms mean improvement, {} UGs improved",
+        realized.percent_of_possible, realized.mean_improvement_ms, realized.improved_ugs
+    );
+}

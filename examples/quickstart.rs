@@ -1,0 +1,86 @@
+//! Quickstart: build a synthetic Internet, deploy a cloud on it, run the
+//! Advertisement Orchestrator, and see how much latency PAINTER removes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use painter::bgp::PrefixId;
+use painter::core::{GroundTruthEnv, Orchestrator, OrchestratorConfig};
+use painter::eval::helpers::{realized_benefit, world_direct};
+use painter::eval::{Scale, Scenario};
+use painter::measure::UgId;
+
+fn main() {
+    // 1. A seeded world: AS-level Internet, cloud PoPs + peerings, user
+    //    groups. Same seed, same world — every run reproduces exactly.
+    let scenario = Scenario::peering_like(Scale::Test, 42);
+    println!(
+        "world: {} ASes, {} PoPs, {} peerings (ingresses), {} user groups",
+        scenario.net.graph.len(),
+        scenario.deployment.pops().len(),
+        scenario.ingress_count(),
+        scenario.ugs.len()
+    );
+
+    // 2. Derive the orchestrator's view: inferred policy-compliant
+    //    ingresses and measured latencies (here: direct measurements, as
+    //    in the paper's PEERING prototype).
+    let mut world = world_direct(&scenario);
+    println!(
+        "measurement view: {} UGs with candidates, total possible benefit {:.0} (weighted ms)",
+        world.inputs.ugs.len(),
+        world.inputs.total_possible_benefit()
+    );
+
+    // 3. Run Algorithm 1 with learning: advertise, observe where UGs
+    //    land, fold the surprises back into the routing model.
+    let mut orchestrator = Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig {
+            prefix_budget: 10,
+            d_reuse_km: 3000.0,
+            max_iterations: 3,
+            ..Default::default()
+        },
+    );
+    let ug_ids: Vec<UgId> = orchestrator.inputs.ugs.iter().map(|u| u.id).collect();
+    let report = {
+        let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+        orchestrator.run(&mut env)
+    };
+    for (i, iter) in report.iterations.iter().enumerate() {
+        println!(
+            "iteration {}: {} prefixes, {} pairs, measured benefit {:.0}, mean improvement \
+             {:.1} ms, learned {} preferences",
+            i + 1,
+            iter.config.prefix_count(),
+            iter.config.pair_count(),
+            iter.measured_benefit,
+            iter.measured_mean_improvement_ms,
+            iter.newly_learned
+        );
+    }
+
+    // 4. Evaluate the final configuration against ground truth and
+    //    against the classic alternatives.
+    let final_config = report.final_config;
+    let painter = realized_benefit(&mut world.gt, &world.anycast, &final_config);
+    let anycast_only = realized_benefit(
+        &mut world.gt,
+        &world.anycast,
+        &painter::bgp::AdvertConfig::anycast(&scenario.deployment, PrefixId(0)),
+    );
+    println!(
+        "\nPAINTER with {} prefixes: {:.1}% of possible benefit, mean improvement {:.1} ms \
+         across {} improved UGs",
+        final_config.prefix_count(),
+        painter.percent_of_possible,
+        painter.mean_improvement_ms,
+        painter.improved_ugs
+    );
+    println!(
+        "anycast alone: {:.1}% (by definition — anycast is the baseline)",
+        anycast_only.percent_of_possible
+    );
+}

@@ -1,0 +1,30 @@
+//! # PAINTER
+//!
+//! An open-source reproduction of *PAINTER: Ingress Traffic Engineering and
+//! Routing for Enterprise Cloud Networks* (SIGCOMM 2023).
+//!
+//! This umbrella crate re-exports every workspace crate under one roof so
+//! examples and integration tests can use a single dependency. See the
+//! individual crates for detailed documentation:
+//!
+//! * [`geo`] — coordinates, fiber latency, world metro database.
+//! * [`topology`] — AS-level Internet generator with Gao–Rexford policies.
+//! * [`bgp`] — static route solver and dynamic (event-driven) BGP engine.
+//! * [`eventsim`] — discrete-event simulation kernel.
+//! * [`net`] — packet-level network simulation, UDP tunnels, NAT.
+//! * [`dns`] — DNS resolver/client caches and trace analysis.
+//! * [`measure`] — vantage-point probes and latency estimation.
+//! * [`core`] — the Advertisement Orchestrator and baseline strategies.
+//! * [`tm`] — the Traffic Manager (TM-Edge / TM-PoP).
+//! * [`eval`] — per-figure experiment harnesses.
+
+pub use painter_bgp as bgp;
+pub use painter_core as core;
+pub use painter_dns as dns;
+pub use painter_eval as eval;
+pub use painter_eventsim as eventsim;
+pub use painter_geo as geo;
+pub use painter_measure as measure;
+pub use painter_net as net;
+pub use painter_tm as tm;
+pub use painter_topology as topology;

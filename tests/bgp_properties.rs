@@ -1,0 +1,162 @@
+//! Property-based tests of the BGP substrate's routing invariants.
+
+use painter::bgp::solve::solve;
+use painter::eval::{Scale, Scenario};
+use painter::topology::PeeringId;
+use proptest::prelude::*;
+
+fn scenario() -> Scenario {
+    Scenario::peering_like(Scale::Test, 2001)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every selected path is valley-free, for any advertised subset.
+    #[test]
+    fn selected_paths_are_valley_free(seed_mask in 1u64..(1 << 20)) {
+        let s = scenario();
+        let origins: Vec<PeeringId> = s
+            .deployment
+            .peerings()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| seed_mask & (1 << (i % 20)) != 0)
+            .map(|(_, p)| p.id)
+            .collect();
+        let table = solve(&s.net.graph, &s.deployment, &origins, 99);
+        for stub in s.net.graph.stubs() {
+            if let Some(path) = table.as_path(stub.id) {
+                prop_assert!(s.net.graph.is_valley_free(&path), "{path:?}");
+            }
+        }
+    }
+
+    /// Adding origins never removes reachability (route availability is
+    /// monotone in the advertised set).
+    #[test]
+    fn reachability_is_monotone_in_origins(split in 1usize..20) {
+        let s = scenario();
+        let all: Vec<PeeringId> = s.deployment.peerings().iter().map(|p| p.id).collect();
+        let subset: Vec<PeeringId> =
+            all.iter().copied().filter(|p| (p.0 as usize) % 20 < split).collect();
+        prop_assume!(!subset.is_empty());
+        let small = solve(&s.net.graph, &s.deployment, &subset, 99);
+        let big = solve(&s.net.graph, &s.deployment, &all, 99);
+        for node in s.net.graph.nodes() {
+            if small.has_route(node.id) {
+                prop_assert!(big.has_route(node.id), "{} lost its route", node.id);
+            }
+        }
+    }
+
+    /// Path lengths never exceed the AS count, and every hop is adjacent.
+    #[test]
+    fn paths_are_well_formed(peering_idx in 0usize..37) {
+        let s = scenario();
+        prop_assume!(peering_idx < s.deployment.peerings().len());
+        let origin = s.deployment.peerings()[peering_idx].id;
+        let table = solve(&s.net.graph, &s.deployment, &[origin], 99);
+        for node in s.net.graph.nodes() {
+            if let Some(path) = table.as_path(node.id) {
+                prop_assert!(path.len() <= s.net.graph.len());
+                for w in path.windows(2) {
+                    prop_assert!(
+                        s.net.graph.relationship(w[0], w[1]).is_some(),
+                        "non-adjacent hop {:?}",
+                        w
+                    );
+                }
+                // Path ends at the origin's neighbor.
+                prop_assert_eq!(
+                    *path.last().unwrap(),
+                    s.deployment.peering(origin).neighbor
+                );
+            }
+        }
+    }
+
+    /// Selection is deterministic: same origins, same salt, same routes.
+    #[test]
+    fn solve_is_deterministic(mask in 1u64..(1 << 16)) {
+        let s = scenario();
+        let origins: Vec<PeeringId> = s
+            .deployment
+            .peerings()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 16)) != 0)
+            .map(|(_, p)| p.id)
+            .collect();
+        let a = solve(&s.net.graph, &s.deployment, &origins, 42);
+        let b = solve(&s.net.graph, &s.deployment, &origins, 42);
+        for node in s.net.graph.nodes() {
+            prop_assert_eq!(a.as_path(node.id), b.as_path(node.id));
+        }
+    }
+}
+
+/// Path-length sanity (not a proptest: exact check on the full set).
+#[test]
+fn route_class_ordering_holds() {
+    use painter::bgp::solve::RouteClass;
+    // Customer > Peer > Provider as an Ord relation (the solver and the
+    // dynamic engine both depend on this order).
+    assert!(RouteClass::Customer > RouteClass::Peer);
+    assert!(RouteClass::Peer > RouteClass::Provider);
+}
+
+mod prepending {
+    use painter::bgp::solve::{solve, solve_prepended};
+    use painter::eval::{Scale, Scenario};
+    use painter::topology::PeeringId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Prepending never changes *reachability* — only selection. Any
+        /// prepend vector leaves the set of routed ASes identical to the
+        /// unprepended advertisement.
+        #[test]
+        fn prepending_preserves_reachability(prepends in proptest::collection::vec(0u32..6, 8)) {
+            let s = Scenario::peering_like(Scale::Test, 2002);
+            let origins: Vec<PeeringId> =
+                s.deployment.peerings().iter().take(8).map(|p| p.id).collect();
+            prop_assume!(origins.len() == 8);
+            let plain = solve(&s.net.graph, &s.deployment, &origins, 7);
+            let weighted: Vec<(PeeringId, u32)> =
+                origins.iter().copied().zip(prepends).collect();
+            let prepended = solve_prepended(&s.net.graph, &s.deployment, &weighted, 7);
+            for node in s.net.graph.nodes() {
+                prop_assert_eq!(
+                    plain.has_route(node.id),
+                    prepended.has_route(node.id),
+                    "{} reachability changed by prepending",
+                    node.id
+                );
+            }
+        }
+
+        /// Prepended paths are still valley-free.
+        #[test]
+        fn prepended_paths_stay_valley_free(prepends in proptest::collection::vec(0u32..6, 8)) {
+            let s = Scenario::peering_like(Scale::Test, 2003);
+            let origins: Vec<(PeeringId, u32)> = s
+                .deployment
+                .peerings()
+                .iter()
+                .take(8)
+                .map(|p| p.id)
+                .zip(prepends)
+                .collect();
+            prop_assume!(origins.len() == 8);
+            let table = solve_prepended(&s.net.graph, &s.deployment, &origins, 7);
+            for stub in s.net.graph.stubs() {
+                if let Some(path) = table.as_path(stub.id) {
+                    prop_assert!(s.net.graph.is_valley_free(&path));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the Traffic Manager datapath (packets, NAT,
+//! tunnels) — the invariants a downstream user would rely on.
+
+use bytes::Bytes;
+use painter::net::{decapsulate, encapsulate, FiveTuple, NatTable, Packet, PacketHeader};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = PacketHeader> {
+    (any::<u32>(), any::<u32>(), any::<u8>(), any::<u16>(), any::<u16>()).prop_map(
+        |(src, dst, protocol, src_port, dst_port)| PacketHeader {
+            src,
+            dst,
+            protocol,
+            src_port,
+            dst_port,
+        },
+    )
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (arb_header(), proptest::collection::vec(any::<u8>(), 0..256))
+        .prop_map(|(h, payload)| Packet::new(h, Bytes::from(payload)))
+}
+
+proptest! {
+    /// encode/decode is the identity on arbitrary packets.
+    #[test]
+    fn packet_codec_round_trips(p in arb_packet()) {
+        let decoded = Packet::decode(p.encode()).expect("well-formed");
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Tunneling round-trips arbitrary inner packets, and the outer
+    /// packet addresses match the tunnel endpoints.
+    #[test]
+    fn tunnel_round_trips(p in arb_packet(), src in any::<u32>(), dst in any::<u32>()) {
+        let outer = encapsulate(src, dst, &p);
+        prop_assert_eq!(outer.header.src, src);
+        prop_assert_eq!(outer.header.dst, dst);
+        let inner = decapsulate(&outer).expect("tunnel packet");
+        prop_assert_eq!(inner, p);
+    }
+
+    /// Truncating the wire bytes never panics and never yields a packet
+    /// that re-encodes longer than the input.
+    #[test]
+    fn decode_handles_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let input_len = bytes.len();
+        if let Some(p) = Packet::decode(Bytes::from(bytes)) {
+            prop_assert!(p.wire_len() <= input_len);
+        }
+    }
+
+    /// NAT: bind then lookup restores the original client identity, for
+    /// arbitrary flows; rebinding the same flow is stable.
+    #[test]
+    fn nat_preserves_client_identity(
+        flows in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u16>()), 1..50),
+        edge in any::<u32>(),
+    ) {
+        let mut nat = NatTable::new(vec![0x6440_0001, 0x6440_0002]);
+        for (protocol, src, src_port) in flows {
+            let flow = FiveTuple { protocol, src, dst: 0x0808_0808, src_port, dst_port: 443 };
+            let b1 = nat.bind(flow, edge).expect("capacity");
+            let b2 = nat.bind(flow, edge).expect("rebind");
+            prop_assert_eq!(b1, b2);
+            let found = nat.lookup(b1.pop_addr, b1.pop_port).expect("bound");
+            prop_assert_eq!(found.client_addr, src);
+            prop_assert_eq!(found.client_port, src_port);
+            prop_assert_eq!(found.edge_addr, edge);
+        }
+    }
+
+    /// Distinct flows never share a translation.
+    #[test]
+    fn nat_translations_are_unique(ports in proptest::collection::hash_set(any::<u16>(), 2..40)) {
+        let mut nat = NatTable::new(vec![7]);
+        let mut seen = std::collections::HashSet::new();
+        for port in ports {
+            let flow = FiveTuple { protocol: 6, src: 1, dst: 2, src_port: port, dst_port: 443 };
+            let b = nat.bind(flow, 9).expect("capacity");
+            prop_assert!(seen.insert((b.pop_addr, b.pop_port)), "translation reused");
+        }
+    }
+
+    /// Five-tuple reversal is an involution and changes the stable hash.
+    #[test]
+    fn five_tuple_reversal(h in arb_header()) {
+        let t = FiveTuple::of(&h);
+        prop_assert_eq!(t.reversed().reversed(), t);
+        if t != t.reversed() {
+            prop_assert_ne!(t.stable_hash(), t.reversed().stable_hash());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Whole-pipeline determinism: a fixed seed must reproduce every figure
+//! bit-for-bit (the repository's reproducibility guarantee).
+
+use painter::eval::figs::run;
+use painter::eval::Scale;
+
+fn rendered(id: &str) -> String {
+    run(id, Scale::Test).expect("known id").render()
+}
+
+#[test]
+fn fig3_is_deterministic() {
+    assert_eq!(rendered("fig3"), rendered("fig3"));
+}
+
+#[test]
+fn fig10_is_deterministic() {
+    assert_eq!(rendered("fig10"), rendered("fig10"));
+}
+
+#[test]
+fn fig11a_is_deterministic() {
+    assert_eq!(rendered("fig11a"), rendered("fig11a"));
+}
+
+#[test]
+fn fig12_is_deterministic() {
+    assert_eq!(rendered("fig12"), rendered("fig12"));
+}
+
+/// The orchestrator pipeline (greedy + learning) is deterministic too.
+#[test]
+fn orchestrator_pipeline_is_deterministic() {
+    use painter::core::{GroundTruthEnv, Orchestrator, OrchestratorConfig};
+    use painter::eval::helpers::world_direct;
+    use painter::eval::Scenario;
+    use painter::measure::UgId;
+
+    let run_once = || {
+        let s = Scenario::peering_like(Scale::Test, 3001);
+        let mut world = world_direct(&s);
+        let mut orch = Orchestrator::new(
+            world.inputs.clone(),
+            OrchestratorConfig { prefix_budget: 6, max_iterations: 2, ..Default::default() },
+        );
+        let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+        let report = {
+            let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+            orch.run(&mut env)
+        };
+        (
+            format!("{:?}", report.final_config),
+            report
+                .iterations
+                .iter()
+                .map(|i| i.measured_benefit.to_bits())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}

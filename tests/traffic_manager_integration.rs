@@ -1,0 +1,101 @@
+//! Cross-module Traffic Manager integration: the threaded service, the
+//! multipath scheduler, and the packet datapath working together.
+
+use painter::bgp::PrefixId;
+use painter::net::{encapsulate, FiveTuple, PROTO_TCP};
+use painter::tm::{
+    pop::client_packet, EdgeConfig, EdgeService, MultipathScheduler, TmEdge, TmPop,
+};
+use painter::topology::PopId;
+use std::time::Duration;
+
+#[test]
+fn service_feeds_multipath_scheduler() {
+    // The prober keeps sRTTs fresh; a multipath scheduler reading the
+    // same edge splits traffic proportionally to what the prober
+    // measured.
+    let mut edge = TmEdge::new(1, EdgeConfig::default());
+    edge.add_tunnel(PrefixId(0), 100, 50.0);
+    edge.add_tunnel(PrefixId(1), 200, 50.0);
+    let service = EdgeService::start(
+        edge,
+        |dst: u32| {
+            Some(if dst == 100 {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(30)
+            })
+        },
+        Duration::from_millis(5),
+    );
+    // Let several probe rounds land.
+    for _ in 0..12 {
+        service
+            .events()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("prober events");
+    }
+    let edge = service.shutdown();
+    // sRTTs converged toward 10 vs 30 ms.
+    assert!(edge.tunnels()[0].srtt_ms < 15.0);
+    assert!(edge.tunnels()[1].srtt_ms > 20.0);
+    // The scheduler now splits roughly 3:1.
+    let mut sched = MultipathScheduler::new();
+    let mut counts = [0usize; 2];
+    for _ in 0..2000 {
+        counts[sched.next(&edge).expect("live tunnels").0] += 1;
+    }
+    let ratio = counts[0] as f64 / counts[1] as f64;
+    assert!(ratio > 2.0 && ratio < 4.5, "split {counts:?}");
+}
+
+#[test]
+fn full_datapath_preserves_payload_through_pinned_flow() {
+    // Edge maps a flow; its packets take the tunnel datapath through the
+    // PoP NAT and come back byte-identical, on the same tunnel every
+    // time.
+    let mut edge = TmEdge::new(0xC0A8_0001, EdgeConfig::default());
+    let t = edge.add_tunnel(PrefixId(3), 0x6440_0301, 25.0);
+    edge.select();
+    let mut pop = TmPop::new(PopId(3), 0x6440_0301, vec![0x6440_0302]);
+
+    let flow = FiveTuple {
+        protocol: PROTO_TCP,
+        src: 0xC0A8_0001,
+        dst: 0x0808_0808,
+        src_port: 40000,
+        dst_port: 443,
+    };
+    for _ in 0..5 {
+        let mapped = edge.map_flow(flow).expect("tunnel available");
+        assert_eq!(mapped, t, "pinning must hold across packets");
+        let inner = client_packet(flow.src, flow.src_port, flow.dst, b"payload-bytes");
+        let outer = encapsulate(edge.addr, edge.tunnel(mapped).dst_addr, &inner);
+        let back = pop.echo_roundtrip(&outer).expect("datapath round trip");
+        let restored = painter::net::decapsulate(&back).expect("tunnel framing");
+        assert_eq!(&restored.payload[..], b"payload-bytes");
+        assert_eq!(restored.header.dst, flow.src);
+        assert_eq!(restored.header.dst_port, flow.src_port);
+    }
+    // One flow, one NAT binding — pinning kept state stable.
+    assert_eq!(pop.nat_bindings(), 1);
+}
+
+#[test]
+fn multipath_survives_mid_stream_tunnel_death() {
+    let mut edge = TmEdge::new(1, EdgeConfig::default());
+    let a = edge.add_tunnel(PrefixId(0), 100, 10.0);
+    let b = edge.add_tunnel(PrefixId(1), 200, 20.0);
+    let mut sched = MultipathScheduler::new();
+    let mut used_before = std::collections::HashSet::new();
+    for _ in 0..50 {
+        used_before.insert(sched.next(&edge).expect("live"));
+    }
+    assert_eq!(used_before.len(), 2);
+    // Kill the fast tunnel mid-stream.
+    let (seq, deadline) = edge.on_send(a, painter::eventsim::SimTime::ZERO);
+    assert!(edge.on_timeout(a, seq, deadline));
+    for _ in 0..50 {
+        assert_eq!(sched.next(&edge), Some(b), "all load must shift to the survivor");
+    }
+}
