@@ -56,11 +56,7 @@ fn bench_d_reuse(c: &mut Criterion) {
             b.iter(|| {
                 let orch = Orchestrator::new(
                     world.inputs.clone(),
-                    OrchestratorConfig {
-                        prefix_budget: 12,
-                        d_reuse_km: d,
-                        ..Default::default()
-                    },
+                    OrchestratorConfig { prefix_budget: 12, d_reuse_km: d, ..Default::default() },
                 );
                 let config = orch.compute_config();
                 config.pair_count()
@@ -74,21 +70,15 @@ fn bench_flow_pinning(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/flow-pinning");
     group.bench_function("pinned-flow-repeat-packets", |b| {
         let mut nat = NatTable::new(vec![1]);
-        let flow =
-            FiveTuple { protocol: PROTO_TCP, src: 9, dst: 10, src_port: 1, dst_port: 443 };
+        let flow = FiveTuple { protocol: PROTO_TCP, src: 9, dst: 10, src_port: 1, dst_port: 443 };
         b.iter(|| nat.bind(flow, 5).expect("capacity"))
     });
     group.bench_function("unpinned-fresh-binding-per-packet", |b| {
         let mut nat = NatTable::new(vec![1]);
         let mut port = 1u16;
         b.iter(|| {
-            let flow = FiveTuple {
-                protocol: PROTO_TCP,
-                src: 9,
-                dst: 10,
-                src_port: port,
-                dst_port: 443,
-            };
+            let flow =
+                FiveTuple { protocol: PROTO_TCP, src: 9, dst: 10, src_port: port, dst_port: 443 };
             port = port.wrapping_add(1).max(1);
             let binding = nat.bind(flow, 5).expect("capacity");
             nat.unbind(&flow);

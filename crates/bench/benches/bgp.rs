@@ -17,7 +17,10 @@ fn substrate(stubs: usize, seed: u64) -> (painter_topology::Internet, Deployment
         num_stubs: stubs,
         ..Default::default()
     });
-    let dep = Deployment::generate(&net.graph, &DeploymentConfig { seed, num_pops: 16, ..Default::default() });
+    let dep = Deployment::generate(
+        &net.graph,
+        &DeploymentConfig { seed, num_pops: 16, ..Default::default() },
+    );
     (net, dep)
 }
 

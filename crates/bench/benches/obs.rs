@@ -1,0 +1,78 @@
+//! Telemetry overhead benchmarks.
+//!
+//! Run twice and compare:
+//!
+//! ```text
+//! cargo bench -p painter-bench --bench obs
+//! cargo bench -p painter-bench --bench obs --features obs-off
+//! ```
+//!
+//! `obs/primitives` measures the raw metric operations (atomic adds and
+//! CAS loops live, empty inline bodies under `obs-off` — the `obs-off`
+//! numbers should be indistinguishable from an empty loop). The two
+//! hot-path groups re-run the instrumented TM packet loop and greedy
+//! inner loop; the acceptance criterion is that their `obs-off` timings
+//! show no measurable regression vs the pre-instrumentation baseline.
+
+use criterion::{black_box, criterion_group, Criterion};
+use painter_bgp::PrefixId;
+use painter_core::{Orchestrator, OrchestratorConfig};
+use painter_eval::helpers::world_direct;
+use painter_eval::Scenario;
+use painter_eventsim::SimTime;
+use painter_obs::{obs_count, Registry, Span};
+use painter_tm::{TmSimulation, TmSimulationConfig};
+use painter_topology::PopId;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/primitives");
+    let reg = Registry::new();
+    let counter = reg.counter("bench.ops_total");
+    let hist = reg.histogram("bench.val_ms");
+    group.bench_function("counter-inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram-record", |b| b.iter(|| hist.record(black_box(3.7))));
+    group
+        .bench_function("macro-count-by-name", |b| b.iter(|| obs_count!(reg, "bench.named_total")));
+    group.bench_function("span-enter-drop", |b| b.iter(|| Span::enter(&reg, "bench.span_ms")));
+    group.finish();
+}
+
+fn bench_tm_packet_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/tm-packet-loop");
+    group.sample_size(10);
+    group.bench_function("two-path-2s", |b| {
+        b.iter(|| {
+            let mut sim = TmSimulation::new(TmSimulationConfig { seed: 9, ..Default::default() });
+            sim.add_path(PrefixId(0), PopId(0), 20.0);
+            sim.add_path(PrefixId(1), PopId(1), 50.0);
+            sim.run(SimTime::from_secs(2.0));
+            sim.records().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_greedy_inner_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/greedy-inner-loop");
+    group.sample_size(10);
+    let s = Scenario::azure_like(painter_eval::Scale::Test, 77);
+    let world = world_direct(&s);
+    group.bench_function("compute-config", |b| {
+        b.iter(|| {
+            let orch = Orchestrator::new(
+                world.inputs.clone(),
+                OrchestratorConfig { prefix_budget: 8, ..Default::default() },
+            );
+            orch.compute_config()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_tm_packet_loop, bench_greedy_inner_loop);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+    painter_bench::emit_run_report("bench-obs");
+}

@@ -6,10 +6,8 @@
 //! benches measure our allocator along both axes, plus the benefit
 //! evaluator and the learning step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use painter_core::{
-    ConfigEvaluator, GroundTruthEnv, Orchestrator, OrchestratorConfig,
-};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use painter_core::{ConfigEvaluator, GroundTruthEnv, Orchestrator, OrchestratorConfig};
 use painter_eval::helpers::world_direct;
 use painter_eval::Scenario;
 use painter_measure::UgId;
@@ -52,19 +50,15 @@ fn bench_greedy_scaling(c: &mut Criterion) {
         let s = scenario_sized(200, pops, 302);
         let world = world_direct(&s);
         let label = s.ingress_count();
-        group.bench_with_input(
-            BenchmarkId::new("ingresses", label),
-            &world.inputs,
-            |b, inputs| {
-                b.iter(|| {
-                    let orch = Orchestrator::new(
-                        inputs.clone(),
-                        OrchestratorConfig { prefix_budget: 8, ..Default::default() },
-                    );
-                    orch.compute_config()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ingresses", label), &world.inputs, |b, inputs| {
+            b.iter(|| {
+                let orch = Orchestrator::new(
+                    inputs.clone(),
+                    OrchestratorConfig { prefix_budget: 8, ..Default::default() },
+                );
+                orch.compute_config()
+            })
+        });
     }
     group.finish();
 }
@@ -76,11 +70,7 @@ fn bench_learning_iteration(c: &mut Criterion) {
             let mut world = world_direct(&s);
             let mut orch = Orchestrator::new(
                 world.inputs.clone(),
-                OrchestratorConfig {
-                    prefix_budget: 6,
-                    max_iterations: 1,
-                    ..Default::default()
-                },
+                OrchestratorConfig { prefix_budget: 6, max_iterations: 1, ..Default::default() },
             );
             let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
             let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
@@ -103,10 +93,12 @@ fn bench_benefit_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_greedy_scaling,
-    bench_learning_iteration,
-    bench_benefit_evaluation
-);
-criterion_main!(benches);
+criterion_group!(benches, bench_greedy_scaling, bench_learning_iteration, bench_benefit_evaluation);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+    // Set PAINTER_OBS_REPORT=<path>.json for a machine-readable telemetry
+    // report of a reference orchestrator + TM run.
+    painter_bench::emit_run_report("bench-orchestrator");
+}

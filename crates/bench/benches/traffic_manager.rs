@@ -3,7 +3,7 @@
 //! end-to-end failover simulation.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use painter_bgp::PrefixId;
 use painter_eventsim::SimTime;
 use painter_net::{encapsulate, FiveTuple, NatTable, Packet, PacketHeader, PROTO_TCP};
@@ -28,13 +28,8 @@ fn bench_datapath(c: &mut Criterion) {
         let mut nat = NatTable::new(vec![1, 2]);
         let mut port = 1u16;
         b.iter(|| {
-            let flow = FiveTuple {
-                protocol: PROTO_TCP,
-                src: 9,
-                dst: 10,
-                src_port: port,
-                dst_port: 443,
-            };
+            let flow =
+                FiveTuple { protocol: PROTO_TCP, src: 9, dst: 10, src_port: port, dst_port: 443 };
             port = port.wrapping_add(1).max(1);
             let binding = nat.bind(flow, 5).expect("capacity");
             let got = nat.lookup(binding.pop_addr, binding.pop_port).expect("bound");
@@ -57,8 +52,7 @@ fn bench_failover_sim(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("two-path-failover-3s", |b| {
         b.iter(|| {
-            let mut sim =
-                TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
+            let mut sim = TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
             let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
             let _t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
             sim.schedule_path_down(SimTime::from_secs(1.0), t0);
@@ -70,4 +64,11 @@ fn bench_failover_sim(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_datapath, bench_failover_sim);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+    // Set PAINTER_OBS_REPORT=<path>.json for a machine-readable telemetry
+    // report of a reference orchestrator + TM run.
+    painter_bench::emit_run_report("bench-traffic-manager");
+}

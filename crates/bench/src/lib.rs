@@ -9,7 +9,83 @@
 
 use painter_bgp::{AdvertConfig, PrefixId};
 use painter_core::{ConfigEvaluator, OrchestratorInputs, RoutingModel};
+use painter_obs::{RunReport, Section};
 use painter_topology::PeeringId;
+
+/// Destination for a machine-readable bench run report, taken from the
+/// `PAINTER_OBS_REPORT` environment variable (criterion owns the command
+/// line, so a flag is not an option here).
+pub fn obs_report_path() -> Option<String> {
+    std::env::var("PAINTER_OBS_REPORT").ok().filter(|p| !p.is_empty())
+}
+
+/// Runs an instrumented reference workload — a full orchestrator
+/// advertise→measure→learn loop plus a TM failover simulation, sharing
+/// one registry — and packages the result as a [`RunReport`].
+///
+/// This is what makes bench trajectories machine-readable: the same
+/// binary that measures wall time can emit greedy iteration counts,
+/// probe RTT quantiles, and time-to-failover percentiles as JSON.
+pub fn telemetry_run_report(name: &str) -> RunReport {
+    use painter_core::{GroundTruthEnv, Orchestrator, OrchestratorConfig};
+    use painter_eval::helpers::world_direct;
+    use painter_eval::{Scale, Scenario};
+    use painter_eventsim::SimTime;
+    use painter_measure::UgId;
+    use painter_tm::{TmSimulation, TmSimulationConfig};
+    use painter_topology::PopId;
+
+    let obs = painter_obs::Registry::new();
+
+    let s = Scenario::azure_like(Scale::Test, 42);
+    let mut world = world_direct(&s);
+    let mut orch = Orchestrator::with_obs(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: 6, max_iterations: 3, ..Default::default() },
+        obs.clone(),
+    );
+    let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+    let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+    let orch_report = orch.run(&mut env);
+
+    let mut sim =
+        TmSimulation::with_obs(TmSimulationConfig { seed: 7, ..Default::default() }, obs.clone());
+    let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+    let _t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+    sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+    sim.run(SimTime::from_secs(3.0));
+
+    let mut report = RunReport::new(name);
+    report.push_section(
+        Section::new("orchestrator")
+            .field("iterations", orch_report.iterations.len())
+            .field("final_prefixes", orch_report.final_config.prefix_count())
+            .field("final_pairs", orch_report.final_config.pair_count())
+            .field(
+                "measured_benefit",
+                orch_report.iterations.last().map(|i| i.measured_benefit).unwrap_or(0.0),
+            ),
+    );
+    report.push_section(
+        Section::new("traffic_manager")
+            .field("requests", sim.records().len())
+            .field("switches", sim.switch_log().len()),
+    );
+    report.add_snapshot(obs.snapshot());
+    report
+}
+
+/// Writes [`telemetry_run_report`] as JSON if `PAINTER_OBS_REPORT` names
+/// a path; silent no-op otherwise. Bench mains call this after criterion
+/// finishes.
+pub fn emit_run_report(name: &str) {
+    let Some(path) = obs_report_path() else { return };
+    let report = telemetry_run_report(name);
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => eprintln!("wrote obs report: {path}"),
+        Err(e) => eprintln!("failed to write obs report to {path}: {e}"),
+    }
+}
 
 /// Exhaustive best advertisement configuration: tries every assignment of
 /// `peerings` into at most `budget` prefixes (set partitions with empty
@@ -83,10 +159,7 @@ mod tests {
         let greedy_config = orch.compute_config();
         let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
         let greedy = eval.benefit(&greedy_config);
-        assert!(
-            greedy >= optimal * 0.9,
-            "greedy {greedy} too far from optimal {optimal}"
-        );
+        assert!(greedy >= optimal * 0.9, "greedy {greedy} too far from optimal {optimal}");
     }
 
     #[test]

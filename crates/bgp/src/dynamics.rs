@@ -61,12 +61,26 @@ enum Update {
 #[derive(Debug, Clone)]
 enum Event {
     /// Delivery of an update to an AS.
-    Deliver { to: AsId, from: Source, prefix: PrefixId, update: Update },
+    Deliver {
+        to: AsId,
+        from: Source,
+        prefix: PrefixId,
+        update: Update,
+    },
     /// MRAI timer expiry for (sender, neighbor).
-    Mrai { from: AsId, to: AsId },
+    Mrai {
+        from: AsId,
+        to: AsId,
+    },
     /// The cloud (de)activates a peering session for a prefix.
-    CloudAnnounce { peering: PeeringId, prefix: PrefixId },
-    CloudWithdraw { peering: PeeringId, prefix: PrefixId },
+    CloudAnnounce {
+        peering: PeeringId,
+        prefix: PrefixId,
+    },
+    CloudWithdraw {
+        peering: PeeringId,
+        prefix: PrefixId,
+    },
 }
 
 /// Timing knobs for the engine.
@@ -188,10 +202,7 @@ impl<'a> BgpEngine<'a> {
 
     /// Number of updates for `prefix` delivered in `[from, to)`.
     pub fn updates_in_window(&self, prefix: PrefixId, from: SimTime, to: SimTime) -> usize {
-        self.churn
-            .iter()
-            .filter(|r| r.prefix == prefix && r.time >= from && r.time < to)
-            .count()
+        self.churn.iter().filter(|r| r.prefix == prefix && r.time >= from && r.time < to).count()
     }
 
     /// The current *data-plane* path from `src` for `prefix`: follows each
@@ -343,7 +354,12 @@ impl<'a> BgpEngine<'a> {
                 };
                 let hash = crate::solve::tiebreak(who, from_as, self.salt);
                 (
-                    (class, std::cmp::Reverse(len), std::cmp::Reverse(hash), std::cmp::Reverse(*source)),
+                    (
+                        class,
+                        std::cmp::Reverse(len),
+                        std::cmp::Reverse(hash),
+                        std::cmp::Reverse(*source),
+                    ),
                     *source,
                 )
             })
@@ -401,7 +417,8 @@ impl<'a> BgpEngine<'a> {
             } else {
                 self.states[who.idx()].pending.entry(n).or_default().insert(prefix);
                 if self.states[who.idx()].mrai_scheduled.insert(n) {
-                    self.queue.push(until.expect("checked above"), Event::Mrai { from: who, to: n });
+                    self.queue
+                        .push(until.expect("checked above"), Event::Mrai { from: who, to: n });
                 }
             }
         }
@@ -549,22 +566,16 @@ mod tests {
     fn withdrawal_of_one_origin_fails_over_to_another() {
         // Two transit-provider peerings at different PoPs; withdrawing one
         // must leave the prefix reachable through the other.
-        let ny = painter_geo::metro::all_metro_ids()
-            .find(|&m| metro(m).name == "New York")
-            .unwrap();
-        let lon = painter_geo::metro::all_metro_ids()
-            .find(|&m| metro(m).name == "London")
-            .unwrap();
+        let ny =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "New York").unwrap();
+        let lon = painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "London").unwrap();
         let mut g = AsGraph::new();
         let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny, lon], 1.0);
         let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
         g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
         let dep = Deployment::for_tests(
             vec![ny, lon],
-            vec![
-                (0, t1, PeeringKind::TransitProvider),
-                (1, t1, PeeringKind::TransitProvider),
-            ],
+            vec![(0, t1, PeeringKind::TransitProvider), (1, t1, PeeringKind::TransitProvider)],
         );
         let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
         let prefix = PrefixId(0);
@@ -589,21 +600,15 @@ mod tests {
             engine.announce(SimTime::ZERO, prefix, p);
         }
         engine.run_until(SimTime::from_secs(300.0));
-        let quiet = engine.updates_in_window(
-            prefix,
-            SimTime::from_secs(250.0),
-            SimTime::from_secs(300.0),
-        );
+        let quiet =
+            engine.updates_in_window(prefix, SimTime::from_secs(250.0), SimTime::from_secs(300.0));
         // Withdraw half the sessions.
         for &p in all.iter().take(all.len() / 2) {
             engine.withdraw(SimTime::from_secs(300.0), prefix, p);
         }
         engine.run_until(SimTime::from_secs(350.0));
-        let busy = engine.updates_in_window(
-            prefix,
-            SimTime::from_secs(300.0),
-            SimTime::from_secs(350.0),
-        );
+        let busy =
+            engine.updates_in_window(prefix, SimTime::from_secs(300.0), SimTime::from_secs(350.0));
         assert!(busy > quiet, "busy={busy} quiet={quiet}");
     }
 
@@ -618,7 +623,10 @@ mod tests {
                 engine.announce(SimTime::ZERO, prefix, p);
             }
             engine.run_until(SimTime::from_secs(120.0));
-            (engine.churn().len(), engine.current_path(net.graph.stubs().next().unwrap().id, prefix))
+            (
+                engine.churn().len(),
+                engine.current_path(net.graph.stubs().next().unwrap().id, prefix),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -687,20 +695,14 @@ mod tests {
             engine.announce(SimTime::ZERO, PrefixId(1), p);
         }
         engine.run_until(SimTime::from_secs(200.0));
-        let before: Vec<_> = net
-            .graph
-            .stubs()
-            .map(|s| engine.current_path(s.id, PrefixId(1)))
-            .collect();
+        let before: Vec<_> =
+            net.graph.stubs().map(|s| engine.current_path(s.id, PrefixId(1))).collect();
         for &p in &all {
             engine.withdraw(SimTime::from_secs(200.0), PrefixId(0), p);
         }
         engine.run_until(SimTime::from_secs(500.0));
-        let after: Vec<_> = net
-            .graph
-            .stubs()
-            .map(|s| engine.current_path(s.id, PrefixId(1)))
-            .collect();
+        let after: Vec<_> =
+            net.graph.stubs().map(|s| engine.current_path(s.id, PrefixId(1))).collect();
         assert_eq!(before, after, "prefix 1 perturbed by prefix 0's withdrawal");
         for stub in net.graph.stubs() {
             assert!(engine.current_path(stub.id, PrefixId(0)).is_none());
@@ -709,15 +711,13 @@ mod tests {
 
     #[test]
     fn current_rtt_tracks_path_geography() {
-        let ny = painter_geo::metro::all_metro_ids()
-            .find(|&m| metro(m).name == "New York")
-            .unwrap();
+        let ny =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "New York").unwrap();
         let mut g = AsGraph::new();
         let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
         let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
         g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
-        let dep =
-            Deployment::for_tests(vec![ny], vec![(0, t1, PeeringKind::TransitProvider)]);
+        let dep = Deployment::for_tests(vec![ny], vec![(0, t1, PeeringKind::TransitProvider)]);
         let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
         engine.announce(SimTime::ZERO, PrefixId(0), PeeringId(0));
         engine.run_until(SimTime::from_secs(60.0));

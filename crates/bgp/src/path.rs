@@ -224,10 +224,7 @@ mod tests {
         g.add_link(haul, stub, Relationship::ProviderOf).unwrap();
         let dep = Deployment::for_tests(
             vec![ny, ams],
-            vec![
-                (0, haul, PeeringKind::TransitProvider),
-                (1, haul, PeeringKind::TransitProvider),
-            ],
+            vec![(0, haul, PeeringKind::TransitProvider), (1, haul, PeeringKind::TransitProvider)],
         );
         let table = solve(&g, &dep, &[PeeringId(0), PeeringId(1)], 5);
         let r = resolve_route(&g, &dep, &table, stub, ny).unwrap();
@@ -244,10 +241,7 @@ mod tests {
             let t = g.add_node(AsTier::Transit, Region::NorthAmerica, vec![la], inflation);
             let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
             g.add_link(t, stub, Relationship::ProviderOf).unwrap();
-            let dep = Deployment::for_tests(
-                vec![la],
-                vec![(0, t, PeeringKind::TransitProvider)],
-            );
+            let dep = Deployment::for_tests(vec![la], vec![(0, t, PeeringKind::TransitProvider)]);
             let table = solve(&g, &dep, &[PeeringId(0)], 5);
             resolve_route(&g, &dep, &table, stub, ny).unwrap().rtt_ms
         };

@@ -25,8 +25,8 @@
 //! tractable even for deployments with thousands of ingresses.
 
 use painter_topology::{AsGraph, AsId, Deployment, PeeringId, PeeringKind};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// How an AS learned its selected route. Order = preference (customer
 /// routes earn money, provider routes cost money).
@@ -90,10 +90,7 @@ impl RouteTable {
             match entry.via {
                 None => return Some(path),
                 Some(next) => {
-                    assert!(
-                        path.len() <= self.entries.len(),
-                        "routing loop detected at {cur}"
-                    );
+                    assert!(path.len() <= self.entries.len(), "routing loop detected at {cur}");
                     path.push(next);
                     cur = next;
                 }
@@ -261,8 +258,8 @@ pub fn solve_prepended(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::solve_prepended;
+    use super::*;
     use painter_geo::{MetroId, Region};
     use painter_topology::{AsTier, DeploymentConfig, Relationship};
 
@@ -419,12 +416,8 @@ mod tests {
     fn zero_prepend_matches_plain_solve() {
         let f = fixture();
         let plain = solve(&f.graph, &f.deployment, &[f.pe_t1a, f.pe_mid2], 7);
-        let prepended = solve_prepended(
-            &f.graph,
-            &f.deployment,
-            &[(f.pe_t1a, 0), (f.pe_mid2, 0)],
-            7,
-        );
+        let prepended =
+            solve_prepended(&f.graph, &f.deployment, &[(f.pe_t1a, 0), (f.pe_mid2, 0)], 7);
         for node in f.graph.nodes() {
             assert_eq!(plain.as_path(node.id), prepended.as_path(node.id));
         }
@@ -434,8 +427,7 @@ mod tests {
     fn paths_are_valley_free() {
         // On a generated topology, every selected path must be valley-free.
         let net = painter_topology::generate(painter_topology::TopologyConfig::tiny(11));
-        let dep =
-            Deployment::generate(&net.graph, &DeploymentConfig::tiny(11));
+        let dep = Deployment::generate(&net.graph, &DeploymentConfig::tiny(11));
         let all: Vec<PeeringId> = dep.peerings().iter().map(|p| p.id).collect();
         let table = solve(&net.graph, &dep, &all, 99);
         for stub in net.graph.stubs() {

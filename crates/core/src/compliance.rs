@@ -142,8 +142,7 @@ mod tests {
         let f = fix();
         let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
         let inferred = infer_compliant_ingresses(&f.ugs, &f.dep, &f.cones);
-        let (miss, spurious) =
-            inference_error(&inferred, |u, p| gt.reachable(u, p), &f.dep);
+        let (miss, spurious) = inference_error(&inferred, |u, p| gt.reachable(u, p), &f.dep);
         assert!(miss < 0.10, "missed {miss}");
         assert!(spurious < 0.10, "spurious {spurious}");
     }

@@ -35,17 +35,12 @@ impl UgView {
 
     /// The best candidate latency (None if the UG has no candidates).
     pub fn best_candidate_ms(&self) -> Option<f64> {
-        self.candidates
-            .iter()
-            .map(|(_, l)| *l)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        self.candidates.iter().map(|(_, l)| *l).min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
     /// The UG's maximum possible improvement over anycast (≥ 0).
     pub fn max_improvement_ms(&self) -> f64 {
-        self.best_candidate_ms()
-            .map(|b| (self.anycast_ms - b).max(0.0))
-            .unwrap_or(0.0)
+        self.best_candidate_ms().map(|b| (self.anycast_ms - b).max(0.0)).unwrap_or(0.0)
     }
 }
 
@@ -141,12 +136,7 @@ mod tests {
         let ugs = build_user_groups(&net, 91);
         let candidates: Vec<Vec<(PeeringId, f64)>> = ugs
             .iter()
-            .map(|u| {
-                vec![
-                    (PeeringId(1), 30.0 + u.id.0 as f64),
-                    (PeeringId(0), 50.0),
-                ]
-            })
+            .map(|u| vec![(PeeringId(1), 30.0 + u.id.0 as f64), (PeeringId(0), 50.0)])
             .collect();
         let anycast: Vec<Option<f64>> = ugs.iter().map(|_| Some(60.0)).collect();
         OrchestratorInputs::assemble(&ugs, &candidates, &anycast, &dep)

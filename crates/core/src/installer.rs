@@ -190,8 +190,7 @@ mod tests {
         use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
         use painter_topology::{DeploymentConfig, TopologyConfig};
         let net = painter_topology::generate(TopologyConfig::tiny(77));
-        let dep =
-            painter_topology::Deployment::generate(&net.graph, &DeploymentConfig::tiny(77));
+        let dep = painter_topology::Deployment::generate(&net.graph, &DeploymentConfig::tiny(77));
         let current = AdvertConfig::new();
         let mut target = AdvertConfig::new();
         target.add(PrefixId(0), dep.peerings()[0].id);
@@ -201,10 +200,7 @@ mod tests {
         apply_to_engine(&install, &mut engine, SimTime::ZERO);
         engine.run_until(SimTime::from_secs(300.0));
         // Some stub should now reach the prefix.
-        let reached = net
-            .graph
-            .stubs()
-            .any(|s| engine.current_path(s.id, PrefixId(0)).is_some());
+        let reached = net.graph.stubs().any(|s| engine.current_path(s.id, PrefixId(0)).is_some());
         assert!(reached);
     }
 

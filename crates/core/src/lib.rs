@@ -43,8 +43,8 @@ pub use inputs::{OrchestratorInputs, UgView};
 pub use installer::{apply_to_engine, diff, plan, InstallPlan, Op};
 pub use model::RoutingModel;
 pub use orchestrator::{
-    AdvertEnvironment, GreedyTrace, GroundTruthEnv, Observations, Orchestrator,
-    OrchestratorConfig, OrchestratorReport,
+    AdvertEnvironment, GreedyTrace, GroundTruthEnv, Observations, Orchestrator, OrchestratorConfig,
+    OrchestratorReport,
 };
 pub use strategies::{
     one_per_peering, one_per_pop, one_per_pop_with_reuse, regional_transit, Strategy,

@@ -116,8 +116,7 @@ impl RoutingModel {
             .copied()
             .filter(|(p, _)| advertised.binary_search(p).is_ok())
             .filter(|(p, _)| {
-                inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]] - d_min
-                    <= self.d_reuse_km
+                inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]] - d_min <= self.d_reuse_km
             })
             .collect();
         if in_reach.is_empty() {
@@ -127,9 +126,7 @@ impl RoutingModel {
             .iter()
             .copied()
             .filter(|(loser, _)| {
-                !in_reach
-                    .iter()
-                    .any(|(winner, _)| self.knows_dominance(ug.id, *winner, *loser))
+                !in_reach.iter().any(|(winner, _)| self.knows_dominance(ug.id, *winner, *loser))
             })
             .collect();
         if undominated.is_empty() {

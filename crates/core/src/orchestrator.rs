@@ -20,6 +20,7 @@ use crate::inputs::OrchestratorInputs;
 use crate::model::RoutingModel;
 use painter_bgp::{AdvertConfig, PrefixId};
 use painter_measure::{GroundTruth, Pinger, UgId};
+use painter_obs::{obs_count, obs_gauge};
 use painter_topology::PeeringId;
 use std::collections::HashMap;
 
@@ -132,6 +133,11 @@ pub struct IterationStats {
 pub struct OrchestratorReport {
     pub iterations: Vec<IterationStats>,
     pub final_config: AdvertConfig,
+    /// Telemetry snapshot taken as `run()` returned (empty under
+    /// `obs-off`). Carries the per-iteration detail the stats rows
+    /// summarize — greedy benefit deltas, budget utilization, learning
+    /// counters — under the `core.*` metric names.
+    pub obs: painter_obs::Snapshot,
 }
 
 /// Cumulative modeled benefit after each completed prefix of a greedy
@@ -175,13 +181,27 @@ pub struct Orchestrator {
     pub config: OrchestratorConfig,
     pub inputs: OrchestratorInputs,
     pub model: RoutingModel,
+    /// Telemetry registry (`core.*` metrics). [`Orchestrator::new`] makes
+    /// a private one; share a registry across subsystems with
+    /// [`Orchestrator::with_obs`].
+    pub obs: painter_obs::Registry,
 }
 
 impl Orchestrator {
     /// Creates an orchestrator with a fresh routing model.
     pub fn new(inputs: OrchestratorInputs, config: OrchestratorConfig) -> Self {
+        Self::with_obs(inputs, config, painter_obs::Registry::new())
+    }
+
+    /// Like [`Orchestrator::new`], recording telemetry into `obs` (cheap
+    /// handle; clones share the underlying metrics).
+    pub fn with_obs(
+        inputs: OrchestratorInputs,
+        config: OrchestratorConfig,
+        obs: painter_obs::Registry,
+    ) -> Self {
         let model = RoutingModel::new(config.d_reuse_km);
-        Orchestrator { config, inputs, model }
+        Orchestrator { config, inputs, model, obs }
     }
 
     /// One pass of the greedy allocator (Algorithm 1's inner loops) under
@@ -200,6 +220,8 @@ impl Orchestrator {
     /// top of the priority queue, which keeps the allocator fast even with
     /// thousands of ingresses.
     pub fn compute_config_traced(&self) -> (AdvertConfig, GreedyTrace) {
+        let _span = painter_obs::Span::enter(&self.obs, "core.greedy_compute_ms");
+        let delta_hist = self.obs.histogram("core.greedy_benefit_delta");
         let n_ugs = self.inputs.ugs.len();
         let pb = self.config.prefix_budget;
         // UGs per peering (candidate incidence), computed once.
@@ -245,13 +267,8 @@ impl Orchestrator {
                 let Some(top) = heap.pop() else { break };
                 if top.version != version {
                     // Stale: recompute and reinsert if still promising.
-                    let delta = self.candidate_delta(
-                        top.pe,
-                        &current,
-                        p_idx,
-                        &by_peering,
-                        &prefix_mean,
-                    );
+                    let delta =
+                        self.candidate_delta(top.pe, &current, p_idx, &by_peering, &prefix_mean);
                     if delta > self.config.min_marginal_benefit {
                         heap.push(CandEntry { delta, version, pe: top.pe });
                     }
@@ -263,6 +280,7 @@ impl Orchestrator {
                 version += 1;
                 added_any = true;
                 running_benefit += delta;
+                delta_hist.record(delta);
                 // Refresh caches for affected UGs.
                 let new_current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
                 let mut affected = vec![false; n_ugs];
@@ -286,6 +304,19 @@ impl Orchestrator {
                 break;
             }
             trace.after_each_prefix.push((p_idx + 1, running_benefit));
+        }
+        // Gauges mirror this greedy run (bit-identical to the trace, see
+        // the agreement test); the pair counter accumulates across runs.
+        obs_count!(self.obs, "core.greedy_pairs_total", cc.pair_count() as u64);
+        obs_gauge!(self.obs, "core.greedy_modeled_benefit", running_benefit);
+        obs_gauge!(self.obs, "core.greedy_prefixes_used", trace.after_each_prefix.len() as f64);
+        obs_gauge!(self.obs, "core.prefix_budget", pb as f64);
+        if pb > 0 {
+            obs_gauge!(
+                self.obs,
+                "core.prefix_budget_utilization",
+                trace.after_each_prefix.len() as f64 / pb as f64
+            );
         }
         (cc, trace)
     }
@@ -434,6 +465,7 @@ impl Orchestrator {
     pub fn learn(&mut self, config: &AdvertConfig, obs: &Observations) -> usize {
         let index_of: HashMap<UgId, usize> = self.inputs.index_of();
         let before = self.model.dominance_count();
+        let mut corrections = 0u64;
         for (ug, prefix, landed) in &obs.landed {
             let Some(&ug_idx) = index_of.get(ug) else { continue };
             let Some((ingress, observed_ms)) = landed else { continue };
@@ -450,11 +482,22 @@ impl Orchestrator {
             // Latency/compliance correction for the landing ingress.
             let cands = &mut self.inputs.ugs[ug_idx].candidates;
             match cands.binary_search_by_key(ingress, |(p, _)| *p) {
-                Ok(i) => cands[i].1 = *observed_ms,
-                Err(i) => cands.insert(i, (*ingress, *observed_ms)),
+                Ok(i) => {
+                    if cands[i].1 != *observed_ms {
+                        corrections += 1;
+                    }
+                    cands[i].1 = *observed_ms;
+                }
+                Err(i) => {
+                    corrections += 1;
+                    cands.insert(i, (*ingress, *observed_ms));
+                }
             }
         }
-        self.model.dominance_count() - before
+        let newly = self.model.dominance_count() - before;
+        obs_count!(self.obs, "core.learn_dominance_total", newly as u64);
+        obs_count!(self.obs, "core.learn_corrections_total", corrections);
+        newly
     }
 
     /// Eq. 1 evaluated on real outcomes: each UG takes its best observed
@@ -494,11 +537,14 @@ impl Orchestrator {
         let mut iterations = Vec::new();
         let mut prev_measured: Option<f64> = None;
         for _ in 0..self.config.max_iterations.max(1) {
+            let _iter_span = painter_obs::Span::enter(&self.obs, "core.run_iter_ms");
+            obs_count!(self.obs, "core.run_iterations_total");
             let cc = self.compute_config();
             let modeled = ConfigEvaluator::new(&self.inputs, &self.model).benefit_range(&cc);
             let obs = env.execute(&cc);
             let newly_learned = self.learn(&cc, &obs);
             let (measured_benefit, measured_mean_improvement_ms) = self.measured_benefit(&obs);
+            obs_gauge!(self.obs, "core.measured_benefit", measured_benefit);
             iterations.push(IterationStats {
                 config: cc,
                 modeled,
@@ -515,7 +561,7 @@ impl Orchestrator {
             prev_measured = Some(measured_benefit);
         }
         let final_config = self.compute_config();
-        OrchestratorReport { iterations, final_config }
+        OrchestratorReport { iterations, final_config, obs: self.obs.snapshot() }
     }
 }
 
@@ -602,8 +648,10 @@ mod tests {
         let f = fix(103);
         let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
         let inputs = inputs_from(&f, &mut gt);
-        let orch =
-            Orchestrator::new(inputs, OrchestratorConfig { prefix_budget: 4, ..Default::default() });
+        let orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 4, ..Default::default() },
+        );
         let cc = orch.compute_config();
         assert!(!cc.is_empty());
         let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
@@ -625,10 +673,7 @@ mod tests {
         assert!(!report.iterations.is_empty());
         let first = report.iterations.first().unwrap().measured_benefit;
         let last = report.iterations.last().unwrap().measured_benefit;
-        assert!(
-            last >= first * 0.95,
-            "learning should not materially regress: {first} -> {last}"
-        );
+        assert!(last >= first * 0.95, "learning should not materially regress: {first} -> {last}");
         assert!(!report.final_config.is_empty());
     }
 
@@ -677,10 +722,7 @@ mod tests {
         // Refining an already-optimal config should barely change it.
         let (refined, ops) = orch.refine_config(&config, 1e-9);
         let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
-        assert!(
-            eval.benefit(&refined) >= eval.benefit(&config) * 0.98,
-            "refinement lost benefit"
-        );
+        assert!(eval.benefit(&refined) >= eval.benefit(&config) * 0.98, "refinement lost benefit");
         assert!(
             ops <= config.pair_count(),
             "refinement churned more ops ({ops}) than the config has pairs"
@@ -705,13 +747,74 @@ mod tests {
         }
         let (refined, _) = orch.refine_config(&wasteful, 1e-9);
         // Duplicates pruned: at most one prefix still points at pe alone.
-        let dup_count = refined
-            .iter()
-            .filter(|(_, pes)| *pes == [pe])
-            .count();
+        let dup_count = refined.iter().filter(|(_, pes)| *pes == [pe]).count();
         assert!(dup_count <= 1, "kept {dup_count} duplicate single-peering prefixes");
         let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
         assert!(eval.benefit(&refined) >= eval.benefit(&wasteful) - 1e-9);
+    }
+
+    #[test]
+    fn greedy_trace_and_metrics_agree() {
+        let f = fix(110);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 5, ..Default::default() },
+        );
+        let (cc, trace) = orch.compute_config_traced();
+        let snap = orch.obs.snapshot();
+        if !painter_obs::enabled() {
+            assert!(snap.metrics.is_empty());
+            return;
+        }
+        // Both the trace and the gauges come from the same running sum, so
+        // they must agree bit-for-bit.
+        let (used, benefit) = *trace.after_each_prefix.last().expect("non-trivial fixture");
+        assert_eq!(snap.gauge("core.greedy_modeled_benefit"), Some(benefit));
+        assert_eq!(snap.gauge("core.greedy_prefixes_used"), Some(used as f64));
+        assert_eq!(snap.gauge("core.prefix_budget"), Some(5.0));
+        assert_eq!(snap.gauge("core.prefix_budget_utilization"), Some(used as f64 / 5.0));
+        assert_eq!(snap.counter("core.greedy_pairs_total"), Some(cc.pair_count() as u64));
+        // Every committed pair recorded its marginal benefit, and the
+        // deltas sum back to the final modeled benefit.
+        let deltas = snap.histogram("core.greedy_benefit_delta").expect("histogram");
+        assert_eq!(deltas.count, cc.pair_count() as u64);
+        assert!((deltas.sum - benefit).abs() <= 1e-9 * benefit.abs().max(1.0));
+    }
+
+    #[test]
+    fn run_report_carries_obs_snapshot() {
+        let f = fix(111);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let ug_ids: Vec<UgId> = inputs.ugs.iter().map(|u| u.id).collect();
+        let mut orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 3, max_iterations: 3, ..Default::default() },
+        );
+        let mut env = GroundTruthEnv::new(&mut gt, ug_ids);
+        let report = orch.run(&mut env);
+        if !painter_obs::enabled() {
+            assert!(report.obs.metrics.is_empty());
+            return;
+        }
+        // The snapshot agrees with the per-iteration stats the report keeps.
+        assert_eq!(
+            report.obs.counter("core.run_iterations_total"),
+            Some(report.iterations.len() as u64)
+        );
+        assert_eq!(
+            report.obs.gauge("core.measured_benefit"),
+            Some(report.iterations.last().unwrap().measured_benefit)
+        );
+        let total_learned: usize = report.iterations.iter().map(|i| i.newly_learned).sum();
+        assert_eq!(report.obs.counter("core.learn_dominance_total"), Some(total_learned as u64));
+        // run() computes one config per iteration plus the final one.
+        assert_eq!(
+            report.obs.histogram("core.greedy_compute_ms").map(|h| h.count),
+            Some(report.iterations.len() as u64 + 1)
+        );
     }
 
     #[test]

@@ -53,11 +53,8 @@ impl Strategy {
 fn peering_potential(inputs: &OrchestratorInputs, peering_count: usize) -> Vec<f64> {
     let mut potential = vec![0.0; peering_count];
     for ug in &inputs.ugs {
-        let Some((best_p, best_l)) = ug
-            .candidates
-            .iter()
-            .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        let Some((best_p, best_l)) =
+            ug.candidates.iter().copied().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         else {
             continue;
         };
@@ -85,10 +82,7 @@ fn ranked_pops(deployment: &Deployment, inputs: Option<&OrchestratorInputs>) -> 
     pops.sort_by(|a, b| {
         let (pa, ca) = score(*a);
         let (pb, cb) = score(*b);
-        pb.partial_cmp(&pa)
-            .expect("finite")
-            .then(cb.cmp(&ca))
-            .then(a.cmp(b))
+        pb.partial_cmp(&pa).expect("finite").then(cb.cmp(&ca)).then(a.cmp(b))
     });
     pops
 }
@@ -156,10 +150,7 @@ pub fn one_per_peering(
     if let Some(inputs) = inputs {
         let potential = peering_potential(inputs, deployment.peerings().len());
         peerings.sort_by(|a, b| {
-            potential[b.idx()]
-                .partial_cmp(&potential[a.idx()])
-                .expect("finite")
-                .then(a.cmp(b))
+            potential[b.idx()].partial_cmp(&potential[a.idx()]).expect("finite").then(a.cmp(b))
         });
     }
     let mut config = AdvertConfig::new();
@@ -248,10 +239,7 @@ mod tests {
                 for j in (i + 1)..pops.len() {
                     let a = metro(dep.pop(pops[i]).metro).point();
                     let b = metro(dep.pop(pops[j]).metro).point();
-                    assert!(
-                        a.haversine_km(&b) >= d_reuse,
-                        "{prefix}: pops too close"
-                    );
+                    assert!(a.haversine_km(&b) >= d_reuse, "{prefix}: pops too close");
                 }
             }
         }

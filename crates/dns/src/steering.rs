@@ -145,10 +145,7 @@ mod tests {
         assert_eq!(policy.len(), 1);
         let pop = population();
         let mut authority = SteeringAuthority::new(policy, 30.0);
-        assert_eq!(
-            authority.query(&pop, ResolverId(0), Some(0xC0A8_01FF), 0.0).target,
-            9
-        );
+        assert_eq!(authority.query(&pop, ResolverId(0), Some(0xC0A8_01FF), 0.0).target, 9);
     }
 
     #[test]

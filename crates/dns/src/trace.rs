@@ -139,10 +139,8 @@ pub fn bytes_yet_to_be_sent(flows: &[Flow], offsets: &[f64]) -> Vec<f64> {
             if total <= 0.0 {
                 return 0.0;
             }
-            let after: f64 = flows
-                .iter()
-                .map(|f| f.bytes * fraction_after(f, f.record_expiry + x))
-                .sum();
+            let after: f64 =
+                flows.iter().map(|f| f.bytes * fraction_after(f, f.record_expiry + x)).sum();
             after / total
         })
         .collect()

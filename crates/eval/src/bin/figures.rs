@@ -1,50 +1,92 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! figures <fig-id>... [--test] [--markdown]   # e.g. figures fig6a fig10
-//! figures all [--test] [--markdown]           # every figure, paper order
-//! figures list                                # available ids
+//! figures <fig-id>... [flags]        # e.g. figures fig6a fig10
+//! figures all [flags]                # every figure, paper order
+//! figures list                       # available ids
+//!
+//! --test             CI-sized inputs (default: paper-sized, use release)
+//! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
+//! --csv              full per-series CSV dump (the old default)
+//! --report <p>.json  also write the structured RunReport as JSON
 //! ```
 //!
-//! `--test` runs the small (CI-sized) inputs; the default is paper-sized
-//! inputs, intended for release builds. `--markdown` emits a summary
-//! table (id | title | notes) instead of the full data series.
+//! The default output is the structured run-report table built from
+//! [`painter_eval::figures_report`]; `--report` writes the same data
+//! machine-readably, with every series' points included.
 
 use painter_eval::figs::{run, ALL_FIGURES};
-use painter_eval::Scale;
+use painter_eval::{figures_report, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
         println!("available figures: {}", ALL_FIGURES.join(" "));
-        println!("usage: figures <fig-id>...|all [--test]");
+        println!(
+            "usage: figures <fig-id>...|all [--test] [--markdown|--csv] [--report <path>.json]"
+        );
         return;
     }
     let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
     let markdown = args.iter().any(|a| a == "--markdown");
+    let csv = args.iter().any(|a| a == "--csv");
+    let report_path = args.iter().position(|a| a == "--report").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--report requires a path argument");
+            std::process::exit(2);
+        })
+    });
+    let mut skip_next = false;
     let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
     } else {
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect()
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--report" {
+                    skip_next = true;
+                }
+                !a.starts_with("--")
+            })
+            .map(String::as_str)
+            .collect()
     };
+
+    let mut figures = Vec::new();
     let mut failed = false;
-    if markdown {
-        println!("| Figure | Title | Measured vs paper |");
-        println!("|---|---|---|");
-    }
     for id in requested {
         match run(id, scale) {
-            Some(fig) => {
-                if markdown {
-                    println!("{}", fig.render_markdown_row());
-                } else {
-                    println!("{}", fig.render());
-                }
-            }
+            Some(fig) => figures.push(fig),
             None => {
                 eprintln!("unknown figure id: {id} (try `figures list`)");
                 failed = true;
             }
+        }
+    }
+
+    let report = figures_report("figures", &figures);
+    if markdown {
+        println!("| Figure | Title | Measured vs paper |");
+        println!("|---|---|---|");
+        for fig in &figures {
+            println!("{}", fig.render_markdown_row());
+        }
+    } else if csv {
+        for fig in &figures {
+            println!("{}", fig.render());
+        }
+    } else {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write report to {path}: {e}");
+            failed = true;
+        } else {
+            eprintln!("wrote report: {path}");
         }
     }
     if failed {

@@ -54,9 +54,8 @@ fn build_world() -> Fig10World {
     let ny = painter_geo::metro::all_metro_ids()
         .find(|&m| metro(m).name == "New York")
         .expect("metro db");
-    let lon = painter_geo::metro::all_metro_ids()
-        .find(|&m| metro(m).name == "London")
-        .expect("metro db");
+    let lon =
+        painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "London").expect("metro db");
     let mut graph = AsGraph::new();
     let isp1 = graph.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny, lon], 1.05);
     let isp2 = graph.add_node(AsTier::Tier1, Region::Europe, vec![ny, lon], 1.15);
@@ -107,11 +106,7 @@ pub fn run(_scale: Scale) -> Figure {
     // --- BGP side: announce everything at t=0, withdraw PoP-A at 60 s.
     // Busy edge routers: hundreds of ms of per-message processing, the
     // dominant term in real-world withdrawal propagation.
-    let dynamics = DynamicsConfig {
-        proc_delay_ms: (30.0, 400.0),
-        mrai_secs: (2.0, 8.0),
-        seed: 10,
-    };
+    let dynamics = DynamicsConfig { proc_delay_ms: (30.0, 400.0), mrai_secs: (2.0, 8.0), seed: 10 };
     let mut engine = BgpEngine::new(&world.graph, &world.deployment, dynamics, SALT);
     for (prefix, peerings) in &plan {
         for &pe in peerings {
@@ -174,7 +169,8 @@ pub fn run(_scale: Scale) -> Figure {
                 Some(rtt) => {
                     tm.schedule_path_rtt(t, *tunnel, rtt);
                     series.push((t.as_secs(), rtt));
-                    if *prefix == PrefixId(0) && anycast_down_window.0.is_some()
+                    if *prefix == PrefixId(0)
+                        && anycast_down_window.0.is_some()
                         && anycast_down_window.1.is_none()
                     {
                         anycast_down_window.1 = Some(t.as_secs());
@@ -182,8 +178,7 @@ pub fn run(_scale: Scale) -> Figure {
                 }
                 None => {
                     tm.schedule_path_down(t, *tunnel);
-                    if *prefix == PrefixId(0) && t >= fail_at && anycast_down_window.0.is_none()
-                    {
+                    if *prefix == PrefixId(0) && t >= fail_at && anycast_down_window.0.is_none() {
                         anycast_down_window.0 = Some(t.as_secs());
                     }
                 }
@@ -215,11 +210,8 @@ pub fn run(_scale: Scale) -> Figure {
                 && r.prefix.map(|p| pop_b_prefixes.contains(&p)).unwrap_or(false)
         })
         .map(|r| (r.sent - fail_at).as_ms());
-    let lost_packets = tm
-        .records()
-        .iter()
-        .filter(|r| r.sent >= fail_at && r.completed.is_none())
-        .count();
+    let lost_packets =
+        tm.records().iter().filter(|r| r.sent >= fail_at && r.completed.is_none()).count();
 
     // BGP churn (anycast prefix) per second.
     let churn: Vec<(f64, f64)> = (0..(HORIZON_S as usize))
@@ -257,10 +249,9 @@ pub fn run(_scale: Scale) -> Figure {
             None => "failover did not complete — unexpected".into(),
         },
         match anycast_down_window {
-            (Some(a), Some(b)) => format!(
-                "paper: anycast unreachable ~1 s after withdrawal; measured {:.2} s",
-                b - a
-            ),
+            (Some(a), Some(b)) => {
+                format!("paper: anycast unreachable ~1 s after withdrawal; measured {:.2} s", b - a)
+            }
             _ => "anycast never lost reachability at sampling granularity".into(),
         },
         format!(
@@ -302,11 +293,7 @@ mod tests {
         let fig = run(Scale::Test);
         // The chosen-prefix series must start on a PoP-A prefix (1 or 2 —
         // low RTT from New York) and end on a PoP-B prefix (3 or 4).
-        let chosen = fig
-            .series
-            .iter()
-            .find(|s| s.name == "painter/chosen-prefix")
-            .expect("series");
+        let chosen = fig.series.iter().find(|s| s.name == "painter/chosen-prefix").expect("series");
         let first = chosen.points.first().unwrap().1;
         let last = chosen.points.last().unwrap().1;
         assert!(first == 1.0 || first == 2.0, "started on {first}");
@@ -315,23 +302,11 @@ mod tests {
         let note = &fig.notes[0];
         assert!(note.contains("measured"), "{note}");
         // Observed RTT before failure is transatlantic-free (< 20 ms).
-        let rtts = fig
-            .series
-            .iter()
-            .find(|s| s.name == "painter/observed-rtt")
-            .expect("series");
-        let early: Vec<f64> = rtts
-            .points
-            .iter()
-            .filter(|(t, _)| *t > 30.0 && *t < 59.0)
-            .map(|(_, r)| *r)
-            .collect();
-        let late: Vec<f64> = rtts
-            .points
-            .iter()
-            .filter(|(t, _)| *t > 70.0)
-            .map(|(_, r)| *r)
-            .collect();
+        let rtts = fig.series.iter().find(|s| s.name == "painter/observed-rtt").expect("series");
+        let early: Vec<f64> =
+            rtts.points.iter().filter(|(t, _)| *t > 30.0 && *t < 59.0).map(|(_, r)| *r).collect();
+        let late: Vec<f64> =
+            rtts.points.iter().filter(|(t, _)| *t > 70.0).map(|(_, r)| *r).collect();
         assert!(!early.is_empty() && !late.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&early) < 20.0, "pre-failure RTT {}", mean(&early));
@@ -341,13 +316,12 @@ mod tests {
     #[test]
     fn fig10_bgp_churn_spikes_after_failure() {
         let fig = run(Scale::Test);
-        let churn = fig
-            .series
-            .iter()
-            .find(|s| s.name == "bgp/anycast-updates-per-s")
-            .expect("series");
-        let before: f64 = churn.points.iter().filter(|(t, _)| *t > 40.0 && *t < 60.0).map(|(_, c)| c).sum();
-        let after: f64 = churn.points.iter().filter(|(t, _)| *t >= 60.0 && *t < 80.0).map(|(_, c)| c).sum();
+        let churn =
+            fig.series.iter().find(|s| s.name == "bgp/anycast-updates-per-s").expect("series");
+        let before: f64 =
+            churn.points.iter().filter(|(t, _)| *t > 40.0 && *t < 60.0).map(|(_, c)| c).sum();
+        let after: f64 =
+            churn.points.iter().filter(|(t, _)| *t >= 60.0 && *t < 80.0).map(|(_, c)| c).sum();
         assert!(after > before, "withdrawal must cause churn: {before} -> {after}");
     }
 }

@@ -20,11 +20,7 @@ use std::collections::{HashMap, HashSet};
 fn cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let n = values.len().max(1) as f64;
-    values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+    values.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 struct PathCounts {
@@ -47,8 +43,7 @@ fn count_paths(s: &Scenario) -> (Vec<PathCounts>, HashMap<PopId, usize>) {
     let mut out = Vec::new();
     let mut pop_usage: HashMap<PopId, usize> = HashMap::new();
     for ug in &s.ugs {
-        let providers: Vec<AsId> =
-            s.net.graph.providers(ug.asn).iter().map(|n| n.peer).collect();
+        let providers: Vec<AsId> = s.net.graph.providers(ug.asn).iter().map(|n| n.peer).collect();
         // --- SD-WAN: one path per ISP, plus a direct peering if any.
         let direct = !s.deployment.peerings_with(ug.asn).is_empty();
         let sdwan_paths = providers.len() + usize::from(direct);
@@ -56,13 +51,9 @@ fn count_paths(s: &Scenario) -> (Vec<PathCounts>, HashMap<PopId, usize>) {
         // anycast (destination-based routing).
         let mut sdwan_pops: HashSet<PopId> = HashSet::new();
         for &q in &providers {
-            if let Some(r) = painter_bgp::resolve_route(
-                &s.net.graph,
-                &s.deployment,
-                &anycast_table,
-                q,
-                ug.metro,
-            ) {
+            if let Some(r) =
+                painter_bgp::resolve_route(&s.net.graph, &s.deployment, &anycast_table, q, ug.metro)
+            {
                 sdwan_pops.insert(s.deployment.peering(r.ingress).pop);
             }
         }
@@ -75,10 +66,8 @@ fn count_paths(s: &Scenario) -> (Vec<PathCounts>, HashMap<PopId, usize>) {
         // --- PAINTER: peerings at the PoPs serving 90% of the UG's
         // region's traffic, restricted to ground-truth-reachable ones.
         let region = metro(ug.metro).region;
-        let candidate_pops: HashSet<PopId> = region_pops
-            .get(&region)
-            .map(|v| v.iter().copied().collect())
-            .unwrap_or_default();
+        let candidate_pops: HashSet<PopId> =
+            region_pops.get(&region).map(|v| v.iter().copied().collect()).unwrap_or_default();
         let reachable: Vec<PeeringId> = world
             .gt
             .reachable_peerings(ug.id)

@@ -16,17 +16,12 @@ use painter_measure::{ProbeFleet, TargetDb, TargetDbConfig};
 pub fn run(scale: Scale) -> Figure {
     let s = Scenario::azure_like(scale, 121);
     let mut world = world_direct(&s);
-    let targets = TargetDb::generate(
-        &s.deployment,
-        &TargetDbConfig { seed: s.seed, ..Default::default() },
-    );
+    let targets =
+        TargetDb::generate(&s.deployment, &TargetDbConfig { seed: s.seed, ..Default::default() });
     let fleet = ProbeFleet::select(&s.ugs, 0.47, s.seed);
     let all = all_peerings(&s);
-    let anycast: Vec<Option<f64>> = s
-        .ugs
-        .iter()
-        .map(|u| world.gt.route_under(&all, u.id).map(|(_, l)| l))
-        .collect();
+    let anycast: Vec<Option<f64>> =
+        s.ugs.iter().map(|u| world.gt.route_under(&all, u.id).map(|(_, l)| l)).collect();
 
     // --- Coverage vs GP (weighted (UG, ingress) pairs), excluding pairs
     // unlikely to provide benefit: anycast latency already below the
@@ -99,18 +94,10 @@ pub fn run(scale: Scale) -> Figure {
         .find(|(gp, _)| (*gp - 400.0).abs() < 1.0 || (*gp - 500.0).abs() < 1.0)
         .map(|(_, c)| *c)
         .unwrap_or(0.0);
-    let err_mid = accuracy_pts
-        .iter()
-        .find(|(gp, _)| *gp >= 400.0)
-        .map(|(_, e)| *e)
-        .unwrap_or(0.0);
+    let err_mid = accuracy_pts.iter().find(|(gp, _)| *gp >= 400.0).map(|(_, e)| *e).unwrap_or(0.0);
     let notes = vec![
-        format!(
-            "paper: 80.6% of volume covered at GP=450 km; measured ~{at_450:.0}% near that GP"
-        ),
-        format!(
-            "paper: median estimate error within ~2 ms at 450 km; measured {err_mid:.1} ms"
-        ),
+        format!("paper: 80.6% of volume covered at GP=450 km; measured ~{at_450:.0}% near that GP"),
+        format!("paper: median estimate error within ~2 ms at 450 km; measured {err_mid:.1} ms"),
     ];
     Figure {
         id: "fig12",

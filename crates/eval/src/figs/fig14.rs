@@ -46,8 +46,8 @@ pub fn run(scale: Scale) -> Figure {
                 pts.iter().map(|(x, r)| (*x, pick(r))).collect(),
             ));
         }
-        let spread: f64 = pts.iter().map(|(_, r)| r.upper - r.lower).sum::<f64>()
-            / pts.len().max(1) as f64;
+        let spread: f64 =
+            pts.iter().map(|(_, r)| r.upper - r.lower).sum::<f64>() / pts.len().max(1) as f64;
         match name {
             "PAINTER" => painter_spread_sum = spread,
             "One per PoP" => pop_spread_sum = spread,
@@ -117,10 +117,8 @@ mod tests {
             }
         }
         // One per Peering: zero spread.
-        let peering_lower =
-            fig.series.iter().find(|s| s.name == "One per Peering/Lower").unwrap();
-        let peering_upper =
-            fig.series.iter().find(|s| s.name == "One per Peering/Upper").unwrap();
+        let peering_lower = fig.series.iter().find(|s| s.name == "One per Peering/Lower").unwrap();
+        let peering_upper = fig.series.iter().find(|s| s.name == "One per Peering/Upper").unwrap();
         for (l, u) in peering_lower.points.iter().zip(&peering_upper.points) {
             assert!((l.1 - u.1).abs() < 1e-6, "One per Peering must have no uncertainty");
         }
@@ -131,13 +129,9 @@ mod tests {
         let fig = run(Scale::Test);
         let pop_lower = fig.series.iter().find(|s| s.name == "One per PoP/Lower").unwrap();
         let pop_upper = fig.series.iter().find(|s| s.name == "One per PoP/Upper").unwrap();
-        let spread: f64 = pop_lower
-            .points
-            .iter()
-            .zip(&pop_upper.points)
-            .map(|(l, u)| u.1 - l.1)
-            .sum::<f64>()
-            / pop_lower.points.len() as f64;
+        let spread: f64 =
+            pop_lower.points.iter().zip(&pop_upper.points).map(|(l, u)| u.1 - l.1).sum::<f64>()
+                / pop_lower.points.len() as f64;
         assert!(spread > 1.0, "One per PoP spread should be visible, got {spread}");
     }
 }

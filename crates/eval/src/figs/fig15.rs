@@ -21,11 +21,7 @@ fn prefixes_for_thresholds(
 ) -> Vec<Option<usize>> {
     let orch = Orchestrator::new(
         world.inputs.clone(),
-        OrchestratorConfig {
-            prefix_budget: budget_cap,
-            d_reuse_km,
-            ..Default::default()
-        },
+        OrchestratorConfig { prefix_budget: budget_cap, d_reuse_km, ..Default::default() },
     );
     let (_, trace) = orch.compute_config_traced();
     let possible = world.inputs.total_possible_benefit().max(1e-9);

@@ -12,8 +12,8 @@ use painter_dns::{bytes_yet_to_be_sent, generate_trace, CloudProfile, TraceConfi
 /// matching the paper's log-ish x-axis from -1 min to +1 hour.
 fn offsets() -> Vec<f64> {
     vec![
-        -60.0, -30.0, -10.0, -1.0, 0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0,
-        1800.0, 3600.0,
+        -60.0, -30.0, -10.0, -1.0, 0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
+        3600.0,
     ]
 }
 

@@ -96,8 +96,7 @@ pub fn run_6a(scale: Scale) -> Figure {
         ));
         pop_pts.push((
             frac,
-            eval.benefit_percent(&one_per_pop(&s.deployment, Some(&orch.inputs), budget))
-                .estimated,
+            eval.benefit_percent(&one_per_pop(&s.deployment, Some(&orch.inputs), budget)).estimated,
         ));
         reuse_pts.push((
             frac,
@@ -233,11 +232,7 @@ pub fn run_6c(scale: Scale) -> Figure {
 }
 
 fn note_dominates(painter: &[(f64, f64)], other: &[(f64, f64)], name: &str) -> String {
-    let wins = painter
-        .iter()
-        .zip(other)
-        .filter(|((_, a), (_, b))| a + 1e-9 >= *b)
-        .count();
+    let wins = painter.iter().zip(other).filter(|((_, a), (_, b))| a + 1e-9 >= *b).count();
     format!(
         "paper: PAINTER >= {name} at every budget; measured {wins}/{} budget points",
         painter.len()
@@ -247,7 +242,8 @@ fn note_dominates(painter: &[(f64, f64)], other: &[(f64, f64)], name: &str) -> S
 /// How many fewer prefixes PAINTER needs than `other` to reach
 /// `threshold`% — the paper's "3× fewer prefixes at 75% benefit".
 fn prefix_savings_note(painter: &[(f64, f64)], other: &[(f64, f64)], threshold: f64) -> String {
-    let first_reaching = |pts: &[(f64, f64)]| pts.iter().find(|(_, y)| *y >= threshold).map(|(x, _)| *x);
+    let first_reaching =
+        |pts: &[(f64, f64)]| pts.iter().find(|(_, y)| *y >= threshold).map(|(x, _)| *x);
     match (first_reaching(painter), first_reaching(other)) {
         (Some(p), Some(o)) if p > 0.0 => format!(
             "paper: ~3x prefix savings at {threshold}% benefit; measured {:.1}x ({}% vs {}% budget)",

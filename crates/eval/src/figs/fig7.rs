@@ -68,8 +68,7 @@ pub fn run(scale: Scale) -> Figure {
             }
         }
         // Anycast landed ingress per UG (for drifting the default too).
-        let all: Vec<PeeringId> =
-            s.deployment.peerings().iter().map(|p| p.id).collect();
+        let all: Vec<PeeringId> = s.deployment.peerings().iter().map(|p| p.id).collect();
         let anycast_landed: HashMap<UgId, (PeeringId, f64)> = world
             .gt
             .ugs()

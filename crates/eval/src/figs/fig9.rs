@@ -171,8 +171,7 @@ pub fn run_9b(scale: Scale) -> Figure {
     for &(frac, budget) in &budgets {
         let config = restrict_to_budget(&full, budget.min(max_budget));
         // Landed latency per (ug, prefix).
-        let prefix_sets: Vec<Vec<PeeringId>> =
-            config.iter().map(|(_, set)| set.to_vec()).collect();
+        let prefix_sets: Vec<Vec<PeeringId>> = config.iter().map(|(_, set)| set.to_vec()).collect();
         let mut landed: Vec<Vec<Option<f64>>> = vec![Vec::new(); s.ugs.len()];
         for ug in &s.ugs {
             landed[ug.id.idx()] = prefix_sets
@@ -199,8 +198,7 @@ pub fn run_9b(scale: Scale) -> Figure {
             if ecs {
                 for &m in members {
                     let Some(any) = world.anycast[m] else { continue };
-                    let best =
-                        landed[m].iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+                    let best = landed[m].iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
                     dns += s.ugs[m].weight * (any - best).max(0.0);
                 }
                 continue;
@@ -231,10 +229,7 @@ pub fn run_9b(scale: Scale) -> Figure {
         title: "Benefit with fine-grained steering vs DNS steering",
         x_label: "% prefix budget (of ingress count)",
         y_label: "% of possible benefit",
-        series: vec![
-            Series::new("PAINTER", painter_pts),
-            Series::new("PAINTER w/ DNS", dns_pts),
-        ],
+        series: vec![Series::new("PAINTER", painter_pts), Series::new("PAINTER w/ DNS", dns_pts)],
         notes: vec![format!(
             "paper: DNS steering sacrifices roughly half the benefit; measured DNS/PAINTER \
              ratio {:.2} at full budget",
@@ -250,11 +245,7 @@ mod tests {
     #[test]
     fn fig9a_painter_is_finest() {
         let fig = run_9a(Scale::Test);
-        let all_painter = fig
-            .series
-            .iter()
-            .find(|s| s.name == "All/PAINTER")
-            .expect("series");
+        let all_painter = fig.series.iter().find(|s| s.name == "All/PAINTER").expect("series");
         // Everything in the finest buckets (0..=1).
         let fine: f64 = all_painter.points.iter().filter(|(x, _)| *x <= 1.0).map(|(_, y)| y).sum();
         assert!(fine > 95.0, "got {fine}");

@@ -37,9 +37,7 @@ pub fn world_direct(s: &Scenario) -> World<'_> {
         .ugs
         .iter()
         .zip(&inferred)
-        .map(|(u, set)| {
-            set.iter().filter_map(|&p| gt.latency(u.id, p).map(|l| (p, l))).collect()
-        })
+        .map(|(u, set)| set.iter().filter_map(|&p| gt.latency(u.id, p).map(|l| (p, l))).collect())
         .collect();
     let inputs = OrchestratorInputs::assemble(&s.ugs, &candidates, &anycast, &s.deployment);
     World { gt, anycast, inputs }
@@ -55,14 +53,14 @@ pub fn world_estimated(s: &Scenario, probe_coverage: f64, gp_km: f64) -> World<'
     let anycast: Vec<Option<f64>> =
         s.ugs.iter().map(|u| gt.route_under(&all, u.id).map(|(_, l)| l)).collect();
     let fleet = ProbeFleet::select(&s.ugs, probe_coverage, s.seed);
-    let targets = TargetDb::generate(&s.deployment, &TargetDbConfig { seed: s.seed, ..Default::default() });
+    let targets =
+        TargetDb::generate(&s.deployment, &TargetDbConfig { seed: s.seed, ..Default::default() });
     let inferred = infer_compliant_ingresses(&s.ugs, &s.deployment, &s.cones);
 
     // Extrapolated (Appendix C) latencies for everyone, then restrict to
     // inferred-compliant ingresses with usable targets, passing probe
     // measurements through the target-estimation error model.
-    let extrapolated =
-        extrapolate_improvements(&s.ugs, &fleet, &gt, &anycast, 500.0, 10.0, s.seed);
+    let extrapolated = extrapolate_improvements(&s.ugs, &fleet, &gt, &anycast, 500.0, 10.0, s.seed);
     let mut candidates: Vec<Vec<(PeeringId, f64)>> = Vec::with_capacity(s.ugs.len());
     for (i, ug) in s.ugs.iter().enumerate() {
         let compliant = &inferred[i];
@@ -109,8 +107,7 @@ pub fn realized_benefit(
     let ugs = gt.ugs().to_vec();
     // Best landed latency per UG across the config's prefixes.
     let mut best: HashMap<UgId, f64> = HashMap::new();
-    let prefix_sets: Vec<Vec<PeeringId>> =
-        config.iter().map(|(_, ps)| ps.to_vec()).collect();
+    let prefix_sets: Vec<Vec<PeeringId>> = config.iter().map(|(_, ps)| ps.to_vec()).collect();
     for set in &prefix_sets {
         for ug in &ugs {
             if let Some((_, lat)) = gt.route_under(set, ug.id) {
@@ -254,8 +251,7 @@ mod tests {
     fn one_per_peering_full_budget_reaches_everything() {
         let s = Scenario::peering_like(Scale::Test, 5);
         let mut w = world_direct(&s);
-        let config =
-            painter_core::one_per_peering(&s.deployment, Some(&w.inputs), usize::MAX);
+        let config = painter_core::one_per_peering(&s.deployment, Some(&w.inputs), usize::MAX);
         let r = realized_benefit(&mut w.gt, &w.anycast, &config);
         assert!(r.percent_of_possible > 99.0, "{r:?}");
     }

@@ -11,9 +11,11 @@
 
 pub mod figs;
 pub mod helpers;
+pub mod report;
 pub mod scenario;
 
 pub use helpers::{realized_benefit, RealizedBenefit};
+pub use report::{figure_section, figures_report};
 pub use scenario::{Scale, Scenario};
 
 /// One plottable series: `(x, y)` points under a legend name.
@@ -48,12 +50,7 @@ impl Figure {
     /// generation; `figures all --markdown` stitches these into an
     /// EXPERIMENTS-style table.
     pub fn render_markdown_row(&self) -> String {
-        let notes = self
-            .notes
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>()
-            .join("<br>");
+        let notes = self.notes.iter().map(String::as_str).collect::<Vec<_>>().join("<br>");
         format!("| {} | {} | {} |", self.id, self.title, notes)
     }
 

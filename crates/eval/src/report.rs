@@ -1,0 +1,80 @@
+//! Bridges [`Figure`]s into [`painter_obs::RunReport`]s.
+//!
+//! The `figures` binary (and anything else that runs experiment
+//! harnesses) uses this to produce one structured, machine-readable
+//! report per invocation instead of ad-hoc prints: each figure becomes a
+//! [`Section`] carrying its series as data points plus its comparison
+//! notes, and the whole run can be rendered as an aligned table or
+//! written as JSON.
+
+use crate::Figure;
+use painter_obs::{RunReport, Section};
+
+/// Converts one figure into a report section: axes, every series (as
+/// `(x, y)` points), and the paper-vs-measured notes.
+pub fn figure_section(fig: &Figure) -> Section {
+    let mut section = Section::new(fig.id)
+        .field("title", fig.title)
+        .field("x_label", fig.x_label)
+        .field("y_label", fig.y_label);
+    for series in &fig.series {
+        section = section.field(format!("series:{}", series.name), series.points.clone());
+    }
+    for (i, note) in fig.notes.iter().enumerate() {
+        section = section.field(format!("note_{}", i + 1), note.as_str());
+    }
+    section
+}
+
+/// Builds a run report named `name` from the given figures.
+pub fn figures_report(name: impl Into<String>, figures: &[Figure]) -> RunReport {
+    let mut report = RunReport::new(name);
+    for fig in figures {
+        report.push_section(figure_section(fig));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn demo_figure() -> Figure {
+        Figure {
+            id: "fig6a",
+            title: "Latency benefit vs prefix budget",
+            x_label: "prefixes",
+            y_label: "benefit",
+            series: vec![Series::new("painter", vec![(1.0, 2.0), (2.0, 3.0)])],
+            notes: vec!["matches paper shape".into()],
+        }
+    }
+
+    #[test]
+    fn figure_becomes_section_with_series_and_notes() {
+        let section = figure_section(&demo_figure());
+        assert_eq!(section.title, "fig6a");
+        match section.get("series:painter") {
+            Some(painter_obs::Value::Series(points)) => assert_eq!(points.len(), 2),
+            other => panic!("expected series, got {other:?}"),
+        }
+        match section.get("note_1") {
+            Some(painter_obs::Value::Str(s)) => assert!(s.contains("paper")),
+            other => panic!("expected note, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_contains_every_figure() {
+        let report = figures_report("figures", &[demo_figure()]);
+        let json = report.to_json();
+        let doc = painter_obs::json::parse(&json).expect("valid JSON");
+        let sections = doc.get("sections").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].get("title").and_then(|v| v.as_str()), Some("fig6a"));
+        let table = report.render_table();
+        assert!(table.contains("fig6a"));
+        assert!(table.contains("series:painter"));
+    }
+}

@@ -126,10 +126,8 @@ impl Scenario {
     /// x-axis), deduplicated and at least 1 prefix each.
     pub fn budget_sweep(&self, fractions: &[f64]) -> Vec<(f64, usize)> {
         let n = self.ingress_count() as f64;
-        let mut out: Vec<(f64, usize)> = fractions
-            .iter()
-            .map(|&f| (f, ((n * f / 100.0).round() as usize).max(1)))
-            .collect();
+        let mut out: Vec<(f64, usize)> =
+            fractions.iter().map(|&f| (f, ((n * f / 100.0).round() as usize).max(1))).collect();
         out.dedup_by_key(|(_, b)| *b);
         out
     }

@@ -82,6 +82,41 @@ pub fn run<W: EventHandler>(
     until: SimTime,
     max_events: u64,
 ) -> RunStats {
+    run_inner(world, queue, until, max_events, None)
+}
+
+/// [`run`], with kernel telemetry recorded into `obs`.
+///
+/// Per run: `eventsim.events_processed` (counter, total events handled),
+/// `eventsim.queue_depth_hwm` (gauge, high-water mark of the event queue),
+/// and `eventsim.virtual_wall_ratio` (gauge, virtual milliseconds advanced
+/// per wall millisecond — the kernel's speedup over real time). The ratio
+/// is the one place the kernel reads the wall clock; it never influences
+/// event ordering, and under `obs-off` the clock is not consulted at all.
+pub fn run_observed<W: EventHandler>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+    max_events: u64,
+    obs: &painter_obs::Registry,
+) -> RunStats {
+    run_inner(world, queue, until, max_events, Some(obs))
+}
+
+fn run_inner<W: EventHandler>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: SimTime,
+    max_events: u64,
+    obs: Option<&painter_obs::Registry>,
+) -> RunStats {
+    let depth_hwm = obs.map(|o| o.gauge("eventsim.queue_depth_hwm"));
+    let wall_start = if painter_obs::enabled() && obs.is_some() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
+    let virtual_start = queue.peek_time().unwrap_or(SimTime::ZERO);
     let mut stats = RunStats { events_processed: 0, last_event_time: SimTime::ZERO };
     while stats.events_processed < max_events {
         let Some(next_time) = queue.peek_time() else { break };
@@ -94,8 +129,21 @@ pub fn run<W: EventHandler>(
         for (at, ev) in scheduler.pending {
             queue.push(at, ev);
         }
+        if let Some(hwm) = &depth_hwm {
+            hwm.set_max(queue.len() as f64);
+        }
         stats.events_processed += 1;
         stats.last_event_time = time;
+    }
+    if let Some(obs) = obs {
+        obs.counter("eventsim.events_processed").add(stats.events_processed);
+        if let Some(started) = wall_start {
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            if wall_ms > 0.0 && stats.events_processed > 0 {
+                let virtual_ms = (stats.last_event_time - virtual_start).as_ms();
+                obs.gauge("eventsim.virtual_wall_ratio").set(virtual_ms / wall_ms);
+            }
+        }
     }
     stats
 }
@@ -182,6 +230,26 @@ mod tests {
         q.push(SimTime::ZERO, ());
         let stats = run(&mut Loops, &mut q, SimTime::from_secs(1e9), 1000);
         assert_eq!(stats.events_processed, 1000);
+    }
+
+    #[test]
+    fn run_observed_records_kernel_metrics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3.0), 3);
+        q.push(SimTime::from_ms(1.0), 1);
+        q.push(SimTime::from_ms(2.0), 2);
+        let mut w = Counter { fired: Vec::new(), spawn_chain: false };
+        let obs = painter_obs::Registry::new();
+        let stats = run_observed(&mut w, &mut q, SimTime::from_ms(100.0), u64::MAX, &obs);
+        assert_eq!(stats.events_processed, 3);
+        let snap = obs.snapshot();
+        if painter_obs::enabled() {
+            assert_eq!(snap.counter("eventsim.events_processed"), Some(3));
+            // After the first pop two events remained queued.
+            assert_eq!(snap.gauge("eventsim.queue_depth_hwm"), Some(2.0));
+        } else {
+            assert!(snap.metrics.is_empty());
+        }
     }
 
     #[test]

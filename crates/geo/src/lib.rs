@@ -29,4 +29,6 @@ pub use latency::{
     fiber_km_for_one_way_ms, fiber_km_for_rtt_ms, min_rtt_ms, one_way_ms,
     rtt_violates_speed_of_light, FIBER_KM_PER_MS_ONE_WAY,
 };
-pub use metro::{all_metro_ids, metro, metros_in_region, nearest_metro, Metro, MetroId, WORLD_METROS};
+pub use metro::{
+    all_metro_ids, metro, metros_in_region, nearest_metro, Metro, MetroId, WORLD_METROS,
+};

@@ -155,8 +155,7 @@ mod tests {
         let c = catchment(&mut gt, &all);
         for pop in dep.pops() {
             let members = pop_catchment_members(&mut gt, &all, pop.id);
-            let member_weight: f64 =
-                members.iter().map(|id| ugs[id.idx()].weight).sum();
+            let member_weight: f64 = members.iter().map(|id| ugs[id.idx()].weight).sum();
             let expected = c.per_pop.get(&pop.id).copied().unwrap_or(0.0);
             assert!((member_weight - expected).abs() < 1e-6, "{}", pop.id);
         }

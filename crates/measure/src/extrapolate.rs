@@ -133,8 +133,7 @@ mod tests {
     }
 
     fn anycast_latencies(gt: &mut GroundTruth<'_>, ugs: &[UserGroup]) -> Vec<Option<f64>> {
-        let all: Vec<PeeringId> =
-            gt.deployment().peerings().iter().map(|p| p.id).collect();
+        let all: Vec<PeeringId> = gt.deployment().peerings().iter().map(|p| p.id).collect();
         ugs.iter().map(|u| gt.route_under(&all, u.id).map(|(_, l)| l)).collect()
     }
 
@@ -145,7 +144,13 @@ mod tests {
         let anycast = anycast_latencies(&mut gt, &f.ugs);
         let fleet = ProbeFleet::select(&f.ugs, 0.5, 1);
         let sims = extrapolate_improvements(
-            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 1,
+            &f.ugs,
+            &fleet,
+            &gt,
+            &anycast,
+            DEFAULT_RADIUS_KM,
+            DEFAULT_ANYCAST_TOLERANCE_MS,
+            1,
         );
         for &pid in &fleet.probe_ugs() {
             for &(peering, lat) in &sims[pid.idx()] {
@@ -161,7 +166,13 @@ mod tests {
         let anycast = anycast_latencies(&mut gt, &f.ugs);
         let fleet = ProbeFleet::select(&f.ugs, 0.4, 2);
         let sims = extrapolate_improvements(
-            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 2,
+            &f.ugs,
+            &fleet,
+            &gt,
+            &anycast,
+            DEFAULT_RADIUS_KM,
+            DEFAULT_ANYCAST_TOLERANCE_MS,
+            2,
         );
         for ug in &f.ugs {
             if !fleet.has_probe(ug.id) {
@@ -181,8 +192,13 @@ mod tests {
         let fleet = ProbeFleet::select(&f.ugs, 0.4, 3);
         let run = |seed| {
             extrapolate_improvements(
-                &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM,
-                DEFAULT_ANYCAST_TOLERANCE_MS, seed,
+                &f.ugs,
+                &fleet,
+                &gt,
+                &anycast,
+                DEFAULT_RADIUS_KM,
+                DEFAULT_ANYCAST_TOLERANCE_MS,
+                seed,
             )
         };
         let a = run(7);
@@ -203,7 +219,13 @@ mod tests {
         let anycast = anycast_latencies(&mut gt, &f.ugs);
         let fleet = ProbeFleet::select(&f.ugs, 0.0, 4);
         let sims = extrapolate_improvements(
-            &f.ugs, &fleet, &gt, &anycast, DEFAULT_RADIUS_KM, DEFAULT_ANYCAST_TOLERANCE_MS, 4,
+            &f.ugs,
+            &fleet,
+            &gt,
+            &anycast,
+            DEFAULT_RADIUS_KM,
+            DEFAULT_ANYCAST_TOLERANCE_MS,
+            4,
         );
         for ug in &f.ugs {
             for &(peering, lat) in &sims[ug.id.idx()] {

@@ -47,9 +47,7 @@ impl<'a> GroundTruth<'a> {
             let mut row = Vec::with_capacity(ugs.len());
             for ug in ugs {
                 row.push(
-                    model
-                        .resolve(&table, ug.asn, ug.metro)
-                        .map(|r| r.rtt_ms + ug.last_mile_ms),
+                    model.resolve(&table, ug.asn, ug.metro).map(|r| r.rtt_ms + ug.last_mile_ms),
                 );
             }
             per_peering.push(row);
@@ -73,12 +71,7 @@ impl<'a> GroundTruth<'a> {
     /// All peerings reachable by a UG (its ground-truth policy-compliant
     /// ingresses).
     pub fn reachable_peerings(&self, ug: UgId) -> Vec<PeeringId> {
-        self.deployment
-            .peerings()
-            .iter()
-            .map(|p| p.id)
-            .filter(|&p| self.reachable(ug, p))
-            .collect()
+        self.deployment.peerings().iter().map(|p| p.id).filter(|&p| self.reachable(ug, p)).collect()
     }
 
     /// The minimum latency over all of a UG's reachable ingresses — the
@@ -95,11 +88,7 @@ impl<'a> GroundTruth<'a> {
     /// Where a UG actually lands — ingress and latency — when a prefix is
     /// advertised via `advertised`. Solves (and caches) the route table
     /// for the set. Returns `None` if the UG has no route.
-    pub fn route_under(
-        &mut self,
-        advertised: &[PeeringId],
-        ug: UgId,
-    ) -> Option<(PeeringId, f64)> {
+    pub fn route_under(&mut self, advertised: &[PeeringId], ug: UgId) -> Option<(PeeringId, f64)> {
         let mut key: Vec<PeeringId> = advertised.to_vec();
         key.sort_unstable();
         key.dedup();
@@ -162,11 +151,7 @@ mod tests {
         let f = fixture();
         let gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
         for ug in &f.ugs {
-            assert!(
-                !gt.reachable_peerings(ug.id).is_empty(),
-                "{} reaches nothing",
-                ug.id
-            );
+            assert!(!gt.reachable_peerings(ug.id).is_empty(), "{} reaches nothing", ug.id);
             assert!(gt.best_latency(ug.id).is_some());
         }
     }

@@ -5,8 +5,8 @@
 //! UGs (RIPE Atlas hosts skew toward well-connected networks), and the
 //! fleet exposes exactly the coverage metric the paper reports.
 
-use crate::ug::UserGroup;
 use crate::ug::UgId;
+use crate::ug::UserGroup;
 use painter_eventsim::SimRng;
 
 /// The subset of user groups hosting measurement probes.
@@ -54,12 +54,7 @@ impl ProbeFleet {
 
     /// All probe-hosting UG ids.
     pub fn probe_ugs(&self) -> Vec<UgId> {
-        self.has_probe
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p)
-            .map(|(i, _)| UgId(i as u32))
-            .collect()
+        self.has_probe.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| UgId(i as u32)).collect()
     }
 
     /// Fraction of total traffic weight covered by probes.
@@ -123,11 +118,7 @@ mod tests {
         let fleet = ProbeFleet::select(&ugs, 0.4, 2);
         // Covered weight per probe should exceed average weight per UG.
         let avg_all: f64 = ugs.iter().map(|u| u.weight).sum::<f64>() / ugs.len() as f64;
-        let avg_probe: f64 = fleet
-            .probe_ugs()
-            .iter()
-            .map(|&u| ugs[u.idx()].weight)
-            .sum::<f64>()
+        let avg_probe: f64 = fleet.probe_ugs().iter().map(|&u| ugs[u.idx()].weight).sum::<f64>()
             / fleet.len() as f64;
         assert!(avg_probe > avg_all, "probe avg {avg_probe} <= overall avg {avg_all}");
     }

@@ -74,10 +74,7 @@ impl TargetDb {
 
     /// Number of ingresses covered at `gp_km`.
     pub fn covered_count(&self, gp_km: f64) -> usize {
-        self.uncertainty
-            .iter()
-            .filter(|u| u.is_some_and(|v| v <= gp_km))
-            .count()
+        self.uncertainty.iter().filter(|u| u.is_some_and(|v| v <= gp_km)).count()
     }
 
     /// Estimated latency from `ug` through `peering` using the target,
@@ -134,8 +131,7 @@ mod tests {
             &DeploymentConfig { num_pops: 12, ..DeploymentConfig::tiny(62) },
         );
         let db = TargetDb::generate(&dep, &TargetDbConfig::default());
-        let missing =
-            dep.peerings().iter().filter(|p| db.uncertainty_km(p.id).is_none()).count();
+        let missing = dep.peerings().iter().filter(|p| db.uncertainty_km(p.id).is_none()).count();
         assert!(missing > 0);
         assert!(missing < dep.peerings().len());
     }

@@ -93,12 +93,7 @@ impl NatTable {
     /// activity so [`NatTable::expire`] can reclaim idle bindings — the
     /// hygiene a 65k-ports-per-address NAT needs to survive long
     /// deployments.
-    pub fn bind_at(
-        &mut self,
-        flow: FiveTuple,
-        edge_addr: u32,
-        now: SimTime,
-    ) -> Option<NatBinding> {
+    pub fn bind_at(&mut self, flow: FiveTuple, edge_addr: u32, now: SimTime) -> Option<NatBinding> {
         if let Some(&key) = self.by_flow.get(&flow) {
             let last = self.last_activity.entry(flow).or_insert(now);
             *last = (*last).max(now);

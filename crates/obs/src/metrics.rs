@@ -1,0 +1,469 @@
+//! Live metric implementations (compiled out under `obs-off`).
+//!
+//! A [`Registry`] is an `Arc` around a sorted map of named metrics, so
+//! handles are cheap to clone and thread through constructors. Metric
+//! handles themselves are `Arc`s onto the shared atomics: look them up
+//! once (e.g. in a constructor) and update lock-free on the hot path, or
+//! go through the `obs_count!`/`obs_gauge!`/`obs_record!` convenience
+//! macros which look up by name each time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::report::{bucket_index, HistogramSnapshot, MetricSnapshot, Snapshot, BUCKETS};
+
+/// A monotone event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can move both ways, stored as `f64` bits in an atomic.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())) }
+    }
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the level (CAS loop; fine off the hot path).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the level to `v` if it is higher (high-water mark).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    /// Sum/min/max as f64 bits (CAS-updated).
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A fixed-bucket log2 histogram (see [`crate::report`] for the bucket
+/// layout and quantile math).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        }
+    }
+}
+
+fn cas_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        if next == cur {
+            return;
+        }
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let inner = &*self.inner;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        cas_f64(&inner.sum_bits, |sum| sum + v);
+        cas_f64(&inner.min_bits, |min| min.min(v));
+        cas_f64(&inner.max_bits, |max| max.max(v));
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the histogram out for quantile math / reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let count = inner.count.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                f64::from_bits(inner.min_bits.load(Ordering::Relaxed)),
+                f64::from_bits(inner.max_bits.load(Ordering::Relaxed)),
+            )
+        };
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(inner.sum_bits.load(Ordering::Relaxed)),
+            min,
+            max,
+            buckets: inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// One entry in the registry's bounded event log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Caller-supplied virtual-time timestamp in nanoseconds (e.g.
+    /// `SimTime::as_nanos`); 0 for wall-clock-only contexts.
+    pub at_nanos: u64,
+    /// Event name, same `subsystem.noun_verb` scheme as metrics.
+    pub name: &'static str,
+    /// Free-form detail (kept small; this is a debug aid, not a metric).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// BTreeMap so snapshots come out name-sorted and deterministic.
+    metrics: Mutex<std::collections::BTreeMap<&'static str, Metric>>,
+    events: Mutex<Vec<EventRecord>>,
+    event_capacity: usize,
+    /// Next slot to overwrite once the ring is full.
+    event_head: AtomicU64,
+}
+
+/// A global-free set of named metrics plus a bounded event ring.
+///
+/// Cheap to clone (one `Arc` bump); all clones share the same metrics.
+/// Metric kinds are fixed at first registration — asking for
+/// `counter("x")` after `gauge("x")` panics, which surfaces naming bugs
+/// at the call site instead of silently splitting a metric.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Default event-ring capacity for [`Registry::new`].
+    pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+    /// A registry with the default event-ring capacity.
+    pub fn new() -> Registry {
+        Registry::with_event_capacity(Self::DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A registry whose event ring keeps the last `capacity` events
+    /// (0 disables event recording entirely).
+    pub fn with_event_capacity(capacity: usize) -> Registry {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                metrics: Mutex::default(),
+                events: Mutex::new(Vec::with_capacity(capacity.min(4096))),
+                event_capacity: capacity,
+                event_head: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The named counter, creating it on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.inner.metrics.lock().unwrap();
+        match map.entry(name).or_insert_with(|| Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// The named gauge, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.inner.metrics.lock().unwrap();
+        match map.entry(name).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// The named histogram, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut map = self.inner.metrics.lock().unwrap();
+        match map.entry(name).or_insert_with(|| Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Appends an event to the ring (oldest entries overwritten once the
+    /// ring is full; no-op when capacity is 0).
+    pub fn event(&self, at_nanos: u64, name: &'static str, detail: impl Into<String>) {
+        if self.inner.event_capacity == 0 {
+            return;
+        }
+        let record = EventRecord { at_nanos, name, detail: detail.into() };
+        let mut events = self.inner.events.lock().unwrap();
+        if events.len() < self.inner.event_capacity {
+            events.push(record);
+        } else {
+            let slot =
+                self.inner.event_head.fetch_add(1, Ordering::Relaxed) as usize % events.len();
+            events[slot] = record;
+        }
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        let events = self.inner.events.lock().unwrap();
+        if events.is_empty() || events.len() < self.inner.event_capacity {
+            return events.clone();
+        }
+        let head = self.inner.event_head.load(Ordering::Relaxed) as usize % events.len();
+        let mut out = Vec::with_capacity(events.len());
+        out.extend_from_slice(&events[head..]);
+        out.extend_from_slice(&events[..head]);
+        out
+    }
+
+    /// Copies every metric out, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.metrics.lock().unwrap();
+        Snapshot {
+            metrics: map
+                .iter()
+                .map(|(&name, metric)| match metric {
+                    Metric::Counter(c) => {
+                        MetricSnapshot::Counter { name: name.to_string(), value: c.get() }
+                    }
+                    Metric::Gauge(g) => {
+                        MetricSnapshot::Gauge { name: name.to_string(), value: g.get() }
+                    }
+                    Metric::Histogram(h) => {
+                        MetricSnapshot::Histogram { name: name.to_string(), hist: h.snapshot() }
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An RAII wall-clock timer: created by [`Span::enter`], records elapsed
+/// milliseconds into the named histogram when dropped.
+///
+/// ```
+/// # use painter_obs::{Registry, Span};
+/// let reg = Registry::new();
+/// {
+///     let _span = Span::enter(&reg, "orchestrator.greedy_iter_ms");
+///     // ... timed work ...
+/// }
+/// # #[cfg(not(feature = "obs-off"))]
+/// assert_eq!(reg.snapshot().histogram("orchestrator.greedy_iter_ms").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing; elapsed milliseconds are recorded into the named
+    /// histogram on drop.
+    pub fn enter(registry: &Registry, name: &'static str) -> Span {
+        Span { histogram: registry.histogram(name), started: Instant::now() }
+    }
+
+    /// Milliseconds since the span started (without ending it).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_ms());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_state_across_clones() {
+        let reg = Registry::new();
+        let c = reg.counter("x_total");
+        reg.counter("x_total").add(2);
+        c.inc();
+        assert_eq!(c.get(), 3);
+
+        let g = reg.gauge("level");
+        g.set(5.0);
+        g.add(-1.5);
+        g.set_max(2.0); // below current, no-op
+        assert_eq!(g.get(), 3.5);
+        g.set_max(9.0);
+        assert_eq!(reg.gauge("level").get(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("m");
+        reg.gauge("m");
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_recorded_values() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms");
+        for v in [1.0, 2.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, 100.0);
+        assert!((snap.sum - 107.0).abs() < 1e-9);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4);
+        assert!(snap.p99() >= snap.p50());
+    }
+
+    #[test]
+    fn span_records_elapsed_into_histogram() {
+        let reg = Registry::new();
+        {
+            let span = Span::enter(&reg, "work_ms");
+            assert!(span.elapsed_ms() >= 0.0);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("work_ms").expect("histogram exists");
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.0);
+    }
+
+    #[test]
+    fn event_ring_keeps_most_recent() {
+        let reg = Registry::with_event_capacity(3);
+        for i in 0..5u64 {
+            reg.event(i, "tick", format!("#{i}"));
+        }
+        let events = reg.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_nanos, 2, "oldest retained is #2");
+        assert_eq!(events[2].at_nanos, 4);
+        // Zero capacity drops everything.
+        let off = Registry::with_event_capacity(0);
+        off.event(1, "tick", "");
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("z_total").inc();
+        reg.counter("a_total").inc();
+        let names: Vec<_> = reg.snapshot().metrics.iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, vec!["a_total", "z_total"]);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = Registry::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("n_total");
+                let h = reg.histogram("v_ms");
+                for i in 0..1000 {
+                    c.inc();
+                    h.record((i % 7) as f64 + 0.5);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(reg.counter("n_total").get(), 4000);
+        let snap = reg.snapshot();
+        let h = snap.histogram("v_ms").unwrap();
+        assert_eq!(h.count, 4000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,184 @@
+//! No-op metric implementations, selected by the `obs-off` feature.
+//!
+//! Every type here is zero-sized and every method an empty `#[inline]`
+//! body, so instrumented code compiles to exactly the uninstrumented
+//! code: no atomics, no allocation, and — unlike the live [`Span`] — no
+//! wall-clock reads. The API mirrors `metrics` one-for-one so callers
+//! build identically in both modes.
+
+use crate::report::{HistogramSnapshot, Snapshot};
+
+/// No-op counter (`obs-off`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge (`obs-off`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: f64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set_max(&self, _v: f64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram (`obs-off`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: f64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+}
+
+/// One retained event — never produced in `obs-off` builds, kept so
+/// consumer code naming the type compiles in both modes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    pub at_nanos: u64,
+    pub name: &'static str,
+    pub detail: String,
+}
+
+/// No-op registry (`obs-off`): hands out zero-sized metrics and empty
+/// snapshots. Deliberately not `Copy` — the live registry is an `Arc`
+/// handle that callers `.clone()` to share, and that code must lint
+/// identically in both modes.
+#[derive(Clone, Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// Matches the live registry's constant; unused here.
+    pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+    /// A no-op registry.
+    #[inline(always)]
+    pub fn new() -> Registry {
+        Registry
+    }
+
+    /// A no-op registry (capacity ignored).
+    #[inline(always)]
+    pub fn with_event_capacity(_capacity: usize) -> Registry {
+        Registry
+    }
+
+    /// A zero-sized counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &'static str) -> Counter {
+        Counter
+    }
+
+    /// A zero-sized gauge.
+    #[inline(always)]
+    pub fn gauge(&self, _name: &'static str) -> Gauge {
+        Gauge
+    }
+
+    /// A zero-sized histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &'static str) -> Histogram {
+        Histogram
+    }
+
+    /// Does nothing (the detail expression is still evaluated; prefer
+    /// gating expensive formatting on [`crate::enabled`]).
+    #[inline(always)]
+    pub fn event(&self, _at_nanos: u64, _name: &'static str, _detail: impl Into<String>) {}
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn events(&self) -> Vec<EventRecord> {
+        Vec::new()
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// No-op span (`obs-off`): never reads the clock.
+#[derive(Debug, Default)]
+pub struct Span;
+
+impl Span {
+    /// A zero-sized span; drop does nothing.
+    #[inline(always)]
+    pub fn enter(_registry: &Registry, _name: &'static str) -> Span {
+        Span
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn elapsed_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_surface_is_inert() {
+        let reg = Registry::new();
+        reg.counter("a_total").inc();
+        reg.gauge("b").set(3.0);
+        reg.histogram("c_ms").record(1.0);
+        reg.event(7, "tick", "detail");
+        let _span = Span::enter(&reg, "d_ms");
+        assert_eq!(reg.counter("a_total").get(), 0);
+        assert_eq!(reg.gauge("b").get(), 0.0);
+        assert_eq!(reg.histogram("c_ms").count(), 0);
+        assert!(reg.events().is_empty());
+        assert!(reg.snapshot().metrics.is_empty());
+        assert_eq!(std::mem::size_of::<Registry>(), 0);
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+    }
+}

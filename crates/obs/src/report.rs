@@ -1,0 +1,604 @@
+//! Structured run reports: metric snapshots plus per-subsystem summaries.
+//!
+//! Everything here is plain data, compiled identically with and without
+//! the `obs-off` feature (an `obs-off` build simply produces empty
+//! snapshots). The histogram *math* also lives here so property tests and
+//! report consumers share one definition with the live atomics in
+//! `metrics`.
+
+use std::fmt::Write as _;
+
+/// Number of histogram buckets.
+///
+/// Buckets are log2-spaced: bucket `i` holds values in
+/// `(bound(i-1), bound(i)]` with `bound(i) = MIN_BOUND * 2^i`, and the
+/// last bucket is unbounded. With `MIN_BOUND = 1e-3` (1 µs when the unit
+/// is milliseconds) the range spans sub-microsecond to ~3 days.
+pub const BUCKETS: usize = 40;
+
+/// Upper bound of bucket 0; see [`BUCKETS`].
+pub const MIN_BOUND: f64 = 1e-3;
+
+/// The bucket a value falls into. Non-positive and NaN values land in
+/// bucket 0; values beyond the last bound land in the final bucket.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= MIN_BOUND {
+        return 0;
+    }
+    let idx = (v / MIN_BOUND).log2().ceil() as i64;
+    idx.clamp(0, (BUCKETS - 1) as i64) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`+inf` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i >= BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        MIN_BOUND * 2f64.powi(i as i32)
+    }
+}
+
+/// A point-in-time copy of one histogram: counts per log2 bucket plus
+/// exact count/sum/min/max, from which quantiles are extracted.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Per-bucket observation counts (`BUCKETS` entries, or empty when no
+    /// value was ever recorded).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with allocated buckets.
+    pub fn new() -> Self {
+        HistogramSnapshot { count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: vec![0; BUCKETS] }
+    }
+
+    /// Records a value (used by tests and offline aggregation; the live
+    /// path is `metrics::Histogram::record`).
+    pub fn record(&mut self, v: f64) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets = vec![0; BUCKETS];
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), resolved to the upper bound of
+    /// the bucket holding the rank-`ceil(q*count)` observation and clamped
+    /// to the observed maximum. Monotone in `q` by construction, so
+    /// `p50 <= p90 <= p99` always holds. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum MetricSnapshot {
+    /// A monotone counter.
+    Counter { name: String, value: u64 },
+    /// A last-write-wins (or high-water-mark) level.
+    Gauge { name: String, value: f64 },
+    /// A distribution.
+    Histogram { name: String, hist: HistogramSnapshot },
+}
+
+impl MetricSnapshot {
+    /// The metric's registered name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// A point-in-time copy of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Snapshot {
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Merges another snapshot's metrics into this one (duplicate names
+    /// from distinct registries are kept; lookups return the first).
+    pub fn merge(&mut self, other: Snapshot) {
+        self.metrics.extend(other.metrics);
+        self.metrics.sort_by(|a, b| a.name().cmp(b.name()));
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name() == name)
+    }
+
+    /// A counter's value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricSnapshot::Counter { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricSnapshot::Gauge { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// A histogram's snapshot, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricSnapshot::Histogram { hist, .. } => Some(hist),
+            _ => None,
+        }
+    }
+}
+
+/// A summary field value inside a [`Section`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum Value {
+    /// An exact integer (counts, budgets).
+    U64(u64),
+    /// A measurement.
+    F64(f64),
+    /// Free text (titles, notes).
+    Str(String),
+    /// A plotted data series as `(x, y)` pairs.
+    Series(Vec<(f64, f64)>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<(f64, f64)>> for Value {
+    fn from(v: Vec<(f64, f64)>) -> Value {
+        Value::Series(v)
+    }
+}
+
+/// One per-subsystem (or per-figure) summary block of a [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Section {
+    pub title: String,
+    /// Ordered `(name, value)` fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// A new, empty section.
+    pub fn new(title: impl Into<String>) -> Section {
+        Section { title: title.into(), fields: Vec::new() }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Section {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// A machine-readable record of one run: summary sections plus the full
+/// metric snapshot. [`RunReport::to_json`] needs no dependencies; the
+/// optional `serde` feature additionally derives `serde::Serialize`.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RunReport {
+    /// What produced this report (binary or experiment name).
+    pub name: String,
+    pub sections: Vec<Section>,
+    pub metrics: Snapshot,
+}
+
+impl RunReport {
+    /// A new, empty report.
+    pub fn new(name: impl Into<String>) -> RunReport {
+        RunReport { name: name.into(), sections: Vec::new(), metrics: Snapshot::default() }
+    }
+
+    /// Appends a section.
+    pub fn push_section(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Merges a registry snapshot into the report's metrics.
+    pub fn add_snapshot(&mut self, snapshot: Snapshot) {
+        self.metrics.merge(snapshot);
+    }
+
+    /// Looks up a section by title.
+    pub fn section(&self, title: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.title == title)
+    }
+
+    /// Serializes the report as a self-contained JSON document.
+    ///
+    /// Schema: `{"name", "sections": [{"title", "fields": {..}}],
+    /// "metrics": {"<name>": {"kind", ...}}}`. Histograms carry
+    /// count/sum/min/max/mean/p50/p90/p99 plus the non-empty buckets as
+    /// `[upper_bound, count]` pairs. Non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"name\":");
+        crate::json::write_str(&mut out, &self.name);
+        out.push_str(",\"sections\":[");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"title\":");
+            crate::json::write_str(&mut out, &s.title);
+            out.push_str(",\"fields\":{");
+            for (j, (name, value)) in s.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                crate::json::write_str(&mut out, name);
+                out.push(':');
+                write_value(&mut out, value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"metrics\":{");
+        for (i, m) in self.metrics.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_str(&mut out, m.name());
+            out.push(':');
+            write_metric(&mut out, m);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the report as an aligned, human-readable text table:
+    /// sections first, then every metric.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for s in &self.sections {
+            rows.push((format!("[{}]", s.title), String::new()));
+            for (name, value) in &s.fields {
+                rows.push((format!("  {name}"), render_value(value)));
+            }
+        }
+        if !self.metrics.metrics.is_empty() {
+            rows.push(("[metrics]".to_string(), String::new()));
+            for m in &self.metrics.metrics {
+                let rendered = match m {
+                    MetricSnapshot::Counter { value, .. } => value.to_string(),
+                    MetricSnapshot::Gauge { value, .. } => format!("{value:.4}"),
+                    MetricSnapshot::Histogram { hist, .. } => format!(
+                        "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+                        hist.count,
+                        hist.mean(),
+                        hist.p50(),
+                        hist.p90(),
+                        hist.p99(),
+                        hist.max
+                    ),
+                };
+                rows.push((format!("  {}", m.name()), rendered));
+            }
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = format!("== run report: {} ==\n", self.name);
+        for (k, v) in rows {
+            if v.is_empty() {
+                let _ = writeln!(out, "{k}");
+            } else {
+                let _ = writeln!(out, "{k:width$}  {v}");
+            }
+        }
+        out
+    }
+}
+
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::U64(v) => v.to_string(),
+        Value::F64(v) => format!("{v:.4}"),
+        Value::Str(v) => v.clone(),
+        Value::Series(points) => format!("{} points", points.len()),
+    }
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => crate::json::write_f64(out, *v),
+        Value::Str(v) => crate::json::write_str(out, v),
+        Value::Series(points) => {
+            out.push('[');
+            for (i, (x, y)) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                crate::json::write_f64(out, *x);
+                out.push(',');
+                crate::json::write_f64(out, *y);
+                out.push(']');
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn write_metric(out: &mut String, m: &MetricSnapshot) {
+    match m {
+        MetricSnapshot::Counter { value, .. } => {
+            let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{value}}}");
+        }
+        MetricSnapshot::Gauge { value, .. } => {
+            out.push_str("{\"kind\":\"gauge\",\"value\":");
+            crate::json::write_f64(out, *value);
+            out.push('}');
+        }
+        MetricSnapshot::Histogram { hist, .. } => {
+            let _ = write!(out, "{{\"kind\":\"histogram\",\"count\":{}", hist.count);
+            out.push_str(",\"sum\":");
+            crate::json::write_f64(out, hist.sum);
+            out.push_str(",\"min\":");
+            crate::json::write_f64(out, hist.min);
+            out.push_str(",\"max\":");
+            crate::json::write_f64(out, hist.max);
+            out.push_str(",\"mean\":");
+            crate::json::write_f64(out, hist.mean());
+            out.push_str(",\"p50\":");
+            crate::json::write_f64(out, hist.p50());
+            out.push_str(",\"p90\":");
+            crate::json::write_f64(out, hist.p90());
+            out.push_str(",\"p99\":");
+            crate::json::write_f64(out, hist.p99());
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for (i, &c) in hist.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('[');
+                crate::json::write_f64(out, bucket_upper_bound(i));
+                let _ = write!(out, ",{c}]");
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover() {
+        let mut prev = 0.0;
+        for i in 0..BUCKETS - 1 {
+            let b = bucket_upper_bound(i);
+            assert!(b > prev, "bucket {i} bound {b} <= {prev}");
+            prev = b;
+        }
+        assert!(bucket_upper_bound(BUCKETS - 1).is_infinite());
+        // Every value lands in a bucket whose bound is >= the value
+        // (modulo float slack on exact powers of two).
+        for v in [0.0, 1e-6, 1e-3, 0.02, 1.0, 3.7, 250.0, 1e9, 1e300] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i) * (1.0 + 1e-9), "{v} above bound of its bucket {i}");
+        }
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+    }
+
+    #[test]
+    fn snapshot_record_tracks_exact_stats() {
+        let mut h = HistogramSnapshot::new();
+        for v in [20.0, 30.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 60.0).abs() < 1e-12);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 30.0);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = HistogramSnapshot::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= h.max);
+        assert!(p50 >= 32.0, "p50 {p50} too low for 1..=100");
+        // Empty histogram quantiles are zero.
+        assert_eq!(HistogramSnapshot::new().p99(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_quantiles_equal_the_value() {
+        let mut h = HistogramSnapshot::new();
+        h.record(26.0);
+        assert_eq!(h.p50(), 26.0);
+        assert_eq!(h.p99(), 26.0);
+    }
+
+    #[test]
+    fn snapshot_lookup_by_kind() {
+        let snap = Snapshot {
+            metrics: vec![
+                MetricSnapshot::Counter { name: "a_total".into(), value: 3 },
+                MetricSnapshot::Gauge { name: "b".into(), value: 1.5 },
+            ],
+        };
+        assert_eq!(snap.counter("a_total"), Some(3));
+        assert_eq!(snap.gauge("b"), Some(1.5));
+        assert_eq!(snap.counter("b"), None, "kind mismatch is None");
+        assert_eq!(snap.gauge("missing"), None);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_parser() {
+        let mut report = RunReport::new("demo");
+        report.push_section(
+            Section::new("orchestrator")
+                .field("iterations", 4usize)
+                .field("benefit", 12.5)
+                .field("label", "greedy")
+                .field("curve", vec![(1.0, 2.0), (2.0, 3.5)]),
+        );
+        let mut h = HistogramSnapshot::new();
+        h.record(20.0);
+        h.record(40.0);
+        report.metrics.metrics = vec![
+            MetricSnapshot::Counter { name: "tm.failovers_total".into(), value: 1 },
+            MetricSnapshot::Gauge { name: "core.budget".into(), value: 8.0 },
+            MetricSnapshot::Histogram { name: "tm.probe_rtt_ms".into(), hist: h },
+        ];
+        let json = report.to_json();
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("demo"));
+        let sections = doc.get("sections").and_then(|v| v.as_array()).unwrap();
+        let fields = sections[0].get("fields").unwrap();
+        assert_eq!(fields.get("iterations").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(fields.get("label").and_then(|v| v.as_str()), Some("greedy"));
+        let curve = fields.get("curve").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(curve.len(), 2);
+        let metrics = doc.get("metrics").unwrap();
+        let rtt = metrics.get("tm.probe_rtt_ms").unwrap();
+        assert_eq!(rtt.get("kind").and_then(|v| v.as_str()), Some("histogram"));
+        assert_eq!(rtt.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        assert!(rtt.get("p99").and_then(|v| v.as_f64()).unwrap() >= 40.0 - 1e-9);
+        assert_eq!(
+            metrics.get("tm.failovers_total").and_then(|m| m.get("value")).and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn render_table_lists_sections_and_metrics() {
+        let mut report = RunReport::new("demo");
+        report.push_section(Section::new("tm").field("paths", 2usize));
+        report.metrics.metrics =
+            vec![MetricSnapshot::Counter { name: "tm.timeouts_total".into(), value: 7 }];
+        let table = report.render_table();
+        assert!(table.contains("run report: demo"));
+        assert!(table.contains("[tm]"));
+        assert!(table.contains("paths"));
+        assert!(table.contains("tm.timeouts_total"));
+        assert!(table.contains('7'));
+    }
+
+    #[test]
+    fn merge_keeps_lookups_working() {
+        let mut a = Snapshot {
+            metrics: vec![MetricSnapshot::Counter { name: "z_total".into(), value: 1 }],
+        };
+        let b = Snapshot {
+            metrics: vec![MetricSnapshot::Gauge { name: "a_gauge".into(), value: 2.0 }],
+        };
+        a.merge(b);
+        assert_eq!(a.metrics.len(), 2);
+        assert_eq!(a.metrics[0].name(), "a_gauge", "merge sorts by name");
+        assert_eq!(a.counter("z_total"), Some(1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the histogram math shared by live metrics and
+//! report snapshots (ISSUE satellite: bucket counts sum to total
+//! observations; quantiles are ordered for arbitrary inputs).
+
+use painter_obs::{bucket_index, bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    // Mix the magnitudes a latency histogram actually sees: sub-bound,
+    // mid-range, and huge outliers beyond the last finite bucket.
+    prop::collection::vec(prop_oneof![0.0..1e-3, 1e-3..1.0, 1.0..1e4, 1e4..1e15,], 0..200)
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_total(values in observations()) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn quantiles_are_ordered(values in observations()) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        prop_assert!(p50 <= p90, "p50 {} > p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} > p99 {}", p90, p99);
+        if h.count > 0 {
+            prop_assert!(p99 <= h.max, "p99 {} above observed max {}", p99, h.max);
+            prop_assert!(p50 >= 0.0);
+        } else {
+            prop_assert_eq!(p99, 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in observations(), qa in 0.0f64..=1.0, qb in 0.0f64..=1.0) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn min_max_mean_are_exact(values in prop::collection::vec(0.0f64..1e9, 1..100)) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = values.iter().sum();
+        prop_assert_eq!(h.min, min);
+        prop_assert_eq!(h.max, max);
+        prop_assert!((h.sum - sum).abs() <= 1e-6 * sum.abs().max(1.0));
+        prop_assert!((h.mean() - sum / values.len() as f64).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn every_value_lands_in_a_covering_bucket(v in 0.0f64..1e300) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        // The bucket's bound covers the value (float slack on exact
+        // powers of two), and the previous bucket's bound does not
+        // over-cover by more than one bucket.
+        prop_assert!(v <= bucket_upper_bound(i) * (1.0 + 1e-9));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1) * (1.0 - 1e-9));
+        }
+    }
+}

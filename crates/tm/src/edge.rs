@@ -3,6 +3,7 @@
 use painter_bgp::PrefixId;
 use painter_eventsim::SimTime;
 use painter_net::FiveTuple;
+use painter_obs::{obs_count, obs_gauge, obs_record};
 use painter_topology::PopId;
 use std::collections::HashMap;
 
@@ -93,11 +94,19 @@ pub struct TmEdge {
     next_seq: u64,
     /// Count of active-tunnel switches (diagnostics).
     pub switches: u64,
+    /// Telemetry registry (`tm.*` metrics).
+    obs: painter_obs::Registry,
 }
 
 impl TmEdge {
-    /// A new edge with no tunnels.
+    /// A new edge with no tunnels and a private telemetry registry.
     pub fn new(addr: u32, config: EdgeConfig) -> Self {
+        Self::with_obs(addr, config, painter_obs::Registry::new())
+    }
+
+    /// Like [`TmEdge::new`], recording telemetry into `obs` (cheap handle;
+    /// clones share the underlying metrics).
+    pub fn with_obs(addr: u32, config: EdgeConfig, obs: painter_obs::Registry) -> Self {
         TmEdge {
             addr,
             config,
@@ -106,7 +115,13 @@ impl TmEdge {
             flow_map: HashMap::new(),
             next_seq: 0,
             switches: 0,
+            obs,
         }
+    }
+
+    /// The edge's telemetry registry.
+    pub fn obs(&self) -> &painter_obs::Registry {
+        &self.obs
     }
 
     /// Registers a tunnel toward `dst_addr` (inside `prefix`), seeding the
@@ -149,18 +164,14 @@ impl TmEdge {
             .enumerate()
             .filter(|(_, t)| t.alive)
             .min_by(|a, b| {
-                a.1.srtt_ms
-                    .partial_cmp(&b.1.srtt_ms)
-                    .expect("finite")
-                    .then(a.0.cmp(&b.0))
+                a.1.srtt_ms.partial_cmp(&b.1.srtt_ms).expect("finite").then(a.0.cmp(&b.0))
             })
             .map(|(i, _)| TunnelId(i));
         let new_active = match (self.active, best) {
             (Some(cur), Some(best)) => {
                 let cur_t = &self.tunnels[cur.0];
                 let challenger_wins = !cur_t.alive
-                    || self.tunnels[best.0].srtt_ms + self.config.hysteresis_ms
-                        < cur_t.srtt_ms;
+                    || self.tunnels[best.0].srtt_ms + self.config.hysteresis_ms < cur_t.srtt_ms;
                 if challenger_wins {
                     Some(best)
                 } else {
@@ -178,6 +189,7 @@ impl TmEdge {
         };
         if new_active != self.active && new_active.is_some() {
             self.switches += 1;
+            obs_count!(self.obs, "tm.switches_total");
         }
         self.active = new_active;
         self.active
@@ -199,6 +211,7 @@ impl TmEdge {
         }
         let active = self.active.or_else(|| self.select())?;
         self.flow_map.insert(flow, (active, now));
+        obs_gauge!(self.obs, "tm.pinned_flows", self.flow_map.len() as f64);
         Some(active)
     }
 
@@ -209,12 +222,17 @@ impl TmEdge {
     pub fn expire_flows(&mut self, now: SimTime, idle: SimTime) -> usize {
         let before = self.flow_map.len();
         self.flow_map.retain(|_, (_, last)| now.saturating_sub(*last) < idle);
+        obs_gauge!(self.obs, "tm.pinned_flows", self.flow_map.len() as f64);
         before - self.flow_map.len()
     }
 
     /// Forgets a finished flow.
     pub fn end_flow(&mut self, flow: &FiveTuple) -> bool {
-        self.flow_map.remove(flow).is_some()
+        let removed = self.flow_map.remove(flow).is_some();
+        if removed {
+            obs_gauge!(self.obs, "tm.pinned_flows", self.flow_map.len() as f64);
+        }
+        removed
     }
 
     /// Number of live pinned flows.
@@ -243,6 +261,7 @@ impl TmEdge {
         t.srtt_ms = (1.0 - alpha) * t.srtt_ms + alpha * rtt_ms;
         t.alive = true;
         t.last_response = Some(now);
+        obs_record!(self.obs, "tm.response_rtt_ms", rtt_ms);
         Some(rtt_ms)
     }
 
@@ -256,8 +275,13 @@ impl TmEdge {
     /// transitioned from alive to dead (caller should reselect).
     pub fn on_timeout(&mut self, tunnel: TunnelId, seq: u64, _now: SimTime) -> bool {
         let t = &mut self.tunnels[tunnel.0];
-        if t.outstanding.remove(&seq).is_some() && t.alive {
+        if t.outstanding.remove(&seq).is_none() {
+            return false;
+        }
+        obs_count!(self.obs, "tm.timeouts_total");
+        if t.alive {
             t.alive = false;
+            obs_count!(self.obs, "tm.tunnel_deaths_total");
             true
         } else {
             false

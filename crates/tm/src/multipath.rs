@@ -65,12 +65,8 @@ impl MultipathScheduler {
     /// The long-run share each tunnel receives (diagnostic; live tunnels
     /// only, normalized).
     pub fn shares(&self, edge: &TmEdge) -> Vec<(TunnelId, f64)> {
-        let total: f64 = edge
-            .tunnels()
-            .iter()
-            .filter(|t| t.alive)
-            .map(|t| 1.0 / t.srtt_ms.max(0.1))
-            .sum();
+        let total: f64 =
+            edge.tunnels().iter().filter(|t| t.alive).map(|t| 1.0 / t.srtt_ms.max(0.1)).sum();
         edge.tunnels()
             .iter()
             .enumerate()

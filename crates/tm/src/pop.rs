@@ -33,11 +33,7 @@ impl TmPop {
         let flow = FiveTuple::of(&inner.header);
         let binding = self.nat.bind(flow, outer.header.src)?;
         Some(Packet::new(
-            PacketHeader {
-                src: binding.pop_addr,
-                src_port: binding.pop_port,
-                ..inner.header
-            },
+            PacketHeader { src: binding.pop_addr, src_port: binding.pop_port, ..inner.header },
             inner.payload,
         ))
     }

@@ -216,11 +216,7 @@ mod tests {
         let service = EdgeService::start(
             edge,
             |dst: u32| {
-                Some(if dst == 100 {
-                    Duration::from_millis(10)
-                } else {
-                    Duration::from_millis(40)
-                })
+                Some(if dst == 100 { Duration::from_millis(10) } else { Duration::from_millis(40) })
             },
             Duration::from_millis(5),
         );
@@ -292,11 +288,8 @@ mod tests {
         }
         let seen = seen.lock();
         for port in 0..10u16 {
-            let tunnels: Vec<TunnelId> = seen
-                .iter()
-                .filter(|(_, p, _)| *p == port)
-                .map(|(_, _, t)| *t)
-                .collect();
+            let tunnels: Vec<TunnelId> =
+                seen.iter().filter(|(_, p, _)| *p == port).map(|(_, _, t)| *t).collect();
             assert!(!tunnels.is_empty());
             assert!(
                 tunnels.windows(2).all(|w| w[0] == w[1]),

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use painter_bgp::PrefixId;
 use painter_eventsim::{EventQueue, SimRng, SimTime};
 use painter_net::{decapsulate, encapsulate, Channel, Packet};
+use painter_obs::{obs_count, obs_record};
 use painter_topology::PopId;
 use std::collections::HashMap;
 
@@ -95,14 +96,26 @@ pub struct TmSimulation {
     seq_index: HashMap<u64, usize>,
     next_port: u16,
     started: bool,
+    /// Virtual time each currently-down tunnel went down (cleared on
+    /// recovery); drives the time-to-failover histogram.
+    down_at: HashMap<TunnelId, SimTime>,
+    /// Telemetry registry (`tm.*` metrics), shared with the edge.
+    obs: painter_obs::Registry,
 }
 
 impl TmSimulation {
     /// An empty simulation; add paths, then [`TmSimulation::run`].
     pub fn new(config: TmSimulationConfig) -> Self {
+        Self::with_obs(config, painter_obs::Registry::new())
+    }
+
+    /// Like [`TmSimulation::new`], recording telemetry into `obs` (cheap
+    /// handle; clones share the underlying metrics). The edge shares the
+    /// same registry.
+    pub fn with_obs(config: TmSimulationConfig, obs: painter_obs::Registry) -> Self {
         let rng = SimRng::stream(config.seed, 0x74_6d);
         TmSimulation {
-            edge: TmEdge::new(EDGE_ADDR, config.edge.clone()),
+            edge: TmEdge::with_obs(EDGE_ADDR, config.edge.clone(), obs.clone()),
             config,
             pops: Vec::new(),
             channels: Vec::new(),
@@ -114,7 +127,14 @@ impl TmSimulation {
             seq_index: HashMap::new(),
             next_port: 10_000,
             started: false,
+            down_at: HashMap::new(),
+            obs,
         }
+    }
+
+    /// The simulation's telemetry registry.
+    pub fn obs(&self) -> &painter_obs::Registry {
+        &self.obs
     }
 
     /// Adds a path: a tunnel to a fresh TM-PoP terminating `prefix`, over
@@ -212,12 +232,20 @@ impl TmSimulation {
     }
 
     fn reselect(&mut self) {
-        let before = self.edge.active().map(|t| self.edge.tunnel(t).prefix);
+        let before_tunnel = self.edge.active();
+        let before = before_tunnel.map(|t| self.edge.tunnel(t).prefix);
         let after = self.edge.select();
         let after_prefix = after.map(|t| self.edge.tunnel(t).prefix);
         if after_prefix != before {
             if let Some(to) = after_prefix {
                 self.switches.push(SwitchRecord { at: self.now, from: before, to });
+                // If the switch moved traffic off a path that is currently
+                // down, this is a failover; the gap since the path died is
+                // the detection + reaction latency (~1.3 RTT, §3.2).
+                if let Some(&down_at) = before_tunnel.and_then(|t| self.down_at.get(&t)) {
+                    obs_count!(self.obs, "tm.failovers_total");
+                    obs_record!(self.obs, "tm.time_to_failover_ms", (self.now - down_at).as_ms());
+                }
             }
         }
     }
@@ -270,9 +298,13 @@ impl TmSimulation {
                 let Some((seq, is_data)) = Self::parse_payload(&inner.payload) else { return };
                 let pop = self.pops[tunnel.0].id;
                 self.edge.discover_pop(tunnel, pop);
-                if self.edge.on_response(tunnel, seq, self.now).is_some() && is_data {
-                    if let Some(&rec) = self.seq_index.get(&seq) {
-                        self.records[rec].completed = Some(self.now);
+                if let Some(rtt_ms) = self.edge.on_response(tunnel, seq, self.now) {
+                    if is_data {
+                        if let Some(&rec) = self.seq_index.get(&seq) {
+                            self.records[rec].completed = Some(self.now);
+                        }
+                    } else {
+                        obs_record!(self.obs, "tm.probe_rtt_ms", rtt_ms);
                     }
                 }
                 self.reselect();
@@ -288,8 +320,12 @@ impl TmSimulation {
                 Some(rtt) => {
                     self.channels[tunnel.0].set_rtt_ms(rtt);
                     self.channels[tunnel.0].set_up(true);
+                    self.down_at.remove(&tunnel);
                 }
-                None => self.channels[tunnel.0].set_up(false),
+                None => {
+                    self.channels[tunnel.0].set_up(false);
+                    self.down_at.entry(tunnel).or_insert(self.now);
+                }
             },
         }
     }
@@ -339,10 +375,32 @@ mod tests {
         // under 100 ms is RTT-timescale (BGP would take seconds).
         assert!(gap_ms < 100.0, "failover took {gap_ms} ms");
         // A switch was logged.
-        assert!(sim
+        let switch = sim
             .switch_log()
             .iter()
-            .any(|s| s.at >= fail_at && s.to == PrefixId(1)));
+            .find(|s| s.at >= fail_at && s.to == PrefixId(1))
+            .expect("switch to backup logged");
+        // The recorded time-to-failover histogram agrees with the
+        // switch-log gap within one log2 bucket.
+        if painter_obs::enabled() {
+            let snap = sim.obs().snapshot();
+            assert_eq!(snap.counter("tm.failovers_total"), Some(1));
+            let ttf = snap.histogram("tm.time_to_failover_ms").expect("failover recorded");
+            assert_eq!(ttf.count, 1);
+            let recorded_ms = ttf.max; // single observation
+            let log_gap_ms = (switch.at - fail_at).as_ms();
+            let rec_bucket = painter_obs::bucket_index(recorded_ms) as i64;
+            let log_bucket = painter_obs::bucket_index(log_gap_ms) as i64;
+            assert!(
+                (rec_bucket - log_bucket).abs() <= 1,
+                "recorded {recorded_ms} ms vs switch-log gap {log_gap_ms} ms"
+            );
+            assert!(ttf.p99() < 100.0, "p99 time-to-failover must be RTT-timescale");
+            // The probe RTT histogram saw the backup path's latency too.
+            let probes = snap.histogram("tm.probe_rtt_ms").expect("probes measured");
+            assert!(probes.count > 0);
+            assert!(probes.p50() >= 19.0, "probe p50 {} below path RTT", probes.p50());
+        }
     }
 
     #[test]
@@ -408,10 +466,7 @@ mod tests {
             .collect();
         assert!(!late.is_empty());
         let on_fast = late.iter().filter(|r| r.prefix == Some(PrefixId(0))).count();
-        assert!(
-            on_fast as f64 / late.len() as f64 > 0.9,
-            "traffic should return to the fast path"
-        );
+        assert!(on_fast as f64 / late.len() as f64 > 0.9, "traffic should return to the fast path");
         let lost = sim.records().iter().filter(|r| r.completed.is_none()).count();
         assert!(lost < 40, "a 150 ms blackout should not cost {lost} packets");
     }

@@ -162,12 +162,8 @@ impl Deployment {
             .collect();
 
         // --- Transit providers: the largest-presence tier-1s.
-        let mut tier1s: Vec<AsId> = graph
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == AsTier::Tier1)
-            .map(|n| n.id)
-            .collect();
+        let mut tier1s: Vec<AsId> =
+            graph.nodes().iter().filter(|n| n.tier == AsTier::Tier1).map(|n| n.id).collect();
         tier1s.sort_by_key(|id| std::cmp::Reverse(graph.node(*id).presence.len()));
         let transit_providers: Vec<AsId> =
             tier1s.iter().copied().take(config.num_transit_providers).collect();
@@ -327,8 +323,7 @@ mod tests {
     #[test]
     fn pops_span_multiple_regions() {
         let (_, dep) = tiny();
-        let mut regions: Vec<Region> =
-            dep.pops().iter().map(|p| metro(p.metro).region).collect();
+        let mut regions: Vec<Region> = dep.pops().iter().map(|p| metro(p.metro).region).collect();
         regions.sort();
         regions.dedup();
         assert!(regions.len() >= 4, "got {regions:?}");
@@ -376,12 +371,7 @@ mod tests {
             &net.graph,
             &DeploymentConfig { num_pops: 12, ..DeploymentConfig::tiny(3) },
         );
-        let multi = net
-            .graph
-            .nodes()
-            .iter()
-            .filter(|n| dep.peerings_with(n.id).len() > 1)
-            .count();
+        let multi = net.graph.nodes().iter().filter(|n| dep.peerings_with(n.id).len() > 1).count();
         assert!(multi > 0);
     }
 }

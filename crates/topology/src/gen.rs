@@ -122,8 +122,10 @@ fn gen_tier1(graph: &mut AsGraph, rng: &mut SmallRng, config: &TopologyConfig) -
         // least one per region so they can interconnect anywhere.
         let coverage = rng.gen_range(0.4..0.7);
         let count = ((all_metros.len() as f64 * coverage) as usize).max(Region::ALL.len());
-        let mut presence: Vec<MetroId> =
-            sample_indices(rng, all_metros.len(), count).into_iter().map(|j| all_metros[j]).collect();
+        let mut presence: Vec<MetroId> = sample_indices(rng, all_metros.len(), count)
+            .into_iter()
+            .map(|j| all_metros[j])
+            .collect();
         for region in Region::ALL {
             if !presence.iter().any(|&m| metro(m).region == region) {
                 let in_region = metros_in_region(region);
@@ -172,8 +174,7 @@ fn gen_transit(
             presence.sort_unstable();
             presence.dedup();
             let bad = rng.gen_bool(config.bad_transit_fraction);
-            let inflation =
-                if bad { rng.gen_range(1.8..2.8) } else { rng.gen_range(1.0..1.5) };
+            let inflation = if bad { rng.gen_range(1.8..2.8) } else { rng.gen_range(1.0..1.5) };
             let id = graph.add_node(AsTier::Transit, region, presence, inflation);
             // Buy transit from 2–3 tier-1s.
             let n_upstreams = rng.gen_range(2..=3);
@@ -207,11 +208,8 @@ fn gen_access(
     let mut access = Vec::new();
     for region in Region::ALL {
         let region_metros = metros_in_region(region);
-        let region_transits: Vec<AsId> = transits
-            .iter()
-            .copied()
-            .filter(|t| graph.node(*t).region == region)
-            .collect();
+        let region_transits: Vec<AsId> =
+            transits.iter().copied().filter(|t| graph.node(*t).region == region).collect();
         for _ in 0..config.access_per_region {
             let count = rng.gen_range(1..=3.min(region_metros.len()));
             let mut presence: Vec<MetroId> = sample_indices(rng, region_metros.len(), count)
@@ -287,16 +285,10 @@ fn gen_stubs(
         };
         // Prefer access ISPs present at the home metro; fall back to
         // regional transit, then any transit.
-        let local_access: Vec<AsId> = access
-            .iter()
-            .copied()
-            .filter(|a| graph.node(*a).presence.contains(&home))
-            .collect();
-        let regional_transit: Vec<AsId> = transits
-            .iter()
-            .copied()
-            .filter(|t| graph.node(*t).region == region)
-            .collect();
+        let local_access: Vec<AsId> =
+            access.iter().copied().filter(|a| graph.node(*a).presence.contains(&home)).collect();
+        let regional_transit: Vec<AsId> =
+            transits.iter().copied().filter(|t| graph.node(*t).region == region).collect();
         let mut connected = 0;
         let mut pool: Vec<AsId> = local_access;
         pool.extend_from_slice(&regional_transit);
@@ -307,8 +299,7 @@ fn gen_stubs(
         // leading local ISPs, so provider choice is Zipf-weighted by rank.
         // This is what makes BGP's (peering, user AS) steering units
         // coarse in practice — a couple of ISPs carry most of a metro.
-        let zipf: Vec<f64> =
-            (0..pool.len()).map(|r| 1.0 / ((r + 1) as f64).powf(1.6)).collect();
+        let zipf: Vec<f64> = (0..pool.len()).map(|r| 1.0 / ((r + 1) as f64).powf(1.6)).collect();
         let mut remaining: Vec<usize> = (0..pool.len()).collect();
         while connected < upstreams && !remaining.is_empty() {
             let weights: Vec<f64> = remaining.iter().map(|&i| zipf[i]).collect();
@@ -372,13 +363,8 @@ mod tests {
     #[test]
     fn tier1s_form_a_clique() {
         let net = generate(TopologyConfig::tiny(4));
-        let tier1s: Vec<AsId> = net
-            .graph
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == AsTier::Tier1)
-            .map(|n| n.id)
-            .collect();
+        let tier1s: Vec<AsId> =
+            net.graph.nodes().iter().filter(|n| n.tier == AsTier::Tier1).map(|n| n.id).collect();
         for &a in &tier1s {
             for &b in &tier1s {
                 if a != b {
@@ -418,13 +404,8 @@ mod tests {
         // customer cone (otherwise parts of the Internet can't route).
         let net = generate(TopologyConfig::tiny(8));
         let cones = CustomerCones::compute(&net.graph);
-        let tier1s: Vec<AsId> = net
-            .graph
-            .nodes()
-            .iter()
-            .filter(|n| n.tier == AsTier::Tier1)
-            .map(|n| n.id)
-            .collect();
+        let tier1s: Vec<AsId> =
+            net.graph.nodes().iter().filter(|n| n.tier == AsTier::Tier1).map(|n| n.id).collect();
         for stub in net.graph.stubs() {
             assert!(
                 tier1s.iter().any(|&t| cones.contains(t, stub.id)),

@@ -200,9 +200,7 @@ impl AsGraph {
             rel != Relationship::CustomerOf,
             "store links from the provider side; flip the endpoints"
         );
-        if a == b
-            || self.link_index.contains_key(&(a, b))
-            || self.link_index.contains_key(&(b, a))
+        if a == b || self.link_index.contains_key(&(a, b)) || self.link_index.contains_key(&(b, a))
         {
             return None;
         }
@@ -448,12 +446,8 @@ impl AsGraph {
         // Acyclicity of the provider DAG (Kahn).
         let mut indegree: Vec<usize> =
             self.nodes.iter().map(|n| self.customers(n.id).len()).collect();
-        let mut stack: Vec<AsId> = self
-            .nodes
-            .iter()
-            .filter(|n| indegree[n.id.idx()] == 0)
-            .map(|n| n.id)
-            .collect();
+        let mut stack: Vec<AsId> =
+            self.nodes.iter().filter(|n| indegree[n.id.idx()] == 0).map(|n| n.id).collect();
         let mut visited = 0usize;
         while let Some(id) = stack.pop() {
             visited += 1;
@@ -570,12 +564,10 @@ mod tests {
     fn closest_presence_pair_picks_nearby_metros() {
         let mut g = AsGraph::new();
         // Metro 0 is New York; find London's index for a cross-ocean AS.
-        let london = painter_geo::metro::all_metro_ids()
-            .find(|&m| metro(m).name == "London")
-            .unwrap();
-        let tokyo = painter_geo::metro::all_metro_ids()
-            .find(|&m| metro(m).name == "Tokyo")
-            .unwrap();
+        let london =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "London").unwrap();
+        let tokyo =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "Tokyo").unwrap();
         let ny = MetroId(0);
         let a = g.add_node(AsTier::Transit, Region::NorthAmerica, vec![ny, tokyo], 1.0);
         let b = g.add_node(AsTier::Transit, Region::Europe, vec![london], 1.0);

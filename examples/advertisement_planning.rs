@@ -60,11 +60,7 @@ fn main() {
             .iter()
             .map(|&pe| {
                 let p = scenario.deployment.peering(pe);
-                format!(
-                    "{}@{}",
-                    p.neighbor,
-                    metro(scenario.deployment.pop(p.pop).metro).name
-                )
+                format!("{}@{}", p.neighbor, metro(scenario.deployment.pop(p.pop).metro).name)
             })
             .collect();
         println!("  {prefix} -> {}", sites.join(", "));

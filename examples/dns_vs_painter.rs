@@ -39,10 +39,8 @@ fn main() {
     // --- Part 2: steering granularity (Fig. 9a's phenomenon).
     let scenario = Scenario::azure_like(Scale::Test, 33);
     let metros: Vec<_> = scenario.ugs.iter().map(|u| u.metro).collect();
-    let population = assign_resolvers(
-        &metros,
-        &ResolverPopulationConfig { seed: 33, ..Default::default() },
-    );
+    let population =
+        assign_resolvers(&metros, &ResolverPopulationConfig { seed: 33, ..Default::default() });
     let members = population.members();
     let sizes: Vec<usize> = members.iter().map(Vec::len).filter(|n| *n > 0).collect();
     let largest = sizes.iter().max().copied().unwrap_or(0);
@@ -55,11 +53,8 @@ fn main() {
         100.0 * largest as f64 / scenario.ugs.len() as f64
     );
     // How geographically spread is the biggest resolver?
-    let (big_idx, _) = members
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, m)| m.len())
-        .expect("non-empty population");
+    let (big_idx, _) =
+        members.iter().enumerate().max_by_key(|(_, m)| m.len()).expect("non-empty population");
     let mut big_metros: Vec<_> = members[big_idx].iter().map(|&i| metros[i]).collect();
     big_metros.sort();
     big_metros.dedup();

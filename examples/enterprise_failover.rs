@@ -64,8 +64,7 @@ fn main() {
     }
     // Mean RTT before and after, from the client's perspective.
     let mean = |pred: &dyn Fn(&painter::tm::PacketRecord) -> bool| {
-        let v: Vec<f64> =
-            records.iter().filter(|r| pred(r)).filter_map(|r| r.rtt_ms()).collect();
+        let v: Vec<f64> = records.iter().filter(|r| pred(r)).filter_map(|r| r.rtt_ms()).collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     println!(

@@ -28,8 +28,7 @@ fn main() {
 
     // --- Step 1: diagnose. Where does anycast land everyone today?
     let anycast = catchment(&mut world.gt, &all);
-    let cross = anycast
-        .cross_region_share(|pop| metro(scenario.deployment.pop(pop).metro).region);
+    let cross = anycast.cross_region_share(|pop| metro(scenario.deployment.pop(pop).metro).region);
     println!("anycast catchment across {} PoPs:", anycast.per_pop.len());
     let mut pops: Vec<_> = anycast.per_pop.iter().collect();
     pops.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
@@ -65,12 +64,8 @@ fn main() {
         rollout.len(),
         rollout.duration().as_secs()
     );
-    let mut engine = BgpEngine::new(
-        &scenario.net.graph,
-        &scenario.deployment,
-        DynamicsConfig::default(),
-        SALT,
-    );
+    let mut engine =
+        BgpEngine::new(&scenario.net.graph, &scenario.deployment, DynamicsConfig::default(), SALT);
     painter::core::apply_to_engine(&rollout, &mut engine, SimTime::ZERO);
     engine.run_until(rollout.duration() + SimTime::from_secs(120.0));
 

@@ -17,6 +17,8 @@
 //! * [`core`] — the Advertisement Orchestrator and baseline strategies.
 //! * [`tm`] — the Traffic Manager (TM-Edge / TM-PoP).
 //! * [`eval`] — per-figure experiment harnesses.
+//! * [`obs`] — telemetry: metrics, spans, structured run reports
+//!   (compile with `--features obs-off` to no-op every hot-path probe).
 
 pub use painter_bgp as bgp;
 pub use painter_core as core;
@@ -26,5 +28,6 @@ pub use painter_eventsim as eventsim;
 pub use painter_geo as geo;
 pub use painter_measure as measure;
 pub use painter_net as net;
+pub use painter_obs as obs;
 pub use painter_tm as tm;
 pub use painter_topology as topology;

@@ -50,11 +50,7 @@ fn orchestrator_pipeline_is_deterministic() {
         };
         (
             format!("{:?}", report.final_config),
-            report
-                .iterations
-                .iter()
-                .map(|i| i.measured_benefit.to_bits())
-                .collect::<Vec<_>>(),
+            report.iterations.iter().map(|i| i.measured_benefit.to_bits()).collect::<Vec<_>>(),
         )
     };
     assert_eq!(run_once(), run_once());

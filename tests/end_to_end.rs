@@ -97,10 +97,7 @@ fn estimated_measurements_still_yield_benefit() {
     let config = orch.compute_config();
     assert!(!config.is_empty());
     let realized = realized_benefit(&mut world.gt, &world.anycast, &config);
-    assert!(
-        realized.percent_of_possible > 20.0,
-        "noisy-measurement config too weak: {realized:?}"
-    );
+    assert!(realized.percent_of_possible > 20.0, "noisy-measurement config too weak: {realized:?}");
 }
 
 /// Anycast is exactly the zero point of the benefit scale.

@@ -1,0 +1,163 @@
+//! Acceptance test for the telemetry layer: a full orchestrator `run()`
+//! plus a TM failover simulation, sharing one registry, must produce a
+//! `RunReport` JSON containing greedy iterations, final modeled benefit,
+//! prefixes advertised vs budget, probe RTT p50/p99, failover count, and
+//! time-to-failover p99 — parsed back and sanity-checked here.
+
+use painter::bgp::PrefixId;
+use painter::core::{GroundTruthEnv, Orchestrator, OrchestratorConfig};
+use painter::eval::helpers::world_direct;
+use painter::eval::{Scale, Scenario};
+use painter::eventsim::SimTime;
+use painter::measure::UgId;
+use painter::obs::{Registry, RunReport, Section};
+use painter::tm::{TmSimulation, TmSimulationConfig};
+use painter::topology::PopId;
+
+/// Builds the report the acceptance criteria describe.
+fn full_run_report(obs: &Registry) -> RunReport {
+    // --- Orchestrator: advertise→measure→learn at budget 6.
+    let scenario = Scenario::azure_like(Scale::Test, 404);
+    let mut world = world_direct(&scenario);
+    let budget = 6;
+    let mut orch = Orchestrator::with_obs(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: budget, max_iterations: 3, ..Default::default() },
+        obs.clone(),
+    );
+    let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+    let orch_report = {
+        let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+        orch.run(&mut env)
+    };
+
+    // --- Traffic Manager: two paths, primary dies at t=1s.
+    let mut sim =
+        TmSimulation::with_obs(TmSimulationConfig { seed: 11, ..Default::default() }, obs.clone());
+    let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+    let _t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+    sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+    sim.run(SimTime::from_secs(3.0));
+
+    let mut report = RunReport::new("full-run");
+    report.push_section(
+        Section::new("orchestrator")
+            .field("greedy_iterations", orch_report.iterations.len())
+            .field("prefix_budget", budget)
+            .field("prefixes_advertised", orch_report.final_config.prefix_count())
+            .field(
+                "final_measured_benefit",
+                orch_report.iterations.last().map(|i| i.measured_benefit).unwrap_or(0.0),
+            ),
+    );
+    report.push_section(
+        Section::new("traffic_manager")
+            .field("requests", sim.records().len())
+            .field("switches", sim.switch_log().len()),
+    );
+    report.add_snapshot(obs.snapshot());
+    report
+}
+
+#[test]
+fn full_run_produces_parseable_complete_report() {
+    let obs = Registry::new();
+    let report = full_run_report(&obs);
+    let json = report.to_json();
+    let doc = painter::obs::json::parse(&json).expect("report must be valid JSON");
+
+    // Section summaries survive the round trip.
+    let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
+    assert_eq!(sections.len(), 2);
+    let orch = &sections[0];
+    assert_eq!(orch.get("title").and_then(|v| v.as_str()), Some("orchestrator"));
+    let fields = orch.get("fields").expect("fields");
+    let iterations = fields.get("greedy_iterations").and_then(|v| v.as_f64()).unwrap();
+    assert!(iterations >= 1.0, "at least one greedy iteration ran");
+    let advertised = fields.get("prefixes_advertised").and_then(|v| v.as_f64()).unwrap();
+    let budget = fields.get("prefix_budget").and_then(|v| v.as_f64()).unwrap();
+    assert!(advertised >= 1.0 && advertised <= budget, "{advertised} vs budget {budget}");
+
+    if !painter::obs::enabled() {
+        // obs-off build: the summaries above still work, metrics are empty.
+        assert!(report.metrics.metrics.is_empty());
+        return;
+    }
+
+    let metrics = doc.get("metrics").expect("metrics object");
+    let counter = |name: &str| {
+        metrics
+            .get(name)
+            .and_then(|m| m.get("value"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    let hist_stat = |name: &str, stat: &str| {
+        metrics
+            .get(name)
+            .and_then(|m| m.get(stat))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("histogram {name}.{stat} missing"))
+    };
+
+    // Greedy iterations + modeled benefit agree with the section summary.
+    assert_eq!(counter("core.run_iterations_total"), iterations);
+    let modeled = metrics
+        .get("core.greedy_modeled_benefit")
+        .and_then(|m| m.get("value"))
+        .and_then(|v| v.as_f64())
+        .expect("final modeled benefit gauge");
+    assert!(modeled > 0.0, "the greedy must find some benefit");
+
+    // Prefixes advertised vs budget.
+    let used = metrics
+        .get("core.greedy_prefixes_used")
+        .and_then(|m| m.get("value"))
+        .and_then(|v| v.as_f64())
+        .expect("prefixes-used gauge");
+    assert!(used >= 1.0 && used <= budget);
+    let utilization = metrics
+        .get("core.prefix_budget_utilization")
+        .and_then(|m| m.get("value"))
+        .and_then(|v| v.as_f64())
+        .expect("utilization gauge");
+    assert!((utilization - used / budget).abs() < 1e-9);
+
+    // Probe RTT p50/p99: the surviving 50 ms path dominates late probes,
+    // and p50 covers at least the fast path's 20 ms RTT.
+    assert!(hist_stat("tm.probe_rtt_ms", "count") > 0.0);
+    let p50 = hist_stat("tm.probe_rtt_ms", "p50");
+    let p99 = hist_stat("tm.probe_rtt_ms", "p99");
+    assert!(p50 >= 19.0, "probe p50 {p50} below any path RTT");
+    assert!(p99 >= p50 && p99 < 1000.0, "probe p99 {p99} out of range");
+
+    // Failover count and time-to-failover p99 at RTT timescale.
+    assert_eq!(counter("tm.failovers_total"), 1.0);
+    let ttf_p99 = hist_stat("tm.time_to_failover_ms", "p99");
+    assert!(
+        ttf_p99 > 0.0 && ttf_p99 < 200.0,
+        "time-to-failover p99 {ttf_p99} ms must be RTT-timescale"
+    );
+
+    // The human rendering mentions the same subsystems.
+    let table = report.render_table();
+    assert!(table.contains("[orchestrator]"));
+    assert!(table.contains("tm.time_to_failover_ms"));
+}
+
+#[test]
+fn shared_registry_merges_subsystem_metrics() {
+    let obs = Registry::new();
+    let report = full_run_report(&obs);
+    if !painter::obs::enabled() {
+        return;
+    }
+    // One registry, three subsystems: core.* and tm.* names coexist in a
+    // single sorted snapshot.
+    let names: Vec<&str> = report.metrics.metrics.iter().map(|m| m.name()).collect();
+    assert!(names.iter().any(|n| n.starts_with("core.")));
+    assert!(names.iter().any(|n| n.starts_with("tm.")));
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot is name-sorted");
+}

@@ -25,12 +25,8 @@ fn series<'f>(fig: &'f Figure, name: &str) -> &'f painter::eval::Series {
 fn claim_dns_records_outlive_their_ttl() {
     let fig = figure("fig3");
     let cloud_a = series(&fig, "Cloud A");
-    let at_5min = cloud_a
-        .points
-        .iter()
-        .find(|(x, _)| *x == 300.0)
-        .map(|(_, y)| *y)
-        .expect("5-minute point");
+    let at_5min =
+        cloud_a.points.iter().find(|(x, _)| *x == 300.0).map(|(_, y)| *y).expect("5-minute point");
     assert!(at_5min > 50.0, "Cloud A at +5min: {at_5min}%");
 }
 
@@ -59,10 +55,7 @@ fn claim_dns_steering_sacrifices_benefit() {
     let painter = series(&fig, "PAINTER").points.last().expect("points").1;
     let dns = series(&fig, "PAINTER w/ DNS").points.last().expect("points").1;
     assert!(dns < painter, "DNS {dns} >= PAINTER {painter}");
-    assert!(
-        dns < 0.85 * painter,
-        "DNS should lose a visible share: {dns} vs {painter}"
-    );
+    assert!(dns < 0.85 * painter, "DNS should lose a visible share: {dns} vs {painter}");
 }
 
 /// §5.2.3 / Fig. 10: failover at RTT timescales, orders of magnitude
@@ -101,11 +94,7 @@ fn claim_painter_exposes_more_paths() {
     let sdwan = series(&fig11b, "SD-WAN");
     // Fraction of UGs that can avoid the entire default path.
     let full_avoid = |pts: &[(f64, f64)]| {
-        1.0 - pts
-            .iter()
-            .filter(|(x, _)| *x < 1.0 - 1e-9)
-            .map(|(_, y)| *y)
-            .fold(0.0f64, f64::max)
+        1.0 - pts.iter().filter(|(x, _)| *x < 1.0 - 1e-9).map(|(_, y)| *y).fold(0.0f64, f64::max)
     };
     assert!(
         full_avoid(&painter.points) >= full_avoid(&sdwan.points),
@@ -124,10 +113,7 @@ fn claim_prefix_cost_scales_with_deployment() {
     // At test scale each deployment fraction draws a different peering
     // set, so allow one prefix of noise; the paper-scale harness shows
     // the clean linear trend.
-    assert!(
-        last >= first - 1.0,
-        "bigger deployments should need >= prefixes: {first} -> {last}"
-    );
+    assert!(last >= first - 1.0, "bigger deployments should need >= prefixes: {first} -> {last}");
 }
 
 /// §2.4 / §5.1.2: PAINTER limits its BGP routing-table impact through

@@ -3,9 +3,7 @@
 
 use painter::bgp::PrefixId;
 use painter::net::{encapsulate, FiveTuple, PROTO_TCP};
-use painter::tm::{
-    pop::client_packet, EdgeConfig, EdgeService, MultipathScheduler, TmEdge, TmPop,
-};
+use painter::tm::{pop::client_packet, EdgeConfig, EdgeService, MultipathScheduler, TmEdge, TmPop};
 use painter::topology::PopId;
 use std::time::Duration;
 
@@ -20,20 +18,13 @@ fn service_feeds_multipath_scheduler() {
     let service = EdgeService::start(
         edge,
         |dst: u32| {
-            Some(if dst == 100 {
-                Duration::from_millis(10)
-            } else {
-                Duration::from_millis(30)
-            })
+            Some(if dst == 100 { Duration::from_millis(10) } else { Duration::from_millis(30) })
         },
         Duration::from_millis(5),
     );
     // Let several probe rounds land.
     for _ in 0..12 {
-        service
-            .events()
-            .recv_timeout(Duration::from_secs(5))
-            .expect("prober events");
+        service.events().recv_timeout(Duration::from_secs(5)).expect("prober events");
     }
     let edge = service.shutdown();
     // sRTTs converged toward 10 vs 30 ms.
