@@ -63,6 +63,36 @@ fn bench_greedy_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // Serial vs parallel allocation on the repository's paper-scale world
+    // (25 PoPs; the generator yields a few hundred ingresses where the
+    // paper's deployment had ~9,000, but the cost shape — a few wide
+    // transit peerings towering over many narrow ones — matches). The
+    // output is bit-identical at every thread count, so only the wall
+    // clock should move; speedup requires the host to actually have
+    // cores, which CI runners and laptops do and 1-CPU containers don't.
+    let mut group = c.benchmark_group("orchestrator/parallel");
+    group.sample_size(10);
+    let s = Scenario::peering_like(painter_eval::Scale::Paper, 305);
+    let world = world_direct(&s);
+    for &threads in &[1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &world.inputs, |b, inputs| {
+            b.iter(|| {
+                let orch = Orchestrator::new(
+                    inputs.clone(),
+                    OrchestratorConfig {
+                        prefix_budget: 8,
+                        threads: Some(threads),
+                        ..Default::default()
+                    },
+                );
+                orch.compute_config()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_learning_iteration(c: &mut Criterion) {
     let s = scenario_sized(200, 12, 303);
     c.bench_function("orchestrator/learning-iteration", |b| {
@@ -93,7 +123,13 @@ fn bench_benefit_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_greedy_scaling, bench_learning_iteration, bench_benefit_evaluation);
+criterion_group!(
+    benches,
+    bench_greedy_scaling,
+    bench_parallel_speedup,
+    bench_learning_iteration,
+    bench_benefit_evaluation
+);
 
 fn main() {
     benches();

@@ -28,6 +28,9 @@
 //! * [`inputs`] — the measurement-derived inputs every component consumes
 //!   (per-UG candidate ingresses with believed latencies, anycast
 //!   latencies, weights).
+//! * [`parallel`] — deterministic parallel scoring: pool construction,
+//!   `PAINTER_THREADS` resolution, and the fixed-chunk fold discipline
+//!   that keeps results bit-identical across thread counts.
 
 pub mod benefit;
 pub mod compliance;
@@ -35,6 +38,7 @@ pub mod inputs;
 pub mod installer;
 pub mod model;
 pub mod orchestrator;
+pub mod parallel;
 pub mod strategies;
 
 pub use benefit::{BenefitRange, ConfigEvaluator};

@@ -14,14 +14,26 @@
 //! the worst case, but fast in practice because each UG has paths via a
 //! small fraction of ingresses — the greedy only revisits UGs whose
 //! candidate sets intersect the prefix being grown.
+//!
+//! # Parallel execution
+//!
+//! Candidate scoring — the compute-bound inner loop — fans out over a
+//! [`rayon`] pool owned by the [`Orchestrator`] (sized by
+//! [`OrchestratorConfig::threads`], `PAINTER_THREADS`, or all cores; see
+//! [`crate::parallel`]). The determinism contract is strict: **output is
+//! bit-identical at every thread count**, because parallel sections only
+//! evaluate pure scores, every reduction folds in source order, and ties
+//! break on the total `(delta, peering id)` order — never on scheduling.
 
 use crate::benefit::{BenefitRange, ConfigEvaluator};
 use crate::inputs::OrchestratorInputs;
 use crate::model::RoutingModel;
+use crate::parallel;
 use painter_bgp::{AdvertConfig, PrefixId};
 use painter_measure::{GroundTruth, Pinger, UgId};
 use painter_obs::{obs_count, obs_gauge};
 use painter_topology::PeeringId;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Hyperparameters of Algorithm 1.
@@ -39,6 +51,17 @@ pub struct OrchestratorConfig {
     /// Stop learning when the measured benefit improves by less than this
     /// fraction between iterations.
     pub convergence_threshold: f64,
+    /// Worker threads for parallel candidate scoring. `None` defers to the
+    /// `PAINTER_THREADS` environment variable, then to all available
+    /// cores. The computed configuration is bit-identical at every
+    /// setting; this only changes how fast it arrives.
+    pub threads: Option<usize>,
+    /// How many stale lazy-greedy candidates are speculatively rescored
+    /// together (in parallel) when one reaches the top of the queue. Pure
+    /// prefetch: the scores land in a cache the serial pop order consumes,
+    /// so the output is identical for *every* batch size and thread
+    /// count — only wall-clock time changes.
+    pub batch_recompute: usize,
 }
 
 impl Default for OrchestratorConfig {
@@ -49,6 +72,8 @@ impl Default for OrchestratorConfig {
             max_iterations: 4,
             min_marginal_benefit: 1e-9,
             convergence_threshold: 0.01,
+            threads: None,
+            batch_recompute: 16,
         }
     }
 }
@@ -148,6 +173,11 @@ pub struct GreedyTrace {
 }
 
 /// Priority-queue entry for the lazy greedy.
+///
+/// The ordering is total over `(delta, pe)` (peering ids are unique in
+/// the queue), so the heap's pop sequence is a function of its contents
+/// alone — equal-benefit candidates commit lowest-peering-first no matter
+/// what order parallel scoring delivered them in.
 struct CandEntry {
     delta: f64,
     version: u64,
@@ -185,6 +215,10 @@ pub struct Orchestrator {
     /// a private one; share a registry across subsystems with
     /// [`Orchestrator::with_obs`].
     pub obs: painter_obs::Registry,
+    /// Scoring pool, sized by [`OrchestratorConfig::threads`] at
+    /// construction (see [`crate::parallel`] for the resolution order and
+    /// the determinism contract).
+    pub pool: rayon::ThreadPool,
 }
 
 impl Orchestrator {
@@ -201,7 +235,8 @@ impl Orchestrator {
         obs: painter_obs::Registry,
     ) -> Self {
         let model = RoutingModel::new(config.d_reuse_km);
-        Orchestrator { config, inputs, model, obs }
+        let pool = parallel::build_pool(config.threads);
+        Orchestrator { config, inputs, model, obs, pool }
     }
 
     /// One pass of the greedy allocator (Algorithm 1's inner loops) under
@@ -222,6 +257,7 @@ impl Orchestrator {
     pub fn compute_config_traced(&self) -> (AdvertConfig, GreedyTrace) {
         let _span = painter_obs::Span::enter(&self.obs, "core.greedy_compute_ms");
         let delta_hist = self.obs.histogram("core.greedy_benefit_delta");
+        obs_gauge!(self.obs, "core.greedy_threads", self.pool.current_num_threads() as f64);
         let n_ugs = self.inputs.ugs.len();
         let pb = self.config.prefix_budget;
         // UGs per peering (candidate incidence), computed once.
@@ -246,42 +282,118 @@ impl Orchestrator {
             // stale cached value is an upper bound worth re-checking only
             // at the top.
             let mut version = 0u64;
-            let mut heap: std::collections::BinaryHeap<CandEntry> =
-                std::collections::BinaryHeap::new();
-            {
+            // Initial fill: score every candidate peering in parallel
+            // (pure reads of `self` and the caches), then heapify. The
+            // heap's (delta, peering id) order is total, so its pop
+            // sequence doesn't depend on which worker scored what.
+            let fill: Vec<CandEntry> = {
                 let current: Vec<PeeringId> = Vec::new();
-                for pe_idx in 0..self.inputs.peering_count {
-                    if by_peering[pe_idx].is_empty() {
-                        continue;
-                    }
-                    let pe = PeeringId(pe_idx as u32);
-                    let delta =
-                        self.candidate_delta(pe, &current, p_idx, &by_peering, &prefix_mean);
-                    if delta > self.config.min_marginal_benefit {
-                        heap.push(CandEntry { delta, version, pe });
-                    }
-                }
-            }
+                let (by_peering, prefix_mean) = (&by_peering, &prefix_mean);
+                let current = &current;
+                self.pool.install(|| {
+                    (0..self.inputs.peering_count)
+                        .into_par_iter()
+                        .filter_map(|pe_idx| {
+                            if by_peering[pe_idx].is_empty() {
+                                return None;
+                            }
+                            let pe = PeeringId(pe_idx as u32);
+                            let delta =
+                                self.candidate_delta(pe, current, p_idx, by_peering, prefix_mean);
+                            (delta > self.config.min_marginal_benefit).then_some(CandEntry {
+                                delta,
+                                version,
+                                pe,
+                            })
+                        })
+                        .collect()
+                })
+            };
+            obs_count!(self.obs, "core.parallel_tasks", self.inputs.peering_count as u64);
+            let mut heap = std::collections::BinaryHeap::from(fill);
+            let batch = self.config.batch_recompute.max(1);
+            // Speculative rescore cache: between two commits, `current` and
+            // `prefix_mean` are frozen, so any rescore the serial algorithm
+            // would perform in that window can be precomputed. Stale-top
+            // batches fill this cache in parallel; the lazy loop consumes
+            // it in its ordinary pop order, so the committed sequence is
+            // exactly the one-at-a-time algorithm's. Invalidated (cleared)
+            // on every commit.
+            let mut rescore_cache: HashMap<PeeringId, f64> = HashMap::new();
             loop {
                 let current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
                 let Some(top) = heap.pop() else { break };
                 if top.version != version {
-                    // Stale: recompute and reinsert if still promising.
-                    let delta =
-                        self.candidate_delta(top.pe, &current, p_idx, &by_peering, &prefix_mean);
+                    if let Some(&delta) = rescore_cache.get(&top.pe) {
+                        // Prefetched earlier in this commit window.
+                        if delta > self.config.min_marginal_benefit {
+                            heap.push(CandEntry { delta, version, pe: top.pe });
+                        }
+                        continue;
+                    }
+                    // Pop ahead: the next stale entries (by cached value)
+                    // are exactly the candidates the serial loop would
+                    // rescore next if no commit intervenes, so score up to
+                    // `batch` of them together. All but the top go straight
+                    // back with their cached values — only the cache
+                    // remembers the speculative scores.
+                    let mut extra: Vec<CandEntry> = Vec::new();
+                    while extra.len() + 1 < batch {
+                        match heap.peek() {
+                            Some(e)
+                                if e.version != version && !rescore_cache.contains_key(&e.pe) =>
+                            {
+                                extra.push(heap.pop().expect("peeked entry"));
+                            }
+                            _ => break,
+                        }
+                    }
+                    let to_score: Vec<PeeringId> =
+                        std::iter::once(top.pe).chain(extra.iter().map(|e| e.pe)).collect();
+                    obs_count!(self.obs, "core.greedy_batch_recompute", 1);
+                    obs_count!(self.obs, "core.parallel_tasks", to_score.len() as u64);
+                    let rescored: Vec<(PeeringId, f64)> = {
+                        let (by_peering, prefix_mean, current) =
+                            (&by_peering, &prefix_mean, &current);
+                        self.pool.install(|| {
+                            to_score
+                                .par_iter()
+                                .map(|&pe| {
+                                    let delta = self.candidate_delta(
+                                        pe,
+                                        current,
+                                        p_idx,
+                                        by_peering,
+                                        prefix_mean,
+                                    );
+                                    (pe, delta)
+                                })
+                                .collect()
+                        })
+                    };
+                    rescore_cache.extend(rescored);
+                    let delta = rescore_cache[&top.pe];
                     if delta > self.config.min_marginal_benefit {
                         heap.push(CandEntry { delta, version, pe: top.pe });
                     }
+                    for e in extra {
+                        heap.push(e);
+                    }
                     continue;
                 }
-                // Fresh top candidate: commit it.
+                // Fresh top candidate: commit it. The cached speculative
+                // scores were computed against the pre-commit set, so they
+                // die here.
+                rescore_cache.clear();
                 let (delta, pe) = (top.delta, top.pe);
                 cc.add(prefix, pe);
                 version += 1;
                 added_any = true;
                 running_benefit += delta;
                 delta_hist.record(delta);
-                // Refresh caches for affected UGs.
+                // Refresh caches for affected UGs: gather the affected
+                // index set serially (ascending UG index), score the
+                // expectations in parallel, write back serially.
                 let new_current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
                 let mut affected = vec![false; n_ugs];
                 for p in &new_current {
@@ -289,13 +401,23 @@ impl Orchestrator {
                         affected[u] = true;
                     }
                 }
-                for (u, is_affected) in affected.iter().enumerate() {
-                    if *is_affected {
-                        prefix_mean[u][p_idx] = self
-                            .model
-                            .expected_latency(&self.inputs, u, &new_current)
-                            .map(|e| e.mean_ms);
-                    }
+                let affected_idx: Vec<usize> = (0..n_ugs).filter(|&u| affected[u]).collect();
+                obs_count!(self.obs, "core.parallel_tasks", affected_idx.len() as u64);
+                let means: Vec<Option<f64>> = {
+                    let new_current = &new_current;
+                    self.pool.install(|| {
+                        affected_idx
+                            .par_iter()
+                            .map(|&u| {
+                                self.model
+                                    .expected_latency(&self.inputs, u, new_current)
+                                    .map(|e| e.mean_ms)
+                            })
+                            .collect()
+                    })
+                };
+                for (&u, mean) in affected_idx.iter().zip(means) {
+                    prefix_mean[u][p_idx] = mean;
                 }
             }
             if !added_any {
@@ -354,18 +476,48 @@ impl Orchestrator {
         }
         let mut current_benefit = evaluator.benefit(&pruned);
         // Consider pairs in a stable order; re-evaluate after each removal.
+        // Removal trials are scored speculatively in parallel batches
+        // against the current `pruned`; the moment a removal lands, the
+        // remaining speculative scores are stale, so the batch restarts
+        // after it. Decisions replay the serial sequence exactly — each
+        // one consumes a benefit computed against the same base the
+        // serial code would use — so the result is thread-count invariant.
         let pairs: Vec<(PrefixId, PeeringId)> = pruned
             .iter()
             .flat_map(|(p, pes)| pes.iter().map(move |&pe| (p, pe)).collect::<Vec<_>>())
             .collect();
-        for (prefix, pe) in pairs {
-            let mut trial = pruned.clone();
-            trial.remove(prefix, pe);
-            let trial_benefit = evaluator.benefit(&trial);
-            if current_benefit - trial_benefit <= keep_threshold {
-                pruned = trial;
-                current_benefit = trial_benefit;
+        let batch = self.config.batch_recompute.max(1);
+        let mut i = 0;
+        while i < pairs.len() {
+            let end = (i + batch).min(pairs.len());
+            obs_count!(self.obs, "core.parallel_tasks", (end - i) as u64);
+            let trial_benefits: Vec<f64> = {
+                let (pairs, pruned) = (&pairs[i..end], &pruned);
+                let evaluator = &evaluator;
+                self.pool.install(|| {
+                    pairs
+                        .par_iter()
+                        .map(|&(prefix, pe)| {
+                            let mut trial = pruned.clone();
+                            trial.remove(prefix, pe);
+                            evaluator.benefit(&trial)
+                        })
+                        .collect()
+                })
+            };
+            let mut next = end;
+            for (k, &(prefix, pe)) in pairs[i..end].iter().enumerate() {
+                let trial_benefit = trial_benefits[k];
+                if current_benefit - trial_benefit <= keep_threshold {
+                    pruned.remove(prefix, pe);
+                    current_benefit = trial_benefit;
+                    // Scores after this one were computed against the
+                    // pre-removal config; rescore them next round.
+                    next = i + k + 1;
+                    break;
+                }
             }
+            i = next;
         }
 
         // --- Pass 2: grow greedily from the pruned base. Reuse the
@@ -392,6 +544,11 @@ impl Orchestrator {
     }
 
     /// Marginal modeled benefit of adding `pe` to prefix `p_idx`'s set.
+    ///
+    /// One scoring task: pure reads of `self` and the caches, and the
+    /// float fold runs serially in here — parallel callers get a single
+    /// scalar back, so the association of every `+` is fixed by the data
+    /// regardless of which worker ran the task.
     fn candidate_delta(
         &self,
         pe: PeeringId,
@@ -830,5 +987,67 @@ mod tests {
         let mut env = GroundTruthEnv::new(&mut gt, ug_ids).with_noise(5);
         let report = orch.run(&mut env);
         assert!(report.iterations.last().unwrap().measured_benefit >= 0.0);
+    }
+
+    #[test]
+    fn cand_entry_order_is_total_over_delta_and_peering() {
+        let mk = |delta: f64, pe: u32| CandEntry { delta, version: 0, pe: PeeringId(pe) };
+        // Higher marginal benefit pops first...
+        assert!(mk(2.0, 5) > mk(1.0, 0));
+        // ...and equal benefits break toward the lower peering id, making
+        // the order total whenever peering ids are distinct.
+        assert!(mk(1.0, 2) > mk(1.0, 7));
+        assert_eq!(mk(1.0, 3).cmp(&mk(1.0, 3)), std::cmp::Ordering::Equal);
+        // A heap's pop sequence over distinct (delta, pe) keys is a
+        // function of its contents alone — insertion order (and therefore
+        // which worker thread scored which candidate) is irrelevant.
+        let keys = [(1.0, 4u32), (1.0, 1), (2.5, 9), (0.5, 0), (2.5, 2), (1.0, 0)];
+        let pop_all = |ks: &[(f64, u32)]| -> Vec<(f64, u32)> {
+            let mut heap: std::collections::BinaryHeap<CandEntry> =
+                ks.iter().map(|&(d, p)| mk(d, p)).collect();
+            std::iter::from_fn(|| heap.pop().map(|e| (e.delta, e.pe.0))).collect()
+        };
+        let reversed: Vec<(f64, u32)> = keys.iter().rev().copied().collect();
+        let expect = vec![(2.5, 2), (2.5, 9), (1.0, 0), (1.0, 1), (1.0, 4), (0.5, 0)];
+        assert_eq!(pop_all(&keys), expect);
+        assert_eq!(pop_all(&reversed), expect);
+    }
+
+    #[test]
+    fn equal_benefit_peerings_commit_lowest_id_first() {
+        // Regression: two peerings offering *identical* benefit must
+        // resolve by peering id, not by scoring order — at every thread
+        // count.
+        let inputs = OrchestratorInputs {
+            ugs: vec![crate::inputs::UgView {
+                id: UgId(0),
+                metro: painter_geo::MetroId(0),
+                weight: 1.0,
+                anycast_ms: 80.0,
+                candidates: vec![(PeeringId(0), 30.0), (PeeringId(1), 30.0)],
+            }],
+            ug_pop_km: vec![vec![0.0]],
+            peering_pop: vec![0, 0],
+            peering_count: 2,
+        };
+        let mut configs = Vec::new();
+        for threads in [1usize, 8] {
+            let orch = Orchestrator::new(
+                inputs.clone(),
+                OrchestratorConfig {
+                    prefix_budget: 2,
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+            );
+            let (cc, _) = orch.compute_config_traced();
+            assert_eq!(
+                cc.peerings_of(PrefixId(0)),
+                &[PeeringId(0)],
+                "tie must break toward the lower peering id (threads={threads})"
+            );
+            configs.push(cc);
+        }
+        assert_eq!(configs[0], configs[1]);
     }
 }

@@ -1,0 +1,83 @@
+//! Deterministic parallel execution for the orchestrator.
+//!
+//! The greedy allocator is the hottest path in the repository, and at
+//! paper scale (25 PoPs, ~9,000 ingresses) it is compute-bound on
+//! candidate scoring. This module owns how that work fans out over
+//! threads while keeping a hard contract: **the same inputs produce
+//! bit-identical outputs at every thread count**. The rules that make
+//! that true:
+//!
+//! 1. Parallel sections only *score* — pure functions of immutable
+//!    state. All mutation (heap pushes, commits, cache writes) happens
+//!    serially on the caller's thread, in an order derived from data,
+//!    never from scheduling.
+//! 2. Anything order-sensitive is folded in a fixed order: parallel
+//!    `collect` preserves source order, and a floating-point fold never
+//!    crosses a task boundary — each scoring task accumulates its own
+//!    sum serially and hands back one scalar, so the association of
+//!    every `+` is fixed by the data, never by the schedule. The serial
+//!    and parallel paths are bit-identical (not merely both
+//!    deterministic).
+//! 3. Whenever two candidates could tie, the tie is broken by a total
+//!    order over `(delta, peering id)` — never by arrival order.
+//!
+//! Thread-count resolution: an explicit
+//! [`OrchestratorConfig::threads`](crate::OrchestratorConfig) wins, then
+//! the `PAINTER_THREADS` environment variable, then all available cores.
+//!
+//! Pool ownership: each [`Orchestrator`](crate::Orchestrator) builds and
+//! owns one pool at construction; harnesses that fan out whole figure
+//! bodies or budget sweeps build their own via [`build_pool`] and the
+//! orchestrators nested inside install their own pools on their worker
+//! threads (nested `install` is scoped, so the counts never leak).
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Resolves the worker-thread count: explicit request → `PAINTER_THREADS`
+/// environment variable → all available cores. Always at least 1.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| std::env::var("PAINTER_THREADS").ok().and_then(|s| s.parse().ok()))
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Builds a scoring pool with [`effective_threads`]`(requested)` workers.
+pub fn build_pool(requested: Option<usize>) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(effective_threads(requested))
+        .build()
+        .expect("failed to build scoring thread pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_threads_win() {
+        assert_eq!(effective_threads(Some(3)), 3);
+        assert_eq!(effective_threads(Some(1)), 1);
+        // Zero is not a valid pool size; fall through to defaults.
+        assert!(effective_threads(Some(0)) >= 1);
+        assert!(effective_threads(None) >= 1);
+    }
+
+    #[test]
+    fn env_override_applies_when_unset() {
+        // Serialized with any other env-touching test by being the only
+        // one in this module that writes the variable.
+        std::env::set_var("PAINTER_THREADS", "5");
+        assert_eq!(effective_threads(None), 5);
+        assert_eq!(effective_threads(Some(2)), 2, "explicit beats env");
+        std::env::set_var("PAINTER_THREADS", "not-a-number");
+        assert!(effective_threads(None) >= 1);
+        std::env::remove_var("PAINTER_THREADS");
+    }
+
+    #[test]
+    fn pool_runs_closures() {
+        let pool = build_pool(Some(2));
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

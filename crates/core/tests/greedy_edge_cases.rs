@@ -1,0 +1,129 @@
+//! Degenerate-input behaviour of the greedy allocator, serial and
+//! parallel: empty budgets, empty worlds, single shared peerings, and
+//! all-negative marginal benefits must all yield an empty (or minimal)
+//! configuration without panicking — identically at every thread count.
+
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_core::{GreedyTrace, Orchestrator, OrchestratorConfig, OrchestratorInputs, UgView};
+use painter_geo::MetroId;
+use painter_measure::UgId;
+use painter_topology::PeeringId;
+
+/// A hand-built world: `candidates[u]` lists `(peering, believed ms)`
+/// per UG, every peering sits on PoP 0, and every UG is 0 km from it.
+fn inputs(
+    anycast_ms: f64,
+    candidates: Vec<Vec<(PeeringId, f64)>>,
+    peerings: usize,
+) -> OrchestratorInputs {
+    let ugs: Vec<UgView> = candidates
+        .into_iter()
+        .enumerate()
+        .map(|(i, cand)| UgView {
+            id: UgId(i as u32),
+            metro: MetroId(0),
+            weight: 1.0,
+            anycast_ms,
+            candidates: cand,
+        })
+        .collect();
+    let n = ugs.len();
+    OrchestratorInputs {
+        ugs,
+        ug_pop_km: vec![vec![0.0]; n],
+        peering_pop: vec![0; peerings],
+        peering_count: peerings,
+    }
+}
+
+/// Runs the allocator at 1 and 8 threads, asserts the outputs match, and
+/// returns the (shared) result.
+fn run_both(inputs: &OrchestratorInputs, budget: usize) -> (AdvertConfig, GreedyTrace) {
+    let at = |threads: usize| {
+        let orch = Orchestrator::new(
+            inputs.clone(),
+            OrchestratorConfig {
+                prefix_budget: budget,
+                threads: Some(threads),
+                ..Default::default()
+            },
+        );
+        orch.compute_config_traced()
+    };
+    let (serial_cfg, serial_trace) = at(1);
+    let (parallel_cfg, parallel_trace) = at(8);
+    assert_eq!(serial_cfg, parallel_cfg, "config diverged across thread counts");
+    let bits = |t: &GreedyTrace| {
+        t.after_each_prefix.iter().map(|&(k, b)| (k, b.to_bits())).collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&serial_trace), bits(&parallel_trace), "trace diverged across thread counts");
+    (serial_cfg, serial_trace)
+}
+
+#[test]
+fn zero_prefix_budget_yields_empty_config() {
+    let world = inputs(50.0, vec![vec![(PeeringId(0), 10.0)]], 1);
+    let (config, trace) = run_both(&world, 0);
+    assert!(config.is_empty());
+    assert!(trace.after_each_prefix.is_empty());
+}
+
+#[test]
+fn zero_ugs_yield_empty_config() {
+    let world = inputs(50.0, vec![], 3);
+    let (config, trace) = run_both(&world, 4);
+    assert!(config.is_empty());
+    assert!(trace.after_each_prefix.is_empty());
+}
+
+#[test]
+fn single_peering_shared_by_all_ugs_uses_one_prefix() {
+    // Ten UGs, one peering: the first prefix captures all the benefit and
+    // any further prefix would add nothing, so the greedy must stop after
+    // exactly one (prefix, peering) pair despite the larger budget.
+    let candidates = vec![vec![(PeeringId(0), 10.0)]; 10];
+    let world = inputs(50.0, candidates, 1);
+    let (config, trace) = run_both(&world, 5);
+    assert_eq!(config.pair_count(), 1);
+    assert_eq!(config.peerings_of(PrefixId(0)), &[PeeringId(0)]);
+    assert_eq!(trace.after_each_prefix.len(), 1);
+    // All ten UGs improve by 40 ms at weight 1.
+    assert!((trace.after_each_prefix[0].1 - 400.0).abs() < 1e-9);
+}
+
+#[test]
+fn all_negative_marginal_benefits_yield_empty_config() {
+    // Every candidate is *worse* than anycast, so no addition can clear
+    // the minimum marginal benefit.
+    let candidates =
+        vec![vec![(PeeringId(0), 90.0), (PeeringId(1), 120.0)], vec![(PeeringId(1), 75.0)]];
+    let world = inputs(50.0, candidates, 2);
+    let (config, trace) = run_both(&world, 3);
+    assert!(config.is_empty());
+    assert!(trace.after_each_prefix.is_empty());
+}
+
+#[test]
+fn refine_config_handles_empty_previous_and_zero_budget() {
+    let world = inputs(50.0, vec![vec![(PeeringId(0), 10.0)]], 1);
+    for budget in [0usize, 2] {
+        let at = |threads: usize| {
+            let orch = Orchestrator::new(
+                world.clone(),
+                OrchestratorConfig {
+                    prefix_budget: budget,
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+            );
+            orch.refine_config(&AdvertConfig::new(), 0.0)
+        };
+        let (serial, serial_ops) = at(1);
+        let (parallel, parallel_ops) = at(8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_ops, parallel_ops);
+        if budget == 0 {
+            assert!(serial.is_empty());
+        }
+    }
+}

@@ -16,7 +16,8 @@
 //! machine-readably, with every series' points included.
 
 use painter_eval::figs::{run, ALL_FIGURES};
-use painter_eval::{figures_report, Scale};
+use painter_eval::{figures_report, Figure, Scale};
+use rayon::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,10 +56,17 @@ fn main() {
             .collect()
     };
 
+    // Figure bodies are independent; fan them out over the scoring pool
+    // (PAINTER_THREADS-aware). The ordered collect keeps the output in
+    // request order, and any nested orchestrator installs its own pool on
+    // the worker it lands on.
+    let pool = painter_core::parallel::build_pool(None);
+    let results: Vec<(&str, Option<Figure>)> =
+        pool.install(|| requested.par_iter().map(|&id| (id, run(id, scale))).collect());
     let mut figures = Vec::new();
     let mut failed = false;
-    for id in requested {
-        match run(id, scale) {
+    for (id, fig) in results {
+        match fig {
             Some(fig) => figures.push(fig),
             None => {
                 eprintln!("unknown figure id: {id} (try `figures list`)");

@@ -13,6 +13,7 @@ use crate::{Figure, Series};
 use painter_core::{
     one_per_peering, one_per_pop, one_per_pop_with_reuse, BenefitRange, ConfigEvaluator,
 };
+use rayon::prelude::*;
 
 /// Runs the benefit-range analysis (the simulated-measurement variant,
 /// Fig. 14b; the PEERING variant has the same machinery with a different
@@ -31,15 +32,22 @@ pub fn run(scale: Scale) -> Figure {
     let mut series: Vec<Series> = Vec::new();
     let mut painter_spread_sum = 0.0;
     let mut pop_spread_sum = 0.0;
+    // Pure evaluations; fan each strategy's budget sweep out over the
+    // scoring pool (ordered collect keeps budget order).
+    let pool = painter_core::parallel::build_pool(None);
     for (name, maker) in strategy_makers() {
-        let mut pts: Vec<(f64, BenefitRange)> = Vec::new();
-        for &(frac, budget) in &budgets {
-            let config = match name {
-                "PAINTER" => restrict_to_budget(&painter_full, budget.min(max_budget)),
-                _ => maker(&s, &orch.inputs, budget),
-            };
-            pts.push((frac, eval.benefit_percent(&config)));
-        }
+        let pts: Vec<(f64, BenefitRange)> = pool.install(|| {
+            budgets
+                .par_iter()
+                .map(|&(frac, budget)| {
+                    let config = match name {
+                        "PAINTER" => restrict_to_budget(&painter_full, budget.min(max_budget)),
+                        _ => maker(&s, &orch.inputs, budget),
+                    };
+                    (frac, eval.benefit_percent(&config))
+                })
+                .collect()
+        });
         for (bound, pick) in bound_accessors() {
             series.push(Series::new(
                 format!("{name}/{bound}"),

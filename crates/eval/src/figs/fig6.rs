@@ -19,6 +19,7 @@ use painter_core::{
     Orchestrator, OrchestratorConfig, OrchestratorReport,
 };
 use painter_measure::UgId;
+use rayon::prelude::*;
 
 /// Budget fractions (percent of ingress count) swept on the x-axis.
 pub const BUDGET_FRACTIONS: &[f64] = &[0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
@@ -82,33 +83,33 @@ pub fn run_6a(scale: Scale) -> Figure {
     let eval = ConfigEvaluator::new(&orch.inputs, &orch.model);
     let painter_full = orch.compute_config();
 
-    let mut painter_pts = Vec::new();
-    let mut peering_pts = Vec::new();
-    let mut pop_pts = Vec::new();
-    let mut reuse_pts = Vec::new();
-    for &(frac, budget) in &budgets {
-        let painter = restrict_to_budget(&painter_full, budget.min(max_budget));
-        painter_pts.push((frac, eval.benefit_percent(&painter).estimated));
-        peering_pts.push((
-            frac,
-            eval.benefit_percent(&one_per_peering(&s.deployment, Some(&orch.inputs), budget))
-                .estimated,
-        ));
-        pop_pts.push((
-            frac,
-            eval.benefit_percent(&one_per_pop(&s.deployment, Some(&orch.inputs), budget)).estimated,
-        ));
-        reuse_pts.push((
-            frac,
-            eval.benefit_percent(&one_per_pop_with_reuse(
-                &s.deployment,
-                Some(&orch.inputs),
-                budget,
-                3000.0,
-            ))
-            .estimated,
-        ));
-    }
+    // Every budget point is a pure evaluation against the learned model,
+    // so the sweep fans out over the scoring pool; the ordered collect
+    // keeps the series in budget order, identical to the serial loop.
+    let pool = painter_core::parallel::build_pool(None);
+    let rows: Vec<(f64, f64, f64, f64, f64)> = pool.install(|| {
+        budgets
+            .par_iter()
+            .map(|&(frac, budget)| {
+                let painter = restrict_to_budget(&painter_full, budget.min(max_budget));
+                let peering = one_per_peering(&s.deployment, Some(&orch.inputs), budget);
+                let pop = one_per_pop(&s.deployment, Some(&orch.inputs), budget);
+                let reuse =
+                    one_per_pop_with_reuse(&s.deployment, Some(&orch.inputs), budget, 3000.0);
+                (
+                    frac,
+                    eval.benefit_percent(&painter).estimated,
+                    eval.benefit_percent(&peering).estimated,
+                    eval.benefit_percent(&pop).estimated,
+                    eval.benefit_percent(&reuse).estimated,
+                )
+            })
+            .collect()
+    });
+    let painter_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.1)).collect();
+    let peering_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.2)).collect();
+    let pop_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.3)).collect();
+    let reuse_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.4)).collect();
     let notes = vec![
         note_dominates(&painter_pts, &peering_pts, "One per Peering"),
         note_dominates(&painter_pts, &pop_pts, "One per PoP"),

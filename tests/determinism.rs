@@ -55,3 +55,71 @@ fn orchestrator_pipeline_is_deterministic() {
     };
     assert_eq!(run_once(), run_once());
 }
+
+/// The full orchestrator→TM pipeline must produce byte-identical
+/// `RunReport` JSON at every `PAINTER_THREADS` setting. Only wall-clock
+/// spans and the thread-count gauge are stripped before comparing —
+/// those legitimately differ; everything else (configs, benefit floats,
+/// simulated-time TM metrics) must not.
+#[test]
+fn run_report_is_thread_count_invariant() {
+    use painter::bgp::PrefixId;
+    use painter::core::{GroundTruthEnv, Orchestrator, OrchestratorConfig};
+    use painter::eval::helpers::world_direct;
+    use painter::eval::Scenario;
+    use painter::eventsim::SimTime;
+    use painter::measure::UgId;
+    use painter::obs::{Registry, RunReport, Section};
+    use painter::tm::{TmSimulation, TmSimulationConfig};
+    use painter::topology::PopId;
+
+    let report_json = |threads: &str| {
+        // Exercise the env-var path of the thread-count resolution (the
+        // config field is covered by the equivalence proptest).
+        std::env::set_var("PAINTER_THREADS", threads);
+        let obs = Registry::new();
+        let scenario = Scenario::azure_like(Scale::Test, 505);
+        let mut world = world_direct(&scenario);
+        let mut orch = Orchestrator::with_obs(
+            world.inputs.clone(),
+            OrchestratorConfig { prefix_budget: 5, max_iterations: 2, ..Default::default() },
+            obs.clone(),
+        );
+        let ug_ids: Vec<UgId> = orch.inputs.ugs.iter().map(|u| u.id).collect();
+        let orch_report = {
+            let mut env = GroundTruthEnv::new(&mut world.gt, ug_ids);
+            orch.run(&mut env)
+        };
+        let mut sim = TmSimulation::with_obs(
+            TmSimulationConfig { seed: 7, ..Default::default() },
+            obs.clone(),
+        );
+        let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+        let _t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+        sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+        sim.run(SimTime::from_secs(3.0));
+        std::env::remove_var("PAINTER_THREADS");
+
+        let mut report = RunReport::new("threads-invariance");
+        report.push_section(
+            Section::new("orchestrator")
+                .field("iterations", orch_report.iterations.len())
+                .field("prefixes_advertised", orch_report.final_config.prefix_count()),
+        );
+        let mut snap = obs.snapshot();
+        snap.metrics.retain(|m| {
+            !matches!(
+                m.name(),
+                "core.greedy_compute_ms" | "core.run_iter_ms" | "core.greedy_threads"
+            )
+        });
+        report.add_snapshot(snap);
+        report.to_json()
+    };
+
+    let one = report_json("1");
+    let two = report_json("2");
+    let eight = report_json("8");
+    assert_eq!(one, two, "RunReport differs between 1 and 2 threads");
+    assert_eq!(one, eight, "RunReport differs between 1 and 8 threads");
+}

@@ -1,0 +1,72 @@
+//! Serial/parallel equivalence of the greedy allocator.
+//!
+//! The determinism contract (see `painter_core::parallel`) promises that
+//! thread count changes wall-clock time and nothing else. These property
+//! tests hold it to that: over random seeds and budgets, `threads = 1`
+//! and `threads = 8` must produce identical `AdvertConfig` pair sets,
+//! bit-identical `GreedyTrace` benefit curves, and identical
+//! `refine_config` results (configuration *and* session-op count).
+
+use painter::bgp::AdvertConfig;
+use painter::core::{one_per_pop, Orchestrator, OrchestratorConfig};
+use painter::eval::helpers::world_direct;
+use painter::eval::{Scale, Scenario};
+use proptest::prelude::*;
+
+/// `ProptestConfig { cases }` set explicitly would shadow the
+/// `PROPTEST_CASES` environment variable CI relies on, so read it by
+/// hand; the default stays small because every case builds two worlds.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+}
+
+fn orchestrator_at(threads: usize, seed: u64, budget: usize) -> Orchestrator {
+    let s = Scenario::peering_like(Scale::Test, seed);
+    let world = world_direct(&s);
+    Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: budget, threads: Some(threads), ..Default::default() },
+    )
+}
+
+/// The greedy's observable output with float bits exposed, so equality
+/// means bit-identical, not merely approximately equal.
+fn greedy_output(threads: usize, seed: u64, budget: usize) -> (AdvertConfig, Vec<(usize, u64)>) {
+    let orch = orchestrator_at(threads, seed, budget);
+    let (config, trace) = orch.compute_config_traced();
+    let curve = trace.after_each_prefix.iter().map(|&(k, b)| (k, b.to_bits())).collect();
+    (config, curve)
+}
+
+fn refine_output(threads: usize, seed: u64, budget: usize) -> (AdvertConfig, usize) {
+    let s = Scenario::peering_like(Scale::Test, seed);
+    let world = world_direct(&s);
+    let orch = Orchestrator::new(
+        world.inputs.clone(),
+        OrchestratorConfig { prefix_budget: budget, threads: Some(threads), ..Default::default() },
+    );
+    // A deliberately over-provisioned previous deployment (larger than
+    // the budget) so both the prune and the grow pass have work to do.
+    let previous = one_per_pop(&s.deployment, Some(&orch.inputs), budget + 2);
+    orch.refine_config(&previous, 0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn compute_config_is_thread_count_invariant(seed in 0u64..1_000, budget in 1usize..8) {
+        let serial = greedy_output(1, seed, budget);
+        let parallel = greedy_output(8, seed, budget);
+        prop_assert_eq!(serial.0, parallel.0, "AdvertConfig diverged (seed {seed})");
+        prop_assert_eq!(serial.1, parallel.1, "benefit curve diverged (seed {seed})");
+    }
+
+    #[test]
+    fn refine_config_is_thread_count_invariant(seed in 0u64..1_000, budget in 1usize..8) {
+        let (serial_cfg, serial_ops) = refine_output(1, seed, budget);
+        let (parallel_cfg, parallel_ops) = refine_output(8, seed, budget);
+        prop_assert_eq!(serial_cfg, parallel_cfg, "refined config diverged (seed {seed})");
+        prop_assert_eq!(serial_ops, parallel_ops, "op count diverged (seed {seed})");
+    }
+}
