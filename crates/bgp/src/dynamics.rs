@@ -81,6 +81,15 @@ enum Event {
         peering: PeeringId,
         prefix: PrefixId,
     },
+    /// The whole peering session drops: every prefix it was advertising
+    /// is withdrawn at once, and remembered for [`Event::SessionUp`].
+    SessionDown {
+        peering: PeeringId,
+    },
+    /// The session re-establishes and re-announces what it carried.
+    SessionUp {
+        peering: PeeringId,
+    },
 }
 
 /// Timing knobs for the engine.
@@ -134,6 +143,9 @@ pub struct BgpEngine<'a> {
     states: Vec<AsState>,
     /// Peering sessions currently advertising each prefix (cloud side).
     cloud_active: HashSet<(PrefixId, PeeringId)>,
+    /// Prefixes a dropped session was carrying, to re-announce on
+    /// session-up. A repeated down before the up preserves the memory.
+    downed_sessions: HashMap<PeeringId, Vec<PrefixId>>,
     queue: EventQueue<Event>,
     rng: SimRng,
     now: SimTime,
@@ -159,6 +171,7 @@ impl<'a> BgpEngine<'a> {
             salt,
             states: (0..n).map(|_| AsState::default()).collect(),
             cloud_active: HashSet::new(),
+            downed_sessions: HashMap::new(),
             queue: EventQueue::new(),
             rng,
             now: SimTime::ZERO,
@@ -174,6 +187,20 @@ impl<'a> BgpEngine<'a> {
     /// Schedules a cloud-side withdrawal of `prefix` from `peering`.
     pub fn withdraw(&mut self, at: SimTime, prefix: PrefixId, peering: PeeringId) {
         self.queue.push(at, Event::CloudWithdraw { peering, prefix });
+    }
+
+    /// Schedules a whole-session drop of `peering` at `at`: every prefix
+    /// it is advertising *at that virtual time* is withdrawn in one
+    /// shot, and remembered so [`BgpEngine::session_up`] can restore it.
+    /// Models a BGP session reset (hold-timer expiry, interface down).
+    pub fn session_down(&mut self, at: SimTime, peering: PeeringId) {
+        self.queue.push(at, Event::SessionDown { peering });
+    }
+
+    /// Schedules the session's re-establishment: re-announces whatever
+    /// the matching [`BgpEngine::session_down`] withdrew.
+    pub fn session_up(&mut self, at: SimTime, peering: PeeringId) {
+        self.queue.push(at, Event::SessionUp { peering });
     }
 
     /// Runs the engine until `until` (inclusive). Can be called repeatedly
@@ -274,6 +301,27 @@ impl<'a> BgpEngine<'a> {
                         update: Update::Withdraw,
                     },
                 );
+            }
+            Event::SessionDown { peering } => {
+                let mut carried: Vec<PrefixId> = self
+                    .cloud_active
+                    .iter()
+                    .filter(|(_, p)| *p == peering)
+                    .map(|(prefix, _)| *prefix)
+                    .collect();
+                carried.sort_unstable(); // HashSet order must not leak into scheduling
+                for &prefix in &carried {
+                    self.handle(Event::CloudWithdraw { peering, prefix });
+                }
+                let memory = self.downed_sessions.entry(peering).or_default();
+                memory.extend(carried);
+                memory.sort_unstable();
+                memory.dedup();
+            }
+            Event::SessionUp { peering } => {
+                for prefix in self.downed_sessions.remove(&peering).unwrap_or_default() {
+                    self.handle(Event::CloudAnnounce { peering, prefix });
+                }
             }
             Event::Deliver { to, from, prefix, update } => {
                 self.churn.push(ChurnRecord {
@@ -707,6 +755,54 @@ mod tests {
         for stub in net.graph.stubs() {
             assert!(engine.current_path(stub.id, PrefixId(0)).is_none());
         }
+    }
+
+    #[test]
+    fn session_reset_withdraws_and_restores_every_carried_prefix() {
+        let ny =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "New York").unwrap();
+        let mut g = AsGraph::new();
+        let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
+        let dep = Deployment::for_tests(vec![ny], vec![(0, t1, PeeringKind::TransitProvider)]);
+        let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
+        let session = PeeringId(0);
+        engine.announce(SimTime::ZERO, PrefixId(0), session);
+        engine.announce(SimTime::ZERO, PrefixId(1), session);
+        engine.run_until(SimTime::from_secs(60.0));
+        assert!(engine.current_path(stub, PrefixId(0)).is_some());
+
+        engine.session_down(SimTime::from_secs(60.0), session);
+        engine.run_until(SimTime::from_secs(120.0));
+        assert!(engine.current_path(stub, PrefixId(0)).is_none(), "reset must drop prefix 0");
+        assert!(engine.current_path(stub, PrefixId(1)).is_none(), "reset must drop prefix 1");
+
+        engine.session_up(SimTime::from_secs(120.0), session);
+        engine.run_until(SimTime::from_secs(300.0));
+        assert!(engine.current_path(stub, PrefixId(0)).is_some(), "session-up must restore");
+        assert!(engine.current_path(stub, PrefixId(1)).is_some(), "session-up must restore");
+    }
+
+    #[test]
+    fn repeated_session_down_keeps_restore_memory() {
+        let ny =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "New York").unwrap();
+        let mut g = AsGraph::new();
+        let t1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(t1, stub, Relationship::ProviderOf).unwrap();
+        let dep = Deployment::for_tests(vec![ny], vec![(0, t1, PeeringKind::TransitProvider)]);
+        let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
+        let session = PeeringId(0);
+        engine.announce(SimTime::ZERO, PrefixId(0), session);
+        // Two downs with no up in between: the second sees no active
+        // prefixes but must not wipe the memory from the first.
+        engine.session_down(SimTime::from_secs(30.0), session);
+        engine.session_down(SimTime::from_secs(40.0), session);
+        engine.session_up(SimTime::from_secs(50.0), session);
+        engine.run_until(SimTime::from_secs(200.0));
+        assert!(engine.current_path(stub, PrefixId(0)).is_some());
     }
 
     #[test]

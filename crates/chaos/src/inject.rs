@@ -1,0 +1,284 @@
+//! Adapters from a compiled [`Schedule`] to the concrete simulators.
+//!
+//! Injection is split by plane, mirroring how the harness composes a
+//! campaign:
+//!
+//! * [`program_bgp`] — queues the control-plane events (session drops,
+//!   withdrawals, re-announcements) into a `BgpEngine` before it runs.
+//! * [`program_tm`] — queues the data/measurement-plane events (tunnel
+//!   blackholes, latency spikes, bursty-loss episodes, probe-fleet
+//!   loss) into a `TmSimulation` before it runs.
+//! * [`DataPlaneState`] — an incremental replay of administrative
+//!   PoP/tunnel liveness for harnesses that *sample* BGP state onto
+//!   channel schedules (the Fig. 10 pattern): a sampled path through a
+//!   dead PoP must be gated even though the BGP engine still carries
+//!   the route for a detection interval.
+//!
+//! Everything here only translates; all randomness was already spent at
+//! compile time, so programming the same schedule twice is trivially
+//! bit-identical.
+
+use crate::schedule::{FaultEvent, Schedule};
+use painter_bgp::dynamics::BgpEngine;
+use painter_eventsim::SimTime;
+use painter_tm::{TmSimulation, TunnelId};
+use painter_topology::PopId;
+
+/// Queues every control-plane injection into the BGP engine. Data-plane
+/// and measurement-plane events are skipped (see [`program_tm`]).
+/// Returns the number of events queued.
+pub fn program_bgp(schedule: &Schedule, engine: &mut BgpEngine<'_>) -> usize {
+    let mut queued = 0;
+    for inj in schedule.injections() {
+        match inj.event {
+            FaultEvent::SessionDown { peering } => engine.session_down(inj.at, peering),
+            FaultEvent::SessionUp { peering } => engine.session_up(inj.at, peering),
+            FaultEvent::Withdraw { prefix, peering } => engine.withdraw(inj.at, prefix, peering),
+            FaultEvent::Announce { prefix, peering } => engine.announce(inj.at, prefix, peering),
+            _ => continue,
+        }
+        queued += 1;
+    }
+    queued
+}
+
+/// One Traffic Manager tunnel a campaign drives: which `TmSimulation`
+/// tunnel corresponds to the chaos tunnel index, and the base RTT to
+/// restore when a blackhole lifts.
+#[derive(Debug, Clone, Copy)]
+pub struct TmTarget {
+    pub tunnel: TunnelId,
+    pub base_rtt_ms: f64,
+}
+
+/// Queues every data/measurement-plane injection into a Traffic Manager
+/// simulation. `targets[i]` maps chaos tunnel index `i`; events for
+/// tunnels beyond the slice are skipped (a baseline strategy carrying a
+/// subset of tunnels simply does not see those faults). Returns the
+/// number of events queued.
+pub fn program_tm(schedule: &Schedule, tm: &mut TmSimulation, targets: &[TmTarget]) -> usize {
+    let mut queued = 0;
+    for inj in schedule.injections() {
+        let at = inj.at;
+        match inj.event {
+            FaultEvent::TunnelDown { tunnel } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_down(at, t.tunnel);
+            }
+            FaultEvent::TunnelUp { tunnel } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_rtt(at, t.tunnel, t.base_rtt_ms);
+            }
+            FaultEvent::LatencyAdd { tunnel, add_ms } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_extra_latency(at, t.tunnel, add_ms);
+            }
+            FaultEvent::LatencyClear { tunnel, .. } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_extra_latency(at, t.tunnel, 0.0);
+            }
+            FaultEvent::BurstStart { tunnel, p_enter_bad, p_leave_bad, loss_good, loss_bad } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_burst(at, t.tunnel, Some((p_enter_bad, p_leave_bad, loss_good, loss_bad)));
+            }
+            FaultEvent::BurstEnd { tunnel } => {
+                let Some(t) = targets.get(tunnel) else { continue };
+                tm.schedule_path_burst(at, t.tunnel, None);
+            }
+            FaultEvent::ProbeLoss { fraction } => tm.schedule_probe_loss(at, fraction),
+            FaultEvent::ProbeRestore => tm.schedule_probe_loss(at, 0.0),
+            _ => continue,
+        }
+        queued += 1;
+    }
+    queued
+}
+
+/// Incremental replay of administrative data-plane liveness.
+///
+/// Overlap-safe: each PoP/tunnel keeps a *down counter*, so two
+/// overlapping outages of the same element only clear when both have
+/// recovered. Drive it forward with [`DataPlaneState::advance`] as the
+/// harness's sampling clock moves.
+#[derive(Debug, Clone)]
+pub struct DataPlaneState {
+    pop_down: Vec<u32>,
+    tunnel_down: Vec<u32>,
+    /// Index of the next unapplied injection.
+    cursor: usize,
+}
+
+impl DataPlaneState {
+    /// A state for a world with `pops` PoPs and `tunnels` tunnels,
+    /// everything initially up.
+    pub fn new(pops: usize, tunnels: usize) -> Self {
+        DataPlaneState { pop_down: vec![0; pops], tunnel_down: vec![0; tunnels], cursor: 0 }
+    }
+
+    /// Applies every injection with `at <= now` that has not been applied
+    /// yet. Call with non-decreasing `now` (the sampling clock).
+    pub fn advance(&mut self, schedule: &Schedule, now: SimTime) {
+        let injections = schedule.injections();
+        while let Some(inj) = injections.get(self.cursor) {
+            if inj.at > now {
+                break;
+            }
+            match inj.event {
+                FaultEvent::PopDown { pop } => {
+                    if let Some(c) = self.pop_down.get_mut(pop.idx()) {
+                        *c += 1;
+                    }
+                }
+                FaultEvent::PopUp { pop } => {
+                    if let Some(c) = self.pop_down.get_mut(pop.idx()) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                FaultEvent::TunnelDown { tunnel } => {
+                    if let Some(c) = self.tunnel_down.get_mut(tunnel) {
+                        *c += 1;
+                    }
+                }
+                FaultEvent::TunnelUp { tunnel } => {
+                    if let Some(c) = self.tunnel_down.get_mut(tunnel) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                _ => {}
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Whether the PoP is administratively down right now.
+    pub fn pop_down(&self, pop: PopId) -> bool {
+        self.pop_down.get(pop.idx()).is_some_and(|&c| c > 0)
+    }
+
+    /// Whether the tunnel is administratively down right now.
+    pub fn tunnel_down(&self, tunnel: usize) -> bool {
+        self.tunnel_down.get(tunnel).is_some_and(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultKind, FaultSpec, ScenarioSpec, Target};
+    use crate::schedule::WorldView;
+    use painter_bgp::PrefixId;
+    use painter_eventsim::SimTime;
+    use painter_tm::TmSimulationConfig;
+    use painter_topology::PeeringId;
+
+    fn tiny_world() -> WorldView {
+        WorldView {
+            pops: 2,
+            peerings: vec![(PeeringId(0), PopId(0)), (PeeringId(1), PopId(1))],
+            prefixes: vec![(PrefixId(0), vec![PeeringId(0)]), (PrefixId(1), vec![PeeringId(1)])],
+        }
+    }
+
+    #[test]
+    fn blackhole_injection_drops_traffic_in_the_tm_sim() {
+        let spec = ScenarioSpec::new("bh", 4.0).fault(
+            FaultSpec::new("bh0", FaultKind::LinkBlackhole, Target::Tunnel(0))
+                .at(1.0)
+                .lasting(1.0),
+        );
+        let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
+        let mut sim = TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
+        let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+        let t1 = sim.add_path(PrefixId(1), PopId(1), 50.0);
+        let queued = program_tm(
+            &schedule,
+            &mut sim,
+            &[
+                TmTarget { tunnel: t0, base_rtt_ms: 20.0 },
+                TmTarget { tunnel: t1, base_rtt_ms: 50.0 },
+            ],
+        );
+        assert_eq!(queued, 2, "down + up");
+        sim.run(SimTime::from_secs(4.0));
+        // Traffic fails over during the blackhole...
+        let during_backup = sim
+            .records()
+            .iter()
+            .filter(|r| {
+                r.sent > SimTime::from_ms(1200.0)
+                    && r.sent < SimTime::from_secs(2.0)
+                    && r.prefix == Some(PrefixId(1))
+            })
+            .count();
+        assert!(during_backup > 0, "backup must carry traffic during the blackhole");
+        // ...and returns once the tunnel comes back at its base RTT.
+        let late_fast = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(3.0) && r.prefix == Some(PrefixId(0)))
+            .count();
+        assert!(late_fast > 0, "traffic must return after recovery");
+    }
+
+    #[test]
+    fn tunnels_beyond_the_target_slice_are_skipped() {
+        let spec = ScenarioSpec::new("bh", 4.0).fault(
+            FaultSpec::new("bh1", FaultKind::LinkBlackhole, Target::Tunnel(1))
+                .at(1.0)
+                .lasting(1.0),
+        );
+        let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
+        let mut sim = TmSimulation::new(TmSimulationConfig::default());
+        let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
+        let queued =
+            program_tm(&schedule, &mut sim, &[TmTarget { tunnel: t0, base_rtt_ms: 20.0 }]);
+        assert_eq!(queued, 0, "this strategy does not carry tunnel 1");
+    }
+
+    #[test]
+    fn dataplane_state_handles_overlapping_outages() {
+        let spec = ScenarioSpec::new("overlap", 100.0)
+            .fault(
+                FaultSpec::new("a", FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(0))
+                    .at(10.0)
+                    .lasting(30.0),
+            )
+            .fault(
+                FaultSpec::new("b", FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(0))
+                    .at(20.0)
+                    .lasting(40.0),
+            );
+        let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
+        let mut state = DataPlaneState::new(2, 2);
+        state.advance(&schedule, SimTime::from_secs(5.0));
+        assert!(!state.pop_down(PopId(0)));
+        state.advance(&schedule, SimTime::from_secs(15.0));
+        assert!(state.pop_down(PopId(0)));
+        // Fault `a` recovers at 40 s, but `b` holds the PoP down.
+        state.advance(&schedule, SimTime::from_secs(45.0));
+        assert!(state.pop_down(PopId(0)), "overlapping outage must keep the PoP down");
+        // Only when `b` recovers at 60 s does the PoP come back.
+        state.advance(&schedule, SimTime::from_secs(61.0));
+        assert!(!state.pop_down(PopId(0)));
+        assert!(!state.pop_down(PopId(1)), "the other PoP was never touched");
+    }
+
+    #[test]
+    fn probe_loss_round_trips_through_program_tm() {
+        let spec = ScenarioSpec::new("fleet", 10.0).fault(
+            FaultSpec::new("pf", FaultKind::ProbeFleetLoss { fraction: 1.0 }, Target::Fleet)
+                .at(1.0)
+                .lasting(2.0),
+        );
+        let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
+        let mut sim = TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
+        sim.add_path(PrefixId(0), PopId(0), 20.0);
+        assert_eq!(program_tm(&schedule, &mut sim, &[]), 2, "loss + restore, no tunnels needed");
+        sim.run(SimTime::from_secs(5.0));
+        if painter_obs::enabled() {
+            let suppressed =
+                sim.obs().snapshot().counter("tm.probes_suppressed_total").unwrap_or(0);
+            assert!(suppressed > 10, "2 s of total fleet loss, got {suppressed}");
+        }
+    }
+}

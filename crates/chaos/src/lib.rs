@@ -1,0 +1,47 @@
+//! Deterministic fault injection for the PAINTER reproduction.
+//!
+//! The paper's headline resilience result (Fig. 10, §3.2) is about what
+//! happens *between* steady states: PAINTER fails over in ~1.3 RTT while
+//! anycast reconverges in seconds and DNS waits out a TTL. Reproducing
+//! that for one hand-rolled failure is easy; the interesting questions —
+//! gray failures, correlated outages, flapping sessions, bursty loss —
+//! need whole failure *campaigns*. This crate turns a declarative
+//! scenario into timed injections against the existing simulators:
+//!
+//! * [`spec`] — the scenario language: a [`ScenarioSpec`] names faults
+//!   ([`FaultKind`]) aimed at targets ([`Target`]) with start times,
+//!   durations, and optional seeded [`Recurrence`]. Built in code
+//!   (builder API) or loaded from JSON (dependency-free parser; the
+//!   optional `serde` feature additionally derives serde traits).
+//! * [`schedule`] — the compiler: [`Schedule::compile`] expands a spec
+//!   against a [`WorldView`] into a sorted list of [`Injection`]s —
+//!   concrete per-peering withdrawals, session drops, PoP blackouts,
+//!   per-tunnel latency/loss episodes — using one derived RNG stream per
+//!   fault so `(spec, seed)` always replays to a bit-identical
+//!   [`Schedule::trace`].
+//! * [`inject`] — the adapters: [`inject::program_bgp`] drives
+//!   `painter_bgp::dynamics::BgpEngine` (announce/withdraw/session
+//!   up/down), [`inject::program_tm`] drives `painter_tm::TmSimulation`
+//!   (latency spikes, bursty loss, blackholes, probe loss), and
+//!   [`inject::DataPlaneState`] replays administrative PoP/tunnel state
+//!   over time for harnesses that gate sampled BGP paths the way the
+//!   Fig. 10 experiment does.
+//! * [`scorecard`] — per-strategy resilience accounting from Traffic
+//!   Manager packet records: availability fraction, outage episodes and
+//!   their time-to-recover distribution, failover count, and post-fault
+//!   latency inflation, exported as a `chaos.*` [`painter_obs::Section`].
+//!
+//! Determinism contract: every number in a compiled schedule and every
+//! scorecard field is a pure function of `(spec, world, seed)` — no wall
+//! clock, no unseeded randomness, no hash-order dependence — so a replay
+//! is byte-identical all the way down to the report JSON.
+
+pub mod inject;
+pub mod schedule;
+pub mod scorecard;
+pub mod spec;
+
+pub use inject::{program_bgp, program_tm, DataPlaneState, TmTarget};
+pub use schedule::{FaultEvent, Injection, Schedule, WorldView};
+pub use scorecard::Scorecard;
+pub use spec::{FaultKind, FaultSpec, Recurrence, ScenarioSpec, Target};

@@ -1,0 +1,473 @@
+//! Compiling a declarative spec into concrete, timed injections.
+//!
+//! [`Schedule::compile`] resolves each fault's abstract [`Target`]
+//! against a [`WorldView`] (which PoPs exist, which peerings sit at
+//! which PoP, which prefixes are announced where) and expands it into
+//! [`Injection`]s: simulator-level primitives at exact virtual times.
+//! All stagger/jitter randomness comes from one derived RNG stream per
+//! fault (`derive_seed(seed, fault_index)`), so adding, removing, or
+//! reordering one fault never perturbs another's timing — and the same
+//! `(spec, world, seed)` always compiles to a bit-identical schedule,
+//! checkable via [`Schedule::trace`].
+
+use crate::spec::{FaultKind, ScenarioSpec, Target};
+use painter_bgp::PrefixId;
+use painter_eventsim::{derive_seed, SimRng, SimTime};
+use painter_topology::{Deployment, PeeringId, PopId};
+use std::fmt::Write as _;
+
+/// The slice of the world a schedule compiles against.
+#[derive(Debug, Clone)]
+pub struct WorldView {
+    /// Number of PoPs (ids `0..pops`).
+    pub pops: u32,
+    /// Every peering session and the PoP it terminates at.
+    pub peerings: Vec<(PeeringId, PopId)>,
+    /// Every prefix and the peerings announcing it. Position in this
+    /// list doubles as the Traffic Manager tunnel index for the prefix.
+    pub prefixes: Vec<(PrefixId, Vec<PeeringId>)>,
+}
+
+impl WorldView {
+    /// Builds a view from a deployment plus the prefix announcement
+    /// plan (the same `(prefix, peerings)` list handed to the BGP
+    /// engine and, in order, to `TmSimulation::add_path`).
+    pub fn from_deployment(
+        deployment: &Deployment,
+        prefixes: Vec<(PrefixId, Vec<PeeringId>)>,
+    ) -> WorldView {
+        let peerings: Vec<(PeeringId, PopId)> =
+            deployment.peerings().iter().map(|p| (p.id, p.pop)).collect();
+        let pops = peerings.iter().map(|(_, pop)| pop.0 as u32 + 1).max().unwrap_or(0);
+        WorldView { pops, peerings, prefixes }
+    }
+
+    fn tunnel_of_prefix(&self, prefix: u32) -> Option<usize> {
+        self.prefixes.iter().position(|(p, _)| p.0 as u32 == prefix)
+    }
+}
+
+/// One simulator-level injection primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Cloud-side BGP: drop a whole session (withdraws its prefixes).
+    SessionDown { peering: PeeringId },
+    /// Cloud-side BGP: restore a dropped session (re-announces).
+    SessionUp { peering: PeeringId },
+    /// Cloud-side BGP: withdraw one (prefix, peering) announcement.
+    Withdraw { prefix: PrefixId, peering: PeeringId },
+    /// Cloud-side BGP: (re-)announce one (prefix, peering) pair.
+    Announce { prefix: PrefixId, peering: PeeringId },
+    /// Data plane: every path ingressing this PoP blackholes.
+    PopDown { pop: PopId },
+    /// Data plane: the PoP's forwarding is restored.
+    PopUp { pop: PopId },
+    /// Data plane: one tunnel silently drops everything.
+    TunnelDown { tunnel: usize },
+    /// Data plane: the tunnel delivers again.
+    TunnelUp { tunnel: usize },
+    /// Data plane: add round-trip latency to a tunnel.
+    LatencyAdd { tunnel: usize, add_ms: f64 },
+    /// Data plane: remove this fault's added latency.
+    LatencyClear { tunnel: usize, add_ms: f64 },
+    /// Data plane: start a Gilbert–Elliott loss episode on a tunnel.
+    BurstStart { tunnel: usize, p_enter_bad: f64, p_leave_bad: f64, loss_good: f64, loss_bad: f64 },
+    /// Data plane: end the loss episode.
+    BurstEnd { tunnel: usize },
+    /// Measurement plane: suppress this fraction of probe sends.
+    ProbeLoss { fraction: f64 },
+    /// Measurement plane: the fleet is whole again.
+    ProbeRestore,
+}
+
+/// One injection: an event at a virtual time, tagged with the index of
+/// the fault spec that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    pub at: SimTime,
+    /// Index into the source spec's fault list.
+    pub fault: usize,
+    pub event: FaultEvent,
+}
+
+/// A compiled campaign: time-sorted injections, replayable from
+/// `(spec, world, seed)`.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The source spec's name.
+    pub name: String,
+    /// The compile seed (recorded for provenance).
+    pub seed: u64,
+    /// The campaign horizon; injections beyond it were dropped.
+    pub horizon: SimTime,
+    /// Fault labels, by spec index (for traces).
+    fault_names: Vec<String>,
+    injections: Vec<Injection>,
+}
+
+impl Schedule {
+    /// Compiles `spec` against `world`. Fails with a description if a
+    /// fault's target shape does not fit its kind (e.g. a PoP outage
+    /// aimed at a tunnel) or names an element the world lacks.
+    pub fn compile(spec: &ScenarioSpec, world: &WorldView, seed: u64) -> Result<Schedule, String> {
+        let horizon = SimTime::from_secs(spec.horizon_s);
+        let mut injections: Vec<Injection> = Vec::new();
+        for (idx, fault) in spec.faults.iter().enumerate() {
+            // One independent stream per fault: editing one fault never
+            // re-times another.
+            let mut rng = SimRng::stream(derive_seed(seed, idx as u64), 0xC4A0);
+            let mut starts = vec![SimTime::from_secs(fault.start_s)];
+            if let Some(r) = fault.recurrence {
+                for k in 1..=r.count {
+                    let slip = rng.uniform(0.0, r.jitter_s.max(f64::MIN_POSITIVE));
+                    let t = fault.start_s + r.period_s * k as f64 + slip;
+                    starts.push(SimTime::from_secs(t));
+                }
+            }
+            let duration = SimTime::from_secs(fault.duration_s);
+            for t0 in starts {
+                let t1 = t0 + duration;
+                expand(fault, idx, world, t0, t1, &mut rng, &mut injections)
+                    .map_err(|e| format!("fault '{}': {e}", fault.name))?;
+            }
+        }
+        injections.retain(|inj| inj.at <= horizon);
+        // Stable: equal-time injections keep spec order.
+        injections.sort_by_key(|inj| inj.at);
+        Ok(Schedule {
+            name: spec.name.clone(),
+            seed,
+            horizon,
+            fault_names: spec.faults.iter().map(|f| f.name.clone()).collect(),
+            injections,
+        })
+    }
+
+    /// The time-sorted injections.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// When the first injection lands (`None` for an empty schedule).
+    pub fn first_at(&self) -> Option<SimTime> {
+        self.injections.first().map(|inj| inj.at)
+    }
+
+    /// Canonical text rendering of the whole schedule — one line per
+    /// injection with exact nanosecond timestamps. Two compiles of the
+    /// same `(spec, world, seed)` produce byte-identical traces; this is
+    /// the replay contract's checkable artifact.
+    pub fn trace(&self) -> String {
+        let mut out = String::with_capacity(self.injections.len() * 48);
+        for inj in &self.injections {
+            let _ = writeln!(
+                out,
+                "{}ns [{}] {:?}",
+                inj.at.as_nanos(),
+                self.fault_names.get(inj.fault).map(String::as_str).unwrap_or("?"),
+                inj.event
+            );
+        }
+        out
+    }
+}
+
+/// Expands one occurrence of one fault into injections.
+fn expand(
+    fault: &crate::spec::FaultSpec,
+    idx: usize,
+    world: &WorldView,
+    t0: SimTime,
+    t1: SimTime,
+    rng: &mut SimRng,
+    out: &mut Vec<Injection>,
+) -> Result<(), String> {
+    let mut push = |at: SimTime, event: FaultEvent| out.push(Injection { at, fault: idx, event });
+    match fault.kind {
+        FaultKind::SessionReset => {
+            for peering in resolve_peerings(fault.target, world)? {
+                push(t0, FaultEvent::SessionDown { peering });
+                push(t1, FaultEvent::SessionUp { peering });
+            }
+        }
+        FaultKind::WithdrawStorm { spread_ms } => {
+            for peering in resolve_peerings(fault.target, world)? {
+                for (prefix, vias) in &world.prefixes {
+                    if !vias.contains(&peering) {
+                        continue;
+                    }
+                    let down = SimTime::from_ms(rng.uniform(0.0, spread_ms.max(f64::MIN_POSITIVE)));
+                    let up = SimTime::from_ms(rng.uniform(0.0, spread_ms.max(f64::MIN_POSITIVE)));
+                    push(t0 + down, FaultEvent::Withdraw { prefix: *prefix, peering });
+                    push(t1 + up, FaultEvent::Announce { prefix: *prefix, peering });
+                }
+            }
+        }
+        FaultKind::PopOutage { detection_spread_ms } => {
+            for pop in resolve_pops(fault.target, world)? {
+                // The data plane dies instantly; each BGP session's
+                // withdrawal lands on its own detection timer.
+                push(t0, FaultEvent::PopDown { pop });
+                push(t1, FaultEvent::PopUp { pop });
+                for (peering, at_pop) in &world.peerings {
+                    if *at_pop != pop {
+                        continue;
+                    }
+                    for (prefix, vias) in &world.prefixes {
+                        if !vias.contains(peering) {
+                            continue;
+                        }
+                        let detect = SimTime::from_ms(
+                            rng.uniform(0.0, detection_spread_ms.max(f64::MIN_POSITIVE)),
+                        );
+                        push(t0 + detect, FaultEvent::Withdraw { prefix: *prefix, peering: *peering });
+                        push(t1, FaultEvent::Announce { prefix: *prefix, peering: *peering });
+                    }
+                }
+            }
+        }
+        FaultKind::LinkBlackhole => {
+            for tunnel in resolve_tunnels(fault.target, world)? {
+                push(t0, FaultEvent::TunnelDown { tunnel });
+                push(t1, FaultEvent::TunnelUp { tunnel });
+            }
+        }
+        FaultKind::LatencySpike { add_ms } => {
+            for tunnel in resolve_tunnels(fault.target, world)? {
+                push(t0, FaultEvent::LatencyAdd { tunnel, add_ms });
+                push(t1, FaultEvent::LatencyClear { tunnel, add_ms });
+            }
+        }
+        FaultKind::BurstyLoss { p_enter_bad, p_leave_bad, loss_good, loss_bad } => {
+            for tunnel in resolve_tunnels(fault.target, world)? {
+                push(
+                    t0,
+                    FaultEvent::BurstStart { tunnel, p_enter_bad, p_leave_bad, loss_good, loss_bad },
+                );
+                push(t1, FaultEvent::BurstEnd { tunnel });
+            }
+        }
+        FaultKind::ProbeFleetLoss { fraction } => match fault.target {
+            Target::Fleet | Target::All => {
+                push(t0, FaultEvent::ProbeLoss { fraction: fraction.clamp(0.0, 1.0) });
+                push(t1, FaultEvent::ProbeRestore);
+            }
+            other => return Err(format!("probe-fleet loss cannot target {other:?}")),
+        },
+    }
+    Ok(())
+}
+
+fn resolve_peerings(target: Target, world: &WorldView) -> Result<Vec<PeeringId>, String> {
+    match target {
+        Target::Peering(id) => {
+            let peering = PeeringId(id);
+            if world.peerings.iter().any(|(p, _)| *p == peering) {
+                Ok(vec![peering])
+            } else {
+                Err(format!("no peering {id} in world"))
+            }
+        }
+        Target::Pop(id) => {
+            let pop = PopId(id as u16);
+            let hits: Vec<PeeringId> =
+                world.peerings.iter().filter(|(_, at)| *at == pop).map(|(p, _)| *p).collect();
+            if hits.is_empty() {
+                Err(format!("no peerings at pop {id}"))
+            } else {
+                Ok(hits)
+            }
+        }
+        Target::All => Ok(world.peerings.iter().map(|(p, _)| *p).collect()),
+        other => Err(format!("session fault cannot target {other:?}")),
+    }
+}
+
+fn resolve_pops(target: Target, world: &WorldView) -> Result<Vec<PopId>, String> {
+    match target {
+        Target::Pop(id) => {
+            if id < world.pops {
+                Ok(vec![PopId(id as u16)])
+            } else {
+                Err(format!("no pop {id} in world (have {})", world.pops))
+            }
+        }
+        Target::All => Ok((0..world.pops).map(|i| PopId(i as u16)).collect()),
+        other => Err(format!("pop outage cannot target {other:?}")),
+    }
+}
+
+fn resolve_tunnels(target: Target, world: &WorldView) -> Result<Vec<usize>, String> {
+    match target {
+        Target::Tunnel(id) => {
+            if (id as usize) < world.prefixes.len() {
+                Ok(vec![id as usize])
+            } else {
+                Err(format!("no tunnel {id} in world"))
+            }
+        }
+        Target::Prefix(id) => world
+            .tunnel_of_prefix(id)
+            .map(|t| vec![t])
+            .ok_or_else(|| format!("no prefix {id} in world")),
+        Target::All => Ok((0..world.prefixes.len()).collect()),
+        other => Err(format!("tunnel fault cannot target {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+
+    /// Two PoPs, two peerings each, anycast + one unicast prefix per
+    /// peering — the Fig. 10 shape.
+    fn world() -> WorldView {
+        let peerings: Vec<(PeeringId, PopId)> =
+            (0..4u32).map(|i| (PeeringId(i), PopId((i / 2) as u16))).collect();
+        let mut prefixes =
+            vec![(PrefixId(0), peerings.iter().map(|(p, _)| *p).collect::<Vec<_>>())];
+        for i in 0..4u32 {
+            prefixes.push((PrefixId(i as u16 + 1), vec![PeeringId(i)]));
+        }
+        WorldView { pops: 2, peerings, prefixes }
+    }
+
+    fn pop_outage_spec() -> ScenarioSpec {
+        ScenarioSpec::new("pop-outage", 130.0).fault(
+            FaultSpec::new(
+                "popA",
+                FaultKind::PopOutage { detection_spread_ms: 2100.0 },
+                Target::Pop(0),
+            )
+            .at(60.0)
+            .lasting(40.0),
+        )
+    }
+
+    #[test]
+    fn same_seed_compiles_to_identical_trace() {
+        let spec = pop_outage_spec();
+        let a = Schedule::compile(&spec, &world(), 7).expect("compile");
+        let b = Schedule::compile(&spec, &world(), 7).expect("compile");
+        assert_eq!(a.injections(), b.injections());
+        assert_eq!(a.trace(), b.trace());
+        assert!(!a.trace().is_empty());
+    }
+
+    #[test]
+    fn different_seed_changes_staggers_not_structure() {
+        let spec = pop_outage_spec();
+        let a = Schedule::compile(&spec, &world(), 7).expect("compile");
+        let b = Schedule::compile(&spec, &world(), 8).expect("compile");
+        assert_eq!(a.injections().len(), b.injections().len());
+        assert_ne!(a.trace(), b.trace(), "staggers must depend on the seed");
+    }
+
+    #[test]
+    fn pop_outage_expands_to_dataplane_gate_plus_staggered_withdrawals() {
+        let spec = pop_outage_spec();
+        let s = Schedule::compile(&spec, &world(), 7).expect("compile");
+        let t0 = SimTime::from_secs(60.0);
+        assert_eq!(s.first_at(), Some(t0), "data-plane gate lands exactly at the fault start");
+        let withdrawals: Vec<&Injection> = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::Withdraw { .. }))
+            .collect();
+        // PoP 0 hosts peerings 0 and 1; each announces the anycast
+        // prefix plus one unicast prefix -> 4 withdrawals.
+        assert_eq!(withdrawals.len(), 4);
+        for w in &withdrawals {
+            assert!(w.at >= t0 && w.at <= t0 + SimTime::from_ms(2100.0), "stagger within spread");
+        }
+        // Every withdrawal has a matching announce at/after recovery.
+        let announces =
+            s.injections().iter().filter(|i| matches!(i.event, FaultEvent::Announce { .. })).count();
+        assert_eq!(announces, 4);
+        assert!(s.injections().iter().any(|i| matches!(i.event, FaultEvent::PopUp { .. })));
+    }
+
+    #[test]
+    fn recurrence_repeats_with_seeded_jitter() {
+        let spec = ScenarioSpec::new("flap", 300.0).fault(
+            FaultSpec::new("flap", FaultKind::SessionReset, Target::Peering(0))
+                .at(10.0)
+                .lasting(2.0)
+                .recurring(20.0, 3, 5.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 3).expect("compile");
+        let downs: Vec<SimTime> = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::SessionDown { .. }))
+            .map(|i| i.at)
+            .collect();
+        assert_eq!(downs.len(), 4, "first occurrence plus three repeats");
+        assert_eq!(downs[0], SimTime::from_secs(10.0));
+        for (k, at) in downs.iter().enumerate().skip(1) {
+            let nominal = 10.0 + 20.0 * k as f64;
+            assert!(at.as_secs() >= nominal && at.as_secs() <= nominal + 5.0, "jitter in range");
+        }
+    }
+
+    #[test]
+    fn editing_one_fault_does_not_retime_another() {
+        let base = ScenarioSpec::new("two", 100.0)
+            .fault(
+                FaultSpec::new(
+                    "storm",
+                    FaultKind::WithdrawStorm { spread_ms: 700.0 },
+                    Target::Peering(2),
+                )
+                .at(10.0)
+                .lasting(5.0),
+            )
+            .fault(
+                FaultSpec::new("spike", FaultKind::LatencySpike { add_ms: 25.0 }, Target::Tunnel(3))
+                    .at(30.0)
+                    .lasting(5.0),
+            );
+        let mut edited = base.clone();
+        // Make fault 0 consume more randomness (recurrence draws).
+        edited.faults[0] = edited.faults[0].clone().recurring(30.0, 2, 10.0);
+        let w = world();
+        let a = Schedule::compile(&base, &w, 11).expect("compile");
+        let b = Schedule::compile(&edited, &w, 11).expect("compile");
+        let spikes = |s: &Schedule| {
+            s.injections()
+                .iter()
+                .filter(|i| i.fault == 1)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(spikes(&a), spikes(&b), "fault 1's timing must not depend on fault 0");
+    }
+
+    #[test]
+    fn horizon_drops_late_injections() {
+        let spec = ScenarioSpec::new("late", 50.0).fault(
+            FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0)).at(45.0).lasting(20.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 1).expect("compile");
+        assert_eq!(s.injections().len(), 1, "the recovery falls past the horizon");
+        assert!(matches!(s.injections()[0].event, FaultEvent::TunnelDown { .. }));
+    }
+
+    #[test]
+    fn mismatched_target_shapes_are_rejected() {
+        let w = world();
+        let bad = |kind, target| {
+            let spec =
+                ScenarioSpec::new("bad", 10.0).fault(FaultSpec::new("f", kind, target).at(1.0));
+            Schedule::compile(&spec, &w, 0)
+        };
+        assert!(bad(FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Tunnel(0)).is_err());
+        assert!(bad(FaultKind::SessionReset, Target::Fleet).is_err());
+        assert!(bad(FaultKind::LinkBlackhole, Target::Pop(0)).is_err());
+        assert!(bad(FaultKind::ProbeFleetLoss { fraction: 0.5 }, Target::Prefix(1)).is_err());
+        assert!(bad(FaultKind::SessionReset, Target::Peering(99)).is_err());
+        assert!(bad(FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(9)).is_err());
+        assert!(bad(FaultKind::LinkBlackhole, Target::Tunnel(99)).is_err());
+    }
+}

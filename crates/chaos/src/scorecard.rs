@@ -1,0 +1,253 @@
+//! Per-strategy resilience accounting over Traffic Manager records.
+//!
+//! A campaign runs the same compiled [`crate::Schedule`] against each
+//! steering strategy (PAINTER, anycast, DNS) and summarizes what the
+//! client actually experienced — the generalized Fig. 10 questions:
+//!
+//! * **availability** — fraction of client requests that completed;
+//! * **outage episodes** — maximal runs of consecutive failed requests,
+//!   with the **time-to-recover** (first failed send → next successful
+//!   send) of each recorded in a log2-bucket histogram;
+//! * **failovers** — steering switches after the first fault landed;
+//! * **latency inflation** — mean completed RTT after the first fault
+//!   relative to the pre-fault baseline.
+//!
+//! Every field is a pure function of the packet/switch records, which
+//! are themselves deterministic in `(spec, world, seed)`, so a
+//! scorecard — and its `chaos.*` report section — replays
+//! byte-identically.
+
+use painter_eventsim::SimTime;
+use painter_obs::{HistogramSnapshot, Section};
+use painter_tm::{PacketRecord, SwitchRecord};
+
+/// The resilience summary for one `(campaign, strategy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    pub campaign: String,
+    pub strategy: String,
+    /// Client requests issued over the whole horizon.
+    pub requests: u64,
+    /// Requests that completed (got a response).
+    pub completed: u64,
+    /// Steering switches at or after the first fault.
+    pub failovers: u64,
+    /// Outage episodes (consecutive-failure runs) that recovered.
+    pub outages: u64,
+    /// Episodes still unrecovered when the horizon ended.
+    pub unrecovered: u64,
+    /// Time-to-recover distribution (ms) over recovered episodes.
+    pub time_to_recover_ms: HistogramSnapshot,
+    /// Mean completed RTT before the first fault (0 if none completed).
+    pub rtt_baseline_ms: f64,
+    /// Mean completed RTT at/after the first fault (0 if none).
+    pub rtt_post_fault_ms: f64,
+}
+
+impl Scorecard {
+    /// Builds the scorecard from one strategy's run. `first_fault_at`
+    /// splits baseline from post-fault; pass the campaign's
+    /// [`crate::Schedule::first_at`] (or `SimTime::MAX` for a fault-free
+    /// control run, making everything baseline).
+    pub fn from_records(
+        campaign: impl Into<String>,
+        strategy: impl Into<String>,
+        records: &[PacketRecord],
+        switches: &[SwitchRecord],
+        first_fault_at: SimTime,
+    ) -> Scorecard {
+        let requests = records.len() as u64;
+        let completed = records.iter().filter(|r| r.completed.is_some()).count() as u64;
+        let failovers = switches.iter().filter(|s| s.at >= first_fault_at).count() as u64;
+
+        let mut time_to_recover_ms = HistogramSnapshot::new();
+        let mut outages = 0u64;
+        let mut unrecovered = 0u64;
+        let mut episode_start: Option<SimTime> = None;
+        for r in records {
+            match (r.completed.is_some(), episode_start) {
+                (false, None) => episode_start = Some(r.sent),
+                (true, Some(start)) => {
+                    outages += 1;
+                    time_to_recover_ms.record((r.sent - start).as_ms());
+                    episode_start = None;
+                }
+                _ => {}
+            }
+        }
+        if episode_start.is_some() {
+            unrecovered = 1;
+        }
+
+        let mean_rtt = |pred: &dyn Fn(&PacketRecord) -> bool| {
+            let rtts: Vec<f64> =
+                records.iter().filter(|r| pred(r)).filter_map(|r| r.rtt_ms()).collect();
+            if rtts.is_empty() {
+                0.0
+            } else {
+                rtts.iter().sum::<f64>() / rtts.len() as f64
+            }
+        };
+        let rtt_baseline_ms = mean_rtt(&|r| r.sent < first_fault_at);
+        let rtt_post_fault_ms = mean_rtt(&|r| r.sent >= first_fault_at);
+
+        Scorecard {
+            campaign: campaign.into(),
+            strategy: strategy.into(),
+            requests,
+            completed,
+            failovers,
+            outages,
+            unrecovered,
+            time_to_recover_ms,
+            rtt_baseline_ms,
+            rtt_post_fault_ms,
+        }
+    }
+
+    /// Fraction of requests that completed (1.0 for an empty run).
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.requests as f64
+        }
+    }
+
+    /// Post-fault mean RTT over the baseline mean (1.0 when either side
+    /// has no data).
+    pub fn latency_inflation(&self) -> f64 {
+        if self.rtt_baseline_ms <= 0.0 || self.rtt_post_fault_ms <= 0.0 {
+            1.0
+        } else {
+            self.rtt_post_fault_ms / self.rtt_baseline_ms
+        }
+    }
+
+    /// Worst observed time-to-recover in milliseconds (0 when every
+    /// request succeeded).
+    pub fn worst_ttr_ms(&self) -> f64 {
+        self.time_to_recover_ms.max
+    }
+
+    /// The scorecard as a `chaos.<campaign>.<strategy>` report section.
+    /// Field order is fixed; all values are deterministic, so the JSON
+    /// rendering is byte-identical across same-seed replays.
+    pub fn section(&self) -> Section {
+        let ttr = &self.time_to_recover_ms;
+        Section::new(format!("chaos.{}.{}", self.campaign, self.strategy))
+            .field("requests", self.requests)
+            .field("completed", self.completed)
+            .field("availability", self.availability())
+            .field("failovers", self.failovers)
+            .field("outages", self.outages)
+            .field("unrecovered", self.unrecovered)
+            .field("ttr_count", ttr.count)
+            .field("ttr_mean_ms", ttr.mean())
+            .field("ttr_p50_ms", ttr.p50())
+            .field("ttr_p90_ms", ttr.p90())
+            .field("ttr_p99_ms", ttr.p99())
+            .field("ttr_max_ms", ttr.max)
+            .field("rtt_baseline_ms", self.rtt_baseline_ms)
+            .field("rtt_post_fault_ms", self.rtt_post_fault_ms)
+            .field("latency_inflation", self.latency_inflation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_bgp::PrefixId;
+
+    fn rec(sent_ms: f64, rtt_ms: Option<f64>) -> PacketRecord {
+        let sent = SimTime::from_ms(sent_ms);
+        PacketRecord {
+            sent,
+            prefix: Some(PrefixId(0)),
+            completed: rtt_ms.map(|r| sent + SimTime::from_ms(r)),
+        }
+    }
+
+    #[test]
+    fn episodes_and_ttr_are_extracted_from_failure_runs() {
+        // ok ok FAIL FAIL ok FAIL ok  -> two episodes: 20 ms and 10 ms.
+        let records = vec![
+            rec(0.0, Some(20.0)),
+            rec(10.0, Some(20.0)),
+            rec(20.0, None),
+            rec(30.0, None),
+            rec(40.0, Some(25.0)),
+            rec(50.0, None),
+            rec(60.0, Some(25.0)),
+        ];
+        let sc = Scorecard::from_records("c", "s", &records, &[], SimTime::from_ms(20.0));
+        assert_eq!(sc.requests, 7);
+        assert_eq!(sc.completed, 4);
+        assert_eq!(sc.outages, 2);
+        assert_eq!(sc.unrecovered, 0);
+        assert_eq!(sc.time_to_recover_ms.count, 2);
+        assert_eq!(sc.worst_ttr_ms(), 20.0);
+        assert!((sc.availability() - 4.0 / 7.0).abs() < 1e-12);
+        // Baseline 20 ms, post-fault mean 25 ms -> inflation 1.25.
+        assert!((sc.rtt_baseline_ms - 20.0).abs() < 1e-12);
+        assert!((sc.rtt_post_fault_ms - 25.0).abs() < 1e-12);
+        assert!((sc.latency_inflation() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_failures_count_as_unrecovered() {
+        let records = vec![rec(0.0, Some(10.0)), rec(10.0, None), rec(20.0, None)];
+        let sc = Scorecard::from_records("c", "s", &records, &[], SimTime::from_ms(10.0));
+        assert_eq!(sc.outages, 0);
+        assert_eq!(sc.unrecovered, 1);
+        assert_eq!(sc.time_to_recover_ms.count, 0);
+        assert_eq!(sc.worst_ttr_ms(), 0.0);
+    }
+
+    #[test]
+    fn failovers_only_count_post_fault_switches() {
+        let switches = vec![
+            SwitchRecord { at: SimTime::from_ms(5.0), from: None, to: PrefixId(0) },
+            SwitchRecord {
+                at: SimTime::from_ms(30.0),
+                from: Some(PrefixId(0)),
+                to: PrefixId(1),
+            },
+        ];
+        let sc = Scorecard::from_records("c", "s", &[], &switches, SimTime::from_ms(20.0));
+        assert_eq!(sc.failovers, 1, "the initial selection switch is not a failover");
+        assert_eq!(sc.availability(), 1.0, "empty run is vacuously available");
+        assert_eq!(sc.latency_inflation(), 1.0);
+    }
+
+    #[test]
+    fn section_schema_is_stable_and_deterministic() {
+        let records = vec![rec(0.0, Some(20.0)), rec(10.0, None), rec(20.0, Some(22.0))];
+        let sc = Scorecard::from_records("pop-outage", "painter", &records, &[], SimTime::ZERO);
+        let section = sc.section();
+        assert_eq!(section.title, "chaos.pop-outage.painter");
+        for name in [
+            "requests",
+            "completed",
+            "availability",
+            "failovers",
+            "outages",
+            "unrecovered",
+            "ttr_count",
+            "ttr_mean_ms",
+            "ttr_p50_ms",
+            "ttr_p90_ms",
+            "ttr_p99_ms",
+            "ttr_max_ms",
+            "rtt_baseline_ms",
+            "rtt_post_fault_ms",
+            "latency_inflation",
+        ] {
+            assert!(section.get(name).is_some(), "missing field {name}");
+        }
+        // Same inputs, same section (the byte-identity substrate).
+        let again =
+            Scorecard::from_records("pop-outage", "painter", &records, &[], SimTime::ZERO);
+        assert_eq!(section, again.section());
+    }
+}

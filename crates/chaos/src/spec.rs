@@ -1,0 +1,439 @@
+//! The scenario language: what to break, where, when, and how often.
+//!
+//! A [`ScenarioSpec`] is declarative and simulator-agnostic: it names
+//! fault kinds and abstract targets, not engine calls. Compilation
+//! against a concrete world happens in [`crate::schedule`]. Specs are
+//! built with the fluent API or loaded from JSON via
+//! [`ScenarioSpec::from_json`] (a dependency-free parser on top of
+//! `painter_obs::json`, so loading works in every build); the optional
+//! `serde` feature additionally derives serde traits for external
+//! tooling.
+
+use painter_obs::json::{self, JsonValue};
+use std::fmt::Write as _;
+
+/// What to break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum FaultKind {
+    /// A BGP peering session drops (all its prefixes are withdrawn at
+    /// once) and comes back after the fault's duration. With a
+    /// [`Recurrence`] this is a session *flap*.
+    SessionReset,
+    /// A withdrawal storm: every (prefix, peering) announcement on the
+    /// targeted sessions is withdrawn, each staggered uniformly within
+    /// `spread_ms`, and re-announced (same stagger law) after the
+    /// duration.
+    WithdrawStorm { spread_ms: f64 },
+    /// A whole PoP dies: its data plane blackholes immediately, while
+    /// each BGP session notices on its own failure-detection timer — the
+    /// per-session withdrawal lands uniformly within
+    /// `detection_spread_ms` (this smear is what stretches the RIS
+    /// update spike in the paper's Fig. 10). Restored after the
+    /// duration.
+    PopOutage { detection_spread_ms: f64 },
+    /// A tunnel's underlying link silently drops every packet (no BGP
+    /// reaction at all — the gray-failure shape).
+    LinkBlackhole,
+    /// A tunnel's one-way latency inflates by `add_ms / 2` (RTT by
+    /// `add_ms`) for the duration.
+    LatencySpike { add_ms: f64 },
+    /// A Gilbert–Elliott bursty-loss episode on a tunnel for the
+    /// duration (parameters as in `painter_net::GilbertElliott`).
+    BurstyLoss { p_enter_bad: f64, p_leave_bad: f64, loss_good: f64, loss_bad: f64 },
+    /// A fraction of the probe fleet goes dark: each probe send is
+    /// suppressed with this probability for the duration.
+    ProbeFleetLoss { fraction: f64 },
+}
+
+/// Where to aim a fault. Resolution against the concrete world happens
+/// at compile time; kinds accept the target shapes that make sense for
+/// them (e.g. a [`FaultKind::PopOutage`] needs a PoP) and compilation
+/// rejects the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum Target {
+    /// One PoP by index.
+    Pop(u32),
+    /// One peering session by index.
+    Peering(u32),
+    /// One prefix (and, for tunnel-level faults, its tunnel) by index.
+    Prefix(u32),
+    /// One Traffic Manager tunnel by index.
+    Tunnel(u32),
+    /// Every element the fault kind can apply to.
+    All,
+    /// The probe fleet (only for [`FaultKind::ProbeFleetLoss`]).
+    Fleet,
+}
+
+/// Seeded repetition of a fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Recurrence {
+    /// Nominal gap between consecutive occurrence starts (seconds).
+    pub period_s: f64,
+    /// Number of *extra* occurrences after the first.
+    pub count: u32,
+    /// Each extra occurrence slips uniformly within `[0, jitter_s]`,
+    /// drawn from the fault's derived RNG stream.
+    pub jitter_s: f64,
+}
+
+/// One declarative fault: kind, target, timing, optional recurrence.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct FaultSpec {
+    /// Label used in traces and error messages.
+    pub name: String,
+    pub kind: FaultKind,
+    pub target: Target,
+    /// First occurrence start (seconds of virtual time).
+    pub start_s: f64,
+    /// How long each occurrence lasts before the fault heals (seconds).
+    pub duration_s: f64,
+    pub recurrence: Option<Recurrence>,
+}
+
+impl FaultSpec {
+    /// A fault starting at t=0 with a 1 s duration; adjust with
+    /// [`FaultSpec::at`] / [`FaultSpec::lasting`] /
+    /// [`FaultSpec::recurring`].
+    pub fn new(name: impl Into<String>, kind: FaultKind, target: Target) -> FaultSpec {
+        FaultSpec {
+            name: name.into(),
+            kind,
+            target,
+            start_s: 0.0,
+            duration_s: 1.0,
+            recurrence: None,
+        }
+    }
+
+    /// Sets the first occurrence's start time (seconds).
+    pub fn at(mut self, start_s: f64) -> FaultSpec {
+        self.start_s = start_s.max(0.0);
+        self
+    }
+
+    /// Sets each occurrence's duration (seconds).
+    pub fn lasting(mut self, duration_s: f64) -> FaultSpec {
+        self.duration_s = duration_s.max(0.0);
+        self
+    }
+
+    /// Repeats the fault `count` more times, `period_s` apart, each
+    /// slipping by up to `jitter_s` of seeded jitter.
+    pub fn recurring(mut self, period_s: f64, count: u32, jitter_s: f64) -> FaultSpec {
+        self.recurrence =
+            Some(Recurrence { period_s: period_s.max(0.0), count, jitter_s: jitter_s.max(0.0) });
+        self
+    }
+}
+
+/// A named campaign: a horizon plus an ordered list of faults.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct ScenarioSpec {
+    pub name: String,
+    /// Experiment length (seconds); compiled injections beyond it are
+    /// dropped.
+    pub horizon_s: f64,
+    pub faults: Vec<FaultSpec>,
+}
+
+impl ScenarioSpec {
+    /// An empty campaign over `horizon_s` seconds.
+    pub fn new(name: impl Into<String>, horizon_s: f64) -> ScenarioSpec {
+        ScenarioSpec { name: name.into(), horizon_s: horizon_s.max(0.0), faults: Vec::new() }
+    }
+
+    /// Appends a fault (builder style).
+    pub fn fault(mut self, fault: FaultSpec) -> ScenarioSpec {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Serializes the spec as a self-contained JSON document (the format
+    /// [`ScenarioSpec::from_json`] reads back).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &self.name);
+        out.push_str(",\"horizon_s\":");
+        json::write_f64(&mut out, self.horizon_s);
+        out.push_str(",\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &f.name);
+            out.push_str(",\"kind\":");
+            write_kind(&mut out, &f.kind);
+            out.push_str(",\"target\":");
+            write_target(&mut out, &f.target);
+            out.push_str(",\"start_s\":");
+            json::write_f64(&mut out, f.start_s);
+            out.push_str(",\"duration_s\":");
+            json::write_f64(&mut out, f.duration_s);
+            if let Some(r) = &f.recurrence {
+                out.push_str(",\"recurrence\":{\"period_s\":");
+                json::write_f64(&mut out, r.period_s);
+                let _ = write!(out, ",\"count\":{}", r.count);
+                out.push_str(",\"jitter_s\":");
+                json::write_f64(&mut out, r.jitter_s);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Loads a spec from the JSON format [`ScenarioSpec::to_json`]
+    /// emits. Needs no external dependency, so specs load identically in
+    /// every build.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let doc = json::parse(text)?;
+        let name = str_field(&doc, "name")?.to_string();
+        let horizon_s = num_field(&doc, "horizon_s")?;
+        let mut faults = Vec::new();
+        let list = doc
+            .get("faults")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| "missing array field 'faults'".to_string())?;
+        for (i, f) in list.iter().enumerate() {
+            faults.push(parse_fault(f).map_err(|e| format!("fault {i}: {e}"))?);
+        }
+        Ok(ScenarioSpec { name, horizon_s: horizon_s.max(0.0), faults })
+    }
+}
+
+fn write_kind(out: &mut String, kind: &FaultKind) {
+    match kind {
+        FaultKind::SessionReset => out.push_str("{\"type\":\"session_reset\"}"),
+        FaultKind::WithdrawStorm { spread_ms } => {
+            out.push_str("{\"type\":\"withdraw_storm\",\"spread_ms\":");
+            json::write_f64(out, *spread_ms);
+            out.push('}');
+        }
+        FaultKind::PopOutage { detection_spread_ms } => {
+            out.push_str("{\"type\":\"pop_outage\",\"detection_spread_ms\":");
+            json::write_f64(out, *detection_spread_ms);
+            out.push('}');
+        }
+        FaultKind::LinkBlackhole => out.push_str("{\"type\":\"link_blackhole\"}"),
+        FaultKind::LatencySpike { add_ms } => {
+            out.push_str("{\"type\":\"latency_spike\",\"add_ms\":");
+            json::write_f64(out, *add_ms);
+            out.push('}');
+        }
+        FaultKind::BurstyLoss { p_enter_bad, p_leave_bad, loss_good, loss_bad } => {
+            out.push_str("{\"type\":\"bursty_loss\",\"p_enter_bad\":");
+            json::write_f64(out, *p_enter_bad);
+            out.push_str(",\"p_leave_bad\":");
+            json::write_f64(out, *p_leave_bad);
+            out.push_str(",\"loss_good\":");
+            json::write_f64(out, *loss_good);
+            out.push_str(",\"loss_bad\":");
+            json::write_f64(out, *loss_bad);
+            out.push('}');
+        }
+        FaultKind::ProbeFleetLoss { fraction } => {
+            out.push_str("{\"type\":\"probe_fleet_loss\",\"fraction\":");
+            json::write_f64(out, *fraction);
+            out.push('}');
+        }
+    }
+}
+
+fn write_target(out: &mut String, target: &Target) {
+    match target {
+        Target::Pop(id) => {
+            let _ = write!(out, "{{\"type\":\"pop\",\"id\":{id}}}");
+        }
+        Target::Peering(id) => {
+            let _ = write!(out, "{{\"type\":\"peering\",\"id\":{id}}}");
+        }
+        Target::Prefix(id) => {
+            let _ = write!(out, "{{\"type\":\"prefix\",\"id\":{id}}}");
+        }
+        Target::Tunnel(id) => {
+            let _ = write!(out, "{{\"type\":\"tunnel\",\"id\":{id}}}");
+        }
+        Target::All => out.push_str("{\"type\":\"all\"}"),
+        Target::Fleet => out.push_str("{\"type\":\"fleet\"}"),
+    }
+}
+
+fn str_field<'a>(v: &'a JsonValue, name: &str) -> Result<&'a str, String> {
+    v.get(name).and_then(|v| v.as_str()).ok_or_else(|| format!("missing string field '{name}'"))
+}
+
+fn num_field(v: &JsonValue, name: &str) -> Result<f64, String> {
+    v.get(name).and_then(|v| v.as_f64()).ok_or_else(|| format!("missing number field '{name}'"))
+}
+
+fn parse_fault(v: &JsonValue) -> Result<FaultSpec, String> {
+    let name = str_field(v, "name")?.to_string();
+    let kind_v = v.get("kind").ok_or_else(|| "missing field 'kind'".to_string())?;
+    let kind = match str_field(kind_v, "type")? {
+        "session_reset" => FaultKind::SessionReset,
+        "withdraw_storm" => FaultKind::WithdrawStorm { spread_ms: num_field(kind_v, "spread_ms")? },
+        "pop_outage" => FaultKind::PopOutage {
+            detection_spread_ms: num_field(kind_v, "detection_spread_ms")?,
+        },
+        "link_blackhole" => FaultKind::LinkBlackhole,
+        "latency_spike" => FaultKind::LatencySpike { add_ms: num_field(kind_v, "add_ms")? },
+        "bursty_loss" => FaultKind::BurstyLoss {
+            p_enter_bad: num_field(kind_v, "p_enter_bad")?,
+            p_leave_bad: num_field(kind_v, "p_leave_bad")?,
+            loss_good: num_field(kind_v, "loss_good")?,
+            loss_bad: num_field(kind_v, "loss_bad")?,
+        },
+        "probe_fleet_loss" => {
+            FaultKind::ProbeFleetLoss { fraction: num_field(kind_v, "fraction")? }
+        }
+        other => return Err(format!("unknown fault kind '{other}'")),
+    };
+    let target_v = v.get("target").ok_or_else(|| "missing field 'target'".to_string())?;
+    let id = || num_field(target_v, "id").map(|v| v as u32);
+    let target = match str_field(target_v, "type")? {
+        "pop" => Target::Pop(id()?),
+        "peering" => Target::Peering(id()?),
+        "prefix" => Target::Prefix(id()?),
+        "tunnel" => Target::Tunnel(id()?),
+        "all" => Target::All,
+        "fleet" => Target::Fleet,
+        other => return Err(format!("unknown target '{other}'")),
+    };
+    let recurrence = match v.get("recurrence") {
+        None | Some(JsonValue::Null) => None,
+        Some(r) => Some(Recurrence {
+            period_s: num_field(r, "period_s")?,
+            count: num_field(r, "count")? as u32,
+            jitter_s: num_field(r, "jitter_s")?,
+        }),
+    };
+    Ok(FaultSpec {
+        name,
+        kind,
+        target,
+        start_s: num_field(v, "start_s")?.max(0.0),
+        duration_s: num_field(v, "duration_s")?.max(0.0),
+        recurrence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec::new("demo", 130.0)
+            .fault(
+                FaultSpec::new(
+                    "popA",
+                    FaultKind::PopOutage { detection_spread_ms: 2100.0 },
+                    Target::Pop(0),
+                )
+                .at(60.0)
+                .lasting(40.0),
+            )
+            .fault(
+                FaultSpec::new("flap", FaultKind::SessionReset, Target::Peering(1))
+                    .at(20.0)
+                    .lasting(5.0)
+                    .recurring(15.0, 2, 3.0),
+            )
+            .fault(
+                FaultSpec::new(
+                    "burst",
+                    FaultKind::BurstyLoss {
+                        p_enter_bad: 0.02,
+                        p_leave_bad: 0.2,
+                        loss_good: 0.0,
+                        loss_bad: 0.6,
+                    },
+                    Target::Tunnel(3),
+                )
+                .at(70.0)
+                .lasting(10.0),
+            )
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let spec = sample_spec();
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("own output must parse");
+        assert_eq!(back, spec);
+        // And the re-emitted bytes are identical (canonical form).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn every_kind_and_target_round_trips() {
+        let kinds = [
+            FaultKind::SessionReset,
+            FaultKind::WithdrawStorm { spread_ms: 500.0 },
+            FaultKind::PopOutage { detection_spread_ms: 2000.0 },
+            FaultKind::LinkBlackhole,
+            FaultKind::LatencySpike { add_ms: 30.0 },
+            FaultKind::BurstyLoss {
+                p_enter_bad: 0.01,
+                p_leave_bad: 0.3,
+                loss_good: 0.001,
+                loss_bad: 0.5,
+            },
+            FaultKind::ProbeFleetLoss { fraction: 0.3 },
+        ];
+        let targets = [
+            Target::Pop(1),
+            Target::Peering(2),
+            Target::Prefix(3),
+            Target::Tunnel(4),
+            Target::All,
+            Target::Fleet,
+        ];
+        let mut spec = ScenarioSpec::new("matrix", 10.0);
+        for (i, kind) in kinds.iter().enumerate() {
+            spec = spec.fault(
+                FaultSpec::new(format!("f{i}"), *kind, targets[i % targets.len()])
+                    .at(i as f64)
+                    .lasting(0.5),
+            );
+        }
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parse");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn loader_rejects_malformed_specs() {
+        assert!(ScenarioSpec::from_json("{}").is_err());
+        assert!(ScenarioSpec::from_json("{\"name\":\"x\",\"horizon_s\":1}").is_err());
+        let bad_kind = r#"{"name":"x","horizon_s":1,"faults":[
+            {"name":"f","kind":{"type":"meteor"},"target":{"type":"all"},
+             "start_s":0,"duration_s":1}]}"#;
+        let err = ScenarioSpec::from_json(bad_kind).unwrap_err();
+        assert!(err.contains("meteor"), "{err}");
+        let bad_target = r#"{"name":"x","horizon_s":1,"faults":[
+            {"name":"f","kind":{"type":"session_reset"},"target":{"type":"moon"},
+             "start_s":0,"duration_s":1}]}"#;
+        assert!(ScenarioSpec::from_json(bad_target).is_err());
+    }
+
+    #[test]
+    fn builder_clamps_negative_times() {
+        let f = FaultSpec::new("f", FaultKind::LinkBlackhole, Target::All)
+            .at(-5.0)
+            .lasting(-1.0)
+            .recurring(-2.0, 1, -3.0);
+        assert_eq!(f.start_s, 0.0);
+        assert_eq!(f.duration_s, 0.0);
+        let r = f.recurrence.unwrap();
+        assert_eq!(r.period_s, 0.0);
+        assert_eq!(r.jitter_s, 0.0);
+    }
+}

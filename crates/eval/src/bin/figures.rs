@@ -3,9 +3,11 @@
 //! ```text
 //! figures <fig-id>... [flags]        # e.g. figures fig6a fig10
 //! figures all [flags]                # every figure, paper order
+//! figures chaos [flags]              # chaos resilience suite (chaos.* sections)
 //! figures list                       # available ids
 //!
 //! --test             CI-sized inputs (default: paper-sized, use release)
+//! --seed <n>         chaos campaign seed (default 1)
 //! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
 //! --csv              full per-series CSV dump (the old default)
 //! --report <p>.json  also write the structured RunReport as JSON
@@ -22,9 +24,10 @@ use rayon::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
-        println!("available figures: {}", ALL_FIGURES.join(" "));
+        println!("available figures: {} chaos", ALL_FIGURES.join(" "));
         println!(
-            "usage: figures <fig-id>...|all [--test] [--markdown|--csv] [--report <path>.json]"
+            "usage: figures <fig-id>...|all|chaos [--test] [--seed <n>] [--markdown|--csv] \
+             [--report <path>.json]"
         );
         return;
     }
@@ -37,8 +40,18 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .map(|i| {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--seed requires an integer argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
     let mut skip_next = false;
-    let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let mut requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
     } else {
         args.iter()
@@ -47,7 +60,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--report" {
+                if *a == "--report" || *a == "--seed" {
                     skip_next = true;
                 }
                 !a.starts_with("--")
@@ -55,6 +68,10 @@ fn main() {
             .map(String::as_str)
             .collect()
     };
+    // `chaos` is not a figure: it runs the resilience suite and lands as
+    // chaos.* sections on the same report.
+    let run_chaos = args.iter().any(|a| a == "chaos");
+    requested.retain(|id| *id != "chaos");
 
     // Figure bodies are independent; fan them out over the scoring pool
     // (PAINTER_THREADS-aware). The ordered collect keeps the output in
@@ -75,7 +92,20 @@ fn main() {
         }
     }
 
-    let report = figures_report("figures", &figures);
+    let mut report = figures_report("figures", &figures);
+    if run_chaos {
+        match painter_eval::chaos::suite_sections(scale, seed) {
+            Ok(sections) => {
+                for section in sections {
+                    report.push_section(section);
+                }
+            }
+            Err(e) => {
+                eprintln!("chaos suite failed: {e}");
+                failed = true;
+            }
+        }
+    }
     if markdown {
         println!("| Figure | Title | Measured vs paper |");
         println!("|---|---|---|");

@@ -1,0 +1,587 @@
+//! Chaos resilience harness: the generalized Fig. 10.
+//!
+//! Fig. 10 asks one question about one fault: after a PoP dies, how fast
+//! does each steering layer recover? This module asks the same question
+//! about *any* compiled [`painter_chaos::Schedule`]: a campaign runs the
+//! identical fault schedule against three steering strategies —
+//!
+//! * **painter** — the Traffic Manager holds tunnels to every prefix and
+//!   fails over on RTT-timescale probe evidence;
+//! * **anycast** — a single anycast prefix; recovery waits for BGP
+//!   reconvergence;
+//! * **dns** — per-PoP unicast prefixes behind a health-checked DNS
+//!   record; recovery waits for the next TTL boundary;
+//!
+//! and each strategy is scored with a [`Scorecard`] (availability,
+//! time-to-recover histogram, failovers, latency inflation) emitted as
+//! `chaos.*` report sections.
+//!
+//! Determinism: the campaign world, the compiled schedule, the sampled
+//! BGP state, and every Traffic Manager run are pure functions of
+//! `(spec, scale, seed)`, so a suite's sections — and their JSON
+//! rendering — are byte-identical across same-seed reruns. The
+//! per-campaign `chaos.<name>.schedule` section records the spec and an
+//! FNV-1a digest of the injection trace as the replay receipt.
+
+use crate::scenario::{Scale, SALT};
+use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
+use painter_bgp::PrefixId;
+use painter_chaos::{
+    program_bgp, program_tm, DataPlaneState, FaultEvent, FaultKind, FaultSpec, ScenarioSpec,
+    Schedule, Scorecard, Target, TmTarget, WorldView,
+};
+use painter_eventsim::{derive_seed, SimTime};
+use painter_geo::{metro, Region};
+use painter_obs::Section;
+use painter_tm::{TmSimulation, TmSimulationConfig, TunnelId};
+use painter_topology::{AsGraph, AsTier, Deployment, PeeringId, PeeringKind, Relationship};
+
+/// Sampling grid for coupling BGP state into the TM channel schedules.
+const SAMPLE_MS: f64 = 25.0;
+/// Extra RTT on the anycast path (shared front-end VIP indirection; see
+/// `figs::fig10`).
+const ANYCAST_OVERHEAD_MS: f64 = 4.0;
+
+/// Campaign clock constants, scale-dependent so tests stay fast while
+/// the paper-sized run reproduces Fig. 10's 60 s TTL.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosTiming {
+    /// BGP warm-up before the sampled series starts meaning anything.
+    pub warmup_s: f64,
+    /// DNS record TTL: the DNS strategy re-resolves only at multiples
+    /// of this.
+    pub dns_ttl_s: f64,
+    /// Where the standard suite lands its first fault (mid-TTL, so DNS
+    /// pays the worst-case wait).
+    pub fault_at_s: f64,
+    /// Campaign horizon.
+    pub horizon_s: f64,
+}
+
+impl ChaosTiming {
+    /// The clock for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> ChaosTiming {
+        match scale {
+            Scale::Test => {
+                ChaosTiming { warmup_s: 10.0, dns_ttl_s: 20.0, fault_at_s: 22.0, horizon_s: 60.0 }
+            }
+            Scale::Paper => {
+                ChaosTiming { warmup_s: 30.0, dns_ttl_s: 60.0, fault_at_s: 65.0, horizon_s: 130.0 }
+            }
+        }
+    }
+}
+
+/// One campaign's full result: the compiled schedule (the replay
+/// artifact) plus one scorecard per strategy.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    pub schedule: Schedule,
+    /// Canonical JSON of the source spec (provenance).
+    pub spec_json: String,
+    pub painter: Scorecard,
+    pub anycast: Scorecard,
+    pub dns: Scorecard,
+}
+
+impl CampaignOutcome {
+    /// The three scorecards in fixed (painter, anycast, dns) order.
+    pub fn scorecards(&self) -> [&Scorecard; 3] {
+        [&self.painter, &self.anycast, &self.dns]
+    }
+
+    /// Report sections: a `chaos.<name>.schedule` provenance section
+    /// followed by one `chaos.<name>.<strategy>` section per strategy.
+    pub fn sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(4);
+        out.push(
+            Section::new(format!("chaos.{}.schedule", self.schedule.name))
+                .field("seed", self.schedule.seed)
+                .field("injections", self.schedule.injections().len())
+                .field(
+                    "first_fault_ms",
+                    self.schedule.first_at().map(|t| t.as_ms()).unwrap_or(-1.0),
+                )
+                .field("trace_fnv1a", format!("{:016x}", fnv1a(self.schedule.trace().as_bytes())))
+                .field("spec", self.spec_json.as_str()),
+        );
+        for sc in self.scorecards() {
+            out.push(sc.section());
+        }
+        out
+    }
+}
+
+/// The campaign world: fig10's two-PoP shape (New York = PoP-A,
+/// London = PoP-B, two transit ISPs at both, the enterprise stub in New
+/// York behind two regional access ISPs, plus churn bystanders).
+struct HarnessWorld {
+    graph: AsGraph,
+    deployment: Deployment,
+    stub: painter_topology::AsId,
+    stub_metro: painter_geo::MetroId,
+}
+
+fn build_world() -> HarnessWorld {
+    let ny = painter_geo::metro::all_metro_ids()
+        .find(|&m| metro(m).name == "New York")
+        .expect("metro db");
+    let lon =
+        painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "London").expect("metro db");
+    let mut graph = AsGraph::new();
+    let isp1 = graph.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny, lon], 1.05);
+    let isp2 = graph.add_node(AsTier::Tier1, Region::Europe, vec![ny, lon], 1.15);
+    let acc1 = graph.add_node(AsTier::Access, Region::NorthAmerica, vec![ny], 1.0);
+    let acc2 = graph.add_node(AsTier::Access, Region::NorthAmerica, vec![ny], 1.1);
+    let stub = graph.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+    graph.add_link(isp1, isp2, Relationship::PeerWith).expect("new link");
+    graph.add_link(isp1, acc1, Relationship::ProviderOf).expect("new link");
+    graph.add_link(isp2, acc1, Relationship::ProviderOf).expect("new link");
+    graph.add_link(isp1, acc2, Relationship::ProviderOf).expect("new link");
+    graph.add_link(isp2, acc2, Relationship::ProviderOf).expect("new link");
+    graph.add_link(acc1, stub, Relationship::ProviderOf).expect("new link");
+    graph.add_link(acc2, stub, Relationship::ProviderOf).expect("new link");
+    for i in 0..8 {
+        let bystander = graph.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        let upstream = if i % 2 == 0 { acc1 } else { acc2 };
+        graph.add_link(upstream, bystander, Relationship::ProviderOf).expect("new link");
+    }
+    let deployment = Deployment::from_parts(
+        vec![ny, lon],
+        vec![
+            (0, isp1, PeeringKind::TransitProvider),
+            (0, isp2, PeeringKind::TransitProvider),
+            (1, isp1, PeeringKind::TransitProvider),
+            (1, isp2, PeeringKind::TransitProvider),
+        ],
+    );
+    HarnessWorld { graph, deployment, stub, stub_metro: ny }
+}
+
+/// Chaos tunnel index 0 is the anycast prefix; 1.. are the per-peering
+/// unicast prefixes (the order handed to `TmSimulation::add_path`).
+fn prefix_plan() -> Vec<(PrefixId, Vec<PeeringId>)> {
+    vec![
+        (PrefixId(0), vec![PeeringId(0), PeeringId(1), PeeringId(2), PeeringId(3)]),
+        (PrefixId(1), vec![PeeringId(0)]),
+        (PrefixId(2), vec![PeeringId(1)]),
+        (PrefixId(3), vec![PeeringId(2)]),
+        (PrefixId(4), vec![PeeringId(3)]),
+    ]
+}
+
+/// Runs one campaign: compiles the spec, drives one shared BGP engine,
+/// samples gated per-prefix reachability/latency onto three Traffic
+/// Manager runs (painter / anycast / dns), and scores each.
+pub fn run_campaign(
+    spec: &ScenarioSpec,
+    timing: &ChaosTiming,
+    seed: u64,
+) -> Result<CampaignOutcome, String> {
+    let world = build_world();
+    let plan = prefix_plan();
+    let view = WorldView::from_deployment(&world.deployment, plan.clone());
+    let schedule = Schedule::compile(spec, &view, seed)?;
+    let first_fault = schedule.first_at().unwrap_or(SimTime::MAX);
+    let horizon = SimTime::from_secs(timing.horizon_s);
+
+    // --- Shared control plane: announce everything, queue the chaos
+    // events, let BGP converge through the warm-up.
+    let dynamics = DynamicsConfig { proc_delay_ms: (30.0, 400.0), mrai_secs: (2.0, 8.0), seed };
+    let mut engine = BgpEngine::new(&world.graph, &world.deployment, dynamics, SALT);
+    for (prefix, peerings) in &plan {
+        for &pe in peerings {
+            engine.announce(SimTime::ZERO, *prefix, pe);
+        }
+    }
+    program_bgp(&schedule, &mut engine);
+    engine.run_until(SimTime::from_secs(timing.warmup_s));
+
+    // Converged base RTT per chaos tunnel (what a blackhole recovery
+    // restores).
+    let base: Vec<f64> = plan
+        .iter()
+        .map(|(prefix, _)| {
+            let overhead = if prefix.0 == 0 { ANYCAST_OVERHEAD_MS } else { 0.0 };
+            engine
+                .current_rtt_ms(world.stub, world.stub_metro, *prefix)
+                .map(|r| r + overhead)
+                .unwrap_or(100.0)
+        })
+        .collect();
+
+    // --- Sample BGP state once, gated by administrative data-plane
+    // liveness: a route through a dead PoP blackholes immediately even
+    // while its session waits out failure detection, and a blackholed
+    // tunnel stays dark regardless of what BGP believes.
+    // Half-open sampling [0, horizon): a control-plane change at exactly
+    // the horizon cannot affect any in-horizon request, but reprogramming
+    // a channel down there would drop its in-flight responses.
+    let steps = (timing.horizon_s * 1000.0 / SAMPLE_MS) as usize;
+    let mut dps = DataPlaneState::new(view.pops as usize, plan.len());
+    let mut avail: Vec<Vec<Option<f64>>> = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+        engine.run_until(t);
+        dps.advance(&schedule, t);
+        let row: Vec<Option<f64>> = plan
+            .iter()
+            .enumerate()
+            .map(|(idx, (prefix, _))| {
+                if dps.tunnel_down(idx) {
+                    return None;
+                }
+                let overhead = if prefix.0 == 0 { ANYCAST_OVERHEAD_MS } else { 0.0 };
+                engine
+                    .current_path(world.stub, *prefix)
+                    .filter(|(_, ingress)| !dps.pop_down(world.deployment.peering(*ingress).pop))
+                    .and_then(|_| engine.current_rtt_ms(world.stub, world.stub_metro, *prefix))
+                    .map(|r| r + overhead)
+            })
+            .collect();
+        avail.push(row);
+    }
+
+    // --- Strategy 1: PAINTER — every tunnel, full fault programming.
+    let painter = {
+        let mut tm = TmSimulation::new(TmSimulationConfig {
+            seed: derive_seed(seed, 1),
+            ..Default::default()
+        });
+        let tunnels = add_all_paths(&mut tm, &world, &plan, &base);
+        let targets = tm_targets(&tunnels, &base);
+        program_tm(&schedule, &mut tm, &targets);
+        for (step, row) in avail.iter().enumerate() {
+            let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+            for (idx, sample) in row.iter().enumerate() {
+                match sample {
+                    Some(rtt) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
+                    None => tm.schedule_path_down(t, tunnels[idx]),
+                }
+            }
+        }
+        drain_and_score(&mut tm, &spec.name, "painter", horizon, first_fault)
+    };
+
+    // --- Strategy 2: anycast — one tunnel; recovery is BGP
+    // reconvergence onto the surviving ingress.
+    let anycast = {
+        let mut tm = TmSimulation::new(TmSimulationConfig {
+            seed: derive_seed(seed, 2),
+            ..Default::default()
+        });
+        let pop = world.deployment.peering(plan[0].1[0]).pop;
+        let tunnel = tm.add_path(plan[0].0, pop, base[0]);
+        program_tm(&schedule, &mut tm, &[TmTarget { tunnel, base_rtt_ms: base[0] }]);
+        for (step, row) in avail.iter().enumerate() {
+            let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+            match row[0] {
+                Some(rtt) => tm.schedule_path_rtt(t, tunnel, rtt),
+                None => tm.schedule_path_down(t, tunnel),
+            }
+        }
+        drain_and_score(&mut tm, &spec.name, "anycast", horizon, first_fault)
+    };
+
+    // --- Strategy 3: DNS — all unicast tunnels exist, but only the
+    // currently-resolved record's tunnel is usable; the (health-checked)
+    // resolver re-picks the lowest-RTT reachable prefix only at TTL
+    // boundaries. Tunnel liveness flows through the sampled schedule, so
+    // only the latency/loss/probe overlays are injected directly.
+    let dns = {
+        let mut tm = TmSimulation::new(TmSimulationConfig {
+            seed: derive_seed(seed, 3),
+            ..Default::default()
+        });
+        let tunnels = add_all_paths(&mut tm, &world, &plan, &base);
+        let targets = tm_targets(&tunnels, &base);
+        program_overlays(&schedule, &mut tm, &targets);
+        let ttl_ns = SimTime::from_secs(timing.dns_ttl_s).as_nanos().max(1);
+        let mut resolved: Option<usize> = None;
+        let mut window = u64::MAX;
+        for (step, row) in avail.iter().enumerate() {
+            let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+            let w = t.as_nanos() / ttl_ns;
+            if w != window {
+                window = w;
+                // Anycast (index 0) is not a DNS answer; an all-dark
+                // fleet keeps the stale record.
+                let best = row
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .filter_map(|(idx, s)| s.map(|rtt| (idx, rtt)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+                if let Some((idx, _)) = best {
+                    resolved = Some(idx);
+                }
+            }
+            for (idx, sample) in row.iter().enumerate() {
+                match (Some(idx) == resolved, sample) {
+                    (true, Some(rtt)) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
+                    _ => tm.schedule_path_down(t, tunnels[idx]),
+                }
+            }
+        }
+        drain_and_score(&mut tm, &spec.name, "dns", horizon, first_fault)
+    };
+
+    Ok(CampaignOutcome { schedule, spec_json: spec.to_json(), painter, anycast, dns })
+}
+
+/// Runs the sim one second past the horizon so responses to requests
+/// sent near the end can land, then scores only the in-horizon
+/// records/switches. Without the drain a strategy resting on a
+/// long-RTT path would book its final in-flight window as a spurious
+/// trailing outage.
+fn drain_and_score(
+    tm: &mut TmSimulation,
+    campaign: &str,
+    strategy: &str,
+    horizon: SimTime,
+    first_fault: SimTime,
+) -> Scorecard {
+    tm.run(SimTime::from_nanos(horizon.as_nanos() + SimTime::from_secs(1.0).as_nanos()));
+    let records: Vec<_> = tm.records().iter().filter(|r| r.sent <= horizon).copied().collect();
+    let switches: Vec<_> = tm.switch_log().iter().filter(|s| s.at <= horizon).copied().collect();
+    Scorecard::from_records(campaign, strategy, &records, &switches, first_fault)
+}
+
+fn add_all_paths(
+    tm: &mut TmSimulation,
+    world: &HarnessWorld,
+    plan: &[(PrefixId, Vec<PeeringId>)],
+    base: &[f64],
+) -> Vec<TunnelId> {
+    plan.iter()
+        .enumerate()
+        .map(|(idx, (prefix, peerings))| {
+            let pop = world.deployment.peering(peerings[0]).pop;
+            tm.add_path(*prefix, pop, base[idx])
+        })
+        .collect()
+}
+
+fn tm_targets(tunnels: &[TunnelId], base: &[f64]) -> Vec<TmTarget> {
+    tunnels
+        .iter()
+        .zip(base)
+        .map(|(&tunnel, &base_rtt_ms)| TmTarget { tunnel, base_rtt_ms })
+        .collect()
+}
+
+/// Injects only the overlay faults (latency, bursty loss, probe-fleet
+/// loss) — for strategies whose tunnel liveness is already authored by
+/// the gated sampling loop, where `program_tm`'s blackhole recovery
+/// events would wrongly revive channels the strategy may not use.
+fn program_overlays(schedule: &Schedule, tm: &mut TmSimulation, targets: &[TmTarget]) {
+    for inj in schedule.injections() {
+        let at = inj.at;
+        match inj.event {
+            FaultEvent::LatencyAdd { tunnel, add_ms } => {
+                if let Some(t) = targets.get(tunnel) {
+                    tm.schedule_path_extra_latency(at, t.tunnel, add_ms);
+                }
+            }
+            FaultEvent::LatencyClear { tunnel, .. } => {
+                if let Some(t) = targets.get(tunnel) {
+                    tm.schedule_path_extra_latency(at, t.tunnel, 0.0);
+                }
+            }
+            FaultEvent::BurstStart { tunnel, p_enter_bad, p_leave_bad, loss_good, loss_bad } => {
+                if let Some(t) = targets.get(tunnel) {
+                    tm.schedule_path_burst(
+                        at,
+                        t.tunnel,
+                        Some((p_enter_bad, p_leave_bad, loss_good, loss_bad)),
+                    );
+                }
+            }
+            FaultEvent::BurstEnd { tunnel } => {
+                if let Some(t) = targets.get(tunnel) {
+                    tm.schedule_path_burst(at, t.tunnel, None);
+                }
+            }
+            FaultEvent::ProbeLoss { fraction } => tm.schedule_probe_loss(at, fraction),
+            FaultEvent::ProbeRestore => tm.schedule_probe_loss(at, 0.0),
+            _ => {}
+        }
+    }
+}
+
+/// The standard three-campaign suite, timed against `timing` so the
+/// first fault always lands mid-TTL (DNS's worst case).
+pub fn standard_suite(timing: &ChaosTiming) -> Vec<ScenarioSpec> {
+    let t0 = timing.fault_at_s;
+    let h = timing.horizon_s;
+    let outage = (h - t0).min(30.0);
+    vec![
+        // Fig. 10 proper: one PoP dies; sessions notice on their own
+        // failure-detection timers.
+        ScenarioSpec::new("pop-outage", h).fault(
+            FaultSpec::new(
+                "popA",
+                FaultKind::PopOutage { detection_spread_ms: 2100.0 },
+                Target::Pop(0),
+            )
+            .at(t0)
+            .lasting(outage),
+        ),
+        // Control-plane churn without a data-plane disaster: a flapping
+        // session plus a withdrawal storm on its PoP neighbor.
+        ScenarioSpec::new("bgp-churn", h)
+            .fault(
+                FaultSpec::new("flap0", FaultKind::SessionReset, Target::Peering(0))
+                    .at(t0)
+                    .lasting(3.0)
+                    .recurring(10.0, 2, 2.0),
+            )
+            .fault(
+                FaultSpec::new(
+                    "storm1",
+                    FaultKind::WithdrawStorm { spread_ms: 700.0 },
+                    Target::Peering(1),
+                )
+                .at(t0 + 5.0)
+                .lasting(6.0),
+            ),
+        // The compound case: the PoP outage *plus* degraded survivors
+        // (latency spike and bursty loss at PoP-B) *plus* a darkened
+        // probe fleet — every plane faulted at once.
+        ScenarioSpec::new("multi-fault", h)
+            .fault(
+                FaultSpec::new(
+                    "popA",
+                    FaultKind::PopOutage { detection_spread_ms: 2100.0 },
+                    Target::Pop(0),
+                )
+                .at(t0)
+                .lasting(outage),
+            )
+            .fault(
+                FaultSpec::new(
+                    "spike-b1",
+                    FaultKind::LatencySpike { add_ms: 35.0 },
+                    Target::Tunnel(3),
+                )
+                .at(t0 + 2.0)
+                .lasting(10.0),
+            )
+            .fault(
+                FaultSpec::new(
+                    "burst-b2",
+                    FaultKind::BurstyLoss {
+                        p_enter_bad: 0.05,
+                        p_leave_bad: 0.25,
+                        loss_good: 0.0,
+                        loss_bad: 0.7,
+                    },
+                    Target::Tunnel(4),
+                )
+                .at(t0 + 2.0)
+                .lasting(10.0),
+            )
+            .fault(
+                FaultSpec::new("fleet", FaultKind::ProbeFleetLoss { fraction: 0.3 }, Target::Fleet)
+                    .at(t0)
+                    .lasting(20.0),
+            ),
+    ]
+}
+
+/// Runs the standard suite at a scale and seed.
+pub fn run_suite(scale: Scale, seed: u64) -> Result<Vec<CampaignOutcome>, String> {
+    let timing = ChaosTiming::for_scale(scale);
+    standard_suite(&timing).iter().map(|spec| run_campaign(spec, &timing, seed)).collect()
+}
+
+/// The whole suite as flat `chaos.*` report sections (provenance plus
+/// three scorecards per campaign), ready to push into a `RunReport`.
+pub fn suite_sections(scale: Scale, seed: u64) -> Result<Vec<Section>, String> {
+    Ok(run_suite(scale, seed)?.iter().flat_map(|o| o.sections()).collect())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop_outage() -> (ScenarioSpec, ChaosTiming) {
+        let timing = ChaosTiming::for_scale(Scale::Test);
+        let spec = standard_suite(&timing).remove(0);
+        (spec, timing)
+    }
+
+    #[test]
+    fn pop_outage_orders_painter_anycast_dns() {
+        let (spec, timing) = pop_outage();
+        let out = run_campaign(&spec, &timing, 1).expect("campaign");
+        // PAINTER recovers on the probe timescale; anycast waits for
+        // BGP; DNS waits for the 40 s TTL boundary (fault at 22 s).
+        let p = out.painter.worst_ttr_ms();
+        let a = out.anycast.worst_ttr_ms();
+        let d = out.dns.worst_ttr_ms();
+        assert!(p < 1_000.0, "painter ttr {p} ms");
+        assert!(a > p, "anycast {a} ms must be slower than painter {p} ms");
+        assert!(d > a, "dns {d} ms must be slower than anycast {a} ms");
+        assert!(d > 10_000.0 && d < 25_000.0, "dns waits out the TTL, got {d} ms");
+        assert_eq!(out.dns.unrecovered, 0, "dns must recover at the boundary");
+        // Everyone loses some requests; painter loses the fewest.
+        assert!(out.painter.availability() > out.anycast.availability());
+        assert!(out.anycast.availability() > out.dns.availability());
+    }
+
+    #[test]
+    fn campaigns_replay_bit_identically() {
+        let (spec, timing) = pop_outage();
+        let a = run_campaign(&spec, &timing, 7).expect("campaign");
+        let b = run_campaign(&spec, &timing, 7).expect("campaign");
+        assert_eq!(a.schedule.trace(), b.schedule.trace());
+        assert_eq!(a.sections(), b.sections());
+        let c = run_campaign(&spec, &timing, 8).expect("campaign");
+        assert_ne!(a.schedule.trace(), c.schedule.trace(), "seed must matter");
+    }
+
+    #[test]
+    fn sections_carry_provenance_and_all_three_strategies() {
+        let (spec, timing) = pop_outage();
+        let out = run_campaign(&spec, &timing, 1).expect("campaign");
+        let sections = out.sections();
+        let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
+        assert_eq!(
+            titles,
+            vec![
+                "chaos.pop-outage.schedule",
+                "chaos.pop-outage.painter",
+                "chaos.pop-outage.anycast",
+                "chaos.pop-outage.dns",
+            ]
+        );
+        // The recorded spec round-trips through the loader.
+        let spec_field = match sections[0].get("spec") {
+            Some(painter_obs::Value::Str(s)) => s.clone(),
+            other => panic!("expected spec string, got {other:?}"),
+        };
+        let back = ScenarioSpec::from_json(&spec_field).expect("spec round-trip");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn standard_suite_compiles_against_the_harness_world() {
+        let timing = ChaosTiming::for_scale(Scale::Test);
+        let view = WorldView::from_deployment(&build_world().deployment, prefix_plan());
+        for spec in standard_suite(&timing) {
+            let s = Schedule::compile(&spec, &view, 1).expect("compile");
+            assert!(!s.injections().is_empty(), "{} is empty", spec.name);
+            assert!(s.first_at().unwrap() >= SimTime::from_secs(timing.warmup_s));
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! Every harness accepts a [`Scale`]: `Test` runs in seconds for CI,
 //! `Paper` uses evaluation-size inputs (run in release).
 
+pub mod chaos;
 pub mod figs;
 pub mod helpers;
 pub mod report;

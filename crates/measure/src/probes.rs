@@ -52,6 +52,37 @@ impl ProbeFleet {
         self.has_probe[ug.idx()]
     }
 
+    /// Knocks out probes in seeded random order until at least `fraction`
+    /// of the fleet's covered weight is gone (a chaos campaign's
+    /// probe-fleet loss). `ugs` must be the list the fleet was selected
+    /// from. Returns the number of probes removed.
+    pub fn knock_out(&mut self, ugs: &[UserGroup], fraction: f64, seed: u64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let goal = self.covered_weight * fraction;
+        if goal <= 0.0 {
+            return 0;
+        }
+        let mut rng = SimRng::stream(seed, 0x6b_6e_6f_63);
+        let mut victims: Vec<usize> =
+            self.has_probe.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
+        // Fisher–Yates on the (deterministic) index list.
+        for i in (1..victims.len()).rev() {
+            victims.swap(i, rng.index(i + 1));
+        }
+        let mut removed_weight = 0.0;
+        let mut removed = 0;
+        for i in victims {
+            if removed_weight >= goal {
+                break;
+            }
+            self.has_probe[i] = false;
+            removed_weight += ugs[i].weight;
+            removed += 1;
+        }
+        self.covered_weight = (self.covered_weight - removed_weight).max(0.0);
+        removed
+    }
+
     /// All probe-hosting UG ids.
     pub fn probe_ugs(&self) -> Vec<UgId> {
         self.has_probe.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| UgId(i as u32)).collect()
@@ -129,5 +160,44 @@ mod tests {
         let a = ProbeFleet::select(&ugs, 0.47, 3);
         let b = ProbeFleet::select(&ugs, 0.47, 3);
         assert_eq!(a.probe_ugs(), b.probe_ugs());
+    }
+
+    #[test]
+    fn knock_out_removes_the_requested_weight_fraction() {
+        let ugs = ugs();
+        let mut fleet = ProbeFleet::select(&ugs, 0.6, 4);
+        let before = fleet.coverage();
+        let removed = fleet.knock_out(&ugs, 0.5, 9);
+        assert!(removed > 0);
+        let after = fleet.coverage();
+        assert!(after < before * 0.55, "coverage {before} -> {after}");
+        assert!(after > 0.0, "half the fleet must survive");
+        // Coverage bookkeeping stays consistent with the membership list.
+        let recomputed: f64 = fleet.probe_ugs().iter().map(|&u| ugs[u.idx()].weight).sum::<f64>()
+            / ugs.iter().map(|u| u.weight).sum::<f64>();
+        assert!((recomputed - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knock_out_is_deterministic_and_seed_sensitive() {
+        let ugs = ugs();
+        let run = |seed| {
+            let mut fleet = ProbeFleet::select(&ugs, 0.6, 4);
+            fleet.knock_out(&ugs, 0.3, seed);
+            fleet.probe_ugs()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should pick different victims");
+    }
+
+    #[test]
+    fn knock_out_full_fraction_empties_the_fleet() {
+        let ugs = ugs();
+        let mut fleet = ProbeFleet::select(&ugs, 0.5, 4);
+        fleet.knock_out(&ugs, 1.0, 1);
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.coverage(), 0.0);
+        // Knocking out an empty fleet is a no-op.
+        assert_eq!(fleet.knock_out(&ugs, 0.5, 1), 0);
     }
 }

@@ -20,6 +20,13 @@ pub struct Channel {
     /// Relative jitter applied to each traversal (fraction of one-way
     /// delay).
     jitter: f64,
+    /// Additive round-trip latency on top of the base RTT (a fault
+    /// injector's congestion episode), kept separate so clearing the
+    /// episode restores the base exactly.
+    extra_ms: f64,
+    /// Optional bursty-loss overlay; when present it replaces the
+    /// independent `loss` draw.
+    burst: Option<GilbertElliott>,
 }
 
 impl Channel {
@@ -30,10 +37,12 @@ impl Channel {
             loss: loss.clamp(0.0, 1.0),
             up: true,
             jitter: jitter.clamp(0.0, 1.0),
+            extra_ms: 0.0,
+            burst: None,
         }
     }
 
-    /// Current base RTT in milliseconds.
+    /// Current base RTT in milliseconds (excluding any additive episode).
     pub fn rtt_ms(&self) -> f64 {
         self.rtt_ms
     }
@@ -41,6 +50,27 @@ impl Channel {
     /// Updates the base RTT (e.g. after a routing change).
     pub fn set_rtt_ms(&mut self, rtt_ms: f64) {
         self.rtt_ms = rtt_ms.max(0.0);
+    }
+
+    /// Replaces the independent per-packet loss probability.
+    pub fn set_loss(&mut self, loss: f64) {
+        self.loss = loss.clamp(0.0, 1.0);
+    }
+
+    /// Current additive round-trip latency in milliseconds.
+    pub fn extra_ms(&self) -> f64 {
+        self.extra_ms
+    }
+
+    /// Sets the additive round-trip latency (0 clears the episode).
+    pub fn set_extra_ms(&mut self, extra_ms: f64) {
+        self.extra_ms = extra_ms.max(0.0);
+    }
+
+    /// Installs (`Some`) or clears (`None`) a bursty-loss overlay. While
+    /// installed, it replaces the independent loss draw entirely.
+    pub fn set_burst(&mut self, burst: Option<GilbertElliott>) {
+        self.burst = burst;
     }
 
     /// Whether the channel currently delivers packets.
@@ -54,19 +84,31 @@ impl Channel {
     }
 
     /// Samples the one-way delivery delay for a packet, or `None` if the
-    /// packet is lost (channel down or random loss).
-    pub fn sample_one_way(&self, rng: &mut SimRng) -> Option<SimTime> {
-        if !self.up || rng.chance(self.loss) {
+    /// packet is lost (channel down, burst episode, or random loss).
+    ///
+    /// RNG draw order is part of the determinism contract: a channel with
+    /// no burst overlay and no extra latency consumes exactly the same
+    /// draws as before those features existed, so seeded experiments that
+    /// never inject faults replay bit-identically.
+    pub fn sample_one_way(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        if !self.up {
             return None;
         }
-        let base = self.rtt_ms / 2.0;
+        if let Some(burst) = self.burst.as_mut() {
+            if burst.lose_packet(rng) {
+                return None;
+            }
+        } else if rng.chance(self.loss) {
+            return None;
+        }
+        let base = (self.rtt_ms + self.extra_ms) / 2.0;
         let jitter = base * self.jitter * rng.unit();
         Some(SimTime::from_ms(base + jitter))
     }
 
     /// Samples a full round trip (both directions must survive), or `None`
     /// if either direction drops.
-    pub fn sample_round_trip(&self, rng: &mut SimRng) -> Option<SimTime> {
+    pub fn sample_round_trip(&mut self, rng: &mut SimRng) -> Option<SimTime> {
         let there = self.sample_one_way(rng)?;
         let back = self.sample_one_way(rng)?;
         Some(there + back)
@@ -155,7 +197,7 @@ mod tests {
 
     #[test]
     fn delivery_delay_is_near_half_rtt() {
-        let ch = Channel::new(100.0, 0.0, 0.0);
+        let mut ch = Channel::new(100.0, 0.0, 0.0);
         let mut rng = SimRng::new(1);
         let d = ch.sample_one_way(&mut rng).unwrap();
         assert_eq!(d, SimTime::from_ms(50.0));
@@ -175,7 +217,7 @@ mod tests {
 
     #[test]
     fn loss_rate_is_respected() {
-        let ch = Channel::new(10.0, 0.3, 0.0);
+        let mut ch = Channel::new(10.0, 0.3, 0.0);
         let mut rng = SimRng::new(3);
         let delivered = (0..10_000).filter(|_| ch.sample_one_way(&mut rng).is_some()).count();
         let rate = delivered as f64 / 10_000.0;
@@ -184,7 +226,7 @@ mod tests {
 
     #[test]
     fn jitter_spreads_delays() {
-        let ch = Channel::new(100.0, 0.0, 0.2);
+        let mut ch = Channel::new(100.0, 0.0, 0.2);
         let mut rng = SimRng::new(4);
         let mut delays: Vec<SimTime> = Vec::new();
         for _ in 0..100 {
@@ -199,7 +241,7 @@ mod tests {
 
     #[test]
     fn round_trip_is_sum_of_directions() {
-        let ch = Channel::new(80.0, 0.0, 0.0);
+        let mut ch = Channel::new(80.0, 0.0, 0.0);
         let mut rng = SimRng::new(5);
         assert_eq!(ch.sample_round_trip(&mut rng).unwrap(), SimTime::from_ms(80.0));
     }
@@ -211,5 +253,63 @@ mod tests {
         assert_eq!(ch.rtt_ms(), 42.0);
         ch.set_rtt_ms(-5.0);
         assert_eq!(ch.rtt_ms(), 0.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_burst_lengths_match_geometric_mean_under_fixed_seed() {
+        // Bad-state dwell time is geometric with mean 1/p_leave_bad; with
+        // a fixed seed and enough packets the sample mean must land close.
+        let p_leave_bad = 0.25;
+        let mut ge = GilbertElliott::new(0.01, p_leave_bad, 0.0, 1.0);
+        let mut rng = SimRng::new(42);
+        let mut runs: Vec<usize> = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..200_000 {
+            ge.lose_packet(&mut rng);
+            if ge.in_bad_state() {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        assert!(runs.len() > 300, "too few bursts to judge ({})", runs.len());
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        let expect = 1.0 / p_leave_bad;
+        assert!(
+            (mean - expect).abs() / expect < 0.15,
+            "mean burst {mean:.2} vs geometric mean {expect:.2}"
+        );
+        // Same seed, same statistics: the process is fully deterministic.
+        let mut ge2 = GilbertElliott::new(0.01, p_leave_bad, 0.0, 1.0);
+        let mut rng2 = SimRng::new(42);
+        let losses: usize = (0..200_000).filter(|_| ge2.lose_packet(&mut rng2)).count();
+        let mut ge3 = GilbertElliott::new(0.01, p_leave_bad, 0.0, 1.0);
+        let mut rng3 = SimRng::new(42);
+        let losses3: usize = (0..200_000).filter(|_| ge3.lose_packet(&mut rng3)).count();
+        assert_eq!(losses, losses3);
+    }
+
+    #[test]
+    fn extra_latency_adds_to_round_trip_and_clears_exactly() {
+        let mut ch = Channel::new(80.0, 0.0, 0.0);
+        ch.set_extra_ms(20.0);
+        assert_eq!(ch.extra_ms(), 20.0);
+        let mut rng = SimRng::new(6);
+        assert_eq!(ch.sample_round_trip(&mut rng).unwrap(), SimTime::from_ms(100.0));
+        ch.set_extra_ms(0.0);
+        assert_eq!(ch.sample_round_trip(&mut rng).unwrap(), SimTime::from_ms(80.0));
+    }
+
+    #[test]
+    fn burst_overlay_replaces_independent_loss() {
+        // loss=1.0 would drop everything, but an all-good overlay wins.
+        let mut ch = Channel::new(10.0, 1.0, 0.0);
+        ch.set_burst(Some(GilbertElliott::new(0.0, 1.0, 0.0, 1.0)));
+        let mut rng = SimRng::new(7);
+        assert!(ch.sample_one_way(&mut rng).is_some());
+        // Clearing the overlay restores the independent draw.
+        ch.set_burst(None);
+        assert!(ch.sample_one_way(&mut rng).is_none());
     }
 }

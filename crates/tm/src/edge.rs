@@ -23,6 +23,12 @@ pub struct EdgeConfig {
     /// Floor for the retransmission timeout (ms) so near-zero-RTT paths
     /// do not flap on scheduling noise.
     pub min_rto_ms: f64,
+    /// Timeout floor (ms) for packets sent on a tunnel currently
+    /// believed dead. A recovered path can come back much slower than
+    /// the stale srtt (e.g. anycast reconverging onto a farther PoP);
+    /// without this backoff its probes would time out before their
+    /// responses arrive and the tunnel could never be revived.
+    pub dead_rto_ms: f64,
     /// Only switch away from a live tunnel if the challenger is at least
     /// this much faster (ms) — the oscillation-avoidance lesson the paper
     /// takes from prior route-control work.
@@ -31,7 +37,13 @@ pub struct EdgeConfig {
 
 impl Default for EdgeConfig {
     fn default() -> Self {
-        EdgeConfig { srtt_alpha: 0.3, timeout_factor: 1.3, min_rto_ms: 2.0, hysteresis_ms: 3.0 }
+        EdgeConfig {
+            srtt_alpha: 0.3,
+            timeout_factor: 1.3,
+            min_rto_ms: 2.0,
+            dead_rto_ms: 300.0,
+            hysteresis_ms: 3.0,
+        }
     }
 }
 
@@ -57,9 +69,13 @@ pub struct Tunnel {
 }
 
 impl Tunnel {
-    /// The current retransmission/declare-dead timeout.
+    /// The current retransmission/declare-dead timeout. Dead tunnels use
+    /// the conservative [`EdgeConfig::dead_rto_ms`] floor so a response
+    /// on a slower-than-before recovered path still beats its deadline.
     pub fn rto(&self, config: &EdgeConfig) -> SimTime {
-        SimTime::from_ms((self.srtt_ms * config.timeout_factor).max(config.min_rto_ms))
+        let floor =
+            if self.alive { config.min_rto_ms } else { config.dead_rto_ms.max(config.min_rto_ms) };
+        SimTime::from_ms((self.srtt_ms * config.timeout_factor).max(floor))
     }
 }
 
@@ -326,6 +342,24 @@ mod tests {
     }
 
     #[test]
+    fn dead_tunnel_uses_backed_off_rto_and_revives_on_a_slower_path() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        // Kill t0: srtt stays at the stale fast estimate (20 ms).
+        let (seq, deadline) = edge.on_send(t0, SimTime::ZERO);
+        assert!(edge.on_timeout(t0, seq, deadline));
+        // The path comes back 10x slower than the stale srtt. A probe's
+        // deadline must now outlast that response, not the stale RTO.
+        let (seq, deadline) = edge.on_send(t0, SimTime::from_ms(1000.0));
+        assert!(deadline >= SimTime::from_ms(1300.0), "dead-path RTO must back off");
+        let rtt = edge.on_response(t0, seq, SimTime::from_ms(1200.0));
+        assert_eq!(rtt, Some(200.0));
+        assert!(edge.tunnel(t0).alive, "the late-but-delivered response revives the path");
+        // Alive again: deadlines return to srtt-driven.
+        let (_, deadline) = edge.on_send(t0, SimTime::from_ms(1300.0));
+        assert!(deadline < SimTime::from_ms(1300.0) + SimTime::from_ms(300.0));
+    }
+
+    #[test]
     fn dead_active_is_always_replaced() {
         let (mut edge, t0, t1) = edge_with_two_tunnels();
         edge.select();
@@ -347,6 +381,43 @@ mod tests {
         assert_eq!(edge.pinned_flows(), 1);
         // The surviving flow keeps its pin.
         assert_eq!(edge.map_flow_at(flow(2), SimTime::from_secs(41.0)), Some(t0));
+    }
+
+    #[test]
+    fn pop_outage_orphans_pins_until_expiry_reclaims_them() {
+        // A PoP outage kills the tunnel under a set of pinned flows. The
+        // pins survive the failover (pinning is deliberate: mid-flow
+        // rerouting breaks NAT state), go idle because the flows are
+        // dead, and expire_flows reclaims them while fresh post-failover
+        // flows keep their pins on the backup.
+        let (mut edge, t0, t1) = edge_with_two_tunnels();
+        edge.select();
+        for port in 1..=5 {
+            edge.map_flow_at(flow(port), SimTime::ZERO);
+        }
+        assert_eq!(edge.pinned_flows(), 5);
+
+        // PoP 0 dies: the in-flight packet on t0 times out, failover.
+        let outage_at = SimTime::from_secs(1.0);
+        let (seq, deadline) = edge.on_send(t0, outage_at);
+        assert!(edge.on_timeout(t0, seq, deadline));
+        assert_eq!(edge.select(), Some(t1));
+
+        // New flows after the failover pin to the backup; the orphaned
+        // pins still point at the dead tunnel.
+        assert_eq!(edge.map_flow_at(flow(10), deadline), Some(t1));
+        assert_eq!(edge.map_flow_at(flow(1), deadline), Some(t0), "pins never migrate");
+        assert_eq!(edge.pinned_flows(), 6);
+
+        // The dead flows see no traffic; after the idle window only they
+        // are reclaimed.
+        let idle = SimTime::from_secs(30.0);
+        let later = outage_at + SimTime::from_secs(31.0);
+        edge.map_flow_at(flow(10), later); // backup flow stays active
+        let reclaimed = edge.expire_flows(later + SimTime::from_ms(1.0), idle);
+        assert_eq!(reclaimed, 5, "orphaned pre-outage pins (incl. the re-touched one gone idle)");
+        assert_eq!(edge.pinned_flows(), 1);
+        assert_eq!(edge.map_flow_at(flow(10), later), Some(t1));
     }
 
     #[test]

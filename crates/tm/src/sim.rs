@@ -15,7 +15,7 @@ use crate::pop::{client_packet, TmPop};
 use bytes::Bytes;
 use painter_bgp::PrefixId;
 use painter_eventsim::{EventQueue, SimRng, SimTime};
-use painter_net::{decapsulate, encapsulate, Channel, Packet};
+use painter_net::{decapsulate, encapsulate, Channel, GilbertElliott, Packet};
 use painter_obs::{obs_count, obs_record};
 use painter_topology::PopId;
 use std::collections::HashMap;
@@ -76,6 +76,9 @@ enum Ev {
     EdgeDeliver { tunnel: TunnelId, packet: Packet },
     Timeout { tunnel: TunnelId, seq: u64 },
     PathChange { tunnel: TunnelId, rtt_ms: Option<f64> },
+    PathExtra { tunnel: TunnelId, extra_ms: f64 },
+    PathBurst { tunnel: TunnelId, params: Option<(f64, f64, f64, f64)> },
+    ProbeLoss { fraction: f64 },
 }
 
 const SERVICE_ADDR: u32 = 0x0808_0808;
@@ -99,6 +102,8 @@ pub struct TmSimulation {
     /// Virtual time each currently-down tunnel went down (cleared on
     /// recovery); drives the time-to-failover histogram.
     down_at: HashMap<TunnelId, SimTime>,
+    /// Fraction of probe sends currently suppressed (probe-fleet loss).
+    probe_loss: f64,
     /// Telemetry registry (`tm.*` metrics), shared with the edge.
     obs: painter_obs::Registry,
 }
@@ -128,6 +133,7 @@ impl TmSimulation {
             next_port: 10_000,
             started: false,
             down_at: HashMap::new(),
+            probe_loss: 0.0,
             obs,
         }
     }
@@ -156,6 +162,32 @@ impl TmSimulation {
     /// Schedules a path failure (all packets dropped) at `at`.
     pub fn schedule_path_down(&mut self, at: SimTime, tunnel: TunnelId) {
         self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: None });
+    }
+
+    /// Schedules additive round-trip latency on a path at `at` (a
+    /// congestion episode); `0.0` clears it and restores the base RTT.
+    pub fn schedule_path_extra_latency(&mut self, at: SimTime, tunnel: TunnelId, extra_ms: f64) {
+        self.queue.push(at, Ev::PathExtra { tunnel, extra_ms });
+    }
+
+    /// Schedules a Gilbert–Elliott bursty-loss episode on a path at `at`
+    /// (`Some((p_enter_bad, p_leave_bad, loss_good, loss_bad))`), or ends
+    /// it (`None`).
+    pub fn schedule_path_burst(
+        &mut self,
+        at: SimTime,
+        tunnel: TunnelId,
+        params: Option<(f64, f64, f64, f64)>,
+    ) {
+        self.queue.push(at, Ev::PathBurst { tunnel, params });
+    }
+
+    /// Schedules probe-fleet loss at `at`: from then on, each probe send
+    /// is suppressed with probability `fraction` (`0.0` restores the
+    /// fleet). Models losing part of the measurement fleet — the edge
+    /// keeps steering on stale, sparser telemetry.
+    pub fn schedule_probe_loss(&mut self, at: SimTime, fraction: f64) {
+        self.queue.push(at, Ev::ProbeLoss { fraction: fraction.clamp(0.0, 1.0) });
     }
 
     /// Runs the simulation until `until`.
@@ -279,7 +311,15 @@ impl TmSimulation {
                 );
             }
             Ev::Probe(tunnel) => {
-                self.send_on(tunnel, false);
+                // Guarded draw: a campaign with no probe-fleet fault
+                // consumes no extra randomness, preserving bit-exact
+                // replay of pre-chaos experiments.
+                let suppressed = self.probe_loss > 0.0 && self.rng.chance(self.probe_loss);
+                if suppressed {
+                    obs_count!(self.obs, "tm.probes_suppressed_total");
+                } else {
+                    self.send_on(tunnel, false);
+                }
                 self.queue.push(
                     self.now + SimTime::from_ms(self.config.probe_interval_ms),
                     Ev::Probe(tunnel),
@@ -327,6 +367,17 @@ impl TmSimulation {
                     self.down_at.entry(tunnel).or_insert(self.now);
                 }
             },
+            Ev::PathExtra { tunnel, extra_ms } => {
+                self.channels[tunnel.0].set_extra_ms(extra_ms);
+            }
+            Ev::PathBurst { tunnel, params } => {
+                self.channels[tunnel.0].set_burst(
+                    params.map(|(enter, leave, good, bad)| GilbertElliott::new(enter, leave, good, bad)),
+                );
+            }
+            Ev::ProbeLoss { fraction } => {
+                self.probe_loss = fraction;
+            }
         }
     }
 }
@@ -469,6 +520,106 @@ mod tests {
         assert!(on_fast as f64 / late.len() as f64 > 0.9, "traffic should return to the fast path");
         let lost = sim.records().iter().filter(|r| r.completed.is_none()).count();
         assert!(lost < 40, "a 150 ms blackout should not cost {lost} packets");
+    }
+
+    #[test]
+    fn latency_spike_steers_traffic_to_the_backup() {
+        // Primary 20 ms, backup 50 ms; +200 ms on the primary makes the
+        // backup the better path until the episode clears.
+        let (mut sim, t0, _) = two_path_sim();
+        sim.schedule_path_extra_latency(SimTime::from_secs(1.0), t0, 200.0);
+        sim.schedule_path_extra_latency(SimTime::from_secs(3.0), t0, 0.0);
+        sim.run(SimTime::from_secs(5.0));
+        let during: Vec<_> = sim
+            .records()
+            .iter()
+            .filter(|r| {
+                r.sent > SimTime::from_secs(2.0)
+                    && r.sent < SimTime::from_secs(3.0)
+                    && r.completed.is_some()
+            })
+            .collect();
+        assert!(!during.is_empty());
+        let on_backup = during.iter().filter(|r| r.prefix == Some(PrefixId(1))).count();
+        assert!(
+            on_backup as f64 / during.len() as f64 > 0.8,
+            "spiked primary should lose traffic ({on_backup}/{})",
+            during.len()
+        );
+        let after: Vec<_> = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(4.0) && r.completed.is_some())
+            .collect();
+        let back_on_fast = after.iter().filter(|r| r.prefix == Some(PrefixId(0))).count();
+        assert!(
+            back_on_fast as f64 / after.len().max(1) as f64 > 0.8,
+            "traffic should return once the spike clears"
+        );
+    }
+
+    #[test]
+    fn bursty_loss_episode_costs_packets_then_clears() {
+        let (mut sim, t0, _) = two_path_sim();
+        sim.schedule_path_burst(SimTime::from_secs(1.0), t0, Some((0.2, 0.1, 0.0, 1.0)));
+        sim.schedule_path_burst(SimTime::from_secs(2.0), t0, None);
+        sim.run(SimTime::from_secs(4.0));
+        let lost_during = sim
+            .records()
+            .iter()
+            .filter(|r| {
+                r.sent > SimTime::from_secs(1.0)
+                    && r.sent < SimTime::from_secs(2.0)
+                    && r.completed.is_none()
+            })
+            .count();
+        assert!(lost_during > 0, "a heavy burst episode must lose packets");
+        let lost_after = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(3.0) && r.completed.is_none())
+            .count();
+        assert!(lost_after < lost_during, "loss must subside after the episode ends");
+    }
+
+    #[test]
+    fn probe_loss_suppresses_probes_and_restores() {
+        let (mut sim, ..) = two_path_sim();
+        sim.schedule_probe_loss(SimTime::from_secs(1.0), 1.0);
+        sim.schedule_probe_loss(SimTime::from_secs(2.0), 0.0);
+        sim.run(SimTime::from_secs(3.0));
+        if painter_obs::enabled() {
+            let snap = sim.obs().snapshot();
+            let suppressed = snap.counter("tm.probes_suppressed_total").unwrap_or(0);
+            // 1 s of total fleet loss at 50 ms probe interval x 2 tunnels
+            // ≈ 40 suppressions.
+            assert!(suppressed > 20, "got {suppressed}");
+        }
+        // Data traffic survives throughout: steering degrades, the
+        // datapath does not.
+        let late_ok = sim
+            .records()
+            .iter()
+            .filter(|r| r.sent > SimTime::from_secs(2.5) && r.completed.is_some())
+            .count();
+        assert!(late_ok > 0);
+    }
+
+    #[test]
+    fn chaos_free_runs_are_unchanged_by_the_fault_hooks() {
+        // The guarded RNG draws mean a simulation that never schedules a
+        // chaos event replays exactly as it did before the hooks existed.
+        let run = |with_noop_restore: bool| {
+            let (mut sim, ..) = two_path_sim();
+            if with_noop_restore {
+                // Scheduling fraction 0.0 is a no-op state change and
+                // must not perturb the packet trace either.
+                sim.schedule_probe_loss(SimTime::from_ms(500.0), 0.0);
+            }
+            sim.run(SimTime::from_secs(2.0));
+            (sim.records().to_vec(), sim.switch_log().to_vec())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

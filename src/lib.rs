@@ -16,11 +16,15 @@
 //! * [`measure`] — vantage-point probes and latency estimation.
 //! * [`core`] — the Advertisement Orchestrator and baseline strategies.
 //! * [`tm`] — the Traffic Manager (TM-Edge / TM-PoP).
-//! * [`eval`] — per-figure experiment harnesses.
+//! * [`chaos`] — deterministic fault injection: declarative scenario
+//!   specs compiled into timed injections against the simulators.
+//! * [`eval`] — per-figure experiment harnesses and the chaos
+//!   resilience suite.
 //! * [`obs`] — telemetry: metrics, spans, structured run reports
 //!   (compile with `--features obs-off` to no-op every hot-path probe).
 
 pub use painter_bgp as bgp;
+pub use painter_chaos as chaos;
 pub use painter_core as core;
 pub use painter_dns as dns;
 pub use painter_eval as eval;

@@ -146,6 +146,65 @@ fn full_run_produces_parseable_complete_report() {
 }
 
 #[test]
+fn chaos_sections_pin_their_schema() {
+    use painter::eval::chaos::{run_campaign, standard_suite, ChaosTiming};
+
+    let timing = ChaosTiming::for_scale(Scale::Test);
+    let spec = standard_suite(&timing).remove(0);
+    let outcome = run_campaign(&spec, &timing, 1).expect("campaign");
+    let mut report = RunReport::new("chaos");
+    for section in outcome.sections() {
+        report.push_section(section);
+    }
+    let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
+    let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
+
+    // One provenance section, then the three strategies in fixed order.
+    let titles: Vec<&str> =
+        sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
+    assert_eq!(
+        titles,
+        vec![
+            "chaos.pop-outage.schedule",
+            "chaos.pop-outage.painter",
+            "chaos.pop-outage.anycast",
+            "chaos.pop-outage.dns",
+        ]
+    );
+
+    let provenance = sections[0].get("fields").expect("schedule fields");
+    for name in ["seed", "injections", "first_fault_ms", "trace_fnv1a", "spec"] {
+        assert!(provenance.get(name).is_some(), "schedule section missing {name}");
+    }
+    assert!(provenance.get("injections").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+
+    for section in &sections[1..] {
+        let fields = section.get("fields").expect("scorecard fields");
+        for name in [
+            "requests",
+            "completed",
+            "availability",
+            "failovers",
+            "outages",
+            "unrecovered",
+            "ttr_count",
+            "ttr_mean_ms",
+            "ttr_p50_ms",
+            "ttr_p90_ms",
+            "ttr_p99_ms",
+            "ttr_max_ms",
+            "rtt_baseline_ms",
+            "rtt_post_fault_ms",
+            "latency_inflation",
+        ] {
+            assert!(fields.get(name).is_some(), "scorecard missing {name}");
+        }
+        let availability = fields.get("availability").and_then(|v| v.as_f64()).unwrap();
+        assert!((0.0..=1.0).contains(&availability), "availability {availability}");
+    }
+}
+
+#[test]
 fn shared_registry_merges_subsystem_metrics() {
     let obs = Registry::new();
     let report = full_run_report(&obs);
