@@ -90,6 +90,17 @@ enum Event {
     SessionUp {
         peering: PeeringId,
     },
+    /// Route leak onset: the customers of this peering's neighbor start
+    /// re-exporting provider/peer-learned routes to all their neighbors,
+    /// past Gao–Rexford policy bounds.
+    LeakStart {
+        peering: PeeringId,
+    },
+    /// The leak is fixed: policy-compliant export resumes and the leaked
+    /// routes are withdrawn.
+    LeakEnd {
+        peering: PeeringId,
+    },
 }
 
 /// Timing knobs for the engine.
@@ -146,6 +157,9 @@ pub struct BgpEngine<'a> {
     /// Prefixes a dropped session was carrying, to re-announce on
     /// session-up. A repeated down before the up preserves the memory.
     downed_sessions: HashMap<PeeringId, Vec<PrefixId>>,
+    /// ASes currently leaking: they export their best route for every
+    /// prefix to *all* neighbors, regardless of where it was learned.
+    leaking: HashSet<AsId>,
     queue: EventQueue<Event>,
     rng: SimRng,
     now: SimTime,
@@ -172,6 +186,7 @@ impl<'a> BgpEngine<'a> {
             states: (0..n).map(|_| AsState::default()).collect(),
             cloud_active: HashSet::new(),
             downed_sessions: HashMap::new(),
+            leaking: HashSet::new(),
             queue: EventQueue::new(),
             rng,
             now: SimTime::ZERO,
@@ -201,6 +216,20 @@ impl<'a> BgpEngine<'a> {
     /// the matching [`BgpEngine::session_down`] withdrew.
     pub fn session_up(&mut self, at: SimTime, peering: PeeringId) {
         self.queue.push(at, Event::SessionUp { peering });
+    }
+
+    /// Schedules a route leak at `at`: every *customer* of the peering's
+    /// neighbor AS starts re-exporting provider- and peer-learned routes
+    /// to all of its neighbors — the classic multi-homed-customer leak,
+    /// propagating announcements past Gao–Rexford policy bounds.
+    pub fn leak_start(&mut self, at: SimTime, peering: PeeringId) {
+        self.queue.push(at, Event::LeakStart { peering });
+    }
+
+    /// Schedules the leak's end: policy-compliant export resumes and the
+    /// leaked routes are withdrawn.
+    pub fn leak_end(&mut self, at: SimTime, peering: PeeringId) {
+        self.queue.push(at, Event::LeakEnd { peering });
     }
 
     /// Runs the engine until `until` (inclusive). Can be called repeatedly
@@ -321,6 +350,20 @@ impl<'a> BgpEngine<'a> {
             Event::SessionUp { peering } => {
                 for prefix in self.downed_sessions.remove(&peering).unwrap_or_default() {
                     self.handle(Event::CloudAnnounce { peering, prefix });
+                }
+            }
+            Event::LeakStart { peering } => {
+                for leaker in self.leakers_of(peering) {
+                    if self.leaking.insert(leaker) {
+                        self.reexport_all(leaker);
+                    }
+                }
+            }
+            Event::LeakEnd { peering } => {
+                for leaker in self.leakers_of(peering) {
+                    if self.leaking.remove(&leaker) {
+                        self.reexport_all(leaker);
+                    }
                 }
             }
             Event::Deliver { to, from, prefix, update } => {
@@ -483,7 +526,9 @@ impl<'a> BgpEngine<'a> {
             Source::Cloud(_) => None,
         };
         let mut out = Vec::new();
-        let everyone = class == Class::FromCustomer;
+        // Gao–Rexford: only customer routes go to everyone — unless this
+        // AS is currently leaking, in which case every route does.
+        let everyone = class == Class::FromCustomer || self.leaking.contains(&who);
         for nb in self.graph.customers(who) {
             if Some(nb.peer) != learned_from {
                 out.push(nb.peer);
@@ -540,6 +585,26 @@ impl<'a> BgpEngine<'a> {
                 self.rng.uniform(self.config.mrai_secs.0, self.config.mrai_secs.1),
             );
             self.states[who.idx()].mrai_until.insert(to, self.now + mrai);
+        }
+    }
+
+    /// The ASes that leak when `peering` is targeted: the customers of
+    /// the session's neighbor, in deterministic (sorted) order.
+    fn leakers_of(&self, peering: PeeringId) -> Vec<AsId> {
+        let neighbor = self.deployment.peering(peering).neighbor;
+        let mut leakers: Vec<AsId> =
+            self.graph.customers(neighbor).iter().map(|nb| nb.peer).collect();
+        leakers.sort_unstable();
+        leakers
+    }
+
+    /// Re-runs export for every prefix `who` currently has a route for —
+    /// its export policy just changed under it.
+    fn reexport_all(&mut self, who: AsId) {
+        let mut prefixes: Vec<PrefixId> = self.states[who.idx()].best.keys().copied().collect();
+        prefixes.sort_unstable(); // HashMap order must not leak into scheduling
+        for prefix in prefixes {
+            self.export(who, prefix);
         }
     }
 
@@ -803,6 +868,52 @@ mod tests {
         engine.session_up(SimTime::from_secs(50.0), session);
         engine.run_until(SimTime::from_secs(200.0));
         assert!(engine.current_path(stub, PrefixId(0)).is_some());
+    }
+
+    #[test]
+    fn route_leak_propagates_past_policy_and_retracts_on_fix() {
+        // Cloud peers (settlement-free) with isp1 only. acc is a
+        // multi-homed customer of isp1 and isp2; stub hangs off isp2.
+        // Policy-compliant export never gives stub a route: isp1 holds a
+        // peer route (customers only -> acc), and acc's provider-learned
+        // route goes to no one. When acc leaks, isp2 hears a "customer"
+        // route via acc and passes it to stub; fixing the leak withdraws
+        // it again.
+        let ny =
+            painter_geo::metro::all_metro_ids().find(|&m| metro(m).name == "New York").unwrap();
+        let mut g = AsGraph::new();
+        let isp1 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let isp2 = g.add_node(AsTier::Tier1, Region::NorthAmerica, vec![ny], 1.0);
+        let acc = g.add_node(AsTier::Access, Region::NorthAmerica, vec![ny], 1.0);
+        let stub = g.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
+        g.add_link(isp1, acc, Relationship::ProviderOf).unwrap();
+        g.add_link(isp2, acc, Relationship::ProviderOf).unwrap();
+        g.add_link(isp2, stub, Relationship::ProviderOf).unwrap();
+        let dep = Deployment::for_tests(vec![ny], vec![(0, isp1, PeeringKind::Peer)]);
+        let mut engine = BgpEngine::new(&g, &dep, DynamicsConfig::default(), 7);
+        let prefix = PrefixId(0);
+        engine.announce(SimTime::ZERO, prefix, PeeringId(0));
+        engine.run_until(SimTime::from_secs(60.0));
+        assert!(engine.current_path(acc, prefix).is_some(), "acc hears the peer route");
+        assert!(
+            engine.current_path(stub, prefix).is_none(),
+            "Gao–Rexford export must keep the peer route away from stub"
+        );
+
+        engine.leak_start(SimTime::from_secs(60.0), PeeringId(0));
+        engine.run_until(SimTime::from_secs(200.0));
+        let (path, ingress) =
+            engine.current_path(stub, prefix).expect("the leak must propagate a route to stub");
+        assert_eq!(ingress, PeeringId(0));
+        assert_eq!(path, vec![stub, isp2, acc, isp1], "traffic detours through the leaker");
+
+        engine.leak_end(SimTime::from_secs(200.0), PeeringId(0));
+        engine.run_until(SimTime::from_secs(400.0));
+        assert!(
+            engine.current_path(stub, prefix).is_none(),
+            "fixing the leak must withdraw the leaked route"
+        );
+        assert!(engine.current_path(acc, prefix).is_some(), "the legitimate route survives");
     }
 
     #[test]

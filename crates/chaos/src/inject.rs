@@ -35,6 +35,8 @@ pub fn program_bgp(schedule: &Schedule, engine: &mut BgpEngine<'_>) -> usize {
             FaultEvent::SessionUp { peering } => engine.session_up(inj.at, peering),
             FaultEvent::Withdraw { prefix, peering } => engine.withdraw(inj.at, prefix, peering),
             FaultEvent::Announce { prefix, peering } => engine.announce(inj.at, prefix, peering),
+            FaultEvent::LeakStart { peering } => engine.leak_start(inj.at, peering),
+            FaultEvent::LeakEnd { peering } => engine.leak_end(inj.at, peering),
             _ => continue,
         }
         queued += 1;
@@ -79,7 +81,11 @@ pub fn program_tm(schedule: &Schedule, tm: &mut TmSimulation, targets: &[TmTarge
             }
             FaultEvent::BurstStart { tunnel, p_enter_bad, p_leave_bad, loss_good, loss_bad } => {
                 let Some(t) = targets.get(tunnel) else { continue };
-                tm.schedule_path_burst(at, t.tunnel, Some((p_enter_bad, p_leave_bad, loss_good, loss_bad)));
+                tm.schedule_path_burst(
+                    at,
+                    t.tunnel,
+                    Some((p_enter_bad, p_leave_bad, loss_good, loss_bad)),
+                );
             }
             FaultEvent::BurstEnd { tunnel } => {
                 let Some(t) = targets.get(tunnel) else { continue };
@@ -164,8 +170,8 @@ impl DataPlaneState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{FaultKind, FaultSpec, ScenarioSpec, Target};
     use crate::schedule::WorldView;
+    use crate::spec::{FaultKind, FaultSpec, ScenarioSpec, Target};
     use painter_bgp::PrefixId;
     use painter_eventsim::SimTime;
     use painter_tm::TmSimulationConfig;
@@ -182,9 +188,7 @@ mod tests {
     #[test]
     fn blackhole_injection_drops_traffic_in_the_tm_sim() {
         let spec = ScenarioSpec::new("bh", 4.0).fault(
-            FaultSpec::new("bh0", FaultKind::LinkBlackhole, Target::Tunnel(0))
-                .at(1.0)
-                .lasting(1.0),
+            FaultSpec::new("bh0", FaultKind::LinkBlackhole, Target::Tunnel(0)).at(1.0).lasting(1.0),
         );
         let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
         let mut sim = TmSimulation::new(TmSimulationConfig { seed: 5, ..Default::default() });
@@ -223,15 +227,12 @@ mod tests {
     #[test]
     fn tunnels_beyond_the_target_slice_are_skipped() {
         let spec = ScenarioSpec::new("bh", 4.0).fault(
-            FaultSpec::new("bh1", FaultKind::LinkBlackhole, Target::Tunnel(1))
-                .at(1.0)
-                .lasting(1.0),
+            FaultSpec::new("bh1", FaultKind::LinkBlackhole, Target::Tunnel(1)).at(1.0).lasting(1.0),
         );
         let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
         let mut sim = TmSimulation::new(TmSimulationConfig::default());
         let t0 = sim.add_path(PrefixId(0), PopId(0), 20.0);
-        let queued =
-            program_tm(&schedule, &mut sim, &[TmTarget { tunnel: t0, base_rtt_ms: 20.0 }]);
+        let queued = program_tm(&schedule, &mut sim, &[TmTarget { tunnel: t0, base_rtt_ms: 20.0 }]);
         assert_eq!(queued, 0, "this strategy does not carry tunnel 1");
     }
 
@@ -239,14 +240,22 @@ mod tests {
     fn dataplane_state_handles_overlapping_outages() {
         let spec = ScenarioSpec::new("overlap", 100.0)
             .fault(
-                FaultSpec::new("a", FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(0))
-                    .at(10.0)
-                    .lasting(30.0),
+                FaultSpec::new(
+                    "a",
+                    FaultKind::PopOutage { detection_spread_ms: 1.0 },
+                    Target::Pop(0),
+                )
+                .at(10.0)
+                .lasting(30.0),
             )
             .fault(
-                FaultSpec::new("b", FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(0))
-                    .at(20.0)
-                    .lasting(40.0),
+                FaultSpec::new(
+                    "b",
+                    FaultKind::PopOutage { detection_spread_ms: 1.0 },
+                    Target::Pop(0),
+                )
+                .at(20.0)
+                .lasting(40.0),
             );
         let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
         let mut state = DataPlaneState::new(2, 2);

@@ -78,6 +78,11 @@ pub enum FaultEvent {
     ProbeLoss { fraction: f64 },
     /// Measurement plane: the fleet is whole again.
     ProbeRestore,
+    /// Internet-side BGP: the customers of this peering's neighbor start
+    /// leaking provider/peer-learned routes past Gao–Rexford bounds.
+    LeakStart { peering: PeeringId },
+    /// Internet-side BGP: the leak is fixed; policy export resumes.
+    LeakEnd { peering: PeeringId },
 }
 
 /// One injection: an event at a virtual time, tagged with the index of
@@ -220,7 +225,10 @@ fn expand(
                         let detect = SimTime::from_ms(
                             rng.uniform(0.0, detection_spread_ms.max(f64::MIN_POSITIVE)),
                         );
-                        push(t0 + detect, FaultEvent::Withdraw { prefix: *prefix, peering: *peering });
+                        push(
+                            t0 + detect,
+                            FaultEvent::Withdraw { prefix: *prefix, peering: *peering },
+                        );
                         push(t1, FaultEvent::Announce { prefix: *prefix, peering: *peering });
                     }
                 }
@@ -242,7 +250,13 @@ fn expand(
             for tunnel in resolve_tunnels(fault.target, world)? {
                 push(
                     t0,
-                    FaultEvent::BurstStart { tunnel, p_enter_bad, p_leave_bad, loss_good, loss_bad },
+                    FaultEvent::BurstStart {
+                        tunnel,
+                        p_enter_bad,
+                        p_leave_bad,
+                        loss_good,
+                        loss_bad,
+                    },
                 );
                 push(t1, FaultEvent::BurstEnd { tunnel });
             }
@@ -254,6 +268,12 @@ fn expand(
             }
             other => return Err(format!("probe-fleet loss cannot target {other:?}")),
         },
+        FaultKind::RouteLeak => {
+            for peering in resolve_peerings(fault.target, world)? {
+                push(t0, FaultEvent::LeakStart { peering });
+                push(t1, FaultEvent::LeakEnd { peering });
+            }
+        }
     }
     Ok(())
 }
@@ -382,8 +402,11 @@ mod tests {
             assert!(w.at >= t0 && w.at <= t0 + SimTime::from_ms(2100.0), "stagger within spread");
         }
         // Every withdrawal has a matching announce at/after recovery.
-        let announces =
-            s.injections().iter().filter(|i| matches!(i.event, FaultEvent::Announce { .. })).count();
+        let announces = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::Announce { .. }))
+            .count();
         assert_eq!(announces, 4);
         assert!(s.injections().iter().any(|i| matches!(i.event, FaultEvent::PopUp { .. })));
     }
@@ -424,9 +447,13 @@ mod tests {
                 .lasting(5.0),
             )
             .fault(
-                FaultSpec::new("spike", FaultKind::LatencySpike { add_ms: 25.0 }, Target::Tunnel(3))
-                    .at(30.0)
-                    .lasting(5.0),
+                FaultSpec::new(
+                    "spike",
+                    FaultKind::LatencySpike { add_ms: 25.0 },
+                    Target::Tunnel(3),
+                )
+                .at(30.0)
+                .lasting(5.0),
             );
         let mut edited = base.clone();
         // Make fault 0 consume more randomness (recurrence draws).
@@ -435,11 +462,7 @@ mod tests {
         let a = Schedule::compile(&base, &w, 11).expect("compile");
         let b = Schedule::compile(&edited, &w, 11).expect("compile");
         let spikes = |s: &Schedule| {
-            s.injections()
-                .iter()
-                .filter(|i| i.fault == 1)
-                .cloned()
-                .collect::<Vec<_>>()
+            s.injections().iter().filter(|i| i.fault == 1).cloned().collect::<Vec<_>>()
         };
         assert_eq!(spikes(&a), spikes(&b), "fault 1's timing must not depend on fault 0");
     }
@@ -447,7 +470,9 @@ mod tests {
     #[test]
     fn horizon_drops_late_injections() {
         let spec = ScenarioSpec::new("late", 50.0).fault(
-            FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0)).at(45.0).lasting(20.0),
+            FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0))
+                .at(45.0)
+                .lasting(20.0),
         );
         let s = Schedule::compile(&spec, &world(), 1).expect("compile");
         assert_eq!(s.injections().len(), 1, "the recovery falls past the horizon");
@@ -466,6 +491,7 @@ mod tests {
         assert!(bad(FaultKind::SessionReset, Target::Fleet).is_err());
         assert!(bad(FaultKind::LinkBlackhole, Target::Pop(0)).is_err());
         assert!(bad(FaultKind::ProbeFleetLoss { fraction: 0.5 }, Target::Prefix(1)).is_err());
+        assert!(bad(FaultKind::RouteLeak, Target::Tunnel(0)).is_err());
         assert!(bad(FaultKind::SessionReset, Target::Peering(99)).is_err());
         assert!(bad(FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(9)).is_err());
         assert!(bad(FaultKind::LinkBlackhole, Target::Tunnel(99)).is_err());

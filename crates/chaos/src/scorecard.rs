@@ -208,11 +208,7 @@ mod tests {
     fn failovers_only_count_post_fault_switches() {
         let switches = vec![
             SwitchRecord { at: SimTime::from_ms(5.0), from: None, to: PrefixId(0) },
-            SwitchRecord {
-                at: SimTime::from_ms(30.0),
-                from: Some(PrefixId(0)),
-                to: PrefixId(1),
-            },
+            SwitchRecord { at: SimTime::from_ms(30.0), from: Some(PrefixId(0)), to: PrefixId(1) },
         ];
         let sc = Scorecard::from_records("c", "s", &[], &switches, SimTime::from_ms(20.0));
         assert_eq!(sc.failovers, 1, "the initial selection switch is not a failover");
@@ -246,8 +242,7 @@ mod tests {
             assert!(section.get(name).is_some(), "missing field {name}");
         }
         // Same inputs, same section (the byte-identity substrate).
-        let again =
-            Scorecard::from_records("pop-outage", "painter", &records, &[], SimTime::ZERO);
+        let again = Scorecard::from_records("pop-outage", "painter", &records, &[], SimTime::ZERO);
         assert_eq!(section, again.section());
     }
 }

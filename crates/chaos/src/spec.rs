@@ -44,6 +44,12 @@ pub enum FaultKind {
     /// A fraction of the probe fleet goes dark: each probe send is
     /// suppressed with this probability for the duration.
     ProbeFleetLoss { fraction: f64 },
+    /// A route leak: the *customers* of the targeted peering's neighbor
+    /// re-export provider/peer-learned routes to all their neighbors for
+    /// the duration — the classic multi-homed leak, propagating
+    /// announcements past Gao–Rexford policy bounds so traffic can land
+    /// on paths the routing model says cannot exist.
+    RouteLeak,
 }
 
 /// Where to aim a fault. Resolution against the concrete world happens
@@ -245,6 +251,7 @@ fn write_kind(out: &mut String, kind: &FaultKind) {
             json::write_f64(out, *fraction);
             out.push('}');
         }
+        FaultKind::RouteLeak => out.push_str("{\"type\":\"route_leak\"}"),
     }
 }
 
@@ -281,9 +288,9 @@ fn parse_fault(v: &JsonValue) -> Result<FaultSpec, String> {
     let kind = match str_field(kind_v, "type")? {
         "session_reset" => FaultKind::SessionReset,
         "withdraw_storm" => FaultKind::WithdrawStorm { spread_ms: num_field(kind_v, "spread_ms")? },
-        "pop_outage" => FaultKind::PopOutage {
-            detection_spread_ms: num_field(kind_v, "detection_spread_ms")?,
-        },
+        "pop_outage" => {
+            FaultKind::PopOutage { detection_spread_ms: num_field(kind_v, "detection_spread_ms")? }
+        }
         "link_blackhole" => FaultKind::LinkBlackhole,
         "latency_spike" => FaultKind::LatencySpike { add_ms: num_field(kind_v, "add_ms")? },
         "bursty_loss" => FaultKind::BurstyLoss {
@@ -295,6 +302,7 @@ fn parse_fault(v: &JsonValue) -> Result<FaultSpec, String> {
         "probe_fleet_loss" => {
             FaultKind::ProbeFleetLoss { fraction: num_field(kind_v, "fraction")? }
         }
+        "route_leak" => FaultKind::RouteLeak,
         other => return Err(format!("unknown fault kind '{other}'")),
     };
     let target_v = v.get("target").ok_or_else(|| "missing field 'target'".to_string())?;
@@ -388,6 +396,7 @@ mod tests {
                 loss_bad: 0.5,
             },
             FaultKind::ProbeFleetLoss { fraction: 0.3 },
+            FaultKind::RouteLeak,
         ];
         let targets = [
             Target::Pop(1),

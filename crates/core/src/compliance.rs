@@ -81,6 +81,52 @@ pub fn inference_error(
     (miss_rate, spurious_rate)
 }
 
+/// The `(UG, ingress)` landings a live measurement loop has actually
+/// witnessed — an empirical stand-in for ground truth when the loop runs
+/// against a world whose reachability it cannot inspect (e.g. inside a
+/// chaos campaign). Feeding it to [`inference_error`] via [`Self::skew`]
+/// yields the compliance-inference skew diagnostic: how far the prior has
+/// drifted from what measurements admit.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedReachability {
+    pairs: std::collections::BTreeSet<(UgId, PeeringId)>,
+}
+
+impl ObservedReachability {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one witnessed landing.
+    pub fn note(&mut self, ug: UgId, ingress: PeeringId) {
+        self.pairs.insert((ug, ingress));
+    }
+
+    /// True if the landing was ever witnessed.
+    pub fn contains(&self, ug: UgId, ingress: PeeringId) -> bool {
+        self.pairs.contains(&(ug, ingress))
+    }
+
+    /// Distinct witnessed `(UG, ingress)` pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing has been witnessed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `(miss_rate, spurious_rate)` of an inferred compliant set against
+    /// the witnessed landings. Note the asymmetry in reading it: a
+    /// witnessed landing missing from the inference is a genuine miss,
+    /// while "spurious" entries may simply never have been exercised.
+    pub fn skew(&self, inferred: &[Vec<PeeringId>], deployment: &Deployment) -> (f64, f64) {
+        inference_error(inferred, |ug, p| self.contains(ug, p), deployment)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -99,6 +99,19 @@ pub fn plan(ops: Vec<Op>, prefix_hold_down: SimTime) -> InstallPlan {
     InstallPlan { steps }
 }
 
+/// Builds the emergency plan reverting `current` to a snapshotted
+/// last-known-good config — `diff` + [`plan`] composed, with the same
+/// withdrawal-first ordering and per-prefix hold-down (a rollback is
+/// already rate-limited by the guard's backoff; it must not additionally
+/// dodge flap damping).
+pub fn revert_plan(
+    current: &AdvertConfig,
+    last_good: &AdvertConfig,
+    prefix_hold_down: SimTime,
+) -> InstallPlan {
+    plan(diff(current, last_good), prefix_hold_down)
+}
+
 /// Applies a plan to the dynamic BGP engine, scheduling each operation at
 /// `start + step time`. Returns when every operation is enqueued (the
 /// engine executes them as its clock advances).
@@ -202,6 +215,32 @@ mod tests {
         // Some stub should now reach the prefix.
         let reached = net.graph.stubs().any(|s| engine.current_path(s.id, PrefixId(0)).is_some());
         assert!(reached);
+    }
+
+    #[test]
+    fn revert_plan_undoes_a_bad_install() {
+        let good = config(&[(0, 1), (1, 2)]);
+        let bad = config(&[(0, 1), (1, 3), (2, 4)]);
+        let revert = revert_plan(&bad, &good, SimTime::from_secs(30.0));
+        let mut reconstructed = bad.clone();
+        for &(_, op) in &revert.steps {
+            match op {
+                Op::Announce { prefix, peering } => reconstructed.add(prefix, peering),
+                Op::Withdraw { prefix, peering } => {
+                    reconstructed.remove(prefix, peering);
+                }
+            }
+        }
+        assert_eq!(reconstructed, good);
+        // Prefix 1 moves: its withdrawal precedes its announcement.
+        let p1_ops: Vec<&Op> = revert
+            .steps
+            .iter()
+            .filter(|(_, op)| op.prefix() == PrefixId(1))
+            .map(|(_, op)| op)
+            .collect();
+        assert!(matches!(p1_ops[0], Op::Withdraw { .. }));
+        assert!(matches!(p1_ops[1], Op::Announce { .. }));
     }
 
     #[test]

@@ -31,9 +31,13 @@
 //! * [`parallel`] — deterministic parallel scoring: pool construction,
 //!   `PAINTER_THREADS` resolution, and the fixed-chunk fold discipline
 //!   that keeps results bit-identical across thread counts.
+//! * [`guard`] — the closed-loop containment layer: measurement
+//!   quarantine, plan hysteresis, and safety rollback, so the learning
+//!   loop survives running live under churn.
 
 pub mod benefit;
 pub mod compliance;
+pub mod guard;
 pub mod inputs;
 pub mod installer;
 pub mod model;
@@ -42,9 +46,13 @@ pub mod parallel;
 pub mod strategies;
 
 pub use benefit::{BenefitRange, ConfigEvaluator};
-pub use compliance::infer_compliant_ingresses;
+pub use compliance::{infer_compliant_ingresses, ObservedReachability};
+pub use guard::{
+    HealthSample, HysteresisConfig, PlanHysteresis, QuarantineBuffer, QuarantineConfig,
+    RollbackConfig, RollbackGuard,
+};
 pub use inputs::{OrchestratorInputs, UgView};
-pub use installer::{apply_to_engine, diff, plan, InstallPlan, Op};
+pub use installer::{apply_to_engine, diff, plan, revert_plan, InstallPlan, Op};
 pub use model::RoutingModel;
 pub use orchestrator::{
     AdvertEnvironment, GreedyTrace, GroundTruthEnv, Observations, Orchestrator, OrchestratorConfig,

@@ -61,12 +61,39 @@ pub struct RoutingModel {
     /// Learned dominance: `(ug, winner, loser)` — whenever `winner` is
     /// advertised alongside `loser`, the UG will not use `loser`.
     dominates: HashSet<(UgId, PeeringId, PeeringId)>,
+    /// Ingresses a measurement loop has marked dark for a UG (sustained
+    /// failure to land despite being advertised). Excluded from the
+    /// candidate set until a landing clears the mark.
+    unreachable: HashSet<(UgId, PeeringId)>,
 }
 
 impl RoutingModel {
     /// A fresh model with no learned preferences.
     pub fn new(d_reuse_km: f64) -> Self {
-        RoutingModel { d_reuse_km, dominates: HashSet::new() }
+        RoutingModel { d_reuse_km, dominates: HashSet::new(), unreachable: HashSet::new() }
+    }
+
+    /// Marks an ingress dark for a UG: the loop advertised through it and
+    /// sustainably observed no landings. Excluded by
+    /// [`Self::effective_candidates`] until cleared.
+    pub fn mark_unreachable(&mut self, ug: UgId, ingress: PeeringId) {
+        self.unreachable.insert((ug, ingress));
+    }
+
+    /// Clears a dark mark (a landing through the ingress was observed).
+    /// Returns true if a mark was present.
+    pub fn clear_unreachable(&mut self, ug: UgId, ingress: PeeringId) -> bool {
+        self.unreachable.remove(&(ug, ingress))
+    }
+
+    /// True if the ingress is currently marked dark for the UG.
+    pub fn is_unreachable(&self, ug: UgId, ingress: PeeringId) -> bool {
+        self.unreachable.contains(&(ug, ingress))
+    }
+
+    /// Number of active dark marks.
+    pub fn unreachable_count(&self) -> usize {
+        self.unreachable.len()
     }
 
     /// Records that `ug` picked `winner` while `loser` was advertised.
@@ -115,6 +142,7 @@ impl RoutingModel {
             .iter()
             .copied()
             .filter(|(p, _)| advertised.binary_search(p).is_ok())
+            .filter(|(p, _)| !self.unreachable.contains(&(ug.id, *p)))
             .filter(|(p, _)| {
                 inputs.ug_pop_km[ug_idx][inputs.peering_pop[p.idx()]] - d_min <= self.d_reuse_km
             })

@@ -626,6 +626,9 @@ impl Orchestrator {
         for (ug, prefix, landed) in &obs.landed {
             let Some(&ug_idx) = index_of.get(ug) else { continue };
             let Some((ingress, observed_ms)) = landed else { continue };
+            // A landing is positive reachability evidence: clear any dark
+            // mark a measurement loop may have set.
+            self.model.clear_unreachable(*ug, *ingress);
             let advertised = config.peerings_of(*prefix);
             // What the model believed possible.
             let believed = self.model.effective_candidates(&self.inputs, ug_idx, advertised);
@@ -655,6 +658,23 @@ impl Orchestrator {
         obs_count!(self.obs, "core.learn_dominance_total", newly as u64);
         obs_count!(self.obs, "core.learn_corrections_total", corrections);
         newly
+    }
+
+    /// [`Self::learn`] behind a measurement quarantine: fresh samples are
+    /// screened by `quarantine` (landing samples key on their ingress,
+    /// dark ones on the prefix's primary advertised ingress), and only
+    /// the admitted batch — which may include older samples whose
+    /// stability window just elapsed — reaches the model. Returns newly
+    /// learned dominance facts, like `learn`.
+    pub fn learn_guarded(
+        &mut self,
+        config: &AdvertConfig,
+        fresh: &Observations,
+        quarantine: &mut crate::guard::QuarantineBuffer,
+        now: painter_eventsim::SimTime,
+    ) -> usize {
+        let admitted = quarantine.screen(fresh, |p| config.peerings_of(p).first().copied(), now);
+        self.learn(config, &admitted)
     }
 
     /// Eq. 1 evaluated on real outcomes: each UG takes its best observed

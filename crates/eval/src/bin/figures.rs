@@ -4,6 +4,7 @@
 //! figures <fig-id>... [flags]        # e.g. figures fig6a fig10
 //! figures all [flags]                # every figure, paper order
 //! figures chaos [flags]              # chaos resilience suite (chaos.* sections)
+//! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
 //! figures list                       # available ids
 //!
 //! --test             CI-sized inputs (default: paper-sized, use release)
@@ -24,10 +25,10 @@ use rayon::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
-        println!("available figures: {} chaos", ALL_FIGURES.join(" "));
+        println!("available figures: {} chaos chaos-sweep", ALL_FIGURES.join(" "));
         println!(
-            "usage: figures <fig-id>...|all|chaos [--test] [--seed <n>] [--markdown|--csv] \
-             [--report <path>.json]"
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep [--test] [--seed <n>] \
+             [--markdown|--csv] [--report <path>.json]"
         );
         return;
     }
@@ -68,10 +69,12 @@ fn main() {
             .map(String::as_str)
             .collect()
     };
-    // `chaos` is not a figure: it runs the resilience suite and lands as
-    // chaos.* sections on the same report.
+    // `chaos` and `chaos-sweep` are not figures: they run the resilience
+    // suite / detection sweep and land as chaos.* sections on the same
+    // report.
     let run_chaos = args.iter().any(|a| a == "chaos");
-    requested.retain(|id| *id != "chaos");
+    let run_sweep = args.iter().any(|a| a == "chaos-sweep");
+    requested.retain(|id| *id != "chaos" && *id != "chaos-sweep");
 
     // Figure bodies are independent; fan them out over the scoring pool
     // (PAINTER_THREADS-aware). The ordered collect keeps the output in
@@ -102,6 +105,19 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("chaos suite failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_sweep {
+        match painter_eval::chaos::sweep_sections(scale, seed) {
+            Ok(sections) => {
+                for section in sections {
+                    report.push_section(section);
+                }
+            }
+            Err(e) => {
+                eprintln!("chaos sweep failed: {e}");
                 failed = true;
             }
         }

@@ -3,7 +3,7 @@
 //! Fig. 10 asks one question about one fault: after a PoP dies, how fast
 //! does each steering layer recover? This module asks the same question
 //! about *any* compiled [`painter_chaos::Schedule`]: a campaign runs the
-//! identical fault schedule against three steering strategies —
+//! identical fault schedule against four steering strategies —
 //!
 //! * **painter** — the Traffic Manager holds tunnels to every prefix and
 //!   fails over on RTT-timescale probe evidence;
@@ -11,10 +11,19 @@
 //!   reconvergence;
 //! * **dns** — per-PoP unicast prefixes behind a health-checked DNS
 //!   record; recovery waits for the next TTL boundary;
+//! * **painter-closed-loop** — the same fixed plan, but the
+//!   advertise→measure→learn loop keeps running *during* the campaign
+//!   behind `painter_core::guard`'s containment layer (measurement
+//!   quarantine, plan hysteresis, safety rollback), proposing repair
+//!   announcements for sustained-dark prefixes;
 //!
 //! and each strategy is scored with a [`Scorecard`] (availability,
 //! time-to-recover histogram, failovers, latency inflation) emitted as
-//! `chaos.*` report sections.
+//! `chaos.*` report sections. The closed loop additionally emits a
+//! `chaos.<name>.learning` section ([`LearningStats`]): quarantine
+//! admit/hold/discard counts, hysteresis commits, rollbacks, plan churn,
+//! and compliance-inference skew against the fixed plan's witnessed
+//! landings.
 //!
 //! Determinism: the campaign world, the compiled schedule, the sampled
 //! BGP state, and every Traffic Manager run are pure functions of
@@ -25,13 +34,20 @@
 
 use crate::scenario::{Scale, SALT};
 use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
+use painter_bgp::AdvertConfig;
 use painter_bgp::PrefixId;
 use painter_chaos::{
     program_bgp, program_tm, DataPlaneState, FaultEvent, FaultKind, FaultSpec, ScenarioSpec,
     Schedule, Scorecard, Target, TmTarget, WorldView,
 };
+use painter_core::{
+    apply_to_engine, diff, revert_plan, ConfigEvaluator, HealthSample, HysteresisConfig,
+    Observations, ObservedReachability, Orchestrator, OrchestratorConfig, OrchestratorInputs,
+    PlanHysteresis, QuarantineBuffer, QuarantineConfig, RollbackConfig, RollbackGuard, UgView,
+};
 use painter_eventsim::{derive_seed, SimTime};
 use painter_geo::{metro, Region};
+use painter_measure::UgId;
 use painter_obs::Section;
 use painter_tm::{TmSimulation, TmSimulationConfig, TunnelId};
 use painter_topology::{AsGraph, AsTier, Deployment, PeeringId, PeeringKind, Relationship};
@@ -41,6 +57,21 @@ const SAMPLE_MS: f64 = 25.0;
 /// Extra RTT on the anycast path (shared front-end VIP indirection; see
 /// `figs::fig10`).
 const ANYCAST_OVERHEAD_MS: f64 = 4.0;
+
+/// Closed-loop iteration cadence: one advertise→measure→learn pass per
+/// this many seconds of campaign time.
+const ITER_SECS: f64 = 6.0;
+/// Consecutive dark iterations before a unicast prefix is declared
+/// unreachable and a repair announcement is proposed.
+const DARK_ITERS: u32 = 2;
+/// Control-plane updates per iteration window above which a prefix's
+/// advertised peerings are churn-flagged for quarantine.
+const CHURN_UPDATES: usize = 6;
+/// Benefit bonus per repair pair. The Eq. 1 evaluator models *latency*
+/// benefit and cannot see availability, so a dark prefix's repair gets
+/// an explicit urgency term that clears the hysteresis threshold while
+/// no-op refinements (modeled delta ≈ 0) never do.
+const REPAIR_URGENCY: f64 = 25.0;
 
 /// Campaign clock constants, scale-dependent so tests stay fast while
 /// the paper-sized run reproduces Fig. 10's 60 s TTL.
@@ -82,18 +113,23 @@ pub struct CampaignOutcome {
     pub painter: Scorecard,
     pub anycast: Scorecard,
     pub dns: Scorecard,
+    pub closed_loop: Scorecard,
+    /// What the guarded learning loop did while the faults ran.
+    pub learning: LearningStats,
 }
 
 impl CampaignOutcome {
-    /// The three scorecards in fixed (painter, anycast, dns) order.
-    pub fn scorecards(&self) -> [&Scorecard; 3] {
-        [&self.painter, &self.anycast, &self.dns]
+    /// The four scorecards in fixed (painter, anycast, dns,
+    /// painter-closed-loop) order.
+    pub fn scorecards(&self) -> [&Scorecard; 4] {
+        [&self.painter, &self.anycast, &self.dns, &self.closed_loop]
     }
 
-    /// Report sections: a `chaos.<name>.schedule` provenance section
-    /// followed by one `chaos.<name>.<strategy>` section per strategy.
+    /// Report sections: a `chaos.<name>.schedule` provenance section,
+    /// one `chaos.<name>.<strategy>` section per strategy, then the
+    /// `chaos.<name>.learning` closed-loop diagnostics.
     pub fn sections(&self) -> Vec<Section> {
-        let mut out = Vec::with_capacity(4);
+        let mut out = Vec::with_capacity(6);
         out.push(
             Section::new(format!("chaos.{}.schedule", self.schedule.name))
                 .field("seed", self.schedule.seed)
@@ -108,7 +144,74 @@ impl CampaignOutcome {
         for sc in self.scorecards() {
             out.push(sc.section());
         }
+        out.push(self.learning.section(&self.schedule.name));
         out
+    }
+}
+
+/// What the guarded learning loop did during one campaign: quarantine
+/// flow, hysteresis decisions, rollbacks, plan churn, and how far the
+/// loop's end-state beliefs drifted from the fixed plan's witnessed
+/// landings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LearningStats {
+    /// Advertise→measure→learn iterations run inside the campaign.
+    pub iterations: u64,
+    /// Measurement samples offered to the quarantine screen.
+    pub samples_offered: u64,
+    /// Samples admitted to the learner (fresh + released from hold).
+    pub samples_admitted: u64,
+    /// Samples that entered quarantine hold.
+    pub samples_quarantined: u64,
+    /// Held samples discarded (re-flagged churn or keyless).
+    pub samples_discarded: u64,
+    /// Samples still in hold at the horizon.
+    pub quarantine_held: u64,
+    /// Plan changes the hysteresis gate let through.
+    pub hysteresis_commits: u64,
+    /// Sub-threshold iterations that reset the commit streak.
+    pub hysteresis_resets: u64,
+    /// Installs reverted by the safety guard.
+    pub rollbacks: u64,
+    /// Installer operations applied (installs + reverts).
+    pub install_ops: u64,
+    /// Installer operations per iteration.
+    pub plan_churn_rate: f64,
+    /// `(prefix, peering)` pairs advertised at the horizon.
+    pub final_pairs: u64,
+    /// Dominance facts learned from admitted samples.
+    pub dominance_learned: u64,
+    /// `(UG, ingress)` pairs still marked unreachable at the horizon.
+    pub unreachable_marks: u64,
+    /// Fraction of witnessed fixed-plan landings the loop's end-state
+    /// beliefs miss.
+    pub compliance_miss_rate: f64,
+    /// Fraction of end-state believed ingresses never witnessed landing.
+    pub compliance_spurious_rate: f64,
+}
+
+impl LearningStats {
+    /// The `chaos.<campaign>.learning` report section (schema pinned by
+    /// `tests/obs_report.rs`).
+    pub fn section(&self, campaign: &str) -> Section {
+        Section::new(format!("chaos.{campaign}.learning"))
+            .field("iterations", self.iterations)
+            .field("samples_offered", self.samples_offered)
+            .field("samples_admitted", self.samples_admitted)
+            .field("samples_quarantined", self.samples_quarantined)
+            .field("samples_discarded", self.samples_discarded)
+            .field("quarantine_held", self.quarantine_held)
+            .field("hysteresis_commits", self.hysteresis_commits)
+            .field("hysteresis_resets", self.hysteresis_resets)
+            .field("rollbacks", self.rollbacks)
+            .field("rollback_demonstrated", self.rollbacks > 0)
+            .field("install_ops", self.install_ops)
+            .field("plan_churn_rate", self.plan_churn_rate)
+            .field("final_pairs", self.final_pairs)
+            .field("dominance_learned", self.dominance_learned)
+            .field("unreachable_marks", self.unreachable_marks)
+            .field("compliance_miss_rate", self.compliance_miss_rate)
+            .field("compliance_spurious_rate", self.compliance_spurious_rate)
     }
 }
 
@@ -219,12 +322,12 @@ pub fn run_campaign(
     // a channel down there would drop its in-flight responses.
     let steps = (timing.horizon_s * 1000.0 / SAMPLE_MS) as usize;
     let mut dps = DataPlaneState::new(view.pops as usize, plan.len());
-    let mut avail: Vec<Vec<Option<f64>>> = Vec::with_capacity(steps);
+    let mut avail: Vec<Vec<Option<(PeeringId, f64)>>> = Vec::with_capacity(steps);
     for step in 0..steps {
         let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
         engine.run_until(t);
         dps.advance(&schedule, t);
-        let row: Vec<Option<f64>> = plan
+        let row: Vec<Option<(PeeringId, f64)>> = plan
             .iter()
             .enumerate()
             .map(|(idx, (prefix, _))| {
@@ -235,8 +338,11 @@ pub fn run_campaign(
                 engine
                     .current_path(world.stub, *prefix)
                     .filter(|(_, ingress)| !dps.pop_down(world.deployment.peering(*ingress).pop))
-                    .and_then(|_| engine.current_rtt_ms(world.stub, world.stub_metro, *prefix))
-                    .map(|r| r + overhead)
+                    .and_then(|(_, ingress)| {
+                        engine
+                            .current_rtt_ms(world.stub, world.stub_metro, *prefix)
+                            .map(|r| (ingress, r + overhead))
+                    })
             })
             .collect();
         avail.push(row);
@@ -255,7 +361,7 @@ pub fn run_campaign(
             let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
             for (idx, sample) in row.iter().enumerate() {
                 match sample {
-                    Some(rtt) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
+                    Some((_, rtt)) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
                     None => tm.schedule_path_down(t, tunnels[idx]),
                 }
             }
@@ -276,7 +382,7 @@ pub fn run_campaign(
         for (step, row) in avail.iter().enumerate() {
             let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
             match row[0] {
-                Some(rtt) => tm.schedule_path_rtt(t, tunnel, rtt),
+                Some((_, rtt)) => tm.schedule_path_rtt(t, tunnel, rtt),
                 None => tm.schedule_path_down(t, tunnel),
             }
         }
@@ -310,7 +416,7 @@ pub fn run_campaign(
                     .iter()
                     .enumerate()
                     .skip(1)
-                    .filter_map(|(idx, s)| s.map(|rtt| (idx, rtt)))
+                    .filter_map(|(idx, s)| s.map(|(_, rtt)| (idx, rtt)))
                     .min_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((idx, _)) = best {
                     resolved = Some(idx);
@@ -318,7 +424,7 @@ pub fn run_campaign(
             }
             for (idx, sample) in row.iter().enumerate() {
                 match (Some(idx) == resolved, sample) {
-                    (true, Some(rtt)) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
+                    (true, Some((_, rtt))) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
                     _ => tm.schedule_path_down(t, tunnels[idx]),
                 }
             }
@@ -326,7 +432,362 @@ pub fn run_campaign(
         drain_and_score(&mut tm, &spec.name, "dns", horizon, first_fault)
     };
 
-    Ok(CampaignOutcome { schedule, spec_json: spec.to_json(), painter, anycast, dns })
+    // --- Strategy 4: the guarded closed loop, run live against the same
+    // schedule. Its Traffic Manager deliberately shares painter's seed:
+    // the two runs form a paired experiment, identical until a repair
+    // actually commits.
+    let (closed_loop, learning) = run_closed_loop(
+        &world,
+        &plan,
+        &engine,
+        &schedule,
+        timing,
+        seed,
+        &base,
+        &avail,
+        horizon,
+        first_fault,
+        &spec.name,
+    );
+
+    Ok(CampaignOutcome {
+        schedule,
+        spec_json: spec.to_json(),
+        painter,
+        anycast,
+        dns,
+        closed_loop,
+        learning,
+    })
+}
+
+/// Runs the advertise→measure→learn loop *inside* the campaign, guarded
+/// by `painter_core::guard`, and scores the resulting data plane as the
+/// `painter-closed-loop` strategy.
+///
+/// The loop starts from the fixed plan and only ever *grows* it: when a
+/// unicast prefix stays dark for [`DARK_ITERS`] iterations, the loop
+/// marks its advertised ingresses unreachable and proposes announcing
+/// the prefix via the best believed-alive peering. Proposals must clear
+/// the hysteresis gate (sustained for K iterations), survive the
+/// rollback guard's backoff window, and are installed through the
+/// rate-limited installer. Post-install health that regresses beyond the
+/// guardrails triggers an automatic revert to the last-known-good plan.
+///
+/// Repair announcements run on a dedicated engine carrying only the
+/// installer's state (plus session/leak faults, which govern whether a
+/// repair survives). The closed loop's tunnel row is the fixed plan's
+/// sampled row with repair reachability overlaid onto dark cells — the
+/// union of the two announcement sets' reachability, with the fixed
+/// plan's path preferred when both are alive. Every step is a pure
+/// function of `(spec, seed)`, so same-seed replays stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_closed_loop(
+    world: &HarnessWorld,
+    plan: &[(PrefixId, Vec<PeeringId>)],
+    fixed_engine: &BgpEngine,
+    schedule: &Schedule,
+    timing: &ChaosTiming,
+    seed: u64,
+    base: &[f64],
+    shared: &[Vec<Option<(PeeringId, f64)>>],
+    horizon: SimTime,
+    first_fault: SimTime,
+    campaign: &str,
+) -> (Scorecard, LearningStats) {
+    let ug = UgId(0);
+    let mut fixed = AdvertConfig::new();
+    for (prefix, peerings) in plan {
+        for &pe in peerings {
+            fixed.add(*prefix, pe);
+        }
+    }
+
+    // The orchestrator's view of the harness world: one UG (the stub)
+    // with every deployment peering as a candidate at its converged base
+    // RTT. D_reuse is widened so the London peerings stay eligible as
+    // repair targets for a New York UG.
+    let peering_pop: Vec<usize> = world.deployment.peerings().iter().map(|p| p.pop.idx()).collect();
+    let inputs = OrchestratorInputs {
+        ugs: vec![UgView {
+            id: ug,
+            metro: world.stub_metro,
+            weight: 1.0,
+            anycast_ms: base[0],
+            candidates: world
+                .deployment
+                .peerings()
+                .iter()
+                .map(|p| (p.id, base[p.id.idx() + 1]))
+                .collect(),
+        }],
+        // Great-circle NY→{NY, London}; only the D_reuse comparison
+        // consumes these.
+        ug_pop_km: vec![vec![0.0, 5570.0]],
+        peering_count: peering_pop.len(),
+        peering_pop,
+    };
+    let config = OrchestratorConfig {
+        prefix_budget: plan.len(),
+        d_reuse_km: 10_000.0,
+        threads: Some(1),
+        ..Default::default()
+    };
+    let mut orch = Orchestrator::new(inputs, config);
+
+    let obs = painter_obs::Registry::new();
+    let mut quarantine = QuarantineBuffer::with_obs(QuarantineConfig::default(), obs.clone());
+    let mut hysteresis = PlanHysteresis::with_obs(
+        HysteresisConfig { min_benefit_delta: 1.0, required_streak: DARK_ITERS },
+        obs.clone(),
+    );
+    let mut rollback = RollbackGuard::with_obs(RollbackConfig::default(), obs);
+
+    // The repair engine carries only installer-announced state, plus the
+    // session and leak faults that decide whether a repair survives.
+    // (PoP outages gate through the shared data-plane state; the fixed
+    // plan's own announce/withdraw events belong to the fixed engine.)
+    let dynamics = DynamicsConfig {
+        proc_delay_ms: (30.0, 400.0),
+        mrai_secs: (2.0, 8.0),
+        seed: derive_seed(seed, 4),
+    };
+    let mut repair_engine = BgpEngine::new(&world.graph, &world.deployment, dynamics, SALT);
+    for inj in schedule.injections() {
+        match inj.event {
+            FaultEvent::SessionDown { peering } => repair_engine.session_down(inj.at, peering),
+            FaultEvent::SessionUp { peering } => repair_engine.session_up(inj.at, peering),
+            FaultEvent::LeakStart { peering } => repair_engine.leak_start(inj.at, peering),
+            FaultEvent::LeakEnd { peering } => repair_engine.leak_end(inj.at, peering),
+            _ => {}
+        }
+    }
+
+    let hold_down = SimTime::from_secs(2.0);
+    let iter_len = SimTime::from_secs(ITER_SECS);
+    let mut installed = fixed.clone();
+    let mut dark_iters = vec![0u32; plan.len()];
+    let mut rows: Vec<Vec<Option<(PeeringId, f64)>>> = Vec::with_capacity(shared.len());
+    let mut stats = LearningStats::default();
+    let mut next_iter = SimTime::from_secs(timing.warmup_s);
+    let mut window_start_step = 0usize;
+    let mut probation = false;
+    let mut baseline_health: Option<HealthSample> = None;
+
+    let mut dps = DataPlaneState::new(world.deployment.pops().len(), plan.len());
+    for (step, shared_row) in shared.iter().enumerate() {
+        let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+        repair_engine.run_until(t);
+        dps.advance(schedule, t);
+
+        // Fixed-plan reachability first; repair overlay only onto dark
+        // cells, gated by the same administrative data-plane liveness.
+        let row: Vec<Option<(PeeringId, f64)>> = plan
+            .iter()
+            .enumerate()
+            .map(|(idx, (prefix, _))| {
+                if dps.tunnel_down(idx) {
+                    return None;
+                }
+                shared_row[idx].or_else(|| {
+                    repair_engine
+                        .current_path(world.stub, *prefix)
+                        .filter(|(_, ingress)| {
+                            !dps.pop_down(world.deployment.peering(*ingress).pop)
+                        })
+                        .and_then(|(_, ingress)| {
+                            repair_engine
+                                .current_rtt_ms(world.stub, world.stub_metro, *prefix)
+                                .map(|r| (ingress, r))
+                        })
+                })
+            })
+            .collect();
+        rows.push(row);
+
+        if t < next_iter {
+            continue;
+        }
+        next_iter += iter_len;
+        stats.iterations += 1;
+        let latest = rows.last().expect("row just pushed").clone();
+
+        // (1) Churn-flag the advertised ingresses of any prefix whose
+        // control-plane update volume spiked this window.
+        let window_start = t.saturating_sub(iter_len);
+        for (prefix, _) in plan {
+            let updates = fixed_engine.updates_in_window(*prefix, window_start, t)
+                + repair_engine.updates_in_window(*prefix, window_start, t);
+            if updates > CHURN_UPDATES {
+                for &pe in installed.peerings_of(*prefix) {
+                    quarantine.flag_churn(pe, t);
+                }
+            }
+        }
+
+        // (2) Measure: one observation per in-plan prefix, screened
+        // through the quarantine before the learner sees it.
+        let fresh = Observations {
+            landed: plan
+                .iter()
+                .enumerate()
+                .map(|(idx, (prefix, _))| (ug, *prefix, latest[idx]))
+                .collect(),
+        };
+        stats.samples_offered += fresh.landed.len() as u64;
+        orch.learn_guarded(&installed, &fresh, &mut quarantine, t);
+
+        // (3) Post-install probation: regression beyond the guardrails
+        // reverts to the last-known-good plan and arms the backoff; a
+        // healthy window proves the new plan good.
+        let health = health_of(&rows[window_start_step..]);
+        let mut reverted = false;
+        if probation {
+            if let Some(good) = rollback.check(t, &health) {
+                let ops = revert_plan(&installed, &good, hold_down);
+                stats.install_ops += ops.len() as u64;
+                apply_to_engine(&ops, &mut repair_engine, t);
+                installed = good;
+                reverted = true;
+            } else {
+                rollback.record_good(&installed, health);
+                baseline_health = Some(health);
+            }
+            probation = false;
+        } else {
+            // Baseline ratchet: while no install is on probation, keep
+            // the last-known-good snapshot fresh as long as health holds
+            // up — so the snapshot captures the converged pre-fault plan
+            // and freezes the moment a fault drags health down.
+            let holds_up =
+                baseline_health.as_ref().map(|b| !rollback.regressed(b, &health)).unwrap_or(true);
+            if holds_up {
+                rollback.record_good(&installed, health);
+                baseline_health = Some(health);
+            }
+        }
+
+        // (4) Track sustained darkness and mark the believed-dead
+        // ingresses (admitted landings clear the marks via `learn`).
+        for idx in 1..plan.len() {
+            if latest[idx].is_none() {
+                dark_iters[idx] += 1;
+                if dark_iters[idx] >= DARK_ITERS {
+                    for &pe in plan[idx].1.iter() {
+                        orch.model.mark_unreachable(ug, pe);
+                    }
+                }
+            } else {
+                dark_iters[idx] = 0;
+            }
+        }
+
+        // (5) Propose: grow the installed plan with one repair pair per
+        // sustained-dark unicast prefix, through hysteresis and the
+        // rollback guard's backoff gate.
+        if !reverted {
+            let mut candidate = installed.clone();
+            for idx in 1..plan.len() {
+                if dark_iters[idx] >= DARK_ITERS {
+                    let prefix = plan[idx].0;
+                    let pick = orch.inputs.ugs[0]
+                        .candidates
+                        .iter()
+                        .filter(|(pe, _)| !orch.model.is_unreachable(ug, *pe))
+                        .filter(|(pe, _)| !candidate.contains(prefix, *pe))
+                        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    if let Some(&(pe, _)) = pick {
+                        candidate.add(prefix, pe);
+                    }
+                }
+            }
+            let new_pairs = (candidate.pair_count() - installed.pair_count()) as f64;
+            let evaluator = ConfigEvaluator::new(&orch.inputs, &orch.model);
+            let modeled_delta = evaluator.benefit(&candidate) - evaluator.benefit(&installed);
+            let delta = modeled_delta + REPAIR_URGENCY * new_pairs;
+            if let Some(commit) = hysteresis.consider(&candidate, delta) {
+                if commit != installed && rollback.can_attempt(t) {
+                    let ops = painter_core::plan(diff(&installed, &commit), hold_down);
+                    stats.install_ops += ops.len() as u64;
+                    apply_to_engine(&ops, &mut repair_engine, t);
+                    installed = commit;
+                    probation = true;
+                }
+            }
+        }
+        window_start_step = step + 1;
+    }
+
+    // End-of-run bookkeeping.
+    stats.samples_admitted = quarantine.admitted_total;
+    stats.samples_quarantined = quarantine.quarantined_total;
+    stats.samples_discarded = quarantine.discarded_total;
+    stats.quarantine_held = quarantine.held_len() as u64;
+    stats.hysteresis_commits = hysteresis.commits_total;
+    stats.hysteresis_resets = hysteresis.resets_total;
+    stats.rollbacks = rollback.rollbacks_total;
+    stats.plan_churn_rate = stats.install_ops as f64 / stats.iterations.max(1) as f64;
+    stats.final_pairs = installed.pair_count() as u64;
+    stats.dominance_learned = orch.model.dominance_count() as u64;
+    stats.unreachable_marks = orch.model.unreachable_count() as u64;
+
+    // Compliance-inference skew vs the fixed-plan baseline: the loop's
+    // end-state believed ingresses against every landing the fixed plan
+    // actually witnessed.
+    let mut witnessed = ObservedReachability::new();
+    for row in shared {
+        for cell in row.iter().flatten() {
+            witnessed.note(ug, cell.0);
+        }
+    }
+    let believed: Vec<Vec<PeeringId>> = vec![orch.inputs.ugs[0]
+        .candidates
+        .iter()
+        .map(|(p, _)| *p)
+        .filter(|p| !orch.model.is_unreachable(ug, *p))
+        .collect()];
+    let (miss, spurious) = witnessed.skew(&believed, &world.deployment);
+    stats.compliance_miss_rate = miss;
+    stats.compliance_spurious_rate = spurious;
+
+    // Score the closed loop's data plane on painter's TM seed (paired
+    // experiment: bit-identical rows ⇒ bit-identical scorecards).
+    let mut tm =
+        TmSimulation::new(TmSimulationConfig { seed: derive_seed(seed, 1), ..Default::default() });
+    let tunnels = add_all_paths(&mut tm, world, plan, base);
+    let targets = tm_targets(&tunnels, base);
+    program_tm(schedule, &mut tm, &targets);
+    for (step, row) in rows.iter().enumerate() {
+        let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+        for (idx, sample) in row.iter().enumerate() {
+            match sample {
+                Some((_, rtt)) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
+                None => tm.schedule_path_down(t, tunnels[idx]),
+            }
+        }
+    }
+    let scorecard = drain_and_score(&mut tm, campaign, "painter-closed-loop", horizon, first_fault);
+    (scorecard, stats)
+}
+
+/// Availability and p95 latency over a window of sampled tunnel rows.
+fn health_of(rows: &[Vec<Option<(PeeringId, f64)>>]) -> HealthSample {
+    let mut alive = 0usize;
+    let mut total = 0usize;
+    let mut rtts: Vec<f64> = Vec::new();
+    for row in rows {
+        for cell in row {
+            total += 1;
+            if let Some((_, rtt)) = cell {
+                alive += 1;
+                rtts.push(*rtt);
+            }
+        }
+    }
+    let availability = if total == 0 { 1.0 } else { alive as f64 / total as f64 };
+    rtts.sort_by(f64::total_cmp);
+    let p95 = if rtts.is_empty() { 0.0 } else { rtts[(rtts.len() - 1) * 95 / 100] };
+    HealthSample { availability, p95_latency_ms: p95 }
 }
 
 /// Runs the sim one second past the horizon so responses to requests
@@ -501,6 +962,175 @@ pub fn suite_sections(scale: Scale, seed: u64) -> Result<Vec<Section>, String> {
     Ok(run_suite(scale, seed)?.iter().flat_map(|o| o.sections()).collect())
 }
 
+/// One cell of the detection-parameter sweep: a TM tuning against a
+/// [`FaultKind::LinkBlackhole`] campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    pub probe_interval_ms: f64,
+    pub timeout_factor: f64,
+    pub dead_rto_ms: f64,
+    /// Fault injection → first failover switch (ms); `-1` if the fault
+    /// was never detected. Driven by the timeout factor and the send
+    /// rate (the fault hits the active path).
+    pub detection_ms: f64,
+    /// Blackhole lift → fail-back onto the recovered primary (ms); `-1`
+    /// if the TM never came back. Driven by the probe plane: a dead
+    /// tunnel is only ever heard from again via its probes.
+    pub recovery_ms: f64,
+    /// Switches outside the fault window (and its fail-back grace):
+    /// probes crying wolf.
+    pub false_failovers: u64,
+    pub availability: f64,
+}
+
+impl SweepPoint {
+    /// Deterministic, filename-safe cell tag:
+    /// `p<probe-ms>_t<factor×100>_d<rto-ms>`.
+    pub fn tag(&self) -> String {
+        format!(
+            "p{}_t{}_d{}",
+            self.probe_interval_ms as u64,
+            (self.timeout_factor * 100.0).round() as u64,
+            self.dead_rto_ms as u64
+        )
+    }
+}
+
+/// Sweeps the Traffic Manager's failure-detection knobs (probe interval,
+/// timeout factor, dead-path RTO floor) against a `LinkBlackhole`
+/// campaign on the primary tunnel, mapping the detection-latency vs
+/// false-failover tradeoff.
+///
+/// A link blackhole is the gray-failure shape: BGP never reacts, so the
+/// control plane is deliberately absent here and every channel sits at
+/// its base RTT — the sweep isolates the probe plane. All cells share
+/// one TM seed (paired runs), so differences between cells are the
+/// knobs' doing alone.
+pub fn run_sweep(timing: &ChaosTiming, seed: u64) -> Result<(String, Vec<SweepPoint>), String> {
+    // Representative converged RTTs: anycast, two near unicast paths,
+    // two far ones. The blackhole hits tunnel 1 — the path the TM rides.
+    const BASE: [f64; 5] = [10.0, 6.0, 12.0, 70.0, 75.0];
+    const PROBE_MS: [f64; 3] = [25.0, 50.0, 100.0];
+    const TIMEOUT_FACTOR: [f64; 3] = [1.15, 1.3, 2.0];
+    const DEAD_RTO_MS: [f64; 3] = [100.0, 300.0, 900.0];
+    const FAULT_SECS: f64 = 15.0;
+    /// Post-recovery window where fail-back switches are legitimate.
+    const FAILBACK_GRACE_S: f64 = 5.0;
+
+    let world = build_world();
+    let plan = prefix_plan();
+    let view = WorldView::from_deployment(&world.deployment, plan.clone());
+    let spec = ScenarioSpec::new("blackhole-sweep", timing.horizon_s).fault(
+        FaultSpec::new("bh1", FaultKind::LinkBlackhole, Target::Tunnel(1))
+            .at(timing.fault_at_s)
+            .lasting(FAULT_SECS),
+    );
+    let schedule = Schedule::compile(&spec, &view, seed)?;
+    let fault_at = schedule.first_at().ok_or("sweep schedule has no injections")?;
+    let fault_end = fault_at + SimTime::from_secs(FAULT_SECS);
+    let grace_end = fault_end + SimTime::from_secs(FAILBACK_GRACE_S);
+    let horizon = SimTime::from_secs(timing.horizon_s);
+
+    let mut points = Vec::new();
+    for &probe_interval_ms in &PROBE_MS {
+        for &timeout_factor in &TIMEOUT_FACTOR {
+            for &dead_rto_ms in &DEAD_RTO_MS {
+                let mut config = TmSimulationConfig {
+                    seed: derive_seed(seed, 5),
+                    probe_interval_ms,
+                    ..Default::default()
+                };
+                config.edge.timeout_factor = timeout_factor;
+                config.edge.dead_rto_ms = dead_rto_ms;
+                let mut tm = TmSimulation::new(config);
+                let tunnels: Vec<TunnelId> = plan
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, (prefix, peerings))| {
+                        let pop = world.deployment.peering(peerings[0]).pop;
+                        tm.add_path(*prefix, pop, BASE[idx])
+                    })
+                    .collect();
+                let targets: Vec<TmTarget> = tunnels
+                    .iter()
+                    .zip(BASE)
+                    .map(|(&tunnel, base_rtt_ms)| TmTarget { tunnel, base_rtt_ms })
+                    .collect();
+                program_tm(&schedule, &mut tm, &targets);
+                tm.run(horizon + SimTime::from_secs(1.0));
+
+                let detection_ms = tm
+                    .switch_log()
+                    .iter()
+                    .find(|s| s.at >= fault_at)
+                    .map(|s| (s.at - fault_at).as_ms())
+                    .unwrap_or(-1.0);
+                let faulted = plan[1].0;
+                let recovery_ms = tm
+                    .switch_log()
+                    .iter()
+                    .find(|s| s.at >= fault_end && s.to == faulted)
+                    .map(|s| (s.at - fault_end).as_ms())
+                    .unwrap_or(-1.0);
+                // Ignore the initial pick (t=0) and anything after the
+                // horizon; a switch while no fault is live is a false
+                // failover.
+                let false_failovers = tm
+                    .switch_log()
+                    .iter()
+                    .filter(|s| s.at > SimTime::from_secs(1.0) && s.at <= horizon)
+                    .filter(|s| s.at < fault_at || s.at > grace_end)
+                    .count() as u64;
+                let records: Vec<_> = tm.records().iter().filter(|r| r.sent <= horizon).collect();
+                let completed = records.iter().filter(|r| r.completed.is_some()).count();
+                let availability =
+                    if records.is_empty() { 1.0 } else { completed as f64 / records.len() as f64 };
+                points.push(SweepPoint {
+                    probe_interval_ms,
+                    timeout_factor,
+                    dead_rto_ms,
+                    detection_ms,
+                    recovery_ms,
+                    false_failovers,
+                    availability,
+                });
+            }
+        }
+    }
+    Ok((spec.to_json(), points))
+}
+
+/// The sweep as `chaos.sweep.*` report sections: a provenance header,
+/// one section per cell, and a `(detection_ms, false_failovers)`
+/// tradeoff series.
+pub fn sweep_sections(scale: Scale, seed: u64) -> Result<Vec<Section>, String> {
+    let timing = ChaosTiming::for_scale(scale);
+    let (spec_json, points) = run_sweep(&timing, seed)?;
+    let mut out = Vec::with_capacity(points.len() + 2);
+    out.push(
+        Section::new("chaos.sweep.config")
+            .field("seed", seed)
+            .field("cells", points.len())
+            .field("spec", spec_json.as_str()),
+    );
+    for p in &points {
+        out.push(
+            Section::new(format!("chaos.sweep.{}", p.tag()))
+                .field("probe_interval_ms", p.probe_interval_ms)
+                .field("timeout_factor", p.timeout_factor)
+                .field("dead_rto_ms", p.dead_rto_ms)
+                .field("detection_ms", p.detection_ms)
+                .field("recovery_ms", p.recovery_ms)
+                .field("false_failovers", p.false_failovers)
+                .field("availability", p.availability),
+        );
+    }
+    let tradeoff: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.detection_ms, p.false_failovers as f64)).collect();
+    out.push(Section::new("chaos.sweep.tradeoff").field("points", tradeoff));
+    Ok(out)
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -551,7 +1181,7 @@ mod tests {
     }
 
     #[test]
-    fn sections_carry_provenance_and_all_three_strategies() {
+    fn sections_carry_provenance_and_all_four_strategies() {
         let (spec, timing) = pop_outage();
         let out = run_campaign(&spec, &timing, 1).expect("campaign");
         let sections = out.sections();
@@ -563,6 +1193,8 @@ mod tests {
                 "chaos.pop-outage.painter",
                 "chaos.pop-outage.anycast",
                 "chaos.pop-outage.dns",
+                "chaos.pop-outage.painter-closed-loop",
+                "chaos.pop-outage.learning",
             ]
         );
         // The recorded spec round-trips through the loader.
@@ -572,6 +1204,91 @@ mod tests {
         };
         let back = ScenarioSpec::from_json(&spec_field).expect("spec round-trip");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn closed_loop_repairs_then_rolls_back_under_a_pop_outage() {
+        let (spec, timing) = pop_outage();
+        let out = run_campaign(&spec, &timing, 1).expect("campaign");
+        // The sustained-dark prefixes force a repair commit through the
+        // hysteresis gate, and the post-install health window (still
+        // mid-outage, measured against the pre-fault baseline) trips the
+        // availability guardrail into a rollback.
+        assert!(out.learning.hysteresis_commits >= 1, "stats {:?}", out.learning);
+        assert!(out.learning.rollbacks >= 1, "stats {:?}", out.learning);
+        assert!(out.learning.install_ops >= 2, "install + revert, {:?}", out.learning);
+        // The withdraw burst at fault onset churn-flags the dying
+        // ingresses; their samples must be held, not learned.
+        assert!(out.learning.samples_quarantined > 0, "stats {:?}", out.learning);
+        // Grow-only repairs plus overlay scoring: the closed loop never
+        // does worse than the fixed plan it protects.
+        assert!(
+            out.closed_loop.availability() >= out.painter.availability(),
+            "closed loop {} vs painter {}",
+            out.closed_loop.availability(),
+            out.painter.availability()
+        );
+    }
+
+    #[test]
+    fn route_leak_churn_is_quarantined_not_learned() {
+        let timing = ChaosTiming::for_scale(Scale::Test);
+        let spec = ScenarioSpec::new("route-leak", timing.horizon_s).fault(
+            FaultSpec::new("leak0", FaultKind::RouteLeak, Target::Peering(0))
+                .at(timing.fault_at_s)
+                .lasting(10.0),
+        );
+        let out = run_campaign(&spec, &timing, 1).expect("campaign");
+        // The leak floods the control plane with policy-violating
+        // announcements. The loop must hold those windows' samples in
+        // quarantine rather than fold leak-era paths into the model...
+        assert!(out.learning.samples_quarantined > 0, "stats {:?}", out.learning);
+        // ...and must not invent darkness: the stub's data plane never
+        // actually broke, so no ingress gets marked unreachable, no
+        // repair commits, and the scored data plane matches the fixed
+        // plan's exactly.
+        assert_eq!(out.learning.unreachable_marks, 0, "stats {:?}", out.learning);
+        assert_eq!(out.learning.hysteresis_commits, 0, "stats {:?}", out.learning);
+        assert_eq!(
+            out.closed_loop.availability(),
+            out.painter.availability(),
+            "no commit ⇒ the paired runs must score identically"
+        );
+    }
+
+    #[test]
+    fn sweep_maps_the_detection_tradeoff() {
+        let timing = ChaosTiming::for_scale(Scale::Test);
+        let (_, points) = run_sweep(&timing, 1).expect("sweep");
+        assert_eq!(points.len(), 27, "3x3x3 grid");
+        for p in &points {
+            assert!(p.detection_ms >= 0.0, "undetected blackhole at {}", p.tag());
+            assert!(p.recovery_ms >= 0.0, "no fail-back at {}", p.tag());
+            assert!(p.availability > 0.9, "availability collapse at {}", p.tag());
+        }
+        // The fault hits the active path, so detection rides the send
+        // stream and stays fast everywhere; recovery of a dead path is
+        // probe-driven, so tighter probing fails back sooner on average.
+        let mean_recovery = |probe: f64| {
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.probe_interval_ms == probe)
+                .map(|p| p.recovery_ms)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean_recovery(25.0) < mean_recovery(100.0),
+            "25 ms probes {} must fail back before 100 ms probes {}",
+            mean_recovery(25.0),
+            mean_recovery(100.0)
+        );
+        // Sections render one cell each plus config and tradeoff.
+        let sections = sweep_sections(Scale::Test, 1).expect("sections");
+        assert_eq!(sections.len(), 29);
+        assert_eq!(sections[0].title, "chaos.sweep.config");
+        assert_eq!(sections[1].title, "chaos.sweep.p25_t115_d100");
+        assert_eq!(sections.last().unwrap().title, "chaos.sweep.tradeoff");
     }
 
     #[test]

@@ -212,6 +212,12 @@ impl From<u64> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
 impl From<usize> for Value {
     fn from(v: usize) -> Value {
         Value::U64(v as u64)

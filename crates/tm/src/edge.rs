@@ -269,13 +269,25 @@ impl TmEdge {
 
     /// Records a response for `seq` on `tunnel`; updates srtt and revives
     /// the tunnel. Returns the measured RTT if the sequence was known.
+    ///
+    /// Estimates don't mix across path epochs: a revived tunnel may sit
+    /// on a different route entirely (anycast reconverged onto a farther
+    /// PoP, a prefix re-advertised via another peering), so the first
+    /// response after a death reseeds srtt instead of averaging the new
+    /// path against the dead one's stale estimate — a stale-fast srtt
+    /// would otherwise make a slow revived path look briefly attractive
+    /// to [`TmEdge::select`].
     pub fn on_response(&mut self, tunnel: TunnelId, seq: u64, now: SimTime) -> Option<f64> {
         let alpha = self.config.srtt_alpha;
         let t = &mut self.tunnels[tunnel.0];
         let sent = t.outstanding.remove(&seq)?;
         let rtt_ms = (now - sent).as_ms();
-        t.srtt_ms = (1.0 - alpha) * t.srtt_ms + alpha * rtt_ms;
-        t.alive = true;
+        if t.alive {
+            t.srtt_ms = (1.0 - alpha) * t.srtt_ms + alpha * rtt_ms;
+        } else {
+            t.srtt_ms = rtt_ms.max(0.1);
+            t.alive = true;
+        }
         t.last_response = Some(now);
         obs_record!(self.obs, "tm.response_rtt_ms", rtt_ms);
         Some(rtt_ms)
@@ -357,6 +369,23 @@ mod tests {
         // Alive again: deadlines return to srtt-driven.
         let (_, deadline) = edge.on_send(t0, SimTime::from_ms(1300.0));
         assert!(deadline < SimTime::from_ms(1300.0) + SimTime::from_ms(300.0));
+    }
+
+    #[test]
+    fn revival_reseeds_srtt_instead_of_mixing_epochs() {
+        let (mut edge, t0, _) = edge_with_two_tunnels();
+        let (seq, deadline) = edge.on_send(t0, SimTime::ZERO);
+        assert!(edge.on_timeout(t0, seq, deadline));
+        // The path returns 10x slower. Its estimate must jump straight
+        // to the new epoch's RTT, not EWMA against the dead 20 ms one
+        // (which would advertise a phantom ~74 ms path to `select`).
+        let (seq, _) = edge.on_send(t0, SimTime::from_ms(1000.0));
+        edge.on_response(t0, seq, SimTime::from_ms(1200.0));
+        assert_eq!(edge.tunnel(t0).srtt_ms, 200.0);
+        // Alive-path responses smooth as before.
+        let (seq, _) = edge.on_send(t0, SimTime::from_ms(1300.0));
+        edge.on_response(t0, seq, SimTime::from_ms(1500.0));
+        assert_eq!(edge.tunnel(t0).srtt_ms, 200.0);
     }
 
     #[test]
@@ -444,8 +473,13 @@ mod tests {
         let rtt = edge.on_response(t0, seq, SimTime::from_ms(30.0)).unwrap();
         assert_eq!(rtt, 30.0);
         assert!(edge.tunnel(t0).alive);
-        // EWMA moved toward the sample: 0.7*20 + 0.3*30 = 23.
-        assert!((edge.tunnel(t0).srtt_ms - 23.0).abs() < 1e-9);
+        // A revival reseeds from the new epoch's sample (no EWMA against
+        // the dead estimate).
+        assert!((edge.tunnel(t0).srtt_ms - 30.0).abs() < 1e-9);
+        // The next alive-path response smooths: 0.7*30 + 0.3*40 = 33.
+        let (seq, _) = edge.on_send(t0, SimTime::from_ms(100.0));
+        edge.on_response(t0, seq, SimTime::from_ms(140.0)).unwrap();
+        assert!((edge.tunnel(t0).srtt_ms - 33.0).abs() < 1e-9);
     }
 
     #[test]

@@ -372,7 +372,9 @@ impl TmSimulation {
             }
             Ev::PathBurst { tunnel, params } => {
                 self.channels[tunnel.0].set_burst(
-                    params.map(|(enter, leave, good, bad)| GilbertElliott::new(enter, leave, good, bad)),
+                    params.map(|(enter, leave, good, bad)| {
+                        GilbertElliott::new(enter, leave, good, bad)
+                    }),
                 );
             }
             Ev::ProbeLoss { fraction } => {

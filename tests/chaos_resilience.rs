@@ -53,6 +53,31 @@ fn multi_fault_campaign_preserves_the_fig10_recovery_ordering() {
     }
 }
 
+/// The closed-loop acceptance claim: running the orchestrator's
+/// advertise→measure→learn loop live inside the chaos campaigns — with
+/// measurement quarantine, plan hysteresis, and safety rollback — never
+/// loses availability to the fixed PAINTER plan, and at least one
+/// campaign exercises the full repair→regress→rollback cycle with
+/// quarantined samples.
+#[test]
+fn closed_loop_matches_fixed_plan_and_demonstrates_rollback() {
+    let mut demonstrated = false;
+    for name in ["pop-outage", "bgp-churn", "multi-fault"] {
+        let out = campaign(name, 1);
+        let fixed = out.painter.availability();
+        let closed = out.closed_loop.availability();
+        assert!(
+            closed >= fixed,
+            "{name}: closed loop availability {closed} fell below fixed plan {fixed}"
+        );
+        assert!(out.learning.iterations > 0, "{name}: closed loop never iterated");
+        if out.learning.rollbacks > 0 && out.learning.samples_quarantined > 0 {
+            demonstrated = true;
+        }
+    }
+    assert!(demonstrated, "no campaign demonstrated a triggered rollback with quarantined samples");
+}
+
 /// The determinism contract: same `(spec, seed)` must reproduce the
 /// injection trace and the scorecard report JSON byte-for-byte, and a
 /// different seed must actually change the schedule.

@@ -159,7 +159,8 @@ fn chaos_sections_pin_their_schema() {
     let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
     let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
 
-    // One provenance section, then the three strategies in fixed order.
+    // One provenance section, the four strategies in fixed order, then
+    // the closed-loop learning telemetry.
     let titles: Vec<&str> =
         sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
     assert_eq!(
@@ -169,6 +170,8 @@ fn chaos_sections_pin_their_schema() {
             "chaos.pop-outage.painter",
             "chaos.pop-outage.anycast",
             "chaos.pop-outage.dns",
+            "chaos.pop-outage.painter-closed-loop",
+            "chaos.pop-outage.learning",
         ]
     );
 
@@ -178,7 +181,7 @@ fn chaos_sections_pin_their_schema() {
     }
     assert!(provenance.get("injections").and_then(|v| v.as_f64()).unwrap() >= 1.0);
 
-    for section in &sections[1..] {
+    for section in &sections[1..=4] {
         let fields = section.get("fields").expect("scorecard fields");
         for name in [
             "requests",
@@ -202,6 +205,35 @@ fn chaos_sections_pin_their_schema() {
         let availability = fields.get("availability").and_then(|v| v.as_f64()).unwrap();
         assert!((0.0..=1.0).contains(&availability), "availability {availability}");
     }
+
+    // The learning section pins the guard-layer telemetry schema.
+    let learning = sections[5].get("fields").expect("learning fields");
+    for name in [
+        "iterations",
+        "samples_offered",
+        "samples_admitted",
+        "samples_quarantined",
+        "samples_discarded",
+        "quarantine_held",
+        "hysteresis_commits",
+        "hysteresis_resets",
+        "rollbacks",
+        "rollback_demonstrated",
+        "install_ops",
+        "plan_churn_rate",
+        "final_pairs",
+        "dominance_learned",
+        "unreachable_marks",
+        "compliance_miss_rate",
+        "compliance_spurious_rate",
+    ] {
+        assert!(learning.get(name).is_some(), "learning section missing {name}");
+    }
+    let iterations = learning.get("iterations").and_then(|v| v.as_f64()).unwrap();
+    assert!(iterations >= 1.0, "closed loop must run at least one iteration");
+    let offered = learning.get("samples_offered").and_then(|v| v.as_f64()).unwrap();
+    let admitted = learning.get("samples_admitted").and_then(|v| v.as_f64()).unwrap();
+    assert!(admitted <= offered, "admitted {admitted} exceeds offered {offered}");
 }
 
 #[test]
