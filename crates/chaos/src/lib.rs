@@ -30,6 +30,12 @@
 //!   Manager packet records: availability fraction, outage episodes and
 //!   their time-to-recover distribution, failover count, and post-fault
 //!   latency inflation, exported as a `chaos.*` [`painter_obs::Section`].
+//! * [`search`] / [`mutate`] / [`shrink`] — the adversarial layer: a
+//!   seeded generator that samples scenarios from a typed [`Grammar`],
+//!   hill-climbs on a caller-supplied score (availability loss, TTR,
+//!   rollback churn) with mutation operators, and shrinks each
+//!   worst-found scenario to a minimal reproducer ([`CorpusEntry`]) for
+//!   check-in as a regression corpus.
 //!
 //! Determinism contract: every number in a compiled schedule and every
 //! scorecard field is a pure function of `(spec, world, seed)` — no wall
@@ -37,11 +43,18 @@
 //! is byte-identical all the way down to the report JSON.
 
 pub mod inject;
+pub mod mutate;
 pub mod schedule;
 pub mod scorecard;
+pub mod search;
+pub mod shrink;
 pub mod spec;
 
 pub use inject::{program_bgp, program_tm, DataPlaneState, TmTarget};
 pub use schedule::{FaultEvent, Injection, Schedule, WorldView};
 pub use scorecard::Scorecard;
+pub use search::{
+    sample_spec, search, Candidate, CorpusEntry, Grammar, SearchConfig, SearchOutcome, SearchScore,
+};
+pub use shrink::{shrink, shrink_candidates, ShrinkOutcome};
 pub use spec::{FaultKind, FaultSpec, Recurrence, ScenarioSpec, Target};

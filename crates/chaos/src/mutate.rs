@@ -1,0 +1,212 @@
+//! Seeded mutation operators for the adversarial search's climb phase.
+//!
+//! Each operator takes the current worst-found scenario and perturbs it
+//! inside the [`Grammar`]'s budgets, so mutants stay compilable by
+//! construction:
+//!
+//! * **shift** — move one fault's start within the overlap window;
+//! * **widen** — stretch (or shrink) one fault's duration;
+//! * **duplicate-with-jitter** — copy one fault, jitter its start, and
+//!   append it (bounded by `max_faults`);
+//! * **kind-swap** — resample one fault's kind and target, keeping its
+//!   timing (does the *timing* matter, or the failure mode?);
+//! * **splice** — replace this scenario's tail with a partner's tail,
+//!   the classic one-point crossover against a leaderboard member.
+//!
+//! All randomness flows from the caller's [`SimRng`], so a mutation
+//! sequence replays bit-identically from the search seed.
+
+use crate::search::{sample_fault, sample_kind_and_target, Grammar};
+use crate::spec::{FaultSpec, ScenarioSpec};
+use painter_eventsim::SimRng;
+
+/// How many operators [`mutate`] chooses between.
+pub const OPERATOR_COUNT: usize = 5;
+
+/// Applies one randomly chosen operator to `base`, using `partner` as
+/// crossover material for splice. The result is renamed to `name` and
+/// always satisfies the grammar's budgets. Operators that cannot apply
+/// (e.g. duplicating when already at `max_faults`) fall back to shift,
+/// which is always applicable, so one oracle evaluation is never wasted
+/// on an unchanged spec.
+pub fn mutate(
+    base: &ScenarioSpec,
+    partner: &ScenarioSpec,
+    grammar: &Grammar,
+    rng: &mut SimRng,
+    name: impl Into<String>,
+) -> ScenarioSpec {
+    let mut spec = base.clone();
+    spec.name = name.into();
+    if spec.faults.is_empty() {
+        // Degenerate input: grow instead of perturb.
+        let epicenter = rng.uniform(grammar.start_min_s, grammar.start_max_s);
+        spec.faults.push(sample_fault(grammar, rng, "f0".to_string(), epicenter));
+        return spec;
+    }
+    match rng.index(OPERATOR_COUNT) {
+        0 => shift(&mut spec, grammar, rng),
+        1 => widen(&mut spec, grammar, rng),
+        2 => {
+            if !duplicate_with_jitter(&mut spec, grammar, rng) {
+                shift(&mut spec, grammar, rng);
+            }
+        }
+        3 => kind_swap(&mut spec, grammar, rng),
+        _ => {
+            if !splice(&mut spec, partner, grammar, rng) {
+                shift(&mut spec, grammar, rng);
+            }
+        }
+    }
+    spec
+}
+
+fn pick(spec: &ScenarioSpec, rng: &mut SimRng) -> usize {
+    rng.index(spec.faults.len())
+}
+
+/// Moves one fault's start by up to half the overlap window.
+fn shift(spec: &mut ScenarioSpec, grammar: &Grammar, rng: &mut SimRng) {
+    let i = pick(spec, rng);
+    let w = grammar.overlap_window_s.max(1.0);
+    let delta = rng.uniform(-w / 2.0, w / 2.0);
+    let start =
+        round1(spec.faults[i].start_s + delta).clamp(grammar.start_min_s, grammar.start_max_s);
+    spec.faults[i].start_s = start;
+}
+
+/// Rescales one fault's duration by 0.5–2×, clamped to the grammar.
+fn widen(spec: &mut ScenarioSpec, grammar: &Grammar, rng: &mut SimRng) {
+    let i = pick(spec, rng);
+    let factor = rng.uniform(0.5, 2.0);
+    let duration = round1(spec.faults[i].duration_s * factor)
+        .clamp(grammar.min_duration_s.max(0.0), grammar.max_duration_s);
+    spec.faults[i].duration_s = duration;
+}
+
+/// Appends a jittered copy of one fault; false when at the fault budget.
+fn duplicate_with_jitter(spec: &mut ScenarioSpec, grammar: &Grammar, rng: &mut SimRng) -> bool {
+    if spec.faults.len() >= grammar.max_faults.max(1) {
+        return false;
+    }
+    let i = pick(spec, rng);
+    let mut copy = spec.faults[i].clone();
+    copy.name = format!("f{}", spec.faults.len());
+    let w = grammar.overlap_window_s.max(1.0);
+    copy.start_s = round1(copy.start_s + rng.uniform(-w / 2.0, w / 2.0))
+        .clamp(grammar.start_min_s, grammar.start_max_s);
+    spec.faults.push(copy);
+    true
+}
+
+/// Resamples one fault's kind/target, keeping its start and duration.
+fn kind_swap(spec: &mut ScenarioSpec, grammar: &Grammar, rng: &mut SimRng) {
+    let i = pick(spec, rng);
+    let (kind, target) = sample_kind_and_target(grammar, rng);
+    spec.faults[i].kind = kind;
+    spec.faults[i].target = target;
+}
+
+/// One-point crossover: keep `spec`'s head, take `partner`'s tail.
+/// False when the partner has nothing to contribute or the cut would
+/// reproduce `spec` unchanged.
+fn splice(
+    spec: &mut ScenarioSpec,
+    partner: &ScenarioSpec,
+    grammar: &Grammar,
+    rng: &mut SimRng,
+) -> bool {
+    if partner.faults.is_empty() {
+        return false;
+    }
+    let cut = 1 + rng.index(spec.faults.len());
+    let take = rng.index(partner.faults.len() + 1);
+    let mut faults: Vec<FaultSpec> = spec.faults[..cut.min(spec.faults.len())].to_vec();
+    let tail_start = partner.faults.len() - take;
+    faults.extend(partner.faults[tail_start..].iter().cloned());
+    faults.truncate(grammar.max_faults.max(1));
+    if faults == spec.faults {
+        return false;
+    }
+    for (i, f) in faults.iter_mut().enumerate() {
+        f.name = format!("f{i}");
+    }
+    spec.faults = faults;
+    true
+}
+
+/// Mutated times quantize to 0.1 s, matching the sampler, so climb
+/// steps cannot smuggle in float dust that widens spec JSON.
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Schedule, WorldView};
+    use crate::search::sample_spec;
+    use painter_bgp::PrefixId;
+    use painter_topology::{PeeringId, PopId};
+
+    fn view() -> WorldView {
+        let peerings: Vec<(PeeringId, PopId)> =
+            (0..4u32).map(|i| (PeeringId(i), PopId((i / 2) as u16))).collect();
+        let mut prefixes =
+            vec![(PrefixId(0), peerings.iter().map(|(p, _)| *p).collect::<Vec<_>>())];
+        for i in 0..4u32 {
+            prefixes.push((PrefixId(i as u16 + 1), vec![PeeringId(i)]));
+        }
+        WorldView { pops: 2, peerings, prefixes }
+    }
+
+    fn grammar() -> Grammar {
+        Grammar::for_view(&view(), 60.0, 12.0, 50.0)
+    }
+
+    #[test]
+    fn mutants_stay_inside_the_grammar_and_compile() {
+        let g = grammar();
+        let w = view();
+        let mut rng = SimRng::stream(21, 4);
+        let mut spec = sample_spec(&g, &mut rng, "base");
+        let partner = sample_spec(&g, &mut rng, "partner");
+        for i in 0..200 {
+            spec = mutate(&spec, &partner, &g, &mut rng, format!("m{i}"));
+            assert!(!spec.faults.is_empty());
+            assert!(spec.faults.len() <= g.max_faults);
+            for f in &spec.faults {
+                assert!(f.start_s >= g.start_min_s && f.start_s <= g.start_max_s, "{f:?}");
+                assert!(
+                    f.duration_s >= g.min_duration_s && f.duration_s <= g.max_duration_s,
+                    "{f:?}"
+                );
+            }
+            Schedule::compile(&spec, &w, 5).expect("mutants always compile");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_rng_stream() {
+        let g = grammar();
+        let mut rng_a = SimRng::stream(33, 9);
+        let mut rng_b = SimRng::stream(33, 9);
+        let base = sample_spec(&g, &mut rng_a, "b");
+        let base_b = sample_spec(&g, &mut rng_b, "b");
+        assert_eq!(base, base_b);
+        let a = mutate(&base, &base, &g, &mut rng_a, "m");
+        let b = mutate(&base_b, &base_b, &g, &mut rng_b, "m");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_scenarios_grow_a_fault_instead_of_panicking() {
+        let g = grammar();
+        let mut rng = SimRng::stream(1, 1);
+        let empty = crate::spec::ScenarioSpec::new("empty", g.horizon_s);
+        let m = mutate(&empty, &empty, &g, &mut rng, "m");
+        assert_eq!(m.faults.len(), 1);
+        Schedule::compile(&m, &view(), 0).expect("compiles");
+    }
+}

@@ -175,6 +175,19 @@ impl Schedule {
         }
         out
     }
+
+    /// FNV-1a digest of [`Schedule::trace`] — the compact replay
+    /// receipt recorded in reports and corpus entries. Two compiles
+    /// agree on this digest iff they agree on every injection and
+    /// timestamp.
+    pub fn trace_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.trace().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Expands one occurrence of one fault into injections.
@@ -373,6 +386,9 @@ mod tests {
         assert_eq!(a.injections(), b.injections());
         assert_eq!(a.trace(), b.trace());
         assert!(!a.trace().is_empty());
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        let c = Schedule::compile(&spec, &world(), 8).expect("compile");
+        assert_ne!(a.trace_digest(), c.trace_digest(), "digest must track the seed");
     }
 
     #[test]

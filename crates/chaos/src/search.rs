@@ -1,0 +1,596 @@
+//! Adversarial fault-scenario search: a seeded generator that *looks
+//! for* the fault sequences a steering system handles worst, instead of
+//! waiting for a human to guess them.
+//!
+//! The pipeline is the classic generate → score → climb → shrink loop of
+//! property-based testing, aimed at a resilience harness instead of a
+//! unit under test:
+//!
+//! 1. **Sample** — [`sample_spec`] draws random [`ScenarioSpec`]s from a
+//!    typed [`Grammar`] over every [`FaultKind`], under budget
+//!    constraints (total fault count, an overlap window that correlates
+//!    fault onsets into bursts, per-kind weights, valid-target shapes),
+//!    so every sampled spec compiles against the target world by
+//!    construction.
+//! 2. **Score** — the caller supplies the oracle: a closure mapping a
+//!    spec to a [`SearchScore`] (availability loss first, then worst
+//!    time-to-recover and rollback churn as tie-breaks). The chaos crate
+//!    never runs campaigns itself, so the searcher is reusable against
+//!    any harness — and trivially testable with synthetic scorers.
+//! 3. **Climb** — seeded mutation operators ([`crate::mutate`]: shift,
+//!    widen, duplicate-with-jitter, kind-swap, splice) perturb the best
+//!    candidates found so far, hill-climbing on the score while a small
+//!    leaderboard keeps the `keep` worst-for-the-system scenarios.
+//! 4. **Shrink** — each kept scenario is minimized ([`crate::shrink`]:
+//!    drop-one-fault, drop-recurrence, narrow-window passes) into the
+//!    smallest reproducer whose score stays within `shrink_tolerance`
+//!    of the original, then emitted as canonical JSON (a
+//!    [`CorpusEntry`]) for check-in as a regression test.
+//!
+//! Determinism: all randomness comes from [`SimRng`] streams derived
+//! from [`SearchConfig::seed`], scoring is required to be a pure
+//! function of the spec, and every tie-break bottoms out in the
+//! candidate's canonical JSON — so the same `(grammar, config, oracle)`
+//! always returns a byte-identical [`SearchOutcome`].
+
+use crate::schedule::WorldView;
+use crate::spec::{FaultKind, FaultSpec, ScenarioSpec, Target};
+use painter_eventsim::SimRng;
+use painter_obs::json::{self, JsonValue};
+use std::fmt::Write as _;
+
+/// Number of [`FaultKind`] variants (the width of
+/// [`Grammar::kind_weights`]).
+pub const KIND_COUNT: usize = 8;
+
+/// The typed grammar scenarios are sampled from: which elements exist in
+/// the target world, where in time faults may land, and how big a
+/// campaign may grow.
+///
+/// Samplers and mutators only ever produce specs inside these bounds, so
+/// `Schedule::compile` succeeds on everything the search proposes.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    /// Campaign horizon handed to every sampled spec (seconds).
+    pub horizon_s: f64,
+    /// Earliest first-occurrence start (seconds). Keep this past the
+    /// harness warm-up so scoring sees a converged baseline.
+    pub start_min_s: f64,
+    /// Latest first-occurrence start (seconds).
+    pub start_max_s: f64,
+    /// Fault-count budget per scenario (at least 1).
+    pub max_faults: usize,
+    /// Shortest sampled fault duration (seconds).
+    pub min_duration_s: f64,
+    /// Longest sampled fault duration (seconds).
+    pub max_duration_s: f64,
+    /// Faults in one scenario start within this window of a sampled
+    /// epicenter — the correlated-burst budget. `0` makes every fault
+    /// start exactly at the epicenter.
+    pub overlap_window_s: f64,
+    /// Relative sampling weight per [`FaultKind`], in declaration order
+    /// (session reset, withdraw storm, pop outage, link blackhole,
+    /// latency spike, bursty loss, probe-fleet loss, route leak). Zero
+    /// disables a kind.
+    pub kind_weights: [f64; KIND_COUNT],
+    /// Probability a sampled fault carries a [`crate::Recurrence`].
+    pub recurrence_chance: f64,
+    /// PoPs in the target world (`Target::Pop(0..pops)`).
+    pub pops: u32,
+    /// Peering sessions in the target world.
+    pub peerings: u32,
+    /// Traffic Manager tunnels in the target world.
+    pub tunnels: u32,
+}
+
+impl Grammar {
+    /// A grammar over `world`'s elements with the default budgets: up to
+    /// 5 faults, 2–20 s durations, a 15 s overlap window, uniform kind
+    /// weights, and starts anywhere in `[start_min_s, start_max_s]`.
+    pub fn for_view(view: &WorldView, horizon_s: f64, start_min_s: f64, start_max_s: f64) -> Self {
+        Grammar {
+            horizon_s,
+            start_min_s: start_min_s.max(0.0),
+            start_max_s: start_max_s.max(start_min_s.max(0.0)),
+            max_faults: 5,
+            min_duration_s: 2.0,
+            max_duration_s: 20.0,
+            overlap_window_s: 15.0,
+            kind_weights: [1.0; KIND_COUNT],
+            recurrence_chance: 0.15,
+            pops: view.pops,
+            peerings: view.peerings.len() as u32,
+            tunnels: view.prefixes.len() as u32,
+        }
+    }
+
+    fn clamp_start(&self, start_s: f64) -> f64 {
+        start_s.clamp(self.start_min_s, self.start_max_s)
+    }
+
+    fn clamp_duration(&self, duration_s: f64) -> f64 {
+        duration_s.clamp(self.min_duration_s.max(0.0), self.max_duration_s)
+    }
+}
+
+/// Samples one fault kind plus a target shape valid for it.
+pub(crate) fn sample_kind_and_target(grammar: &Grammar, rng: &mut SimRng) -> (FaultKind, Target) {
+    let kind_idx = rng.weighted_index(&grammar.kind_weights).unwrap_or(0);
+    let kind = match kind_idx {
+        0 => FaultKind::SessionReset,
+        1 => FaultKind::WithdrawStorm { spread_ms: quant(rng.uniform(100.0, 2000.0)) },
+        2 => FaultKind::PopOutage { detection_spread_ms: quant(rng.uniform(500.0, 3000.0)) },
+        3 => FaultKind::LinkBlackhole,
+        4 => FaultKind::LatencySpike { add_ms: quant(rng.uniform(10.0, 80.0)) },
+        5 => FaultKind::BurstyLoss {
+            p_enter_bad: quant3(rng.uniform(0.01, 0.10)),
+            p_leave_bad: quant3(rng.uniform(0.10, 0.50)),
+            loss_good: quant3(rng.uniform(0.0, 0.05)),
+            loss_bad: quant3(rng.uniform(0.30, 0.90)),
+        },
+        6 => FaultKind::ProbeFleetLoss { fraction: quant3(rng.uniform(0.1, 0.9)) },
+        _ => FaultKind::RouteLeak,
+    };
+    let target = match kind {
+        // Session-shaped faults aim at one peering, one PoP's peerings,
+        // or everything (rarely — total faults are the boring optimum).
+        FaultKind::SessionReset | FaultKind::WithdrawStorm { .. } | FaultKind::RouteLeak => {
+            match rng.index(10) {
+                0 => Target::All,
+                d if d < 4 => Target::Pop(rng.index(grammar.pops.max(1) as usize) as u32),
+                _ => Target::Peering(rng.index(grammar.peerings.max(1) as usize) as u32),
+            }
+        }
+        FaultKind::PopOutage { .. } => {
+            if rng.index(10) == 0 {
+                Target::All
+            } else {
+                Target::Pop(rng.index(grammar.pops.max(1) as usize) as u32)
+            }
+        }
+        FaultKind::LinkBlackhole
+        | FaultKind::LatencySpike { .. }
+        | FaultKind::BurstyLoss { .. } => {
+            if rng.index(10) == 0 {
+                Target::All
+            } else {
+                Target::Tunnel(rng.index(grammar.tunnels.max(1) as usize) as u32)
+            }
+        }
+        FaultKind::ProbeFleetLoss { .. } => Target::Fleet,
+    };
+    (kind, target)
+}
+
+/// Quantizes to 0.1 (ms-scale knobs) so spec JSON stays short and two
+/// near-identical candidates cannot differ only in sub-perceptual noise.
+fn quant(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Quantizes to 0.001 (probability-scale knobs).
+fn quant3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Samples one fault inside the grammar's budgets, anchored near
+/// `epicenter_s` (the scenario's correlated-burst center).
+pub(crate) fn sample_fault(
+    grammar: &Grammar,
+    rng: &mut SimRng,
+    name: String,
+    epicenter_s: f64,
+) -> FaultSpec {
+    let (kind, target) = sample_kind_and_target(grammar, rng);
+    let w = grammar.overlap_window_s.max(0.0);
+    let start = grammar.clamp_start(quant(epicenter_s + rng.uniform(-w / 2.0, w / 2.0)));
+    let duration = grammar.clamp_duration(quant(rng.uniform(
+        grammar.min_duration_s,
+        grammar.max_duration_s.max(grammar.min_duration_s + f64::MIN_POSITIVE),
+    )));
+    let mut fault = FaultSpec::new(name, kind, target).at(start).lasting(duration);
+    if rng.chance(grammar.recurrence_chance) {
+        let period = quant(rng.uniform(duration + 1.0, duration + 15.0));
+        let count = 1 + rng.index(2) as u32;
+        let jitter = quant(rng.uniform(0.0, 3.0));
+        fault = fault.recurring(period, count, jitter);
+    }
+    fault
+}
+
+/// Samples one whole scenario from the grammar: a fault count in
+/// `[1, max_faults]`, an epicenter in the start window, and that many
+/// faults clustered around it.
+pub fn sample_spec(grammar: &Grammar, rng: &mut SimRng, name: impl Into<String>) -> ScenarioSpec {
+    let n = 1 + rng.index(grammar.max_faults.max(1));
+    let epicenter = rng.uniform(grammar.start_min_s, grammar.start_max_s);
+    let mut spec = ScenarioSpec::new(name, grammar.horizon_s);
+    for i in 0..n {
+        spec = spec.fault(sample_fault(grammar, rng, format!("f{i}"), epicenter));
+    }
+    spec
+}
+
+/// What the oracle measured for one candidate scenario. Bigger is
+/// "worse for the system", which is what the search maximizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchScore {
+    /// Primary objective: `1 - availability` of the scored strategy.
+    pub availability_loss: f64,
+    /// First tie-break: worst time-to-recover (ms).
+    pub worst_ttr_ms: f64,
+    /// Second tie-break: learning-loop rollback churn.
+    pub rollbacks: u64,
+}
+
+impl SearchScore {
+    /// Lexicographic comparison key (loss, then TTR, then rollbacks).
+    fn key(&self) -> [f64; 3] {
+        [self.availability_loss, self.worst_ttr_ms, self.rollbacks as f64]
+    }
+
+    /// True when `self` is strictly worse for the system than `other`.
+    pub fn beats(&self, other: &SearchScore) -> bool {
+        for (a, b) in self.key().iter().zip(other.key()) {
+            match a.total_cmp(&b) {
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        false
+    }
+}
+
+/// Search budgets and seeds; see [`search`].
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Master seed: sampling, mutation, and every jitter stream derive
+    /// from it.
+    pub seed: u64,
+    /// Candidate evaluations in the sample + climb phases (shrinking is
+    /// budgeted separately).
+    pub budget: usize,
+    /// Random samples drawn before hill-climbing starts.
+    pub explore: usize,
+    /// Leaderboard size: how many worst-found scenarios survive to the
+    /// shrink phase.
+    pub keep: usize,
+    /// A shrink step may lower `availability_loss` by at most this much
+    /// relative to the unshrunk scenario.
+    pub shrink_tolerance: f64,
+    /// Evaluation budget per shrunk scenario.
+    pub max_shrink_evals: usize,
+}
+
+impl SearchConfig {
+    /// The standard budget split for `budget` evaluations: a third spent
+    /// exploring, the rest climbing; 3 survivors, each granted
+    /// `2 × budget` (clamped to `[8, 64]`) shrink evaluations within a
+    /// 1% availability-loss tolerance.
+    pub fn new(seed: u64, budget: usize) -> SearchConfig {
+        let budget = budget.max(1);
+        SearchConfig {
+            seed,
+            budget,
+            explore: (budget / 3).max(2).min(budget),
+            keep: 3,
+            shrink_tolerance: 0.01,
+            max_shrink_evals: (2 * budget).clamp(8, 64),
+        }
+    }
+}
+
+/// One scored scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub spec: ScenarioSpec,
+    pub score: SearchScore,
+}
+
+/// Everything one [`search`] run produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Candidate evaluations spent sampling and climbing.
+    pub evaluated: usize,
+    /// Extra evaluations spent shrinking.
+    pub shrink_evals: usize,
+    /// Accepted shrink steps across all survivors.
+    pub shrink_steps: usize,
+    /// `(evaluation index, best availability loss so far)` after each
+    /// sample/climb evaluation — the best-score trajectory.
+    pub trajectory: Vec<(f64, f64)>,
+    /// The shrunk survivors, worst-for-the-system first.
+    pub ranked: Vec<Candidate>,
+}
+
+impl SearchOutcome {
+    /// The worst scenario found (`None` only for a zero-budget run).
+    pub fn worst(&self) -> Option<&Candidate> {
+        self.ranked.first()
+    }
+}
+
+/// Runs the full sample → climb → shrink search. `oracle` must be a
+/// pure function of the spec; its error aborts the search.
+pub fn search<E>(
+    grammar: &Grammar,
+    config: &SearchConfig,
+    mut oracle: E,
+) -> Result<SearchOutcome, String>
+where
+    E: FnMut(&ScenarioSpec) -> Result<SearchScore, String>,
+{
+    // Dedicated stream marker: search randomness never collides with
+    // schedule compilation (0xC4A0) or harness streams.
+    let mut rng = SimRng::stream(config.seed, 0x5EAC);
+    let mut board: Vec<Candidate> = Vec::new();
+    let mut trajectory = Vec::with_capacity(config.budget);
+    let keep = config.keep.max(1);
+
+    for i in 0..config.budget {
+        let spec = if i < config.explore || board.is_empty() {
+            sample_spec(grammar, &mut rng, format!("cand{i}"))
+        } else {
+            // Climb from the leaderboard in rotation — not always from
+            // the single best, which would collapse the whole board into
+            // one scenario's mutation neighborhood and shrink the top-K
+            // to one reproducer. Splice pulls genes from a random
+            // partner.
+            let base = &board[(i - config.explore) % board.len()].spec.clone();
+            let partner = board[rng.index(board.len())].spec.clone();
+            crate::mutate::mutate(base, &partner, grammar, &mut rng, format!("cand{i}"))
+        };
+        let score = oracle(&spec)?;
+        admit(&mut board, Candidate { spec, score }, keep);
+        trajectory.push((i as f64, board[0].score.availability_loss));
+    }
+
+    // Shrink each survivor to its minimal reproducer, then re-rank:
+    // shrinking can reorder the board when two scenarios were close.
+    let mut shrink_steps = 0usize;
+    let mut shrink_evals = 0usize;
+    let mut ranked: Vec<Candidate> = Vec::with_capacity(board.len());
+    for cand in &board {
+        let out = crate::shrink::shrink(
+            &cand.spec,
+            cand.score,
+            config.shrink_tolerance,
+            config.max_shrink_evals,
+            &mut oracle,
+        )?;
+        shrink_steps += out.steps;
+        shrink_evals += out.evals;
+        ranked.push(Candidate { spec: out.spec, score: out.score });
+    }
+    sort_candidates(&mut ranked);
+    // Distinct board members can shrink to the same minimum; one copy
+    // of each reproducer is enough.
+    ranked.dedup_by(|a, b| a.spec.faults == b.spec.faults);
+
+    Ok(SearchOutcome { evaluated: config.budget, shrink_evals, shrink_steps, trajectory, ranked })
+}
+
+/// Inserts a candidate into the leaderboard: worst-for-the-system first,
+/// ties broken by canonical JSON (determinism), duplicates dropped,
+/// truncated to `keep`.
+fn admit(board: &mut Vec<Candidate>, cand: Candidate, keep: usize) {
+    board.push(cand);
+    sort_candidates(board);
+    // Fault-list equality, not spec equality: candidates carry unique
+    // names (`cand{i}`), which must not disguise a duplicate scenario.
+    board.dedup_by(|a, b| a.spec.faults == b.spec.faults);
+    board.truncate(keep);
+}
+
+fn sort_candidates(board: &mut [Candidate]) {
+    board.sort_by(|a, b| {
+        match (a.score.beats(&b.score), b.score.beats(&a.score)) {
+            (true, _) => std::cmp::Ordering::Less,
+            (_, true) => std::cmp::Ordering::Greater,
+            // Exactly tied scores: canonical JSON keeps the order a pure
+            // function of the candidate set.
+            _ => a.spec.to_json().cmp(&b.spec.to_json()),
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Corpus entries
+// ---------------------------------------------------------------------------
+
+/// One checked-in reproducer: a shrunk scenario plus everything a
+/// regression runner needs to replay and judge it — the seed it was
+/// scored under, the availability floor it must never regress below
+/// (with a tolerance band), and the compiled schedule's FNV-1a trace
+/// digest as the replay receipt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Campaign/search seed the scores were recorded under.
+    pub seed: u64,
+    /// Harness scale tag (`"test"` or `"paper"`); replays must use the
+    /// same clock.
+    pub scale: String,
+    /// Recorded closed-loop availability — the regression floor.
+    pub availability_floor: f64,
+    /// Permitted downward drift before the floor assertion fires.
+    pub tolerance: f64,
+    /// Recorded worst time-to-recover (ms), for context.
+    pub worst_ttr_ms: f64,
+    /// Recorded learning-loop rollbacks, for context.
+    pub rollbacks: u64,
+    /// FNV-1a digest of the compiled schedule's trace at `seed`.
+    pub trace_fnv1a: u64,
+    /// The shrunk reproducer itself.
+    pub spec: ScenarioSpec,
+}
+
+impl CorpusEntry {
+    /// Canonical JSON (the format [`CorpusEntry::from_json`] reads).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(out, "{{\"seed\":{}", self.seed);
+        out.push_str(",\"scale\":");
+        json::write_str(&mut out, &self.scale);
+        out.push_str(",\"availability_floor\":");
+        json::write_f64(&mut out, self.availability_floor);
+        out.push_str(",\"tolerance\":");
+        json::write_f64(&mut out, self.tolerance);
+        out.push_str(",\"worst_ttr_ms\":");
+        json::write_f64(&mut out, self.worst_ttr_ms);
+        let _ = write!(out, ",\"rollbacks\":{}", self.rollbacks);
+        let _ = write!(out, ",\"trace_fnv1a\":\"{:016x}\"", self.trace_fnv1a);
+        out.push_str(",\"spec\":");
+        out.push_str(&self.spec.to_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Loads an entry from [`CorpusEntry::to_json`]'s format.
+    pub fn from_json(text: &str) -> Result<CorpusEntry, String> {
+        let doc = json::parse(text)?;
+        let num = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing number field '{name}'"))
+        };
+        let scale = doc
+            .get("scale")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'scale'")?
+            .to_string();
+        let digest_hex =
+            doc.get("trace_fnv1a").and_then(JsonValue::as_str).ok_or("missing 'trace_fnv1a'")?;
+        let trace_fnv1a = u64::from_str_radix(digest_hex, 16)
+            .map_err(|e| format!("bad trace_fnv1a '{digest_hex}': {e}"))?;
+        let spec_value = doc.get("spec").ok_or("missing field 'spec'")?;
+        let spec = ScenarioSpec::from_value(spec_value)?;
+        Ok(CorpusEntry {
+            seed: num("seed")? as u64,
+            scale,
+            availability_floor: num("availability_floor")?,
+            tolerance: num("tolerance")?,
+            worst_ttr_ms: num("worst_ttr_ms")?,
+            rollbacks: num("rollbacks")? as u64,
+            trace_fnv1a,
+            spec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use painter_bgp::PrefixId;
+    use painter_topology::{PeeringId, PopId};
+
+    fn view() -> WorldView {
+        let peerings: Vec<(PeeringId, PopId)> =
+            (0..4u32).map(|i| (PeeringId(i), PopId((i / 2) as u16))).collect();
+        let mut prefixes =
+            vec![(PrefixId(0), peerings.iter().map(|(p, _)| *p).collect::<Vec<_>>())];
+        for i in 0..4u32 {
+            prefixes.push((PrefixId(i as u16 + 1), vec![PeeringId(i)]));
+        }
+        WorldView { pops: 2, peerings, prefixes }
+    }
+
+    fn grammar() -> Grammar {
+        Grammar::for_view(&view(), 60.0, 12.0, 50.0)
+    }
+
+    /// A cheap synthetic oracle: availability loss grows with the total
+    /// faulted time, so the searcher has a real gradient to climb and
+    /// the shrinker real slack to trim.
+    fn synthetic_oracle(spec: &ScenarioSpec) -> Result<SearchScore, String> {
+        let total: f64 = spec.faults.iter().map(|f| f.duration_s).sum();
+        let loss = (total / 100.0).min(1.0);
+        Ok(SearchScore { availability_loss: loss, worst_ttr_ms: total * 10.0, rollbacks: 0 })
+    }
+
+    #[test]
+    fn sampled_specs_always_compile() {
+        let g = grammar();
+        let mut rng = SimRng::stream(3, 1);
+        for i in 0..50 {
+            let spec = sample_spec(&g, &mut rng, format!("s{i}"));
+            assert!(!spec.faults.is_empty() && spec.faults.len() <= g.max_faults);
+            let schedule = Schedule::compile(&spec, &view(), 7).expect("sampled specs compile");
+            for f in &spec.faults {
+                assert!(f.start_s >= g.start_min_s && f.start_s <= g.start_max_s);
+                assert!(f.duration_s >= g.min_duration_s && f.duration_s <= g.max_duration_s);
+            }
+            // Time-sorted by the compile contract.
+            let times: Vec<_> = schedule.injections().iter().map(|i| i.at).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(times, sorted);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_and_respects_budget() {
+        let g = grammar();
+        let config = SearchConfig::new(11, 9);
+        let mut evals_a = 0usize;
+        let a = search(&g, &config, |s| {
+            evals_a += 1;
+            synthetic_oracle(s)
+        })
+        .expect("search");
+        let b = search(&g, &config, synthetic_oracle).expect("search");
+        assert_eq!(a.evaluated, 9);
+        assert_eq!(evals_a, 9 + a.shrink_evals);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.ranked, b.ranked);
+        assert!(!a.ranked.is_empty() && a.ranked.len() <= config.keep);
+        // Ranked worst-first.
+        for w in a.ranked.windows(2) {
+            assert!(!w[1].score.beats(&w[0].score));
+        }
+        let c = search(&g, &SearchConfig::new(12, 9), synthetic_oracle).expect("search");
+        assert_ne!(
+            a.ranked.first().map(|r| r.spec.to_json()),
+            c.ranked.first().map(|r| r.spec.to_json()),
+            "the seed must matter"
+        );
+    }
+
+    #[test]
+    fn trajectory_is_monotone_and_matches_the_winner() {
+        let g = grammar();
+        let out = search(&g, &SearchConfig::new(5, 12), synthetic_oracle).expect("search");
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].1 >= w[0].1, "best-so-far can only improve");
+        }
+        // The shrunk winner may sit below the unshrunk best, but never by
+        // more than the tolerance.
+        let best_unshrunk = out.trajectory.last().unwrap().1;
+        let winner = out.worst().expect("nonempty").score.availability_loss;
+        assert!(winner >= best_unshrunk - 0.01 - 1e-12, "{winner} vs {best_unshrunk}");
+    }
+
+    #[test]
+    fn corpus_entries_round_trip() {
+        let g = grammar();
+        let mut rng = SimRng::stream(9, 2);
+        let spec = sample_spec(&g, &mut rng, "adv-s9-r0");
+        let digest = Schedule::compile(&spec, &view(), 9).expect("compile").trace_digest();
+        let entry = CorpusEntry {
+            seed: 9,
+            scale: "test".to_string(),
+            availability_floor: 0.8125,
+            tolerance: 0.01,
+            worst_ttr_ms: 1234.5,
+            rollbacks: 2,
+            trace_fnv1a: digest,
+            spec,
+        };
+        let json = entry.to_json();
+        let back = CorpusEntry::from_json(&json).expect("parse");
+        assert_eq!(back, entry);
+        assert_eq!(back.to_json(), json, "canonical form");
+        assert!(CorpusEntry::from_json("{}").is_err());
+    }
+}

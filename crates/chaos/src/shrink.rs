@@ -1,0 +1,221 @@
+//! Scenario shrinking: minimize a worst-found scenario while keeping it
+//! bad.
+//!
+//! The searcher's raw winners are noisy — five faults where two do the
+//! damage, recurrences that never mattered, durations twice as long as
+//! the outage they cause. [`shrink`] trims them into the smallest
+//! reproducer worth checking into the corpus, property-test style:
+//! propose a strictly simpler spec, re-score it, and **accept only if
+//! the availability loss stays within `tolerance` of the original
+//! scenario's score** (a fixed reference — tolerance does not compound
+//! across steps, so a 30-step shrink can never drift more than one
+//! tolerance below the scenario it started from).
+//!
+//! Passes, in order of how much they simplify:
+//!
+//! 1. **drop-one-fault** — remove one fault entirely;
+//! 2. **drop-recurrence** — keep a fault but cancel its repeats;
+//! 3. **narrow-window** — halve a fault's duration (floored at 0.5 s).
+//!
+//! After any accepted step the pass sequence restarts, because removing
+//! one fault frequently unlocks removing another. The loop is bounded
+//! by `max_evals` oracle calls and is deterministic: passes walk fault
+//! indices in order and consult no RNG.
+
+use crate::search::SearchScore;
+use crate::spec::ScenarioSpec;
+
+/// A finished shrink: the minimized spec, its (re-scored) score, and
+/// the work done getting there.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    pub spec: ScenarioSpec,
+    pub score: SearchScore,
+    /// Accepted simplification steps.
+    pub steps: usize,
+    /// Oracle evaluations spent (accepted + rejected proposals).
+    pub evals: usize,
+}
+
+/// All strictly-simpler one-step variants of `spec`, simplest-first.
+/// Shared with the shrinker-soundness proptest, which asserts every
+/// candidate here stays valid and compilable.
+pub fn shrink_candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    // Pass 1: drop one fault (only while more than one remains — an
+    // empty scenario reproduces nothing).
+    if spec.faults.len() > 1 {
+        for i in 0..spec.faults.len() {
+            let mut cand = spec.clone();
+            cand.faults.remove(i);
+            out.push(cand);
+        }
+    }
+    // Pass 2: drop one fault's recurrence.
+    for i in 0..spec.faults.len() {
+        if spec.faults[i].recurrence.is_some() {
+            let mut cand = spec.clone();
+            cand.faults[i].recurrence = None;
+            out.push(cand);
+        }
+    }
+    // Pass 3: halve one fault's duration, floored at 0.5 s.
+    for i in 0..spec.faults.len() {
+        let halved = round1(spec.faults[i].duration_s / 2.0);
+        if halved >= 0.5 && halved < spec.faults[i].duration_s {
+            let mut cand = spec.clone();
+            cand.faults[i].duration_s = halved;
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Shrinks `spec` (scored `score` by the same oracle) to a minimal
+/// reproducer. Accepts a candidate iff its availability loss is at
+/// least `score.availability_loss - tolerance`; spends at most
+/// `max_evals` oracle calls.
+pub fn shrink<E>(
+    spec: &ScenarioSpec,
+    score: SearchScore,
+    tolerance: f64,
+    max_evals: usize,
+    oracle: &mut E,
+) -> Result<ShrinkOutcome, String>
+where
+    E: FnMut(&ScenarioSpec) -> Result<SearchScore, String>,
+{
+    let floor = score.availability_loss - tolerance.max(0.0);
+    let mut current = spec.clone();
+    let mut current_score = score;
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+    'restart: loop {
+        for cand in shrink_candidates(&current) {
+            if evals >= max_evals {
+                break 'restart;
+            }
+            let cand_score = oracle(&cand)?;
+            evals += 1;
+            if cand_score.availability_loss >= floor {
+                current = cand;
+                current_score = cand_score;
+                steps += 1;
+                // A simplification landed; simpler specs may now be
+                // reachable that weren't before — start over.
+                continue 'restart;
+            }
+        }
+        break;
+    }
+    Ok(ShrinkOutcome { spec: current, score: current_score, steps, evals })
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultKind, FaultSpec, Target};
+
+    /// Loss = min(1, total fault-seconds of LinkBlackhole faults / 100):
+    /// only blackholes matter, so everything else should shrink away.
+    fn oracle(spec: &ScenarioSpec) -> Result<SearchScore, String> {
+        let total: f64 = spec
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::LinkBlackhole)
+            .map(|f| {
+                let repeats = f.recurrence.map_or(0, |r| r.count) as f64;
+                f.duration_s * (1.0 + repeats)
+            })
+            .sum();
+        Ok(SearchScore {
+            availability_loss: (total / 100.0).min(1.0),
+            worst_ttr_ms: total,
+            rollbacks: 0,
+        })
+    }
+
+    fn noisy_spec() -> ScenarioSpec {
+        ScenarioSpec::new("noisy", 60.0)
+            .fault(
+                FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0))
+                    .at(20.0)
+                    .lasting(10.0)
+                    .recurring(15.0, 2, 1.0),
+            )
+            .fault(
+                FaultSpec::new("decoy1", FaultKind::SessionReset, Target::Peering(0))
+                    .at(22.0)
+                    .lasting(5.0),
+            )
+            .fault(
+                FaultSpec::new("decoy2", FaultKind::RouteLeak, Target::Peering(1))
+                    .at(25.0)
+                    .lasting(8.0),
+            )
+    }
+
+    #[test]
+    fn decoys_shrink_away_and_the_cause_remains() {
+        let spec = noisy_spec();
+        let score = oracle(&spec).unwrap();
+        let mut o = oracle;
+        let out = shrink(&spec, score, 0.01, 64, &mut o).expect("shrink");
+        assert_eq!(out.spec.faults.len(), 1, "only the blackhole matters: {:?}", out.spec);
+        assert_eq!(out.spec.faults[0].kind, FaultKind::LinkBlackhole);
+        assert!(out.steps >= 2, "dropped both decoys at least");
+        assert!(out.evals <= 64);
+        assert!(out.score.availability_loss >= score.availability_loss - 0.01 - 1e-12);
+    }
+
+    #[test]
+    fn tolerance_is_anchored_to_the_original_score() {
+        // Each halving of the 10 s blackhole costs 0.05 loss; with a
+        // fixed reference and tolerance 0.06 exactly one halving (plus
+        // the recurrence/decoy drops, which cost nothing... except the
+        // recurrence here carries 2 repeats = 20 fault-seconds) fits.
+        let spec = noisy_spec();
+        let score = oracle(&spec).unwrap();
+        let mut o = oracle;
+        let out = shrink(&spec, score, 0.06, 128, &mut o).expect("shrink");
+        // Never more than one tolerance below the original, no matter
+        // how many steps were accepted.
+        assert!(out.score.availability_loss >= score.availability_loss - 0.06 - 1e-12);
+        // And it genuinely simplified.
+        assert!(out.spec.faults.len() < spec.faults.len());
+    }
+
+    #[test]
+    fn eval_budget_is_respected_and_zero_budget_is_identity() {
+        let spec = noisy_spec();
+        let score = oracle(&spec).unwrap();
+        let mut calls = 0usize;
+        let mut counting = |s: &ScenarioSpec| {
+            calls += 1;
+            oracle(s)
+        };
+        let out = shrink(&spec, score, 0.01, 0, &mut counting).expect("shrink");
+        assert_eq!(calls, 0);
+        assert_eq!(out.evals, 0);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.spec, spec, "no budget, no change");
+    }
+
+    #[test]
+    fn single_fault_scenarios_never_shrink_to_empty() {
+        let spec = ScenarioSpec::new("solo", 60.0).fault(
+            FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0)).at(20.0).lasting(0.5),
+        );
+        let score = oracle(&spec).unwrap();
+        let mut o = oracle;
+        let out = shrink(&spec, score, 0.5, 32, &mut o).expect("shrink");
+        assert_eq!(out.spec.faults.len(), 1, "the last fault is never dropped");
+        for cand in shrink_candidates(&spec) {
+            assert!(!cand.faults.is_empty());
+        }
+    }
+}

@@ -201,9 +201,14 @@ impl ScenarioSpec {
     /// emits. Needs no external dependency, so specs load identically in
     /// every build.
     pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
-        let doc = json::parse(text)?;
-        let name = str_field(&doc, "name")?.to_string();
-        let horizon_s = num_field(&doc, "horizon_s")?;
+        ScenarioSpec::from_value(&json::parse(text)?)
+    }
+
+    /// Loads a spec from an already-parsed JSON value — for documents
+    /// (like corpus entries) that embed a spec as a nested object.
+    pub fn from_value(doc: &JsonValue) -> Result<ScenarioSpec, String> {
+        let name = str_field(doc, "name")?.to_string();
+        let horizon_s = num_field(doc, "horizon_s")?;
         let mut faults = Vec::new();
         let list = doc
             .get("faults")

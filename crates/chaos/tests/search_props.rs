@@ -1,0 +1,132 @@
+//! Property tests for the adversarial search machinery (ISSUE
+//! satellites): every grammar-sampled scenario compiles without panics
+//! into a time-sorted, digest-stable schedule, and the shrinker only
+//! ever simplifies — its candidates stay valid and its accepted steps
+//! never give up more availability loss than the tolerance allows.
+
+use painter_bgp::PrefixId;
+use painter_chaos::{
+    sample_spec, shrink, shrink_candidates, Grammar, ScenarioSpec, Schedule, SearchScore, WorldView,
+};
+use painter_eventsim::SimRng;
+use painter_topology::{PeeringId, PopId};
+use proptest::prelude::*;
+
+/// A small but fully-shaped world: 3 PoPs, 6 peerings (two per PoP), an
+/// anycast prefix over everything plus one unicast prefix per peering —
+/// every target shape the grammar can emit resolves against it.
+fn view() -> WorldView {
+    let peerings: Vec<(PeeringId, PopId)> =
+        (0..6u32).map(|i| (PeeringId(i), PopId((i / 2) as u16))).collect();
+    let mut prefixes = vec![(PrefixId(0), peerings.iter().map(|(p, _)| *p).collect::<Vec<_>>())];
+    for i in 0..6u32 {
+        prefixes.push((PrefixId(i as u16 + 1), vec![PeeringId(i)]));
+    }
+    WorldView { pops: 3, peerings, prefixes }
+}
+
+fn grammar() -> Grammar {
+    Grammar::for_view(&view(), 60.0, 12.0, 50.0)
+}
+
+/// Draws a spec exactly the way the searcher does: one [`SimRng`]
+/// stream per seed, so proptest explores the sampler's real output
+/// distribution (and shrinks toward small seeds, not small specs).
+fn sampled_spec(seed: u64) -> ScenarioSpec {
+    let mut rng = SimRng::stream(seed, 0x9A3);
+    sample_spec(&grammar(), &mut rng, "prop")
+}
+
+/// A synthetic oracle for shrinker tests: a pure, cheap stand-in for
+/// the campaign scorer. Loss grows with total injected fault-seconds,
+/// so dropping or narrowing faults genuinely lowers it — the shape the
+/// tolerance check has to defend against.
+fn synthetic_score(spec: &ScenarioSpec) -> SearchScore {
+    let loss: f64 = spec
+        .faults
+        .iter()
+        .map(|f| {
+            let repeats = 1.0 + f.recurrence.as_ref().map_or(0.0, |r| r.count as f64);
+            f.duration_s * repeats / 100.0
+        })
+        .sum();
+    SearchScore { availability_loss: loss, worst_ttr_ms: 0.0, rollbacks: 0 }
+}
+
+proptest! {
+    /// Satellite: `Schedule::compile` accepts everything the grammar
+    /// emits, orders injections by time, and replays to the identical
+    /// FNV-1a trace digest at the same seed.
+    #[test]
+    fn sampled_specs_compile_sorted_and_digest_stable(
+        sample_seed in 0u64..10_000,
+        compile_seed in 0u64..1_000,
+    ) {
+        let spec = sampled_spec(sample_seed);
+        prop_assert!(!spec.faults.is_empty());
+        let schedule = Schedule::compile(&spec, &view(), compile_seed)
+            .map_err(|e| TestCaseError::fail(format!("sampled spec failed to compile: {e}")))?;
+        prop_assert!(!schedule.injections().is_empty());
+        for pair in schedule.injections().windows(2) {
+            prop_assert!(
+                pair[0].at <= pair[1].at,
+                "injections out of order: {:?} after {:?}", pair[1].at, pair[0].at,
+            );
+        }
+        let replay = Schedule::compile(&spec, &view(), compile_seed)
+            .map_err(|e| TestCaseError::fail(format!("replay failed to compile: {e}")))?;
+        prop_assert_eq!(schedule.trace_digest(), replay.trace_digest());
+        prop_assert_eq!(schedule.trace(), replay.trace());
+    }
+
+    /// Satellite: every one-step shrink candidate is strictly simpler
+    /// yet still a valid, compilable scenario — the shrinker can never
+    /// walk the search out of the grammar's universe.
+    #[test]
+    fn shrink_candidates_stay_valid_and_simpler(sample_seed in 0u64..10_000) {
+        let spec = sampled_spec(sample_seed);
+        let weight = |s: &ScenarioSpec| -> f64 {
+            s.faults
+                .iter()
+                .map(|f| f.duration_s + f.recurrence.as_ref().map_or(0.0, |r| r.count as f64))
+                .sum::<f64>()
+                + s.faults.len() as f64 * 1_000.0
+        };
+        for cand in shrink_candidates(&spec) {
+            prop_assert!(!cand.faults.is_empty(), "shrink produced an empty scenario");
+            prop_assert!(cand.faults.len() <= spec.faults.len());
+            prop_assert!(
+                weight(&cand) < weight(&spec),
+                "candidate is not simpler: {} vs {}", weight(&cand), weight(&spec),
+            );
+            Schedule::compile(&cand, &view(), 1)
+                .map_err(|e| TestCaseError::fail(format!("shrunk spec failed to compile: {e}")))?;
+        }
+    }
+
+    /// Satellite: an accepted shrink never costs more availability loss
+    /// than the tolerance — the floor is anchored to the *original*
+    /// score, so steps cannot compound drift past it.
+    #[test]
+    fn shrink_never_gives_up_more_than_the_tolerance(
+        sample_seed in 0u64..10_000,
+        tolerance in 0.0f64..0.05,
+        max_evals in 1usize..64,
+    ) {
+        let spec = sampled_spec(sample_seed);
+        let original = synthetic_score(&spec);
+        let mut oracle = |s: &ScenarioSpec| Ok(synthetic_score(s));
+        let out = shrink(&spec, original, tolerance, max_evals, &mut oracle)
+            .map_err(|e| TestCaseError::fail(format!("shrink failed: {e}")))?;
+        prop_assert!(
+            out.score.availability_loss >= original.availability_loss - tolerance - 1e-12,
+            "shrink lost too much: {} -> {} (tolerance {})",
+            original.availability_loss, out.score.availability_loss, tolerance,
+        );
+        prop_assert!(out.evals <= max_evals, "spent {} evals, budget {}", out.evals, max_evals);
+        prop_assert!(!out.spec.faults.is_empty());
+        prop_assert!(out.spec.faults.len() <= spec.faults.len());
+        // The shrunk spec's score is honest: re-scoring reproduces it.
+        prop_assert_eq!(synthetic_score(&out.spec), out.score);
+    }
+}

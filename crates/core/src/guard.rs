@@ -34,6 +34,26 @@ use painter_topology::PeeringId;
 use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------------
+// Combined guard tuning
+// ---------------------------------------------------------------------------
+
+/// The full guard-layer tuning surface in one value: quarantine,
+/// hysteresis, and rollback knobs together, so harnesses (and the
+/// adversarial searcher / future auto-tuning sweeps) can vary the whole
+/// containment layer as a unit instead of reaching for three structs.
+///
+/// `GuardConfig::default()` is exactly the three sub-configs' defaults —
+/// the constants every earlier experiment ran with — so a default-built
+/// guard stack reproduces those runs byte-identically (pinned by a unit
+/// test below and by the eval harness's campaign-equality test).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuardConfig {
+    pub quarantine: QuarantineConfig,
+    pub hysteresis: HysteresisConfig,
+    pub rollback: RollbackConfig,
+}
+
+// ---------------------------------------------------------------------------
 // Measurement quarantine
 // ---------------------------------------------------------------------------
 
@@ -495,6 +515,24 @@ mod tests {
 
     fn sample(ug: u32, prefix: u16, peering: u32, rtt: f64) -> Observation {
         (UgId(ug), PrefixId(prefix), Some((PeeringId(peering), rtt)))
+    }
+
+    #[test]
+    fn guard_config_default_pins_the_historical_constants() {
+        // These are the values every pre-GuardConfig experiment ran
+        // with. Changing any of them changes closed-loop behavior, so
+        // a change here must be deliberate (and re-pin the chaos
+        // corpus — see DESIGN.md §12).
+        let g = GuardConfig::default();
+        assert_eq!(g.quarantine.stability_window, SimTime::from_secs(5.0));
+        assert_eq!(g.quarantine.spike_sigma, 4.0);
+        assert_eq!(g.quarantine.min_rtt_samples, 4);
+        assert_eq!(g.hysteresis.min_benefit_delta, 1.0);
+        assert_eq!(g.hysteresis.required_streak, 2);
+        assert_eq!(g.rollback.max_availability_drop, 0.05);
+        assert_eq!(g.rollback.max_p95_inflation, 1.5);
+        assert_eq!(g.rollback.backoff_base, SimTime::from_secs(4.0));
+        assert_eq!(g.rollback.backoff_cap, SimTime::from_secs(60.0));
     }
 
     #[test]

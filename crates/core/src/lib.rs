@@ -48,8 +48,8 @@ pub mod strategies;
 pub use benefit::{BenefitRange, ConfigEvaluator};
 pub use compliance::{infer_compliant_ingresses, ObservedReachability};
 pub use guard::{
-    HealthSample, HysteresisConfig, PlanHysteresis, QuarantineBuffer, QuarantineConfig,
-    RollbackConfig, RollbackGuard,
+    GuardConfig, HealthSample, HysteresisConfig, PlanHysteresis, QuarantineBuffer,
+    QuarantineConfig, RollbackConfig, RollbackGuard,
 };
 pub use inputs::{OrchestratorInputs, UgView};
 pub use installer::{apply_to_engine, diff, plan, revert_plan, InstallPlan, Op};

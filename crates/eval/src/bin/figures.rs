@@ -5,10 +5,13 @@
 //! figures all [flags]                # every figure, paper order
 //! figures chaos [flags]              # chaos resilience suite (chaos.* sections)
 //! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
+//! figures chaos-search [flags]       # adversarial scenario search (chaos.search.*)
 //! figures list                       # available ids
 //!
 //! --test             CI-sized inputs (default: paper-sized, use release)
-//! --seed <n>         chaos campaign seed (default 1)
+//! --seed <n>         chaos campaign / search seed (default 1)
+//! --budget <n>       chaos-search candidate evaluations (default 12)
+//! --pin <dir>        chaos-search: write shrunk reproducers into <dir>
 //! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
 //! --csv              full per-series CSV dump (the old default)
 //! --report <p>.json  also write the structured RunReport as JSON
@@ -25,10 +28,11 @@ use rayon::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
-        println!("available figures: {} chaos chaos-sweep", ALL_FIGURES.join(" "));
+        println!("available figures: {} chaos chaos-sweep chaos-search", ALL_FIGURES.join(" "));
         println!(
-            "usage: figures <fig-id>...|all|chaos|chaos-sweep [--test] [--seed <n>] \
-             [--markdown|--csv] [--report <path>.json]"
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search [--test] \
+             [--seed <n>] [--budget <n>] [--pin <dir>] [--markdown|--csv] \
+             [--report <path>.json]"
         );
         return;
     }
@@ -51,6 +55,22 @@ fn main() {
             })
         })
         .unwrap_or(1);
+    let budget: usize = args
+        .iter()
+        .position(|a| a == "--budget")
+        .map(|i| {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--budget requires an integer argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(12);
+    let pin_dir = args.iter().position(|a| a == "--pin").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--pin requires a directory argument");
+            std::process::exit(2);
+        })
+    });
     let mut skip_next = false;
     let mut requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
@@ -61,7 +81,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--report" || *a == "--seed" {
+                if *a == "--report" || *a == "--seed" || *a == "--budget" || *a == "--pin" {
                     skip_next = true;
                 }
                 !a.starts_with("--")
@@ -69,12 +89,13 @@ fn main() {
             .map(String::as_str)
             .collect()
     };
-    // `chaos` and `chaos-sweep` are not figures: they run the resilience
-    // suite / detection sweep and land as chaos.* sections on the same
-    // report.
+    // `chaos`, `chaos-sweep`, and `chaos-search` are not figures: they
+    // run the resilience suite / detection sweep / adversarial search
+    // and land as chaos.* sections on the same report.
     let run_chaos = args.iter().any(|a| a == "chaos");
     let run_sweep = args.iter().any(|a| a == "chaos-sweep");
-    requested.retain(|id| *id != "chaos" && *id != "chaos-sweep");
+    let run_search = args.iter().any(|a| a == "chaos-search");
+    requested.retain(|id| *id != "chaos" && *id != "chaos-sweep" && *id != "chaos-search");
 
     // Figure bodies are independent; fan them out over the scoring pool
     // (PAINTER_THREADS-aware). The ordered collect keeps the output in
@@ -118,6 +139,32 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("chaos sweep failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_search {
+        match painter_eval::chaos_search::run_search(scale, seed, budget) {
+            Ok(search_run) => {
+                for section in search_run.sections() {
+                    report.push_section(section);
+                }
+                if let Some(dir) = &pin_dir {
+                    match search_run.pin_corpus(std::path::Path::new(dir)) {
+                        Ok(paths) => {
+                            for p in paths {
+                                eprintln!("pinned reproducer: {}", p.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("failed to pin corpus into {dir}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("chaos search failed: {e}");
                 failed = true;
             }
         }

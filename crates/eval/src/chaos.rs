@@ -41,9 +41,9 @@ use painter_chaos::{
     Schedule, Scorecard, Target, TmTarget, WorldView,
 };
 use painter_core::{
-    apply_to_engine, diff, revert_plan, ConfigEvaluator, HealthSample, HysteresisConfig,
-    Observations, ObservedReachability, Orchestrator, OrchestratorConfig, OrchestratorInputs,
-    PlanHysteresis, QuarantineBuffer, QuarantineConfig, RollbackConfig, RollbackGuard, UgView,
+    apply_to_engine, diff, revert_plan, ConfigEvaluator, GuardConfig, HealthSample, Observations,
+    ObservedReachability, Orchestrator, OrchestratorConfig, OrchestratorInputs, PlanHysteresis,
+    QuarantineBuffer, RollbackGuard, UgView,
 };
 use painter_eventsim::{derive_seed, SimTime};
 use painter_geo::{metro, Region};
@@ -138,7 +138,7 @@ impl CampaignOutcome {
                     "first_fault_ms",
                     self.schedule.first_at().map(|t| t.as_ms()).unwrap_or(-1.0),
                 )
-                .field("trace_fnv1a", format!("{:016x}", fnv1a(self.schedule.trace().as_bytes())))
+                .field("trace_fnv1a", format!("{:016x}", self.schedule.trace_digest()))
                 .field("spec", self.spec_json.as_str()),
         );
         for sc in self.scorecards() {
@@ -273,13 +273,37 @@ fn prefix_plan() -> Vec<(PrefixId, Vec<PeeringId>)> {
     ]
 }
 
+/// The harness world's compile view — two PoPs, four peerings, the
+/// anycast-plus-unicast prefix plan — exposed so the adversarial
+/// searcher's grammar can be built over exactly the elements campaigns
+/// run against.
+pub fn harness_world_view() -> WorldView {
+    WorldView::from_deployment(&build_world().deployment, prefix_plan())
+}
+
 /// Runs one campaign: compiles the spec, drives one shared BGP engine,
 /// samples gated per-prefix reachability/latency onto three Traffic
-/// Manager runs (painter / anycast / dns), and scores each.
+/// Manager runs (painter / anycast / dns), and scores each. The guard
+/// layer runs at [`GuardConfig::default`]; use
+/// [`run_campaign_with_guard`] to vary it.
 pub fn run_campaign(
     spec: &ScenarioSpec,
     timing: &ChaosTiming,
     seed: u64,
+) -> Result<CampaignOutcome, String> {
+    run_campaign_with_guard(spec, timing, seed, &GuardConfig::default())
+}
+
+/// [`run_campaign`] with an explicit guard-layer tuning for the
+/// closed-loop strategy (quarantine, hysteresis, rollback — the knobs
+/// auto-tuning sweeps vary). The open-loop strategies have no guards,
+/// so only the `painter-closed-loop` scorecard and the learning stats
+/// depend on `guard`.
+pub fn run_campaign_with_guard(
+    spec: &ScenarioSpec,
+    timing: &ChaosTiming,
+    seed: u64,
+    guard: &GuardConfig,
 ) -> Result<CampaignOutcome, String> {
     let world = build_world();
     let plan = prefix_plan();
@@ -443,6 +467,7 @@ pub fn run_campaign(
         &schedule,
         timing,
         seed,
+        guard,
         &base,
         &avail,
         horizon,
@@ -489,6 +514,7 @@ fn run_closed_loop(
     schedule: &Schedule,
     timing: &ChaosTiming,
     seed: u64,
+    guard: &GuardConfig,
     base: &[f64],
     shared: &[Vec<Option<(PeeringId, f64)>>],
     horizon: SimTime,
@@ -536,12 +562,9 @@ fn run_closed_loop(
     let mut orch = Orchestrator::new(inputs, config);
 
     let obs = painter_obs::Registry::new();
-    let mut quarantine = QuarantineBuffer::with_obs(QuarantineConfig::default(), obs.clone());
-    let mut hysteresis = PlanHysteresis::with_obs(
-        HysteresisConfig { min_benefit_delta: 1.0, required_streak: DARK_ITERS },
-        obs.clone(),
-    );
-    let mut rollback = RollbackGuard::with_obs(RollbackConfig::default(), obs);
+    let mut quarantine = QuarantineBuffer::with_obs(guard.quarantine, obs.clone());
+    let mut hysteresis = PlanHysteresis::with_obs(guard.hysteresis, obs.clone());
+    let mut rollback = RollbackGuard::with_obs(guard.rollback, obs);
 
     // The repair engine carries only installer-announced state, plus the
     // session and leak faults that decide whether a repair survives.
@@ -1131,15 +1154,6 @@ pub fn sweep_sections(scale: Scale, seed: u64) -> Result<Vec<Section>, String> {
     Ok(out)
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1167,6 +1181,25 @@ mod tests {
         // Everyone loses some requests; painter loses the fewest.
         assert!(out.painter.availability() > out.anycast.availability());
         assert!(out.anycast.availability() > out.dns.availability());
+    }
+
+    #[test]
+    fn default_guard_config_reproduces_the_unparameterized_campaign() {
+        // GuardConfig lifted the guard constants out of this module; the
+        // default must reproduce the pre-GuardConfig closed loop down to
+        // the last byte of every section.
+        let (spec, timing) = pop_outage();
+        let plain = run_campaign(&spec, &timing, 1).expect("campaign");
+        let explicit =
+            run_campaign_with_guard(&spec, &timing, 1, &GuardConfig::default()).expect("campaign");
+        assert_eq!(plain.sections(), explicit.sections());
+        // And the knobs genuinely steer the loop: an infinite hysteresis
+        // streak means no repair ever commits.
+        let mut frozen = GuardConfig::default();
+        frozen.hysteresis.required_streak = u32::MAX;
+        let gated = run_campaign_with_guard(&spec, &timing, 1, &frozen).expect("campaign");
+        assert_eq!(gated.learning.hysteresis_commits, 0, "{:?}", gated.learning);
+        assert!(plain.learning.hysteresis_commits > 0, "{:?}", plain.learning);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The adversarial search wired to the chaos harness: what fault
+//! sequence hurts the guarded closed loop the most?
+//!
+//! `painter_chaos::search` owns the generator/climber/shrinker but is
+//! deliberately oracle-agnostic; this module supplies the oracle — every
+//! candidate [`ScenarioSpec`] runs a full [`super::chaos::run_campaign`]
+//! and is scored on the `painter-closed-loop` strategy's scorecard:
+//! availability loss first, worst time-to-recover and rollback churn as
+//! tie-breaks. The shrunk winners become [`CorpusEntry`]s, ready to pin
+//! under `corpus/` where `tests/chaos_corpus.rs` replays them as
+//! regression floors.
+//!
+//! Everything downstream of the seed is deterministic: the grammar is
+//! built from the harness's own [`super::chaos::harness_world_view`],
+//! candidates are scored at the search seed, and the `chaos.search.*`
+//! sections render byte-identically across same-seed reruns (the CI
+//! smoke job diffs two such runs).
+
+use crate::chaos::{harness_world_view, run_campaign, ChaosTiming};
+use crate::scenario::Scale;
+use painter_chaos::{
+    search, CorpusEntry, Grammar, ScenarioSpec, Schedule, SearchConfig, SearchOutcome, SearchScore,
+};
+use painter_obs::Section;
+
+/// Post-warmup margin before the earliest sampled fault start, so every
+/// candidate is scored against a converged baseline.
+const START_MARGIN_S: f64 = 2.0;
+/// Tail the grammar keeps fault-free, so recoveries (and DNS TTL
+/// boundaries) still land inside the horizon.
+const TAIL_S: f64 = 10.0;
+
+/// One finished adversarial search against the chaos harness.
+#[derive(Debug, Clone)]
+pub struct SearchRun {
+    pub scale: Scale,
+    pub config: SearchConfig,
+    pub outcome: SearchOutcome,
+    /// The shrunk survivors as pinnable corpus entries, worst-first,
+    /// renamed `adv-s<seed>-r<k>` (rank-stable names; the spec name
+    /// feeds no dynamics, so renaming preserves scores and digests).
+    pub corpus: Vec<CorpusEntry>,
+}
+
+/// The grammar the harness searches under: every element of the
+/// campaign world, fault starts in `[warmup+2, horizon-10]`, default
+/// budgets otherwise.
+pub fn harness_grammar(timing: &ChaosTiming) -> Grammar {
+    Grammar::for_view(
+        &harness_world_view(),
+        timing.horizon_s,
+        timing.warmup_s + START_MARGIN_S,
+        (timing.horizon_s - TAIL_S).max(timing.warmup_s + START_MARGIN_S),
+    )
+}
+
+/// Scores one candidate: a full campaign at `seed`, read off the
+/// closed-loop strategy.
+pub fn campaign_score(
+    spec: &ScenarioSpec,
+    timing: &ChaosTiming,
+    seed: u64,
+) -> Result<SearchScore, String> {
+    let out = run_campaign(spec, timing, seed)?;
+    Ok(SearchScore {
+        availability_loss: 1.0 - out.closed_loop.availability(),
+        worst_ttr_ms: out.closed_loop.worst_ttr_ms(),
+        rollbacks: out.learning.rollbacks,
+    })
+}
+
+/// Runs the full search at `scale` with the standard budget split for
+/// `(seed, budget)` (see [`SearchConfig::new`]).
+pub fn run_search(scale: Scale, seed: u64, budget: usize) -> Result<SearchRun, String> {
+    run_search_with(scale, SearchConfig::new(seed, budget))
+}
+
+/// [`run_search`] with explicit budgets, for tests that need tiny runs.
+pub fn run_search_with(scale: Scale, config: SearchConfig) -> Result<SearchRun, String> {
+    let timing = ChaosTiming::for_scale(scale);
+    let grammar = harness_grammar(&timing);
+    let seed = config.seed;
+    let outcome = search(&grammar, &config, |spec| campaign_score(spec, &timing, seed))?;
+    let view = harness_world_view();
+    let scale_tag = match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    };
+    let corpus = outcome
+        .ranked
+        .iter()
+        .enumerate()
+        .map(|(rank, cand)| {
+            let mut spec = cand.spec.clone();
+            spec.name = format!("adv-s{seed}-r{rank}");
+            let digest = Schedule::compile(&spec, &view, seed)?.trace_digest();
+            Ok(CorpusEntry {
+                seed,
+                scale: scale_tag.to_string(),
+                availability_floor: 1.0 - cand.score.availability_loss,
+                tolerance: config.shrink_tolerance,
+                worst_ttr_ms: cand.score.worst_ttr_ms,
+                rollbacks: cand.score.rollbacks,
+                trace_fnv1a: digest,
+                spec,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SearchRun { scale, config, outcome, corpus })
+}
+
+impl SearchRun {
+    /// The search as `chaos.search.*` report sections: the budget
+    /// config, the progress counters with the best-score trajectory,
+    /// and one `chaos.search.rank<k>` section per shrunk survivor.
+    pub fn sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(self.corpus.len() + 2);
+        out.push(
+            Section::new("chaos.search.config")
+                .field("seed", self.config.seed)
+                .field("budget", self.config.budget)
+                .field("explore", self.config.explore)
+                .field("keep", self.config.keep)
+                .field("shrink_tolerance", self.config.shrink_tolerance)
+                .field("max_shrink_evals", self.config.max_shrink_evals),
+        );
+        let best_loss = self.outcome.worst().map(|c| c.score.availability_loss).unwrap_or(0.0);
+        out.push(
+            Section::new("chaos.search.progress")
+                .field("candidates_evaluated", self.outcome.evaluated)
+                .field("shrink_evals", self.outcome.shrink_evals)
+                .field("shrink_steps", self.outcome.shrink_steps)
+                .field("best_availability_loss", best_loss)
+                .field("best_trajectory", self.outcome.trajectory.clone()),
+        );
+        for (rank, (cand, entry)) in self.outcome.ranked.iter().zip(&self.corpus).enumerate() {
+            out.push(
+                Section::new(format!("chaos.search.rank{rank}"))
+                    .field("name", entry.spec.name.as_str())
+                    .field("availability_loss", cand.score.availability_loss)
+                    .field("worst_ttr_ms", cand.score.worst_ttr_ms)
+                    .field("rollbacks", cand.score.rollbacks)
+                    .field("faults", entry.spec.faults.len())
+                    .field("trace_fnv1a", format!("{:016x}", entry.trace_fnv1a))
+                    .field("spec", entry.spec.to_json().as_str()),
+            );
+        }
+        out
+    }
+
+    /// Writes each corpus entry to `<dir>/<spec-name>.json` (the format
+    /// `tests/chaos_corpus.rs` replays). Returns the paths written.
+    pub fn pin_corpus(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.corpus.len());
+        for entry in &self.corpus {
+            let path = dir.join(format!("{}.json", entry.spec.name));
+            std::fs::write(&path, entry.to_json())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// [`run_search`] rendered straight to sections, mirroring
+/// `chaos::suite_sections` for the figures binary.
+pub fn search_sections(scale: Scale, seed: u64, budget: usize) -> Result<Vec<Section>, String> {
+    Ok(run_search(scale, seed, budget)?.sections())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_obs::Value;
+
+    fn tiny_config(seed: u64) -> SearchConfig {
+        SearchConfig {
+            seed,
+            budget: 3,
+            explore: 2,
+            keep: 1,
+            shrink_tolerance: 0.01,
+            max_shrink_evals: 4,
+        }
+    }
+
+    #[test]
+    fn tiny_search_replays_byte_identically_and_finds_real_loss() {
+        let a = run_search_with(Scale::Test, tiny_config(7)).expect("search");
+        let b = run_search_with(Scale::Test, tiny_config(7)).expect("search");
+        assert_eq!(a.sections(), b.sections(), "same seed, same sections");
+        assert_eq!(a.corpus, b.corpus);
+        assert!(!a.corpus.is_empty());
+        // The worst survivor genuinely breaks something.
+        let worst = a.outcome.worst().expect("nonempty");
+        assert!(worst.score.availability_loss > 0.0, "score {:?}", worst.score);
+        // Corpus entries round-trip and agree with the ranked scores.
+        for (entry, cand) in a.corpus.iter().zip(&a.outcome.ranked) {
+            let back = CorpusEntry::from_json(&entry.to_json()).expect("parse");
+            assert_eq!(&back, entry);
+            assert!(
+                (entry.availability_floor - (1.0 - cand.score.availability_loss)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn sections_carry_the_search_schema() {
+        let run = run_search_with(Scale::Test, tiny_config(3)).expect("search");
+        let sections = run.sections();
+        assert_eq!(sections[0].title, "chaos.search.config");
+        assert_eq!(sections[1].title, "chaos.search.progress");
+        assert_eq!(sections[2].title, "chaos.search.rank0");
+        for field in
+            ["candidates_evaluated", "shrink_evals", "shrink_steps", "best_availability_loss"]
+        {
+            assert!(sections[1].get(field).is_some(), "missing {field}");
+        }
+        match sections[1].get("best_trajectory") {
+            Some(Value::Series(points)) => assert_eq!(points.len(), 3, "one point per eval"),
+            other => panic!("expected trajectory series, got {other:?}"),
+        }
+        // The rank section's embedded spec loads back.
+        match sections[2].get("spec") {
+            Some(Value::Str(s)) => {
+                ScenarioSpec::from_json(s).expect("rank spec parses");
+            }
+            other => panic!("expected spec string, got {other:?}"),
+        }
+    }
+}

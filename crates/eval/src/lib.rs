@@ -10,6 +10,7 @@
 //! `Paper` uses evaluation-size inputs (run in release).
 
 pub mod chaos;
+pub mod chaos_search;
 pub mod figs;
 pub mod helpers;
 pub mod report;

@@ -1,0 +1,109 @@
+//! Replays every checked-in adversarial reproducer under `corpus/` as a
+//! regression test: the compiled schedule must still produce the
+//! recorded injection trace (FNV-1a receipt), and the guarded closed
+//! loop must never regress below the recorded availability floor
+//! (within the entry's tolerance band). The corpus is pinned by
+//! `figures chaos-search --pin corpus` at a fixed seed; re-pin after
+//! any deliberate dynamics change (see DESIGN.md §12).
+
+use painter::chaos::{CorpusEntry, Schedule};
+use painter::eval::chaos::{harness_world_view, run_campaign, standard_suite, ChaosTiming};
+use painter::eval::Scale;
+
+fn load_corpus() -> Vec<(String, CorpusEntry)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<(String, CorpusEntry)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} must exist: {e}", dir.display()))
+        .map(|res| res.expect("readable corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+            let entry = CorpusEntry::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: bad corpus JSON: {e}"));
+            (name, entry)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!entries.is_empty(), "corpus/ holds no reproducers");
+    entries
+}
+
+fn scale_of(entry: &CorpusEntry) -> Scale {
+    match entry.scale.as_str() {
+        "test" => Scale::Test,
+        "paper" => Scale::Paper,
+        other => panic!("unknown corpus scale tag '{other}'"),
+    }
+}
+
+/// Every reproducer still compiles to the exact injection trace it was
+/// pinned with: same seed, same schedule, same FNV-1a digest. A digest
+/// mismatch means the world or the compiler changed under the corpus —
+/// re-pin deliberately rather than letting the floor assert on a
+/// different scenario than the one recorded.
+#[test]
+fn corpus_schedules_replay_to_their_recorded_digests() {
+    let view = harness_world_view();
+    for (name, entry) in load_corpus() {
+        let schedule = Schedule::compile(&entry.spec, &view, entry.seed)
+            .unwrap_or_else(|e| panic!("{name}: spec no longer compiles: {e}"));
+        assert!(!schedule.injections().is_empty(), "{name}: compiled to an empty schedule");
+        assert_eq!(
+            schedule.trace_digest(),
+            entry.trace_fnv1a,
+            "{name}: trace digest drifted (got {:016x}, pinned {:016x}); \
+             the scenario being replayed is not the one that was scored",
+            schedule.trace_digest(),
+            entry.trace_fnv1a,
+        );
+    }
+}
+
+/// The regression floor itself: replaying each reproducer, the guarded
+/// closed loop's availability must stay at or above the recorded floor
+/// minus the tolerance band. (Scores can legitimately *improve* — a
+/// better guard beats the scenario — but never silently regress.)
+#[test]
+fn closed_loop_availability_never_drops_below_the_pinned_floor() {
+    for (name, entry) in load_corpus() {
+        let timing = ChaosTiming::for_scale(scale_of(&entry));
+        let out = run_campaign(&entry.spec, &timing, entry.seed)
+            .unwrap_or_else(|e| panic!("{name}: campaign failed: {e}"));
+        let availability = out.closed_loop.availability();
+        let floor = entry.availability_floor - entry.tolerance;
+        assert!(
+            availability >= floor,
+            "{name}: closed-loop availability {availability:.6} regressed below \
+             pinned floor {:.6} - tolerance {:.3}",
+            entry.availability_floor,
+            entry.tolerance,
+        );
+    }
+}
+
+/// The search earned its keep: the worst checked-in reproducer hurts
+/// the closed loop strictly more than every hand-written campaign in
+/// the standard suite does at the same seed and scale.
+#[test]
+fn worst_reproducer_beats_every_hand_written_campaign() {
+    let corpus = load_corpus();
+    let (worst_name, worst) = corpus
+        .iter()
+        .min_by(|a, b| a.1.availability_floor.total_cmp(&b.1.availability_floor))
+        .expect("nonempty corpus");
+    let timing = ChaosTiming::for_scale(scale_of(worst));
+    let adversarial_loss = 1.0 - worst.availability_floor;
+    for spec in standard_suite(&timing) {
+        let out = run_campaign(&spec, &timing, worst.seed)
+            .unwrap_or_else(|e| panic!("{}: campaign failed: {e}", spec.name));
+        let hand_written_loss = 1.0 - out.closed_loop.availability();
+        assert!(
+            adversarial_loss > hand_written_loss,
+            "{worst_name} (loss {adversarial_loss:.4}) should beat hand-written \
+             '{}' (loss {hand_written_loss:.4})",
+            spec.name,
+        );
+    }
+}
