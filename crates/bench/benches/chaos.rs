@@ -1,0 +1,68 @@
+//! Flight-recorder overhead benchmarks.
+//!
+//! Run twice and compare:
+//!
+//! ```text
+//! cargo bench -p painter-bench --bench chaos
+//! cargo bench -p painter-bench --bench chaos --features obs-off
+//! ```
+//!
+//! `chaos/campaign` runs a full guarded campaign — BGP dynamics, TM
+//! failover, closed-loop learning, and (live only) the causal trace plus
+//! incident attribution. The acceptance criterion is that the `obs-off`
+//! timing shows no measurable regression vs the pre-flight-recorder
+//! baseline: with the ZST sink every `emit` call site compiles to
+//! nothing, so any gap between the two runs is the true cost of
+//! recording. `chaos/attribution` isolates the post-hoc fold itself
+//! (cause-chain walk + incident derivation + timeline render), which
+//! only does real work in the live build.
+
+use criterion::{black_box, criterion_group, Criterion};
+use painter_eval::chaos::{run_campaign, standard_suite, ChaosTiming};
+use painter_eval::incidents::{attribute, render_timeline};
+use painter_eval::Scale;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos/campaign");
+    group.sample_size(10);
+    let timing = ChaosTiming::for_scale(Scale::Test);
+    let suite = standard_suite(&timing);
+    group.bench_function("pop-outage", |b| {
+        b.iter(|| {
+            let outcome = run_campaign(&suite[0], &timing, black_box(1)).expect("campaign");
+            (outcome.incidents.len(), outcome.events.len())
+        })
+    });
+    group.bench_function("multi-fault", |b| {
+        b.iter(|| {
+            let outcome = run_campaign(&suite[2], &timing, black_box(1)).expect("campaign");
+            (outcome.incidents.len(), outcome.events.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos/attribution");
+    group.sample_size(10);
+    let timing = ChaosTiming::for_scale(Scale::Test);
+    let spec = standard_suite(&timing).remove(2);
+    let outcome = run_campaign(&spec, &timing, 1).expect("campaign");
+    group.bench_function("attribute", |b| {
+        b.iter(|| attribute(&spec, &outcome.schedule, black_box(&outcome.events), &[]))
+    });
+    group.bench_function("render-timeline", |b| {
+        b.iter(|| {
+            render_timeline(&outcome.schedule, black_box(&outcome.events), &outcome.incidents)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_attribution);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+    painter_bench::emit_run_report("bench-chaos");
+}

@@ -21,6 +21,7 @@
 use crate::path::PathModel;
 use crate::prefix::PrefixId;
 use painter_eventsim::{EventQueue, SimRng, SimTime};
+use painter_obs::{TraceId, TraceKind, TraceSink};
 use painter_geo::{metro, min_rtt_ms, MetroId};
 use painter_topology::{AsGraph, AsId, Deployment, PeeringId, PeeringKind, Relationship};
 use std::collections::{HashMap, HashSet};
@@ -72,34 +73,42 @@ enum Event {
         from: AsId,
         to: AsId,
     },
-    /// The cloud (de)activates a peering session for a prefix.
+    /// The cloud (de)activates a peering session for a prefix. `cause`
+    /// is the trace event (e.g. a fault span) that provoked it —
+    /// zero-sized and inert under `obs-off`.
     CloudAnnounce {
         peering: PeeringId,
         prefix: PrefixId,
+        cause: TraceId,
     },
     CloudWithdraw {
         peering: PeeringId,
         prefix: PrefixId,
+        cause: TraceId,
     },
     /// The whole peering session drops: every prefix it was advertising
     /// is withdrawn at once, and remembered for [`Event::SessionUp`].
     SessionDown {
         peering: PeeringId,
+        cause: TraceId,
     },
     /// The session re-establishes and re-announces what it carried.
     SessionUp {
         peering: PeeringId,
+        cause: TraceId,
     },
     /// Route leak onset: the customers of this peering's neighbor start
     /// re-exporting provider/peer-learned routes to all their neighbors,
     /// past Gao–Rexford policy bounds.
     LeakStart {
         peering: PeeringId,
+        cause: TraceId,
     },
     /// The leak is fixed: policy-compliant export resumes and the leaked
     /// routes are withdrawn.
     LeakEnd {
         peering: PeeringId,
+        cause: TraceId,
     },
 }
 
@@ -164,6 +173,10 @@ pub struct BgpEngine<'a> {
     rng: SimRng,
     now: SimTime,
     churn: Vec<ChurnRecord>,
+    /// Flight recorder for cloud-side control-plane events. Inert by
+    /// default; zero-sized under `obs-off`. Emission never touches the
+    /// RNG or the event queue, so tracing cannot perturb dynamics.
+    trace: TraceSink,
 }
 
 impl<'a> BgpEngine<'a> {
@@ -191,17 +204,47 @@ impl<'a> BgpEngine<'a> {
             rng,
             now: SimTime::ZERO,
             churn: Vec::new(),
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink; cloud-side events (withdraw/announce,
+    /// session transitions, leaks) are recorded through it as they are
+    /// *handled* (virtual time of effect, not of scheduling).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("bgp");
     }
 
     /// Schedules a cloud-side announcement of `prefix` via `peering`.
     pub fn announce(&mut self, at: SimTime, prefix: PrefixId, peering: PeeringId) {
-        self.queue.push(at, Event::CloudAnnounce { peering, prefix });
+        self.announce_caused(at, prefix, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::announce`] carrying the trace event that caused it.
+    pub fn announce_caused(
+        &mut self,
+        at: SimTime,
+        prefix: PrefixId,
+        peering: PeeringId,
+        cause: TraceId,
+    ) {
+        self.queue.push(at, Event::CloudAnnounce { peering, prefix, cause });
     }
 
     /// Schedules a cloud-side withdrawal of `prefix` from `peering`.
     pub fn withdraw(&mut self, at: SimTime, prefix: PrefixId, peering: PeeringId) {
-        self.queue.push(at, Event::CloudWithdraw { peering, prefix });
+        self.withdraw_caused(at, prefix, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::withdraw`] carrying the trace event that caused it.
+    pub fn withdraw_caused(
+        &mut self,
+        at: SimTime,
+        prefix: PrefixId,
+        peering: PeeringId,
+        cause: TraceId,
+    ) {
+        self.queue.push(at, Event::CloudWithdraw { peering, prefix, cause });
     }
 
     /// Schedules a whole-session drop of `peering` at `at`: every prefix
@@ -209,13 +252,23 @@ impl<'a> BgpEngine<'a> {
     /// shot, and remembered so [`BgpEngine::session_up`] can restore it.
     /// Models a BGP session reset (hold-timer expiry, interface down).
     pub fn session_down(&mut self, at: SimTime, peering: PeeringId) {
-        self.queue.push(at, Event::SessionDown { peering });
+        self.session_down_caused(at, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::session_down`] carrying the causing trace event.
+    pub fn session_down_caused(&mut self, at: SimTime, peering: PeeringId, cause: TraceId) {
+        self.queue.push(at, Event::SessionDown { peering, cause });
     }
 
     /// Schedules the session's re-establishment: re-announces whatever
     /// the matching [`BgpEngine::session_down`] withdrew.
     pub fn session_up(&mut self, at: SimTime, peering: PeeringId) {
-        self.queue.push(at, Event::SessionUp { peering });
+        self.session_up_caused(at, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::session_up`] carrying the causing trace event.
+    pub fn session_up_caused(&mut self, at: SimTime, peering: PeeringId, cause: TraceId) {
+        self.queue.push(at, Event::SessionUp { peering, cause });
     }
 
     /// Schedules a route leak at `at`: every *customer* of the peering's
@@ -223,13 +276,23 @@ impl<'a> BgpEngine<'a> {
     /// to all of its neighbors — the classic multi-homed-customer leak,
     /// propagating announcements past Gao–Rexford policy bounds.
     pub fn leak_start(&mut self, at: SimTime, peering: PeeringId) {
-        self.queue.push(at, Event::LeakStart { peering });
+        self.leak_start_caused(at, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::leak_start`] carrying the causing trace event.
+    pub fn leak_start_caused(&mut self, at: SimTime, peering: PeeringId, cause: TraceId) {
+        self.queue.push(at, Event::LeakStart { peering, cause });
     }
 
     /// Schedules the leak's end: policy-compliant export resumes and the
     /// leaked routes are withdrawn.
     pub fn leak_end(&mut self, at: SimTime, peering: PeeringId) {
-        self.queue.push(at, Event::LeakEnd { peering });
+        self.leak_end_caused(at, peering, TraceId::NONE);
+    }
+
+    /// [`BgpEngine::leak_end`] carrying the causing trace event.
+    pub fn leak_end_caused(&mut self, at: SimTime, peering: PeeringId, cause: TraceId) {
+        self.queue.push(at, Event::LeakEnd { peering, cause });
     }
 
     /// Runs the engine until `until` (inclusive). Can be called repeatedly
@@ -299,7 +362,12 @@ impl<'a> BgpEngine<'a> {
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::CloudAnnounce { peering, prefix } => {
+            Event::CloudAnnounce { peering, prefix, cause } => {
+                self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpAnnounce { prefix: prefix.0 as u32, peering: peering.0 },
+                );
                 self.cloud_active.insert((prefix, peering));
                 let neighbor = self.deployment.peering(peering).neighbor;
                 let delay = SimTime::from_ms(
@@ -315,7 +383,12 @@ impl<'a> BgpEngine<'a> {
                     },
                 );
             }
-            Event::CloudWithdraw { peering, prefix } => {
+            Event::CloudWithdraw { peering, prefix, cause } => {
+                self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpWithdraw { prefix: prefix.0 as u32, peering: peering.0 },
+                );
                 self.cloud_active.remove(&(prefix, peering));
                 let neighbor = self.deployment.peering(peering).neighbor;
                 let delay = SimTime::from_ms(
@@ -331,7 +404,14 @@ impl<'a> BgpEngine<'a> {
                     },
                 );
             }
-            Event::SessionDown { peering } => {
+            Event::SessionDown { peering, cause } => {
+                // The session event is the proximate cause of the
+                // per-prefix withdrawals it fans out into.
+                let down = self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpSessionDown { peering: peering.0 },
+                );
                 let mut carried: Vec<PrefixId> = self
                     .cloud_active
                     .iter()
@@ -340,26 +420,41 @@ impl<'a> BgpEngine<'a> {
                     .collect();
                 carried.sort_unstable(); // HashSet order must not leak into scheduling
                 for &prefix in &carried {
-                    self.handle(Event::CloudWithdraw { peering, prefix });
+                    self.handle(Event::CloudWithdraw { peering, prefix, cause: down });
                 }
                 let memory = self.downed_sessions.entry(peering).or_default();
                 memory.extend(carried);
                 memory.sort_unstable();
                 memory.dedup();
             }
-            Event::SessionUp { peering } => {
+            Event::SessionUp { peering, cause } => {
+                let up = self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpSessionUp { peering: peering.0 },
+                );
                 for prefix in self.downed_sessions.remove(&peering).unwrap_or_default() {
-                    self.handle(Event::CloudAnnounce { peering, prefix });
+                    self.handle(Event::CloudAnnounce { peering, prefix, cause: up });
                 }
             }
-            Event::LeakStart { peering } => {
+            Event::LeakStart { peering, cause } => {
+                self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpLeakStart { peering: peering.0 },
+                );
                 for leaker in self.leakers_of(peering) {
                     if self.leaking.insert(leaker) {
                         self.reexport_all(leaker);
                     }
                 }
             }
-            Event::LeakEnd { peering } => {
+            Event::LeakEnd { peering, cause } => {
+                self.trace.emit(
+                    self.now.as_nanos(),
+                    cause,
+                    TraceKind::BgpLeakEnd { peering: peering.0 },
+                );
                 for leaker in self.leakers_of(peering) {
                     if self.leaking.remove(&leaker) {
                         self.reexport_all(leaker);

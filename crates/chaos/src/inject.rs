@@ -21,22 +21,80 @@
 use crate::schedule::{FaultEvent, Schedule};
 use painter_bgp::dynamics::BgpEngine;
 use painter_eventsim::SimTime;
+use painter_obs::{TraceId, TraceKind, TraceSink};
 use painter_tm::{TmSimulation, TunnelId};
 use painter_topology::PopId;
+
+/// Emits one `chaos` fault span per spec fault into `sink`: a
+/// `fault.start` at the fault's first injection and a `fault.end`
+/// (caused by the start) at its last. Returns the start span per fault
+/// index — the cause handles [`program_bgp_traced`] and
+/// [`program_tm_traced`] thread into the simulators so every downstream
+/// detection, failover, and recovery chains back to the fault that
+/// provoked it. Faults that compiled to no injections (or recoveries
+/// entirely past the horizon) get [`TraceId::NONE`].
+pub fn trace_fault_spans(schedule: &Schedule, sink: &TraceSink) -> Vec<TraceId> {
+    let sink = sink.scoped("chaos");
+    let n = schedule.fault_count();
+    let mut first: Vec<Option<SimTime>> = vec![None; n];
+    let mut last: Vec<Option<SimTime>> = vec![None; n];
+    for inj in schedule.injections() {
+        let Some(slot) = first.get_mut(inj.fault) else { continue };
+        // Injections are time-sorted, so the first hit is the earliest.
+        if slot.is_none() {
+            *slot = Some(inj.at);
+        }
+        last[inj.fault] = Some(inj.at);
+    }
+    (0..n)
+        .map(|f| {
+            let Some(start_at) = first[f] else { return TraceId::NONE };
+            let start = sink.emit(
+                start_at.as_nanos(),
+                TraceId::NONE,
+                TraceKind::FaultStart { fault: f as u32 },
+            );
+            if let Some(end_at) = last[f] {
+                if end_at > start_at {
+                    sink.emit(end_at.as_nanos(), start, TraceKind::FaultEnd { fault: f as u32 });
+                }
+            }
+            start
+        })
+        .collect()
+}
 
 /// Queues every control-plane injection into the BGP engine. Data-plane
 /// and measurement-plane events are skipped (see [`program_tm`]).
 /// Returns the number of events queued.
 pub fn program_bgp(schedule: &Schedule, engine: &mut BgpEngine<'_>) -> usize {
+    program_bgp_traced(schedule, engine, &[])
+}
+
+/// [`program_bgp`] with per-fault cause spans (from
+/// [`trace_fault_spans`]): each queued event carries its fault's span so
+/// the engine's trace emissions chain back to it. An empty or short
+/// `causes` slice degrades to uncaused injection.
+pub fn program_bgp_traced(
+    schedule: &Schedule,
+    engine: &mut BgpEngine<'_>,
+    causes: &[TraceId],
+) -> usize {
     let mut queued = 0;
     for inj in schedule.injections() {
+        let at = inj.at;
+        let cause = causes.get(inj.fault).copied().unwrap_or(TraceId::NONE);
         match inj.event {
-            FaultEvent::SessionDown { peering } => engine.session_down(inj.at, peering),
-            FaultEvent::SessionUp { peering } => engine.session_up(inj.at, peering),
-            FaultEvent::Withdraw { prefix, peering } => engine.withdraw(inj.at, prefix, peering),
-            FaultEvent::Announce { prefix, peering } => engine.announce(inj.at, prefix, peering),
-            FaultEvent::LeakStart { peering } => engine.leak_start(inj.at, peering),
-            FaultEvent::LeakEnd { peering } => engine.leak_end(inj.at, peering),
+            FaultEvent::SessionDown { peering } => engine.session_down_caused(at, peering, cause),
+            FaultEvent::SessionUp { peering } => engine.session_up_caused(at, peering, cause),
+            FaultEvent::Withdraw { prefix, peering } => {
+                engine.withdraw_caused(at, prefix, peering, cause)
+            }
+            FaultEvent::Announce { prefix, peering } => {
+                engine.announce_caused(at, prefix, peering, cause)
+            }
+            FaultEvent::LeakStart { peering } => engine.leak_start_caused(at, peering, cause),
+            FaultEvent::LeakEnd { peering } => engine.leak_end_caused(at, peering, cause),
             _ => continue,
         }
         queued += 1;
@@ -59,17 +117,33 @@ pub struct TmTarget {
 /// subset of tunnels simply does not see those faults). Returns the
 /// number of events queued.
 pub fn program_tm(schedule: &Schedule, tm: &mut TmSimulation, targets: &[TmTarget]) -> usize {
+    program_tm_traced(schedule, tm, targets, &[])
+}
+
+/// [`program_tm`] with per-fault cause spans (from
+/// [`trace_fault_spans`]): blackholes, restorations, and probe-fleet
+/// loss carry their fault's span into the TM simulation, so dead-tunnel
+/// declarations, failovers, revivals, and suppressed probes chain back
+/// to it. An empty or short `causes` slice degrades to uncaused
+/// injection.
+pub fn program_tm_traced(
+    schedule: &Schedule,
+    tm: &mut TmSimulation,
+    targets: &[TmTarget],
+    causes: &[TraceId],
+) -> usize {
     let mut queued = 0;
     for inj in schedule.injections() {
         let at = inj.at;
+        let cause = causes.get(inj.fault).copied().unwrap_or(TraceId::NONE);
         match inj.event {
             FaultEvent::TunnelDown { tunnel } => {
                 let Some(t) = targets.get(tunnel) else { continue };
-                tm.schedule_path_down(at, t.tunnel);
+                tm.schedule_path_down_caused(at, t.tunnel, cause);
             }
             FaultEvent::TunnelUp { tunnel } => {
                 let Some(t) = targets.get(tunnel) else { continue };
-                tm.schedule_path_rtt(at, t.tunnel, t.base_rtt_ms);
+                tm.schedule_path_rtt_caused(at, t.tunnel, t.base_rtt_ms, cause);
             }
             FaultEvent::LatencyAdd { tunnel, add_ms } => {
                 let Some(t) = targets.get(tunnel) else { continue };
@@ -91,8 +165,10 @@ pub fn program_tm(schedule: &Schedule, tm: &mut TmSimulation, targets: &[TmTarge
                 let Some(t) = targets.get(tunnel) else { continue };
                 tm.schedule_path_burst(at, t.tunnel, None);
             }
-            FaultEvent::ProbeLoss { fraction } => tm.schedule_probe_loss(at, fraction),
-            FaultEvent::ProbeRestore => tm.schedule_probe_loss(at, 0.0),
+            FaultEvent::ProbeLoss { fraction } => {
+                tm.schedule_probe_loss_caused(at, fraction, cause)
+            }
+            FaultEvent::ProbeRestore => tm.schedule_probe_loss_caused(at, 0.0, cause),
             _ => continue,
         }
         queued += 1;
@@ -270,6 +346,56 @@ mod tests {
         state.advance(&schedule, SimTime::from_secs(61.0));
         assert!(!state.pop_down(PopId(0)));
         assert!(!state.pop_down(PopId(1)), "the other PoP was never touched");
+    }
+
+    #[test]
+    fn fault_spans_cover_first_to_last_injection() {
+        if !painter_obs::enabled() {
+            return;
+        }
+        use painter_obs::{TraceId, TraceKind, TraceSink};
+        // Fault 0 has both edges inside the horizon; fault 1's recovery
+        // (at 12 s) falls past it, leaving a single injection.
+        let spec = ScenarioSpec::new("spans", 10.0)
+            .fault(
+                FaultSpec::new("bh", FaultKind::LinkBlackhole, Target::Tunnel(0))
+                    .at(1.0)
+                    .lasting(1.0),
+            )
+            .fault(
+                FaultSpec::new("late", FaultKind::LinkBlackhole, Target::Tunnel(1))
+                    .at(9.0)
+                    .lasting(3.0),
+            );
+        let schedule = Schedule::compile(&spec, &tiny_world(), 1).expect("compile");
+        let sink = TraceSink::recording();
+        let spans = trace_fault_spans(&schedule, &sink);
+        assert_eq!(spans.len(), schedule.fault_count());
+        assert!(spans.iter().all(|s| !s.is_none()), "both faults injected something");
+        let events = sink.events();
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FaultStart { .. }))
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FaultEnd { .. }))
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(ends.len(), 1, "the horizon-dropped recovery leaves no end edge");
+        assert_eq!(ends[0].cause, spans[0].raw(), "end chains to its own start");
+        assert_eq!(starts[0].at_nanos, SimTime::from_secs(1.0).as_nanos());
+        assert_eq!(ends[0].at_nanos, SimTime::from_secs(2.0).as_nanos());
+        assert!(events.iter().all(|e| e.scope == "chaos"));
+        // Replaying the same schedule into a fresh sink is bit-identical.
+        let sink2 = TraceSink::recording();
+        let spans2 = trace_fault_spans(&schedule, &sink2);
+        assert_eq!(spans2.len(), spans.len());
+        assert_eq!(sink2.events(), events);
+        // And the inert default records nothing.
+        let inert = TraceSink::default();
+        let none = trace_fault_spans(&schedule, &inert);
+        assert!(none.iter().all(|s| *s == TraceId::NONE));
     }
 
     #[test]

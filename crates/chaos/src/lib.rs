@@ -50,7 +50,10 @@ pub mod search;
 pub mod shrink;
 pub mod spec;
 
-pub use inject::{program_bgp, program_tm, DataPlaneState, TmTarget};
+pub use inject::{
+    program_bgp, program_bgp_traced, program_tm, program_tm_traced, trace_fault_spans,
+    DataPlaneState, TmTarget,
+};
 pub use schedule::{FaultEvent, Injection, Schedule, WorldView};
 pub use scorecard::Scorecard;
 pub use search::{

@@ -158,6 +158,17 @@ impl Schedule {
         self.injections.first().map(|inj| inj.at)
     }
 
+    /// Number of fault specs the schedule was compiled from (indices in
+    /// [`Injection::fault`] are `0..fault_count()`).
+    pub fn fault_count(&self) -> usize {
+        self.fault_names.len()
+    }
+
+    /// The fault's spec label, by index (`"?"` if out of range).
+    pub fn fault_name(&self, idx: usize) -> &str {
+        self.fault_names.get(idx).map(String::as_str).unwrap_or("?")
+    }
+
     /// Canonical text rendering of the whole schedule — one line per
     /// injection with exact nanosecond timestamps. Two compiles of the
     /// same `(spec, world, seed)` produce byte-identical traces; this is

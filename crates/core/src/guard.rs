@@ -29,7 +29,7 @@
 use crate::orchestrator::{Observation, Observations};
 use painter_bgp::{AdvertConfig, PrefixId};
 use painter_eventsim::SimTime;
-use painter_obs::{obs_count, obs_gauge, Registry};
+use painter_obs::{obs_count, obs_gauge, Registry, RollbackReason, TraceId, TraceKind, TraceSink};
 use painter_topology::PeeringId;
 use std::collections::BTreeMap;
 
@@ -131,6 +131,8 @@ pub struct QuarantineBuffer {
     /// Samples that entered quarantine at least once.
     pub quarantined_total: u64,
     obs: Registry,
+    /// Flight-recorder sink (`guard.*` trace events); inert by default.
+    trace: TraceSink,
 }
 
 impl QuarantineBuffer {
@@ -150,7 +152,13 @@ impl QuarantineBuffer {
             discarded_total: 0,
             quarantined_total: 0,
             obs,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Routes `guard.*` trace events into `sink` (scoped to `"guard"`).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("guard");
     }
 
     /// Flags external churn evidence (session reset, withdraw storm —
@@ -187,6 +195,11 @@ impl QuarantineBuffer {
         if self.is_churning(key, now) {
             self.quarantined_total += 1;
             obs_count!(self.obs, "guard.quarantine_entered_total");
+            self.trace.emit(
+                now.as_nanos(),
+                TraceId::NONE,
+                TraceKind::QuarantineEnter { peering: key.0 },
+            );
             self.held.push(HeldSample { key, taken_at: now, sample });
             obs_gauge!(self.obs, "guard.quarantine_held", self.held.len() as f64);
             return None;
@@ -219,6 +232,13 @@ impl QuarantineBuffer {
         });
         self.discarded_total += discarded;
         self.admitted_total += ready.len() as u64;
+        if !ready.is_empty() {
+            self.trace.emit(
+                now.as_nanos(),
+                TraceId::NONE,
+                TraceKind::QuarantineDrain { admitted: ready.len() as u32 },
+            );
+        }
         obs_count!(self.obs, "guard.quarantine_discarded_total", discarded);
         obs_count!(self.obs, "guard.quarantine_admitted_total", ready.len() as u64);
         obs_gauge!(self.obs, "guard.quarantine_held", self.held.len() as f64);
@@ -315,6 +335,14 @@ pub struct PlanHysteresis {
     /// Streaks broken by a sub-threshold or differing candidate.
     pub resets_total: u64,
     obs: Registry,
+    /// Flight-recorder sink (`guard.*` trace events); inert by default.
+    trace: TraceSink,
+    /// Last `hysteresis_streak` event of the running streak (chains the
+    /// streak's events together and the commit to its final step).
+    streak_trace: TraceId,
+    /// The `hysteresis_commit` event behind the most recent commit; the
+    /// orchestrator chains its `plan.commit` to it.
+    last_commit: TraceId,
 }
 
 impl PlanHysteresis {
@@ -325,7 +353,22 @@ impl PlanHysteresis {
 
     /// A fresh state machine reporting into `obs`.
     pub fn with_obs(config: HysteresisConfig, obs: Registry) -> Self {
-        PlanHysteresis { config, pending: None, streak: 0, commits_total: 0, resets_total: 0, obs }
+        PlanHysteresis {
+            config,
+            pending: None,
+            streak: 0,
+            commits_total: 0,
+            resets_total: 0,
+            obs,
+            trace: TraceSink::default(),
+            streak_trace: TraceId::NONE,
+            last_commit: TraceId::NONE,
+        }
+    }
+
+    /// Routes `guard.*` trace events into `sink` (scoped to `"guard"`).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("guard");
     }
 
     /// Feeds one iteration's candidate and its benefit delta over the
@@ -337,6 +380,18 @@ impl PlanHysteresis {
         candidate: &AdvertConfig,
         benefit_delta: f64,
     ) -> Option<AdvertConfig> {
+        self.consider_at(candidate, benefit_delta, SimTime::ZERO)
+    }
+
+    /// [`PlanHysteresis::consider`] with a virtual timestamp for the
+    /// trace events it emits (each sustained step chains to the previous
+    /// one, and a commit to the step that completed the streak).
+    pub fn consider_at(
+        &mut self,
+        candidate: &AdvertConfig,
+        benefit_delta: f64,
+        now: SimTime,
+    ) -> Option<AdvertConfig> {
         // A NaN delta (degenerate benefit estimate) counts as below
         // threshold: never commit on it.
         if benefit_delta.is_nan() || benefit_delta < self.config.min_benefit_delta {
@@ -345,6 +400,7 @@ impl PlanHysteresis {
                 obs_count!(self.obs, "guard.hysteresis_resets_total");
             }
             self.streak = 0;
+            self.streak_trace = TraceId::NONE;
             return None;
         }
         if self.pending.as_ref() == Some(candidate) {
@@ -356,11 +412,24 @@ impl PlanHysteresis {
             }
             self.pending = Some(candidate.clone());
             self.streak = 1;
+            self.streak_trace = TraceId::NONE;
         }
+        self.streak_trace = self.trace.emit(
+            now.as_nanos(),
+            self.streak_trace,
+            TraceKind::HysteresisStreak { streak: self.streak },
+        );
         if self.streak >= self.config.required_streak.max(1) {
+            let streak = self.streak;
             self.streak = 0;
             self.commits_total += 1;
             obs_count!(self.obs, "guard.hysteresis_commits_total");
+            self.last_commit = self.trace.emit(
+                now.as_nanos(),
+                self.streak_trace,
+                TraceKind::HysteresisCommit { streak },
+            );
+            self.streak_trace = TraceId::NONE;
             return self.pending.take();
         }
         None
@@ -369,6 +438,12 @@ impl PlanHysteresis {
     /// Length of the current streak.
     pub fn streak(&self) -> u32 {
         self.streak
+    }
+
+    /// The trace event behind the most recent commit ([`TraceId::NONE`]
+    /// before any, or when not recording).
+    pub fn last_commit_trace(&self) -> TraceId {
+        self.last_commit
     }
 }
 
@@ -424,6 +499,11 @@ pub struct RollbackGuard {
     /// Rollbacks triggered.
     pub rollbacks_total: u64,
     obs: Registry,
+    /// Flight-recorder sink (`guard.*` trace events); inert by default.
+    trace: TraceSink,
+    /// The `rollback` event behind the most recent trip; the
+    /// orchestrator chains its `plan.revert` to it.
+    last_rollback: TraceId,
 }
 
 impl RollbackGuard {
@@ -441,7 +521,14 @@ impl RollbackGuard {
             blocked_until: SimTime::ZERO,
             rollbacks_total: 0,
             obs,
+            trace: TraceSink::default(),
+            last_rollback: TraceId::NONE,
         }
+    }
+
+    /// Routes `guard.*` trace events into `sink` (scoped to `"guard"`).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("guard");
     }
 
     /// Records a healthy `(config, health)` snapshot; clears the backoff.
@@ -464,11 +551,26 @@ impl RollbackGuard {
     /// True when `post` regresses beyond the guardrails relative to
     /// `baseline`.
     pub fn regressed(&self, baseline: &HealthSample, post: &HealthSample) -> bool {
+        self.regression_reason(baseline, post).is_some()
+    }
+
+    /// Which guardrail `post` trips relative to `baseline`, if any.
+    /// Availability is checked first: a sample that regresses on both
+    /// axes reports the availability breach (the more urgent one).
+    pub fn regression_reason(
+        &self,
+        baseline: &HealthSample,
+        post: &HealthSample,
+    ) -> Option<RollbackReason> {
         if baseline.availability - post.availability > self.config.max_availability_drop {
-            return true;
+            return Some(RollbackReason::Availability);
         }
-        baseline.p95_latency_ms > 1e-9
+        if baseline.p95_latency_ms > 1e-9
             && post.p95_latency_ms > baseline.p95_latency_ms * self.config.max_p95_inflation
+        {
+            return Some(RollbackReason::Latency);
+        }
+        None
     }
 
     /// Checks post-install health at `now`. On regression beyond the
@@ -479,16 +581,22 @@ impl RollbackGuard {
     /// [`Self::record_good`].
     pub fn check(&mut self, now: SimTime, post: &HealthSample) -> Option<AdvertConfig> {
         let (good_config, good_health) = self.last_good.as_ref()?;
-        if !self.regressed(good_health, post) {
-            return None;
-        }
+        let reason = self.regression_reason(good_health, post)?;
         let delay = self.backoff(self.attempts);
         self.blocked_until = now + delay;
         self.attempts = self.attempts.saturating_add(1);
         self.rollbacks_total += 1;
         obs_count!(self.obs, "guard.rollbacks_total");
         obs_gauge!(self.obs, "guard.rollback_backoff_ms", delay.as_ms());
+        self.last_rollback =
+            self.trace.emit(now.as_nanos(), TraceId::NONE, TraceKind::Rollback { reason });
         Some(good_config.clone())
+    }
+
+    /// The trace event behind the most recent rollback
+    /// ([`TraceId::NONE`] before any, or when not recording).
+    pub fn last_rollback_trace(&self) -> TraceId {
+        self.last_rollback
     }
 
     /// The backoff after `attempts` consecutive rollbacks:
@@ -649,6 +757,78 @@ mod tests {
         assert!(!g.can_attempt(SimTime::from_secs(43.0)));
         assert!(g.can_attempt(SimTime::from_secs(44.0)));
         assert_eq!(g.rollbacks_total, 2);
+    }
+
+    #[test]
+    fn regression_reason_prefers_availability_over_latency() {
+        let g = RollbackGuard::new(RollbackConfig::default());
+        let base = HealthSample { availability: 1.0, p95_latency_ms: 20.0 };
+        let both = HealthSample { availability: 0.5, p95_latency_ms: 500.0 };
+        assert_eq!(g.regression_reason(&base, &both), Some(RollbackReason::Availability));
+        let slow = HealthSample { availability: 1.0, p95_latency_ms: 500.0 };
+        assert_eq!(g.regression_reason(&base, &slow), Some(RollbackReason::Latency));
+        let ok = HealthSample { availability: 0.99, p95_latency_ms: 21.0 };
+        assert_eq!(g.regression_reason(&base, &ok), None);
+        assert!(!g.regressed(&base, &ok));
+        assert!(g.regressed(&base, &both));
+    }
+
+    #[test]
+    fn guard_trace_chains_streaks_commits_and_rollbacks() {
+        if !painter_obs::enabled() {
+            return;
+        }
+        let sink = TraceSink::recording();
+        let mut h =
+            PlanHysteresis::new(HysteresisConfig { min_benefit_delta: 1.0, required_streak: 2 });
+        h.set_trace(sink.clone());
+        let mut cand = AdvertConfig::new();
+        cand.add(PrefixId(1), PeeringId(0));
+        assert!(h.consider_at(&cand, 5.0, SimTime::from_secs(1.0)).is_none());
+        assert!(h.consider_at(&cand, 5.0, SimTime::from_secs(2.0)).is_some());
+        let events = sink.events();
+        let streaks: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::HysteresisStreak { .. }))
+            .collect();
+        assert_eq!(streaks.len(), 2);
+        assert_eq!(streaks[0].cause, 0, "first step of a streak is a root");
+        assert_eq!(streaks[1].cause, streaks[0].id, "steps chain");
+        let commit = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::HysteresisCommit { streak: 2 }))
+            .expect("commit traced");
+        assert_eq!(commit.cause, streaks[1].id, "commit chains to the final step");
+        assert_eq!(commit.id, h.last_commit_trace().raw());
+        assert!(events.iter().all(|e| e.scope == "guard"));
+
+        let mut g = RollbackGuard::new(RollbackConfig::default());
+        g.set_trace(sink.clone());
+        g.record_good(&cand, HealthSample { availability: 1.0, p95_latency_ms: 20.0 });
+        let bad = HealthSample { availability: 0.5, p95_latency_ms: 20.0 };
+        assert!(g.check(SimTime::from_secs(3.0), &bad).is_some());
+        let rollback = sink
+            .events()
+            .iter()
+            .find(|e| {
+                matches!(e.kind, TraceKind::Rollback { reason: RollbackReason::Availability })
+            })
+            .map(|e| e.id)
+            .expect("rollback traced");
+        assert_eq!(rollback, g.last_rollback_trace().raw());
+
+        let mut q = QuarantineBuffer::new(QuarantineConfig::default());
+        q.set_trace(sink.clone());
+        q.flag_churn(PeeringId(2), SimTime::from_secs(10.0));
+        assert!(q.offer(PeeringId(2), sample(0, 1, 2, 20.0), SimTime::from_secs(12.0)).is_none());
+        assert_eq!(q.drain_ready(SimTime::from_secs(30.0)).len(), 1);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::QuarantineEnter { peering: 2 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::QuarantineDrain { admitted: 1 })));
     }
 
     proptest! {

@@ -6,6 +6,7 @@
 //! figures chaos [flags]              # chaos resilience suite (chaos.* sections)
 //! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
 //! figures chaos-search [flags]       # adversarial scenario search (chaos.search.*)
+//! figures explain [flags]            # causal timeline + incident attribution
 //! figures list                       # available ids
 //!
 //! --test             CI-sized inputs (default: paper-sized, use release)
@@ -15,25 +16,42 @@
 //! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
 //! --csv              full per-series CSV dump (the old default)
 //! --report <p>.json  also write the structured RunReport as JSON
+//! --scenario <path>  explain: a pinned CorpusEntry or raw ScenarioSpec
+//!                    JSON (default: the standard suite's pop outage)
+//! --chrome <p>.json  explain: also write the Chrome-trace export
 //! ```
+//!
+//! `figures explain` replays one campaign with the flight recorder on
+//! and prints the deterministic event timeline, the per-fault incident
+//! records, and an `explain.fnv1a` digest — byte-identical across
+//! same-seed replays (the `trace-determinism` CI job holds it to that).
 //!
 //! The default output is the structured run-report table built from
 //! [`painter_eval::figures_report`]; `--report` writes the same data
 //! machine-readably, with every series' points included.
 
+use painter_eval::chaos::{run_campaign, standard_suite, ChaosTiming};
 use painter_eval::figs::{run, ALL_FIGURES};
+use painter_eval::incidents::render_timeline;
 use painter_eval::{figures_report, Figure, Scale};
 use rayon::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
-        println!("available figures: {} chaos chaos-sweep chaos-search", ALL_FIGURES.join(" "));
         println!(
-            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search [--test] \
-             [--seed <n>] [--budget <n>] [--pin <dir>] [--markdown|--csv] \
-             [--report <path>.json]"
+            "available figures: {} chaos chaos-sweep chaos-search explain",
+            ALL_FIGURES.join(" ")
         );
+        println!(
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|explain [--test] \
+             [--seed <n>] [--budget <n>] [--pin <dir>] [--markdown|--csv] \
+             [--report <path>.json] [--scenario <path>.json] [--chrome <path>.json]"
+        );
+        return;
+    }
+    if args[0] == "explain" {
+        explain(&args);
         return;
     }
     let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
@@ -81,7 +99,13 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--report" || *a == "--seed" || *a == "--budget" || *a == "--pin" {
+                if *a == "--report"
+                    || *a == "--seed"
+                    || *a == "--budget"
+                    || *a == "--pin"
+                    || *a == "--scenario"
+                    || *a == "--chrome"
+                {
                     skip_next = true;
                 }
                 !a.starts_with("--")
@@ -184,6 +208,97 @@ fn main() {
     }
     if let Some(path) = report_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write report to {path}: {e}");
+            failed = true;
+        } else {
+            eprintln!("wrote report: {path}");
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}
+
+/// `figures explain`: replays one campaign with the flight recorder on
+/// and prints the causal timeline, the per-fault incident records, and
+/// the FNV-1a replay digest of that explanation.
+fn explain(args: &[String]) {
+    let arg_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let seed_arg: Option<u64> = arg_after("--seed").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--seed requires an integer argument");
+            std::process::exit(2);
+        })
+    });
+    let scenario = arg_after("--scenario");
+    let chrome_path = arg_after("--chrome");
+    let report_path = arg_after("--report");
+    let flag_scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
+
+    // A pinned corpus reproducer carries its own (spec, seed, scale);
+    // a raw ScenarioSpec uses the command-line seed and scale; with no
+    // --scenario the standard suite's pop outage is replayed.
+    let (spec, scale, seed) = match &scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(2);
+            });
+            match painter_chaos::CorpusEntry::from_json(&text) {
+                Ok(entry) => {
+                    let scale = if entry.scale == "paper" { Scale::Paper } else { Scale::Test };
+                    (entry.spec, scale, seed_arg.unwrap_or(entry.seed))
+                }
+                Err(_) => match painter_chaos::ScenarioSpec::from_json(&text) {
+                    Ok(spec) => (spec, flag_scale, seed_arg.unwrap_or(1)),
+                    Err(e) => {
+                        eprintln!("{path} is neither a CorpusEntry nor a ScenarioSpec: {e}");
+                        std::process::exit(2);
+                    }
+                },
+            }
+        }
+        None => {
+            let timing = ChaosTiming::for_scale(flag_scale);
+            (standard_suite(&timing).remove(0), flag_scale, seed_arg.unwrap_or(1))
+        }
+    };
+    let timing = ChaosTiming::for_scale(scale);
+    let outcome = match run_campaign(&spec, &timing, seed) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("explain campaign failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let timeline = render_timeline(&outcome.schedule, &outcome.events, &outcome.incidents);
+    print!("{timeline}");
+    println!("explain.fnv1a {:016x}", painter_obs::fnv1a(timeline.as_bytes()));
+
+    let mut failed = false;
+    if let Some(path) = &chrome_path {
+        let json = painter_obs::chrome_trace_json(&outcome.events);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write chrome trace to {path}: {e}");
+            failed = true;
+        } else {
+            eprintln!("wrote chrome trace: {path}");
+        }
+    }
+    if let Some(path) = &report_path {
+        let mut report = painter_obs::RunReport::new("explain");
+        for section in outcome.sections() {
+            report.push_section(section);
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("failed to write report to {path}: {e}");
             failed = true;
         } else {

@@ -32,13 +32,15 @@
 //! per-campaign `chaos.<name>.schedule` section records the spec and an
 //! FNV-1a digest of the injection trace as the replay receipt.
 
+use crate::incidents::{attribute, incident_sections, Incident};
 use crate::scenario::{Scale, SALT};
 use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
 use painter_bgp::AdvertConfig;
 use painter_bgp::PrefixId;
 use painter_chaos::{
-    program_bgp, program_tm, DataPlaneState, FaultEvent, FaultKind, FaultSpec, ScenarioSpec,
-    Schedule, Scorecard, Target, TmTarget, WorldView,
+    program_bgp_traced, program_tm, program_tm_traced, trace_fault_spans, DataPlaneState,
+    FaultEvent, FaultKind, FaultSpec, Injection, ScenarioSpec, Schedule, Scorecard, Target,
+    TmTarget, WorldView,
 };
 use painter_core::{
     apply_to_engine, diff, revert_plan, ConfigEvaluator, GuardConfig, HealthSample, Observations,
@@ -48,9 +50,9 @@ use painter_core::{
 use painter_eventsim::{derive_seed, SimTime};
 use painter_geo::{metro, Region};
 use painter_measure::UgId;
-use painter_obs::Section;
+use painter_obs::{Section, TraceEvent, TraceId, TraceKind, TraceSink};
 use painter_tm::{TmSimulation, TmSimulationConfig, TunnelId};
-use painter_topology::{AsGraph, AsTier, Deployment, PeeringId, PeeringKind, Relationship};
+use painter_topology::{AsGraph, AsId, AsTier, Deployment, PeeringId, PeeringKind, Relationship};
 
 /// Sampling grid for coupling BGP state into the TM channel schedules.
 const SAMPLE_MS: f64 = 25.0;
@@ -116,6 +118,12 @@ pub struct CampaignOutcome {
     pub closed_loop: Scorecard,
     /// What the guarded learning loop did while the faults ran.
     pub learning: LearningStats,
+    /// One attribution record per spec fault (empty-fault specs aside,
+    /// never empty — unobserved faults are explicit, not dropped).
+    pub incidents: Vec<Incident>,
+    /// The raw causal trace (empty under `obs-off`), for Chrome-trace
+    /// export and timeline rendering.
+    pub events: Vec<TraceEvent>,
 }
 
 impl CampaignOutcome {
@@ -126,10 +134,12 @@ impl CampaignOutcome {
     }
 
     /// Report sections: a `chaos.<name>.schedule` provenance section,
-    /// one `chaos.<name>.<strategy>` section per strategy, then the
-    /// `chaos.<name>.learning` closed-loop diagnostics.
+    /// one `chaos.<name>.<strategy>` section per strategy, the
+    /// `chaos.<name>.learning` closed-loop diagnostics, then the
+    /// `chaos.<name>.incidents` attribution summary and one
+    /// `chaos.<name>.incident<k>` record per fault.
     pub fn sections(&self) -> Vec<Section> {
-        let mut out = Vec::with_capacity(6);
+        let mut out = Vec::with_capacity(7 + self.incidents.len());
         out.push(
             Section::new(format!("chaos.{}.schedule", self.schedule.name))
                 .field("seed", self.schedule.seed)
@@ -145,6 +155,7 @@ impl CampaignOutcome {
             out.push(sc.section());
         }
         out.push(self.learning.section(&self.schedule.name));
+        out.extend(incident_sections(&self.schedule.name, &self.incidents));
         out
     }
 }
@@ -221,8 +232,11 @@ impl LearningStats {
 struct HarnessWorld {
     graph: AsGraph,
     deployment: Deployment,
-    stub: painter_topology::AsId,
+    stub: AsId,
     stub_metro: painter_geo::MetroId,
+    /// The churn bystander stubs — sampled (read-only) during campaigns
+    /// to measure each fault's blast radius in rerouted user groups.
+    bystanders: Vec<AsId>,
 }
 
 fn build_world() -> HarnessWorld {
@@ -244,10 +258,12 @@ fn build_world() -> HarnessWorld {
     graph.add_link(isp2, acc2, Relationship::ProviderOf).expect("new link");
     graph.add_link(acc1, stub, Relationship::ProviderOf).expect("new link");
     graph.add_link(acc2, stub, Relationship::ProviderOf).expect("new link");
+    let mut bystanders = Vec::with_capacity(8);
     for i in 0..8 {
         let bystander = graph.add_node(AsTier::Stub, Region::NorthAmerica, vec![ny], 1.0);
         let upstream = if i % 2 == 0 { acc1 } else { acc2 };
         graph.add_link(upstream, bystander, Relationship::ProviderOf).expect("new link");
+        bystanders.push(bystander);
     }
     let deployment = Deployment::from_parts(
         vec![ny, lon],
@@ -258,7 +274,7 @@ fn build_world() -> HarnessWorld {
             (1, isp2, PeeringKind::TransitProvider),
         ],
     );
-    HarnessWorld { graph, deployment, stub, stub_metro: ny }
+    HarnessWorld { graph, deployment, stub, stub_metro: ny, bystanders }
 }
 
 /// Chaos tunnel index 0 is the anycast prefix; 1.. are the per-peering
@@ -312,16 +328,25 @@ pub fn run_campaign_with_guard(
     let first_fault = schedule.first_at().unwrap_or(SimTime::MAX);
     let horizon = SimTime::from_secs(timing.horizon_s);
 
+    // --- The flight recorder: one sink shared by the injector, the
+    // shared BGP engine, painter's Traffic Manager, the guard layer, and
+    // the closed loop's plan installer. Emission is append-only (no RNG,
+    // no event-queue effect), so recording never perturbs the campaign;
+    // under `obs-off` the sink is a ZST and every emit vanishes.
+    let sink = TraceSink::recording();
+    let spans = trace_fault_spans(&schedule, &sink);
+
     // --- Shared control plane: announce everything, queue the chaos
     // events, let BGP converge through the warm-up.
     let dynamics = DynamicsConfig { proc_delay_ms: (30.0, 400.0), mrai_secs: (2.0, 8.0), seed };
     let mut engine = BgpEngine::new(&world.graph, &world.deployment, dynamics, SALT);
+    engine.set_trace(sink.clone());
     for (prefix, peerings) in &plan {
         for &pe in peerings {
             engine.announce(SimTime::ZERO, *prefix, pe);
         }
     }
-    program_bgp(&schedule, &mut engine);
+    program_bgp_traced(&schedule, &mut engine, &spans);
     engine.run_until(SimTime::from_secs(timing.warmup_s));
 
     // Converged base RTT per chaos tunnel (what a blackhole recovery
@@ -347,10 +372,31 @@ pub fn run_campaign_with_guard(
     let steps = (timing.horizon_s * 1000.0 / SAMPLE_MS) as usize;
     let mut dps = DataPlaneState::new(view.pops as usize, plan.len());
     let mut avail: Vec<Vec<Option<(PeeringId, f64)>>> = Vec::with_capacity(steps);
+    // Bystander anycast ingresses, sampled per step for blast-radius
+    // attribution. Pure reads of already-advanced engine state — the
+    // sampling can never perturb the campaign — and skipped entirely
+    // when no trace is being recorded.
+    let mut bystander_rows: Vec<Vec<Option<PeeringId>>> = Vec::new();
     for step in 0..steps {
         let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
         engine.run_until(t);
         dps.advance(&schedule, t);
+        if sink.is_recording() {
+            bystander_rows.push(
+                world
+                    .bystanders
+                    .iter()
+                    .map(|&b| {
+                        engine
+                            .current_path(b, PrefixId(0))
+                            .filter(|(_, ingress)| {
+                                !dps.pop_down(world.deployment.peering(*ingress).pop)
+                            })
+                            .map(|(_, ingress)| ingress)
+                    })
+                    .collect(),
+            );
+        }
         let row: Vec<Option<(PeeringId, f64)>> = plan
             .iter()
             .enumerate()
@@ -373,20 +419,30 @@ pub fn run_campaign_with_guard(
     }
 
     // --- Strategy 1: PAINTER — every tunnel, full fault programming.
+    // This is the strategy whose Traffic Manager feeds the flight
+    // recorder: a fault cursor walks the schedule alongside the sampled
+    // grid so each channel reprogramming carries the causal id of the
+    // fault that explains it (the other strategies' TMs replay the same
+    // physics unrecorded).
     let painter = {
         let mut tm = TmSimulation::new(TmSimulationConfig {
             seed: derive_seed(seed, 1),
             ..Default::default()
         });
+        tm.set_trace(sink.clone());
         let tunnels = add_all_paths(&mut tm, &world, &plan, &base);
         let targets = tm_targets(&tunnels, &base);
-        program_tm(&schedule, &mut tm, &targets);
+        program_tm_traced(&schedule, &mut tm, &targets, &spans);
+        let mut cursor = FaultCursor::new(&schedule, &plan, &world.deployment, &spans);
         for (step, row) in avail.iter().enumerate() {
             let t = SimTime::from_ms(step as f64 * SAMPLE_MS);
+            cursor.advance(t);
             for (idx, sample) in row.iter().enumerate() {
                 match sample {
-                    Some((_, rtt)) => tm.schedule_path_rtt(t, tunnels[idx], *rtt),
-                    None => tm.schedule_path_down(t, tunnels[idx]),
+                    Some((_, rtt)) => {
+                        tm.schedule_path_rtt_caused(t, tunnels[idx], *rtt, cursor.up_cause(idx))
+                    }
+                    None => tm.schedule_path_down_caused(t, tunnels[idx], cursor.down_cause(idx)),
                 }
             }
         }
@@ -473,7 +529,13 @@ pub fn run_campaign_with_guard(
         horizon,
         first_fault,
         &spec.name,
+        &sink,
     );
+
+    // --- Fold the recorded stream into per-fault incident records.
+    let events = sink.events();
+    let blast = bystander_blast(&schedule, &bystander_rows);
+    let incidents = attribute(spec, &schedule, &events, &blast);
 
     Ok(CampaignOutcome {
         schedule,
@@ -483,7 +545,141 @@ pub fn run_campaign_with_guard(
         dns,
         closed_loop,
         learning,
+        incidents,
+        events,
     })
+}
+
+/// Walks the schedule alongside the sampling grid, tracking which fault
+/// most recently explains each tunnel's loss (or return) of sampled
+/// reachability, so per-cell channel reprogramming can carry the
+/// responsible fault's span id without re-deriving BGP propagation.
+/// Each injection is examined exactly once across the whole walk; with
+/// an inert sink every span is `NONE` and the cursor hands out `NONE`.
+struct FaultCursor<'a> {
+    injections: &'a [Injection],
+    plan: &'a [(PrefixId, Vec<PeeringId>)],
+    deployment: &'a Deployment,
+    spans: &'a [TraceId],
+    next: usize,
+    down: Vec<TraceId>,
+    up: Vec<TraceId>,
+}
+
+impl<'a> FaultCursor<'a> {
+    fn new(
+        schedule: &'a Schedule,
+        plan: &'a [(PrefixId, Vec<PeeringId>)],
+        deployment: &'a Deployment,
+        spans: &'a [TraceId],
+    ) -> FaultCursor<'a> {
+        FaultCursor {
+            injections: schedule.injections(),
+            plan,
+            deployment,
+            spans,
+            next: 0,
+            down: vec![TraceId::NONE; plan.len()],
+            up: vec![TraceId::NONE; plan.len()],
+        }
+    }
+
+    /// Consumes every injection at or before `t`, updating which fault
+    /// last pushed each tunnel down (or brought it back).
+    fn advance(&mut self, t: SimTime) {
+        while let Some(inj) = self.injections.get(self.next) {
+            if inj.at > t {
+                break;
+            }
+            self.next += 1;
+            let span = self.spans.get(inj.fault).copied().unwrap_or(TraceId::NONE);
+            if span.is_none() {
+                continue;
+            }
+            match inj.event {
+                FaultEvent::SessionDown { peering } => self.mark_peering(peering, span, true),
+                FaultEvent::SessionUp { peering } => self.mark_peering(peering, span, false),
+                FaultEvent::Withdraw { prefix, .. } => self.mark_prefix(prefix, span, true),
+                FaultEvent::Announce { prefix, .. } => self.mark_prefix(prefix, span, false),
+                FaultEvent::PopDown { pop } => self.mark_pop(pop, span, true),
+                FaultEvent::PopUp { pop } => self.mark_pop(pop, span, false),
+                FaultEvent::TunnelDown { tunnel } => self.mark_tunnel(tunnel, span, true),
+                FaultEvent::TunnelUp { tunnel } => self.mark_tunnel(tunnel, span, false),
+                _ => {}
+            }
+        }
+    }
+
+    fn mark_tunnel(&mut self, idx: usize, span: TraceId, down: bool) {
+        let side = if down { &mut self.down } else { &mut self.up };
+        if let Some(slot) = side.get_mut(idx) {
+            *slot = span;
+        }
+    }
+
+    fn mark_prefix(&mut self, prefix: PrefixId, span: TraceId, down: bool) {
+        if let Some(idx) = self.plan.iter().position(|(p, _)| *p == prefix) {
+            self.mark_tunnel(idx, span, down);
+        }
+    }
+
+    fn mark_peering(&mut self, peering: PeeringId, span: TraceId, down: bool) {
+        for idx in 0..self.plan.len() {
+            if self.plan[idx].1.contains(&peering) {
+                self.mark_tunnel(idx, span, down);
+            }
+        }
+    }
+
+    fn mark_pop(&mut self, pop: painter_topology::PopId, span: TraceId, down: bool) {
+        for idx in 0..self.plan.len() {
+            if self.plan[idx].1.iter().any(|pe| self.deployment.peering(*pe).pop == pop) {
+                self.mark_tunnel(idx, span, down);
+            }
+        }
+    }
+
+    fn down_cause(&self, idx: usize) -> TraceId {
+        self.down.get(idx).copied().unwrap_or(TraceId::NONE)
+    }
+
+    fn up_cause(&self, idx: usize) -> TraceId {
+        self.up.get(idx).copied().unwrap_or(TraceId::NONE)
+    }
+}
+
+/// Per-fault blast radius over the sampled bystander ingresses: a
+/// bystander counts as affected by fault `f` if its anycast ingress at
+/// any step inside `f`'s injection window differs from the step just
+/// before the window opened. Empty when bystanders were not sampled
+/// (`obs-off`).
+fn bystander_blast(schedule: &Schedule, rows: &[Vec<Option<PeeringId>>]) -> Vec<u64> {
+    let faults = schedule.fault_count();
+    let mut out = vec![0u64; faults];
+    if rows.is_empty() {
+        return out;
+    }
+    let last_step = rows.len() - 1;
+    for (f, slot) in out.iter_mut().enumerate() {
+        let mut first: Option<SimTime> = None;
+        let mut last: Option<SimTime> = None;
+        for inj in schedule.injections().iter().filter(|i| i.fault == f) {
+            if first.is_none() {
+                first = Some(inj.at);
+            }
+            last = Some(inj.at);
+        }
+        let (Some(first), Some(last)) = (first, last) else { continue };
+        let s0 = ((first.as_ms() / SAMPLE_MS) as usize).min(last_step);
+        let s1 = ((last.as_ms() / SAMPLE_MS) as usize + 1).min(last_step);
+        let baseline = s0.saturating_sub(1);
+        for b in 0..rows[0].len() {
+            if (s0..=s1).any(|s| rows[s][b] != rows[baseline][b]) {
+                *slot += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Runs the advertise→measure→learn loop *inside* the campaign, guarded
@@ -520,6 +716,7 @@ fn run_closed_loop(
     horizon: SimTime,
     first_fault: SimTime,
     campaign: &str,
+    sink: &TraceSink,
 ) -> (Scorecard, LearningStats) {
     let ug = UgId(0);
     let mut fixed = AdvertConfig::new();
@@ -565,6 +762,10 @@ fn run_closed_loop(
     let mut quarantine = QuarantineBuffer::with_obs(guard.quarantine, obs.clone());
     let mut hysteresis = PlanHysteresis::with_obs(guard.hysteresis, obs.clone());
     let mut rollback = RollbackGuard::with_obs(guard.rollback, obs);
+    quarantine.set_trace(sink.clone());
+    hysteresis.set_trace(sink.clone());
+    rollback.set_trace(sink.clone());
+    let plan_trace = sink.scoped("plan");
 
     // The repair engine carries only installer-announced state, plus the
     // session and leak faults that decide whether a repair survives.
@@ -672,6 +873,11 @@ fn run_closed_loop(
                 apply_to_engine(&ops, &mut repair_engine, t);
                 installed = good;
                 reverted = true;
+                plan_trace.emit(
+                    t.as_nanos(),
+                    rollback.last_rollback_trace(),
+                    TraceKind::PlanRevert { pairs: installed.pair_count() as u32 },
+                );
             } else {
                 rollback.record_good(&installed, health);
                 baseline_health = Some(health);
@@ -728,13 +934,19 @@ fn run_closed_loop(
             let evaluator = ConfigEvaluator::new(&orch.inputs, &orch.model);
             let modeled_delta = evaluator.benefit(&candidate) - evaluator.benefit(&installed);
             let delta = modeled_delta + REPAIR_URGENCY * new_pairs;
-            if let Some(commit) = hysteresis.consider(&candidate, delta) {
+            if let Some(commit) = hysteresis.consider_at(&candidate, delta, t) {
                 if commit != installed && rollback.can_attempt(t) {
                     let ops = painter_core::plan(diff(&installed, &commit), hold_down);
                     stats.install_ops += ops.len() as u64;
                     apply_to_engine(&ops, &mut repair_engine, t);
                     installed = commit;
                     probation = true;
+                    let commit_ev = plan_trace.emit(
+                        t.as_nanos(),
+                        hysteresis.last_commit_trace(),
+                        TraceKind::PlanCommit { pairs: installed.pair_count() as u32 },
+                    );
+                    plan_trace.emit(t.as_nanos(), commit_ev, TraceKind::ProbationStart);
                 }
             }
         }
@@ -1228,6 +1440,8 @@ mod tests {
                 "chaos.pop-outage.dns",
                 "chaos.pop-outage.painter-closed-loop",
                 "chaos.pop-outage.learning",
+                "chaos.pop-outage.incidents",
+                "chaos.pop-outage.incident0",
             ]
         );
         // The recorded spec round-trips through the loader.
@@ -1261,6 +1475,70 @@ mod tests {
             out.closed_loop.availability(),
             out.painter.availability()
         );
+    }
+
+    #[test]
+    fn every_fault_is_attributed_and_replays_bit_identically() {
+        let timing = ChaosTiming::for_scale(Scale::Test);
+        // multi-fault: the PoP outage plus a latency spike, bursty loss,
+        // and a darkened probe fleet — four faults, not all of which
+        // produce liveness evidence.
+        let spec = standard_suite(&timing).remove(2);
+        let a = run_campaign(&spec, &timing, 1).expect("campaign");
+        let b = run_campaign(&spec, &timing, 1).expect("campaign");
+
+        // Total attribution: exactly one incident per spec fault.
+        assert_eq!(a.incidents.len(), a.schedule.fault_count());
+        assert_eq!(a.incidents.len(), spec.faults.len());
+        for (f, inc) in a.incidents.iter().enumerate() {
+            assert_eq!(inc.fault, f);
+            assert_eq!(inc.name, spec.faults[f].name);
+        }
+
+        // The explanation artifacts are byte-identical across replays.
+        assert_eq!(a.incidents, b.incidents);
+        let timeline_a = crate::incidents::render_timeline(&a.schedule, &a.events, &a.incidents);
+        let timeline_b = crate::incidents::render_timeline(&b.schedule, &b.events, &b.incidents);
+        assert_eq!(timeline_a, timeline_b);
+        assert_eq!(
+            painter_obs::fnv1a(timeline_a.as_bytes()),
+            painter_obs::fnv1a(timeline_b.as_bytes())
+        );
+        assert_eq!(
+            painter_obs::chrome_trace_json(&a.events),
+            painter_obs::chrome_trace_json(&b.events)
+        );
+
+        if painter_obs::enabled() {
+            // The PoP outage (fault 0) must be fully explained: its
+            // withdrawals and blackholed ingresses chain to tunnel
+            // deaths, a failover, and an eventual recovery.
+            let outage = &a.incidents[0];
+            assert!(outage.observed, "{outage:?}");
+            assert_eq!(outage.kind, "pop_outage");
+            assert!(outage.detection_ms >= 0.0, "{outage:?}");
+            assert!(outage.failover_ms >= 0.0, "{outage:?}");
+            assert!(outage.blast_tunnels >= 1, "{outage:?}");
+            assert!(outage.blast_ugs >= 1, "{outage:?}");
+            assert_ne!(outage.recovered_by, "none", "{outage:?}");
+            // The probe-fleet darkening is detected via suppressed
+            // probes chained to its fault span.
+            let fleet = &a.incidents[3];
+            assert_eq!(fleet.kind, "probe_fleet_loss");
+            assert!(fleet.observed, "{fleet:?}");
+            // The latency spike degrades RTT but kills nothing: no
+            // liveness evidence ever chains to it, and the attribution
+            // says so explicitly instead of dropping it.
+            let spike = &a.incidents[1];
+            assert!(!spike.observed, "{spike:?}");
+            assert_eq!(spike.recovered_by, "none");
+            assert!(!a.events.is_empty());
+        } else {
+            // obs-off: the stream is empty, the schema is unchanged,
+            // and every fault reports explicitly unobserved.
+            assert!(a.events.is_empty());
+            assert!(a.incidents.iter().all(|i| !i.observed));
+        }
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Incident attribution: folding the causal trace into per-fault records.
+//!
+//! A chaos campaign records [`TraceEvent`]s from every layer it drives —
+//! fault spans from the injector, withdraw/announce dynamics from BGP,
+//! probe losses and failovers from the Traffic Manager, quarantine /
+//! hysteresis / rollback decisions from the guard layer, plan commits
+//! from the closed loop — each linked to the event that caused it. This
+//! module answers the operator's question: *which fault explains this
+//! availability dip, and how long did each stage of the response take?*
+//!
+//! [`attribute`] walks every event's cause chain back to its
+//! [`TraceKind::FaultStart`] root and folds the stream into one
+//! [`Incident`] per injected fault: detection latency (first causally
+//! rooted loss-of-liveness), failover latency (first rooted tunnel
+//! switch), repair latency (first rooted recovery edge), blast radius
+//! (distinct tunnels dead plus bystander UGs rerouted), and which
+//! mechanism recovered it. A fault none of whose consequences were ever
+//! observed is *explicitly* marked `observed = false` rather than
+//! silently dropped — the attribution is total over the spec's fault
+//! list.
+//!
+//! Everything here is a pure function of the recorded events and the
+//! compiled schedule, so incident reports — and the rendered timeline's
+//! FNV-1a digest — are byte-identical across same-seed replays. Under
+//! `obs-off` the event stream is empty and every incident reports
+//! unobserved, but the section schema (titles and field names) is
+//! unchanged, so report consumers never fork on build mode.
+
+use painter_chaos::{FaultKind, ScenarioSpec, Schedule};
+use painter_obs::{Section, TraceEvent, TraceKind};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// One injected fault's observed story, derived from the causal trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Index into the source spec's fault list.
+    pub fault: usize,
+    /// The fault's spec label.
+    pub name: String,
+    /// The fault kind's canonical JSON tag (e.g. `pop_outage`).
+    pub kind: String,
+    /// First injection of this fault (ms on the campaign clock); `-1`
+    /// if every injection fell past the horizon.
+    pub start_ms: f64,
+    /// Last injection (the recovery edge, usually); `-1` when the fault
+    /// has a single surviving injection (recovery dropped).
+    pub end_ms: f64,
+    /// Distinct tunnels the fault demonstrably killed or starved
+    /// (causally rooted `tm.tunnel_dead` / `tm.probe_lost`).
+    pub blast_tunnels: u64,
+    /// Bystander user groups whose ingress moved (or died) during the
+    /// fault window, plus the primary UG when the fault was detected.
+    pub blast_ugs: u64,
+    /// Fault start → first rooted loss-of-liveness (ms); `-1` if never
+    /// detected.
+    pub detection_ms: f64,
+    /// Fault start → first rooted tunnel failover (ms); `-1` if none.
+    pub failover_ms: f64,
+    /// Fault start → first rooted recovery edge (tunnel revival, session
+    /// restore, re-announce, leak end) (ms); `-1` if none landed.
+    pub repair_ms: f64,
+    /// What brought service back: `closed-loop-repair` (a plan commit
+    /// landed inside the fault window), `fault-clearance` (a dead tunnel
+    /// revived), `bgp-reconvergence` (session/announce recovery), or
+    /// `none`.
+    pub recovered_by: String,
+    /// Whether *any* consequence of the fault was causally observed.
+    pub observed: bool,
+}
+
+/// The fault kind's canonical JSON tag (the `type` string the spec
+/// parser reads).
+pub fn kind_tag(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::SessionReset => "session_reset",
+        FaultKind::WithdrawStorm { .. } => "withdraw_storm",
+        FaultKind::PopOutage { .. } => "pop_outage",
+        FaultKind::LinkBlackhole => "link_blackhole",
+        FaultKind::LatencySpike { .. } => "latency_spike",
+        FaultKind::BurstyLoss { .. } => "bursty_loss",
+        FaultKind::ProbeFleetLoss { .. } => "probe_fleet_loss",
+        FaultKind::RouteLeak => "route_leak",
+    }
+}
+
+/// Follows an event's cause chain to the fault span that roots it.
+/// Chains are acyclic by construction (causes point at earlier ids);
+/// the hop bound is defense against a malformed stream.
+fn root_fault(
+    event: &TraceEvent,
+    events: &[TraceEvent],
+    index: &HashMap<u64, usize>,
+) -> Option<usize> {
+    let mut cur = event;
+    for _ in 0..64 {
+        if let TraceKind::FaultStart { fault } = cur.kind {
+            return Some(fault as usize);
+        }
+        if cur.cause == 0 {
+            return None;
+        }
+        cur = events.get(*index.get(&cur.cause)?)?;
+    }
+    None
+}
+
+/// Folds the event stream into one [`Incident`] per spec fault.
+///
+/// `blast_bystanders[f]` is the harness-sampled count of bystander UGs
+/// whose anycast ingress changed during fault `f`'s injection window
+/// (pass an empty slice when bystanders were not sampled).
+pub fn attribute(
+    spec: &ScenarioSpec,
+    schedule: &Schedule,
+    events: &[TraceEvent],
+    blast_bystanders: &[u64],
+) -> Vec<Incident> {
+    let index: HashMap<u64, usize> = events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+    let roots: Vec<Option<usize>> = events.iter().map(|e| root_fault(e, events, &index)).collect();
+
+    spec.faults
+        .iter()
+        .enumerate()
+        .map(|(f, fault_spec)| {
+            // Injection window from the compiled schedule — available in
+            // both build modes, unlike the trace span events.
+            let mut first_ns: Option<u64> = None;
+            let mut last_ns: Option<u64> = None;
+            for inj in schedule.injections().iter().filter(|i| i.fault == f) {
+                let at = inj.at.as_nanos();
+                if first_ns.is_none() {
+                    first_ns = Some(at);
+                }
+                last_ns = Some(at);
+            }
+            let start_ns = first_ns.unwrap_or(0);
+            // The window a recovery must land in: up to the fault's last
+            // injection, or the horizon when the recovery edge was
+            // dropped past it.
+            let window_end_ns = match (first_ns, last_ns) {
+                (Some(a), Some(b)) if b > a => b,
+                _ => schedule.horizon.as_nanos(),
+            };
+
+            let rel_ms = |at: u64| (at.saturating_sub(start_ns)) as f64 / 1e6;
+            let mut detection = -1.0f64;
+            let mut failover = -1.0f64;
+            let mut repair = -1.0f64;
+            let mut observed = false;
+            let mut dead_tunnels: Vec<u32> = Vec::new();
+            for (event, root) in events.iter().zip(&roots) {
+                if *root != Some(f) {
+                    continue;
+                }
+                match event.kind {
+                    TraceKind::FaultStart { .. } | TraceKind::FaultEnd { .. } => continue,
+                    TraceKind::TunnelDead { tunnel } | TraceKind::ProbeLost { tunnel } => {
+                        if detection < 0.0 {
+                            detection = rel_ms(event.at_nanos);
+                        }
+                        if !dead_tunnels.contains(&tunnel) {
+                            dead_tunnels.push(tunnel);
+                        }
+                    }
+                    TraceKind::Failover { .. } => {
+                        if failover < 0.0 {
+                            failover = rel_ms(event.at_nanos);
+                        }
+                    }
+                    TraceKind::TunnelRevived { .. }
+                    | TraceKind::BgpSessionUp { .. }
+                    | TraceKind::BgpAnnounce { .. }
+                    | TraceKind::BgpLeakEnd { .. } => {
+                        if repair < 0.0 && event.at_nanos >= start_ns {
+                            repair = rel_ms(event.at_nanos);
+                        }
+                    }
+                    _ => {}
+                }
+                observed = true;
+            }
+
+            let plan_commit_in_window = events.iter().any(|e| {
+                matches!(e.kind, TraceKind::PlanCommit { .. })
+                    && e.at_nanos >= start_ns
+                    && e.at_nanos <= window_end_ns
+            });
+            let rooted = |pred: &dyn Fn(&TraceKind) -> bool| {
+                events
+                    .iter()
+                    .zip(&roots)
+                    .any(|(e, r)| *r == Some(f) && pred(&e.kind) && e.at_nanos >= start_ns)
+            };
+            let recovered_by = if !observed {
+                "none"
+            } else if plan_commit_in_window {
+                "closed-loop-repair"
+            } else if rooted(&|k| matches!(k, TraceKind::TunnelRevived { .. })) {
+                "fault-clearance"
+            } else if rooted(&|k| {
+                matches!(k, TraceKind::BgpSessionUp { .. } | TraceKind::BgpAnnounce { .. })
+            }) {
+                "bgp-reconvergence"
+            } else {
+                "none"
+            };
+
+            let bystanders = blast_bystanders.get(f).copied().unwrap_or(0);
+            Incident {
+                fault: f,
+                name: fault_spec.name.clone(),
+                kind: kind_tag(&fault_spec.kind).to_string(),
+                start_ms: first_ns.map(|ns| ns as f64 / 1e6).unwrap_or(-1.0),
+                end_ms: match (first_ns, last_ns) {
+                    (Some(a), Some(b)) if b > a => b as f64 / 1e6,
+                    _ => -1.0,
+                },
+                blast_tunnels: dead_tunnels.len() as u64,
+                blast_ugs: bystanders + u64::from(detection >= 0.0),
+                detection_ms: detection,
+                failover_ms: failover,
+                repair_ms: repair,
+                recovered_by: recovered_by.to_string(),
+                observed,
+            }
+        })
+        .collect()
+}
+
+/// The `chaos.<campaign>.incidents` summary plus one
+/// `chaos.<campaign>.incident<k>` section per fault (schema pinned by
+/// `tests/obs_report.rs`).
+pub fn incident_sections(campaign: &str, incidents: &[Incident]) -> Vec<Section> {
+    let observed = incidents.iter().filter(|i| i.observed).count();
+    let mean = |pick: fn(&Incident) -> f64| {
+        let vals: Vec<f64> = incidents.iter().map(pick).filter(|&v| v >= 0.0).collect();
+        if vals.is_empty() {
+            -1.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let mut kind_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for inc in incidents {
+        *kind_counts.entry(inc.kind.as_str()).or_default() += 1;
+    }
+    let kinds =
+        kind_counts.iter().map(|(k, c)| format!("{k}:{c}")).collect::<Vec<_>>().join(",");
+
+    let mut out = Vec::with_capacity(incidents.len() + 1);
+    out.push(
+        Section::new(format!("chaos.{campaign}.incidents"))
+            .field("faults", incidents.len())
+            .field("observed", observed)
+            .field("unobserved", incidents.len() - observed)
+            .field("detection_mean_ms", mean(|i| i.detection_ms))
+            .field("failover_mean_ms", mean(|i| i.failover_ms))
+            .field("repair_mean_ms", mean(|i| i.repair_ms))
+            .field("blast_ugs_total", incidents.iter().map(|i| i.blast_ugs).sum::<u64>())
+            .field("kinds", kinds.as_str()),
+    );
+    for (k, inc) in incidents.iter().enumerate() {
+        out.push(
+            Section::new(format!("chaos.{campaign}.incident{k}"))
+                .field("fault", inc.fault)
+                .field("name", inc.name.as_str())
+                .field("kind", inc.kind.as_str())
+                .field("start_ms", inc.start_ms)
+                .field("end_ms", inc.end_ms)
+                .field("blast_tunnels", inc.blast_tunnels)
+                .field("blast_ugs", inc.blast_ugs)
+                .field("detection_ms", inc.detection_ms)
+                .field("failover_ms", inc.failover_ms)
+                .field("repair_ms", inc.repair_ms)
+                .field("recovered_by", inc.recovered_by.as_str())
+                .field("observed", inc.observed),
+        );
+    }
+    out
+}
+
+fn opt_ms(v: f64) -> String {
+    if v < 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("+{v:.0}ms")
+    }
+}
+
+/// The human-readable flight-recorder readout: every trace event in
+/// deterministic `(time, id)` order with its cause link, followed by the
+/// per-fault incident summary. `figures explain` prints this and digests
+/// it with FNV-1a as the replay receipt.
+pub fn render_timeline(
+    schedule: &Schedule,
+    events: &[TraceEvent],
+    incidents: &[Incident],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== explain: {} (seed {}, {} events, {} faults) ==",
+        schedule.name,
+        schedule.seed,
+        events.len(),
+        incidents.len()
+    );
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.at_nanos, e.id));
+    for e in &sorted {
+        let cause = if e.cause == 0 { String::new() } else { format!("  <- #{}", e.cause) };
+        let detail = e.kind.detail();
+        let sep = if detail.is_empty() { "" } else { " " };
+        let _ = writeln!(
+            out,
+            "t+{:>11.3}ms  #{:<4} [{:>5}] {}{sep}{detail}{cause}",
+            e.at_nanos as f64 / 1e6,
+            e.id,
+            e.scope,
+            e.kind.name(),
+        );
+    }
+    let _ = writeln!(out, "-- incidents --");
+    for inc in incidents {
+        if inc.observed {
+            let _ = writeln!(
+                out,
+                "fault#{} {} ({}): start={:.0}ms detection={} failover={} repair={} \
+                 blast={} tunnels / {} ugs recovered-by={}",
+                inc.fault,
+                inc.name,
+                inc.kind,
+                inc.start_ms,
+                opt_ms(inc.detection_ms),
+                opt_ms(inc.failover_ms),
+                opt_ms(inc.repair_ms),
+                inc.blast_tunnels,
+                inc.blast_ugs,
+                inc.recovered_by,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "fault#{} {} ({}): unobserved (no causally-linked events)",
+                inc.fault, inc.name, inc.kind,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_bgp::PrefixId;
+    use painter_chaos::{FaultSpec, Target, WorldView};
+    use painter_topology::{PeeringId, PopId};
+
+    /// A minimal compile world: one PoP, one peering, two single-peering
+    /// prefixes (tunnels 0 and 1).
+    fn world() -> WorldView {
+        WorldView {
+            pops: 1,
+            peerings: vec![(PeeringId(0), PopId(0))],
+            prefixes: vec![
+                (PrefixId(0), vec![PeeringId(0)]),
+                (PrefixId(1), vec![PeeringId(0)]),
+            ],
+        }
+    }
+
+    fn two_fault_spec() -> ScenarioSpec {
+        ScenarioSpec::new("synthetic", 60.0)
+            .fault(
+                FaultSpec::new("bh0", FaultKind::LinkBlackhole, Target::Tunnel(0))
+                    .at(10.0)
+                    .lasting(20.0),
+            )
+            .fault(
+                FaultSpec::new(
+                    "spike1",
+                    FaultKind::LatencySpike { add_ms: 30.0 },
+                    Target::Tunnel(1),
+                )
+                .at(40.0)
+                .lasting(5.0),
+            )
+    }
+
+    fn ev(id: u64, at_ms: f64, cause: u64, scope: &'static str, kind: TraceKind) -> TraceEvent {
+        TraceEvent { id, at_nanos: (at_ms * 1e6) as u64, cause, scope, kind }
+    }
+
+    /// A hand-built causal chain: fault span -> tunnel death -> failover,
+    /// then a span-rooted revival. The latency spike emits nothing.
+    fn synthetic_events() -> Vec<TraceEvent> {
+        vec![
+            ev(1, 10_000.0, 0, "chaos", TraceKind::FaultStart { fault: 0 }),
+            ev(2, 10_150.0, 1, "tm", TraceKind::TunnelDead { tunnel: 0 }),
+            ev(3, 10_200.0, 2, "tm", TraceKind::Failover { from: 0, to: 1 }),
+            ev(4, 30_000.0, 1, "chaos", TraceKind::FaultEnd { fault: 0 }),
+            ev(5, 30_400.0, 1, "tm", TraceKind::TunnelRevived { tunnel: 0 }),
+        ]
+    }
+
+    #[test]
+    fn attribution_follows_cause_chains_to_the_rooting_fault() {
+        let spec = two_fault_spec();
+        let schedule = Schedule::compile(&spec, &world(), 1).expect("compile");
+        let incidents = attribute(&spec, &schedule, &synthetic_events(), &[2, 0]);
+        assert_eq!(incidents.len(), 2, "attribution is total over the fault list");
+
+        let bh = &incidents[0];
+        assert!(bh.observed);
+        assert_eq!(bh.kind, "link_blackhole");
+        assert_eq!(bh.name, "bh0");
+        assert!((bh.start_ms - 10_000.0).abs() < 1e-6);
+        assert!((bh.end_ms - 30_000.0).abs() < 1e-6);
+        assert!((bh.detection_ms - 150.0).abs() < 1e-6, "detection {}", bh.detection_ms);
+        assert!((bh.failover_ms - 200.0).abs() < 1e-6, "failover {}", bh.failover_ms);
+        assert!((bh.repair_ms - 20_400.0).abs() < 1e-6, "repair {}", bh.repair_ms);
+        assert_eq!(bh.blast_tunnels, 1);
+        // 2 sampled bystanders + the detected primary UG.
+        assert_eq!(bh.blast_ugs, 3);
+        assert_eq!(bh.recovered_by, "fault-clearance");
+
+        // The spike's consequences were never traced: explicitly
+        // unobserved, not silently dropped.
+        let spike = &incidents[1];
+        assert!(!spike.observed);
+        assert_eq!(spike.kind, "latency_spike");
+        assert_eq!(spike.detection_ms, -1.0);
+        assert_eq!(spike.recovered_by, "none");
+        assert_eq!(spike.blast_ugs, 0);
+    }
+
+    #[test]
+    fn plan_commit_in_window_takes_recovery_precedence() {
+        let spec = two_fault_spec();
+        let schedule = Schedule::compile(&spec, &world(), 1).expect("compile");
+        let mut events = synthetic_events();
+        events.push(ev(6, 18_000.0, 0, "plan", TraceKind::PlanCommit { pairs: 6 }));
+        let incidents = attribute(&spec, &schedule, &events, &[]);
+        assert_eq!(incidents[0].recovered_by, "closed-loop-repair");
+    }
+
+    #[test]
+    fn empty_stream_reports_every_fault_unobserved_with_stable_schema() {
+        let spec = two_fault_spec();
+        let schedule = Schedule::compile(&spec, &world(), 1).expect("compile");
+        let incidents = attribute(&spec, &schedule, &[], &[]);
+        assert_eq!(incidents.len(), 2);
+        assert!(incidents.iter().all(|i| !i.observed));
+        // Schedule-derived provenance survives without any events.
+        assert!((incidents[0].start_ms - 10_000.0).abs() < 1e-6);
+
+        let sections = incident_sections("synthetic", &incidents);
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].title, "chaos.synthetic.incidents");
+        assert_eq!(sections[1].title, "chaos.synthetic.incident0");
+        assert_eq!(sections[2].title, "chaos.synthetic.incident1");
+        match sections[0].get("kinds") {
+            Some(painter_obs::Value::Str(s)) => {
+                assert_eq!(s.as_str(), "latency_spike:1,link_blackhole:1");
+            }
+            other => panic!("expected kinds string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeline_renders_deterministically_and_mentions_every_incident() {
+        let spec = two_fault_spec();
+        let schedule = Schedule::compile(&spec, &world(), 1).expect("compile");
+        let events = synthetic_events();
+        let incidents = attribute(&spec, &schedule, &events, &[]);
+        let a = render_timeline(&schedule, &events, &incidents);
+        let b = render_timeline(&schedule, &events, &incidents);
+        assert_eq!(a, b);
+        assert_eq!(painter_obs::fnv1a(a.as_bytes()), painter_obs::fnv1a(b.as_bytes()));
+        assert!(a.contains("fault.start"));
+        assert!(a.contains("<- #1"), "cause links are printed:\n{a}");
+        assert!(a.contains("bh0"));
+        assert!(a.contains("spike1 (latency_spike): unobserved"));
+    }
+}

@@ -13,6 +13,7 @@ pub mod chaos;
 pub mod chaos_search;
 pub mod figs;
 pub mod helpers;
+pub mod incidents;
 pub mod report;
 pub mod scenario;
 

@@ -17,6 +17,9 @@
 //! * [`RunReport`] — a structured, JSON-serializable snapshot of a run:
 //!   per-subsystem summary sections plus a full metric [`Snapshot`].
 //!   [`json`] holds the dependency-free emitter/parser used for it.
+//! * [`TraceSink`] — a causally-linked flight recorder: typed
+//!   [`TraceEvent`]s with stable ids and `cause` back-references on the
+//!   simulated clock, exportable as Chrome-trace JSON ([`trace`]).
 //!
 //! # Zero cost when off
 //!
@@ -38,6 +41,7 @@
 
 pub mod json;
 pub mod report;
+pub mod trace;
 
 #[cfg(not(feature = "obs-off"))]
 mod metrics;
@@ -52,6 +56,9 @@ pub use noop::{Counter, EventRecord, Gauge, Histogram, Registry, Span};
 pub use report::{
     bucket_index, bucket_upper_bound, HistogramSnapshot, MetricSnapshot, RunReport, Section,
     Snapshot, Value, BUCKETS,
+};
+pub use trace::{
+    chrome_trace_json, fnv1a, RollbackReason, TraceEvent, TraceId, TraceKind, TraceSink,
 };
 
 /// True when telemetry is compiled in (the `obs-off` feature is absent).

@@ -269,20 +269,36 @@ impl Registry {
         }
     }
 
-    /// Appends an event to the ring (oldest entries overwritten once the
-    /// ring is full; no-op when capacity is 0).
+    /// Appends an event to the ring.
+    ///
+    /// Overflow policy (enforced, not advisory): the ring holds at most
+    /// the construction-time capacity; once full, each new event
+    /// overwrites the *oldest* slot and bumps the `obs.events_dropped`
+    /// counter, so event memory stays bounded no matter how long a run
+    /// emits and droppage is visible in every snapshot. Capacity 0
+    /// disables event recording entirely (nothing retained, nothing
+    /// counted).
     pub fn event(&self, at_nanos: u64, name: &'static str, detail: impl Into<String>) {
         if self.inner.event_capacity == 0 {
             return;
         }
         let record = EventRecord { at_nanos, name, detail: detail.into() };
-        let mut events = self.inner.events.lock().unwrap();
-        if events.len() < self.inner.event_capacity {
-            events.push(record);
-        } else {
-            let slot =
-                self.inner.event_head.fetch_add(1, Ordering::Relaxed) as usize % events.len();
-            events[slot] = record;
+        let dropped = {
+            let mut events = self.inner.events.lock().unwrap();
+            if events.len() < self.inner.event_capacity {
+                events.push(record);
+                false
+            } else {
+                let slot =
+                    self.inner.event_head.fetch_add(1, Ordering::Relaxed) as usize % events.len();
+                events[slot] = record;
+                true
+            }
+        };
+        if dropped {
+            // Outside the events lock: counter() takes the metrics lock,
+            // and the two must never nest.
+            self.counter("obs.events_dropped").inc();
         }
     }
 
@@ -431,6 +447,24 @@ mod tests {
         let off = Registry::with_event_capacity(0);
         off.event(1, "tick", "");
         assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn event_ring_overflow_drops_oldest_and_counts() {
+        let reg = Registry::with_event_capacity(4);
+        for i in 0..10u64 {
+            reg.event(i, "tick", format!("#{i}"));
+        }
+        let events = reg.events();
+        assert_eq!(events.len(), 4, "ring never grows past capacity");
+        assert_eq!(events[0].at_nanos, 6, "oldest-dropped: first survivor is #6");
+        assert_eq!(events[3].at_nanos, 9, "newest always kept");
+        assert_eq!(reg.counter("obs.events_dropped").get(), 6, "one drop per overwrite");
+        // Within capacity nothing is dropped and nothing is counted.
+        let roomy = Registry::with_event_capacity(16);
+        roomy.event(1, "tick", "");
+        assert_eq!(roomy.events().len(), 1);
+        assert_eq!(roomy.counter("obs.events_dropped").get(), 0);
     }
 
     #[test]

@@ -529,6 +529,45 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases_pin_current_behavior() {
+        // Empty histogram: every quantile (including the extremes) is 0.
+        let empty = HistogramSnapshot::new();
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+        // Even a default (bucket-less) snapshot answers without panicking.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+
+        // Single sample: q=0.0 and q=1.0 both resolve to that sample —
+        // the rank floor of 1 means q=0 asks for the first observation.
+        let mut one = HistogramSnapshot::new();
+        one.record(26.0);
+        assert_eq!(one.quantile(0.0), 26.0);
+        assert_eq!(one.quantile(1.0), 26.0);
+
+        // Multi-sample extremes: q=0.0 is the first bucket's (clamped)
+        // bound, q=1.0 the max; out-of-range q clamps into [0, 1].
+        let mut h = HistogramSnapshot::new();
+        for v in [1.0, 16.0, 512.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.quantile(f64::MIN));
+        assert_eq!(h.quantile(1.0), 512.0);
+        assert_eq!(h.quantile(2.0), 512.0, "q clamps to 1.0");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+
+        // Values beyond the last log2 bucket land in the final unbounded
+        // bucket; its +inf upper bound is clamped to the observed max, so
+        // quantiles never fabricate infinity.
+        let mut huge = HistogramSnapshot::new();
+        huge.record(1e300);
+        assert_eq!(bucket_index(1e300), BUCKETS - 1);
+        assert!(bucket_upper_bound(BUCKETS - 1).is_infinite());
+        assert_eq!(huge.quantile(0.5), 1e300);
+        assert_eq!(huge.quantile(1.0), 1e300);
+        assert!(huge.quantile(1.0).is_finite());
+    }
+
+    #[test]
     fn snapshot_lookup_by_kind() {
         let snap = Snapshot {
             metrics: vec![

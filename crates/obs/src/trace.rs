@@ -1,0 +1,550 @@
+//! Causal trace events: the deterministic flight recorder.
+//!
+//! A [`TraceSink`] collects typed [`TraceEvent`]s stamped with the
+//! shared simulated clock. Every event gets a stable id (1, 2, 3, … in
+//! emission order) and may name a *cause* — the id of the event that
+//! provoked it — so a post-hoc pass can walk any observation (a dead
+//! tunnel, a failover, a rollback) back to the injected fault that
+//! started the chain. The fault injector emits `FaultStart`/`FaultEnd`
+//! spans, the BGP engine emits the control-plane propagation they
+//! trigger, the Traffic Manager emits the data-plane consequences, and
+//! the guard/plan layer emits what the closed loop did about it.
+//!
+//! # Zero cost when off
+//!
+//! The sink follows the registry's `obs-off` discipline: with the
+//! feature enabled both [`TraceSink`] and [`TraceId`] are zero-sized and
+//! every method is an empty `#[inline(always)]` body, so instrumented
+//! simulators compile to exactly the uninstrumented code — `cause`
+//! fields threaded through event structs occupy zero bytes.
+//! [`TraceEvent`], [`TraceKind`], and the Chrome-trace exporter are
+//! plain data, compiled identically in both modes, so consumers of
+//! recorded traces build either way; an `obs-off` build simply records
+//! nothing.
+//!
+//! # Determinism
+//!
+//! Emission allocates ids from a per-sink counter and stores events in
+//! emission order; no wall clock, no randomness, no hash-order
+//! dependence. Replaying the same simulation against a fresh sink
+//! reproduces the identical event list, which is what lets
+//! `figures explain` publish an FNV-1a digest of its rendering as a
+//! replay receipt (the same discipline as `Schedule::trace_digest`).
+
+use std::fmt::Write as _;
+
+/// Why the safety guard rolled a plan back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RollbackReason {
+    /// Availability dropped beyond the guardrail.
+    Availability,
+    /// p95 latency inflated beyond the guardrail.
+    Latency,
+}
+
+impl RollbackReason {
+    /// Stable reason code for reports and timelines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RollbackReason::Availability => "availability",
+            RollbackReason::Latency => "latency",
+        }
+    }
+}
+
+/// What happened. Payloads are small copyable ids (fault index, prefix,
+/// peering, chaos tunnel index) so a [`TraceEvent`] stays `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// An injected fault's first scheduled injection.
+    FaultStart { fault: u32 },
+    /// The same fault's last scheduled injection (cause = its start).
+    FaultEnd { fault: u32 },
+    /// The cloud withdrew `prefix` from `peering`.
+    BgpWithdraw { prefix: u32, peering: u32 },
+    /// The cloud announced `prefix` via `peering`.
+    BgpAnnounce { prefix: u32, peering: u32 },
+    /// The eBGP session at `peering` went down (withdrawals follow).
+    BgpSessionDown { peering: u32 },
+    /// The session recovered (re-announcements follow).
+    BgpSessionUp { peering: u32 },
+    /// A route leak started at `peering`'s neighbor.
+    BgpLeakStart { peering: u32 },
+    /// The leak ended.
+    BgpLeakEnd { peering: u32 },
+    /// A probe on `tunnel` was suppressed by fleet-level probe loss.
+    ProbeLost { tunnel: u32 },
+    /// TM-Edge declared `tunnel` dead (timeout streak exhausted).
+    TunnelDead { tunnel: u32 },
+    /// The TM switched the active path `from` → `to` (prefix ids).
+    Failover { from: u32, to: u32 },
+    /// A probe response revived a dead `tunnel` (RTO revival).
+    TunnelRevived { tunnel: u32 },
+    /// The quarantine held a flagged measurement for `peering`.
+    QuarantineEnter { peering: u32 },
+    /// The quarantine released `admitted` aged-out samples.
+    QuarantineDrain { admitted: u32 },
+    /// A candidate plan sustained its streak (not yet committed).
+    HysteresisStreak { streak: u32 },
+    /// The hysteresis gate let a plan change through.
+    HysteresisCommit { streak: u32 },
+    /// A freshly installed plan entered its probation window.
+    ProbationStart,
+    /// The safety guard reverted to the last-known-good plan.
+    Rollback { reason: RollbackReason },
+    /// The closed loop installed a plan of `pairs` (prefix, peering)s.
+    PlanCommit { pairs: u32 },
+    /// The closed loop reverted to a plan of `pairs` pairs.
+    PlanRevert { pairs: u32 },
+}
+
+impl TraceKind {
+    /// Stable event name, `scope.noun_verb` style.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::FaultStart { .. } => "fault.start",
+            TraceKind::FaultEnd { .. } => "fault.end",
+            TraceKind::BgpWithdraw { .. } => "bgp.withdraw",
+            TraceKind::BgpAnnounce { .. } => "bgp.announce",
+            TraceKind::BgpSessionDown { .. } => "bgp.session_down",
+            TraceKind::BgpSessionUp { .. } => "bgp.session_up",
+            TraceKind::BgpLeakStart { .. } => "bgp.leak_start",
+            TraceKind::BgpLeakEnd { .. } => "bgp.leak_end",
+            TraceKind::ProbeLost { .. } => "tm.probe_lost",
+            TraceKind::TunnelDead { .. } => "tm.tunnel_dead",
+            TraceKind::Failover { .. } => "tm.failover",
+            TraceKind::TunnelRevived { .. } => "tm.tunnel_revived",
+            TraceKind::QuarantineEnter { .. } => "guard.quarantine_enter",
+            TraceKind::QuarantineDrain { .. } => "guard.quarantine_drain",
+            TraceKind::HysteresisStreak { .. } => "guard.hysteresis_streak",
+            TraceKind::HysteresisCommit { .. } => "guard.hysteresis_commit",
+            TraceKind::ProbationStart => "plan.probation_start",
+            TraceKind::Rollback { .. } => "guard.rollback",
+            TraceKind::PlanCommit { .. } => "plan.commit",
+            TraceKind::PlanRevert { .. } => "plan.revert",
+        }
+    }
+
+    /// The payload rendered as stable `key=value` text.
+    pub fn detail(&self) -> String {
+        match self {
+            TraceKind::FaultStart { fault } | TraceKind::FaultEnd { fault } => {
+                format!("fault={fault}")
+            }
+            TraceKind::BgpWithdraw { prefix, peering }
+            | TraceKind::BgpAnnounce { prefix, peering } => {
+                format!("prefix={prefix} peering={peering}")
+            }
+            TraceKind::BgpSessionDown { peering }
+            | TraceKind::BgpSessionUp { peering }
+            | TraceKind::BgpLeakStart { peering }
+            | TraceKind::BgpLeakEnd { peering }
+            | TraceKind::QuarantineEnter { peering } => format!("peering={peering}"),
+            TraceKind::ProbeLost { tunnel }
+            | TraceKind::TunnelDead { tunnel }
+            | TraceKind::TunnelRevived { tunnel } => format!("tunnel={tunnel}"),
+            TraceKind::Failover { from, to } => format!("from_prefix={from} to_prefix={to}"),
+            TraceKind::QuarantineDrain { admitted } => format!("admitted={admitted}"),
+            TraceKind::HysteresisStreak { streak } | TraceKind::HysteresisCommit { streak } => {
+                format!("streak={streak}")
+            }
+            TraceKind::ProbationStart => String::new(),
+            TraceKind::Rollback { reason } => format!("reason={}", reason.as_str()),
+            TraceKind::PlanCommit { pairs } | TraceKind::PlanRevert { pairs } => {
+                format!("pairs={pairs}")
+            }
+        }
+    }
+}
+
+/// One recorded event. Plain data, identical in both build modes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Stable id, 1-based in emission order (0 is never an event).
+    pub id: u64,
+    /// Virtual-time timestamp (e.g. `SimTime::as_nanos`).
+    pub at_nanos: u64,
+    /// Raw id of the causing event; 0 when the event has no cause.
+    pub cause: u64,
+    /// Which subsystem's sink emitted it (e.g. `"bgp"`, `"tm"`).
+    pub scope: &'static str,
+    pub kind: TraceKind,
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod imp {
+    use super::{TraceEvent, TraceKind};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Handle to a recorded event, used as the `cause` of later ones.
+    /// Zero-sized under `obs-off`.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+    pub struct TraceId(u64);
+
+    impl TraceId {
+        /// "No cause": the id no event ever gets.
+        pub const NONE: TraceId = TraceId(0);
+
+        /// The raw id (0 for [`TraceId::NONE`]; always 0 in `obs-off`).
+        #[inline]
+        pub fn raw(self) -> u64 {
+            self.0
+        }
+
+        /// Whether this is [`TraceId::NONE`].
+        #[inline]
+        pub fn is_none(self) -> bool {
+            self.0 == 0
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        events: Mutex<Vec<TraceEvent>>,
+        /// Ids handed out so far; the next event gets `last + 1`.
+        last_id: AtomicU64,
+    }
+
+    /// A shared, cheaply clonable event collector. The default sink is
+    /// *inert* (emits nothing, like an `obs-off` build); call
+    /// [`TraceSink::recording`] to get one that records, and
+    /// [`TraceSink::scoped`] to hand subsystems a handle that tags their
+    /// events while writing into the same buffer.
+    #[derive(Clone, Debug, Default)]
+    pub struct TraceSink {
+        inner: Option<Arc<Inner>>,
+        scope: &'static str,
+    }
+
+    impl TraceSink {
+        /// A sink that records.
+        pub fn recording() -> TraceSink {
+            TraceSink { inner: Some(Arc::new(Inner::default())), scope: "" }
+        }
+
+        /// The same buffer under a different scope tag.
+        pub fn scoped(&self, scope: &'static str) -> TraceSink {
+            TraceSink { inner: self.inner.clone(), scope }
+        }
+
+        /// Whether emissions go anywhere.
+        #[inline]
+        pub fn is_recording(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        /// Records an event; returns its id (NONE on an inert sink).
+        pub fn emit(&self, at_nanos: u64, cause: TraceId, kind: TraceKind) -> TraceId {
+            let Some(inner) = &self.inner else {
+                return TraceId::NONE;
+            };
+            let id = inner.last_id.fetch_add(1, Ordering::Relaxed) + 1;
+            inner.events.lock().unwrap().push(TraceEvent {
+                id,
+                at_nanos,
+                cause: cause.raw(),
+                scope: self.scope,
+                kind,
+            });
+            TraceId(id)
+        }
+
+        /// Copies the recorded events out, in emission order.
+        pub fn events(&self) -> Vec<TraceEvent> {
+            match &self.inner {
+                Some(inner) => inner.events.lock().unwrap().clone(),
+                None => Vec::new(),
+            }
+        }
+    }
+}
+
+#[cfg(feature = "obs-off")]
+mod imp {
+    use super::{TraceEvent, TraceKind};
+
+    /// No-op trace id (`obs-off`): zero-sized, always NONE.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+    pub struct TraceId;
+
+    impl TraceId {
+        /// The only value this type has.
+        pub const NONE: TraceId = TraceId;
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn raw(self) -> u64 {
+            0
+        }
+
+        /// Always true.
+        #[inline(always)]
+        pub fn is_none(self) -> bool {
+            true
+        }
+    }
+
+    /// No-op trace sink (`obs-off`): zero-sized, records nothing.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct TraceSink;
+
+    impl TraceSink {
+        /// An inert sink (nothing records in this build).
+        #[inline(always)]
+        pub fn recording() -> TraceSink {
+            TraceSink
+        }
+
+        /// The same inert sink.
+        #[inline(always)]
+        pub fn scoped(&self, _scope: &'static str) -> TraceSink {
+            TraceSink
+        }
+
+        /// Always false.
+        #[inline(always)]
+        pub fn is_recording(&self) -> bool {
+            false
+        }
+
+        /// Does nothing; always NONE.
+        #[inline(always)]
+        pub fn emit(&self, _at_nanos: u64, _cause: TraceId, _kind: TraceKind) -> TraceId {
+            TraceId::NONE
+        }
+
+        /// Always empty.
+        #[inline(always)]
+        pub fn events(&self) -> Vec<TraceEvent> {
+            Vec::new()
+        }
+    }
+}
+
+pub use imp::{TraceId, TraceSink};
+
+/// FNV-1a over `bytes` — the replay-receipt hash shared with
+/// `painter_chaos::Schedule::trace_digest`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders events as a Chrome-trace / Perfetto JSON document
+/// (`{"traceEvents": [...]}`):
+///
+/// * each scope becomes a named thread (`ph:"M"` metadata + integer tid
+///   in order of first appearance);
+/// * `FaultStart`/`FaultEnd` pairs (linked by the end's `cause`) become
+///   complete spans (`ph:"X"` with a duration);
+/// * everything else becomes a thread-scoped instant (`ph:"i"`), with
+///   the id, cause, and payload in `args`.
+///
+/// Events are ordered by `(at_nanos, id)` first, so the output is a
+/// deterministic function of the event list — byte-identical across
+/// replays.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.at_nanos, e.id));
+
+    // Integer tids per scope, in order of first appearance.
+    let mut scopes: Vec<&'static str> = Vec::new();
+    for e in &ordered {
+        if !scopes.contains(&e.scope) {
+            scopes.push(e.scope);
+        }
+    }
+    let tid_of = |scope: &str| scopes.iter().position(|s| *s == scope).unwrap_or(0) + 1;
+
+    // FaultEnd events close the FaultStart they cause-link to.
+    let mut span_end: Vec<(u64, u64)> = Vec::new(); // (start id, end at_nanos)
+    for e in &ordered {
+        if matches!(e.kind, TraceKind::FaultEnd { .. }) && e.cause != 0 {
+            span_end.push((e.cause, e.at_nanos));
+        }
+    }
+
+    let mut out = String::with_capacity(256 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    for (i, scope) in scopes.iter().enumerate() {
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":",
+            i + 1
+        );
+        crate::json::write_str(&mut out, scope);
+        out.push_str("}}");
+    }
+    for e in &ordered {
+        let ts_us = e.at_nanos / 1_000;
+        match e.kind {
+            TraceKind::FaultEnd { .. } if e.cause != 0 => continue, // consumed by its start
+            TraceKind::FaultStart { .. }
+                if span_end.iter().any(|(start, _)| *start == e.id) =>
+            {
+                let (_, end_at) =
+                    span_end.iter().find(|(start, _)| *start == e.id).expect("just matched");
+                let dur_us = end_at.saturating_sub(e.at_nanos) / 1_000;
+                push_sep(&mut out);
+                out.push_str("{\"name\":");
+                crate::json::write_str(&mut out, e.kind.name());
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"detail\":",
+                    tid_of(e.scope),
+                    e.id
+                );
+                crate::json::write_str(&mut out, &e.kind.detail());
+                out.push_str("}}");
+            }
+            _ => {
+                push_sep(&mut out);
+                out.push_str("{\"name\":");
+                crate::json::write_str(&mut out, e.kind.name());
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"cause\":{},\"detail\":",
+                    tid_of(e.scope),
+                    e.id,
+                    e.cause
+                );
+                crate::json::write_str(&mut out, &e.kind.detail());
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn recording_sink_allocates_stable_ids_and_links_causes() {
+        let sink = TraceSink::recording();
+        let chaos = sink.scoped("chaos");
+        let bgp = sink.scoped("bgp");
+        let start = chaos.emit(100, TraceId::NONE, TraceKind::FaultStart { fault: 0 });
+        let wd = bgp.emit(150, start, TraceKind::BgpWithdraw { prefix: 1, peering: 0 });
+        chaos.emit(900, start, TraceKind::FaultEnd { fault: 0 });
+        assert!(!start.is_none());
+        assert_eq!(start.raw(), 1, "ids start at 1");
+        assert_eq!(wd.raw(), 2);
+        let events = sink.events();
+        assert_eq!(events.len(), 3, "scoped handles share one buffer");
+        assert_eq!(events[0].scope, "chaos");
+        assert_eq!(events[1].scope, "bgp");
+        assert_eq!(events[1].cause, start.raw());
+        assert_eq!(events[2].cause, start.raw());
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn default_sink_is_inert() {
+        let sink = TraceSink::default();
+        assert!(!sink.is_recording());
+        let id = sink.emit(5, TraceId::NONE, TraceKind::ProbationStart);
+        assert!(id.is_none());
+        assert!(sink.events().is_empty());
+        assert!(!sink.scoped("tm").is_recording());
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_trace_surface_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<TraceSink>(), 0);
+        assert_eq!(std::mem::size_of::<TraceId>(), 0);
+        let sink = TraceSink::recording();
+        let id = sink.emit(5, TraceId::NONE, TraceKind::ProbationStart);
+        assert!(id.is_none());
+        assert!(!sink.is_recording());
+        assert!(sink.events().is_empty());
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                id: 1,
+                at_nanos: 1_000_000,
+                cause: 0,
+                scope: "chaos",
+                kind: TraceKind::FaultStart { fault: 0 },
+            },
+            TraceEvent {
+                id: 2,
+                at_nanos: 1_500_000,
+                cause: 1,
+                scope: "tm",
+                kind: TraceKind::TunnelDead { tunnel: 1 },
+            },
+            TraceEvent {
+                id: 3,
+                at_nanos: 9_000_000,
+                cause: 1,
+                scope: "chaos",
+                kind: TraceKind::FaultEnd { fault: 0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_pairs_fault_spans_and_stays_deterministic() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        assert_eq!(json, chrome_trace_json(&events), "byte-identical re-render");
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let items = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+        // 2 thread-name metadata + 1 span (start+end folded) + 1 instant.
+        assert_eq!(items.len(), 4);
+        let span = items
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .expect("fault span");
+        assert_eq!(span.get("name").and_then(|v| v.as_str()), Some("fault.start"));
+        assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(1_000.0));
+        assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(8_000.0));
+        let instant = items
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .expect("instant");
+        assert_eq!(instant.get("name").and_then(|v| v.as_str()), Some("tm.tunnel_dead"));
+        assert_eq!(
+            instant.get("args").and_then(|a| a.get("cause")).and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn kind_names_and_details_are_stable() {
+        let kind = TraceKind::BgpWithdraw { prefix: 3, peering: 1 };
+        assert_eq!(kind.name(), "bgp.withdraw");
+        assert_eq!(kind.detail(), "prefix=3 peering=1");
+        assert_eq!(
+            TraceKind::Rollback { reason: RollbackReason::Availability }.detail(),
+            "reason=availability"
+        );
+        assert_eq!(TraceKind::ProbationStart.detail(), "");
+    }
+}

@@ -16,7 +16,7 @@ use bytes::Bytes;
 use painter_bgp::PrefixId;
 use painter_eventsim::{EventQueue, SimRng, SimTime};
 use painter_net::{decapsulate, encapsulate, Channel, GilbertElliott, Packet};
-use painter_obs::{obs_count, obs_record};
+use painter_obs::{obs_count, obs_record, TraceId, TraceKind, TraceSink};
 use painter_topology::PopId;
 use std::collections::HashMap;
 
@@ -75,10 +75,10 @@ enum Ev {
     PopDeliver { tunnel: TunnelId, packet: Packet },
     EdgeDeliver { tunnel: TunnelId, packet: Packet },
     Timeout { tunnel: TunnelId, seq: u64 },
-    PathChange { tunnel: TunnelId, rtt_ms: Option<f64> },
+    PathChange { tunnel: TunnelId, rtt_ms: Option<f64>, cause: TraceId },
     PathExtra { tunnel: TunnelId, extra_ms: f64 },
     PathBurst { tunnel: TunnelId, params: Option<(f64, f64, f64, f64)> },
-    ProbeLoss { fraction: f64 },
+    ProbeLoss { fraction: f64, cause: TraceId },
 }
 
 const SERVICE_ADDR: u32 = 0x0808_0808;
@@ -106,6 +106,22 @@ pub struct TmSimulation {
     probe_loss: f64,
     /// Telemetry registry (`tm.*` metrics), shared with the edge.
     obs: painter_obs::Registry,
+    /// Flight-recorder sink (`tm.*` trace events). Inert by default and
+    /// zero-sized under `obs-off`; emission never touches the RNG or the
+    /// event queue, so a recording run replays bit-identically.
+    trace: TraceSink,
+    /// Fault span that brought each currently-down channel down; only
+    /// caused (`!= NONE`) schedulings write here, so the harness's
+    /// periodic uncaused reschedules never clobber attribution.
+    down_cause: HashMap<TunnelId, TraceId>,
+    /// The `tm.tunnel_dead` event last declared per tunnel, chaining
+    /// failovers back to the detection that triggered them.
+    dead_cause: HashMap<TunnelId, TraceId>,
+    /// Fault span that restored each channel; the edge-level revival
+    /// (first response on a dead tunnel) chains back to it.
+    revive_cause: HashMap<TunnelId, TraceId>,
+    /// Fault span currently suppressing probes.
+    probe_cause: TraceId,
 }
 
 impl TmSimulation {
@@ -135,12 +151,22 @@ impl TmSimulation {
             down_at: HashMap::new(),
             probe_loss: 0.0,
             obs,
+            trace: TraceSink::default(),
+            down_cause: HashMap::new(),
+            dead_cause: HashMap::new(),
+            revive_cause: HashMap::new(),
+            probe_cause: TraceId::NONE,
         }
     }
 
     /// The simulation's telemetry registry.
     pub fn obs(&self) -> &painter_obs::Registry {
         &self.obs
+    }
+
+    /// Routes `tm.*` trace events into `sink` (scoped to `"tm"`).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("tm");
     }
 
     /// Adds a path: a tunnel to a fresh TM-PoP terminating `prefix`, over
@@ -156,12 +182,32 @@ impl TmSimulation {
 
     /// Schedules a path RTT change at virtual time `at`.
     pub fn schedule_path_rtt(&mut self, at: SimTime, tunnel: TunnelId, rtt_ms: f64) {
-        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: Some(rtt_ms) });
+        self.schedule_path_rtt_caused(at, tunnel, rtt_ms, TraceId::NONE);
+    }
+
+    /// [`TmSimulation::schedule_path_rtt`] attributed to a fault span:
+    /// if the change revives a dead channel, the eventual edge-level
+    /// revival event chains back to `cause`.
+    pub fn schedule_path_rtt_caused(
+        &mut self,
+        at: SimTime,
+        tunnel: TunnelId,
+        rtt_ms: f64,
+        cause: TraceId,
+    ) {
+        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: Some(rtt_ms), cause });
     }
 
     /// Schedules a path failure (all packets dropped) at `at`.
     pub fn schedule_path_down(&mut self, at: SimTime, tunnel: TunnelId) {
-        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: None });
+        self.schedule_path_down_caused(at, tunnel, TraceId::NONE);
+    }
+
+    /// [`TmSimulation::schedule_path_down`] attributed to a fault span:
+    /// the eventual dead-tunnel declaration (and any failover it forces)
+    /// chains back to `cause`.
+    pub fn schedule_path_down_caused(&mut self, at: SimTime, tunnel: TunnelId, cause: TraceId) {
+        self.queue.push(at, Ev::PathChange { tunnel, rtt_ms: None, cause });
     }
 
     /// Schedules additive round-trip latency on a path at `at` (a
@@ -187,7 +233,13 @@ impl TmSimulation {
     /// fleet). Models losing part of the measurement fleet — the edge
     /// keeps steering on stale, sparser telemetry.
     pub fn schedule_probe_loss(&mut self, at: SimTime, fraction: f64) {
-        self.queue.push(at, Ev::ProbeLoss { fraction: fraction.clamp(0.0, 1.0) });
+        self.schedule_probe_loss_caused(at, fraction, TraceId::NONE);
+    }
+
+    /// [`TmSimulation::schedule_probe_loss`] attributed to a fault span:
+    /// every suppressed probe send chains back to `cause`.
+    pub fn schedule_probe_loss_caused(&mut self, at: SimTime, fraction: f64, cause: TraceId) {
+        self.queue.push(at, Ev::ProbeLoss { fraction: fraction.clamp(0.0, 1.0), cause });
     }
 
     /// Runs the simulation until `until`.
@@ -271,6 +323,16 @@ impl TmSimulation {
         if after_prefix != before {
             if let Some(to) = after_prefix {
                 self.switches.push(SwitchRecord { at: self.now, from: before, to });
+                if let Some(from) = before {
+                    let cause = before_tunnel
+                        .and_then(|t| self.dead_cause.get(&t).copied())
+                        .unwrap_or(TraceId::NONE);
+                    self.trace.emit(
+                        self.now.as_nanos(),
+                        cause,
+                        TraceKind::Failover { from: from.0 as u32, to: to.0 as u32 },
+                    );
+                }
                 // If the switch moved traffic off a path that is currently
                 // down, this is a failover; the gap since the path died is
                 // the detection + reaction latency (~1.3 RTT, §3.2).
@@ -317,6 +379,11 @@ impl TmSimulation {
                 let suppressed = self.probe_loss > 0.0 && self.rng.chance(self.probe_loss);
                 if suppressed {
                     obs_count!(self.obs, "tm.probes_suppressed_total");
+                    self.trace.emit(
+                        self.now.as_nanos(),
+                        self.probe_cause,
+                        TraceKind::ProbeLost { tunnel: tunnel.0 as u32 },
+                    );
                 } else {
                     self.send_on(tunnel, false);
                 }
@@ -338,7 +405,19 @@ impl TmSimulation {
                 let Some((seq, is_data)) = Self::parse_payload(&inner.payload) else { return };
                 let pop = self.pops[tunnel.0].id;
                 self.edge.discover_pop(tunnel, pop);
+                let was_dead = !self.edge.tunnel(tunnel).alive;
                 if let Some(rtt_ms) = self.edge.on_response(tunnel, seq, self.now) {
+                    if was_dead {
+                        // RTO revival: the first delivered response on a
+                        // declared-dead tunnel brought it back.
+                        let cause =
+                            self.revive_cause.get(&tunnel).copied().unwrap_or(TraceId::NONE);
+                        self.trace.emit(
+                            self.now.as_nanos(),
+                            cause,
+                            TraceKind::TunnelRevived { tunnel: tunnel.0 as u32 },
+                        );
+                    }
                     if is_data {
                         if let Some(&rec) = self.seq_index.get(&seq) {
                             self.records[rec].completed = Some(self.now);
@@ -351,20 +430,37 @@ impl TmSimulation {
             }
             Ev::Timeout { tunnel, seq } => {
                 if self.edge.on_timeout(tunnel, seq, self.now) {
-                    // Path declared dead: immediately steer new traffic
-                    // away (the ~1 RTT failover).
+                    // Path declared dead. Emitted before the reselect so
+                    // the failover it forces chains back to this event.
+                    let cause = self.down_cause.get(&tunnel).copied().unwrap_or(TraceId::NONE);
+                    let dead = self.trace.emit(
+                        self.now.as_nanos(),
+                        cause,
+                        TraceKind::TunnelDead { tunnel: tunnel.0 as u32 },
+                    );
+                    if self.trace.is_recording() {
+                        self.dead_cause.insert(tunnel, dead);
+                    }
+                    // Immediately steer new traffic away (the ~1 RTT
+                    // failover).
                     self.reselect();
                 }
             }
-            Ev::PathChange { tunnel, rtt_ms } => match rtt_ms {
+            Ev::PathChange { tunnel, rtt_ms, cause } => match rtt_ms {
                 Some(rtt) => {
                     self.channels[tunnel.0].set_rtt_ms(rtt);
                     self.channels[tunnel.0].set_up(true);
                     self.down_at.remove(&tunnel);
+                    if !cause.is_none() {
+                        self.revive_cause.insert(tunnel, cause);
+                    }
                 }
                 None => {
                     self.channels[tunnel.0].set_up(false);
                     self.down_at.entry(tunnel).or_insert(self.now);
+                    if !cause.is_none() {
+                        self.down_cause.insert(tunnel, cause);
+                    }
                 }
             },
             Ev::PathExtra { tunnel, extra_ms } => {
@@ -377,8 +473,11 @@ impl TmSimulation {
                     }),
                 );
             }
-            Ev::ProbeLoss { fraction } => {
+            Ev::ProbeLoss { fraction, cause } => {
                 self.probe_loss = fraction;
+                if !cause.is_none() {
+                    self.probe_cause = cause;
+                }
             }
         }
     }
@@ -622,6 +721,54 @@ mod tests {
             (sim.records().to_vec(), sim.switch_log().to_vec())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_records_dead_failover_revival_chain() {
+        if !painter_obs::enabled() {
+            return;
+        }
+        let sink = TraceSink::recording();
+        let (mut sim, t0, _) = two_path_sim();
+        sim.set_trace(sink.clone());
+        // Stand-in fault span, as the chaos adapter would emit it.
+        let span = sink.emit(0, TraceId::NONE, TraceKind::FaultStart { fault: 0 });
+        sim.schedule_path_down_caused(SimTime::from_secs(1.0), t0, span);
+        sim.schedule_path_rtt_caused(SimTime::from_secs(2.0), t0, 20.0, span);
+        sim.run(SimTime::from_secs(4.0));
+        let events = sink.events();
+        let dead = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::TunnelDead { tunnel: 0 }))
+            .expect("dead declaration traced");
+        assert_eq!(dead.cause, span.raw(), "death chains to the fault span");
+        assert_eq!(dead.scope, "tm");
+        let failover = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Failover { .. }))
+            .expect("failover traced");
+        assert_eq!(failover.cause, dead.id, "failover chains to the dead declaration");
+        assert!(failover.at_nanos >= dead.at_nanos);
+        let revived = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::TunnelRevived { tunnel: 0 }))
+            .expect("revival traced");
+        assert_eq!(revived.cause, span.raw(), "revival chains to the restoring span");
+    }
+
+    #[test]
+    fn recording_a_trace_does_not_perturb_the_simulation() {
+        let run = |record: bool| {
+            let (mut sim, t0, _) = two_path_sim();
+            if record {
+                sim.set_trace(TraceSink::recording());
+            }
+            sim.schedule_path_down(SimTime::from_secs(1.0), t0);
+            sim.schedule_path_rtt(SimTime::from_secs(2.0), t0, 20.0);
+            sim.run(SimTime::from_secs(3.0));
+            (sim.records().to_vec(), sim.switch_log().to_vec())
+        };
+        assert_eq!(run(false), run(true), "emission must never touch the RNG or queue");
     }
 
     #[test]

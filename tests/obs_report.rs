@@ -159,8 +159,9 @@ fn chaos_sections_pin_their_schema() {
     let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
     let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
 
-    // One provenance section, the four strategies in fixed order, then
-    // the closed-loop learning telemetry.
+    // One provenance section, the four strategies in fixed order, the
+    // closed-loop learning telemetry, then incident attribution: one
+    // summary plus one record per injected fault.
     let titles: Vec<&str> =
         sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
     assert_eq!(
@@ -172,6 +173,8 @@ fn chaos_sections_pin_their_schema() {
             "chaos.pop-outage.dns",
             "chaos.pop-outage.painter-closed-loop",
             "chaos.pop-outage.learning",
+            "chaos.pop-outage.incidents",
+            "chaos.pop-outage.incident0",
         ]
     );
 
@@ -234,6 +237,54 @@ fn chaos_sections_pin_their_schema() {
     let offered = learning.get("samples_offered").and_then(|v| v.as_f64()).unwrap();
     let admitted = learning.get("samples_admitted").and_then(|v| v.as_f64()).unwrap();
     assert!(admitted <= offered, "admitted {admitted} exceeds offered {offered}");
+
+    // The incident-attribution sections pin the flight-recorder schema.
+    let summary = sections[6].get("fields").expect("incidents fields");
+    for name in [
+        "faults",
+        "observed",
+        "unobserved",
+        "detection_mean_ms",
+        "failover_mean_ms",
+        "repair_mean_ms",
+        "blast_ugs_total",
+        "kinds",
+    ] {
+        assert!(summary.get(name).is_some(), "incidents summary missing {name}");
+    }
+    assert_eq!(summary.get("faults").and_then(|v| v.as_f64()), Some(1.0));
+    let incident = sections[7].get("fields").expect("incident fields");
+    for name in [
+        "fault",
+        "name",
+        "kind",
+        "start_ms",
+        "end_ms",
+        "blast_tunnels",
+        "blast_ugs",
+        "detection_ms",
+        "failover_ms",
+        "repair_ms",
+        "recovered_by",
+        "observed",
+    ] {
+        assert!(incident.get(name).is_some(), "incident section missing {name}");
+    }
+    assert_eq!(incident.get("kind").and_then(|v| v.as_str()), Some("pop_outage"));
+    assert_eq!(incident.get("name").and_then(|v| v.as_str()), Some("popA"));
+    if painter::obs::enabled() {
+        // Live build: the outage must be fully explained — detected,
+        // failed over, and recovered by some mechanism.
+        let detection = incident.get("detection_ms").and_then(|v| v.as_f64()).unwrap();
+        assert!(detection >= 0.0, "pop outage undetected: {detection}");
+        let failover = incident.get("failover_ms").and_then(|v| v.as_f64()).unwrap();
+        assert!(failover >= 0.0, "pop outage never failed over: {failover}");
+        let blast = incident.get("blast_tunnels").and_then(|v| v.as_f64()).unwrap();
+        assert!(blast >= 1.0, "pop outage killed no tunnels: {blast}");
+        let recovered = incident.get("recovered_by").and_then(|v| v.as_str()).unwrap();
+        assert_ne!(recovered, "none", "pop outage attributed no recovery");
+        assert_eq!(summary.get("unobserved").and_then(|v| v.as_f64()), Some(0.0));
+    }
 }
 
 #[test]
