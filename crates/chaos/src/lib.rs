@@ -57,7 +57,8 @@ pub use inject::{
 pub use schedule::{FaultEvent, Injection, Schedule, WorldView};
 pub use scorecard::Scorecard;
 pub use search::{
-    sample_spec, search, Candidate, CorpusEntry, Grammar, SearchConfig, SearchOutcome, SearchScore,
+    sample_spec, search, search_seeded, Candidate, CorpusEntry, Grammar, SearchConfig,
+    SearchOutcome, SearchScore,
 };
 pub use shrink::{shrink, shrink_candidates, ShrinkOutcome};
 pub use spec::{FaultKind, FaultSpec, Recurrence, ScenarioSpec, Target};

@@ -316,6 +316,25 @@ impl SearchOutcome {
 pub fn search<E>(
     grammar: &Grammar,
     config: &SearchConfig,
+    oracle: E,
+) -> Result<SearchOutcome, String>
+where
+    E: FnMut(&ScenarioSpec) -> Result<SearchScore, String>,
+{
+    search_seeded(grammar, config, &[], oracle)
+}
+
+/// [`search`] warm-started from known scenarios: each `initial` spec is
+/// evaluated (and admitted to the leaderboard) before any random
+/// sampling, consuming budget but no randomness — so co-evolution
+/// rounds can hand a grown corpus back to the searcher and climb from
+/// reproducers that already hurt, instead of rediscovering them.
+/// `initial` specs beyond the budget are ignored. With an empty
+/// `initial` this is exactly [`search`], draw for draw.
+pub fn search_seeded<E>(
+    grammar: &Grammar,
+    config: &SearchConfig,
+    initial: &[ScenarioSpec],
     mut oracle: E,
 ) -> Result<SearchOutcome, String>
 where
@@ -327,9 +346,16 @@ where
     let mut board: Vec<Candidate> = Vec::new();
     let mut trajectory = Vec::with_capacity(config.budget);
     let keep = config.keep.max(1);
+    let warm = initial.len().min(config.budget);
 
     for i in 0..config.budget {
-        let spec = if i < config.explore || board.is_empty() {
+        let spec = if i < warm {
+            // Warm-start: rename to the candidate convention so ties
+            // and dedup behave exactly as for generated candidates.
+            let mut spec = initial[i].clone();
+            spec.name = format!("cand{i}");
+            spec
+        } else if i < warm + config.explore || board.is_empty() {
             sample_spec(grammar, &mut rng, format!("cand{i}"))
         } else {
             // Climb from the leaderboard in rotation — not always from
@@ -337,7 +363,7 @@ where
             // one scenario's mutation neighborhood and shrink the top-K
             // to one reproducer. Splice pulls genes from a random
             // partner.
-            let base = &board[(i - config.explore) % board.len()].spec.clone();
+            let base = &board[(i - warm - config.explore) % board.len()].spec.clone();
             let partner = board[rng.index(board.len())].spec.clone();
             crate::mutate::mutate(base, &partner, grammar, &mut rng, format!("cand{i}"))
         };
@@ -419,6 +445,11 @@ pub struct CorpusEntry {
     pub worst_ttr_ms: f64,
     /// Recorded learning-loop rollbacks, for context.
     pub rollbacks: u64,
+    /// Which guard preset the scores were recorded under (`"default"`
+    /// or `"tuned"`); replays must run the same guard or the floor is
+    /// judging a different system. Entries written before guard tagging
+    /// load as `"default"`.
+    pub guard: String,
     /// FNV-1a digest of the compiled schedule's trace at `seed`.
     pub trace_fnv1a: u64,
     /// The shrunk reproducer itself.
@@ -439,6 +470,8 @@ impl CorpusEntry {
         out.push_str(",\"worst_ttr_ms\":");
         json::write_f64(&mut out, self.worst_ttr_ms);
         let _ = write!(out, ",\"rollbacks\":{}", self.rollbacks);
+        out.push_str(",\"guard\":");
+        json::write_str(&mut out, &self.guard);
         let _ = write!(out, ",\"trace_fnv1a\":\"{:016x}\"", self.trace_fnv1a);
         out.push_str(",\"spec\":");
         out.push_str(&self.spec.to_json());
@@ -459,6 +492,7 @@ impl CorpusEntry {
             .and_then(JsonValue::as_str)
             .ok_or("missing string field 'scale'")?
             .to_string();
+        let guard = doc.get("guard").and_then(JsonValue::as_str).unwrap_or("default").to_string();
         let digest_hex =
             doc.get("trace_fnv1a").and_then(JsonValue::as_str).ok_or("missing 'trace_fnv1a'")?;
         let trace_fnv1a = u64::from_str_radix(digest_hex, 16)
@@ -472,6 +506,7 @@ impl CorpusEntry {
             tolerance: num("tolerance")?,
             worst_ttr_ms: num("worst_ttr_ms")?,
             rollbacks: num("rollbacks")? as u64,
+            guard,
             trace_fnv1a,
             spec,
         })
@@ -584,6 +619,7 @@ mod tests {
             tolerance: 0.01,
             worst_ttr_ms: 1234.5,
             rollbacks: 2,
+            guard: "tuned".to_string(),
             trace_fnv1a: digest,
             spec,
         };
@@ -592,5 +628,42 @@ mod tests {
         assert_eq!(back, entry);
         assert_eq!(back.to_json(), json, "canonical form");
         assert!(CorpusEntry::from_json("{}").is_err());
+        // Entries pinned before guard tagging carry no "guard" key and
+        // must load as the default preset.
+        let legacy = json.replace(",\"guard\":\"tuned\"", "");
+        assert_eq!(CorpusEntry::from_json(&legacy).expect("legacy parse").guard, "default");
+    }
+
+    #[test]
+    fn seeded_search_with_no_initial_specs_matches_plain_search() {
+        let g = grammar();
+        let cfg = SearchConfig::new(4, 6);
+        let plain = search(&g, &cfg, synthetic_oracle).expect("search");
+        let seeded = search_seeded(&g, &cfg, &[], synthetic_oracle).expect("seeded");
+        assert_eq!(plain.trajectory, seeded.trajectory);
+        let a: Vec<String> = plain.ranked.iter().map(|c| c.spec.to_json()).collect();
+        let b: Vec<String> = seeded.ranked.iter().map(|c| c.spec.to_json()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_search_admits_warm_starts_to_the_board() {
+        let g = grammar();
+        let mut rng = SimRng::stream(31, 7);
+        // A deliberately long warm-start spec: the synthetic oracle
+        // scores total fault-seconds, so this dominates random samples.
+        let mut warm = sample_spec(&g, &mut rng, "warm");
+        for f in &mut warm.faults {
+            f.duration_s = g.max_duration_s;
+        }
+        let cfg = SearchConfig { budget: 4, explore: 2, ..SearchConfig::new(31, 4) };
+        let out =
+            search_seeded(&g, &cfg, std::slice::from_ref(&warm), synthetic_oracle).expect("seeded");
+        let warm_score = synthetic_oracle(&warm).unwrap();
+        assert!(
+            out.worst().expect("nonempty").score.availability_loss
+                >= warm_score.availability_loss - cfg.shrink_tolerance - 1e-12,
+            "warm start must anchor the leaderboard"
+        );
     }
 }

@@ -33,6 +33,8 @@ use painter_obs::{obs_count, obs_gauge, Registry, RollbackReason, TraceId, Trace
 use painter_topology::PeeringId;
 use std::collections::BTreeMap;
 
+pub mod tune;
+
 // ---------------------------------------------------------------------------
 // Combined guard tuning
 // ---------------------------------------------------------------------------

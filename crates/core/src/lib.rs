@@ -47,6 +47,9 @@ pub mod strategies;
 
 pub use benefit::{BenefitRange, ConfigEvaluator};
 pub use compliance::{infer_compliant_ingresses, ObservedReachability};
+pub use guard::tune::{
+    pareto_frontier, tune_search, GuardScore, TuneCandidate, TuneConfig, TuneOutcome, TuneSpace,
+};
 pub use guard::{
     GuardConfig, HealthSample, HysteresisConfig, PlanHysteresis, QuarantineBuffer,
     QuarantineConfig, RollbackConfig, RollbackGuard,

@@ -1,0 +1,147 @@
+//! Property-based tests of the guard tuner — the invariants the
+//! co-evolution loop (and anyone replaying its reports) relies on:
+//! every candidate the search can construct is valid, same-seed runs
+//! are byte-identical, and the reported frontier is Pareto-consistent.
+
+use painter_core::{
+    pareto_frontier, tune_search, GuardScore, TuneCandidate, TuneConfig, TuneSpace,
+};
+use painter_core::{GuardConfig, PlanHysteresis, QuarantineBuffer, RollbackGuard};
+use painter_eventsim::SimRng;
+use proptest::prelude::*;
+
+/// A synthetic but structured oracle: deterministic in the config, with
+/// enough shape (preferred stability window, churn falling with streak
+/// and backoff) that climbing is non-trivial.
+fn toy_oracle(c: &GuardConfig) -> Result<GuardScore, String> {
+    let w = c.quarantine.stability_window.as_secs();
+    let worst = (w - 4.0).abs() / 25.0 + c.rollback.max_availability_drop / 2.0;
+    let mean = worst * 0.5 + c.hysteresis.min_benefit_delta / 80.0;
+    let churn =
+        1.5 / (c.hysteresis.required_streak as f64) + 0.5 / c.rollback.backoff_base.as_secs();
+    Ok(GuardScore { worst_loss: worst, mean_loss: mean, churn })
+}
+
+/// Renders the parts of an outcome that must be reproducible.
+fn outcome_fingerprint(out: &painter_core::TuneOutcome) -> String {
+    let mut s = String::new();
+    for c in out.all.iter().chain(&out.ranked).chain(&out.frontier) {
+        s.push_str(&c.name);
+        s.push(':');
+        s.push_str(&c.config.to_json());
+        s.push_str(&format!("{:?}", c.score.key()));
+        s.push('\n');
+    }
+    s.push_str(&format!("{:?}{:?}", out.trajectory, out.baseline.key()));
+    s
+}
+
+proptest! {
+    /// Every sampled candidate and every mutant reachable from it stays
+    /// inside the space's invariant (non-zero windows, armed spike
+    /// detection, monotone backoff).
+    #[test]
+    fn candidates_always_validate(seed in any::<u64>(), steps in 1usize..60) {
+        let space = TuneSpace::default();
+        let mut rng = SimRng::stream(seed, 0x7E57);
+        let mut current = space.sample(&mut rng);
+        prop_assert!(space.validate(&current), "invalid sample: {}", current.to_json());
+        for _ in 0..steps {
+            let partner = space.sample(&mut rng);
+            current = space.mutate(&current, &partner, &mut rng);
+            prop_assert!(space.validate(&current), "invalid mutant: {}", current.to_json());
+        }
+    }
+
+    /// Same seed + same oracle ⇒ byte-identical outcome (candidates,
+    /// scores, trajectory, frontier).
+    #[test]
+    fn same_seed_sweep_is_byte_identical(seed in any::<u64>(), budget in 1usize..20) {
+        let space = TuneSpace::default();
+        let config = TuneConfig::new(seed, budget);
+        let a = tune_search(&space, &config, toy_oracle).expect("tune");
+        let b = tune_search(&space, &config, toy_oracle).expect("tune");
+        prop_assert_eq!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+    }
+
+    /// The search never reports a best candidate worse than the default
+    /// baseline, and its frontier never contains a dominated point.
+    #[test]
+    fn best_beats_baseline_and_frontier_is_pareto(seed in any::<u64>(), budget in 1usize..20) {
+        let out = tune_search(&TuneSpace::default(), &TuneConfig::new(seed, budget), toy_oracle)
+            .expect("tune");
+        prop_assert!(!out.baseline.beats(&out.best().score));
+        for a in &out.frontier {
+            for b in &out.frontier {
+                prop_assert!(
+                    !a.score.dominates(&b.score) || a.config.to_json() == b.config.to_json(),
+                    "frontier point {} dominates {}",
+                    a.config.to_json(),
+                    b.config.to_json()
+                );
+            }
+        }
+        // Every evaluated candidate is dominated by (or ties) something
+        // on the frontier — nothing strictly better was dropped.
+        for c in &out.all {
+            prop_assert!(
+                !out.frontier.iter().all(|f| c.score.dominates(&f.score)),
+                "candidate {} dominates the whole frontier",
+                c.config.to_json()
+            );
+        }
+    }
+
+    /// `pareto_frontier` on arbitrary score sets: the frontier is
+    /// exactly the non-dominated subset.
+    #[test]
+    fn frontier_is_the_nondominated_subset(
+        scores in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..5.0), 1..40)
+    ) {
+        let cands: Vec<TuneCandidate> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(worst, mean, churn))| {
+                let space = TuneSpace::default();
+                let mut rng = SimRng::stream(i as u64, 1);
+                TuneCandidate {
+                    name: format!("cand{i}"),
+                    config: space.sample(&mut rng),
+                    score: GuardScore { worst_loss: worst, mean_loss: mean, churn },
+                }
+            })
+            .collect();
+        let frontier = pareto_frontier(&cands);
+        prop_assert!(!frontier.is_empty());
+        for f in &frontier {
+            prop_assert!(
+                !cands.iter().any(|c| c.score.dominates(&f.score)),
+                "dominated point on frontier"
+            );
+        }
+        for c in &cands {
+            // Non-dominated candidates appear (as themselves or as a
+            // config-JSON duplicate kept once).
+            if !cands.iter().any(|o| o.score.dominates(&c.score)) {
+                prop_assert!(
+                    frontier.iter().any(|f| f.score.key() == c.score.key()),
+                    "non-dominated candidate missing from frontier"
+                );
+            }
+        }
+    }
+}
+
+/// The guard layer constructs cleanly from any valid tuned config — the
+/// tuner only ever hands out configs the guards can actually run.
+#[test]
+fn sampled_configs_drive_the_guard_layer() {
+    let space = TuneSpace::default();
+    let mut rng = SimRng::stream(11, 0x7E57);
+    for _ in 0..20 {
+        let config = space.sample(&mut rng);
+        let _ = QuarantineBuffer::new(config.quarantine);
+        let _ = PlanHysteresis::new(config.hysteresis);
+        let _ = RollbackGuard::new(config.rollback);
+    }
+}

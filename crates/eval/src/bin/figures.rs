@@ -6,13 +6,23 @@
 //! figures chaos [flags]              # chaos resilience suite (chaos.* sections)
 //! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
 //! figures chaos-search [flags]       # adversarial scenario search (chaos.search.*)
+//! figures guard-tune [flags]         # guard co-evolution vs the corpus (guard.tune.*)
 //! figures explain [flags]            # causal timeline + incident attribution
 //! figures list                       # available ids
 //!
 //! --test             CI-sized inputs (default: paper-sized, use release)
-//! --seed <n>         chaos campaign / search seed (default 1)
-//! --budget <n>       chaos-search candidate evaluations (default 12)
+//! --seed <n>         chaos campaign / search / tune seed (default 1)
+//! --budget <n>       chaos-search candidate evaluations, or guard-tune
+//!                    guard candidates per round (default 12)
 //! --pin <dir>        chaos-search: write shrunk reproducers into <dir>
+//! --guard <preset>   chaos-search: defend with this guard preset
+//!                    ("default" or "tuned"; entries are tagged with it)
+//! --rounds <n>       guard-tune: adversary→guard co-evolution rounds
+//!                    (default 2)
+//! --adv-budget <n>   guard-tune: adversary evaluations per round
+//!                    (default 8)
+//! --corpus <dir>     guard-tune: corpus of pinned reproducers to tune
+//!                    against (default "corpus"; missing dir = empty)
 //! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
 //! --csv              full per-series CSV dump (the old default)
 //! --report <p>.json  also write the structured RunReport as JSON
@@ -40,12 +50,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
         println!(
-            "available figures: {} chaos chaos-sweep chaos-search explain",
+            "available figures: {} chaos chaos-sweep chaos-search guard-tune explain",
             ALL_FIGURES.join(" ")
         );
         println!(
-            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|explain [--test] \
-             [--seed <n>] [--budget <n>] [--pin <dir>] [--markdown|--csv] \
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|explain \
+             [--test] [--seed <n>] [--budget <n>] [--pin <dir>] [--guard <preset>] \
+             [--rounds <n>] [--adv-budget <n>] [--corpus <dir>] [--markdown|--csv] \
              [--report <path>.json] [--scenario <path>.json] [--chrome <path>.json]"
         );
         return;
@@ -89,6 +100,46 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let guard = args
+        .iter()
+        .position(|a| a == "--guard")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--guard requires a preset name (default|tuned)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "default".to_string());
+    let rounds: usize = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .map(|i| {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--rounds requires an integer argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(2);
+    let adv_budget: usize = args
+        .iter()
+        .position(|a| a == "--adv-budget")
+        .map(|i| {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--adv-budget requires an integer argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(8);
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--corpus requires a directory argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "corpus".to_string());
     let mut skip_next = false;
     let mut requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
@@ -103,6 +154,10 @@ fn main() {
                     || *a == "--seed"
                     || *a == "--budget"
                     || *a == "--pin"
+                    || *a == "--guard"
+                    || *a == "--rounds"
+                    || *a == "--adv-budget"
+                    || *a == "--corpus"
                     || *a == "--scenario"
                     || *a == "--chrome"
                 {
@@ -119,7 +174,10 @@ fn main() {
     let run_chaos = args.iter().any(|a| a == "chaos");
     let run_sweep = args.iter().any(|a| a == "chaos-sweep");
     let run_search = args.iter().any(|a| a == "chaos-search");
-    requested.retain(|id| *id != "chaos" && *id != "chaos-sweep" && *id != "chaos-search");
+    let run_tune = args.iter().any(|a| a == "guard-tune");
+    requested.retain(|id| {
+        *id != "chaos" && *id != "chaos-sweep" && *id != "chaos-search" && *id != "guard-tune"
+    });
 
     // Figure bodies are independent; fan them out over the scoring pool
     // (PAINTER_THREADS-aware). The ordered collect keeps the output in
@@ -168,7 +226,8 @@ fn main() {
         }
     }
     if run_search {
-        match painter_eval::chaos_search::run_search(scale, seed, budget) {
+        let config = painter_chaos::SearchConfig::new(seed, budget);
+        match painter_eval::chaos_search::run_search_against(scale, config, &guard, &[]) {
             Ok(search_run) => {
                 for section in search_run.sections() {
                     report.push_section(section);
@@ -189,6 +248,38 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("chaos search failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_tune {
+        let dir = std::path::Path::new(&corpus_dir);
+        let corpus = if dir.is_dir() {
+            match painter_eval::guard_tune::load_corpus(dir) {
+                Ok(corpus) => corpus,
+                Err(e) => {
+                    eprintln!("guard tune failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("no corpus dir {corpus_dir}; tuning against the standard suite only");
+            Vec::new()
+        };
+        let config = painter_eval::guard_tune::GuardTuneConfig {
+            seed,
+            rounds,
+            tune_budget: budget,
+            adversary_budget: adv_budget,
+        };
+        match painter_eval::guard_tune::run_guard_tune(scale, config, &corpus) {
+            Ok(tune_run) => {
+                for section in tune_run.sections() {
+                    report.push_section(section);
+                }
+            }
+            Err(e) => {
+                eprintln!("guard tune failed: {e}");
                 failed = true;
             }
         }

@@ -16,11 +16,13 @@
 //! sections render byte-identically across same-seed reruns (the CI
 //! smoke job diffs two such runs).
 
-use crate::chaos::{harness_world_view, run_campaign, ChaosTiming};
+use crate::chaos::{harness_world_view, run_campaign_with_guard, ChaosTiming};
 use crate::scenario::Scale;
 use painter_chaos::{
-    search, CorpusEntry, Grammar, ScenarioSpec, Schedule, SearchConfig, SearchOutcome, SearchScore,
+    search_seeded, CorpusEntry, Grammar, ScenarioSpec, Schedule, SearchConfig, SearchOutcome,
+    SearchScore,
 };
+use painter_core::GuardConfig;
 use painter_obs::Section;
 
 /// Post-warmup margin before the earliest sampled fault start, so every
@@ -35,6 +37,9 @@ const TAIL_S: f64 = 10.0;
 pub struct SearchRun {
     pub scale: Scale,
     pub config: SearchConfig,
+    /// The guard preset the oracle defended with (every corpus entry is
+    /// tagged with it, so replays run the same guard).
+    pub guard: String,
     pub outcome: SearchOutcome,
     /// The shrunk survivors as pinnable corpus entries, worst-first,
     /// renamed `adv-s<seed>-r<k>` (rank-stable names; the spec name
@@ -54,14 +59,25 @@ pub fn harness_grammar(timing: &ChaosTiming) -> Grammar {
     )
 }
 
-/// Scores one candidate: a full campaign at `seed`, read off the
-/// closed-loop strategy.
+/// Scores one candidate: a full campaign at `seed` under the default
+/// guard, read off the closed-loop strategy.
 pub fn campaign_score(
     spec: &ScenarioSpec,
     timing: &ChaosTiming,
     seed: u64,
 ) -> Result<SearchScore, String> {
-    let out = run_campaign(spec, timing, seed)?;
+    campaign_score_with_guard(spec, timing, seed, &GuardConfig::default())
+}
+
+/// [`campaign_score`] defending with an explicit guard config — the
+/// oracle the co-evolution loop points at its current best guard.
+pub fn campaign_score_with_guard(
+    spec: &ScenarioSpec,
+    timing: &ChaosTiming,
+    seed: u64,
+    guard: &GuardConfig,
+) -> Result<SearchScore, String> {
+    let out = run_campaign_with_guard(spec, timing, seed, guard)?;
     Ok(SearchScore {
         availability_loss: 1.0 - out.closed_loop.availability(),
         worst_ttr_ms: out.closed_loop.worst_ttr_ms(),
@@ -77,10 +93,28 @@ pub fn run_search(scale: Scale, seed: u64, budget: usize) -> Result<SearchRun, S
 
 /// [`run_search`] with explicit budgets, for tests that need tiny runs.
 pub fn run_search_with(scale: Scale, config: SearchConfig) -> Result<SearchRun, String> {
+    run_search_against(scale, config, "default", &[])
+}
+
+/// The fully general search: explicit budgets, an explicit guard preset
+/// to defend with, and warm-start specs (an existing corpus) evaluated
+/// before any random sampling. `guard` must name a
+/// [`GuardConfig::preset`]; the preset name is recorded on every corpus
+/// entry so replays defend with the same guard that pinned the floor.
+pub fn run_search_against(
+    scale: Scale,
+    config: SearchConfig,
+    guard: &str,
+    initial: &[ScenarioSpec],
+) -> Result<SearchRun, String> {
+    let guard_config =
+        GuardConfig::preset(guard).ok_or_else(|| format!("unknown guard preset {guard:?}"))?;
     let timing = ChaosTiming::for_scale(scale);
     let grammar = harness_grammar(&timing);
     let seed = config.seed;
-    let outcome = search(&grammar, &config, |spec| campaign_score(spec, &timing, seed))?;
+    let outcome = search_seeded(&grammar, &config, initial, |spec| {
+        campaign_score_with_guard(spec, &timing, seed, &guard_config)
+    })?;
     let view = harness_world_view();
     let scale_tag = match scale {
         Scale::Test => "test",
@@ -101,12 +135,13 @@ pub fn run_search_with(scale: Scale, config: SearchConfig) -> Result<SearchRun, 
                 tolerance: config.shrink_tolerance,
                 worst_ttr_ms: cand.score.worst_ttr_ms,
                 rollbacks: cand.score.rollbacks,
+                guard: guard.to_string(),
                 trace_fnv1a: digest,
                 spec,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
-    Ok(SearchRun { scale, config, outcome, corpus })
+    Ok(SearchRun { scale, config, guard: guard.to_string(), outcome, corpus })
 }
 
 impl SearchRun {
@@ -122,7 +157,8 @@ impl SearchRun {
                 .field("explore", self.config.explore)
                 .field("keep", self.config.keep)
                 .field("shrink_tolerance", self.config.shrink_tolerance)
-                .field("max_shrink_evals", self.config.max_shrink_evals),
+                .field("max_shrink_evals", self.config.max_shrink_evals)
+                .field("guard", self.guard.as_str()),
         );
         let best_loss = self.outcome.worst().map(|c| c.score.availability_loss).unwrap_or(0.0);
         out.push(
@@ -202,6 +238,20 @@ mod tests {
                 (entry.availability_floor - (1.0 - cand.score.availability_loss)).abs() < 1e-12
             );
         }
+    }
+
+    #[test]
+    fn guarded_search_tags_its_corpus_and_rejects_unknown_presets() {
+        let base = run_search_with(Scale::Test, tiny_config(7)).expect("search");
+        assert_eq!(base.guard, "default");
+        assert!(base.corpus.iter().all(|e| e.guard == "default"));
+        let warm: Vec<ScenarioSpec> = base.corpus.iter().map(|e| e.spec.clone()).collect();
+        let tuned =
+            run_search_against(Scale::Test, tiny_config(7), "tuned", &warm).expect("search");
+        assert_eq!(tuned.guard, "tuned");
+        assert!(!tuned.corpus.is_empty());
+        assert!(tuned.corpus.iter().all(|e| e.guard == "tuned"));
+        assert!(run_search_against(Scale::Test, tiny_config(7), "nope", &[]).is_err());
     }
 
     #[test]

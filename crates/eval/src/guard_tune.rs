@@ -1,0 +1,375 @@
+//! Guard auto-tuning wired to the chaos harness: co-evolve
+//! [`GuardConfig`] against the adversarial corpus.
+//!
+//! `painter_core::guard::tune` owns the seeded search over guard knobs
+//! but is oracle-agnostic; this module supplies the oracle — each
+//! candidate config defends a full chaos campaign per scenario in a
+//! **pool** (the pinned corpus reproducers at their recorded seeds plus
+//! the standard hand-written suite) and is scored on the worst and mean
+//! closed-loop availability loss with plan churn as the stability axis.
+//!
+//! The loop is a two-player arms race, alternating per round:
+//!
+//! 1. **Adversary phase** — `painter_chaos::search_seeded`, warm-started
+//!    from the reproducers already in the pool, attacks the *current
+//!    best* guard; new shrunk winners that still hurt join the pool.
+//! 2. **Guard phase** — [`tune_search`] re-tunes the guard against the
+//!    grown pool. Candidate 0 is always [`GuardConfig::default`], so
+//!    the final round's best is never worse than the shipped defaults
+//!    on everything the adversary found.
+//!
+//! Everything downstream of the seed is deterministic: both phases draw
+//! from dedicated [`SimRng`] streams, scores are quantized before
+//! comparison, and the `guard.tune.*` sections render byte-identically
+//! across same-seed reruns (the CI smoke job diffs two such runs). The
+//! winner of the real (paper-scale) run is pinned as
+//! [`GuardConfig::tuned`]; `tests/guard_tuned.rs` replays the corpus
+//! under both presets to keep the pin honest.
+
+use crate::chaos::{run_campaign_with_guard, standard_suite, ChaosTiming};
+use crate::chaos_search::{campaign_score_with_guard, harness_grammar};
+use crate::scenario::Scale;
+use painter_chaos::{search_seeded, CorpusEntry, ScenarioSpec, SearchConfig};
+use painter_core::{tune_search, GuardConfig, GuardScore, TuneConfig, TuneOutcome, TuneSpace};
+use painter_obs::Section;
+
+/// One scenario the guard must defend: a fault spec plus the campaign
+/// seed it is scored at (corpus entries replay at their pinned seed,
+/// suite scenarios at the tune seed).
+#[derive(Debug, Clone)]
+pub struct PoolCase {
+    pub spec: ScenarioSpec,
+    pub seed: u64,
+}
+
+/// Budgets and seed for one [`run_guard_tune`] co-evolution.
+#[derive(Debug, Clone)]
+pub struct GuardTuneConfig {
+    /// Master seed: every phase derives its stream from it.
+    pub seed: u64,
+    /// Adversary→guard rounds.
+    pub rounds: usize,
+    /// Guard-candidate evaluations per guard phase (each evaluation is
+    /// one campaign per pool scenario).
+    pub tune_budget: usize,
+    /// Scenario evaluations per adversary phase.
+    pub adversary_budget: usize,
+}
+
+impl GuardTuneConfig {
+    /// The standard co-evolution: 2 rounds, 12 guard candidates and 8
+    /// adversary candidates per round.
+    pub fn new(seed: u64) -> GuardTuneConfig {
+        GuardTuneConfig { seed, rounds: 2, tune_budget: 12, adversary_budget: 8 }
+    }
+
+    /// A seconds-scale budget for CI smoke runs and tests.
+    pub fn tiny(seed: u64) -> GuardTuneConfig {
+        GuardTuneConfig { seed, rounds: 1, tune_budget: 3, adversary_budget: 2 }
+    }
+}
+
+/// What one co-evolution round did.
+#[derive(Debug, Clone)]
+pub struct RoundSummary {
+    pub round: usize,
+    /// Pool size the guard phase tuned against (after this round's
+    /// adversary additions).
+    pub pool_size: usize,
+    /// Worst availability loss the adversary phase reached against the
+    /// round's incoming best guard.
+    pub adversary_best_loss: f64,
+    /// Shrunk adversary winners admitted to the pool.
+    pub new_specs: usize,
+    /// The guard phase's best score on the round's pool.
+    pub best: GuardScore,
+}
+
+/// One finished co-evolution.
+#[derive(Debug, Clone)]
+pub struct TuneRun {
+    pub scale: Scale,
+    pub config: GuardTuneConfig,
+    /// The final scenario pool (corpus + suite + adversary discoveries).
+    pub pool: Vec<PoolCase>,
+    pub rounds: Vec<RoundSummary>,
+    /// The final guard phase's outcome: its `best()` is the co-evolved
+    /// winner, its `baseline` the default config on the same pool.
+    pub outcome: TuneOutcome,
+    /// The pinned [`GuardConfig::tuned`] preset scored on the final
+    /// pool, for drift detection against the checked-in constants.
+    pub tuned_score: GuardScore,
+    /// Total campaigns simulated across all phases.
+    pub campaigns: usize,
+}
+
+/// Scores one guard config across the pool: worst/mean closed-loop
+/// availability loss, mean plan churn.
+pub fn guard_pool_score(
+    pool: &[PoolCase],
+    timing: &ChaosTiming,
+    guard: &GuardConfig,
+) -> Result<GuardScore, String> {
+    if pool.is_empty() {
+        return Err("empty scenario pool".to_string());
+    }
+    let mut worst = 0.0f64;
+    let mut loss_sum = 0.0;
+    let mut churn_sum = 0.0;
+    for case in pool {
+        let out = run_campaign_with_guard(&case.spec, timing, case.seed, guard)?;
+        let loss = 1.0 - out.closed_loop.availability();
+        worst = worst.max(loss);
+        loss_sum += loss;
+        churn_sum += out.learning.plan_churn_rate;
+    }
+    let n = pool.len() as f64;
+    Ok(GuardScore { worst_loss: worst, mean_loss: loss_sum / n, churn: churn_sum / n })
+}
+
+/// The initial pool: every corpus reproducer at its pinned seed, then
+/// the standard suite at `suite_seed`.
+pub fn scenario_pool(
+    corpus: &[CorpusEntry],
+    timing: &ChaosTiming,
+    suite_seed: u64,
+) -> Vec<PoolCase> {
+    let mut pool: Vec<PoolCase> =
+        corpus.iter().map(|e| PoolCase { spec: e.spec.clone(), seed: e.seed }).collect();
+    pool.extend(standard_suite(timing).into_iter().map(|spec| PoolCase { spec, seed: suite_seed }));
+    pool
+}
+
+/// Loads every `*.json` corpus entry under `dir`, sorted by file name
+/// (the same order `tests/chaos_corpus.rs` replays).
+pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+            CorpusEntry::from_json(&text).map_err(|e| format!("parse {}: {e}", p.display()))
+        })
+        .collect()
+}
+
+/// Runs the full co-evolution at `scale` against `corpus`.
+pub fn run_guard_tune(
+    scale: Scale,
+    config: GuardTuneConfig,
+    corpus: &[CorpusEntry],
+) -> Result<TuneRun, String> {
+    let timing = ChaosTiming::for_scale(scale);
+    let grammar = harness_grammar(&timing);
+    let space = TuneSpace::default();
+    // The adversarially-found reproducers (warm-start material) are kept
+    // apart from the hand-written suite so pool growth dedups against
+    // the right set.
+    let mut adv: Vec<PoolCase> =
+        corpus.iter().map(|e| PoolCase { spec: e.spec.clone(), seed: e.seed }).collect();
+    let suite: Vec<PoolCase> = standard_suite(&timing)
+        .into_iter()
+        .map(|spec| PoolCase { spec, seed: config.seed })
+        .collect();
+
+    let mut best_guard = GuardConfig::default();
+    let mut rounds = Vec::with_capacity(config.rounds);
+    let mut outcome: Option<TuneOutcome> = None;
+    let mut campaigns = 0usize;
+
+    for round in 0..config.rounds.max(1) {
+        // --- Adversary phase: attack the incoming best guard (round 0
+        // attacks the defaults — the regime the corpus was pinned
+        // under), warm-started from up to a third of the budget's worth
+        // of known reproducers.
+        let adv_seed = config.seed.wrapping_add(0x5EAC_0000).wrapping_add(round as u64);
+        let search_cfg = SearchConfig::new(adv_seed, config.adversary_budget);
+        let warm_cap = (config.adversary_budget / 3).max(1);
+        let warm: Vec<ScenarioSpec> = adv.iter().take(warm_cap).map(|c| c.spec.clone()).collect();
+        let defender = best_guard;
+        let found = search_seeded(&grammar, &search_cfg, &warm, |spec| {
+            campaigns += 1;
+            campaign_score_with_guard(spec, &timing, adv_seed, &defender)
+        })?;
+        let adversary_best_loss = found.worst().map(|c| c.score.availability_loss).unwrap_or(0.0);
+        let mut new_specs = 0usize;
+        for cand in &found.ranked {
+            // Only scenarios that still hurt the defender, and only
+            // fault lists the pool doesn't already carry.
+            if cand.score.availability_loss <= 0.0 {
+                continue;
+            }
+            let known = adv.iter().chain(&suite).any(|c| c.spec.faults == cand.spec.faults);
+            if !known {
+                adv.push(PoolCase { spec: cand.spec.clone(), seed: adv_seed });
+                new_specs += 1;
+            }
+        }
+
+        // --- Guard phase: re-tune against the grown pool.
+        let pool: Vec<PoolCase> = adv.iter().chain(&suite).cloned().collect();
+        let tune_cfg = TuneConfig::new(config.seed.wrapping_add(round as u64), config.tune_budget);
+        let tuned = tune_search(&space, &tune_cfg, |guard| {
+            campaigns += pool.len();
+            guard_pool_score(&pool, &timing, guard)
+        })?;
+        best_guard = tuned.best().config;
+        rounds.push(RoundSummary {
+            round,
+            pool_size: pool.len(),
+            adversary_best_loss,
+            new_specs,
+            best: tuned.best().score,
+        });
+        outcome = Some(tuned);
+    }
+
+    let outcome = outcome.ok_or("zero-round tune run")?;
+    let pool: Vec<PoolCase> = adv.iter().chain(&suite).cloned().collect();
+    campaigns += pool.len();
+    let tuned_score = guard_pool_score(&pool, &timing, &GuardConfig::tuned())?;
+    Ok(TuneRun { scale, config, pool, rounds, outcome, tuned_score, campaigns })
+}
+
+impl TuneRun {
+    /// The co-evolved winner.
+    pub fn best(&self) -> &painter_core::TuneCandidate {
+        self.outcome.best()
+    }
+
+    /// The run as `guard.tune.*` report sections: config and per-round
+    /// counters, the descent trajectory, the default / best / pinned
+    /// scores on the final pool, and the repair-vs-stability frontier
+    /// with one `guard.tune.point<k>` section per frontier point.
+    pub fn sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(self.rounds.len() + self.outcome.frontier.len() + 6);
+        out.push(
+            Section::new("guard.tune.config")
+                .field("seed", self.config.seed)
+                .field("rounds", self.config.rounds)
+                .field("tune_budget", self.config.tune_budget)
+                .field("adversary_budget", self.config.adversary_budget)
+                .field("pool_final", self.pool.len())
+                .field("campaigns", self.campaigns),
+        );
+        for r in &self.rounds {
+            out.push(
+                Section::new(format!("guard.tune.round{}", r.round))
+                    .field("pool_size", r.pool_size)
+                    .field("adversary_best_loss", r.adversary_best_loss)
+                    .field("new_specs", r.new_specs)
+                    .field("best_worst_loss", r.best.worst_loss)
+                    .field("best_mean_loss", r.best.mean_loss)
+                    .field("best_churn", r.best.churn),
+            );
+        }
+        out.push(
+            Section::new("guard.tune.progress")
+                .field("guards_evaluated", self.outcome.evaluated)
+                .field("distinct_configs", self.outcome.all.len())
+                .field("best_trajectory", self.outcome.trajectory.clone()),
+        );
+        out.push(
+            score_section("guard.tune.default", &self.outcome.baseline)
+                .field("config", GuardConfig::default().to_json().as_str()),
+        );
+        let best = self.outcome.best();
+        out.push(
+            score_section("guard.tune.best", &best.score)
+                .field("name", best.name.as_str())
+                .field("beats_default", best.score.beats(&self.outcome.baseline))
+                .field("config", best.config.to_json().as_str()),
+        );
+        out.push(
+            score_section("guard.tune.tuned", &self.tuned_score)
+                .field("matches_best", GuardConfig::tuned().to_json() == best.config.to_json())
+                .field("config", GuardConfig::tuned().to_json().as_str()),
+        );
+        let points: Vec<(f64, f64)> =
+            self.outcome.frontier.iter().map(|c| (c.score.churn, c.score.worst_loss)).collect();
+        out.push(
+            Section::new("guard.tune.frontier")
+                .field("points", self.outcome.frontier.len())
+                .field("churn_vs_worst_loss", points),
+        );
+        for (k, c) in self.outcome.frontier.iter().enumerate() {
+            out.push(
+                score_section(format!("guard.tune.point{k}"), &c.score)
+                    .field("name", c.name.as_str())
+                    .field("config", c.config.to_json().as_str()),
+            );
+        }
+        out
+    }
+}
+
+fn score_section(title: impl Into<String>, score: &GuardScore) -> Section {
+    Section::new(title)
+        .field("worst_loss", score.worst_loss)
+        .field("mean_loss", score.mean_loss)
+        .field("churn", score.churn)
+}
+
+/// [`run_guard_tune`] rendered straight to sections for the figures
+/// binary.
+pub fn guard_tune_sections(
+    scale: Scale,
+    config: GuardTuneConfig,
+    corpus: &[CorpusEntry],
+) -> Result<Vec<Section>, String> {
+    Ok(run_guard_tune(scale, config, corpus)?.sections())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_obs::Value;
+
+    #[test]
+    fn tiny_co_evolution_is_deterministic_and_carries_the_schema() {
+        let a = run_guard_tune(Scale::Test, GuardTuneConfig::tiny(5), &[]).expect("tune");
+        let b = run_guard_tune(Scale::Test, GuardTuneConfig::tiny(5), &[]).expect("tune");
+        assert_eq!(a.sections(), b.sections(), "same seed, same sections");
+
+        // The winner is never worse than the default baseline.
+        assert!(!a.outcome.baseline.beats(&a.best().score));
+        assert_eq!(a.rounds.len(), 1);
+        assert!(a.campaigns > 0);
+
+        let sections = a.sections();
+        assert_eq!(sections[0].title, "guard.tune.config");
+        assert_eq!(sections[1].title, "guard.tune.round0");
+        assert_eq!(sections[2].title, "guard.tune.progress");
+        let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
+        for t in
+            ["guard.tune.default", "guard.tune.best", "guard.tune.tuned", "guard.tune.frontier"]
+        {
+            assert!(titles.contains(&t), "missing section {t}");
+        }
+        match sections[2].get("best_trajectory") {
+            Some(Value::Series(points)) => {
+                assert_eq!(points.len(), a.config.tune_budget, "one point per eval")
+            }
+            other => panic!("expected trajectory series, got {other:?}"),
+        }
+        // Frontier sections exist for every frontier point and no point
+        // dominates another.
+        let n = a.outcome.frontier.len();
+        assert!(n >= 1);
+        assert!(titles.contains(&format!("guard.tune.point{}", n - 1).as_str()));
+        for x in &a.outcome.frontier {
+            for y in &a.outcome.frontier {
+                assert!(
+                    !x.score.dominates(&y.score) || x.config.to_json() == y.config.to_json(),
+                    "dominated frontier point"
+                );
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 pub mod chaos;
 pub mod chaos_search;
 pub mod figs;
+pub mod guard_tune;
 pub mod helpers;
 pub mod incidents;
 pub mod report;

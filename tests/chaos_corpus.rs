@@ -7,7 +7,10 @@
 //! any deliberate dynamics change (see DESIGN.md §12).
 
 use painter::chaos::{CorpusEntry, Schedule};
-use painter::eval::chaos::{harness_world_view, run_campaign, standard_suite, ChaosTiming};
+use painter::core::GuardConfig;
+use painter::eval::chaos::{
+    harness_world_view, run_campaign_with_guard, standard_suite, ChaosTiming,
+};
 use painter::eval::Scale;
 
 fn load_corpus() -> Vec<(String, CorpusEntry)> {
@@ -36,6 +39,13 @@ fn scale_of(entry: &CorpusEntry) -> Scale {
         "paper" => Scale::Paper,
         other => panic!("unknown corpus scale tag '{other}'"),
     }
+}
+
+/// The guard preset the entry's floor was pinned under — replays must
+/// defend with the same guard or the floor is meaningless.
+fn guard_of(name: &str, entry: &CorpusEntry) -> GuardConfig {
+    GuardConfig::preset(&entry.guard)
+        .unwrap_or_else(|| panic!("{name}: unknown guard preset tag '{}'", entry.guard))
 }
 
 /// Every reproducer still compiles to the exact injection trace it was
@@ -69,7 +79,8 @@ fn corpus_schedules_replay_to_their_recorded_digests() {
 fn closed_loop_availability_never_drops_below_the_pinned_floor() {
     for (name, entry) in load_corpus() {
         let timing = ChaosTiming::for_scale(scale_of(&entry));
-        let out = run_campaign(&entry.spec, &timing, entry.seed)
+        let guard = guard_of(&name, &entry);
+        let out = run_campaign_with_guard(&entry.spec, &timing, entry.seed, &guard)
             .unwrap_or_else(|e| panic!("{name}: campaign failed: {e}"));
         let availability = out.closed_loop.availability();
         let floor = entry.availability_floor - entry.tolerance;
@@ -94,9 +105,12 @@ fn worst_reproducer_beats_every_hand_written_campaign() {
         .min_by(|a, b| a.1.availability_floor.total_cmp(&b.1.availability_floor))
         .expect("nonempty corpus");
     let timing = ChaosTiming::for_scale(scale_of(worst));
+    // Apples to apples: the hand-written campaigns defend with the same
+    // guard preset the worst entry's loss was pinned under.
+    let guard = guard_of(worst_name, worst);
     let adversarial_loss = 1.0 - worst.availability_floor;
     for spec in standard_suite(&timing) {
-        let out = run_campaign(&spec, &timing, worst.seed)
+        let out = run_campaign_with_guard(&spec, &timing, worst.seed, &guard)
             .unwrap_or_else(|e| panic!("{}: campaign failed: {e}", spec.name));
         let hand_written_loss = 1.0 - out.closed_loop.availability();
         assert!(

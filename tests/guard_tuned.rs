@@ -1,0 +1,94 @@
+//! The tuned-preset contract: `GuardConfig::tuned()` — the winner the
+//! guard co-evolution pinned (DESIGN.md §14) — must defend every
+//! checked-in adversarial reproducer at least as well as the shipped
+//! defaults, and strictly better on at least one. If a dynamics change
+//! breaks this, re-run `figures guard-tune` and re-pin the preset
+//! deliberately; do not weaken the assertions.
+
+use painter::chaos::{CorpusEntry, Schedule};
+use painter::core::{GuardConfig, TuneSpace};
+use painter::eval::chaos::{harness_world_view, run_campaign_with_guard, ChaosTiming};
+use painter::eval::Scale;
+
+fn load_corpus() -> Vec<(String, CorpusEntry)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<(String, CorpusEntry)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} must exist: {e}", dir.display()))
+        .map(|res| res.expect("readable corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+            let entry = CorpusEntry::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: bad corpus JSON: {e}"));
+            (name, entry)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!entries.is_empty(), "corpus/ holds no reproducers");
+    entries
+}
+
+fn scale_of(entry: &CorpusEntry) -> Scale {
+    match entry.scale.as_str() {
+        "test" => Scale::Test,
+        "paper" => Scale::Paper,
+        other => panic!("unknown corpus scale tag '{other}'"),
+    }
+}
+
+/// Replays `entry` under `guard` and returns the closed-loop
+/// availability, first re-asserting the trace digest so both presets
+/// are scored against exactly the scenario that was pinned.
+fn availability_under(name: &str, entry: &CorpusEntry, guard: &GuardConfig) -> f64 {
+    let view = harness_world_view();
+    let schedule = Schedule::compile(&entry.spec, &view, entry.seed)
+        .unwrap_or_else(|e| panic!("{name}: spec no longer compiles: {e}"));
+    assert_eq!(
+        schedule.trace_digest(),
+        entry.trace_fnv1a,
+        "{name}: trace digest drifted; the replay is not the pinned scenario",
+    );
+    let timing = ChaosTiming::for_scale(scale_of(entry));
+    let out = run_campaign_with_guard(&entry.spec, &timing, entry.seed, guard)
+        .unwrap_or_else(|e| panic!("{name}: campaign failed: {e}"));
+    out.closed_loop.availability()
+}
+
+/// The pinned preset is structurally sane: inside the tuning space's
+/// invariant and genuinely different from the defaults.
+#[test]
+fn tuned_preset_is_valid_and_distinct() {
+    let space = TuneSpace::default();
+    assert!(space.validate(&GuardConfig::default()));
+    assert!(space.validate(&GuardConfig::tuned()));
+    assert_ne!(GuardConfig::tuned().to_json(), GuardConfig::default().to_json());
+    assert_eq!(GuardConfig::preset("tuned").unwrap().to_json(), GuardConfig::tuned().to_json());
+}
+
+/// Corpus-wide dominance: on every reproducer the tuned preset's
+/// availability loss is no worse than the default's, and on at least
+/// one it is strictly better.
+#[test]
+fn tuned_guard_never_loses_to_default_on_the_corpus_and_wins_somewhere() {
+    let default = GuardConfig::default();
+    let tuned = GuardConfig::tuned();
+    let mut strictly_better = 0usize;
+    for (name, entry) in load_corpus() {
+        let av_default = availability_under(&name, &entry, &default);
+        let av_tuned = availability_under(&name, &entry, &tuned);
+        assert!(
+            av_tuned >= av_default - 1e-12,
+            "{name}: tuned availability {av_tuned:.6} is worse than default {av_default:.6}; \
+             re-tune before re-pinning the preset",
+        );
+        if av_tuned > av_default + 1e-12 {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 1,
+        "tuned preset must beat the default on at least one corpus reproducer",
+    );
+}

@@ -288,6 +288,126 @@ fn chaos_sections_pin_their_schema() {
 }
 
 #[test]
+fn guard_tune_sections_pin_their_schema() {
+    use painter::eval::guard_tune::{run_guard_tune, GuardTuneConfig};
+    use painter::obs::json::JsonValue;
+
+    let run = run_guard_tune(Scale::Test, GuardTuneConfig::tiny(5), &[]).expect("tune");
+    let mut report = RunReport::new("guard-tune");
+    for section in run.sections() {
+        report.push_section(section);
+    }
+    let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
+    let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
+
+    // Config, one round, progress, the three scored configs, the
+    // frontier summary, then one point section per frontier point.
+    let titles: Vec<&str> =
+        sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
+    let frontier_points = run.outcome.frontier.len();
+    assert!(frontier_points >= 1, "frontier can never be empty");
+    let mut expected = vec![
+        "guard.tune.config".to_string(),
+        "guard.tune.round0".to_string(),
+        "guard.tune.progress".to_string(),
+        "guard.tune.default".to_string(),
+        "guard.tune.best".to_string(),
+        "guard.tune.tuned".to_string(),
+        "guard.tune.frontier".to_string(),
+    ];
+    expected.extend((0..frontier_points).map(|k| format!("guard.tune.point{k}")));
+    assert_eq!(titles, expected.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Exact field names and counts per section, keyed by title prefix.
+    let pinned: &[(&str, &[&str])] = &[
+        (
+            "guard.tune.config",
+            &["seed", "rounds", "tune_budget", "adversary_budget", "pool_final", "campaigns"],
+        ),
+        (
+            "guard.tune.round0",
+            &[
+                "pool_size",
+                "adversary_best_loss",
+                "new_specs",
+                "best_worst_loss",
+                "best_mean_loss",
+                "best_churn",
+            ],
+        ),
+        ("guard.tune.progress", &["guards_evaluated", "distinct_configs", "best_trajectory"]),
+        ("guard.tune.default", &["worst_loss", "mean_loss", "churn", "config"]),
+        (
+            "guard.tune.best",
+            &["worst_loss", "mean_loss", "churn", "name", "beats_default", "config"],
+        ),
+        ("guard.tune.tuned", &["worst_loss", "mean_loss", "churn", "matches_best", "config"]),
+        ("guard.tune.frontier", &["points", "churn_vs_worst_loss"]),
+        ("guard.tune.point0", &["worst_loss", "mean_loss", "churn", "name", "config"]),
+    ];
+    for (title, names) in pinned {
+        let section = sections
+            .iter()
+            .find(|s| s.get("title").and_then(|v| v.as_str()) == Some(title))
+            .unwrap_or_else(|| panic!("missing section {title}"));
+        let fields = section.get("fields").expect("fields");
+        for name in *names {
+            assert!(fields.get(name).is_some(), "{title} missing field {name}");
+        }
+        match fields {
+            JsonValue::Object(map) => {
+                assert_eq!(map.len(), names.len(), "{title} field count drifted: {map:?}")
+            }
+            other => panic!("{title} fields not an object: {other:?}"),
+        }
+    }
+
+    // The frontier series has one (churn, worst_loss) pair per point,
+    // and the descent trajectory one point per guard evaluation.
+    let frontier = sections
+        .iter()
+        .find(|s| s.get("title").and_then(|v| v.as_str()) == Some("guard.tune.frontier"))
+        .unwrap()
+        .get("fields")
+        .unwrap();
+    assert_eq!(frontier.get("points").and_then(|v| v.as_f64()), Some(frontier_points as f64));
+    let series =
+        frontier.get("churn_vs_worst_loss").and_then(|v| v.as_array()).expect("frontier series");
+    assert_eq!(series.len(), frontier_points);
+    let progress = sections[2].get("fields").unwrap();
+    let trajectory =
+        progress.get("best_trajectory").and_then(|v| v.as_array()).expect("trajectory series");
+    assert_eq!(trajectory.len(), run.config.tune_budget);
+
+    // The three scored configs carry parseable canonical config JSON,
+    // and the best is never worse than the default baseline.
+    for title in ["guard.tune.default", "guard.tune.best", "guard.tune.tuned"] {
+        let section = sections
+            .iter()
+            .find(|s| s.get("title").and_then(|v| v.as_str()) == Some(title))
+            .unwrap();
+        let config = section
+            .get("fields")
+            .and_then(|f| f.get("config"))
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("{title} missing config JSON"));
+        painter::obs::json::parse(config).unwrap_or_else(|e| panic!("{title} config: {e}"));
+    }
+    let best = sections[4].get("fields").unwrap();
+    let default = sections[3].get("fields").unwrap();
+    let best_worst = best.get("worst_loss").and_then(|v| v.as_f64()).unwrap();
+    let default_worst = default.get("worst_loss").and_then(|v| v.as_f64()).unwrap();
+    // The tuner ranks on quant3-quantized keys, so "best" may trail the
+    // default by sub-millipoint noise on raw worst loss while winning the
+    // mean-loss tiebreak; compare at the tuner's own resolution.
+    let quant3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
+    assert!(
+        quant3(best_worst) <= quant3(default_worst) + 1e-12,
+        "best {best_worst} vs default {default_worst}",
+    );
+}
+
+#[test]
 fn shared_registry_merges_subsystem_metrics() {
     let obs = Registry::new();
     let report = full_run_report(&obs);
