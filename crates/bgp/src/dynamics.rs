@@ -21,8 +21,8 @@
 use crate::path::PathModel;
 use crate::prefix::PrefixId;
 use painter_eventsim::{EventQueue, SimRng, SimTime};
-use painter_obs::{TraceId, TraceKind, TraceSink};
 use painter_geo::{metro, min_rtt_ms, MetroId};
+use painter_obs::{TraceId, TraceKind, TraceSink};
 use painter_topology::{AsGraph, AsId, Deployment, PeeringId, PeeringKind, Relationship};
 use std::collections::{HashMap, HashSet};
 
@@ -204,7 +204,7 @@ impl<'a> BgpEngine<'a> {
             rng,
             now: SimTime::ZERO,
             churn: Vec::new(),
-            trace: TraceSink::default(),
+            trace: TraceSink::inert(),
         }
     }
 

@@ -373,14 +373,10 @@ mod tests {
         assert_eq!(spans.len(), schedule.fault_count());
         assert!(spans.iter().all(|s| !s.is_none()), "both faults injected something");
         let events = sink.events();
-        let starts: Vec<_> = events
-            .iter()
-            .filter(|e| matches!(e.kind, TraceKind::FaultStart { .. }))
-            .collect();
-        let ends: Vec<_> = events
-            .iter()
-            .filter(|e| matches!(e.kind, TraceKind::FaultEnd { .. }))
-            .collect();
+        let starts: Vec<_> =
+            events.iter().filter(|e| matches!(e.kind, TraceKind::FaultStart { .. })).collect();
+        let ends: Vec<_> =
+            events.iter().filter(|e| matches!(e.kind, TraceKind::FaultEnd { .. })).collect();
         assert_eq!(starts.len(), 2);
         assert_eq!(ends.len(), 1, "the horizon-dropped recovery leaves no end edge");
         assert_eq!(ends[0].cause, spans[0].raw(), "end chains to its own start");
@@ -393,7 +389,7 @@ mod tests {
         assert_eq!(spans2.len(), spans.len());
         assert_eq!(sink2.events(), events);
         // And the inert default records nothing.
-        let inert = TraceSink::default();
+        let inert = TraceSink::inert();
         let none = trace_fault_spans(&schedule, &inert);
         assert!(none.iter().all(|s| *s == TraceId::NONE));
     }

@@ -54,7 +54,7 @@ pub use inject::{
     program_bgp, program_bgp_traced, program_tm, program_tm_traced, trace_fault_spans,
     DataPlaneState, TmTarget,
 };
-pub use schedule::{FaultEvent, Injection, Schedule, WorldView};
+pub use schedule::{surge_cohort, FaultEvent, Injection, Schedule, WorldView};
 pub use scorecard::Scorecard;
 pub use search::{
     sample_spec, search, search_seeded, Candidate, CorpusEntry, Grammar, SearchConfig,

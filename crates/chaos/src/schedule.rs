@@ -83,6 +83,12 @@ pub enum FaultEvent {
     LeakStart { peering: PeeringId },
     /// Internet-side BGP: the leak is fixed; policy export resumes.
     LeakEnd { peering: PeeringId },
+    /// Demand plane: a seeded UG cohort (`fraction` of the population)
+    /// multiplies its traffic weight by `factor`. Cohort membership comes
+    /// from [`surge_cohort`] with this event's `cohort_seed`.
+    SurgeStart { factor: f64, fraction: f64, cohort_seed: u64 },
+    /// Demand plane: the surge subsides; weights return to baseline.
+    SurgeEnd,
 }
 
 /// One injection: an event at a virtual time, tagged with the index of
@@ -192,12 +198,7 @@ impl Schedule {
     /// agree on this digest iff they agree on every injection and
     /// timestamp.
     pub fn trace_digest(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.trace().bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        hash
+        painter_obs::fnv1a(self.trace().as_bytes())
     }
 }
 
@@ -298,8 +299,46 @@ fn expand(
                 push(t1, FaultEvent::LeakEnd { peering });
             }
         }
+        FaultKind::FlashCrowd { factor, fraction } => match fault.target {
+            Target::All => {
+                // The cohort is pinned by the fault's own RNG stream so
+                // replaying the schedule reproduces the same surging UGs.
+                push(
+                    t0,
+                    FaultEvent::SurgeStart {
+                        factor: factor.max(1.0),
+                        fraction: fraction.clamp(0.0, 1.0),
+                        cohort_seed: rng.unit().to_bits(),
+                    },
+                );
+                push(t1, FaultEvent::SurgeEnd);
+            }
+            other => return Err(format!("flash crowd cannot target {other:?}")),
+        },
     }
     Ok(())
+}
+
+/// The UG indices (into a population of `n_ugs`) belonging to a flash-crowd
+/// cohort: a seeded, sorted, duplicate-free sample of
+/// `ceil(fraction * n_ugs)` UGs. Deterministic in `(n_ugs, fraction, seed)`
+/// — the consumer side of [`FaultEvent::SurgeStart`].
+pub fn surge_cohort(n_ugs: usize, fraction: f64, seed: u64) -> Vec<usize> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let want = ((fraction * n_ugs as f64).ceil() as usize).min(n_ugs);
+    if want == 0 {
+        return Vec::new();
+    }
+    // Seeded partial Fisher-Yates over the index range.
+    let mut rng = SimRng::stream(seed, 0xF1A5);
+    let mut idx: Vec<usize> = (0..n_ugs).collect();
+    for i in 0..want {
+        let j = i + rng.index(n_ugs - i);
+        idx.swap(i, j);
+    }
+    let mut cohort = idx[..want].to_vec();
+    cohort.sort_unstable();
+    cohort
 }
 
 fn resolve_peerings(target: Target, world: &WorldView) -> Result<Vec<PeeringId>, String> {
@@ -522,5 +561,64 @@ mod tests {
         assert!(bad(FaultKind::SessionReset, Target::Peering(99)).is_err());
         assert!(bad(FaultKind::PopOutage { detection_spread_ms: 1.0 }, Target::Pop(9)).is_err());
         assert!(bad(FaultKind::LinkBlackhole, Target::Tunnel(99)).is_err());
+        assert!(
+            bad(FaultKind::FlashCrowd { factor: 4.0, fraction: 0.2 }, Target::Peering(0)).is_err()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_expands_to_surge_window_with_pinned_cohort_seed() {
+        let spec = ScenarioSpec::new("flash", 100.0).fault(
+            FaultSpec::new(
+                "crowd",
+                FaultKind::FlashCrowd { factor: 6.0, fraction: 0.3 },
+                Target::All,
+            )
+            .at(20.0)
+            .lasting(30.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 5).expect("compile");
+        assert_eq!(s.injections().len(), 2);
+        let FaultEvent::SurgeStart { factor, fraction, cohort_seed } = s.injections()[0].event
+        else {
+            panic!("expected SurgeStart, got {:?}", s.injections()[0].event)
+        };
+        assert_eq!(factor, 6.0);
+        assert_eq!(fraction, 0.3);
+        assert_eq!(s.injections()[0].at, SimTime::from_secs(20.0));
+        assert_eq!(s.injections()[1].event, FaultEvent::SurgeEnd);
+        // Replay pins the same cohort seed.
+        let again = Schedule::compile(&spec, &world(), 5).expect("compile");
+        let FaultEvent::SurgeStart { cohort_seed: seed2, .. } = again.injections()[0].event else {
+            panic!("expected SurgeStart")
+        };
+        assert_eq!(cohort_seed, seed2);
+        // Factor below 1 / fraction above 1 are clamped at expansion.
+        let wild = ScenarioSpec::new("wild", 100.0).fault(FaultSpec::new(
+            "crowd",
+            FaultKind::FlashCrowd { factor: 0.2, fraction: 7.0 },
+            Target::All,
+        ));
+        let s = Schedule::compile(&wild, &world(), 5).expect("compile");
+        let FaultEvent::SurgeStart { factor, fraction, .. } = s.injections()[0].event else {
+            panic!("expected SurgeStart")
+        };
+        assert_eq!(factor, 1.0);
+        assert_eq!(fraction, 1.0);
+    }
+
+    #[test]
+    fn surge_cohort_is_seeded_sorted_and_sized() {
+        let a = surge_cohort(100, 0.3, 42);
+        let b = surge_cohort(100, 0.3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+        assert!(a.iter().all(|&i| i < 100));
+        let c = surge_cohort(100, 0.3, 43);
+        assert_ne!(a, c, "cohort must track the seed");
+        assert!(surge_cohort(100, 0.0, 42).is_empty());
+        assert_eq!(surge_cohort(10, 1.0, 42), (0..10).collect::<Vec<_>>());
+        assert_eq!(surge_cohort(0, 0.5, 42), Vec::<usize>::new());
     }
 }

@@ -158,6 +158,9 @@ pub(crate) fn sample_kind_and_target(grammar: &Grammar, rng: &mut SimRng) -> (Fa
             }
         }
         FaultKind::ProbeFleetLoss { .. } => Target::Fleet,
+        // Not generated by the grammar (the adversary can't conjure
+        // demand), but the shape is pinned for completeness.
+        FaultKind::FlashCrowd { .. } => Target::All,
     };
     (kind, target)
 }

@@ -50,6 +50,12 @@ pub enum FaultKind {
     /// announcements past Gao–Rexford policy bounds so traffic can land
     /// on paths the routing model says cannot exist.
     RouteLeak,
+    /// A flash crowd: a seeded `fraction` of the UG population multiplies
+    /// its traffic weight by `factor` for the duration. Purely a volume
+    /// event — no route changes — so latency-only placement is blind to
+    /// it, and only the capacity-aware objective can absorb the surge
+    /// without overloading ingress links. Targets [`Target::All`].
+    FlashCrowd { factor: f64, fraction: f64 },
 }
 
 /// Where to aim a fault. Resolution against the concrete world happens
@@ -257,6 +263,13 @@ fn write_kind(out: &mut String, kind: &FaultKind) {
             out.push('}');
         }
         FaultKind::RouteLeak => out.push_str("{\"type\":\"route_leak\"}"),
+        FaultKind::FlashCrowd { factor, fraction } => {
+            out.push_str("{\"type\":\"flash_crowd\",\"factor\":");
+            json::write_f64(out, *factor);
+            out.push_str(",\"fraction\":");
+            json::write_f64(out, *fraction);
+            out.push('}');
+        }
     }
 }
 
@@ -308,6 +321,10 @@ fn parse_fault(v: &JsonValue) -> Result<FaultSpec, String> {
             FaultKind::ProbeFleetLoss { fraction: num_field(kind_v, "fraction")? }
         }
         "route_leak" => FaultKind::RouteLeak,
+        "flash_crowd" => FaultKind::FlashCrowd {
+            factor: num_field(kind_v, "factor")?,
+            fraction: num_field(kind_v, "fraction")?,
+        },
         other => return Err(format!("unknown fault kind '{other}'")),
     };
     let target_v = v.get("target").ok_or_else(|| "missing field 'target'".to_string())?;
@@ -402,6 +419,7 @@ mod tests {
             },
             FaultKind::ProbeFleetLoss { fraction: 0.3 },
             FaultKind::RouteLeak,
+            FaultKind::FlashCrowd { factor: 6.0, fraction: 0.25 },
         ];
         let targets = [
             Target::Pop(1),

@@ -123,6 +123,121 @@ impl<'a> ConfigEvaluator<'a> {
             total / count as f64
         }
     }
+
+    /// Places every UG's demand onto the advertised (prefix, peering)
+    /// options of `config` and accounts for per-peering load against
+    /// `OrchestratorInputs::capacities`.
+    ///
+    /// Uses believed per-peering latencies directly (the LP's coefficient
+    /// model) rather than Mean expectations, so outcomes are comparable to
+    /// `painter-solve` placements on the same instance.
+    pub fn place(&self, config: &AdvertConfig, mode: PlacementMode) -> PlacementOutcome {
+        // Per-UG usable options: (peering idx, improvement), improvement>0,
+        // deduped to the best improvement per peering, sorted improvement
+        // desc then peering asc.
+        let options: Vec<Vec<(usize, f64)>> = self
+            .inputs
+            .ugs
+            .iter()
+            .map(|ug| {
+                let mut opts: Vec<(usize, f64)> = Vec::new();
+                for (_, peerings) in config.iter() {
+                    for &p in peerings {
+                        let Some(lat) = ug.latency_via(p) else { continue };
+                        let imp = ug.anycast_ms - lat;
+                        if imp <= 0.0 {
+                            continue;
+                        }
+                        match opts.iter_mut().find(|(q, _)| *q == p.idx()) {
+                            Some((_, best)) => *best = best.max(imp),
+                            None => opts.push((p.idx(), imp)),
+                        }
+                    }
+                }
+                opts.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite improvement").then(a.0.cmp(&b.0))
+                });
+                opts
+            })
+            .collect();
+
+        let mut loads = vec![0.0; self.inputs.peering_count];
+        let mut benefit = 0.0;
+        match mode {
+            PlacementMode::LatencyOnly => {
+                // Every UG takes its best option fully, capacity-blind.
+                for (ug, opts) in self.inputs.ugs.iter().zip(&options) {
+                    if let Some(&(p, imp)) = opts.first() {
+                        loads[p] += ug.weight;
+                        benefit += ug.weight * imp;
+                    }
+                }
+            }
+            PlacementMode::CapacityAware => {
+                // Fractional water-filling: heaviest UGs place first (ties
+                // by index), each spilling down its option list and finally
+                // to anycast, never exceeding remaining capacity.
+                let mut order: Vec<usize> = (0..self.inputs.ugs.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let (wa, wb) = (self.inputs.ugs[a].weight, self.inputs.ugs[b].weight);
+                    wb.partial_cmp(&wa).expect("finite weight").then(a.cmp(&b))
+                });
+                for i in order {
+                    let mut remaining = self.inputs.ugs[i].weight;
+                    for &(p, imp) in &options[i] {
+                        if remaining <= 0.0 {
+                            break;
+                        }
+                        let avail = (self.inputs.capacity_of(p) - loads[p]).max(0.0);
+                        let take = remaining.min(avail);
+                        if take > 0.0 {
+                            loads[p] += take;
+                            benefit += take * imp;
+                            remaining -= take;
+                        }
+                    }
+                    // Leftover demand stays on anycast (improvement 0).
+                }
+            }
+        }
+
+        let mut mlu = 0.0f64;
+        let mut overload = 0.0;
+        for (p, &load) in loads.iter().enumerate() {
+            let cap = self.inputs.capacity_of(p);
+            if cap.is_finite() && cap > 0.0 {
+                mlu = mlu.max(load / cap);
+                overload += (load - cap).max(0.0);
+            }
+        }
+        PlacementOutcome { benefit, mlu, overload, loads }
+    }
+}
+
+/// How [`ConfigEvaluator::place`] maps demand onto advertised options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Each UG fully follows its lowest-latency advertised option,
+    /// ignoring capacity — MLU may exceed 1.
+    LatencyOnly,
+    /// Fractional water-filling that respects per-peering capacity,
+    /// spilling excess demand to the next-best option and finally back to
+    /// anycast — MLU never exceeds 1.
+    CapacityAware,
+}
+
+/// The load picture produced by one placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementOutcome {
+    /// Σ placed-weight · improvement (ms·weight), deterministic-latency
+    /// flavor.
+    pub benefit: f64,
+    /// Max load/capacity over capacitated peerings (0 when uncapacitated).
+    pub mlu: f64,
+    /// Total demand placed beyond capacity (0 under `CapacityAware`).
+    pub overload: f64,
+    /// Per dense-peering load in weight units.
+    pub loads: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -154,6 +269,7 @@ mod tests {
             ug_pop_km: vec![vec![100.0, 100.0], vec![100.0, 100.0]],
             peering_pop: vec![0, 1],
             peering_count: 2,
+            capacities: None,
         }
     }
 
@@ -232,6 +348,52 @@ mod tests {
         config.add(PrefixId(1), PeeringId(1));
         let pct = eval.benefit_percent(&config);
         assert!((pct.mean - 100.0).abs() < 1e-6, "got {pct:?}");
+    }
+
+    #[test]
+    fn latency_only_placement_ignores_capacity() {
+        let inputs = two_ug_inputs().with_capacities(vec![1.0, 1.0]);
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(1), PeeringId(1));
+        let out = eval.place(&config, PlacementMode::LatencyOnly);
+        // UG0 (weight 2) piles fully onto cap-1.0 peering 0: MLU 2.
+        assert!((out.mlu - 2.0).abs() < 1e-9, "mlu {}", out.mlu);
+        assert!(out.overload > 0.0);
+        assert!((out.benefit - (2.0 * 60.0 + 1.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_aware_placement_respects_caps_and_spills() {
+        let inputs = two_ug_inputs().with_capacities(vec![1.0, 1.0]);
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(1), PeeringId(1));
+        let out = eval.place(&config, PlacementMode::CapacityAware);
+        assert!(out.mlu <= 1.0 + 1e-9, "mlu {}", out.mlu);
+        assert_eq!(out.overload, 0.0);
+        // UG0: 1 unit at p0 (+60), spills 1 unit to p1 (+20); UG1's p1 is
+        // then full, so it stays on anycast.
+        assert!((out.benefit - (60.0 + 20.0)).abs() < 1e-9, "benefit {}", out.benefit);
+    }
+
+    #[test]
+    fn uncapacitated_placement_modes_agree() {
+        let inputs = two_ug_inputs();
+        let model = RoutingModel::new(3000.0);
+        let eval = ConfigEvaluator::new(&inputs, &model);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(1), PeeringId(1));
+        let a = eval.place(&config, PlacementMode::LatencyOnly);
+        let b = eval.place(&config, PlacementMode::CapacityAware);
+        assert_eq!(a.benefit, b.benefit);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.mlu, 0.0);
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl QuarantineBuffer {
             discarded_total: 0,
             quarantined_total: 0,
             obs,
-            trace: TraceSink::default(),
+            trace: TraceSink::inert(),
         }
     }
 
@@ -362,7 +362,7 @@ impl PlanHysteresis {
             commits_total: 0,
             resets_total: 0,
             obs,
-            trace: TraceSink::default(),
+            trace: TraceSink::inert(),
             streak_trace: TraceId::NONE,
             last_commit: TraceId::NONE,
         }
@@ -523,7 +523,7 @@ impl RollbackGuard {
             blocked_until: SimTime::ZERO,
             rollbacks_total: 0,
             obs,
-            trace: TraceSink::default(),
+            trace: TraceSink::inert(),
             last_rollback: TraceId::NONE,
         }
     }
@@ -825,9 +825,7 @@ mod tests {
         assert!(q.offer(PeeringId(2), sample(0, 1, 2, 20.0), SimTime::from_secs(12.0)).is_none());
         assert_eq!(q.drain_ready(SimTime::from_secs(30.0)).len(), 1);
         let events = sink.events();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e.kind, TraceKind::QuarantineEnter { peering: 2 })));
+        assert!(events.iter().any(|e| matches!(e.kind, TraceKind::QuarantineEnter { peering: 2 })));
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, TraceKind::QuarantineDrain { admitted: 1 })));

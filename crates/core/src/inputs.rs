@@ -55,6 +55,11 @@ pub struct OrchestratorInputs {
     pub peering_pop: Vec<usize>,
     /// Number of peerings in the deployment.
     pub peering_count: usize,
+    /// Optional per-peering ingress capacity in UG-weight units, indexed by
+    /// dense peering id. `None` (and any non-finite entry) means
+    /// uncapacitated — the latency-only world every pre-capacity caller
+    /// lives in.
+    pub capacities: Option<Vec<f64>>,
 }
 
 impl OrchestratorInputs {
@@ -93,7 +98,21 @@ impl OrchestratorInputs {
             ug_pop_km,
             peering_pop: deployment.peerings().iter().map(|p| p.pop.idx()).collect(),
             peering_count: deployment.peerings().len(),
+            capacities: None,
         }
+    }
+
+    /// Attaches per-peering capacities (dense peering order); panics on a
+    /// length mismatch so capacity plans can't silently misalign.
+    pub fn with_capacities(mut self, capacities: Vec<f64>) -> Self {
+        assert_eq!(capacities.len(), self.peering_count, "capacity plan length mismatch");
+        self.capacities = Some(capacities);
+        self
+    }
+
+    /// Capacity of dense peering `idx`; infinite when no plan is attached.
+    pub fn capacity_of(&self, idx: usize) -> f64 {
+        self.capacities.as_ref().map(|c| c[idx]).unwrap_or(f64::INFINITY)
     }
 
     /// Total UG weight.

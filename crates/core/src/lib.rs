@@ -45,7 +45,7 @@ pub mod orchestrator;
 pub mod parallel;
 pub mod strategies;
 
-pub use benefit::{BenefitRange, ConfigEvaluator};
+pub use benefit::{BenefitRange, ConfigEvaluator, PlacementMode, PlacementOutcome};
 pub use compliance::{infer_compliant_ingresses, ObservedReachability};
 pub use guard::tune::{
     pareto_frontier, tune_search, GuardScore, TuneCandidate, TuneConfig, TuneOutcome, TuneSpace,

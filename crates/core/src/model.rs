@@ -228,6 +228,7 @@ mod tests {
             ug_pop_km: vec![distances_km.to_vec()],
             peering_pop: vec![0, 1, 2],
             peering_count: 3,
+            capacities: None,
         }
     }
 
@@ -350,6 +351,7 @@ mod tests {
                     ug_pop_km: vec![distances[..n].to_vec()],
                     peering_pop: (0..n).collect(),
                     peering_count: n,
+                    capacities: None,
                 };
                 let advertised: Vec<PeeringId> =
                     (0..n as u32).map(PeeringId).collect();
@@ -385,6 +387,7 @@ mod tests {
                     ug_pop_km: vec![vec![100.0; n]],
                     peering_pop: (0..n).collect(),
                     peering_count: n,
+                    capacities: None,
                 };
                 let mut model = RoutingModel::new(3000.0);
                 for (w, l) in pairs {

@@ -1049,6 +1049,7 @@ mod tests {
             ug_pop_km: vec![vec![0.0]],
             peering_pop: vec![0, 0],
             peering_count: 2,
+            capacities: None,
         };
         let mut configs = Vec::new();
         for threads in [1usize, 8] {

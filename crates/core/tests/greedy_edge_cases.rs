@@ -33,6 +33,7 @@ fn inputs(
         ug_pop_km: vec![vec![0.0]; n],
         peering_pop: vec![0; peerings],
         peering_count: peerings,
+        capacities: None,
     }
 }
 

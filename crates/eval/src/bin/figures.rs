@@ -7,6 +7,7 @@
 //! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
 //! figures chaos-search [flags]       # adversarial scenario search (chaos.search.*)
 //! figures guard-tune [flags]         # guard co-evolution vs the corpus (guard.tune.*)
+//! figures lp-gap [flags]             # exact LP vs greedy optimality gap (lp.*)
 //! figures explain [flags]            # causal timeline + incident attribution
 //! figures list                       # available ids
 //!
@@ -50,11 +51,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
         println!(
-            "available figures: {} chaos chaos-sweep chaos-search guard-tune explain",
+            "available figures: {} chaos chaos-sweep chaos-search guard-tune lp-gap explain",
             ALL_FIGURES.join(" ")
         );
         println!(
-            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|explain \
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|lp-gap|\
+             explain \
              [--test] [--seed <n>] [--budget <n>] [--pin <dir>] [--guard <preset>] \
              [--rounds <n>] [--adv-budget <n>] [--corpus <dir>] [--markdown|--csv] \
              [--report <path>.json] [--scenario <path>.json] [--chrome <path>.json]"
@@ -175,8 +177,13 @@ fn main() {
     let run_sweep = args.iter().any(|a| a == "chaos-sweep");
     let run_search = args.iter().any(|a| a == "chaos-search");
     let run_tune = args.iter().any(|a| a == "guard-tune");
+    let run_lp = args.iter().any(|a| a == "lp-gap");
     requested.retain(|id| {
-        *id != "chaos" && *id != "chaos-sweep" && *id != "chaos-search" && *id != "guard-tune"
+        *id != "chaos"
+            && *id != "chaos-sweep"
+            && *id != "chaos-search"
+            && *id != "guard-tune"
+            && *id != "lp-gap"
     });
 
     // Figure bodies are independent; fan them out over the scoring pool
@@ -280,6 +287,19 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("guard tune failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_lp {
+        match painter_eval::lp_gap::lp_gap_sections(scale, seed) {
+            Ok(sections) => {
+                for section in sections {
+                    report.push_section(section);
+                }
+            }
+            Err(e) => {
+                eprintln!("lp gap failed: {e}");
                 failed = true;
             }
         }

@@ -673,8 +673,8 @@ fn bystander_blast(schedule: &Schedule, rows: &[Vec<Option<PeeringId>>]) -> Vec<
         let s0 = ((first.as_ms() / SAMPLE_MS) as usize).min(last_step);
         let s1 = ((last.as_ms() / SAMPLE_MS) as usize + 1).min(last_step);
         let baseline = s0.saturating_sub(1);
-        for b in 0..rows[0].len() {
-            if (s0..=s1).any(|s| rows[s][b] != rows[baseline][b]) {
+        for (b, base) in rows[baseline].iter().enumerate() {
+            if (s0..=s1).any(|s| rows[s][b] != *base) {
                 *slot += 1;
             }
         }
@@ -748,6 +748,7 @@ fn run_closed_loop(
         // consumes these.
         ug_pop_km: vec![vec![0.0, 5570.0]],
         peering_count: peering_pop.len(),
+        capacities: None,
         peering_pop,
     };
     let config = OrchestratorConfig {

@@ -81,6 +81,7 @@ pub fn kind_tag(kind: &FaultKind) -> &'static str {
         FaultKind::BurstyLoss { .. } => "bursty_loss",
         FaultKind::ProbeFleetLoss { .. } => "probe_fleet_loss",
         FaultKind::RouteLeak => "route_leak",
+        FaultKind::FlashCrowd { .. } => "flash_crowd",
     }
 }
 
@@ -163,18 +164,16 @@ pub fn attribute(
                             dead_tunnels.push(tunnel);
                         }
                     }
-                    TraceKind::Failover { .. } => {
-                        if failover < 0.0 {
-                            failover = rel_ms(event.at_nanos);
-                        }
+                    TraceKind::Failover { .. } if failover < 0.0 => {
+                        failover = rel_ms(event.at_nanos);
                     }
                     TraceKind::TunnelRevived { .. }
                     | TraceKind::BgpSessionUp { .. }
                     | TraceKind::BgpAnnounce { .. }
-                    | TraceKind::BgpLeakEnd { .. } => {
-                        if repair < 0.0 && event.at_nanos >= start_ns {
-                            repair = rel_ms(event.at_nanos);
-                        }
+                    | TraceKind::BgpLeakEnd { .. }
+                        if repair < 0.0 && event.at_nanos >= start_ns =>
+                    {
+                        repair = rel_ms(event.at_nanos);
                     }
                     _ => {}
                 }
@@ -245,8 +244,7 @@ pub fn incident_sections(campaign: &str, incidents: &[Incident]) -> Vec<Section>
     for inc in incidents {
         *kind_counts.entry(inc.kind.as_str()).or_default() += 1;
     }
-    let kinds =
-        kind_counts.iter().map(|(k, c)| format!("{k}:{c}")).collect::<Vec<_>>().join(",");
+    let kinds = kind_counts.iter().map(|(k, c)| format!("{k}:{c}")).collect::<Vec<_>>().join(",");
 
     let mut out = Vec::with_capacity(incidents.len() + 1);
     out.push(
@@ -363,10 +361,7 @@ mod tests {
         WorldView {
             pops: 1,
             peerings: vec![(PeeringId(0), PopId(0))],
-            prefixes: vec![
-                (PrefixId(0), vec![PeeringId(0)]),
-                (PrefixId(1), vec![PeeringId(0)]),
-            ],
+            prefixes: vec![(PrefixId(0), vec![PeeringId(0)]), (PrefixId(1), vec![PeeringId(0)])],
         }
     }
 

@@ -15,6 +15,7 @@ pub mod figs;
 pub mod guard_tune;
 pub mod helpers;
 pub mod incidents;
+pub mod lp_gap;
 pub mod report;
 pub mod scenario;
 

@@ -40,28 +40,22 @@ impl FiveTuple {
         }
     }
 
-    /// A stable 64-bit hash (FNV-1a over the canonical encoding), usable
-    /// for deterministic load distribution.
+    /// The canonical 13-byte big-endian encoding hashed by
+    /// [`FiveTuple::stable_hash`].
+    fn canonical_bytes(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0] = self.protocol;
+        out[1..5].copy_from_slice(&self.src.to_be_bytes());
+        out[5..9].copy_from_slice(&self.dst.to_be_bytes());
+        out[9..11].copy_from_slice(&self.src_port.to_be_bytes());
+        out[11..13].copy_from_slice(&self.dst_port.to_be_bytes());
+        out
+    }
+
+    /// A stable 64-bit hash (the workspace-shared FNV-1a over the
+    /// canonical encoding), usable for deterministic load distribution.
     pub fn stable_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |b: u8| {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        };
-        mix(self.protocol);
-        for b in self.src.to_be_bytes() {
-            mix(b);
-        }
-        for b in self.dst.to_be_bytes() {
-            mix(b);
-        }
-        for b in self.src_port.to_be_bytes() {
-            mix(b);
-        }
-        for b in self.dst_port.to_be_bytes() {
-            mix(b);
-        }
-        h
+        painter_obs::fnv1a(&self.canonical_bytes())
     }
 }
 
@@ -99,5 +93,16 @@ mod tests {
         let a = tuple();
         let b = FiveTuple { src_port: 1001, ..a };
         assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn stable_hash_is_shared_fnv1a_of_canonical_encoding() {
+        let t = tuple();
+        let mut bytes = vec![t.protocol];
+        bytes.extend_from_slice(&t.src.to_be_bytes());
+        bytes.extend_from_slice(&t.dst.to_be_bytes());
+        bytes.extend_from_slice(&t.src_port.to_be_bytes());
+        bytes.extend_from_slice(&t.dst_port.to_be_bytes());
+        assert_eq!(t.stable_hash(), painter_obs::fnv1a(&bytes));
     }
 }

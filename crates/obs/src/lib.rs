@@ -58,7 +58,7 @@ pub use report::{
     Snapshot, Value, BUCKETS,
 };
 pub use trace::{
-    chrome_trace_json, fnv1a, RollbackReason, TraceEvent, TraceId, TraceKind, TraceSink,
+    chrome_trace_json, fnv1a, Fnv1a, RollbackReason, TraceEvent, TraceId, TraceKind, TraceSink,
 };
 
 /// True when telemetry is compiled in (the `obs-off` feature is absent).

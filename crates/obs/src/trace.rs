@@ -218,6 +218,11 @@ mod imp {
     }
 
     impl TraceSink {
+        /// An inert sink: emissions go nowhere (same as the default).
+        pub fn inert() -> TraceSink {
+            TraceSink::default()
+        }
+
         /// A sink that records.
         pub fn recording() -> TraceSink {
             TraceSink { inner: Some(Arc::new(Inner::default())), scope: "" }
@@ -285,11 +290,19 @@ mod imp {
         }
     }
 
-    /// No-op trace sink (`obs-off`): zero-sized, records nothing.
-    #[derive(Clone, Copy, Debug, Default)]
+    /// No-op trace sink (`obs-off`): zero-sized, records nothing. Not
+    /// `Copy`, so call sites clone exactly as they do in the recording
+    /// build.
+    #[derive(Clone, Debug, Default)]
     pub struct TraceSink;
 
     impl TraceSink {
+        /// The inert sink (every sink is inert in this build).
+        #[inline(always)]
+        pub fn inert() -> TraceSink {
+            TraceSink
+        }
+
         /// An inert sink (nothing records in this build).
         #[inline(always)]
         pub fn recording() -> TraceSink {
@@ -324,15 +337,47 @@ mod imp {
 
 pub use imp::{TraceId, TraceSink};
 
-/// FNV-1a over `bytes` — the replay-receipt hash shared with
-/// `painter_chaos::Schedule::trace_digest`.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
+/// Streaming FNV-1a (64-bit) — the one hash implementation shared across
+/// the workspace (`painter_chaos::Schedule::trace_digest` replay receipts,
+/// `painter_net::FiveTuple::stable_hash` flow pinning, trace digests here).
+///
+/// Standard parameters: offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`. Chunked updates produce the same digest as one shot.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    hash
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        self
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
 }
 
 /// Renders events as a Chrome-trace / Perfetto JSON document
@@ -392,9 +437,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         let ts_us = e.at_nanos / 1_000;
         match e.kind {
             TraceKind::FaultEnd { .. } if e.cause != 0 => continue, // consumed by its start
-            TraceKind::FaultStart { .. }
-                if span_end.iter().any(|(start, _)| *start == e.id) =>
-            {
+            TraceKind::FaultStart { .. } if span_end.iter().any(|(start, _)| *start == e.id) => {
                 let (_, end_at) =
                     span_end.iter().find(|(start, _)| *start == e.id).expect("just matched");
                 let dur_us = end_at.saturating_sub(e.at_nanos) / 1_000;
@@ -534,6 +577,15 @@ mod tests {
     fn fnv1a_matches_reference_vectors() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_fnv1a_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"").update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+        assert_eq!(Fnv1a::default().finish(), fnv1a(b""));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! `painter-solve`: exact LP/MCF baseline for the PAINTER orchestrator.
+//!
+//! A dependency-free, deterministic bounded-variable primal simplex solver
+//! ([`simplex`]) plus the PAINTER-specific flow formulation ([`mcf`]):
+//! per-(UG, prefix, peering) split variables, sum-to-one per UG, per-peering
+//! capacity rows, and a lexicographic latency-benefit-then-MLU objective.
+//! `figures lp-gap` uses it to measure how far the greedy advertisement
+//! plans sit from exact on every figure scenario.
+
+pub mod mcf;
+pub mod simplex;
+
+pub use mcf::{FlowInstance, FlowOption, FlowUg, PlacementSolution};
+pub use simplex::{LinearProgram, Relation, Solution, SolveError};

@@ -1,0 +1,376 @@
+//! PAINTER-specific multi-commodity-flow formulation on top of the simplex
+//! core.
+//!
+//! Variables are per-(UG, prefix, peering) fractional splits `x ∈ [0, 1]`:
+//! the fraction of the UG's demand addressed to `prefix` and landing at
+//! `peering`. Constraints: Σ_options x ≤ 1 per UG (the slack is the anycast
+//! default, improvement 0), and Σ demand·x ≤ capacity per capacitated
+//! peering. The objective is lexicographic: first maximize
+//! Σ demand·improvement·x (Eq. 1 benefit with capacities respected), then —
+//! holding benefit at its optimum — minimize the maximum link utilization μ.
+//!
+//! Two instance builders share the coefficient model, which is what makes
+//! the optimality-gap comparison honest:
+//! * [`FlowInstance::exact`] offers every candidate peering to every UG
+//!   (conceptually a dedicated prefix per peering — the One-per-Peering
+//!   action space with an unlimited budget).
+//! * [`FlowInstance::restricted`] offers only the (prefix, peering) pairs an
+//!   [`AdvertConfig`] actually advertises. Its option set is a subset of the
+//!   exact one with identical coefficients, so the exact optimum is an upper
+//!   bound on the restricted optimum on **every** instance — the reported
+//!   gap can never be negative.
+
+use crate::simplex::{LinearProgram, Relation, SolveError};
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_core::OrchestratorInputs;
+
+/// One way a UG's traffic can be placed: address `prefix` (None for the
+/// exact instance's virtual dedicated prefix) and land at dense peering
+/// index `peering`, improving on anycast by `improvement_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOption {
+    pub prefix: Option<PrefixId>,
+    pub peering: usize,
+    pub improvement_ms: f64,
+}
+
+/// One UG (commodity) of the flow instance.
+#[derive(Debug, Clone)]
+pub struct FlowUg {
+    /// Index into the source `OrchestratorInputs::ugs`.
+    pub ug: usize,
+    /// Traffic weight (the LP's demand unit).
+    pub demand: f64,
+    /// Placement options with strictly positive improvement, in
+    /// deterministic (prefix, peering) order.
+    pub options: Vec<FlowOption>,
+}
+
+/// A capacity-aware flow-placement instance.
+#[derive(Debug, Clone)]
+pub struct FlowInstance {
+    pub ugs: Vec<FlowUg>,
+    /// Per dense-peering capacity in demand units; `f64::INFINITY` means
+    /// uncapacitated (the latency-only world).
+    pub capacities: Vec<f64>,
+    pub peering_count: usize,
+}
+
+/// An optimal placement plus the solver accounting reported in `lp.*`.
+#[derive(Debug, Clone)]
+pub struct PlacementSolution {
+    /// Optimal Σ demand·improvement·x (ms·weight, same unit as
+    /// `ConfigEvaluator::benefit`).
+    pub benefit: f64,
+    /// Minimum achievable max-utilization over capacitated peerings at the
+    /// optimal benefit (0 when nothing is capacitated).
+    pub mlu: f64,
+    /// Per instance-UG fractional splits, parallel to `FlowInstance::ugs`;
+    /// `splits[i][k]` is the fraction of UG i's demand on `options[k]`.
+    pub splits: Vec<Vec<f64>>,
+    /// Resulting per-peering load in demand units.
+    pub loads: Vec<f64>,
+    /// Total simplex pivots across both lexicographic solves.
+    pub pivots: u64,
+    /// Phase-1 pivots (only the MLU solve needs a phase 1).
+    pub phase1_pivots: u64,
+    /// Structural variable count of the benefit solve.
+    pub vars: usize,
+    /// Constraint row count of the benefit solve.
+    pub rows: usize,
+}
+
+impl FlowInstance {
+    /// The exact (unbudgeted) instance: every candidate peering with
+    /// positive improvement is an option for its UG.
+    pub fn exact(inputs: &OrchestratorInputs) -> Self {
+        let ugs = inputs
+            .ugs
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let options = u
+                    .candidates
+                    .iter()
+                    .filter(|(_, lat)| u.anycast_ms - lat > 0.0)
+                    .map(|&(p, lat)| FlowOption {
+                        prefix: None,
+                        peering: p.idx(),
+                        improvement_ms: u.anycast_ms - lat,
+                    })
+                    .collect();
+                FlowUg { ug: i, demand: u.weight, options }
+            })
+            .collect();
+        FlowInstance { ugs, capacities: capacities_of(inputs), peering_count: inputs.peering_count }
+    }
+
+    /// The instance restricted to what `config` actually advertises: one
+    /// option per (prefix, peering) pair whose peering is a candidate of
+    /// the UG with positive improvement.
+    pub fn restricted(inputs: &OrchestratorInputs, config: &AdvertConfig) -> Self {
+        let ugs = inputs
+            .ugs
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let mut options = Vec::new();
+                for (prefix, peerings) in config.iter() {
+                    for &p in peerings {
+                        if let Some(lat) = u.latency_via(p) {
+                            if u.anycast_ms - lat > 0.0 {
+                                options.push(FlowOption {
+                                    prefix: Some(prefix),
+                                    peering: p.idx(),
+                                    improvement_ms: u.anycast_ms - lat,
+                                });
+                            }
+                        }
+                    }
+                }
+                FlowUg { ug: i, demand: u.weight, options }
+            })
+            .collect();
+        FlowInstance { ugs, capacities: capacities_of(inputs), peering_count: inputs.peering_count }
+    }
+
+    /// Total option (variable) count.
+    pub fn num_options(&self) -> usize {
+        self.ugs.iter().map(|u| u.options.len()).sum()
+    }
+
+    /// Solves the lexicographic placement: maximize benefit under
+    /// capacities, then minimize MLU holding benefit at its optimum.
+    pub fn solve_placement(&self) -> Result<PlacementSolution, SolveError> {
+        let n = self.num_options();
+        // Dense peering index -> capacitated-row index (only finite caps
+        // get constraint rows).
+        let capped: Vec<usize> = (0..self.peering_count)
+            .filter(|&p| self.capacities.get(p).is_some_and(|c| c.is_finite()))
+            .collect();
+
+        // --- Solve 1: max benefit. All rows are `<=` with rhs >= 0, so the
+        // slack basis is feasible and no phase 1 is needed.
+        let mut lp = LinearProgram::new(n);
+        let mut var = 0usize;
+        for u in &self.ugs {
+            for o in &u.options {
+                lp.set_objective(var, u.demand * o.improvement_ms);
+                var += 1;
+            }
+        }
+        self.add_split_rows(&mut lp);
+        for &p in &capped {
+            lp.add_constraint(self.load_terms(p), Relation::Le, self.capacities[p]);
+        }
+        let rows = lp.num_constraints();
+        let benefit_sol = lp.solve()?;
+        let benefit = benefit_sol.objective.max(0.0);
+        let mut pivots = benefit_sol.pivots;
+        let mut phase1_pivots = benefit_sol.phase1_pivots;
+
+        // --- Solve 2: min MLU at optimal benefit. Variable n is μ;
+        // `load_p - cap_p·μ <= 0` per capacitated peering plus a
+        // `benefit >= B*(1 - eps)` row (the Ge row is what needs phase 1).
+        // Skipped when nothing is capacitated (μ is then vacuously 0).
+        let x = if capped.is_empty() {
+            benefit_sol.x
+        } else {
+            let mut lp2 = LinearProgram::new(n + 1);
+            lp2.set_objective(n, -1.0);
+            self.add_split_rows(&mut lp2);
+            for &p in &capped {
+                let mut terms = self.load_terms(p);
+                terms.push((n, -self.capacities[p]));
+                lp2.add_constraint(terms, Relation::Le, 0.0);
+            }
+            if benefit > 0.0 {
+                let mut terms = Vec::with_capacity(n);
+                let mut var = 0usize;
+                for u in &self.ugs {
+                    for o in &u.options {
+                        terms.push((var, u.demand * o.improvement_ms));
+                        var += 1;
+                    }
+                }
+                lp2.add_constraint(terms, Relation::Ge, benefit * (1.0 - 1e-9) - 1e-9);
+            }
+            let mlu_sol = lp2.solve()?;
+            pivots += mlu_sol.pivots;
+            phase1_pivots += mlu_sol.phase1_pivots;
+            let mut x = mlu_sol.x;
+            x.truncate(n);
+            x
+        };
+
+        // Reshape the flat solution into per-UG splits and per-peering loads.
+        let mut splits = Vec::with_capacity(self.ugs.len());
+        let mut loads = vec![0.0; self.peering_count];
+        let mut var = 0usize;
+        for u in &self.ugs {
+            let mut s = Vec::with_capacity(u.options.len());
+            for o in &u.options {
+                let f = x[var].clamp(0.0, 1.0);
+                loads[o.peering] += u.demand * f;
+                s.push(f);
+                var += 1;
+            }
+            splits.push(s);
+        }
+        let mlu = capped.iter().map(|&p| loads[p] / self.capacities[p]).fold(0.0f64, f64::max);
+
+        Ok(PlacementSolution { benefit, mlu, splits, loads, pivots, phase1_pivots, vars: n, rows })
+    }
+
+    /// Per-UG `Σ_options x <= 1` rows over the canonical variable order.
+    fn add_split_rows(&self, lp: &mut LinearProgram) {
+        let mut var = 0usize;
+        for u in &self.ugs {
+            if u.options.is_empty() {
+                continue;
+            }
+            let terms = (var..var + u.options.len()).map(|v| (v, 1.0)).collect();
+            lp.add_constraint(terms, Relation::Le, 1.0);
+            var += u.options.len();
+        }
+    }
+
+    /// Demand-weighted load terms of dense peering `p`.
+    fn load_terms(&self, p: usize) -> Vec<(usize, f64)> {
+        let mut terms = Vec::new();
+        let mut var = 0usize;
+        for u in &self.ugs {
+            for o in &u.options {
+                if o.peering == p {
+                    terms.push((var, u.demand));
+                }
+                var += 1;
+            }
+        }
+        terms
+    }
+}
+
+impl PlacementSolution {
+    /// Aggregates one instance-UG's splits to per-prefix WCMP fractions
+    /// (only options carrying a real prefix contribute), suitable for
+    /// `painter_tm::wcmp_weights`.
+    pub fn prefix_splits(&self, instance: &FlowInstance, ug: usize) -> Vec<(PrefixId, f64)> {
+        let mut out: Vec<(PrefixId, f64)> = Vec::new();
+        for (o, &f) in instance.ugs[ug].options.iter().zip(&self.splits[ug]) {
+            let Some(prefix) = o.prefix else { continue };
+            if f <= 0.0 {
+                continue;
+            }
+            match out.iter_mut().find(|(p, _)| *p == prefix) {
+                Some((_, acc)) => *acc += f,
+                None => out.push((prefix, f)),
+            }
+        }
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+}
+
+fn capacities_of(inputs: &OrchestratorInputs) -> Vec<f64> {
+    match &inputs.capacities {
+        Some(c) => c.clone(),
+        None => vec![f64::INFINITY; inputs.peering_count],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use painter_measure::UgId;
+    use painter_topology::PeeringId;
+
+    /// Hand-built inputs: 2 UGs, 2 peerings, optional capacities.
+    fn tiny_inputs(capacities: Option<Vec<f64>>) -> OrchestratorInputs {
+        let ugs = vec![
+            painter_core::UgView {
+                id: UgId(0),
+                metro: painter_geo::MetroId(0),
+                weight: 2.0,
+                anycast_ms: 100.0,
+                candidates: vec![(PeeringId(0), 40.0), (PeeringId(1), 70.0)],
+            },
+            painter_core::UgView {
+                id: UgId(1),
+                metro: painter_geo::MetroId(1),
+                weight: 1.0,
+                anycast_ms: 80.0,
+                candidates: vec![(PeeringId(0), 30.0), (PeeringId(1), 90.0)],
+            },
+        ];
+        OrchestratorInputs {
+            ugs,
+            ug_pop_km: vec![vec![0.0], vec![0.0]],
+            peering_pop: vec![0, 0],
+            peering_count: 2,
+            capacities,
+        }
+    }
+
+    #[test]
+    fn uncapacitated_exact_hits_total_possible_benefit() {
+        let inputs = tiny_inputs(None);
+        let sol = FlowInstance::exact(&inputs).solve_placement().unwrap();
+        // Everyone takes their best candidate fully: 2*60 + 1*50 = 170.
+        assert!((sol.benefit - inputs.total_possible_benefit()).abs() < 1e-6);
+        assert_eq!(sol.mlu, 0.0);
+    }
+
+    #[test]
+    fn capacity_forces_spill_to_second_best() {
+        // Peering 0 only fits 2 demand units. The optimum splits UG 0
+        // (weight 2) half onto p0 (+60/unit) and half onto p1 (+30/unit),
+        // which frees a unit of p0 for UG 1 (+50/unit): 60 + 30 + 50 = 140.
+        // Greedily giving all of p0 to UG 0 only reaches 120.
+        let inputs = tiny_inputs(Some(vec![2.0, f64::INFINITY]));
+        let sol = FlowInstance::exact(&inputs).solve_placement().unwrap();
+        assert!((sol.benefit - 140.0).abs() < 1e-6, "benefit {}", sol.benefit);
+        assert!(sol.loads[0] <= 2.0 + 1e-9);
+        assert!(sol.mlu <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn restricted_is_never_better_than_exact() {
+        let inputs = tiny_inputs(Some(vec![2.5, 2.5]));
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(1)); // only the worse peering
+        let exact = FlowInstance::exact(&inputs).solve_placement().unwrap();
+        let restr = FlowInstance::restricted(&inputs, &config).solve_placement().unwrap();
+        assert!(exact.benefit >= restr.benefit - 1e-9);
+    }
+
+    #[test]
+    fn mlu_solve_balances_load_without_losing_benefit() {
+        // Both UGs prefer peering 0; a second advertised peering with equal
+        // improvement lets the MLU pass split traffic without benefit loss.
+        let mut inputs = tiny_inputs(Some(vec![3.0, 3.0]));
+        // Make both peerings equally good for both UGs.
+        for u in &mut inputs.ugs {
+            let best = u.candidates[0].1.min(u.candidates[1].1);
+            u.candidates = vec![(PeeringId(0), best), (PeeringId(1), best)];
+        }
+        let sol = FlowInstance::exact(&inputs).solve_placement().unwrap();
+        assert!((sol.benefit - inputs.total_possible_benefit()).abs() < 1e-6);
+        // Balanced: 3.0 total demand over two cap-3.0 peerings -> mlu 0.5.
+        assert!(sol.mlu < 1.0 - 1e-6, "mlu {}", sol.mlu);
+    }
+
+    #[test]
+    fn prefix_splits_aggregate_per_prefix() {
+        let inputs = tiny_inputs(None);
+        let mut config = AdvertConfig::new();
+        config.add(PrefixId(0), PeeringId(0));
+        config.add(PrefixId(1), PeeringId(1));
+        let inst = FlowInstance::restricted(&inputs, &config);
+        let sol = inst.solve_placement().unwrap();
+        let splits = sol.prefix_splits(&inst, 0);
+        assert!(!splits.is_empty());
+        let total: f64 = splits.iter().map(|(_, f)| f).sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,496 @@
+//! Dense two-phase primal simplex over a bounded tableau.
+//!
+//! Deterministic by construction: entering variable is chosen by Dantzig's
+//! rule (most negative reduced cost, ties broken by lowest column index),
+//! falling back to Bland's rule after a run of degenerate pivots so cycling
+//! is impossible; the leaving row breaks ratio ties by lowest basis-variable
+//! index. No randomness, no hash iteration, no floating-point reduction whose
+//! order depends on thread count — the same `LinearProgram` always produces
+//! the same pivot sequence and the same `Solution` bytes.
+
+/// Relation of a constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// One sparse constraint row: `sum(coef_i * x_i)  <relation>  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub terms: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program in maximization form over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+/// A primal-optimal solution plus the pivot accounting used by `lp.*`
+/// report sections.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal objective value (maximization).
+    pub objective: f64,
+    /// Primal values of the structural variables, length `num_vars`.
+    pub x: Vec<f64>,
+    /// Phase-2 pivots.
+    pub pivots: u64,
+    /// Phase-1 pivots (0 when the slack basis was already feasible).
+    pub phase1_pivots: u64,
+}
+
+/// Terminal solver outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Phase 1 ended with a positive artificial residual.
+    Infeasible,
+    /// A column can improve without bound.
+    Unbounded,
+    /// The pivot cap was exhausted (should never happen on our instances).
+    IterationLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "infeasible"),
+            SolveError::Unbounded => write!(f, "unbounded"),
+            SolveError::IterationLimit => write!(f, "iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS_PER_PHASE: u64 = 50_000;
+/// Consecutive degenerate pivots tolerated under Dantzig before switching
+/// to Bland's rule for the rest of the phase.
+const DEGENERATE_RUN_LIMIT: u32 = 64;
+
+impl LinearProgram {
+    /// A maximization LP over `num_vars` non-negative variables with an
+    /// all-zero objective (set coefficients with [`set_objective`]).
+    ///
+    /// [`set_objective`]: LinearProgram::set_objective
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram { num_vars, objective: vec![0.0; num_vars], constraints: Vec::new() }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the maximization coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coef: f64) {
+        assert!(var < self.num_vars, "objective var out of range");
+        self.objective[var] = coef;
+    }
+
+    /// Adds `sum(terms) <relation> rhs`. Terms may repeat a variable; they
+    /// are accumulated.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
+        for &(v, _) in &terms {
+            assert!(v < self.num_vars, "constraint var out of range");
+        }
+        self.constraints.push(Constraint { terms, relation, rhs });
+    }
+
+    /// Solves the program, returning the optimal solution or a terminal error.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau. Column layout: structural vars, then one
+/// slack/surplus per row, then artificials. Row 0 holds reduced costs with
+/// the (negated) objective value accumulating in its rhs entry.
+struct Tableau {
+    /// rows[i] has length `cols + 1`; the last entry is the rhs.
+    rows: Vec<Vec<f64>>,
+    cost_row: Vec<f64>,
+    /// Basis variable (column index) for each constraint row.
+    basis: Vec<usize>,
+    num_structural: usize,
+    /// First artificial column, == total non-artificial columns.
+    art_start: usize,
+    cols: usize,
+    objective: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+
+        // Normalize every row to rhs >= 0 by negating (flips Le<->Ge).
+        let mut rels = Vec::with_capacity(m);
+        let mut dense: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for c in &lp.constraints {
+            let mut row = vec![0.0; n];
+            for &(v, a) in &c.terms {
+                row[v] += a;
+            }
+            let (row, b, rel) = if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (row.iter().map(|a| -a).collect::<Vec<_>>(), -c.rhs, flipped)
+            } else {
+                (row, c.rhs, c.relation)
+            };
+            dense.push(row);
+            rhs.push(b);
+            rels.push(rel);
+        }
+
+        // Column plan: slack (+1) for Le, surplus (-1) for Ge; artificial
+        // for Ge and Eq rows.
+        let num_slack = m; // one slack/surplus column reserved per row
+        let num_art = rels.iter().filter(|r| matches!(r, Relation::Ge | Relation::Eq)).count();
+        let art_start = n + num_slack;
+        let cols = art_start + num_art;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = vec![0usize; m];
+        let mut next_art = art_start;
+        for i in 0..m {
+            let mut row = vec![0.0; cols + 1];
+            row[..n].copy_from_slice(&dense[i]);
+            row[cols] = rhs[i];
+            match rels[i] {
+                Relation::Le => {
+                    row[n + i] = 1.0;
+                    basis[i] = n + i;
+                }
+                Relation::Ge => {
+                    row[n + i] = -1.0;
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+            rows.push(row);
+        }
+
+        Tableau {
+            rows,
+            cost_row: vec![0.0; cols + 1],
+            basis,
+            num_structural: n,
+            art_start,
+            cols,
+            objective: lp.objective.clone(),
+        }
+    }
+
+    /// Loads `obj` (maximization, length `cols`) into the cost row as
+    /// reduced costs consistent with the current basis.
+    fn load_objective(&mut self, obj: &[f64]) {
+        for j in 0..self.cols {
+            self.cost_row[j] = -obj.get(j).copied().unwrap_or(0.0);
+        }
+        self.cost_row[self.cols] = 0.0;
+        for i in 0..self.rows.len() {
+            let cb = obj.get(self.basis[i]).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                for j in 0..=self.cols {
+                    self.cost_row[j] += cb * self.rows[i][j];
+                }
+            }
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = 1.0 / self.rows[row][col];
+        for j in 0..=self.cols {
+            self.rows[row][j] *= inv;
+        }
+        // Exact unit column for the pivot position.
+        self.rows[row][col] = 1.0;
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let f = self.rows[i][col];
+            if f.abs() > EPS {
+                for (dst, &src) in self.rows[i].iter_mut().zip(&pivot_row) {
+                    *dst -= f * src;
+                }
+                self.rows[i][col] = 0.0;
+            }
+        }
+        let f = self.cost_row[col];
+        if f.abs() > EPS {
+            for (dst, &src) in self.cost_row.iter_mut().zip(&pivot_row) {
+                *dst -= f * src;
+            }
+            self.cost_row[col] = 0.0;
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations on the loaded cost row until optimality.
+    /// `allow(col)` gates which columns may enter.
+    fn iterate(&mut self, allow: impl Fn(usize) -> bool) -> Result<u64, SolveError> {
+        let mut pivots = 0u64;
+        let mut degenerate_run = 0u32;
+        loop {
+            if pivots >= MAX_PIVOTS_PER_PHASE {
+                return Err(SolveError::IterationLimit);
+            }
+            let bland = degenerate_run >= DEGENERATE_RUN_LIMIT;
+            // Entering column.
+            let mut entering = None;
+            if bland {
+                // Bland: lowest-index column with negative reduced cost.
+                for j in 0..self.cols {
+                    if allow(j) && self.cost_row[j] < -EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                // Dantzig: most negative reduced cost, ties -> lowest index.
+                let mut best = -EPS;
+                for j in 0..self.cols {
+                    if allow(j) && self.cost_row[j] < best {
+                        best = self.cost_row[j];
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(pivots);
+            };
+
+            // Leaving row: minimum ratio, ties -> lowest basis-var index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][col];
+                if a > EPS {
+                    let ratio = self.rows[i][self.cols] / a;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, ratio)) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            if ratio.abs() <= EPS {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(row, col);
+            pivots += 1;
+        }
+    }
+
+    fn solve(mut self) -> Result<Solution, SolveError> {
+        let mut phase1_pivots = 0u64;
+        let has_artificials = self.cols > self.art_start;
+        if has_artificials {
+            // Phase 1: maximize -sum(artificials).
+            let mut p1 = vec![0.0; self.cols];
+            for a in p1.iter_mut().skip(self.art_start) {
+                *a = -1.0;
+            }
+            self.load_objective(&p1);
+            phase1_pivots = self.iterate(|_| true)?;
+            // Residual infeasibility = -(phase-1 objective value).
+            if self.cost_row[self.cols].abs() > 1e-7 {
+                return Err(SolveError::Infeasible);
+            }
+            // Drive any artificials still basic (at zero) out of the basis.
+            for i in 0..self.rows.len() {
+                if self.basis[i] >= self.art_start {
+                    let mut replaced = false;
+                    for j in 0..self.art_start {
+                        if self.rows[i][j].abs() > EPS {
+                            self.pivot(i, j);
+                            phase1_pivots += 1;
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if !replaced {
+                        // Redundant row: the artificial stays basic at zero
+                        // and its column is banned from entering, so it is
+                        // inert from here on.
+                        debug_assert!(self.rows[i][self.cols].abs() <= 1e-7);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: the real objective; artificial columns may not enter.
+        let obj = self.objective.clone();
+        self.load_objective(&obj);
+        let art_start = self.art_start;
+        let pivots = self.iterate(|j| j < art_start)?;
+
+        let mut x = vec![0.0; self.num_structural];
+        for i in 0..self.rows.len() {
+            if self.basis[i] < self.num_structural {
+                x[self.basis[i]] = self.rows[i][self.cols];
+            }
+        }
+        Ok(Solution { objective: self.cost_row[self.cols], x, pivots, phase1_pivots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+        assert_eq!(s.phase1_pivots, 0);
+    }
+
+    #[test]
+    fn ge_rows_force_phase1() {
+        // max -x - y  s.t. x + y >= 2, x <= 5, y <= 5  -> -2.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 5.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 5.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -2.0);
+        assert!(s.phase1_pivots > 0);
+    }
+
+    #[test]
+    fn equality_row() {
+        // max x + 2y  s.t. x + y == 3, y <= 2  -> 5 at (1, 2).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -1  is  y - x >= 1.  max x s.t. that and x <= 3, y <= 4
+        // -> x = 3 (y = 4 works).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, -1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 5 and x <= 2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only x >= 1.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_instance_terminates() {
+        // Beale's classic cycling example (cycles under naive Dantzig with
+        // bad tie-breaks); the Bland fallback guarantees termination.
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, 0.75);
+        lp.set_objective(1, -150.0);
+        lp.set_objective(2, 0.02);
+        lp.set_objective(3, -6.0);
+        lp.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Relation::Le, 0.0);
+        lp.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Relation::Le, 0.0);
+        lp.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn deterministic_pivot_sequence() {
+        let build = || {
+            let mut lp = LinearProgram::new(3);
+            lp.set_objective(0, 2.0);
+            lp.set_objective(1, 3.0);
+            lp.set_objective(2, 1.0);
+            lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 10.0);
+            lp.add_constraint(vec![(0, 2.0), (1, 1.0)], Relation::Le, 8.0);
+            lp.add_constraint(vec![(1, 1.0), (2, 3.0)], Relation::Ge, 3.0);
+            lp
+        };
+        let a = build().solve().unwrap();
+        let b = build().solve().unwrap();
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.pivots, b.pivots);
+        assert_eq!(a.phase1_pivots, b.phase1_pivots);
+        for (xa, xb) in a.x.iter().zip(&b.x) {
+            assert_eq!(xa.to_bits(), xb.to_bits());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests of the LP/MCF placement solver.
+//!
+//! Instances are derived deterministically from a proptest-sampled seed
+//! (the repo-wide idiom: proptest explores the seed space, a seeded RNG
+//! builds the structure). Three guarantees on every generated instance:
+//! * every returned placement is primal-feasible (per-UG splits sum to
+//!   at most 1, per-peering loads respect finite capacities);
+//! * the exact (unbudgeted) optimum bounds the restricted optimum for
+//!   any advertisement, since the restricted option set is a subset
+//!   with identical coefficients;
+//! * on tiny instances, a brute-force grid search never beats the LP,
+//!   and without capacities the LP hits the closed-form optimum
+//!   Σ demand · max-improvement exactly.
+
+use painter_bgp::{AdvertConfig, PrefixId};
+use painter_core::{OrchestratorInputs, UgView};
+use painter_geo::MetroId;
+use painter_measure::UgId;
+use painter_solve::{FlowInstance, PlacementSolution};
+use painter_topology::PeeringId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-6;
+
+/// Builds a random instance: up to `max_ugs` UGs and `max_peerings`
+/// peerings, candidate latencies straddling the anycast baseline (so
+/// improvements can be zero, positive, or negative), and a mix of
+/// finite and infinite capacities.
+fn random_inputs(seed: u64, max_ugs: usize, max_peerings: usize) -> OrchestratorInputs {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x501E_7E57);
+    let nu = rng.gen_range(1..=max_ugs);
+    let np = rng.gen_range(1..=max_peerings);
+    let ugs = (0..nu)
+        .map(|i| {
+            let anycast_ms = rng.gen_range(60.0..140.0);
+            let mut candidates = Vec::new();
+            for p in 0..np {
+                let reachable = rng.gen_bool(0.7);
+                let lat = rng.gen_range(20.0..160.0);
+                if reachable {
+                    candidates.push((PeeringId(p as u32), lat));
+                }
+            }
+            UgView {
+                id: UgId(i as u32),
+                metro: MetroId(0),
+                weight: rng.gen_range(0.5..4.0),
+                anycast_ms,
+                candidates,
+            }
+        })
+        .collect();
+    let capacities = (0..np)
+        .map(|_| if rng.gen_bool(0.6) { rng.gen_range(0.5..6.0) } else { f64::INFINITY })
+        .collect();
+    OrchestratorInputs {
+        ugs,
+        ug_pop_km: vec![vec![0.0]; nu],
+        peering_pop: vec![0; np],
+        peering_count: np,
+        capacities: Some(capacities),
+    }
+}
+
+/// A random advertisement over the instance's peerings: a handful of
+/// (prefix, peering) pairs, possibly empty.
+fn random_advert(seed: u64, peering_count: usize) -> AdvertConfig {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xADE7);
+    let mut advert = AdvertConfig::new();
+    for _ in 0..rng.gen_range(0..8) {
+        let prefix = PrefixId(rng.gen_range(0..3));
+        let peering = PeeringId(rng.gen_range(0..peering_count) as u32);
+        advert.add(prefix, peering);
+    }
+    advert
+}
+
+/// Panics if the placement violates primal feasibility (a panic fails
+/// the case under both real proptest and the offline typecheck stub).
+fn check_feasible(inputs: &OrchestratorInputs, inst: &FlowInstance, sol: &PlacementSolution) {
+    for (ug, splits) in inst.ugs.iter().zip(&sol.splits) {
+        let total: f64 = splits.iter().sum();
+        assert!(total <= 1.0 + TOL, "UG {} splits sum to {total}", ug.ug);
+        for &f in splits {
+            assert!((-TOL..=1.0 + TOL).contains(&f), "split {f} out of bounds");
+        }
+    }
+    for (p, &load) in sol.loads.iter().enumerate() {
+        let cap = inputs.capacity_of(p);
+        if cap.is_finite() {
+            assert!(load <= cap + TOL, "peering {p}: load {load} > capacity {cap}");
+        }
+    }
+}
+
+/// Exhaustive grid search over per-option fractions in steps of `step`:
+/// the best feasible benefit any placement on the grid achieves.
+fn brute_force(inst: &FlowInstance, step: f64) -> f64 {
+    let levels = (1.0 / step).round() as usize + 1;
+    // Per-UG list of feasible split vectors (sum <= 1) on the grid.
+    let per_ug: Vec<Vec<Vec<f64>>> = inst
+        .ugs
+        .iter()
+        .map(|u| {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new()];
+            for _ in 0..u.options.len() {
+                let mut next = Vec::new();
+                for partial in &out {
+                    let used: f64 = partial.iter().sum();
+                    for l in 0..levels {
+                        let f = l as f64 * step;
+                        if used + f <= 1.0 + 1e-12 {
+                            let mut v = partial.clone();
+                            v.push(f);
+                            next.push(v);
+                        }
+                    }
+                }
+                out = next;
+            }
+            out
+        })
+        .collect();
+
+    let mut best = 0.0f64;
+    let mut choice = vec![0usize; inst.ugs.len()];
+    'outer: loop {
+        // Score the current combination if it fits the capacities.
+        let mut loads = vec![0.0; inst.peering_count];
+        let mut benefit = 0.0;
+        for (u, (ug, &c)) in inst.ugs.iter().zip(&choice).enumerate() {
+            for (o, &f) in ug.options.iter().zip(&per_ug[u][c]) {
+                loads[o.peering] += ug.demand * f;
+                benefit += ug.demand * o.improvement_ms * f;
+            }
+        }
+        let feasible = loads
+            .iter()
+            .enumerate()
+            .all(|(p, &l)| !inst.capacities[p].is_finite() || l <= inst.capacities[p] + 1e-12);
+        if feasible {
+            best = best.max(benefit);
+        }
+        // Odometer increment over the per-UG choice indices.
+        for (u, c) in choice.iter_mut().enumerate() {
+            *c += 1;
+            if *c < per_ug[u].len() {
+                continue 'outer;
+            }
+            *c = 0;
+        }
+        break;
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn exact_placements_are_primal_feasible(seed in any::<u64>()) {
+        let inputs = random_inputs(seed, 5, 4);
+        let inst = FlowInstance::exact(&inputs);
+        let sol = inst.solve_placement().expect("bounded instances always solve");
+        check_feasible(&inputs, &inst, &sol);
+        prop_assert!(sol.benefit >= -TOL);
+        prop_assert!(sol.mlu >= 0.0);
+    }
+
+    #[test]
+    fn exact_bounds_any_restricted_advertisement(seed in any::<u64>()) {
+        let inputs = random_inputs(seed, 5, 4);
+        let advert = random_advert(seed, inputs.peering_count);
+        let exact = FlowInstance::exact(&inputs).solve_placement().expect("exact");
+        let inst = FlowInstance::restricted(&inputs, &advert);
+        let restricted = inst.solve_placement().expect("restricted");
+        check_feasible(&inputs, &inst, &restricted);
+        prop_assert!(
+            exact.benefit >= restricted.benefit - TOL,
+            "exact {} < restricted {}", exact.benefit, restricted.benefit
+        );
+    }
+
+    #[test]
+    fn grid_search_never_beats_the_lp_on_tiny_instances(seed in any::<u64>()) {
+        let inputs = random_inputs(seed, 3, 3);
+        let inst = FlowInstance::exact(&inputs);
+        let sol = inst.solve_placement().expect("tiny instances always solve");
+        let best = brute_force(&inst, 0.25);
+        prop_assert!(
+            best <= sol.benefit + TOL,
+            "grid found {best} > LP optimum {}", sol.benefit
+        );
+    }
+
+    #[test]
+    fn uncapacitated_exact_matches_closed_form(seed in any::<u64>()) {
+        let mut inputs = random_inputs(seed, 5, 4);
+        inputs.capacities = None;
+        let sol = FlowInstance::exact(&inputs).solve_placement().expect("uncapacitated");
+        let closed_form: f64 =
+            inputs.ugs.iter().map(|u| u.weight * u.max_improvement_ms()).sum();
+        prop_assert!(
+            (sol.benefit - closed_form).abs() <= TOL * (1.0 + closed_form),
+            "LP {} vs closed form {closed_form}", sol.benefit
+        );
+        prop_assert_eq!(sol.mlu, 0.0);
+    }
+}

@@ -24,7 +24,7 @@ pub mod service;
 pub mod sim;
 
 pub use edge::{EdgeConfig, TmEdge, TunnelId};
-pub use multipath::MultipathScheduler;
+pub use multipath::{wcmp_weights, MultipathScheduler};
 pub use pop::TmPop;
 pub use service::{EdgeService, ProbeEvent, ProbeTransport, TunnelHealth};
 pub use sim::{PacketRecord, SwitchRecord, TmSimulation, TmSimulationConfig};

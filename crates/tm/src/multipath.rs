@@ -28,6 +28,11 @@ use crate::edge::{TmEdge, TunnelId};
 pub struct MultipathScheduler {
     /// Current (smooth-WRR) credit per tunnel index.
     credit: Vec<f64>,
+    /// Explicit per-tunnel WCMP weights (e.g. LP fractional splits from
+    /// `painter-solve`). When set, they replace the inverse-RTT weights;
+    /// dead tunnels still get nothing, their share redistributing over the
+    /// remaining live weighted tunnels.
+    weights: Option<Vec<f64>>,
 }
 
 impl MultipathScheduler {
@@ -36,8 +41,34 @@ impl MultipathScheduler {
         Self::default()
     }
 
+    /// A scheduler splitting traffic by explicit WCMP weights (one per
+    /// tunnel index) instead of inverse RTT.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        MultipathScheduler { credit: Vec::new(), weights: Some(weights) }
+    }
+
+    /// Installs (or replaces) explicit WCMP weights.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        self.weights = Some(weights);
+    }
+
+    /// Reverts to inverse-RTT weighting.
+    pub fn clear_weights(&mut self) {
+        self.weights = None;
+    }
+
+    /// Effective weight of tunnel `i` (0 for out-of-range explicit
+    /// entries, so a short weight vector simply disables the tail).
+    fn weight_of(&self, i: usize, srtt_ms: f64) -> f64 {
+        match &self.weights {
+            Some(w) => w.get(i).copied().unwrap_or(0.0).max(0.0),
+            None => 1.0 / srtt_ms.max(0.1),
+        }
+    }
+
     /// Picks the tunnel for the next packet: live tunnels weighted by
-    /// `1 / srtt`. Returns `None` when no tunnel is alive.
+    /// explicit WCMP weights when installed, else `1 / srtt`. Returns
+    /// `None` when no live tunnel has positive weight.
     pub fn next(&mut self, edge: &TmEdge) -> Option<TunnelId> {
         let tunnels = edge.tunnels();
         if self.credit.len() != tunnels.len() {
@@ -49,7 +80,10 @@ impl MultipathScheduler {
             if !t.alive {
                 continue;
             }
-            let weight = 1.0 / t.srtt_ms.max(0.1);
+            let weight = self.weight_of(i, t.srtt_ms);
+            if weight <= 0.0 {
+                continue;
+            }
             total += weight;
             self.credit[i] += weight;
             match best {
@@ -65,15 +99,32 @@ impl MultipathScheduler {
     /// The long-run share each tunnel receives (diagnostic; live tunnels
     /// only, normalized).
     pub fn shares(&self, edge: &TmEdge) -> Vec<(TunnelId, f64)> {
-        let total: f64 =
-            edge.tunnels().iter().filter(|t| t.alive).map(|t| 1.0 / t.srtt_ms.max(0.1)).sum();
-        edge.tunnels()
+        let live: Vec<(usize, f64)> = edge
+            .tunnels()
             .iter()
             .enumerate()
             .filter(|(_, t)| t.alive)
-            .map(|(i, t)| (TunnelId(i), (1.0 / t.srtt_ms.max(0.1)) / total))
-            .collect()
+            .map(|(i, t)| (i, self.weight_of(i, t.srtt_ms)))
+            .filter(|(_, w)| *w > 0.0)
+            .collect();
+        let total: f64 = live.iter().map(|(_, w)| w).sum();
+        live.into_iter().map(|(i, w)| (TunnelId(i), w / total)).collect()
     }
+}
+
+/// Maps per-prefix fractional splits (e.g.
+/// `painter_solve::PlacementSolution::prefix_splits`) onto `edge`'s tunnel
+/// order: each tunnel gets the split of the prefix it carries (tunnels of
+/// unlisted prefixes get 0). Feed the result to
+/// [`MultipathScheduler::with_weights`] to realize an LP placement as a
+/// WCMP packet schedule.
+pub fn wcmp_weights(edge: &TmEdge, splits: &[(painter_bgp::PrefixId, f64)]) -> Vec<f64> {
+    edge.tunnels()
+        .iter()
+        .map(|t| {
+            splits.iter().find(|(p, _)| *p == t.prefix).map(|(_, f)| f.max(0.0)).unwrap_or(0.0)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -150,6 +201,66 @@ mod tests {
                 _ => run = 0,
             }
         }
+    }
+
+    #[test]
+    fn explicit_weights_override_rtt() {
+        // RTTs favor tunnel 0 (3:1), but explicit 1:3 WCMP weights win.
+        let e = edge(&[10.0, 30.0]);
+        let mut sched = MultipathScheduler::with_weights(vec![0.25, 0.75]);
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[sched.next(&e).unwrap().0] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "got {ratio} ({counts:?})");
+    }
+
+    #[test]
+    fn zero_weight_tunnels_get_nothing() {
+        let e = edge(&[10.0, 20.0]);
+        let mut sched = MultipathScheduler::with_weights(vec![0.0, 1.0]);
+        for _ in 0..100 {
+            assert_eq!(sched.next(&e), Some(TunnelId(1)));
+        }
+        // All-zero weights behave like all-dead.
+        let mut dead = MultipathScheduler::with_weights(vec![0.0, 0.0]);
+        assert_eq!(dead.next(&e), None);
+    }
+
+    #[test]
+    fn dead_tunnel_share_redistributes_under_weights() {
+        let mut e = edge(&[10.0, 20.0]);
+        let (seq, _) = e.on_send(TunnelId(0), painter_eventsim::SimTime::ZERO);
+        assert!(e.on_timeout(TunnelId(0), seq, painter_eventsim::SimTime::from_ms(50.0)));
+        // Tunnel 0 has 90% of the weight but is dead: tunnel 1 takes all.
+        let mut sched = MultipathScheduler::with_weights(vec![0.9, 0.1]);
+        for _ in 0..50 {
+            assert_eq!(sched.next(&e), Some(TunnelId(1)));
+        }
+    }
+
+    #[test]
+    fn clear_weights_restores_rtt_proportional_shares() {
+        let e = edge(&[10.0, 30.0]);
+        let mut sched = MultipathScheduler::with_weights(vec![0.5, 0.5]);
+        sched.clear_weights();
+        let shares = sched.shares(&e);
+        assert!((shares[0].1 / shares[1].1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wcmp_weights_map_prefix_splits_to_tunnels() {
+        // edge() gives tunnel i prefix i.
+        let e = edge(&[10.0, 20.0, 30.0]);
+        let w = wcmp_weights(&e, &[(PrefixId(2), 0.6), (PrefixId(0), 0.4)]);
+        assert_eq!(w, vec![0.4, 0.0, 0.6]);
+        let mut sched = MultipathScheduler::with_weights(w);
+        let shares = sched.shares(&e);
+        // Only tunnels 0 and 2 carry traffic, 2:3 split.
+        assert_eq!(shares.len(), 2);
+        assert!((shares[1].1 / shares[0].1 - 1.5).abs() < 1e-9);
+        assert!(sched.next(&e).is_some());
     }
 
     #[test]

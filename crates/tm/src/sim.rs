@@ -151,7 +151,7 @@ impl TmSimulation {
             down_at: HashMap::new(),
             probe_loss: 0.0,
             obs,
-            trace: TraceSink::default(),
+            trace: TraceSink::inert(),
             down_cause: HashMap::new(),
             dead_cause: HashMap::new(),
             revive_cause: HashMap::new(),

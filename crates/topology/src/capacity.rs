@@ -1,0 +1,162 @@
+//! Per-peering ingress capacities.
+//!
+//! The paper's model is latency-only; the LP/MCF baseline and the
+//! flash-crowd scenario class need links that can actually fill. This
+//! module generates a seeded, deterministic capacity per peering: transit
+//! providers get fat pipes, settlement-free peers thinner ones, with a
+//! uniform jitter so no two links are exactly alike. Capacities are in
+//! UG-weight units so they compose directly with
+//! `OrchestratorInputs::capacities` and the solver's demand model.
+
+use crate::deployment::{Deployment, PeeringId, PeeringKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`CapacityPlan::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityConfig {
+    pub seed: u64,
+    /// Base capacity of a transit-provider peering (weight units).
+    pub transit_capacity: f64,
+    /// Base capacity of a settlement-free peer.
+    pub peer_capacity: f64,
+    /// Relative jitter: each link draws uniformly from
+    /// `base * [1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        CapacityConfig { seed: 1, transit_capacity: 4.0, peer_capacity: 1.5, jitter: 0.5 }
+    }
+}
+
+/// A dense per-peering capacity assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPlan {
+    per_peering: Vec<f64>,
+}
+
+impl CapacityPlan {
+    /// Seeded generation in dense peering-id order (deterministic for a
+    /// given deployment + config).
+    pub fn generate(deployment: &Deployment, config: &CapacityConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x6361_7061_6369_7479);
+        let jitter = config.jitter.clamp(0.0, 0.99);
+        let per_peering = deployment
+            .peerings()
+            .iter()
+            .map(|p| {
+                let base = match p.kind {
+                    PeeringKind::TransitProvider => config.transit_capacity,
+                    PeeringKind::Peer => config.peer_capacity,
+                };
+                base * rng.gen_range(1.0 - jitter..1.0 + jitter)
+            })
+            .collect();
+        CapacityPlan { per_peering }
+    }
+
+    /// Every peering gets the same capacity.
+    pub fn uniform(deployment: &Deployment, capacity: f64) -> Self {
+        CapacityPlan { per_peering: vec![capacity; deployment.peerings().len()] }
+    }
+
+    /// Rescales so the total capacity is `headroom × total_demand` while
+    /// preserving the relative fat-pipe/thin-pipe shape. `headroom` near
+    /// 1.0 makes capacity genuinely scarce; large values recover the
+    /// latency-only world.
+    pub fn normalized(mut self, total_demand: f64, headroom: f64) -> Self {
+        let total: f64 = self.per_peering.iter().sum();
+        if total > 0.0 && total_demand > 0.0 && headroom > 0.0 {
+            let k = headroom * total_demand / total;
+            for c in &mut self.per_peering {
+                *c *= k;
+            }
+        }
+        self
+    }
+
+    /// Capacity of one peering.
+    pub fn capacity(&self, peering: PeeringId) -> f64 {
+        self.per_peering[peering.idx()]
+    }
+
+    /// Dense per-peering capacities (index = `PeeringId::idx`).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.per_peering
+    }
+
+    /// Consumes the plan into the dense vector
+    /// `OrchestratorInputs::with_capacities` expects.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.per_peering
+    }
+
+    /// Total capacity across all peerings.
+    pub fn total(&self) -> f64 {
+        self.per_peering.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentConfig;
+    use crate::gen::TopologyConfig;
+
+    fn deployment(seed: u64) -> Deployment {
+        let net = crate::generate(TopologyConfig::tiny(seed));
+        Deployment::generate(&net.graph, &DeploymentConfig::tiny(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let dep = deployment(7);
+        let a = CapacityPlan::generate(&dep, &CapacityConfig::default());
+        let b = CapacityPlan::generate(&dep, &CapacityConfig::default());
+        assert_eq!(a, b);
+        let c = CapacityPlan::generate(&dep, &CapacityConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transit_pipes_are_fatter_on_average() {
+        let dep = deployment(7);
+        let plan = CapacityPlan::generate(&dep, &CapacityConfig::default());
+        let mut transit = (0.0, 0usize);
+        let mut peer = (0.0, 0usize);
+        for p in dep.peerings() {
+            let c = plan.capacity(p.id);
+            assert!(c > 0.0);
+            match p.kind {
+                PeeringKind::TransitProvider => {
+                    transit.0 += c;
+                    transit.1 += 1;
+                }
+                PeeringKind::Peer => {
+                    peer.0 += c;
+                    peer.1 += 1;
+                }
+            }
+        }
+        if transit.1 > 0 && peer.1 > 0 {
+            assert!(transit.0 / transit.1 as f64 > peer.0 / peer.1 as f64);
+        }
+    }
+
+    #[test]
+    fn normalization_hits_the_requested_total() {
+        let dep = deployment(9);
+        let plan = CapacityPlan::generate(&dep, &CapacityConfig::default()).normalized(100.0, 1.5);
+        assert!((plan.total() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_plan_is_flat() {
+        let dep = deployment(9);
+        let plan = CapacityPlan::uniform(&dep, 2.5);
+        assert!(plan.as_slice().iter().all(|&c| c == 2.5));
+        assert_eq!(plan.as_slice().len(), dep.peerings().len());
+    }
+}

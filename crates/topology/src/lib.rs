@@ -26,11 +26,13 @@
 //! measurements and cone inference — never directly — mirroring the
 //! information asymmetry that makes the paper's learning loop necessary.
 
+pub mod capacity;
 pub mod cone;
 pub mod deployment;
 pub mod gen;
 pub mod graph;
 
+pub use capacity::{CapacityConfig, CapacityPlan};
 pub use cone::CustomerCones;
 pub use deployment::{Deployment, DeploymentConfig, Peering, PeeringId, PeeringKind, Pop, PopId};
 pub use gen::{generate, Internet, TopologyConfig};

@@ -18,6 +18,8 @@
 //! * [`tm`] — the Traffic Manager (TM-Edge / TM-PoP).
 //! * [`chaos`] — deterministic fault injection: declarative scenario
 //!   specs compiled into timed injections against the simulators.
+//! * [`solve`] — exact LP/MCF baseline: a dependency-free bounded
+//!   simplex core plus the capacity-aware flow-placement formulation.
 //! * [`eval`] — per-figure experiment harnesses and the chaos
 //!   resilience suite.
 //! * [`obs`] — telemetry: metrics, spans, structured run reports
@@ -33,5 +35,6 @@ pub use painter_geo as geo;
 pub use painter_measure as measure;
 pub use painter_net as net;
 pub use painter_obs as obs;
+pub use painter_solve as solve;
 pub use painter_tm as tm;
 pub use painter_topology as topology;

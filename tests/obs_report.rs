@@ -423,3 +423,128 @@ fn shared_registry_merges_subsystem_metrics() {
     sorted.sort_unstable();
     assert_eq!(names, sorted, "snapshot is name-sorted");
 }
+
+#[test]
+fn lp_gap_sections_pin_their_schema() {
+    use painter::eval::lp_gap::{run_lp_gap, LpGapConfig};
+    use painter::obs::json::JsonValue;
+
+    // CI-sized instances: the schema (titles + field names) is what is
+    // pinned, not the figures-binary defaults.
+    let config =
+        LpGapConfig { max_ugs: 40, max_options: 4, ..LpGapConfig::for_scale(Scale::Test, 1) };
+    let run = run_lp_gap(Scale::Test, config).expect("lp gap run");
+    let mut report = RunReport::new("lp-gap");
+    for section in run.sections() {
+        report.push_section(section);
+    }
+    let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
+    let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
+
+    let titles: Vec<&str> =
+        sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
+    assert_eq!(titles, ["lp.config", "lp.azure", "lp.peering", "chaos.flash-crowd.flashcrowd"]);
+
+    // Exact field names and counts per section, matching the chaos and
+    // guard.tune pins.
+    let gap_fields: &[&str] = &[
+        "ugs",
+        "demand_kept_pct",
+        "peerings",
+        "budget",
+        "vars",
+        "rows",
+        "exact_benefit",
+        "exact_mlu",
+        "exact_pivots",
+        "greedy_benefit",
+        "greedy_mlu",
+        "greedy_pivots",
+        "phase1_pivots",
+        "gap_pct",
+        "mlu_before",
+        "mlu_after",
+        "split_ugs",
+    ];
+    let pinned: &[(&str, &[&str])] = &[
+        (
+            "lp.config",
+            &[
+                "seed",
+                "headroom",
+                "surge_headroom",
+                "surge_factor",
+                "surge_fraction",
+                "max_ugs",
+                "max_options",
+                "budget_pct",
+            ],
+        ),
+        ("lp.azure", gap_fields),
+        ("lp.peering", gap_fields),
+        (
+            "chaos.flash-crowd.flashcrowd",
+            &[
+                "factor",
+                "fraction",
+                "cohort_ugs",
+                "cohort_weight_pct",
+                "latency_benefit",
+                "latency_mlu",
+                "latency_overload",
+                "aware_benefit",
+                "aware_mlu",
+                "lp_benefit",
+                "lp_mlu",
+                "absorbed",
+            ],
+        ),
+    ];
+    for (title, names) in pinned {
+        let section = sections
+            .iter()
+            .find(|s| s.get("title").and_then(|v| v.as_str()) == Some(title))
+            .unwrap_or_else(|| panic!("missing section {title}"));
+        let fields = section.get("fields").expect("fields");
+        for name in *names {
+            assert!(fields.get(name).is_some(), "{title} missing field {name}");
+        }
+        match fields {
+            JsonValue::Object(map) => {
+                assert_eq!(map.len(), names.len(), "{title} field count drifted: {map:?}")
+            }
+            other => panic!("{title} fields not an object: {other:?}"),
+        }
+    }
+
+    // Acceptance: the exact LP bounds the greedy restriction on every
+    // scenario, and the flash crowd is absorbed only by capacity-aware
+    // placement (strictly lower MLU than latency-blind).
+    for title in ["lp.azure", "lp.peering"] {
+        let fields = sections
+            .iter()
+            .find(|s| s.get("title").and_then(|v| v.as_str()) == Some(title))
+            .unwrap()
+            .get("fields")
+            .unwrap();
+        let exact = fields.get("exact_benefit").and_then(|v| v.as_f64()).unwrap();
+        let greedy = fields.get("greedy_benefit").and_then(|v| v.as_f64()).unwrap();
+        let gap = fields.get("gap_pct").and_then(|v| v.as_f64()).unwrap();
+        assert!(exact >= greedy - 1e-6, "{title}: exact {exact} < greedy {greedy}");
+        assert!(gap >= 0.0, "{title}: negative gap {gap}");
+        let mlu_after = fields.get("mlu_after").and_then(|v| v.as_f64()).unwrap();
+        assert!(mlu_after <= 1.0 + 1e-6, "{title}: LP overloaded: {mlu_after}");
+    }
+    let flash = sections
+        .iter()
+        .find(|s| s.get("title").and_then(|v| v.as_str()) == Some("chaos.flash-crowd.flashcrowd"))
+        .unwrap()
+        .get("fields")
+        .unwrap();
+    let latency_mlu = flash.get("latency_mlu").and_then(|v| v.as_f64()).unwrap();
+    let aware_mlu = flash.get("aware_mlu").and_then(|v| v.as_f64()).unwrap();
+    assert!(latency_mlu > 1.0, "surge did not overload blind placement: {latency_mlu}");
+    assert!(aware_mlu < latency_mlu, "capacity-aware MLU not strictly lower");
+    // Bool fields render as 0/1 metrics in report JSON.
+    assert_eq!(flash.get("absorbed").and_then(|v| v.as_f64()), Some(1.0), "absorbed flag not set");
+}
