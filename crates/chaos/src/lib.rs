@@ -58,7 +58,7 @@ pub use schedule::{surge_cohort, FaultEvent, Injection, Schedule, WorldView};
 pub use scorecard::Scorecard;
 pub use search::{
     sample_spec, search, search_seeded, Candidate, CorpusEntry, Grammar, SearchConfig,
-    SearchOutcome, SearchScore,
+    SearchOutcome, SearchScore, KIND_COUNT,
 };
 pub use shrink::{shrink, shrink_candidates, ShrinkOutcome};
 pub use spec::{FaultKind, FaultSpec, Recurrence, ScenarioSpec, Target};

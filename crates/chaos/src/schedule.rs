@@ -315,6 +315,86 @@ fn expand(
             }
             other => return Err(format!("flash crowd cannot target {other:?}")),
         },
+        FaultKind::MaintenanceDrain { grace_s } => {
+            // The fault window is split into one equal drain slot per
+            // resolved PoP; drains are strictly sequential, so at most
+            // one PoP is down at any moment. Within a slot the PoP's
+            // announcements are withdrawn first (the advertised grace)
+            // and the data plane only goes dark `grace_s` later.
+            let pops = resolve_pops(fault.target, world)?;
+            let slot = SimTime::from_nanos(
+                (t1.as_nanos().saturating_sub(t0.as_nanos())) / pops.len().max(1) as u64,
+            );
+            let grace = SimTime::from_secs(grace_s.max(0.0));
+            for (k, pop) in pops.iter().enumerate() {
+                let s0 = t0 + SimTime::from_nanos(slot.as_nanos() * k as u64);
+                let s1 = s0 + slot;
+                let dark = (s0 + grace).min(s1);
+                for (peering, at_pop) in &world.peerings {
+                    if *at_pop != *pop {
+                        continue;
+                    }
+                    for (prefix, vias) in &world.prefixes {
+                        if !vias.contains(peering) {
+                            continue;
+                        }
+                        push(s0, FaultEvent::Withdraw { prefix: *prefix, peering: *peering });
+                        push(s1, FaultEvent::Announce { prefix: *prefix, peering: *peering });
+                    }
+                }
+                push(dark, FaultEvent::PopDown { pop: *pop });
+                push(s1, FaultEvent::PopUp { pop: *pop });
+            }
+        }
+        FaultKind::ProbeDark { fraction, period_s, duty } => match fault.target {
+            Target::Fleet | Target::All => {
+                // Pulsed probe darkness: `duty` of every `period_s`
+                // cycle is dark. Bounded pulse count so a degenerate
+                // period can never explode the schedule.
+                let period = SimTime::from_secs(period_s.max(0.1));
+                let dark_for =
+                    SimTime::from_secs((period_s.max(0.1) * duty.clamp(0.01, 1.0)).max(0.01));
+                let fraction = fraction.clamp(0.0, 1.0);
+                let mut t = t0;
+                let mut pulses = 0u32;
+                while t < t1 && pulses < 10_000 {
+                    push(t, FaultEvent::ProbeLoss { fraction });
+                    push((t + dark_for).min(t1), FaultEvent::ProbeRestore);
+                    t = t + period;
+                    pulses += 1;
+                }
+            }
+            other => return Err(format!("probe-dark cannot target {other:?}")),
+        },
+        FaultKind::OscillatingRepair { period_s, add_ms } => {
+            // Flapping partial repair: the tunnel dies, comes back
+            // degraded (up but `add_ms` slower) half a period later,
+            // dies again, ... and is finally restored clean at t1.
+            let half = SimTime::from_secs(period_s.max(0.2) / 2.0);
+            for tunnel in resolve_tunnels(fault.target, world)? {
+                push(t0, FaultEvent::TunnelDown { tunnel });
+                let mut t = t0 + half;
+                let mut down = true;
+                let mut flips = 0u32;
+                while t < t1 && flips < 10_000 {
+                    if down {
+                        push(t, FaultEvent::TunnelUp { tunnel });
+                        push(t, FaultEvent::LatencyAdd { tunnel, add_ms });
+                    } else {
+                        push(t, FaultEvent::LatencyClear { tunnel, add_ms });
+                        push(t, FaultEvent::TunnelDown { tunnel });
+                    }
+                    down = !down;
+                    t = t + half;
+                    flips += 1;
+                }
+                if down {
+                    push(t1, FaultEvent::TunnelUp { tunnel });
+                } else {
+                    push(t1, FaultEvent::LatencyClear { tunnel, add_ms });
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -563,6 +643,120 @@ mod tests {
         assert!(bad(FaultKind::LinkBlackhole, Target::Tunnel(99)).is_err());
         assert!(
             bad(FaultKind::FlashCrowd { factor: 4.0, fraction: 0.2 }, Target::Peering(0)).is_err()
+        );
+        assert!(bad(FaultKind::MaintenanceDrain { grace_s: 2.0 }, Target::Tunnel(0)).is_err());
+        assert!(bad(
+            FaultKind::ProbeDark { fraction: 0.5, period_s: 4.0, duty: 0.5 },
+            Target::Pop(0)
+        )
+        .is_err());
+        assert!(bad(FaultKind::OscillatingRepair { period_s: 4.0, add_ms: 20.0 }, Target::Pop(0))
+            .is_err());
+    }
+
+    #[test]
+    fn maintenance_drain_rolls_pops_sequentially_with_grace() {
+        let spec = ScenarioSpec::new("maint", 200.0).fault(
+            FaultSpec::new("drain", FaultKind::MaintenanceDrain { grace_s: 5.0 }, Target::All)
+                .at(20.0)
+                .lasting(100.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 4).expect("compile");
+        let downs: Vec<&Injection> = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::PopDown { .. }))
+            .collect();
+        assert_eq!(downs.len(), 2, "one drain per pop");
+        // Pop 0's slot is [20,70), pop 1's [70,120): the data plane goes
+        // dark grace_s after the slot's withdrawals, and the slots never
+        // overlap (pop 0 is back up before pop 1 goes dark).
+        assert_eq!(downs[0].at, SimTime::from_secs(25.0));
+        assert_eq!(downs[1].at, SimTime::from_secs(75.0));
+        let up0 = s
+            .injections()
+            .iter()
+            .find(|i| matches!(i.event, FaultEvent::PopUp { pop } if pop == PopId(0)))
+            .expect("pop 0 recovers");
+        assert_eq!(up0.at, SimTime::from_secs(70.0));
+        assert!(up0.at < downs[1].at, "at most one pop down at a time");
+        // Withdrawals land at slot start — before the blackout.
+        let first_withdraw = s
+            .injections()
+            .iter()
+            .find(|i| matches!(i.event, FaultEvent::Withdraw { .. }))
+            .expect("withdrawals advertised");
+        assert_eq!(first_withdraw.at, SimTime::from_secs(20.0));
+    }
+
+    #[test]
+    fn probe_dark_pulses_with_duty_cycle() {
+        let spec = ScenarioSpec::new("dark", 100.0).fault(
+            FaultSpec::new(
+                "dark",
+                FaultKind::ProbeDark { fraction: 0.8, period_s: 10.0, duty: 0.4 },
+                Target::Fleet,
+            )
+            .at(10.0)
+            .lasting(30.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 4).expect("compile");
+        let losses: Vec<SimTime> = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::ProbeLoss { .. }))
+            .map(|i| i.at)
+            .collect();
+        assert_eq!(
+            losses,
+            vec![SimTime::from_secs(10.0), SimTime::from_secs(20.0), SimTime::from_secs(30.0)],
+            "one pulse per period"
+        );
+        let restores: Vec<SimTime> = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::ProbeRestore))
+            .map(|i| i.at)
+            .collect();
+        assert_eq!(restores.len(), 3, "every pulse relights");
+        assert_eq!(restores[0], SimTime::from_secs(14.0), "dark for duty * period");
+    }
+
+    #[test]
+    fn oscillating_repair_flaps_and_ends_clean() {
+        let spec = ScenarioSpec::new("osc", 100.0).fault(
+            FaultSpec::new(
+                "osc",
+                FaultKind::OscillatingRepair { period_s: 10.0, add_ms: 25.0 },
+                Target::Tunnel(1),
+            )
+            .at(10.0)
+            .lasting(25.0),
+        );
+        let s = Schedule::compile(&spec, &world(), 4).expect("compile");
+        // t=10 down, t=15 up+degraded, t=20 clear+down, t=25 up+degraded,
+        // t=30 clear+down, t=35 final TunnelUp (ends clean).
+        let ups = s.injections().iter().filter(|i| matches!(i.event, FaultEvent::TunnelUp { .. }));
+        let downs =
+            s.injections().iter().filter(|i| matches!(i.event, FaultEvent::TunnelDown { .. }));
+        assert_eq!(ups.count(), 3);
+        assert_eq!(downs.count(), 3);
+        let adds = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::LatencyAdd { .. }))
+            .count();
+        let clears = s
+            .injections()
+            .iter()
+            .filter(|i| matches!(i.event, FaultEvent::LatencyClear { .. }))
+            .count();
+        assert_eq!(adds, clears, "no residual latency after the fault");
+        let last = s.injections().last().expect("non-empty");
+        assert_eq!(last.at, SimTime::from_secs(35.0));
+        assert!(
+            matches!(last.event, FaultEvent::TunnelUp { .. }),
+            "tunnel is healthy once the fault ends"
         );
     }
 

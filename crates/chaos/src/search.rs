@@ -39,9 +39,10 @@ use painter_eventsim::SimRng;
 use painter_obs::json::{self, JsonValue};
 use std::fmt::Write as _;
 
-/// Number of [`FaultKind`] variants (the width of
-/// [`Grammar::kind_weights`]).
-pub const KIND_COUNT: usize = 8;
+/// Number of [`FaultKind`] variants the grammar can generate (the width
+/// of [`Grammar::kind_weights`]). [`FaultKind::FlashCrowd`] stays out:
+/// the adversary cannot conjure demand.
+pub const KIND_COUNT: usize = 11;
 
 /// The typed grammar scenarios are sampled from: which elements exist in
 /// the target world, where in time faults may land, and how big a
@@ -70,7 +71,8 @@ pub struct Grammar {
     pub overlap_window_s: f64,
     /// Relative sampling weight per [`FaultKind`], in declaration order
     /// (session reset, withdraw storm, pop outage, link blackhole,
-    /// latency spike, bursty loss, probe-fleet loss, route leak). Zero
+    /// latency spike, bursty loss, probe-fleet loss, route leak,
+    /// maintenance drain, probe dark, oscillating repair). Zero
     /// disables a kind.
     pub kind_weights: [f64; KIND_COUNT],
     /// Probability a sampled fault carries a [`crate::Recurrence`].
@@ -129,7 +131,17 @@ pub(crate) fn sample_kind_and_target(grammar: &Grammar, rng: &mut SimRng) -> (Fa
             loss_bad: quant3(rng.uniform(0.30, 0.90)),
         },
         6 => FaultKind::ProbeFleetLoss { fraction: quant3(rng.uniform(0.1, 0.9)) },
-        _ => FaultKind::RouteLeak,
+        7 => FaultKind::RouteLeak,
+        8 => FaultKind::MaintenanceDrain { grace_s: quant(rng.uniform(1.0, 8.0)) },
+        9 => FaultKind::ProbeDark {
+            fraction: quant3(rng.uniform(0.3, 1.0)),
+            period_s: quant(rng.uniform(2.0, 10.0)),
+            duty: quant3(rng.uniform(0.2, 0.8)),
+        },
+        _ => FaultKind::OscillatingRepair {
+            period_s: quant(rng.uniform(2.0, 10.0)),
+            add_ms: quant(rng.uniform(10.0, 60.0)),
+        },
     };
     let target = match kind {
         // Session-shaped faults aim at one peering, one PoP's peerings,
@@ -141,7 +153,7 @@ pub(crate) fn sample_kind_and_target(grammar: &Grammar, rng: &mut SimRng) -> (Fa
                 _ => Target::Peering(rng.index(grammar.peerings.max(1) as usize) as u32),
             }
         }
-        FaultKind::PopOutage { .. } => {
+        FaultKind::PopOutage { .. } | FaultKind::MaintenanceDrain { .. } => {
             if rng.index(10) == 0 {
                 Target::All
             } else {
@@ -157,7 +169,10 @@ pub(crate) fn sample_kind_and_target(grammar: &Grammar, rng: &mut SimRng) -> (Fa
                 Target::Tunnel(rng.index(grammar.tunnels.max(1) as usize) as u32)
             }
         }
-        FaultKind::ProbeFleetLoss { .. } => Target::Fleet,
+        FaultKind::OscillatingRepair { .. } => {
+            Target::Tunnel(rng.index(grammar.tunnels.max(1) as usize) as u32)
+        }
+        FaultKind::ProbeFleetLoss { .. } | FaultKind::ProbeDark { .. } => Target::Fleet,
         // Not generated by the grammar (the adversary can't conjure
         // demand), but the shape is pinned for completeness.
         FaultKind::FlashCrowd { .. } => Target::All,

@@ -56,6 +56,24 @@ pub enum FaultKind {
     /// it, and only the capacity-aware objective can absorb the surge
     /// without overloading ingress links. Targets [`Target::All`].
     FlashCrowd { factor: f64, fraction: f64 },
+    /// A rolling maintenance campaign: the targeted PoP (or, for
+    /// [`Target::All`], every PoP in sequence) is *drained* — its
+    /// announcements are withdrawn `grace_s` before its data plane goes
+    /// dark, the advertised-maintenance shape — then restored. Under
+    /// [`Target::All`] the fault window is split into one equal drain
+    /// slot per PoP, so at most one PoP is ever down at a time.
+    MaintenanceDrain { grace_s: f64 },
+    /// Probe-dark bursts: the probe fleet alternates between dark (a
+    /// `fraction` of probe sends suppressed) and fully lit on a
+    /// `period_s` cycle with the dark phase lasting `duty` of each
+    /// cycle. Starves the guard layer of RTT samples in pulses rather
+    /// than one long outage.
+    ProbeDark { fraction: f64, period_s: f64, duty: f64 },
+    /// An oscillating partial repair: the targeted tunnel flaps between
+    /// repaired-but-degraded (up, RTT inflated by `add_ms`) and dead on
+    /// a `period_s` cycle — the flapping-recovery shape that punishes a
+    /// control loop that commits on the first good-looking sample.
+    OscillatingRepair { period_s: f64, add_ms: f64 },
 }
 
 /// Where to aim a fault. Resolution against the concrete world happens
@@ -270,6 +288,27 @@ fn write_kind(out: &mut String, kind: &FaultKind) {
             json::write_f64(out, *fraction);
             out.push('}');
         }
+        FaultKind::MaintenanceDrain { grace_s } => {
+            out.push_str("{\"type\":\"maintenance_drain\",\"grace_s\":");
+            json::write_f64(out, *grace_s);
+            out.push('}');
+        }
+        FaultKind::ProbeDark { fraction, period_s, duty } => {
+            out.push_str("{\"type\":\"probe_dark\",\"fraction\":");
+            json::write_f64(out, *fraction);
+            out.push_str(",\"period_s\":");
+            json::write_f64(out, *period_s);
+            out.push_str(",\"duty\":");
+            json::write_f64(out, *duty);
+            out.push('}');
+        }
+        FaultKind::OscillatingRepair { period_s, add_ms } => {
+            out.push_str("{\"type\":\"oscillating_repair\",\"period_s\":");
+            json::write_f64(out, *period_s);
+            out.push_str(",\"add_ms\":");
+            json::write_f64(out, *add_ms);
+            out.push('}');
+        }
     }
 }
 
@@ -324,6 +363,18 @@ fn parse_fault(v: &JsonValue) -> Result<FaultSpec, String> {
         "flash_crowd" => FaultKind::FlashCrowd {
             factor: num_field(kind_v, "factor")?,
             fraction: num_field(kind_v, "fraction")?,
+        },
+        "maintenance_drain" => {
+            FaultKind::MaintenanceDrain { grace_s: num_field(kind_v, "grace_s")? }
+        }
+        "probe_dark" => FaultKind::ProbeDark {
+            fraction: num_field(kind_v, "fraction")?,
+            period_s: num_field(kind_v, "period_s")?,
+            duty: num_field(kind_v, "duty")?,
+        },
+        "oscillating_repair" => FaultKind::OscillatingRepair {
+            period_s: num_field(kind_v, "period_s")?,
+            add_ms: num_field(kind_v, "add_ms")?,
         },
         other => return Err(format!("unknown fault kind '{other}'")),
     };
@@ -420,6 +471,9 @@ mod tests {
             FaultKind::ProbeFleetLoss { fraction: 0.3 },
             FaultKind::RouteLeak,
             FaultKind::FlashCrowd { factor: 6.0, fraction: 0.25 },
+            FaultKind::MaintenanceDrain { grace_s: 4.0 },
+            FaultKind::ProbeDark { fraction: 0.8, period_s: 6.0, duty: 0.5 },
+            FaultKind::OscillatingRepair { period_s: 5.0, add_ms: 25.0 },
         ];
         let targets = [
             Target::Pop(1),

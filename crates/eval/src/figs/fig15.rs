@@ -39,7 +39,7 @@ fn prefixes_for_thresholds(
 
 fn scenario_with_peer_fraction(scale: Scale, seed: u64, fraction: f64) -> Scenario {
     let (mut topo, mut dep): (TopologyConfig, DeploymentConfig) = match scale {
-        Scale::Test => (
+        Scale::Test | Scale::Soak => (
             TopologyConfig {
                 seed,
                 num_tier1: 5,

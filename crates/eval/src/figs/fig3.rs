@@ -20,7 +20,7 @@ fn offsets() -> Vec<f64> {
 /// Runs the Fig. 3 analysis over the three synthetic cloud profiles.
 pub fn run(scale: Scale) -> Figure {
     let flows = match scale {
-        Scale::Test => 20_000,
+        Scale::Test | Scale::Soak => 20_000,
         Scale::Paper => 200_000,
     };
     let xs = offsets();

@@ -67,7 +67,7 @@ pub fn learn_painter(
 fn scales(scale: Scale) -> (usize, usize) {
     // (max budget cap, learning iterations)
     match scale {
-        Scale::Test => (24, 2),
+        Scale::Test | Scale::Soak => (24, 2),
         Scale::Paper => (400, 3),
     }
 }

@@ -18,6 +18,12 @@
 //!    the final round's best is never worse than the shipped defaults
 //!    on everything the adversary found.
 //!
+//! After the last round, each guard knob is swept one-at-a-time from
+//! the winner to its [`TuneSpace`] bounds and re-scored on the final
+//! pool — the `guard.tune.knob.<name>` sections make visible which
+//! knobs actually move worst-case availability (not just
+//! `required_streak`, the historically load-bearing one).
+//!
 //! Everything downstream of the seed is deterministic: both phases draw
 //! from dedicated [`SimRng`] streams, scores are quantized before
 //! comparison, and the `guard.tune.*` sections render byte-identically
@@ -99,8 +105,60 @@ pub struct TuneRun {
     /// The pinned [`GuardConfig::tuned`] preset scored on the final
     /// pool, for drift detection against the checked-in constants.
     pub tuned_score: GuardScore,
+    /// One-at-a-time knob sensitivity around the winner, in knob order.
+    pub knob_sweeps: Vec<KnobSweep>,
     /// Total campaigns simulated across all phases.
     pub campaigns: usize,
+}
+
+/// One knob's sensitivity around the co-evolved winner: the knob pinned
+/// to its [`TuneSpace`] bounds with every other knob held at the
+/// winner's value, each variant defending the full final pool. A
+/// nonzero [`KnobSweep::spread`] on a knob other than `required_streak`
+/// is the report-level evidence that the frontier is not a one-knob
+/// story — moving that knob alone moves worst-case availability.
+#[derive(Debug, Clone)]
+pub struct KnobSweep {
+    /// Knob name, matching the canonical config-JSON field.
+    pub knob: &'static str,
+    /// The winner's value for this knob.
+    pub base_value: f64,
+    /// Worst pool availability loss with the knob at its lower bound.
+    pub low_worst_loss: f64,
+    /// Worst pool availability loss with the knob at its upper bound.
+    pub high_worst_loss: f64,
+    /// The winner's own worst pool availability loss, for reference.
+    pub best_worst_loss: f64,
+    /// Mean pool availability loss with the knob at its lower bound.
+    pub low_mean_loss: f64,
+    /// Mean pool availability loss with the knob at its upper bound.
+    pub high_mean_loss: f64,
+    /// The winner's own mean pool availability loss, for reference.
+    pub best_mean_loss: f64,
+}
+
+fn range3(a: f64, b: f64, c: f64) -> f64 {
+    a.max(b).max(c) - a.min(b).min(c)
+}
+
+impl KnobSweep {
+    /// How far worst-case availability loss moves across
+    /// {low, winner, high} — zero means the knob cannot change what the
+    /// worst pool adversary extracts.
+    pub fn worst_spread(&self) -> f64 {
+        range3(self.low_worst_loss, self.high_worst_loss, self.best_worst_loss)
+    }
+
+    /// How far mean availability loss moves across {low, winner, high}.
+    pub fn mean_spread(&self) -> f64 {
+        range3(self.low_mean_loss, self.high_mean_loss, self.best_mean_loss)
+    }
+
+    /// Whether the knob moves availability on this pool at all — on
+    /// either the worst-case or the mean axis.
+    pub fn moves_availability(&self) -> bool {
+        self.worst_spread() > 1e-9 || self.mean_spread() > 1e-9
+    }
 }
 
 /// Scores one guard config across the pool: worst/mean closed-loop
@@ -234,7 +292,29 @@ pub fn run_guard_tune(
     let pool: Vec<PoolCase> = adv.iter().chain(&suite).cloned().collect();
     campaigns += pool.len();
     let tuned_score = guard_pool_score(&pool, &timing, &GuardConfig::tuned())?;
-    Ok(TuneRun { scale, config, pool, rounds, outcome, tuned_score, campaigns })
+
+    // One-at-a-time sensitivity sweep around the winner. The winner's
+    // own score is already on the final pool (the last guard phase
+    // tuned against exactly this pool), so each knob costs two more
+    // pool evaluations: its low and high bound.
+    let best = outcome.best().clone();
+    let mut knob_sweeps = Vec::with_capacity(9);
+    for probe in space.knob_probes(&best.config) {
+        campaigns += 2 * pool.len();
+        let low = guard_pool_score(&pool, &timing, &probe.low)?;
+        let high = guard_pool_score(&pool, &timing, &probe.high)?;
+        knob_sweeps.push(KnobSweep {
+            knob: probe.knob,
+            base_value: probe.base_value,
+            low_worst_loss: low.worst_loss,
+            high_worst_loss: high.worst_loss,
+            best_worst_loss: best.score.worst_loss,
+            low_mean_loss: low.mean_loss,
+            high_mean_loss: high.mean_loss,
+            best_mean_loss: best.score.mean_loss,
+        });
+    }
+    Ok(TuneRun { scale, config, pool, rounds, outcome, tuned_score, knob_sweeps, campaigns })
 }
 
 impl TuneRun {
@@ -245,10 +325,14 @@ impl TuneRun {
 
     /// The run as `guard.tune.*` report sections: config and per-round
     /// counters, the descent trajectory, the default / best / pinned
-    /// scores on the final pool, and the repair-vs-stability frontier
-    /// with one `guard.tune.point<k>` section per frontier point.
+    /// scores on the final pool, the per-knob sensitivity sweep
+    /// (`guard.tune.knobs` summary plus one `guard.tune.knob.<name>`
+    /// section per knob), and the repair-vs-stability frontier with one
+    /// `guard.tune.point<k>` section per frontier point.
     pub fn sections(&self) -> Vec<Section> {
-        let mut out = Vec::with_capacity(self.rounds.len() + self.outcome.frontier.len() + 6);
+        let mut out = Vec::with_capacity(
+            self.rounds.len() + self.outcome.frontier.len() + self.knob_sweeps.len() + 7,
+        );
         out.push(
             Section::new("guard.tune.config")
                 .field("seed", self.config.seed)
@@ -291,6 +375,32 @@ impl TuneRun {
                 .field("matches_best", GuardConfig::tuned().to_json() == best.config.to_json())
                 .field("config", GuardConfig::tuned().to_json().as_str()),
         );
+        let moving = self.knob_sweeps.iter().filter(|s| s.moves_availability()).count();
+        let moving_non_streak = self
+            .knob_sweeps
+            .iter()
+            .filter(|s| s.knob != "required_streak" && s.moves_availability())
+            .count();
+        out.push(
+            Section::new("guard.tune.knobs")
+                .field("knobs", self.knob_sweeps.len())
+                .field("moving", moving)
+                .field("moving_non_streak", moving_non_streak),
+        );
+        for s in &self.knob_sweeps {
+            out.push(
+                Section::new(format!("guard.tune.knob.{}", s.knob))
+                    .field("value", s.base_value)
+                    .field("low_worst_loss", s.low_worst_loss)
+                    .field("high_worst_loss", s.high_worst_loss)
+                    .field("best_worst_loss", s.best_worst_loss)
+                    .field("low_mean_loss", s.low_mean_loss)
+                    .field("high_mean_loss", s.high_mean_loss)
+                    .field("best_mean_loss", s.best_mean_loss)
+                    .field("worst_spread", s.worst_spread())
+                    .field("mean_spread", s.mean_spread()),
+            );
+        }
         let points: Vec<(f64, f64)> =
             self.outcome.frontier.iter().map(|c| (c.score.churn, c.score.worst_loss)).collect();
         out.push(
@@ -347,10 +457,26 @@ mod tests {
         assert_eq!(sections[1].title, "guard.tune.round0");
         assert_eq!(sections[2].title, "guard.tune.progress");
         let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
-        for t in
-            ["guard.tune.default", "guard.tune.best", "guard.tune.tuned", "guard.tune.frontier"]
-        {
+        for t in [
+            "guard.tune.default",
+            "guard.tune.best",
+            "guard.tune.tuned",
+            "guard.tune.knobs",
+            "guard.tune.frontier",
+        ] {
             assert!(titles.contains(&t), "missing section {t}");
+        }
+
+        // One sweep per knob, each scored on the final pool. (Whether a
+        // non-streak knob actually moves availability depends on the
+        // pool — the corpus-backed integration test in
+        // `tests/obs_report.rs` asserts that on the pinned reproducers;
+        // the hand-written suite alone is knob-flat at test scale.)
+        assert_eq!(a.knob_sweeps.len(), 9, "one sweep per guard knob");
+        for s in &a.knob_sweeps {
+            assert!(titles.contains(&format!("guard.tune.knob.{}", s.knob).as_str()));
+            assert!(s.low_worst_loss >= 0.0 && s.high_worst_loss >= 0.0);
+            assert!(s.low_mean_loss >= 0.0 && s.high_mean_loss >= 0.0);
         }
         match sections[2].get("best_trajectory") {
             Some(Value::Series(points)) => {

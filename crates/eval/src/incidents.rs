@@ -82,6 +82,9 @@ pub fn kind_tag(kind: &FaultKind) -> &'static str {
         FaultKind::ProbeFleetLoss { .. } => "probe_fleet_loss",
         FaultKind::RouteLeak => "route_leak",
         FaultKind::FlashCrowd { .. } => "flash_crowd",
+        FaultKind::MaintenanceDrain { .. } => "maintenance_drain",
+        FaultKind::ProbeDark { .. } => "probe_dark",
+        FaultKind::OscillatingRepair { .. } => "oscillating_repair",
     }
 }
 

@@ -18,6 +18,7 @@ pub mod incidents;
 pub mod lp_gap;
 pub mod report;
 pub mod scenario;
+pub mod soak;
 
 pub use helpers::{realized_benefit, RealizedBenefit};
 pub use report::{figure_section, figures_report};

@@ -23,13 +23,17 @@
 //! harness compares how a greedy plan fares when traffic follows
 //! latency blindly (overload, MLU > 1) versus capacity-aware spill
 //! placement and the restricted LP (both hold MLU <= 1) — the
-//! `chaos.flash-crowd.flashcrowd` section. Everything downstream of the
-//! seed is deterministic; the `lp-gap-smoke` CI job byte-compares two
-//! same-seed runs.
+//! `chaos.flash-crowd.flashcrowd` section. The LP's placement is then
+//! *delivered*: its per-prefix splits become WCMP weights on per-UG
+//! tunnel sets and a deterministic packet train runs through
+//! [`MultipathScheduler`] against a latency-only scheduler, closing the
+//! promise-vs-delivery loop in the `lp.delivered` section. Everything
+//! downstream of the seed is deterministic; the `lp-gap-smoke` CI job
+//! byte-compares two same-seed runs.
 
 use crate::helpers::world_direct;
 use crate::scenario::{Scale, Scenario};
-use painter_bgp::AdvertConfig;
+use painter_bgp::{AdvertConfig, PrefixId};
 use painter_chaos::{
     surge_cohort, FaultEvent, FaultKind, FaultSpec, ScenarioSpec, Schedule, Target, WorldView,
 };
@@ -39,7 +43,15 @@ use painter_core::{
 };
 use painter_obs::Section;
 use painter_solve::{FlowInstance, PlacementSolution};
+use painter_tm::{wcmp_weights, EdgeConfig, MultipathScheduler, TmEdge, TunnelId};
 use painter_topology::{CapacityConfig, CapacityPlan};
+
+/// Deterministic packets per UG in the delivered-load replay.
+const DELIVERED_PACKETS: usize = 200;
+/// Sentinel prefix for the anycast fallback tunnel (never appears in
+/// `prefix_splits`, so `wcmp_weights` gives it 0 and the explicit
+/// leftover weight is installed on top).
+const ANYCAST_SENTINEL: PrefixId = PrefixId(u16::MAX);
 
 /// Knobs for one [`run_lp_gap`]: instance bounds, capacity headroom, and
 /// the flash-crowd shape.
@@ -74,7 +86,7 @@ impl LpGapConfig {
     /// sized, Paper widens them (run in release).
     pub fn for_scale(scale: Scale, seed: u64) -> LpGapConfig {
         let (max_ugs, max_options) = match scale {
-            Scale::Test => (120, 5),
+            Scale::Test | Scale::Soak => (120, 5),
             Scale::Paper => (360, 8),
         };
         LpGapConfig {
@@ -191,6 +203,62 @@ impl FlashCrowdOutcome {
     }
 }
 
+/// The delivered-load replay of the flash-crowd segment: the restricted
+/// LP's per-prefix splits are installed as WCMP weights on a per-UG
+/// tunnel set ([`wcmp_weights`]) and a fixed deterministic packet train
+/// is scheduled through [`MultipathScheduler`], against a latency-only
+/// comparator that sends every packet down the lowest-RTT tunnel.
+///
+/// This is what the LP *promises* versus what a packet scheduler
+/// *delivers*: WCMP steers at prefix granularity (each prefix lands on
+/// the UG's single BGP-best peering for it), so intra-prefix splits the
+/// LP made across peerings collapse onto one ingress and the delivered
+/// MLU can sit slightly above `lp_mlu`. LP slack — demand the LP left
+/// unplaced — stays on anycast, loading no capacitated peering, exactly
+/// as the LP accounts it.
+#[derive(Debug, Clone)]
+pub struct DeliveredOutcome {
+    /// UGs with at least one advertised option (the replayed set).
+    pub ugs: usize,
+    pub packets_per_ug: usize,
+    /// Share of total demand WCMP leaves on anycast (LP slack + zero
+    /// -option UGs), in percent.
+    pub anycast_share_pct: f64,
+    /// Delivered MLU / loss when packets follow the LP's WCMP weights.
+    pub wcmp_mlu: f64,
+    pub wcmp_loss_pct: f64,
+    /// Delivered MLU / loss when every packet chases the lowest RTT.
+    pub latency_mlu: f64,
+    pub latency_loss_pct: f64,
+    /// The MLU the LP promised on the same surged instance.
+    pub lp_mlu: f64,
+}
+
+impl DeliveredOutcome {
+    /// Whether the WCMP schedule delivered the surge the latency-only
+    /// scheduler dropped: blind packets overload, WCMP packets track the
+    /// LP's feasible placement.
+    pub fn delivers(&self) -> bool {
+        self.latency_mlu > 1.0
+            && self.wcmp_mlu < self.latency_mlu
+            && self.wcmp_loss_pct <= self.latency_loss_pct + 1e-9
+    }
+
+    /// The `lp.delivered` report section.
+    pub fn section(&self) -> Section {
+        Section::new("lp.delivered")
+            .field("ugs", self.ugs)
+            .field("packets_per_ug", self.packets_per_ug)
+            .field("anycast_share_pct", self.anycast_share_pct)
+            .field("wcmp_mlu", self.wcmp_mlu)
+            .field("wcmp_loss_pct", self.wcmp_loss_pct)
+            .field("latency_mlu", self.latency_mlu)
+            .field("latency_loss_pct", self.latency_loss_pct)
+            .field("lp_mlu", self.lp_mlu)
+            .field("delivers", self.delivers())
+    }
+}
+
 /// One finished lp-gap run.
 #[derive(Debug, Clone)]
 pub struct LpGapRun {
@@ -198,6 +266,7 @@ pub struct LpGapRun {
     pub config: LpGapConfig,
     pub gaps: Vec<GapOutcome>,
     pub flash: FlashCrowdOutcome,
+    pub delivered: DeliveredOutcome,
 }
 
 impl LpGapRun {
@@ -214,6 +283,7 @@ impl LpGapRun {
             .field("max_options", self.config.max_options)
             .field("budget_pct", self.config.budget_pct)];
         out.extend(self.gaps.iter().map(GapOutcome::section));
+        out.push(self.delivered.section());
         out.push(self.flash.section());
         out
     }
@@ -226,8 +296,8 @@ pub fn run_lp_gap(scale: Scale, config: LpGapConfig) -> Result<LpGapRun, String>
     let peering = Scenario::peering_like(scale, config.seed);
     let gaps =
         vec![scenario_gap("azure", &azure, &config)?, scenario_gap("peering", &peering, &config)?];
-    let flash = flash_crowd(&peering, &config)?;
-    Ok(LpGapRun { scale, config, gaps, flash })
+    let (flash, delivered) = flash_crowd(&peering, &config)?;
+    Ok(LpGapRun { scale, config, gaps, flash, delivered })
 }
 
 /// [`run_lp_gap`] rendered straight to sections for the figures binary.
@@ -302,7 +372,10 @@ fn scenario_gap(
 
 /// Compiles the flash-crowd campaign against the greedy plan's world and
 /// compares blind, water-filling, and LP placement under the surge.
-fn flash_crowd(s: &Scenario, config: &LpGapConfig) -> Result<FlashCrowdOutcome, String> {
+fn flash_crowd(
+    s: &Scenario,
+    config: &LpGapConfig,
+) -> Result<(FlashCrowdOutcome, DeliveredOutcome), String> {
     let (inputs, advert, _, _) = capacitated_world(s, config, config.surge_headroom)?;
 
     // The surge cohort comes from the compiled chaos schedule, exactly as
@@ -342,27 +415,147 @@ fn flash_crowd(s: &Scenario, config: &LpGapConfig) -> Result<FlashCrowdOutcome, 
     let evaluator = ConfigEvaluator::new(&surged, &model);
     let latency = evaluator.place(&advert, PlacementMode::LatencyOnly);
     let aware = evaluator.place(&advert, PlacementMode::CapacityAware);
-    let lp = FlowInstance::restricted(&surged, &advert)
-        .solve_placement()
-        .map_err(|e| format!("flash-crowd LP failed: {e}"))?;
+    let inst = FlowInstance::restricted(&surged, &advert);
+    let lp = inst.solve_placement().map_err(|e| format!("flash-crowd LP failed: {e}"))?;
+    let delivered = delivered_replay(&surged, &inst, &lp);
 
-    Ok(FlashCrowdOutcome {
-        factor,
-        fraction,
-        cohort_ugs: cohort.len(),
-        cohort_weight_pct: if total_weight > 0.0 {
-            cohort_weight / total_weight * 100.0
+    Ok((
+        FlashCrowdOutcome {
+            factor,
+            fraction,
+            cohort_ugs: cohort.len(),
+            cohort_weight_pct: if total_weight > 0.0 {
+                cohort_weight / total_weight * 100.0
+            } else {
+                0.0
+            },
+            latency_benefit: latency.benefit,
+            latency_mlu: latency.mlu,
+            latency_overload: latency.overload,
+            aware_benefit: aware.benefit,
+            aware_mlu: aware.mlu,
+            lp_benefit: lp.benefit,
+            lp_mlu: lp.mlu,
+        },
+        delivered,
+    ))
+}
+
+/// Replays the surged demand as packets: per UG, one tunnel per
+/// advertised prefix landing on the UG's BGP-best peering for that
+/// prefix plus an anycast fallback tunnel, WCMP weights from the LP's
+/// [`PlacementSolution::prefix_splits`] (anycast takes the LP's slack),
+/// and [`DELIVERED_PACKETS`] equal-demand packets scheduled through the
+/// smooth-WRR [`MultipathScheduler`]. The latency-only comparator sends
+/// each UG's whole demand to its lowest-RTT tunnel. Offered load
+/// accumulates per capacitated peering; anycast load is untracked, the
+/// same accounting the LP uses.
+fn delivered_replay(
+    surged: &OrchestratorInputs,
+    inst: &FlowInstance,
+    lp: &PlacementSolution,
+) -> DeliveredOutcome {
+    let mut wcmp_offered = vec![0.0; inst.peering_count];
+    let mut blind_offered = vec![0.0; inst.peering_count];
+    let mut anycast_demand = 0.0;
+    let mut total_demand = 0.0;
+    let mut replayed = 0usize;
+
+    for (i, u) in inst.ugs.iter().enumerate() {
+        total_demand += u.demand;
+        if u.demand <= 0.0 || u.options.is_empty() {
+            anycast_demand += u.demand;
+            continue;
+        }
+        replayed += 1;
+        let anycast_ms = surged.ugs[u.ug].anycast_ms;
+
+        // Per-prefix landing: WCMP steers prefixes, BGP picks the single
+        // best peering each prefix reaches the UG through.
+        let mut landing: Vec<(PrefixId, usize, f64)> = Vec::new();
+        for o in &u.options {
+            let Some(p) = o.prefix else { continue };
+            match landing.iter_mut().find(|(q, _, _)| *q == p) {
+                Some(l) => {
+                    if o.improvement_ms > l.2 {
+                        l.1 = o.peering;
+                        l.2 = o.improvement_ms;
+                    }
+                }
+                None => landing.push((p, o.peering, o.improvement_ms)),
+            }
+        }
+
+        let mut edge = TmEdge::new(1, EdgeConfig::default());
+        for (k, &(p, _, imp)) in landing.iter().enumerate() {
+            edge.add_tunnel(p, 100 + k as u32, (anycast_ms - imp).max(0.1));
+        }
+        edge.add_tunnel(ANYCAST_SENTINEL, 99, anycast_ms.max(0.1));
+
+        let splits = lp.prefix_splits(inst, i);
+        let mut weights = wcmp_weights(&edge, &splits);
+        let slack = (1.0 - splits.iter().map(|&(_, f)| f).sum::<f64>()).max(0.0);
+        let anycast_slot = weights.len() - 1;
+        weights[anycast_slot] = slack;
+        anycast_demand += u.demand * slack;
+
+        let per_packet = u.demand / DELIVERED_PACKETS as f64;
+        let mut sched = MultipathScheduler::with_weights(weights);
+        for _ in 0..DELIVERED_PACKETS {
+            let Some(TunnelId(t)) = sched.next(&edge) else { break };
+            if t < landing.len() {
+                wcmp_offered[landing[t].1] += per_packet;
+            }
+        }
+
+        // Latency-only: the whole UG chases its largest improvement.
+        let best = landing
+            .iter()
+            .fold(None::<(usize, f64)>, |acc, &(_, peer, imp)| match acc {
+                Some((_, best_imp)) if best_imp >= imp => acc,
+                _ => Some((peer, imp)),
+            })
+            .expect("non-empty landing")
+            .0;
+        blind_offered[best] += u.demand;
+    }
+
+    let mlu_of = |offered: &[f64]| {
+        offered
+            .iter()
+            .zip(&inst.capacities)
+            .filter(|(_, c)| c.is_finite())
+            .map(|(o, c)| o / c.max(f64::MIN_POSITIVE))
+            .fold(0.0, f64::max)
+    };
+    let loss_of = |offered: &[f64]| {
+        let spilled: f64 = offered
+            .iter()
+            .zip(&inst.capacities)
+            .filter(|(_, c)| c.is_finite())
+            .map(|(o, c)| (o - c).max(0.0))
+            .sum();
+        if total_demand > 0.0 {
+            spilled / total_demand * 100.0
+        } else {
+            0.0
+        }
+    };
+
+    DeliveredOutcome {
+        ugs: replayed,
+        packets_per_ug: DELIVERED_PACKETS,
+        anycast_share_pct: if total_demand > 0.0 {
+            anycast_demand / total_demand * 100.0
         } else {
             0.0
         },
-        latency_benefit: latency.benefit,
-        latency_mlu: latency.mlu,
-        latency_overload: latency.overload,
-        aware_benefit: aware.benefit,
-        aware_mlu: aware.mlu,
-        lp_benefit: lp.benefit,
+        wcmp_mlu: mlu_of(&wcmp_offered),
+        wcmp_loss_pct: loss_of(&wcmp_offered),
+        latency_mlu: mlu_of(&blind_offered),
+        latency_loss_pct: loss_of(&blind_offered),
         lp_mlu: lp.mlu,
-    })
+    }
 }
 
 /// Keeps the `max_ugs` heaviest UGs (ties by index) and each kept UG's
@@ -450,6 +643,42 @@ mod tests {
             // the same option set.
             assert!(f.lp_benefit >= f.aware_benefit - 1e-6, "seed {seed}");
             assert!(f.absorbed(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wcmp_delivery_tracks_the_lp_where_latency_only_overloads() {
+        for seed in [1, 2] {
+            let run = run_lp_gap(Scale::Test, tiny_config(seed)).expect("lp gap run");
+            let d = &run.delivered;
+            assert!(d.ugs > 0, "seed {seed}: nothing replayed");
+            assert!(
+                d.latency_mlu > 1.0,
+                "seed {seed}: latency-only packets did not overload: {}",
+                d.latency_mlu
+            );
+            assert!(
+                d.wcmp_mlu < d.latency_mlu,
+                "seed {seed}: wcmp {} vs latency {}",
+                d.wcmp_mlu,
+                d.latency_mlu
+            );
+            assert!(
+                d.wcmp_loss_pct <= d.latency_loss_pct + 1e-9,
+                "seed {seed}: wcmp loss {} vs latency loss {}",
+                d.wcmp_loss_pct,
+                d.latency_loss_pct
+            );
+            // Prefix-granular WCMP can't realize intra-prefix splits, so
+            // delivered MLU may exceed the promise — but only by the
+            // packet-quantization margin, not by an overload.
+            assert!(
+                d.wcmp_mlu <= d.lp_mlu + 0.25,
+                "seed {seed}: delivered {} strays from promised {}",
+                d.wcmp_mlu,
+                d.lp_mlu
+            );
+            assert!(d.delivers(), "seed {seed}");
         }
     }
 

@@ -20,6 +20,10 @@ pub enum Scale {
     Test,
     /// Evaluation-size inputs (run in release).
     Paper,
+    /// Long-horizon soak campaigns (`figures soak`): test-sized worlds
+    /// under days-of-virtual-time clocks, so endurance — not input size —
+    /// is what grows.
+    Soak,
 }
 
 /// A fully built world: Internet, cloud deployment, user groups, cones.
@@ -47,7 +51,9 @@ impl Scenario {
     /// The Azure-like global deployment.
     pub fn azure_like(scale: Scale, seed: u64) -> Scenario {
         let (topology, deployment) = match scale {
-            Scale::Test => (
+            // Soak shares the test-sized world: long campaigns grow the
+            // clock, not the input.
+            Scale::Test | Scale::Soak => (
                 TopologyConfig {
                     seed,
                     num_tier1: 6,
@@ -76,7 +82,7 @@ impl Scenario {
     /// The PEERING/Vultr-like prototype deployment (25 PoPs).
     pub fn peering_like(scale: Scale, seed: u64) -> Scenario {
         let (topology, deployment) = match scale {
-            Scale::Test => (
+            Scale::Test | Scale::Soak => (
                 TopologyConfig {
                     seed,
                     num_tier1: 5,

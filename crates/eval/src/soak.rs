@@ -1,0 +1,849 @@
+//! Long-horizon soak campaigns: days of virtual time under a closed loop.
+//!
+//! Where [`crate::chaos`] asks "how fast does each strategy recover from
+//! one campaign of faults?", the soak harness asks the endurance
+//! question: does the guarded learning loop stay healthy over *days* of
+//! virtual time, under demand that rotates with the sun, scheduled
+//! rolling maintenance, probe-dark bursts, oscillating partial repairs,
+//! and — the part a single-loop campaign cannot show — several repair
+//! engines proposing *conflicting* candidates over one shared plan.
+//!
+//! One soak run strings together, per virtual day:
+//!
+//! * a diurnal demand rotation ([`painter_tm::DiurnalRotator`]) over the
+//!   UG population, mass-conserving, plus a flash-crowd-style surge
+//!   cohort (one seeded UG per day multiplies its weight);
+//! * a rolling maintenance drain ([`painter_chaos::FaultKind::MaintenanceDrain`]
+//!   over [`painter_chaos::Target::All`]): each PoP is drained in
+//!   sequence with advertised grace;
+//! * an anycast blackhole overlapping the drain, so the fallback path is
+//!   gone exactly when the per-UG primaries are — the window where only
+//!   a committed repair keeps a UG served;
+//! * probe-dark bursts ([`painter_chaos::FaultKind::ProbeDark`]) that
+//!   blind the monitors in pulses, and an oscillating partial repair
+//!   ([`painter_chaos::FaultKind::OscillatingRepair`]) that punishes
+//!   commit-on-first-good-sample loops;
+//! * background BGP churn (recurring session flaps) and a latency spike.
+//!
+//! Each user group runs its *own* repair monitor; when several primaries
+//! go dark in the same drain window the monitors' candidates conflict,
+//! and [`painter_core::RepairArbiter`] decides the round: one winner
+//! commits (benefit-at-risk ranking), competitors are deferred inside
+//! the winner's mutual-exclusion window, and repeat losers serve a
+//! bounded backoff during which their bids are rejected unscored. Every
+//! verdict is traced through the flight recorder (`guard.arbiter_*`).
+//!
+//! Determinism: the world, the compiled schedule, the rotator phases,
+//! the surge cohorts, and every arbitration round are pure functions of
+//! `(scale, seed)`; [`SoakOutcome::sections`] — including the FNV-1a
+//! digest of the per-tick served/weight stream — is byte-identical
+//! across same-seed reruns. `tests` below and the CI soak-smoke job
+//! both pin that contract.
+
+use crate::chaos::{build_world, prefix_plan};
+use crate::scenario::{Scale, SALT};
+use painter_bgp::dynamics::{BgpEngine, DynamicsConfig};
+use painter_bgp::AdvertConfig;
+use painter_chaos::{
+    program_bgp_traced, trace_fault_spans, DataPlaneState, FaultEvent, FaultKind, FaultSpec,
+    ScenarioSpec, Schedule, Target, WorldView,
+};
+use painter_core::{
+    apply_to_engine, diff, revert_plan, ArbiterConfig, ArbiterVerdict, GuardConfig, HealthSample,
+    RepairArbiter, RepairBid, RollbackGuard,
+};
+use painter_eventsim::{derive_seed, SimRng, SimTime};
+use painter_obs::{Section, TraceKind, TraceSink};
+use painter_topology::PeeringId;
+
+/// Sampling tick of the soak model loop (seconds). Coarser than the
+/// chaos harness's 25 ms grid: a soak trades per-request fidelity for
+/// days of horizon.
+const TICK_S: f64 = 1.0;
+/// Repair-monitor cadence (seconds): one observe→propose→arbitrate
+/// round per this much virtual time.
+const ITER_S: f64 = 6.0;
+/// Consecutive dark monitor rounds before a UG's engine bids a repair.
+const DARK_ITERS: u32 = 2;
+/// BGP warm-up before ticks start counting toward availability.
+const WARMUP_S: f64 = 30.0;
+/// Probe-dark fraction at or above which the monitors are blind (no
+/// dark-count advance, no bids, no probation verdicts).
+const BLIND_FRACTION: f64 = 0.5;
+/// Per-round decay of the per-prefix flap memory feeding bid risk.
+const FLAP_DECAY: f64 = 0.8;
+/// Benefit scale: a bid's benefit is the UG's current share of total
+/// demand times this (so surge/diurnal weighting decides contested
+/// rounds).
+const BENEFIT_SCALE: f64 = 100.0;
+
+/// Seed stream markers (soak-local; disjoint from the harness's).
+const SURGE_STREAM: u64 = 0xF1A5;
+
+/// Shape of one soak campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Virtual days in the campaign.
+    pub days: u32,
+    /// Seconds per virtual day.
+    pub day_s: f64,
+    /// Diurnal modulation depth.
+    pub amplitude: f64,
+    /// Weight multiplier for the daily surge cohort.
+    pub surge_factor: f64,
+    /// Closed-loop guard preset.
+    pub guard: GuardConfig,
+    /// Arbitration tuning.
+    pub arbiter: ArbiterConfig,
+    /// Bounded obs event-ring capacity for the run.
+    pub event_capacity: usize,
+}
+
+impl SoakConfig {
+    /// The campaign shape for a [`Scale`]. `Test` compresses a day to
+    /// three hours so the 2-day campaign still covers six hours of
+    /// virtual time in seconds of wall clock; `Soak`/`Paper` run two
+    /// full 24 h days.
+    pub fn for_scale(scale: Scale) -> SoakConfig {
+        let (days, day_s) = match scale {
+            Scale::Test => (2, 10_800.0),
+            Scale::Paper | Scale::Soak => (2, 86_400.0),
+        };
+        SoakConfig {
+            days,
+            day_s,
+            amplitude: 0.6,
+            surge_factor: 3.0,
+            guard: GuardConfig::default(),
+            arbiter: ArbiterConfig::default(),
+            event_capacity: 4 * painter_obs::Registry::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Campaign horizon (seconds).
+    pub fn horizon_s(&self) -> f64 {
+        self.days as f64 * self.day_s
+    }
+}
+
+/// Per-day scorecard of one soak campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakDayStats {
+    pub day: u32,
+    /// Demand-weighted availability of the fixed plan (primary prefix
+    /// with anycast fallback; no repairs).
+    pub availability_fixed: f64,
+    /// Demand-weighted availability with the arbitrated repair overlay.
+    pub availability_loop: f64,
+    /// Longest single-UG outage ending this day under the fixed plan
+    /// (seconds).
+    pub worst_ttr_fixed_s: f64,
+    /// Longest single-UG outage ending this day with repairs (seconds).
+    pub worst_ttr_loop_s: f64,
+    pub arbiter_wins: u64,
+    pub arbiter_deferrals: u64,
+    pub arbiter_rejections: u64,
+    pub commits: u64,
+    pub rollbacks: u64,
+    /// The UG whose weight surged this day.
+    pub surge_ug: u32,
+}
+
+impl SoakDayStats {
+    fn section(&self) -> Section {
+        Section::new(format!("soak.day{}", self.day))
+            .field("availability_fixed", self.availability_fixed)
+            .field("availability_loop", self.availability_loop)
+            .field("worst_ttr_fixed_s", self.worst_ttr_fixed_s)
+            .field("worst_ttr_loop_s", self.worst_ttr_loop_s)
+            .field("arbiter_wins", self.arbiter_wins)
+            .field("arbiter_deferrals", self.arbiter_deferrals)
+            .field("arbiter_rejections", self.arbiter_rejections)
+            .field("commits", self.commits)
+            .field("rollbacks", self.rollbacks)
+            .field("surge_ug", self.surge_ug as u64)
+    }
+}
+
+/// One soak campaign's full result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakOutcome {
+    pub seed: u64,
+    pub days: u32,
+    pub day_s: f64,
+    pub horizon_s: f64,
+    pub ugs: u32,
+    /// Canonical JSON of the generated scenario spec (provenance).
+    pub spec_json: String,
+    /// Injection-trace digest of the compiled schedule (replay receipt).
+    pub trace_fnv1a: u64,
+    /// FNV-1a over the per-tick served/weight stream — the byte-replay
+    /// receipt for the *model* loop (schedule digest covers only the
+    /// injections).
+    pub rows_fnv1a: u64,
+    pub day_stats: Vec<SoakDayStats>,
+    pub wins_total: u64,
+    pub deferrals_total: u64,
+    pub rejections_total: u64,
+    /// Arbitration rounds with two or more competing bids.
+    pub conflict_rounds: u64,
+    pub commits_total: u64,
+    pub rollbacks_total: u64,
+    /// `(prefix, peering)` pairs installed at the horizon.
+    pub final_pairs: u64,
+    /// Flight-recorder events captured.
+    pub events_recorded: u64,
+    /// Events the bounded obs ring overwrote.
+    pub events_dropped: u64,
+}
+
+impl SoakOutcome {
+    /// Report sections: `soak.config`, one `soak.day<k>` per day,
+    /// `soak.arbitration`, `soak.events`.
+    pub fn sections(&self) -> Vec<Section> {
+        let mut out = Vec::with_capacity(self.day_stats.len() + 3);
+        out.push(
+            Section::new("soak.config")
+                .field("seed", self.seed)
+                .field("days", self.days as u64)
+                .field("day_s", self.day_s)
+                .field("horizon_s", self.horizon_s)
+                .field("tick_s", TICK_S)
+                .field("iter_s", ITER_S)
+                .field("ugs", self.ugs as u64)
+                .field("trace_fnv1a", format!("{:016x}", self.trace_fnv1a))
+                .field("spec", self.spec_json.as_str()),
+        );
+        for day in &self.day_stats {
+            out.push(day.section());
+        }
+        out.push(
+            Section::new("soak.arbitration")
+                .field("engines", self.ugs as u64)
+                .field("wins", self.wins_total)
+                .field("deferrals", self.deferrals_total)
+                .field("rejections", self.rejections_total)
+                .field("conflict_rounds", self.conflict_rounds)
+                .field(
+                    "contention_demonstrated",
+                    self.deferrals_total + self.rejections_total > 0,
+                ),
+        );
+        out.push(
+            Section::new("soak.events")
+                .field("rows_fnv1a", format!("{:016x}", self.rows_fnv1a))
+                .field("events_recorded", self.events_recorded)
+                .field("events_dropped", self.events_dropped)
+                .field("commits", self.commits_total)
+                .field("rollbacks", self.rollbacks_total)
+                .field("final_pairs", self.final_pairs),
+        );
+        out
+    }
+}
+
+/// Builds the generated soak scenario: the same fault choreography
+/// every day, staggered by day start, with the oscillating-repair and
+/// latency-spike tunnels rotating daily.
+fn soak_spec(config: &SoakConfig) -> ScenarioSpec {
+    let d = config.day_s;
+    let mut spec = ScenarioSpec::new("soak", config.horizon_s());
+    for day in 0..config.days {
+        let at = day as f64 * d;
+        let day_tunnel = 1 + (day % 4);
+        spec = spec
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-churn"),
+                    FaultKind::SessionReset,
+                    Target::Peering(day % 4),
+                )
+                .at(at + 0.06 * d)
+                .lasting(20.0)
+                .recurring(0.03 * d, 2, 5.0),
+            )
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-maintenance"),
+                    FaultKind::MaintenanceDrain { grace_s: 15.0 },
+                    Target::All,
+                )
+                .at(at + 0.25 * d)
+                .lasting(0.2 * d),
+            )
+            // The anycast tunnel blackholes across the first drain slot:
+            // with both the primary and the fallback dark, only an
+            // arbitrated repair keeps those UGs served.
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-anycast-blackhole"),
+                    FaultKind::LinkBlackhole,
+                    Target::Tunnel(0),
+                )
+                .at(at + 0.26 * d)
+                .lasting(0.10 * d),
+            )
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-probe-dark"),
+                    FaultKind::ProbeDark { fraction: 0.9, period_s: 40.0, duty: 0.5 },
+                    Target::Fleet,
+                )
+                .at(at + 0.55 * d)
+                .lasting(0.08 * d),
+            )
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-oscillating"),
+                    FaultKind::OscillatingRepair { period_s: 40.0, add_ms: 25.0 },
+                    Target::Tunnel(day_tunnel),
+                )
+                .at(at + 0.70 * d)
+                .lasting(0.06 * d),
+            )
+            .fault(
+                FaultSpec::new(
+                    format!("d{day}-latency"),
+                    FaultKind::LatencySpike { add_ms: 30.0 },
+                    Target::Tunnel(1 + ((day + 1) % 4)),
+                )
+                .at(at + 0.85 * d)
+                .lasting(120.0),
+            );
+    }
+    spec
+}
+
+/// Piecewise-constant probe-dark fraction over the campaign, compiled
+/// from the schedule's `ProbeLoss`/`ProbeRestore` injections.
+struct ProbeCursor {
+    /// `(at, fraction)` transitions, in schedule order.
+    transitions: Vec<(SimTime, f64)>,
+    next: usize,
+    fraction: f64,
+}
+
+impl ProbeCursor {
+    fn new(schedule: &Schedule) -> ProbeCursor {
+        let transitions = schedule
+            .injections()
+            .iter()
+            .filter_map(|inj| match inj.event {
+                FaultEvent::ProbeLoss { fraction } => Some((inj.at, fraction)),
+                FaultEvent::ProbeRestore => Some((inj.at, 0.0)),
+                _ => None,
+            })
+            .collect();
+        ProbeCursor { transitions, next: 0, fraction: 0.0 }
+    }
+
+    fn advance(&mut self, now: SimTime) -> f64 {
+        while let Some(&(at, f)) = self.transitions.get(self.next) {
+            if at > now {
+                break;
+            }
+            self.fraction = f;
+            self.next += 1;
+        }
+        self.fraction
+    }
+}
+
+/// FNV-1a 64 over a byte stream (same parameters as the schedule's
+/// trace digest).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Runs one soak campaign. Everything downstream is a pure function of
+/// `(scale, seed)`.
+pub fn run_soak(scale: Scale, seed: u64) -> Result<SoakOutcome, String> {
+    run_soak_with_config(&SoakConfig::for_scale(scale), seed)
+}
+
+/// [`run_soak`] with an explicit campaign shape.
+pub fn run_soak_with_config(config: &SoakConfig, seed: u64) -> Result<SoakOutcome, String> {
+    let world = build_world();
+    let plan = prefix_plan();
+    let view = WorldView::from_deployment(&world.deployment, plan.clone());
+    let spec = soak_spec(config);
+    let schedule = Schedule::compile(&spec, &view, seed)?;
+    let horizon_s = config.horizon_s();
+
+    // One UG per New York unicast prefix plus one on London: primaries
+    // 1, 2, 3 (prefix 4 stays a repair-only target). The NY pair is what
+    // makes drain windows *contested*: both monitors go dark together
+    // and bid conflicting candidates in the same round.
+    let primaries: [usize; 3] = [1, 2, 3];
+    let n_ugs = primaries.len();
+    let base_weights = [3.0, 2.0, 1.0];
+    let rotator = painter_tm::DiurnalRotator::new(
+        n_ugs,
+        painter_tm::DiurnalConfig { day_s: config.day_s, amplitude: config.amplitude },
+        derive_seed(seed, 6),
+    );
+    let mut surge_rng = SimRng::stream(derive_seed(seed, 7), SURGE_STREAM);
+    let surge_ugs: Vec<u32> =
+        (0..config.days).map(|_| (surge_rng.unit() * n_ugs as f64) as u32 % n_ugs as u32).collect();
+
+    // --- Flight recorder + control plane, exactly the chaos harness's
+    // shape: one fixed engine carrying the schedule, one repair engine
+    // carrying only installer-announced state plus session/leak faults.
+    let sink = TraceSink::recording();
+    let spans = trace_fault_spans(&schedule, &sink);
+    let dynamics = DynamicsConfig { proc_delay_ms: (30.0, 400.0), mrai_secs: (2.0, 8.0), seed };
+    let mut engine = BgpEngine::new(&world.graph, &world.deployment, dynamics, SALT);
+    engine.set_trace(sink.clone());
+    let mut fixed = AdvertConfig::new();
+    for (prefix, peerings) in &plan {
+        for &pe in peerings {
+            fixed.add(*prefix, pe);
+            engine.announce(SimTime::ZERO, *prefix, pe);
+        }
+    }
+    program_bgp_traced(&schedule, &mut engine, &spans);
+    engine.run_until(SimTime::from_secs(WARMUP_S));
+    let base: Vec<f64> = plan
+        .iter()
+        .map(|(prefix, _)| {
+            engine.current_rtt_ms(world.stub, world.stub_metro, *prefix).unwrap_or(100.0)
+        })
+        .collect();
+
+    let repair_dynamics = DynamicsConfig {
+        proc_delay_ms: (30.0, 400.0),
+        mrai_secs: (2.0, 8.0),
+        seed: derive_seed(seed, 4),
+    };
+    let mut repair_engine = BgpEngine::new(&world.graph, &world.deployment, repair_dynamics, SALT);
+    for inj in schedule.injections() {
+        match inj.event {
+            FaultEvent::SessionDown { peering } => repair_engine.session_down(inj.at, peering),
+            FaultEvent::SessionUp { peering } => repair_engine.session_up(inj.at, peering),
+            FaultEvent::LeakStart { peering } => repair_engine.leak_start(inj.at, peering),
+            FaultEvent::LeakEnd { peering } => repair_engine.leak_end(inj.at, peering),
+            _ => {}
+        }
+    }
+
+    // --- Guard layer: one shared rollback guard over the shared plan,
+    // one arbiter over the per-UG monitors, all reporting into one
+    // bounded obs ring and the flight recorder.
+    let obs = painter_obs::Registry::with_event_capacity(config.event_capacity);
+    let mut rollback = RollbackGuard::with_obs(config.guard.rollback, obs.clone());
+    rollback.set_trace(sink.clone());
+    let mut arbiter = RepairArbiter::with_obs(config.arbiter, obs.clone());
+    arbiter.set_trace(sink.clone());
+    let plan_trace = sink.scoped("plan");
+
+    let hold_down = SimTime::from_secs(2.0);
+    let mut installed = fixed.clone();
+    let mut probation = false;
+    let mut baseline_health: Option<HealthSample> = None;
+    let mut probe = ProbeCursor::new(&schedule);
+    let mut dps = DataPlaneState::new(world.deployment.pops().len(), plan.len());
+
+    let steps = (horizon_s / TICK_S) as usize;
+    let iter_ticks = (ITER_S / TICK_S).max(1.0) as usize;
+    let warmup_ticks = (WARMUP_S / TICK_S) as usize;
+    let ticks_per_day = (config.day_s / TICK_S).max(1.0) as usize;
+
+    let mut dark_iters = vec![0u32; n_ugs];
+    let mut flap_memory = vec![0.0f64; plan.len()];
+    let mut last_lit = vec![true; plan.len()];
+    let mut dark_run_fixed = vec![0usize; n_ugs];
+    let mut dark_run_loop = vec![0usize; n_ugs];
+    let mut window_rtts: Vec<f64> = Vec::new();
+    let mut window_served = 0.0f64;
+    let mut window_total = 0.0f64;
+    let mut digest = Fnv1a::new();
+
+    let mut day_stats: Vec<SoakDayStats> = (0..config.days)
+        .map(|day| SoakDayStats {
+            day,
+            availability_fixed: 0.0,
+            availability_loop: 0.0,
+            worst_ttr_fixed_s: 0.0,
+            worst_ttr_loop_s: 0.0,
+            arbiter_wins: 0,
+            arbiter_deferrals: 0,
+            arbiter_rejections: 0,
+            commits: 0,
+            rollbacks: 0,
+            surge_ug: surge_ugs[day as usize],
+        })
+        .collect();
+    let mut day_ticks = vec![0u64; config.days as usize];
+    let mut conflict_rounds = 0u64;
+    let mut commits_total = 0u64;
+
+    for step in 0..steps {
+        let t = SimTime::from_secs(step as f64 * TICK_S);
+        let day = (step / ticks_per_day).min(config.days as usize - 1);
+        engine.run_until(t);
+        repair_engine.run_until(t);
+        dps.advance(&schedule, t);
+        let probe_fraction = probe.advance(t);
+        let blind = probe_fraction >= BLIND_FRACTION;
+
+        // Fixed-plan reachability per in-plan prefix, gated by
+        // administrative data-plane liveness (same law as the chaos
+        // harness).
+        let row: Vec<Option<(PeeringId, f64)>> = plan
+            .iter()
+            .enumerate()
+            .map(|(idx, (prefix, _))| {
+                if dps.tunnel_down(idx) {
+                    return None;
+                }
+                engine
+                    .current_path(world.stub, *prefix)
+                    .filter(|(_, ingress)| !dps.pop_down(world.deployment.peering(*ingress).pop))
+                    .and_then(|(_, ingress)| {
+                        engine
+                            .current_rtt_ms(world.stub, world.stub_metro, *prefix)
+                            .map(|r| (ingress, r))
+                    })
+            })
+            .collect();
+        // Repair overlay onto dark cells only, through the repair
+        // engine's installer-announced state.
+        let overlay: Vec<Option<(PeeringId, f64)>> = plan
+            .iter()
+            .enumerate()
+            .map(|(idx, (prefix, _))| {
+                if row[idx].is_some() || dps.tunnel_down(idx) {
+                    return None;
+                }
+                repair_engine
+                    .current_path(world.stub, *prefix)
+                    .filter(|(_, ingress)| !dps.pop_down(world.deployment.peering(*ingress).pop))
+                    .and_then(|(_, ingress)| {
+                        repair_engine
+                            .current_rtt_ms(world.stub, world.stub_metro, *prefix)
+                            .map(|r| (ingress, r))
+                    })
+            })
+            .collect();
+
+        // Demand weights this tick: diurnal rotation plus the day's
+        // surge cohort (a flash crowd adds mass; it is not renormalized
+        // away).
+        let mut weights = rotator.weights(step as f64 * TICK_S, &base_weights);
+        let surge_active = {
+            let phase = (step % ticks_per_day) as f64 / ticks_per_day as f64;
+            (0.40..0.50).contains(&phase)
+        };
+        if surge_active {
+            weights[surge_ugs[day] as usize] *= config.surge_factor;
+        }
+        let total: f64 = weights.iter().sum();
+
+        let scoring = step >= warmup_ticks;
+        let mut served_fixed = 0.0f64;
+        let mut served_loop = 0.0f64;
+        for (u, &pidx) in primaries.iter().enumerate() {
+            let fixed_ok = row[pidx].is_some() || row[0].is_some();
+            let loop_ok = fixed_ok || overlay[pidx].is_some();
+            if fixed_ok {
+                served_fixed += weights[u];
+            }
+            if loop_ok {
+                served_loop += weights[u];
+                if let Some((_, rtt)) = row[pidx].or(row[0]).or(overlay[pidx]) {
+                    window_rtts.push(rtt);
+                }
+            }
+            if scoring {
+                // Outage-run tracking: a run is attributed to the day it
+                // *ends* in (or the last day at the horizon).
+                if fixed_ok {
+                    if dark_run_fixed[u] > 0 {
+                        let ttr = dark_run_fixed[u] as f64 * TICK_S;
+                        let d = &mut day_stats[day];
+                        d.worst_ttr_fixed_s = d.worst_ttr_fixed_s.max(ttr);
+                        dark_run_fixed[u] = 0;
+                    }
+                } else {
+                    dark_run_fixed[u] += 1;
+                }
+                if loop_ok {
+                    if dark_run_loop[u] > 0 {
+                        let ttr = dark_run_loop[u] as f64 * TICK_S;
+                        let d = &mut day_stats[day];
+                        d.worst_ttr_loop_s = d.worst_ttr_loop_s.max(ttr);
+                        dark_run_loop[u] = 0;
+                    }
+                } else {
+                    dark_run_loop[u] += 1;
+                }
+            }
+        }
+        if scoring {
+            day_stats[day].availability_fixed += served_fixed / total;
+            day_stats[day].availability_loop += served_loop / total;
+            day_ticks[day] += 1;
+            window_served += served_loop;
+            window_total += total;
+            // The byte-replay receipt: served masses and weights, to the
+            // bit, every scored tick.
+            digest.update(&served_fixed.to_bits().to_le_bytes());
+            digest.update(&served_loop.to_bits().to_le_bytes());
+            digest.update(&total.to_bits().to_le_bytes());
+        }
+
+        // Flap memory for bid risk: decayed count of per-prefix
+        // lit/dark transitions.
+        for (idx, cell) in row.iter().enumerate() {
+            let lit = cell.is_some();
+            if lit != last_lit[idx] {
+                flap_memory[idx] += 1.0;
+                last_lit[idx] = lit;
+            }
+        }
+
+        // --- Monitor round.
+        if step < warmup_ticks || step % iter_ticks != 0 {
+            continue;
+        }
+        for f in flap_memory.iter_mut() {
+            *f *= FLAP_DECAY;
+        }
+        if blind {
+            // Probe-dark pulse: no fresh evidence, so no dark-count
+            // advance, no bids, and no probation verdict this round.
+            window_rtts.clear();
+            window_served = 0.0;
+            window_total = 0.0;
+            continue;
+        }
+
+        // Window health feeds probation / the baseline ratchet.
+        let availability = if window_total > 0.0 { window_served / window_total } else { 1.0 };
+        window_rtts.sort_by(f64::total_cmp);
+        let p95 = if window_rtts.is_empty() {
+            0.0
+        } else {
+            window_rtts[(window_rtts.len() - 1) * 95 / 100]
+        };
+        let health = HealthSample { availability, p95_latency_ms: p95 };
+        window_rtts.clear();
+        window_served = 0.0;
+        window_total = 0.0;
+        let mut reverted = false;
+        if probation {
+            if let Some(good) = rollback.check(t, &health) {
+                let ops = revert_plan(&installed, &good, hold_down);
+                apply_to_engine(&ops, &mut repair_engine, t);
+                installed = good;
+                reverted = true;
+                day_stats[day].rollbacks += 1;
+                plan_trace.emit(
+                    t.as_nanos(),
+                    rollback.last_rollback_trace(),
+                    TraceKind::PlanRevert { pairs: installed.pair_count() as u32 },
+                );
+            } else {
+                rollback.record_good(&installed, health);
+                baseline_health = Some(health);
+            }
+            probation = false;
+        } else {
+            let holds_up =
+                baseline_health.as_ref().map(|b| !rollback.regressed(b, &health)).unwrap_or(true);
+            if holds_up {
+                rollback.record_good(&installed, health);
+                baseline_health = Some(health);
+            }
+        }
+
+        // Per-UG dark tracking and conflicting bids.
+        let weights_now = {
+            let mut w = rotator.weights(step as f64 * TICK_S, &base_weights);
+            if surge_active {
+                w[surge_ugs[day] as usize] *= config.surge_factor;
+            }
+            w
+        };
+        let total_now: f64 = weights_now.iter().sum();
+        let mut bids: Vec<RepairBid> = Vec::new();
+        for (u, &pidx) in primaries.iter().enumerate() {
+            let dark = row[pidx].is_none() && overlay[pidx].is_none();
+            if dark {
+                dark_iters[u] += 1;
+            } else {
+                dark_iters[u] = 0;
+            }
+            if reverted || dark_iters[u] < DARK_ITERS {
+                continue;
+            }
+            let prefix = plan[pidx].0;
+            let mut candidate = installed.clone();
+            let pick = world
+                .deployment
+                .peerings()
+                .iter()
+                .filter(|p| !dps.pop_down(p.pop))
+                .filter(|p| !candidate.contains(prefix, p.id))
+                .map(|p| (p.id, base[p.id.idx() + 1]))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let Some((pe, _)) = pick else { continue };
+            candidate.add(prefix, pe);
+            bids.push(RepairBid {
+                engine: u as u32,
+                benefit: BENEFIT_SCALE * weights_now[u] / total_now,
+                risk: flap_memory[pidx],
+                candidate,
+            });
+        }
+        if bids.is_empty() {
+            continue;
+        }
+        if bids.len() > 1 {
+            conflict_rounds += 1;
+        }
+        let verdicts = arbiter.arbitrate(t, &bids);
+        for v in &verdicts {
+            match v {
+                ArbiterVerdict::Won => day_stats[day].arbiter_wins += 1,
+                ArbiterVerdict::Deferred => day_stats[day].arbiter_deferrals += 1,
+                ArbiterVerdict::Rejected => day_stats[day].arbiter_rejections += 1,
+            }
+        }
+        if let Some(win) = RepairArbiter::winner(&verdicts) {
+            let commit = bids[win].candidate.clone();
+            if commit != installed && rollback.can_attempt(t) {
+                let ops = painter_core::plan(diff(&installed, &commit), hold_down);
+                apply_to_engine(&ops, &mut repair_engine, t);
+                installed = commit;
+                probation = true;
+                commits_total += 1;
+                day_stats[day].commits += 1;
+                dark_iters[bids[win].engine as usize] = 0;
+                let commit_ev = plan_trace.emit(
+                    t.as_nanos(),
+                    arbiter.last_win_trace(),
+                    TraceKind::PlanCommit { pairs: installed.pair_count() as u32 },
+                );
+                plan_trace.emit(t.as_nanos(), commit_ev, TraceKind::ProbationStart);
+            }
+        }
+    }
+
+    // Close any outage runs still open at the horizon.
+    for u in 0..n_ugs {
+        let last = config.days as usize - 1;
+        if dark_run_fixed[u] > 0 {
+            let ttr = dark_run_fixed[u] as f64 * TICK_S;
+            day_stats[last].worst_ttr_fixed_s = day_stats[last].worst_ttr_fixed_s.max(ttr);
+        }
+        if dark_run_loop[u] > 0 {
+            let ttr = dark_run_loop[u] as f64 * TICK_S;
+            day_stats[last].worst_ttr_loop_s = day_stats[last].worst_ttr_loop_s.max(ttr);
+        }
+    }
+    for (day, stats) in day_stats.iter_mut().enumerate() {
+        let ticks = day_ticks[day].max(1) as f64;
+        stats.availability_fixed /= ticks;
+        stats.availability_loop /= ticks;
+    }
+
+    Ok(SoakOutcome {
+        seed,
+        days: config.days,
+        day_s: config.day_s,
+        horizon_s,
+        ugs: n_ugs as u32,
+        spec_json: spec.to_json(),
+        trace_fnv1a: schedule.trace_digest(),
+        rows_fnv1a: digest.0,
+        wins_total: day_stats.iter().map(|d| d.arbiter_wins).sum(),
+        deferrals_total: day_stats.iter().map(|d| d.arbiter_deferrals).sum(),
+        rejections_total: day_stats.iter().map(|d| d.arbiter_rejections).sum(),
+        conflict_rounds,
+        commits_total,
+        rollbacks_total: rollback.rollbacks_total,
+        final_pairs: installed.pair_count() as u64,
+        events_recorded: sink.events().len() as u64,
+        events_dropped: obs.counter("obs.events_dropped").get(),
+        day_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(outcome: &SoakOutcome) -> String {
+        let mut report = painter_obs::RunReport::new("soak");
+        for s in outcome.sections() {
+            report.push_section(s);
+        }
+        report.to_json()
+    }
+
+    #[test]
+    fn soak_covers_six_virtual_hours_at_test_scale() {
+        let config = SoakConfig::for_scale(Scale::Test);
+        assert!(config.horizon_s() >= 6.0 * 3600.0, "got {}", config.horizon_s());
+        assert!(SoakConfig::for_scale(Scale::Soak).horizon_s() >= 2.0 * 86_400.0);
+    }
+
+    #[test]
+    fn soak_campaign_is_byte_identical_across_reruns() {
+        let a = run_soak(Scale::Test, 1).expect("soak");
+        let b = run_soak(Scale::Test, 1).expect("soak");
+        assert_eq!(a.rows_fnv1a, b.rows_fnv1a, "model-loop stream must replay byte-identically");
+        assert_eq!(render(&a), render(&b), "sections must replay byte-identically");
+        let c = run_soak(Scale::Test, 2).expect("soak");
+        assert_ne!(a.rows_fnv1a, c.rows_fnv1a, "different seeds must differ");
+    }
+
+    #[test]
+    fn soak_arbitration_sees_contention_and_repairs_help() {
+        let out = run_soak(Scale::Test, 1).expect("soak");
+        assert_eq!(out.day_stats.len(), 2);
+        assert!(out.wins_total >= 1, "at least one repair must win a round");
+        assert!(
+            out.deferrals_total + out.rejections_total >= 1,
+            "a conflicting candidate must be deferred or rejected \
+             (wins={} deferrals={} rejections={})",
+            out.wins_total,
+            out.deferrals_total,
+            out.rejections_total,
+        );
+        assert!(out.conflict_rounds >= 1, "drain windows must produce multi-bid rounds");
+        let fixed: f64 = out.day_stats.iter().map(|d| d.availability_fixed).sum();
+        let looped: f64 = out.day_stats.iter().map(|d| d.availability_loop).sum();
+        assert!(
+            looped > fixed,
+            "arbitrated repairs must improve availability: loop {looped} vs fixed {fixed}"
+        );
+        for d in &out.day_stats {
+            assert!((0.0..=1.0).contains(&d.availability_fixed));
+            assert!((0.0..=1.0).contains(&d.availability_loop));
+            assert!(d.availability_loop >= d.availability_fixed - 1e-12);
+            assert!(d.worst_ttr_fixed_s >= 0.0 && d.worst_ttr_loop_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn soak_sections_have_the_pinned_shape() {
+        let out = run_soak(Scale::Test, 3).expect("soak");
+        let sections = out.sections();
+        let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
+        assert_eq!(titles, vec!["soak.config", "soak.day0", "soak.day1", "soak.arbitration", "soak.events"]);
+        assert!(out.events_recorded > 0, "the flight recorder must capture the campaign");
+    }
+}

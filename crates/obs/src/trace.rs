@@ -96,6 +96,13 @@ pub enum TraceKind {
     PlanCommit { pairs: u32 },
     /// The closed loop reverted to a plan of `pairs` pairs.
     PlanRevert { pairs: u32 },
+    /// The repair arbiter granted `engine`'s bid this round.
+    ArbiterWin { engine: u32 },
+    /// `engine`'s bid was deferred (lost the round or arrived inside
+    /// another engine's mutual-exclusion window).
+    ArbiterDefer { engine: u32 },
+    /// `engine`'s bid was rejected outright (still serving loser backoff).
+    ArbiterReject { engine: u32 },
 }
 
 impl TraceKind {
@@ -122,6 +129,9 @@ impl TraceKind {
             TraceKind::Rollback { .. } => "guard.rollback",
             TraceKind::PlanCommit { .. } => "plan.commit",
             TraceKind::PlanRevert { .. } => "plan.revert",
+            TraceKind::ArbiterWin { .. } => "guard.arbiter_win",
+            TraceKind::ArbiterDefer { .. } => "guard.arbiter_defer",
+            TraceKind::ArbiterReject { .. } => "guard.arbiter_reject",
         }
     }
 
@@ -153,6 +163,9 @@ impl TraceKind {
             TraceKind::PlanCommit { pairs } | TraceKind::PlanRevert { pairs } => {
                 format!("pairs={pairs}")
             }
+            TraceKind::ArbiterWin { engine }
+            | TraceKind::ArbiterDefer { engine }
+            | TraceKind::ArbiterReject { engine } => format!("engine={engine}"),
         }
     }
 }
@@ -598,5 +611,8 @@ mod tests {
             "reason=availability"
         );
         assert_eq!(TraceKind::ProbationStart.detail(), "");
+        assert_eq!(TraceKind::ArbiterWin { engine: 2 }.name(), "guard.arbiter_win");
+        assert_eq!(TraceKind::ArbiterDefer { engine: 2 }.detail(), "engine=2");
+        assert_eq!(TraceKind::ArbiterReject { engine: 0 }.name(), "guard.arbiter_reject");
     }
 }

@@ -17,12 +17,14 @@
 //!   per-prefix channels whose latency/liveness can be re-programmed over
 //!   (virtual) time — the substrate of the failover experiment.
 
+pub mod diurnal;
 pub mod edge;
 pub mod multipath;
 pub mod pop;
 pub mod service;
 pub mod sim;
 
+pub use diurnal::{DiurnalConfig, DiurnalRotator};
 pub use edge::{EdgeConfig, TmEdge, TunnelId};
 pub use multipath::{wcmp_weights, MultipathScheduler};
 pub use pop::TmPop;

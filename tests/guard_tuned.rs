@@ -34,6 +34,7 @@ fn scale_of(entry: &CorpusEntry) -> Scale {
     match entry.scale.as_str() {
         "test" => Scale::Test,
         "paper" => Scale::Paper,
+        "soak" => Scale::Soak,
         other => panic!("unknown corpus scale tag '{other}'"),
     }
 }

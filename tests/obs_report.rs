@@ -229,6 +229,7 @@ fn chaos_sections_pin_their_schema() {
         "unreachable_marks",
         "compliance_miss_rate",
         "compliance_spurious_rate",
+        "events_dropped",
     ] {
         assert!(learning.get(name).is_some(), "learning section missing {name}");
     }
@@ -289,10 +290,16 @@ fn chaos_sections_pin_their_schema() {
 
 #[test]
 fn guard_tune_sections_pin_their_schema() {
-    use painter::eval::guard_tune::{run_guard_tune, GuardTuneConfig};
+    use painter::eval::guard_tune::{load_corpus, run_guard_tune, GuardTuneConfig};
     use painter::obs::json::JsonValue;
 
-    let run = run_guard_tune(Scale::Test, GuardTuneConfig::tiny(5), &[]).expect("tune");
+    // The pinned corpus joins the pool so the knob sweep runs against
+    // the adversarial reproducers (the hand-written suite alone is
+    // knob-flat at test scale).
+    let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let corpus = load_corpus(&corpus_dir).expect("pinned corpus");
+    assert!(!corpus.is_empty(), "corpus dir must hold pinned reproducers");
+    let run = run_guard_tune(Scale::Test, GuardTuneConfig::tiny(5), &corpus).expect("tune");
     let mut report = RunReport::new("guard-tune");
     for section in run.sections() {
         report.push_section(section);
@@ -313,8 +320,10 @@ fn guard_tune_sections_pin_their_schema() {
         "guard.tune.default".to_string(),
         "guard.tune.best".to_string(),
         "guard.tune.tuned".to_string(),
-        "guard.tune.frontier".to_string(),
+        "guard.tune.knobs".to_string(),
     ];
+    expected.extend(run.knob_sweeps.iter().map(|s| format!("guard.tune.knob.{}", s.knob)));
+    expected.push("guard.tune.frontier".to_string());
     expected.extend((0..frontier_points).map(|k| format!("guard.tune.point{k}")));
     assert_eq!(titles, expected.iter().map(String::as_str).collect::<Vec<_>>());
 
@@ -342,6 +351,21 @@ fn guard_tune_sections_pin_their_schema() {
             &["worst_loss", "mean_loss", "churn", "name", "beats_default", "config"],
         ),
         ("guard.tune.tuned", &["worst_loss", "mean_loss", "churn", "matches_best", "config"]),
+        ("guard.tune.knobs", &["knobs", "moving", "moving_non_streak"]),
+        (
+            "guard.tune.knob.spike_sigma",
+            &[
+                "value",
+                "low_worst_loss",
+                "high_worst_loss",
+                "best_worst_loss",
+                "low_mean_loss",
+                "high_mean_loss",
+                "best_mean_loss",
+                "worst_spread",
+                "mean_spread",
+            ],
+        ),
         ("guard.tune.frontier", &["points", "churn_vs_worst_loss"]),
         ("guard.tune.point0", &["worst_loss", "mean_loss", "churn", "name", "config"]),
     ];
@@ -378,6 +402,20 @@ fn guard_tune_sections_pin_their_schema() {
     let trajectory =
         progress.get("best_trajectory").and_then(|v| v.as_array()).expect("trajectory series");
     assert_eq!(trajectory.len(), run.config.tune_budget);
+
+    // The knob sweep covers every guard knob and at least one knob
+    // other than required_streak demonstrably moves availability.
+    let knobs = sections
+        .iter()
+        .find(|s| s.get("title").and_then(|v| v.as_str()) == Some("guard.tune.knobs"))
+        .unwrap()
+        .get("fields")
+        .unwrap();
+    assert_eq!(knobs.get("knobs").and_then(|v| v.as_f64()), Some(9.0));
+    assert!(
+        knobs.get("moving_non_streak").and_then(|v| v.as_f64()).unwrap() >= 1.0,
+        "sweep shows no knob besides required_streak moving availability"
+    );
 
     // The three scored configs carry parseable canonical config JSON,
     // and the best is never worse than the default baseline.
@@ -443,7 +481,10 @@ fn lp_gap_sections_pin_their_schema() {
 
     let titles: Vec<&str> =
         sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
-    assert_eq!(titles, ["lp.config", "lp.azure", "lp.peering", "chaos.flash-crowd.flashcrowd"]);
+    assert_eq!(
+        titles,
+        ["lp.config", "lp.azure", "lp.peering", "lp.delivered", "chaos.flash-crowd.flashcrowd"]
+    );
 
     // Exact field names and counts per section, matching the chaos and
     // guard.tune pins.
@@ -482,6 +523,20 @@ fn lp_gap_sections_pin_their_schema() {
         ),
         ("lp.azure", gap_fields),
         ("lp.peering", gap_fields),
+        (
+            "lp.delivered",
+            &[
+                "ugs",
+                "packets_per_ug",
+                "anycast_share_pct",
+                "wcmp_mlu",
+                "wcmp_loss_pct",
+                "latency_mlu",
+                "latency_loss_pct",
+                "lp_mlu",
+                "delivers",
+            ],
+        ),
         (
             "chaos.flash-crowd.flashcrowd",
             &[
@@ -547,4 +602,18 @@ fn lp_gap_sections_pin_their_schema() {
     assert!(aware_mlu < latency_mlu, "capacity-aware MLU not strictly lower");
     // Bool fields render as 0/1 metrics in report JSON.
     assert_eq!(flash.get("absorbed").and_then(|v| v.as_f64()), Some(1.0), "absorbed flag not set");
+
+    // The delivered replay closes the loop: WCMP packets track the LP
+    // where latency-only packets overload.
+    let delivered = sections
+        .iter()
+        .find(|s| s.get("title").and_then(|v| v.as_str()) == Some("lp.delivered"))
+        .unwrap()
+        .get("fields")
+        .unwrap();
+    let wcmp_mlu = delivered.get("wcmp_mlu").and_then(|v| v.as_f64()).unwrap();
+    let blind_mlu = delivered.get("latency_mlu").and_then(|v| v.as_f64()).unwrap();
+    assert!(blind_mlu > 1.0, "latency-only packets did not overload: {blind_mlu}");
+    assert!(wcmp_mlu < blind_mlu, "WCMP delivered MLU not strictly lower");
+    assert_eq!(delivered.get("delivers").and_then(|v| v.as_f64()), Some(1.0), "delivers not set");
 }
