@@ -360,7 +360,7 @@ fn expand(
                 while t < t1 && pulses < 10_000 {
                     push(t, FaultEvent::ProbeLoss { fraction });
                     push((t + dark_for).min(t1), FaultEvent::ProbeRestore);
-                    t = t + period;
+                    t += period;
                     pulses += 1;
                 }
             }
@@ -385,7 +385,7 @@ fn expand(
                         push(t, FaultEvent::TunnelDown { tunnel });
                     }
                     down = !down;
-                    t = t + half;
+                    t += half;
                     flips += 1;
                 }
                 if down {

@@ -1,0 +1,377 @@
+//! Flat SoA/arena layout for the UG×peering benefit tables.
+//!
+//! The greedy's hot loop scores `Σ_pe |UGs(pe)|` candidate deltas per
+//! prefix. At paper scale (10^5–10^6 UGs, 10^3–10^4 peerings) the nested
+//! `Vec<Vec<..>>` layouts the orchestrator inputs arrive in — per-UG
+//! candidate vectors, per-UG distance rows, per-peering incidence lists —
+//! cost a pointer chase and a cache miss per step. [`BenefitArena`]
+//! repacks them once into flat, contiguous arrays:
+//!
+//! * **candidate CSR**: `cand_off`/`cand_pe`/`cand_ms` — every UG's
+//!   candidate (peering, believed ms) pairs, concatenated in UG order,
+//!   each row sorted by peering id (the same order
+//!   [`crate::inputs::UgView::candidates`] keeps);
+//! * **incidence CSR**: `pe_off`/`pe_ug` — the reverse mapping, every
+//!   peering's UG indices ascending (what the old code rebuilt as
+//!   `by_peering: Vec<Vec<usize>>` on every greedy call);
+//! * **flat geometry**: `ug_pop_km` as one `n_ugs × n_pops` row-major
+//!   slab, plus per-UG scalars (`weight`, `anycast_ms`) split out of
+//!   [`crate::inputs::UgView`] so scoring never touches the AoS structs.
+//!
+//! The arena is a *view* optimized for scoring — [`OrchestratorInputs`]
+//! remains the source of truth and the mutation surface. Scoring through
+//! the arena is **bit-identical** to scoring through
+//! [`RoutingModel::expected_latency`]: same candidate filters, same
+//! summation order, same fallbacks (see `mean_matches_model_path` in the
+//! tests, and the equivalence proptests in
+//! `crates/core/tests/incremental_equivalence.rs`).
+
+use crate::inputs::OrchestratorInputs;
+use crate::model::RoutingModel;
+use painter_measure::UgId;
+use painter_topology::PeeringId;
+
+/// Flat scoring tables (see module docs).
+#[derive(Debug, Clone)]
+pub struct BenefitArena {
+    n_ugs: usize,
+    n_peerings: usize,
+    n_pops: usize,
+    /// Candidate CSR offsets: UG `u`'s candidates live at
+    /// `cand_off[u]..cand_off[u+1]` in `cand_pe`/`cand_ms`.
+    cand_off: Vec<u32>,
+    /// Candidate peering ids, per-row ascending.
+    cand_pe: Vec<u32>,
+    /// Believed latency through the matching `cand_pe` entry.
+    cand_ms: Vec<f64>,
+    /// Incidence CSR offsets: peering `pe`'s UG indices live at
+    /// `pe_off[pe]..pe_off[pe+1]` in `pe_ug`.
+    pe_off: Vec<u32>,
+    /// UG indices per peering, ascending.
+    pe_ug: Vec<u32>,
+    /// Row-major `n_ugs × n_pops` UG→PoP distances (km).
+    ug_pop_km: Vec<f64>,
+    /// Each peering's PoP index.
+    peering_pop: Vec<u32>,
+    /// Per-UG traffic weight.
+    weight: Vec<f64>,
+    /// Per-UG anycast latency.
+    anycast_ms: Vec<f64>,
+    /// Per-UG external id (dominance/unreachable facts key on it).
+    ug_id: Vec<UgId>,
+}
+
+impl BenefitArena {
+    /// Packs `inputs` into flat tables. `O(candidacies + n_ugs × n_pops)`,
+    /// no scoring.
+    pub fn from_inputs(inputs: &OrchestratorInputs) -> Self {
+        let n_ugs = inputs.ugs.len();
+        let n_peerings = inputs.peering_count;
+        let n_pops = inputs.ug_pop_km.first().map(|r| r.len()).unwrap_or(0);
+        let total: usize = inputs.ugs.iter().map(|u| u.candidates.len()).sum();
+        let mut cand_off = Vec::with_capacity(n_ugs + 1);
+        let mut cand_pe = Vec::with_capacity(total);
+        let mut cand_ms = Vec::with_capacity(total);
+        let mut counts = vec![0u32; n_peerings];
+        cand_off.push(0u32);
+        for ug in &inputs.ugs {
+            for &(p, ms) in &ug.candidates {
+                cand_pe.push(p.0);
+                cand_ms.push(ms);
+                counts[p.idx()] += 1;
+            }
+            cand_off.push(cand_pe.len() as u32);
+        }
+        // Incidence CSR by counting sort: UG rows are visited in ascending
+        // order, so each peering's UG list comes out ascending.
+        let mut pe_off = Vec::with_capacity(n_peerings + 1);
+        pe_off.push(0u32);
+        for pe in 0..n_peerings {
+            pe_off.push(pe_off[pe] + counts[pe]);
+        }
+        let mut cursor: Vec<u32> = pe_off[..n_peerings].to_vec();
+        let mut pe_ug = vec![0u32; total];
+        for (u, ug) in inputs.ugs.iter().enumerate() {
+            for &(p, _) in &ug.candidates {
+                pe_ug[cursor[p.idx()] as usize] = u as u32;
+                cursor[p.idx()] += 1;
+            }
+        }
+        let mut ug_pop_km = Vec::with_capacity(n_ugs * n_pops);
+        for row in &inputs.ug_pop_km {
+            debug_assert_eq!(row.len(), n_pops);
+            ug_pop_km.extend_from_slice(row);
+        }
+        BenefitArena {
+            n_ugs,
+            n_peerings,
+            n_pops,
+            cand_off,
+            cand_pe,
+            cand_ms,
+            pe_off,
+            pe_ug,
+            ug_pop_km,
+            peering_pop: inputs.peering_pop.iter().map(|&p| p as u32).collect(),
+            weight: inputs.ugs.iter().map(|u| u.weight).collect(),
+            anycast_ms: inputs.ugs.iter().map(|u| u.anycast_ms).collect(),
+            ug_id: inputs.ugs.iter().map(|u| u.id).collect(),
+        }
+    }
+
+    /// Number of UGs.
+    pub fn n_ugs(&self) -> usize {
+        self.n_ugs
+    }
+
+    /// Number of peerings.
+    pub fn n_peerings(&self) -> usize {
+        self.n_peerings
+    }
+
+    /// Total candidate (UG, peering) pairs.
+    pub fn candidacy_count(&self) -> usize {
+        self.cand_pe.len()
+    }
+
+    /// UG indices having `pe` as a candidate, ascending.
+    pub fn ugs_of(&self, pe: usize) -> &[u32] {
+        &self.pe_ug[self.pe_off[pe] as usize..self.pe_off[pe + 1] as usize]
+    }
+
+    /// UG `u`'s candidate peering ids (ascending) and latencies.
+    pub fn candidates_of(&self, u: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.cand_off[u] as usize, self.cand_off[u + 1] as usize);
+        (&self.cand_pe[s..e], &self.cand_ms[s..e])
+    }
+
+    /// Traffic weight of UG `u`.
+    pub fn weight(&self, u: usize) -> f64 {
+        self.weight[u]
+    }
+
+    /// Anycast latency of UG `u`.
+    pub fn anycast_ms(&self, u: usize) -> f64 {
+        self.anycast_ms[u]
+    }
+
+    /// Distance (km) from UG `u` to the PoP of peering `pe`.
+    #[inline]
+    fn km_to_peering(&self, u: usize, pe: usize) -> f64 {
+        self.ug_pop_km[u * self.n_pops + self.peering_pop[pe] as usize]
+    }
+
+    /// Patches the believed latency of an existing `(u, pe)` candidacy in
+    /// place. Returns false (and changes nothing) if `pe` is not a
+    /// candidate of `u` — the caller must rebuild instead, because
+    /// membership changed.
+    pub fn set_latency(&mut self, u: usize, pe: PeeringId, ms: f64) -> bool {
+        let (s, e) = (self.cand_off[u] as usize, self.cand_off[u + 1] as usize);
+        match self.cand_pe[s..e].binary_search(&pe.0) {
+            Ok(i) => {
+                self.cand_ms[s + i] = ms;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Patches UG `u`'s traffic weight in place.
+    pub fn set_weight(&mut self, u: usize, weight: f64) {
+        self.weight[u] = weight;
+    }
+
+    /// Groups peering indices by their PoP — the `D_reuse` exclusion is
+    /// anchored per PoP, so peerings sharing one read the same distance
+    /// rows and shard together cache-coherently. Shards come out in
+    /// ascending PoP order with each shard's peerings ascending, so the
+    /// grouping is a pure function of the input set.
+    pub fn shard_by_pop(&self, peerings: &[u32]) -> Vec<Vec<u32>> {
+        let mut shards: Vec<Vec<u32>> = vec![Vec::new(); self.n_pops.max(1)];
+        for &pe in peerings {
+            shards[self.peering_pop[pe as usize] as usize].push(pe);
+        }
+        shards.retain(|s| !s.is_empty());
+        shards
+    }
+
+    /// Mean expected latency of UG `u` when a prefix is advertised via
+    /// `advertised` (ascending), or `f64::INFINITY` if no candidate
+    /// survives — exactly
+    /// [`RoutingModel::expected_latency`]`(..).map(|e| e.mean_ms)` with
+    /// `None` mapped to infinity, computed without allocating.
+    ///
+    /// When the model holds no dominance or unreachable facts (every
+    /// scale-path run, and iteration 0 of every learning loop), those two
+    /// filters are provably no-ops and the scan stays allocation-free;
+    /// otherwise a slow path replicates
+    /// [`RoutingModel::effective_candidates`] verbatim, fallback rules
+    /// included. Summation visits candidates in the same ascending-peering
+    /// order as the model path, so the float result is bit-identical.
+    pub fn mean_latency(&self, model: &RoutingModel, u: usize, advertised: &[PeeringId]) -> f64 {
+        if advertised.is_empty() {
+            return f64::INFINITY;
+        }
+        // Closest advertised PoP (candidate or not) anchors D_reuse.
+        let mut d_min = f64::INFINITY;
+        for p in advertised {
+            d_min = d_min.min(self.km_to_peering(u, p.idx()));
+        }
+        let (pes, mss) = self.candidates_of(u);
+        if model.dominance_count() == 0 && model.unreachable_count() == 0 {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (i, &pe) in pes.iter().enumerate() {
+                if advertised.binary_search(&PeeringId(pe)).is_err() {
+                    continue;
+                }
+                if self.km_to_peering(u, pe as usize) - d_min > model.d_reuse_km {
+                    continue;
+                }
+                sum += mss[i];
+                n += 1;
+            }
+            return if n == 0 { f64::INFINITY } else { sum / n as f64 };
+        }
+        // Slow path: learned facts present. Mirror effective_candidates.
+        let ug_id = self.ug_id[u];
+        let in_reach: Vec<(PeeringId, f64)> = pes
+            .iter()
+            .zip(mss)
+            .map(|(&pe, &ms)| (PeeringId(pe), ms))
+            .filter(|(p, _)| advertised.binary_search(p).is_ok())
+            .filter(|(p, _)| !model.is_unreachable(ug_id, *p))
+            .filter(|(p, _)| self.km_to_peering(u, p.idx()) - d_min <= model.d_reuse_km)
+            .collect();
+        if in_reach.is_empty() {
+            return f64::INFINITY;
+        }
+        let undominated: Vec<(PeeringId, f64)> = in_reach
+            .iter()
+            .copied()
+            .filter(|(loser, _)| {
+                !in_reach.iter().any(|(winner, _)| model.knows_dominance(ug_id, *winner, *loser))
+            })
+            .collect();
+        let cands = if undominated.is_empty() { &in_reach } else { &undominated };
+        let mut sum = 0.0;
+        for (_, ms) in cands {
+            sum += ms;
+        }
+        sum / cands.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::UgView;
+    use painter_geo::MetroId;
+
+    fn inputs() -> OrchestratorInputs {
+        OrchestratorInputs {
+            ugs: vec![
+                UgView {
+                    id: UgId(0),
+                    metro: MetroId(0),
+                    weight: 2.0,
+                    anycast_ms: 90.0,
+                    candidates: vec![(PeeringId(0), 30.0), (PeeringId(2), 55.0)],
+                },
+                UgView {
+                    id: UgId(1),
+                    metro: MetroId(1),
+                    weight: 1.0,
+                    anycast_ms: 70.0,
+                    candidates: vec![(PeeringId(1), 25.0), (PeeringId(2), 40.0)],
+                },
+                UgView {
+                    id: UgId(2),
+                    metro: MetroId(2),
+                    weight: 3.0,
+                    anycast_ms: 60.0,
+                    candidates: vec![],
+                },
+            ],
+            ug_pop_km: vec![
+                vec![100.0, 7000.0, 400.0],
+                vec![5000.0, 150.0, 600.0],
+                vec![9000.0, 9000.0, 9000.0],
+            ],
+            peering_pop: vec![0, 1, 2],
+            peering_count: 3,
+            capacities: None,
+        }
+    }
+
+    #[test]
+    fn csr_layout_round_trips() {
+        let arena = BenefitArena::from_inputs(&inputs());
+        assert_eq!(arena.n_ugs(), 3);
+        assert_eq!(arena.n_peerings(), 3);
+        assert_eq!(arena.candidacy_count(), 4);
+        assert_eq!(arena.candidates_of(0), (&[0u32, 2][..], &[30.0, 55.0][..]));
+        assert_eq!(arena.candidates_of(2), (&[][..], &[][..]));
+        assert_eq!(arena.ugs_of(0), &[0]);
+        assert_eq!(arena.ugs_of(1), &[1]);
+        assert_eq!(arena.ugs_of(2), &[0, 1]);
+        assert_eq!(arena.weight(2), 3.0);
+        assert_eq!(arena.anycast_ms(1), 70.0);
+    }
+
+    #[test]
+    fn mean_matches_model_path() {
+        let inp = inputs();
+        let arena = BenefitArena::from_inputs(&inp);
+        let mut model = RoutingModel::new(3000.0);
+        let sets: Vec<Vec<PeeringId>> = vec![
+            vec![],
+            vec![PeeringId(0)],
+            vec![PeeringId(1)],
+            vec![PeeringId(2)],
+            vec![PeeringId(0), PeeringId(2)],
+            vec![PeeringId(0), PeeringId(1), PeeringId(2)],
+        ];
+        let check = |model: &RoutingModel, arena: &BenefitArena| {
+            for u in 0..inp.ugs.len() {
+                for set in &sets {
+                    let want = model
+                        .expected_latency(&inp, u, set)
+                        .map(|e| e.mean_ms)
+                        .unwrap_or(f64::INFINITY);
+                    let got = arena.mean_latency(model, u, set);
+                    assert!(
+                        want.to_bits() == got.to_bits(),
+                        "u={u} set={set:?}: model {want} vs arena {got}"
+                    );
+                }
+            }
+        };
+        check(&model, &arena);
+        // Learned facts push the arena onto its slow path; still identical.
+        model.learn_dominance(UgId(0), PeeringId(2), PeeringId(0));
+        model.mark_unreachable(UgId(1), PeeringId(1));
+        check(&model, &arena);
+        // A dominance cycle exercises the fallback-to-in-reach rule.
+        model.learn_dominance(UgId(0), PeeringId(0), PeeringId(2));
+        check(&model, &arena);
+    }
+
+    #[test]
+    fn in_place_patches_apply() {
+        let mut arena = BenefitArena::from_inputs(&inputs());
+        assert!(arena.set_latency(0, PeeringId(2), 44.0));
+        assert_eq!(arena.candidates_of(0).1, &[30.0, 44.0]);
+        assert!(!arena.set_latency(0, PeeringId(1), 10.0), "non-member must refuse");
+        arena.set_weight(1, 9.5);
+        assert_eq!(arena.weight(1), 9.5);
+    }
+
+    #[test]
+    fn pop_shards_partition_and_order() {
+        let arena = BenefitArena::from_inputs(&inputs());
+        let shards = arena.shard_by_pop(&[2, 0, 1]);
+        assert_eq!(shards, vec![vec![0], vec![1], vec![2]]);
+        assert!(arena.shard_by_pop(&[]).is_empty());
+    }
+}

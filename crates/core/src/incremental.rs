@@ -1,0 +1,360 @@
+//! Incremental orchestrator mode: typed world deltas and the dirty-set
+//! cache behind [`crate::Orchestrator::apply_delta`].
+//!
+//! A planning loop at scale does not rebuild its world between rounds —
+//! it absorbs a stream of small changes: a peering session comes or goes
+//! ([`TopologyDelta`]), a probe refreshes a believed RTT, a demand
+//! estimate shifts ([`MeasurementDelta`]). Refilling the greedy's whole
+//! candidate heap after each one rescopes `Σ_pe |UGs(pe)| × PB` work that
+//! is overwhelmingly unchanged.
+//!
+//! The incremental mode tracks exactly which benefit inputs each delta
+//! touched (a per-UG dirty set, widened to the peerings whose incidence
+//! contains a dirty UG) and replays the previous greedy run's per-prefix
+//! fill scores for every *clean* peering, rescoring only the dirty ones —
+//! sharded by their `D_reuse` PoP region across the orchestrator's rayon
+//! pool. The reuse is sound, not heuristic: a clean peering's fill score
+//! is a function of its own (unchanged) UGs and of the commit sequence so
+//! far, so cached values are replayed only while the commit sequence
+//! matches the previous run's, and the first divergence drops the run
+//! back to full scoring for the remaining prefixes. **The result is
+//! bit-identical to a from-scratch recompute at every scale and thread
+//! count** (enforced by `crates/core/tests/incremental_equivalence.rs`).
+//!
+//! Invalidation rules (see also DESIGN.md §17):
+//!
+//! * [`crate::Orchestrator::apply_delta`] is the supported mutation path;
+//!   it patches [`crate::OrchestratorInputs`], the arena, and the dirty
+//!   set coherently.
+//! * [`crate::Orchestrator::learn`] rewrites believed latencies and
+//!   dominance facts wholesale, so it drops the entire cache.
+//! * Changing `config`/`model`/`inputs` directly through the public
+//!   fields is legal but invisible — call
+//!   [`crate::Orchestrator::invalidate_incremental`] afterwards. A
+//!   fingerprint over budget, `D_reuse`, the marginal-benefit floor, the
+//!   learned-fact counts, and the world dimensions catches the common
+//!   cases and falls back to a full refill.
+
+use crate::arena::BenefitArena;
+use crate::inputs::OrchestratorInputs;
+use painter_measure::UgId;
+use painter_topology::PeeringId;
+use std::collections::HashMap;
+
+/// A structural change to the peering universe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyDelta {
+    /// A peering slot (`peering.idx() < peering_count`) comes into
+    /// service: each `(ug, believed_ms)` row is upserted into that UG's
+    /// candidate set. Rows naming unknown UGs are ignored (the
+    /// measurement plane may reference UGs the orchestrator dropped).
+    AddPeering { peering: PeeringId, candidates: Vec<(UgId, f64)> },
+    /// A peering session goes down: every candidacy through it is
+    /// removed. The slot (and its PoP geometry) remains, so a later
+    /// [`TopologyDelta::AddPeering`] can restore it.
+    RemovePeering { peering: PeeringId },
+}
+
+/// A measurement-plane update to believed inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasurementDelta {
+    /// The believed RTT through `(ug, peering)` changes (upsert: a probe
+    /// can discover a candidacy the inference missed).
+    RttShift { ug: UgId, peering: PeeringId, ms: f64 },
+    /// The UG's traffic weight changes.
+    DemandShift { ug: UgId, weight: f64 },
+}
+
+/// Any world delta the orchestrator can absorb incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    Topology(TopologyDelta),
+    Measurement(MeasurementDelta),
+}
+
+impl From<TopologyDelta> for Delta {
+    fn from(d: TopologyDelta) -> Delta {
+        Delta::Topology(d)
+    }
+}
+
+impl From<MeasurementDelta> for Delta {
+    fn from(d: MeasurementDelta) -> Delta {
+        Delta::Measurement(d)
+    }
+}
+
+/// The previous greedy run, replayable: per-prefix full-width fill scores
+/// (`NaN` = peering had no incidence and was never scored) and the commit
+/// sequence they led to.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmGreedy {
+    pub fill: Vec<Vec<f64>>,
+    pub commits: Vec<Vec<PeeringId>>,
+}
+
+/// Everything that must agree between the cached run and the next one for
+/// warm fills to be replayed. A mismatch silently falls back to a full
+/// refill (still through the arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fingerprint {
+    pub prefix_budget: usize,
+    pub d_reuse_bits: u64,
+    pub min_marginal_bits: u64,
+    pub dominance: usize,
+    pub unreachable: usize,
+    pub n_ugs: usize,
+    pub n_peerings: usize,
+}
+
+/// The incremental cache owned by [`crate::Orchestrator`].
+#[derive(Debug)]
+pub(crate) struct IncrementalState {
+    pub arena: BenefitArena,
+    pub index_of: HashMap<UgId, usize>,
+    pub warm: Option<WarmGreedy>,
+    pub fingerprint: Fingerprint,
+    /// UGs whose weight/candidates changed since the last compute.
+    pub dirty_ug: Vec<bool>,
+    /// Peering slots dirtied explicitly by deltas (a removed peering no
+    /// longer appears in any dirty UG's candidate row, so it cannot be
+    /// recovered by row-walking the dirty set).
+    pub dirty_pe: std::collections::HashSet<u32>,
+    /// Candidate-set membership changed somewhere: the arena's CSR is
+    /// stale and must be rebuilt before the next compute.
+    pub membership_changed: bool,
+}
+
+/// An in-place arena patch mirroring an inputs edit (valid only while the
+/// CSR membership is unchanged).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ArenaPatch {
+    Latency { ug: usize, peering: PeeringId, ms: f64 },
+    Weight { ug: usize, weight: f64 },
+}
+
+/// What applying one delta touched.
+#[derive(Debug, Default)]
+pub(crate) struct AppliedDelta {
+    pub dirty_ugs: Vec<usize>,
+    pub membership_changed: bool,
+    pub patches: Vec<ArenaPatch>,
+}
+
+/// Upserts `(pe, ms)` into one UG's sorted candidate row. Returns true if
+/// membership changed (insert rather than update).
+fn upsert_candidate(inputs: &mut OrchestratorInputs, u: usize, pe: PeeringId, ms: f64) -> bool {
+    let cands = &mut inputs.ugs[u].candidates;
+    match cands.binary_search_by_key(&pe, |(p, _)| *p) {
+        Ok(i) => {
+            cands[i].1 = ms;
+            false
+        }
+        Err(i) => {
+            cands.insert(i, (pe, ms));
+            true
+        }
+    }
+}
+
+/// Applies `delta` to `inputs`, reporting the dirty UG set and whether
+/// candidate-set membership changed. `arena` (when fresh) provides the
+/// incidence list so a peering removal visits only its own UGs instead of
+/// scanning the world.
+pub(crate) fn apply_to_inputs(
+    inputs: &mut OrchestratorInputs,
+    delta: &Delta,
+    index_of: &HashMap<UgId, usize>,
+    arena: Option<&BenefitArena>,
+) -> AppliedDelta {
+    let mut out = AppliedDelta::default();
+    match delta {
+        Delta::Topology(TopologyDelta::AddPeering { peering, candidates }) => {
+            assert!(
+                peering.idx() < inputs.peering_count,
+                "AddPeering {peering} outside the deployment's {} slots",
+                inputs.peering_count
+            );
+            for &(ug, ms) in candidates {
+                let Some(&u) = index_of.get(&ug) else { continue };
+                let inserted = upsert_candidate(inputs, u, *peering, ms);
+                if inserted {
+                    out.membership_changed = true;
+                } else {
+                    out.patches.push(ArenaPatch::Latency { ug: u, peering: *peering, ms });
+                }
+                out.dirty_ugs.push(u);
+            }
+        }
+        Delta::Topology(TopologyDelta::RemovePeering { peering }) => {
+            let remove_from = |inputs: &mut OrchestratorInputs, u: usize| -> bool {
+                let cands = &mut inputs.ugs[u].candidates;
+                match cands.binary_search_by_key(peering, |(p, _)| *p) {
+                    Ok(i) => {
+                        cands.remove(i);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            };
+            match arena {
+                Some(arena) => {
+                    for &u in arena.ugs_of(peering.idx()) {
+                        if remove_from(inputs, u as usize) {
+                            out.dirty_ugs.push(u as usize);
+                        }
+                    }
+                }
+                None => {
+                    for u in 0..inputs.ugs.len() {
+                        if remove_from(inputs, u) {
+                            out.dirty_ugs.push(u);
+                        }
+                    }
+                }
+            }
+            out.membership_changed = !out.dirty_ugs.is_empty();
+        }
+        Delta::Measurement(MeasurementDelta::RttShift { ug, peering, ms }) => {
+            if let Some(&u) = index_of.get(ug) {
+                let inserted = upsert_candidate(inputs, u, *peering, *ms);
+                if inserted {
+                    out.membership_changed = true;
+                } else {
+                    out.patches.push(ArenaPatch::Latency { ug: u, peering: *peering, ms: *ms });
+                }
+                out.dirty_ugs.push(u);
+            }
+        }
+        Delta::Measurement(MeasurementDelta::DemandShift { ug, weight }) => {
+            if let Some(&u) = index_of.get(ug) {
+                inputs.ugs[u].weight = *weight;
+                out.patches.push(ArenaPatch::Weight { ug: u, weight: *weight });
+                out.dirty_ugs.push(u);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::UgView;
+    use painter_geo::MetroId;
+
+    fn inputs() -> OrchestratorInputs {
+        OrchestratorInputs {
+            ugs: vec![
+                UgView {
+                    id: UgId(0),
+                    metro: MetroId(0),
+                    weight: 1.0,
+                    anycast_ms: 80.0,
+                    candidates: vec![(PeeringId(0), 30.0), (PeeringId(1), 45.0)],
+                },
+                UgView {
+                    id: UgId(1),
+                    metro: MetroId(1),
+                    weight: 2.0,
+                    anycast_ms: 90.0,
+                    candidates: vec![(PeeringId(1), 50.0)],
+                },
+            ],
+            ug_pop_km: vec![vec![100.0, 200.0], vec![300.0, 400.0]],
+            peering_pop: vec![0, 1],
+            peering_count: 2,
+            capacities: None,
+        }
+    }
+
+    fn index(inputs: &OrchestratorInputs) -> HashMap<UgId, usize> {
+        inputs.index_of()
+    }
+
+    #[test]
+    fn rtt_shift_updates_in_place() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let d = Delta::from(MeasurementDelta::RttShift {
+            ug: UgId(0),
+            peering: PeeringId(1),
+            ms: 41.0,
+        });
+        let applied = apply_to_inputs(&mut inp, &d, &idx, None);
+        assert!(!applied.membership_changed);
+        assert_eq!(applied.dirty_ugs, vec![0]);
+        assert_eq!(applied.patches.len(), 1);
+        assert_eq!(inp.ugs[0].latency_via(PeeringId(1)), Some(41.0));
+    }
+
+    #[test]
+    fn rtt_shift_can_discover_a_candidacy() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let d = Delta::from(MeasurementDelta::RttShift {
+            ug: UgId(1),
+            peering: PeeringId(0),
+            ms: 33.0,
+        });
+        let applied = apply_to_inputs(&mut inp, &d, &idx, None);
+        assert!(applied.membership_changed);
+        assert_eq!(inp.ugs[1].candidates, vec![(PeeringId(0), 33.0), (PeeringId(1), 50.0)]);
+    }
+
+    #[test]
+    fn remove_peering_clears_every_candidacy() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let arena = BenefitArena::from_inputs(&inp);
+        let d = Delta::from(TopologyDelta::RemovePeering { peering: PeeringId(1) });
+        let applied = apply_to_inputs(&mut inp, &d, &idx, Some(&arena));
+        assert!(applied.membership_changed);
+        assert_eq!(applied.dirty_ugs, vec![0, 1]);
+        assert_eq!(inp.ugs[0].candidates, vec![(PeeringId(0), 30.0)]);
+        assert!(inp.ugs[1].candidates.is_empty());
+        // Scan path (no arena) agrees.
+        let mut inp2 = inputs();
+        let applied2 = apply_to_inputs(&mut inp2, &d, &idx, None);
+        assert_eq!(applied2.dirty_ugs, applied.dirty_ugs);
+        assert_eq!(inp2.ugs[1].candidates, inp.ugs[1].candidates);
+    }
+
+    #[test]
+    fn add_peering_restores_a_removed_slot() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let rm = Delta::from(TopologyDelta::RemovePeering { peering: PeeringId(0) });
+        apply_to_inputs(&mut inp, &rm, &idx, None);
+        let add = Delta::from(TopologyDelta::AddPeering {
+            peering: PeeringId(0),
+            candidates: vec![(UgId(0), 28.0), (UgId(1), 61.0), (UgId(77), 1.0)],
+        });
+        let applied = apply_to_inputs(&mut inp, &add, &idx, None);
+        assert!(applied.membership_changed);
+        assert_eq!(applied.dirty_ugs, vec![0, 1], "unknown UG 77 ignored");
+        assert_eq!(inp.ugs[0].latency_via(PeeringId(0)), Some(28.0));
+        assert_eq!(inp.ugs[1].latency_via(PeeringId(0)), Some(61.0));
+    }
+
+    #[test]
+    fn demand_shift_marks_only_the_ug() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let d = Delta::from(MeasurementDelta::DemandShift { ug: UgId(1), weight: 7.5 });
+        let applied = apply_to_inputs(&mut inp, &d, &idx, None);
+        assert!(!applied.membership_changed);
+        assert_eq!(applied.dirty_ugs, vec![1]);
+        assert_eq!(inp.ugs[1].weight, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the deployment")]
+    fn add_peering_rejects_unknown_slots() {
+        let mut inp = inputs();
+        let idx = index(&inp);
+        let d =
+            Delta::from(TopologyDelta::AddPeering { peering: PeeringId(9), candidates: vec![] });
+        apply_to_inputs(&mut inp, &d, &idx, None);
+    }
+}

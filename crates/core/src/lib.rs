@@ -31,13 +31,23 @@
 //! * [`parallel`] — deterministic parallel scoring: pool construction,
 //!   `PAINTER_THREADS` resolution, and the fixed-chunk fold discipline
 //!   that keeps results bit-identical across thread counts.
+//! * [`arena`] — the flat SoA layout of the UG×peering benefit tables the
+//!   greedy's hot path reads (candidate CSR, incidence CSR, per-UG scalar
+//!   arrays), sized for millions of UGs.
+//! * [`incremental`] — typed world deltas ([`TopologyDelta`],
+//!   [`MeasurementDelta`]) and the dirty-set cache behind
+//!   [`Orchestrator::apply_delta`] /
+//!   [`Orchestrator::compute_config_incremental`], bit-identical to a
+//!   from-scratch recompute.
 //! * [`guard`] — the closed-loop containment layer: measurement
 //!   quarantine, plan hysteresis, and safety rollback, so the learning
 //!   loop survives running live under churn.
 
+pub mod arena;
 pub mod benefit;
 pub mod compliance;
 pub mod guard;
+pub mod incremental;
 pub mod inputs;
 pub mod installer;
 pub mod model;
@@ -45,6 +55,7 @@ pub mod orchestrator;
 pub mod parallel;
 pub mod strategies;
 
+pub use arena::BenefitArena;
 pub use benefit::{BenefitRange, ConfigEvaluator, PlacementMode, PlacementOutcome};
 pub use compliance::{infer_compliant_ingresses, ObservedReachability};
 pub use guard::tune::{
@@ -55,6 +66,7 @@ pub use guard::{
     ArbiterConfig, ArbiterVerdict, GuardConfig, HealthSample, HysteresisConfig, PlanHysteresis,
     QuarantineBuffer, QuarantineConfig, RepairArbiter, RepairBid, RollbackConfig, RollbackGuard,
 };
+pub use incremental::{Delta, MeasurementDelta, TopologyDelta};
 pub use inputs::{OrchestratorInputs, UgView};
 pub use installer::{apply_to_engine, diff, plan, revert_plan, InstallPlan, Op};
 pub use model::RoutingModel;

@@ -25,7 +25,12 @@
 //! evaluate pure scores, every reduction folds in source order, and ties
 //! break on the total `(delta, peering id)` order — never on scheduling.
 
+use crate::arena::BenefitArena;
 use crate::benefit::{BenefitRange, ConfigEvaluator};
+use crate::incremental::{
+    self, ArenaPatch, Delta, Fingerprint, IncrementalState, MeasurementDelta, TopologyDelta,
+    WarmGreedy,
+};
 use crate::inputs::OrchestratorInputs;
 use crate::model::RoutingModel;
 use crate::parallel;
@@ -34,7 +39,7 @@ use painter_measure::{GroundTruth, Pinger, UgId};
 use painter_obs::{obs_count, obs_gauge};
 use painter_topology::PeeringId;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Hyperparameters of Algorithm 1.
 #[derive(Debug, Clone)]
@@ -167,7 +172,11 @@ pub struct OrchestratorReport {
 
 /// Cumulative modeled benefit after each completed prefix of a greedy
 /// run: `(prefixes used, Σ w · improvement)`.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares exactly (no epsilon): the determinism and
+/// incremental-equivalence contracts are bit-level, so their tests
+/// compare traces with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GreedyTrace {
     pub after_each_prefix: Vec<(usize, f64)>,
 }
@@ -178,6 +187,7 @@ pub struct GreedyTrace {
 /// the queue), so the heap's pop sequence is a function of its contents
 /// alone — equal-benefit candidates commit lowest-peering-first no matter
 /// what order parallel scoring delivered them in.
+#[derive(Debug)]
 struct CandEntry {
     delta: f64,
     version: u64,
@@ -186,7 +196,10 @@ struct CandEntry {
 
 impl PartialEq for CandEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.delta == other.delta && self.pe == other.pe
+        // Bit equality, consistent with the `total_cmp`-based `Ord` even
+        // for NaN — `==` over f64 is not (NaN != NaN), which would make
+        // `Eq` a lie and heap behavior unspecified.
+        self.delta.to_bits() == other.delta.to_bits() && self.pe == other.pe
     }
 }
 impl Eq for CandEntry {}
@@ -198,11 +211,11 @@ impl PartialOrd for CandEntry {
 impl Ord for CandEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap by delta; ties broken toward lower peering id for
-        // determinism.
-        self.delta
-            .partial_cmp(&other.delta)
-            .expect("deltas are finite")
-            .then_with(|| other.pe.cmp(&self.pe))
+        // determinism. `total_cmp` (IEEE 754 totalOrder) keeps the order
+        // total even for NaN — the fill's benefit threshold keeps NaN out
+        // of the heap, but the ordering must not be able to panic or
+        // reorder commits if a score ever degrades.
+        self.delta.total_cmp(&other.delta).then_with(|| other.pe.cmp(&self.pe))
     }
 }
 
@@ -219,6 +232,12 @@ pub struct Orchestrator {
     /// construction (see [`crate::parallel`] for the resolution order and
     /// the determinism contract).
     pub pool: rayon::ThreadPool,
+    /// Incremental-mode cache (arena + previous greedy run + dirty sets),
+    /// built lazily by [`Orchestrator::apply_delta`] /
+    /// [`Orchestrator::compute_config_incremental`]. Mutating `config`,
+    /// `model`, or `inputs` directly bypasses it — call
+    /// [`Orchestrator::invalidate_incremental`] afterwards.
+    incr: Option<IncrementalState>,
 }
 
 impl Orchestrator {
@@ -236,7 +255,7 @@ impl Orchestrator {
     ) -> Self {
         let model = RoutingModel::new(config.d_reuse_km);
         let pool = parallel::build_pool(config.threads);
-        Orchestrator { config, inputs, model, obs, pool }
+        Orchestrator { config, inputs, model, obs, pool, incr: None }
     }
 
     /// One pass of the greedy allocator (Algorithm 1's inner loops) under
@@ -255,24 +274,46 @@ impl Orchestrator {
     /// top of the priority queue, which keeps the allocator fast even with
     /// thousands of ingresses.
     pub fn compute_config_traced(&self) -> (AdvertConfig, GreedyTrace) {
+        let arena = BenefitArena::from_inputs(&self.inputs);
+        let (cc, trace, _warm) = self.greedy_arena(&arena, None);
+        (cc, trace)
+    }
+
+    /// The greedy allocator over the SoA [`BenefitArena`].
+    ///
+    /// `warm` (incremental mode) is the previous run's per-prefix fill
+    /// scores plus the dirty-peering mask: at each prefix's initial fill,
+    /// clean peerings replay their stored score and only dirty ones are
+    /// rescored — sharded by PoP so one `D_reuse` region stays on one
+    /// worker. A stored score is valid only while this run's commit
+    /// sequence still matches the previous run's (a clean peering's fill
+    /// score is a function of its own unchanged UG rows and of the
+    /// commits so far); the first mismatch flips `diverged` and every
+    /// later prefix falls back to a cold fill. The lazy pops, rescores,
+    /// and post-commit refreshes always run live, so the result is
+    /// bit-identical to a cold run by construction — and enforced by the
+    /// `incremental_equivalence` proptests.
+    fn greedy_arena(
+        &self,
+        arena: &BenefitArena,
+        warm: Option<(&WarmGreedy, &[bool])>,
+    ) -> (AdvertConfig, GreedyTrace, WarmGreedy) {
         let _span = painter_obs::Span::enter(&self.obs, "core.greedy_compute_ms");
         let delta_hist = self.obs.histogram("core.greedy_benefit_delta");
         obs_gauge!(self.obs, "core.greedy_threads", self.pool.current_num_threads() as f64);
-        let n_ugs = self.inputs.ugs.len();
+        let n_pe = arena.n_peerings();
         let pb = self.config.prefix_budget;
-        // UGs per peering (candidate incidence), computed once.
-        let mut by_peering: Vec<Vec<usize>> = vec![Vec::new(); self.inputs.peering_count];
-        for (i, ug) in self.inputs.ugs.iter().enumerate() {
-            for (p, _) in &ug.candidates {
-                by_peering[p.idx()].push(i);
-            }
-        }
-        // Cached per-(UG, prefix) mean expectation.
-        let mut prefix_mean: Vec<Vec<Option<f64>>> = vec![vec![None; pb]; n_ugs];
+        // Cached per-(UG, prefix) mean expectation, flat row-major.
+        // `INFINITY` is the old nested `None` ("prefix unusable for this
+        // UG"): it is the identity of every `min` it feeds, so the two
+        // encodings are bit-equivalent.
+        let mut prefix_mean: Vec<f64> = vec![f64::INFINITY; arena.n_ugs() * pb];
         // Running modeled benefit: Σ w · (anycast − best)⁺.
         let mut running_benefit = 0.0;
         let mut cc = AdvertConfig::new();
         let mut trace = GreedyTrace::default();
+        let mut new_warm = WarmGreedy { fill: Vec::new(), commits: Vec::new() };
+        let mut diverged = false;
 
         for p_idx in 0..pb {
             let prefix = PrefixId(p_idx as u16);
@@ -282,35 +323,87 @@ impl Orchestrator {
             // stale cached value is an upper bound worth re-checking only
             // at the top.
             let mut version = 0u64;
-            // Initial fill: score every candidate peering in parallel
-            // (pure reads of `self` and the caches), then heapify. The
-            // heap's (delta, peering id) order is total, so its pop
-            // sequence doesn't depend on which worker scored what.
-            let fill: Vec<CandEntry> = {
-                let current: Vec<PeeringId> = Vec::new();
-                let (by_peering, prefix_mean) = (&by_peering, &prefix_mean);
-                let current = &current;
-                self.pool.install(|| {
-                    (0..self.inputs.peering_count)
-                        .into_par_iter()
-                        .filter_map(|pe_idx| {
-                            if by_peering[pe_idx].is_empty() {
-                                return None;
-                            }
-                            let pe = PeeringId(pe_idx as u32);
-                            let delta =
-                                self.candidate_delta(pe, current, p_idx, by_peering, prefix_mean);
-                            (delta > self.config.min_marginal_benefit).then_some(CandEntry {
-                                delta,
-                                version,
-                                pe,
-                            })
+            // Initial fill: one score per peering slot (NaN = empty
+            // incidence, never scored). Cold: every slot in parallel
+            // (pure reads of `self` and the caches). Warm: replay the
+            // previous run's scores, rescoring only dirty peerings. The
+            // heap's (delta, peering id) order is total either way, so
+            // the pop sequence doesn't depend on which worker scored
+            // what.
+            let scores: Vec<f64> = match warm {
+                Some((wg, dirty_pe)) if !diverged && p_idx < wg.fill.len() => {
+                    let mut scores = wg.fill[p_idx].clone();
+                    let dirty: Vec<u32> =
+                        (0..n_pe).filter(|&pe| dirty_pe[pe]).map(|pe| pe as u32).collect();
+                    let shards = arena.shard_by_pop(&dirty);
+                    obs_count!(self.obs, "core.incr_fill_reused", (n_pe - dirty.len()) as u64);
+                    obs_count!(self.obs, "core.parallel_tasks", dirty.len() as u64);
+                    let rescored: Vec<Vec<(u32, f64)>> = {
+                        let prefix_mean = &prefix_mean;
+                        self.pool.install(|| {
+                            shards
+                                .par_iter()
+                                .map(|shard| {
+                                    shard
+                                        .iter()
+                                        .map(|&pe| {
+                                            let score = if arena.ugs_of(pe as usize).is_empty() {
+                                                f64::NAN
+                                            } else {
+                                                self.candidate_delta_arena(
+                                                    arena,
+                                                    PeeringId(pe),
+                                                    &[],
+                                                    p_idx,
+                                                    pb,
+                                                    prefix_mean,
+                                                )
+                                            };
+                                            (pe, score)
+                                        })
+                                        .collect()
+                                })
+                                .collect()
                         })
-                        .collect()
-                })
+                    };
+                    // Scatter by slot index: write order is irrelevant to
+                    // the result, each slot is written once.
+                    for (pe, score) in rescored.into_iter().flatten() {
+                        scores[pe as usize] = score;
+                    }
+                    scores
+                }
+                _ => {
+                    obs_count!(self.obs, "core.parallel_tasks", n_pe as u64);
+                    let prefix_mean = &prefix_mean;
+                    self.pool.install(|| {
+                        (0..n_pe)
+                            .into_par_iter()
+                            .map(|pe_idx| {
+                                if arena.ugs_of(pe_idx).is_empty() {
+                                    return f64::NAN;
+                                }
+                                self.candidate_delta_arena(
+                                    arena,
+                                    PeeringId(pe_idx as u32),
+                                    &[],
+                                    p_idx,
+                                    pb,
+                                    prefix_mean,
+                                )
+                            })
+                            .collect()
+                    })
+                }
             };
-            obs_count!(self.obs, "core.parallel_tasks", self.inputs.peering_count as u64);
-            let mut heap = std::collections::BinaryHeap::from(fill);
+            // NaN fails the benefit threshold, so unscored slots stay out
+            // of the heap without a separate check.
+            let mut heap: std::collections::BinaryHeap<CandEntry> = (0..n_pe)
+                .filter(|&pe| scores[pe] > self.config.min_marginal_benefit)
+                .map(|pe| CandEntry { delta: scores[pe], version, pe: PeeringId(pe as u32) })
+                .collect();
+            new_warm.fill.push(scores);
+            new_warm.commits.push(Vec::new());
             let batch = self.config.batch_recompute.max(1);
             // Speculative rescore cache: between two commits, `current` and
             // `prefix_mean` are frozen, so any rescore the serial algorithm
@@ -353,17 +446,17 @@ impl Orchestrator {
                     obs_count!(self.obs, "core.greedy_batch_recompute", 1);
                     obs_count!(self.obs, "core.parallel_tasks", to_score.len() as u64);
                     let rescored: Vec<(PeeringId, f64)> = {
-                        let (by_peering, prefix_mean, current) =
-                            (&by_peering, &prefix_mean, &current);
+                        let (prefix_mean, current) = (&prefix_mean, &current);
                         self.pool.install(|| {
                             to_score
                                 .par_iter()
                                 .map(|&pe| {
-                                    let delta = self.candidate_delta(
+                                    let delta = self.candidate_delta_arena(
+                                        arena,
                                         pe,
                                         current,
                                         p_idx,
-                                        by_peering,
+                                        pb,
                                         prefix_mean,
                                     );
                                     (pe, delta)
@@ -391,33 +484,50 @@ impl Orchestrator {
                 added_any = true;
                 running_benefit += delta;
                 delta_hist.record(delta);
-                // Refresh caches for affected UGs: gather the affected
-                // index set serially (ascending UG index), score the
-                // expectations in parallel, write back serially.
-                let new_current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
-                let mut affected = vec![false; n_ugs];
-                for p in &new_current {
-                    for &u in &by_peering[p.idx()] {
-                        affected[u] = true;
+                // Warm replay stays valid only while this run's commit
+                // sequence matches the previous run's.
+                let commits = new_warm.commits.last_mut().expect("row pushed at fill");
+                if let Some((wg, _)) = warm {
+                    if !diverged
+                        && wg.commits.get(p_idx).and_then(|c| c.get(commits.len())) != Some(&pe)
+                    {
+                        diverged = true;
                     }
                 }
-                let affected_idx: Vec<usize> = (0..n_ugs).filter(|&u| affected[u]).collect();
-                obs_count!(self.obs, "core.parallel_tasks", affected_idx.len() as u64);
-                let means: Vec<Option<f64>> = {
+                commits.push(pe);
+                // Refresh caches for affected UGs: gather the affected
+                // index set serially (union of the committed peerings'
+                // incidence rows, ascending UG index), score the
+                // expectations in parallel, write back serially.
+                let new_current: Vec<PeeringId> = cc.peerings_of(prefix).to_vec();
+                let mut affected: Vec<u32> = Vec::new();
+                for p in &new_current {
+                    affected.extend_from_slice(arena.ugs_of(p.idx()));
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                obs_count!(self.obs, "core.parallel_tasks", affected.len() as u64);
+                let means: Vec<f64> = {
                     let new_current = &new_current;
                     self.pool.install(|| {
-                        affected_idx
+                        affected
                             .par_iter()
-                            .map(|&u| {
-                                self.model
-                                    .expected_latency(&self.inputs, u, new_current)
-                                    .map(|e| e.mean_ms)
-                            })
+                            .map(|&u| arena.mean_latency(&self.model, u as usize, new_current))
                             .collect()
                     })
                 };
-                for (&u, mean) in affected_idx.iter().zip(means) {
-                    prefix_mean[u][p_idx] = mean;
+                for (&u, mean) in affected.iter().zip(means) {
+                    prefix_mean[u as usize * pb + p_idx] = mean;
+                }
+            }
+            // The previous run committing *more* pairs in this prefix than
+            // we just did also changes every later prefix's base state.
+            if let Some((wg, _)) = warm {
+                if !diverged
+                    && wg.commits.get(p_idx).map(|c| c.len())
+                        != new_warm.commits.last().map(|c| c.len())
+                {
+                    diverged = true;
                 }
             }
             if !added_any {
@@ -440,7 +550,148 @@ impl Orchestrator {
                 trace.after_each_prefix.len() as f64 / pb as f64
             );
         }
+        (cc, trace, new_warm)
+    }
+
+    /// Applies one world delta through the incremental cache: the inputs
+    /// are edited, the arena is patched in place (or flagged for rebuild
+    /// when candidate-set membership changed), and the touched UGs and
+    /// peerings join the dirty set the next
+    /// [`Orchestrator::compute_config_incremental`] will rescore.
+    ///
+    /// Accepts [`TopologyDelta`], [`MeasurementDelta`], or [`Delta`]
+    /// directly. Deltas naming unknown UGs are ignored;
+    /// [`TopologyDelta::AddPeering`] panics if the peering slot is outside
+    /// the deployment (`peering_count` is the world's fixed width).
+    pub fn apply_delta(&mut self, delta: impl Into<Delta>) {
+        let delta: Delta = delta.into();
+        self.ensure_incremental_state();
+        let mut state = self.incr.take().expect("just ensured");
+        let arena_fresh = !state.membership_changed;
+        let applied = incremental::apply_to_inputs(
+            &mut self.inputs,
+            &delta,
+            &state.index_of,
+            arena_fresh.then_some(&state.arena),
+        );
+        // The delta's own peering is dirtied explicitly: after a removal
+        // the rebuilt incidence no longer links it to the touched UGs, so
+        // row-walking the dirty UGs alone would miss it.
+        match &delta {
+            Delta::Topology(TopologyDelta::AddPeering { peering, .. })
+            | Delta::Topology(TopologyDelta::RemovePeering { peering })
+            | Delta::Measurement(MeasurementDelta::RttShift { peering, .. }) => {
+                state.dirty_pe.insert(peering.idx() as u32);
+            }
+            Delta::Measurement(MeasurementDelta::DemandShift { .. }) => {}
+        }
+        for &u in &applied.dirty_ugs {
+            state.dirty_ug[u] = true;
+        }
+        if applied.membership_changed {
+            state.membership_changed = true;
+        } else if arena_fresh {
+            for patch in &applied.patches {
+                match *patch {
+                    ArenaPatch::Latency { ug, peering, ms } => {
+                        state.arena.set_latency(ug, peering, ms);
+                    }
+                    ArenaPatch::Weight { ug, weight } => state.arena.set_weight(ug, weight),
+                }
+            }
+        }
+        self.incr = Some(state);
+    }
+
+    /// Like [`Orchestrator::compute_config_traced`], but through the
+    /// incremental cache: peerings whose benefit inputs did not change
+    /// since the last run replay their cached fill scores instead of
+    /// being rescored (see [`crate::incremental`] for the invalidation
+    /// rules). **Bit-identical to a from-scratch recompute** at every
+    /// scale and thread count; only wall-clock time differs.
+    pub fn compute_config_incremental(&mut self) -> (AdvertConfig, GreedyTrace) {
+        self.ensure_incremental_state();
+        let mut state = self.incr.take().expect("just ensured");
+        if state.membership_changed {
+            // Candidate-set membership changed: rebuild the CSR from the
+            // already-edited inputs (linear scan, no scoring).
+            state.arena = BenefitArena::from_inputs(&self.inputs);
+            state.membership_changed = false;
+        }
+        let fp = self.fingerprint();
+        if state.fingerprint != fp {
+            // Config/model/world drifted outside apply_delta: cached fill
+            // scores are meaningless. Fall back to a cold run (still
+            // through the arena) and re-pin the fingerprint.
+            state.warm = None;
+            state.fingerprint = fp;
+        }
+        // Dirty peerings = explicitly dirtied slots ∪ every peering still
+        // appearing in a dirty UG's candidate row.
+        let n_pe = state.arena.n_peerings();
+        let mut dirty_pe = vec![false; n_pe];
+        for &pe in &state.dirty_pe {
+            dirty_pe[pe as usize] = true;
+        }
+        let mut dirty_ugs = 0u64;
+        for (u, dirty) in state.dirty_ug.iter().enumerate() {
+            if !dirty {
+                continue;
+            }
+            dirty_ugs += 1;
+            let (pes, _) = state.arena.candidates_of(u);
+            for &pe in pes {
+                dirty_pe[pe as usize] = true;
+            }
+        }
+        obs_gauge!(self.obs, "core.incr_dirty_ugs", dirty_ugs as f64);
+        obs_gauge!(
+            self.obs,
+            "core.incr_dirty_peerings",
+            dirty_pe.iter().filter(|&&d| d).count() as f64
+        );
+        obs_gauge!(self.obs, "core.incr_warm", state.warm.is_some() as u8 as f64);
+        let warm = state.warm.as_ref().map(|w| (w, dirty_pe.as_slice()));
+        let (cc, trace, new_warm) = self.greedy_arena(&state.arena, warm);
+        state.warm = Some(new_warm);
+        state.dirty_ug.iter_mut().for_each(|d| *d = false);
+        state.dirty_pe.clear();
+        self.incr = Some(state);
         (cc, trace)
+    }
+
+    /// Drops the incremental cache (arena, warm fill scores, dirty sets).
+    /// Required after mutating `config`, `model`, or `inputs` through the
+    /// public fields; the next incremental call rebuilds from scratch.
+    pub fn invalidate_incremental(&mut self) {
+        self.incr = None;
+    }
+
+    fn ensure_incremental_state(&mut self) {
+        if self.incr.is_none() {
+            let n_ugs = self.inputs.ugs.len();
+            self.incr = Some(IncrementalState {
+                arena: BenefitArena::from_inputs(&self.inputs),
+                index_of: self.inputs.index_of(),
+                warm: None,
+                fingerprint: self.fingerprint(),
+                dirty_ug: vec![false; n_ugs],
+                dirty_pe: HashSet::new(),
+                membership_changed: false,
+            });
+        }
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            prefix_budget: self.config.prefix_budget,
+            d_reuse_bits: self.model.d_reuse_km.to_bits(),
+            min_marginal_bits: self.config.min_marginal_benefit.to_bits(),
+            dominance: self.model.dominance_count(),
+            unreachable: self.model.unreachable_count(),
+            n_ugs: self.inputs.ugs.len(),
+            n_peerings: self.inputs.peering_count,
+        }
     }
 
     /// Incremental reconfiguration (§5.1.3): refines a *deployed*
@@ -543,12 +794,146 @@ impl Orchestrator {
         (refined, ops)
     }
 
-    /// Marginal modeled benefit of adding `pe` to prefix `p_idx`'s set.
+    /// Marginal modeled benefit of adding `pe` to prefix `p_idx`'s set,
+    /// reading the SoA arena.
     ///
-    /// One scoring task: pure reads of `self` and the caches, and the
-    /// float fold runs serially in here — parallel callers get a single
-    /// scalar back, so the association of every `+` is fixed by the data
-    /// regardless of which worker ran the task.
+    /// One scoring task: pure reads of `self`, the arena, and the caches,
+    /// and the float fold runs serially in here — parallel callers get a
+    /// single scalar back, so the association of every `+` is fixed by
+    /// the data regardless of which worker ran the task. Visits UGs in
+    /// the exact order of the nested-map reference path (incidence row of
+    /// `pe` ascending, then each current peering's row ascending with
+    /// already-counted UGs skipped), so the two paths are bit-identical
+    /// (see `arena_fill_matches_reference`).
+    fn candidate_delta_arena(
+        &self,
+        arena: &BenefitArena,
+        pe: PeeringId,
+        current: &[PeeringId],
+        p_idx: usize,
+        pb: usize,
+        prefix_mean: &[f64],
+    ) -> f64 {
+        if current.binary_search(&pe).is_ok() {
+            return 0.0;
+        }
+        let mut new_set = current.to_vec();
+        let pos = new_set.binary_search(&pe).unwrap_err();
+        new_set.insert(pos, pe);
+        let mut delta = 0.0;
+        // UGs with the new peering as a candidate...
+        for &u in arena.ugs_of(pe.idx()) {
+            delta += self.ug_delta_arena(arena, u as usize, p_idx, pb, &new_set, prefix_mean);
+        }
+        // ...plus UGs already touched by the prefix (their D_reuse anchor
+        // or candidate mix may shift) that don't have `pe`. Dedup state is
+        // sized by the touched rows, not by the world — the initial fill
+        // (empty `current`) allocates nothing here, which is what lets a
+        // million-UG fill stay linear in candidacies.
+        if !current.is_empty() {
+            let mut counted: HashSet<u32> = arena.ugs_of(pe.idx()).iter().copied().collect();
+            for p in current {
+                for &u in arena.ugs_of(p.idx()) {
+                    if counted.insert(u) {
+                        delta += self.ug_delta_arena(
+                            arena,
+                            u as usize,
+                            p_idx,
+                            pb,
+                            &new_set,
+                            prefix_mean,
+                        );
+                    }
+                }
+            }
+        }
+        delta
+    }
+
+    /// Benefit delta (weighted improvement change) for UG `u` if prefix
+    /// `p_idx`'s peering set becomes `new_set`, reading the SoA arena and
+    /// the flat `prefix_mean` (`INFINITY` = old `None`; it falls out of
+    /// every `min` untouched, so the encodings agree bitwise).
+    fn ug_delta_arena(
+        &self,
+        arena: &BenefitArena,
+        u: usize,
+        p_idx: usize,
+        pb: usize,
+        new_set: &[PeeringId],
+        prefix_mean: &[f64],
+    ) -> f64 {
+        let anycast = arena.anycast_ms(u);
+        let row = &prefix_mean[u * pb..(u + 1) * pb];
+        // Best over the *other* prefixes (and anycast).
+        let mut others = anycast;
+        for (q, &m) in row.iter().enumerate() {
+            if q != p_idx {
+                others = others.min(m);
+            }
+        }
+        let old_best = others.min(row[p_idx]);
+        let new_best = others.min(arena.mean_latency(&self.model, u, new_set));
+        arena.weight(u) * ((anycast - new_best).max(0.0) - (anycast - old_best).max(0.0))
+    }
+
+    /// Initial (empty-config) fill scores for every peering slot through
+    /// the pre-arena nested-map path — per-peering `Vec<usize>` incidence
+    /// lists and a `Vec<Vec<Option<f64>>>` expectation cache. `NaN` marks
+    /// slots with no incidence. Off the hot path; retained as the
+    /// baseline the SoA arena is benchmarked (`painter-bench`) and
+    /// equivalence-tested against.
+    pub fn fill_scores_reference(&self) -> Vec<f64> {
+        let pb = self.config.prefix_budget;
+        if pb == 0 {
+            return vec![f64::NAN; self.inputs.peering_count];
+        }
+        let mut by_peering: Vec<Vec<usize>> = vec![Vec::new(); self.inputs.peering_count];
+        for (i, ug) in self.inputs.ugs.iter().enumerate() {
+            for (p, _) in &ug.candidates {
+                by_peering[p.idx()].push(i);
+            }
+        }
+        let prefix_mean: Vec<Vec<Option<f64>>> = vec![vec![None; pb]; self.inputs.ugs.len()];
+        (0..self.inputs.peering_count)
+            .map(|pe_idx| {
+                if by_peering[pe_idx].is_empty() {
+                    return f64::NAN;
+                }
+                self.candidate_delta(PeeringId(pe_idx as u32), &[], 0, &by_peering, &prefix_mean)
+            })
+            .collect()
+    }
+
+    /// The same initial fill through the SoA arena, serial like the
+    /// reference so benchmarks compare memory layout alone. Bit-identical
+    /// to [`Orchestrator::fill_scores_reference`].
+    pub fn fill_scores_arena(&self, arena: &BenefitArena) -> Vec<f64> {
+        let pb = self.config.prefix_budget;
+        if pb == 0 {
+            return vec![f64::NAN; arena.n_peerings()];
+        }
+        let prefix_mean = vec![f64::INFINITY; arena.n_ugs() * pb];
+        (0..arena.n_peerings())
+            .map(|pe_idx| {
+                if arena.ugs_of(pe_idx).is_empty() {
+                    return f64::NAN;
+                }
+                self.candidate_delta_arena(
+                    arena,
+                    PeeringId(pe_idx as u32),
+                    &[],
+                    0,
+                    pb,
+                    &prefix_mean,
+                )
+            })
+            .collect()
+    }
+
+    /// Marginal modeled benefit through the nested-map reference path
+    /// (the pre-arena hot path, now feeding only
+    /// [`Orchestrator::fill_scores_reference`]).
     fn candidate_delta(
         &self,
         pe: PeeringId,
@@ -620,6 +1005,9 @@ impl Orchestrator {
     /// compliance, and learns ingress dominance. Returns the number of new
     /// dominance facts.
     pub fn learn(&mut self, config: &AdvertConfig, obs: &Observations) -> usize {
+        // Learning rewrites believed latencies and dominance facts
+        // wholesale; the incremental cache cannot track it delta-by-delta.
+        self.incr = None;
         let index_of: HashMap<UgId, usize> = self.inputs.index_of();
         let before = self.model.dominance_count();
         let mut corrections = 0u64;
@@ -1031,6 +1419,119 @@ mod tests {
         let expect = vec![(2.5, 2), (2.5, 9), (1.0, 0), (1.0, 1), (1.0, 4), (0.5, 0)];
         assert_eq!(pop_all(&keys), expect);
         assert_eq!(pop_all(&reversed), expect);
+    }
+
+    #[test]
+    fn cand_entry_survives_nan_and_signed_zero_adversaries() {
+        let mk = |delta: f64, pe: u32| CandEntry { delta, version: 0, pe: PeeringId(pe) };
+        // `==` and `cmp` must agree on every pair — including NaN, where
+        // f64's native `==` would break `Eq` — or BinaryHeap behavior is
+        // unspecified. Exercise every ordered pair of adversarial keys.
+        let adversaries = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+        ];
+        for &a in &adversaries {
+            for &b in &adversaries {
+                for (pa, pb) in [(0u32, 0u32), (0, 1)] {
+                    let (x, y) = (mk(a, pa), mk(b, pb));
+                    assert_eq!(
+                        x == y,
+                        x.cmp(&y) == std::cmp::Ordering::Equal,
+                        "Eq/Ord disagree for ({a:?},{pa}) vs ({b:?},{pb})"
+                    );
+                    assert_eq!(x.cmp(&y), y.cmp(&x).reverse(), "cmp not antisymmetric");
+                    assert_eq!(x.partial_cmp(&y), Some(x.cmp(&y)), "partial_cmp diverges");
+                }
+            }
+        }
+        // NaN is reflexively equal (to_bits), unlike raw f64 — and the two
+        // NaN signs stay distinguishable and deterministically ordered.
+        assert_eq!(mk(f64::NAN, 3), mk(f64::NAN, 3));
+        assert_ne!(mk(f64::NAN, 3), mk(-f64::NAN, 3));
+        // IEEE totalOrder puts +NaN above +inf, so a NaN score that leaked
+        // into the heap would pop FIRST and commit garbage. The guard is
+        // the fill threshold: `NaN > min_marginal_benefit` is false, so
+        // NaN-scored slots never enter. Pin that exact filter expression.
+        let min_marginal_benefit = 0.0;
+        assert!(mk(f64::NAN, 0) > mk(f64::INFINITY, 0), "totalOrder premise");
+        let scores = [f64::NAN, 1.0, -f64::NAN, 0.5, f64::NEG_INFINITY, -0.0];
+        let heap: std::collections::BinaryHeap<CandEntry> = (0..scores.len())
+            .filter(|&pe| scores[pe] > min_marginal_benefit)
+            .map(|pe| mk(scores[pe], pe as u32))
+            .collect();
+        let popped: Vec<u32> = {
+            let mut h = heap;
+            std::iter::from_fn(|| h.pop().map(|e| e.pe.0)).collect()
+        };
+        assert_eq!(popped, vec![1, 3], "only finite positive scores may enter the heap");
+        // Equal-benefit ties among survivors commit lowest-peering-first
+        // even when the tied value is denormal-adjacent.
+        let tied = [(f64::MIN_POSITIVE, 7u32), (f64::MIN_POSITIVE, 2), (f64::MIN_POSITIVE, 5)];
+        let mut h: std::collections::BinaryHeap<CandEntry> =
+            tied.iter().map(|&(d, p)| mk(d, p)).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|e| e.pe.0)).collect();
+        assert_eq!(order, vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn arena_fill_matches_reference() {
+        // The SoA arena replaced the nested-map layout on the hot path;
+        // the retained reference path must agree bit-for-bit.
+        let f = fix(112);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let orch = Orchestrator::new(inputs, OrchestratorConfig::default());
+        let arena = BenefitArena::from_inputs(&orch.inputs);
+        let reference = orch.fill_scores_reference();
+        let soa = orch.fill_scores_arena(&arena);
+        assert_eq!(reference.len(), soa.len());
+        for (pe, (r, s)) in reference.iter().zip(&soa).enumerate() {
+            assert_eq!(r.to_bits(), s.to_bits(), "peering {pe}: {r} vs {s}");
+        }
+        assert!(reference.iter().any(|d| d.is_finite() && *d > 0.0), "degenerate fixture");
+    }
+
+    #[test]
+    fn incremental_compute_matches_scratch_after_deltas() {
+        let f = fix(113);
+        let mut gt = GroundTruth::compute(&f.net.graph, &f.dep, &f.ugs, 9);
+        let inputs = inputs_from(&f, &mut gt);
+        let mut orch = Orchestrator::new(
+            inputs,
+            OrchestratorConfig { prefix_budget: 4, ..Default::default() },
+        );
+        // Cold incremental run agrees with the stateless path.
+        let (first, first_trace) = orch.compute_config_incremental();
+        let (scratch, scratch_trace) = orch.compute_config_traced();
+        assert_eq!(first, scratch);
+        assert_eq!(first_trace, scratch_trace);
+        // A no-delta warm run replays every fill score and still agrees.
+        let (warm, warm_trace) = orch.compute_config_incremental();
+        assert_eq!(warm, first);
+        assert_eq!(warm_trace, first_trace);
+        if painter_obs::enabled() {
+            let reused = orch.obs.snapshot().counter("core.incr_fill_reused").unwrap_or(0);
+            assert!(reused > 0, "no-delta warm run should replay cached fill scores");
+        }
+        // Mixed delta stream: RTT shift, peering removal, demand change.
+        let ug = orch.inputs.ugs[0].id;
+        let pe = orch.inputs.ugs[0].candidates[0].0;
+        orch.apply_delta(MeasurementDelta::RttShift { ug, peering: pe, ms: 1.0 });
+        let victim = orch.inputs.ugs[1].candidates[0].0;
+        orch.apply_delta(TopologyDelta::RemovePeering { peering: victim });
+        orch.apply_delta(MeasurementDelta::DemandShift { ug, weight: 9.0 });
+        let (inc, inc_trace) = orch.compute_config_incremental();
+        let fresh = Orchestrator::new(orch.inputs.clone(), orch.config.clone());
+        let (scr, scr_trace) = fresh.compute_config_traced();
+        assert_eq!(inc, scr, "incremental diverged from from-scratch recompute");
+        assert_eq!(inc_trace, scr_trace);
     }
 
     #[test]

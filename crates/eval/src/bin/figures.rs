@@ -9,6 +9,7 @@
 //! figures guard-tune [flags]         # guard co-evolution vs the corpus (guard.tune.*)
 //! figures farm [flags]               # multi-seed corpus farm, one class per failure mode
 //! figures lp-gap [flags]             # exact LP vs greedy optimality gap (lp.*)
+//! figures scale [flags]              # million-UG scale sweep (scale.* + BENCH_scale.json)
 //! figures soak [flags]               # long-horizon soak campaign (soak.* sections)
 //! figures explain [flags]            # causal timeline + incident attribution
 //! figures list                       # available ids
@@ -27,6 +28,8 @@
 //!                    (default 8)
 //! --corpus <dir>     guard-tune: corpus of pinned reproducers to tune
 //!                    against (default "corpus"; missing dir = empty)
+//! --bench-out <p>    scale: where the wall-clock trajectory JSON goes
+//!                    (default "BENCH_scale.json")
 //! --markdown         EXPERIMENTS-style summary rows (id | title | notes)
 //! --csv              full per-series CSV dump (the old default)
 //! --report <p>.json  also write the structured RunReport as JSON
@@ -54,17 +57,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "list" {
         println!(
-            "available figures: {} chaos chaos-sweep chaos-search guard-tune farm lp-gap soak \
-             explain",
+            "available figures: {} chaos chaos-sweep chaos-search guard-tune farm lp-gap scale \
+             soak explain",
             ALL_FIGURES.join(" ")
         );
         println!(
             "usage: figures <fig-id>...|all|chaos|chaos-sweep|chaos-search|guard-tune|farm|lp-gap|\
-             soak|explain \
+             scale|soak|explain \
              [--test] [--seed <n>] [--seeds <a,b,..>] [--budget <n>] [--pin <dir>] \
              [--guard <preset>] [--rounds <n>] [--adv-budget <n>] [--corpus <dir>] \
-             [--markdown|--csv] [--report <path>.json] [--scenario <path>.json] \
-             [--chrome <path>.json]"
+             [--bench-out <path>.json] [--markdown|--csv] [--report <path>.json] \
+             [--scenario <path>.json] [--chrome <path>.json]"
         );
         return;
     }
@@ -165,6 +168,16 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![seed, seed + 1]);
+    let bench_out = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--bench-out requires a path argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
     let mut skip_next = false;
     let mut requested: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_FIGURES.to_vec()
@@ -184,6 +197,7 @@ fn main() {
                     || *a == "--rounds"
                     || *a == "--adv-budget"
                     || *a == "--corpus"
+                    || *a == "--bench-out"
                     || *a == "--scenario"
                     || *a == "--chrome"
                 {
@@ -203,6 +217,7 @@ fn main() {
     let run_tune = args.iter().any(|a| a == "guard-tune");
     let run_farm = args.iter().any(|a| a == "farm");
     let run_lp = args.iter().any(|a| a == "lp-gap");
+    let run_scale_sweep = args.iter().any(|a| a == "scale");
     let run_soak = args.iter().any(|a| a == "soak");
     requested.retain(|id| {
         *id != "chaos"
@@ -211,6 +226,7 @@ fn main() {
             && *id != "guard-tune"
             && *id != "farm"
             && *id != "lp-gap"
+            && *id != "scale"
             && *id != "soak"
     });
 
@@ -354,6 +370,28 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("lp gap failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if run_scale_sweep {
+        let config = painter_eval::scale::ScaleConfig::for_scale(scale, seed);
+        match painter_eval::scale::run_scale(scale, config) {
+            Ok(scale_run) => {
+                for section in scale_run.sections() {
+                    report.push_section(section);
+                }
+                // Wall-clock measurements are deliberately kept off the
+                // (byte-compared) report; they go to the bench trajectory.
+                if let Err(e) = std::fs::write(&bench_out, scale_run.bench().to_json()) {
+                    eprintln!("failed to write bench trajectory to {bench_out}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("wrote bench trajectory: {bench_out}");
+                }
+            }
+            Err(e) => {
+                eprintln!("scale sweep failed: {e}");
                 failed = true;
             }
         }

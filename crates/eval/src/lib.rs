@@ -17,6 +17,7 @@ pub mod helpers;
 pub mod incidents;
 pub mod lp_gap;
 pub mod report;
+pub mod scale;
 pub mod scenario;
 pub mod soak;
 

@@ -224,10 +224,7 @@ impl SoakOutcome {
                 .field("deferrals", self.deferrals_total)
                 .field("rejections", self.rejections_total)
                 .field("conflict_rounds", self.conflict_rounds)
-                .field(
-                    "contention_demonstrated",
-                    self.deferrals_total + self.rejections_total > 0,
-                ),
+                .field("contention_demonstrated", self.deferrals_total + self.rejections_total > 0),
         );
         out.push(
             Section::new("soak.events")
@@ -843,7 +840,10 @@ mod tests {
         let out = run_soak(Scale::Test, 3).expect("soak");
         let sections = out.sections();
         let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
-        assert_eq!(titles, vec!["soak.config", "soak.day0", "soak.day1", "soak.arbitration", "soak.events"]);
+        assert_eq!(
+            titles,
+            vec!["soak.config", "soak.day0", "soak.day1", "soak.arbitration", "soak.events"]
+        );
         assert!(out.events_recorded > 0, "the flight recorder must capture the campaign");
     }
 }

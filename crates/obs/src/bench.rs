@@ -1,0 +1,132 @@
+//! Bench-trajectory output: the `BENCH_*.json` files that make
+//! performance visible PR-to-PR.
+//!
+//! Run reports deliberately carry only deterministic facts so CI can
+//! byte-compare them; wall-clock measurements live here instead. A
+//! [`BenchTrajectory`] is a named set of labelled cells (one per swept
+//! configuration), each holding flat `field → f64` measurements. The
+//! emitted JSON is parseable by [`crate::json::parse`], which is what the
+//! repo's shape tests and the `bench-smoke` CI leg consume.
+
+use crate::json::{write_f64, write_str};
+
+/// One measured sweep cell: a label like `"100000x256x4"` plus its
+/// measurements in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    pub label: String,
+    pub fields: Vec<(String, f64)>,
+}
+
+impl BenchCell {
+    /// A new, empty cell.
+    pub fn new(label: impl Into<String>) -> BenchCell {
+        BenchCell { label: label.into(), fields: Vec::new() }
+    }
+
+    /// Appends a measurement (builder style).
+    pub fn field(mut self, name: impl Into<String>, value: f64) -> BenchCell {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a measurement by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// A named collection of bench cells, serialized as
+/// `{"name": ..., "cells": [{"label": ..., "fields": {..}}]}`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchTrajectory {
+    pub name: String,
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchTrajectory {
+    /// A new, empty trajectory.
+    pub fn new(name: impl Into<String>) -> BenchTrajectory {
+        BenchTrajectory { name: name.into(), cells: Vec::new() }
+    }
+
+    /// Appends a cell.
+    pub fn push_cell(&mut self, cell: BenchCell) {
+        self.cells.push(cell);
+    }
+
+    /// Looks up a cell by label.
+    pub fn cell(&self, label: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// Serializes the trajectory (non-finite measurements become `null`,
+    /// like every float the [`crate::json`] emitter writes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"name\":");
+        write_str(&mut out, &self.name);
+        out.push_str(",\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            write_str(&mut out, &cell.label);
+            out.push_str(",\"fields\":{");
+            for (j, (name, value)) in cell.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_str(&mut out, name);
+                out.push(':');
+                write_f64(&mut out, *value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> BenchTrajectory {
+        let mut t = BenchTrajectory::new("scale");
+        t.push_cell(BenchCell::new("10000x64x1").field("full_ms", 12.5).field("incr_ms", 1.25));
+        t.push_cell(BenchCell::new("10000x64x4").field("full_ms", 4.0).field("incr_ms", 0.5));
+        t
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let t = sample();
+        let parsed = json::parse(&t.to_json()).expect("own emitter must parse");
+        assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("scale"));
+        let cells = parsed.get("cells").and_then(|v| v.as_array()).expect("cells array");
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("label").and_then(|v| v.as_str()), Some("10000x64x1"));
+        let fields = cells[0].get("fields").expect("fields object");
+        assert_eq!(fields.get("full_ms").and_then(|v| v.as_f64()), Some(12.5));
+        assert_eq!(fields.get("incr_ms").and_then(|v| v.as_f64()), Some(1.25));
+    }
+
+    #[test]
+    fn lookups_find_cells_and_fields() {
+        let t = sample();
+        let cell = t.cell("10000x64x4").expect("cell");
+        assert_eq!(cell.get("full_ms"), Some(4.0));
+        assert_eq!(cell.get("missing"), None);
+        assert!(t.cell("nope").is_none());
+    }
+
+    #[test]
+    fn non_finite_measurements_serialize_as_null() {
+        let mut t = BenchTrajectory::new("edge");
+        t.push_cell(BenchCell::new("c").field("bad", f64::NAN));
+        assert!(t.to_json().contains("\"bad\":null"));
+    }
+}

@@ -72,6 +72,24 @@ impl TopologyConfig {
             bad_transit_fraction: 0.3,
         }
     }
+
+    /// A production-scale configuration: ~2.2k infrastructure ASes
+    /// (16 tier-1s, 40 transit + 400 access ISPs per region) under
+    /// `num_stubs` enterprise ASes — sized for the 10^5–10^6-UG worlds
+    /// the scale sweep measures. Generation stays deterministic and
+    /// linear in stubs: the stub loop draws from per-metro/per-region
+    /// provider pools precomputed once, not filtered per stub.
+    pub fn scale(seed: u64, num_stubs: usize) -> Self {
+        TopologyConfig {
+            seed,
+            num_tier1: 16,
+            transit_per_region: 40,
+            access_per_region: 400,
+            num_stubs,
+            access_peering_prob: 0.25,
+            bad_transit_fraction: 0.3,
+        }
+    }
 }
 
 /// A generated Internet: the graph plus the config that produced it.
@@ -259,6 +277,23 @@ fn gen_stubs(
     // Stubs land in metros proportionally to metro weight.
     let weights: Vec<f64> = WORLD_METROS.iter().map(|m| m.weight).collect();
     let total_weight: f64 = weights.iter().sum();
+    // Provider pools, computed once. The per-stub pool used to be built
+    // by filtering every access/transit AS per stub — O(stubs × ISPs),
+    // the wall separating 10^3-stub worlds from 10^6. Grouping by
+    // metro/region up front preserves the pool order (and with it every
+    // RNG draw: outputs are byte-identical to the per-stub filters) while
+    // making the stub loop linear.
+    let mut metro_access: Vec<Vec<AsId>> = vec![Vec::new(); WORLD_METROS.len()];
+    for &a in access {
+        for &m in &graph.node(a).presence {
+            metro_access[m.0 as usize].push(a);
+        }
+    }
+    let region_transits = |region| -> Vec<AsId> {
+        transits.iter().copied().filter(|t| graph.node(*t).region == region).collect()
+    };
+    let transit_by_region: Vec<(Region, Vec<AsId>)> =
+        Region::ALL.into_iter().map(|r| (r, region_transits(r))).collect();
     for _ in 0..config.num_stubs {
         let mut target = rng.gen_range(0.0..total_weight);
         let mut home = MetroId(0);
@@ -285,13 +320,15 @@ fn gen_stubs(
         };
         // Prefer access ISPs present at the home metro; fall back to
         // regional transit, then any transit.
-        let local_access: Vec<AsId> =
-            access.iter().copied().filter(|a| graph.node(*a).presence.contains(&home)).collect();
-        let regional_transit: Vec<AsId> =
-            transits.iter().copied().filter(|t| graph.node(*t).region == region).collect();
+        let local_access = &metro_access[home.0 as usize];
+        let regional_transit: &[AsId] = transit_by_region
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[]);
         let mut connected = 0;
-        let mut pool: Vec<AsId> = local_access;
-        pool.extend_from_slice(&regional_transit);
+        let mut pool: Vec<AsId> = local_access.clone();
+        pool.extend_from_slice(regional_transit);
         if pool.is_empty() {
             pool.extend_from_slice(transits);
         }
@@ -439,6 +476,37 @@ mod tests {
         // Mixed tiers present.
         for tier in [AsTier::Tier1, AsTier::Transit, AsTier::Access, AsTier::Stub] {
             assert!(net.graph.nodes().iter().any(|n| n.tier == tier), "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn scale_config_shape_matches_preset() {
+        let config = TopologyConfig::scale(11, 10_000);
+        let net = generate(config);
+        let count = |tier| net.graph.nodes().iter().filter(|n| n.tier == tier).count();
+        assert_eq!(count(AsTier::Tier1), 16);
+        assert_eq!(count(AsTier::Transit), 40 * Region::ALL.len());
+        assert_eq!(count(AsTier::Access), 400 * Region::ALL.len());
+        assert_eq!(count(AsTier::Stub), 10_000);
+        let infra = net.graph.len() - 10_000;
+        assert!((1_000..10_000).contains(&infra), "infra ASes: {infra}");
+        assert!(net.graph.validate().is_empty());
+    }
+
+    #[test]
+    fn scale_config_is_deterministic() {
+        // Same contract as `generation_is_deterministic`, at the preset
+        // the scale sweep actually runs — the precomputed provider pools
+        // must not perturb a single RNG draw.
+        let a = generate(TopologyConfig::scale(12, 5_000));
+        let b = generate(TopologyConfig::scale(12, 5_000));
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.links().len(), b.graph.links().len());
+        for (la, lb) in a.graph.links().iter().zip(b.graph.links()) {
+            assert_eq!((la.a, la.b, la.rel), (lb.a, lb.b, lb.rel));
+        }
+        for stub in a.graph.stubs() {
+            assert!(!a.graph.providers(stub.id).is_empty(), "{}", stub.id);
         }
     }
 }

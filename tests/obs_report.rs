@@ -446,6 +446,127 @@ fn guard_tune_sections_pin_their_schema() {
 }
 
 #[test]
+fn scale_sections_pin_their_schema() {
+    use painter::eval::scale::{check_bench_shape, run_scale, ScaleConfig};
+    use painter::obs::json::JsonValue;
+
+    // CI-sized sweep: two UG counts x one peering count x two thread
+    // counts. The pinned schema, not the preset sizes, is under test.
+    let config = ScaleConfig {
+        ug_counts: vec![300, 700],
+        peering_counts: vec![10],
+        thread_counts: vec![1, 2],
+        pops: 5,
+        prefix_budget: 4,
+        deltas: 8,
+        add_candidates: 4,
+        ..ScaleConfig::for_scale(Scale::Test, 7)
+    };
+    let run = run_scale(Scale::Test, config).expect("scale sweep");
+    let mut report = RunReport::new("scale");
+    for section in run.sections() {
+        report.push_section(section);
+    }
+    let doc = painter::obs::json::parse(&report.to_json()).expect("valid JSON");
+    let sections = doc.get("sections").and_then(|v| v.as_array()).expect("sections array");
+
+    // The config section first, then one cell per sweep point in sweep
+    // order (UGs outermost, threads innermost).
+    let titles: Vec<&str> =
+        sections.iter().filter_map(|s| s.get("title").and_then(|v| v.as_str())).collect();
+    let expected: Vec<String> = std::iter::once("scale.config".to_string())
+        .chain(
+            ["300x10x1", "300x10x2", "700x10x1", "700x10x2"]
+                .iter()
+                .map(|label| format!("scale.cell.{label}")),
+        )
+        .collect();
+    assert_eq!(titles, expected.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Exact field names and counts, matching the chaos/guard.tune pins.
+    let cell_fields: &[&str] = &[
+        "ugs",
+        "peerings",
+        "threads",
+        "candidacies",
+        "cold_prefixes",
+        "cold_pairs",
+        "cold_fnv",
+        "incr_prefixes",
+        "incr_pairs",
+        "incr_fnv",
+        "incr_benefit",
+        "deltas",
+        "matches_scratch",
+    ];
+    let pinned: &[(&str, &[&str])] = &[
+        (
+            "scale.config",
+            &[
+                "seed",
+                "ug_counts",
+                "peering_counts",
+                "thread_counts",
+                "pops",
+                "prefix_budget",
+                "min_marginal_frac",
+                "deltas",
+                "add_candidates",
+            ],
+        ),
+        ("scale.cell.300x10x1", cell_fields),
+        ("scale.cell.700x10x2", cell_fields),
+    ];
+    for (title, names) in pinned {
+        let section = sections
+            .iter()
+            .find(|s| s.get("title").and_then(|v| v.as_str()) == Some(title))
+            .unwrap_or_else(|| panic!("missing section {title}"));
+        let fields = section.get("fields").expect("fields");
+        for name in *names {
+            assert!(fields.get(name).is_some(), "{title} missing field {name}");
+        }
+        match fields {
+            JsonValue::Object(map) => {
+                assert_eq!(map.len(), names.len(), "{title} field count drifted: {map:?}")
+            }
+            other => panic!("{title} fields not an object: {other:?}"),
+        }
+    }
+
+    // The equivalence contract holds in every cell, and cells carry the
+    // deterministic facts CI byte-compares (digests, not wall times).
+    for section in &sections[1..] {
+        let fields = section.get("fields").unwrap();
+        assert_eq!(
+            fields.get("matches_scratch").and_then(|v| v.as_f64()),
+            Some(1.0),
+            "incremental/scratch divergence leaked into the report"
+        );
+        let benefit = fields.get("incr_benefit").and_then(|v| v.as_f64()).unwrap();
+        assert!(benefit.is_finite() && benefit > 0.0, "degenerate cell benefit {benefit}");
+    }
+
+    // Wall-clock timings live ONLY in the bench trajectory, whose shape
+    // (labels, monotone UG counts, finite positive times) is pinned...
+    let bench_json = run.bench().to_json();
+    check_bench_shape(&bench_json).expect("generated bench trajectory shape");
+    for timing in ["build_ms", "full_ms", "apply_ms", "incr_ms", "scratch_ms", "speedup"] {
+        for section in sections {
+            let fields = section.get("fields").unwrap();
+            assert!(fields.get(timing).is_none(), "wall-clock field {timing} leaked into report");
+        }
+    }
+
+    // ...and the checked-in artifact from `figures scale --test` still
+    // parses under the same shape contract.
+    let artifact = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_scale.json");
+    let artifact_json = std::fs::read_to_string(&artifact)
+        .unwrap_or_else(|e| panic!("checked-in {} unreadable: {e}", artifact.display()));
+    check_bench_shape(&artifact_json).expect("checked-in BENCH_scale.json shape");
+}
+
+#[test]
 fn shared_registry_merges_subsystem_metrics() {
     let obs = Registry::new();
     let report = full_run_report(&obs);
